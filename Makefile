@@ -1,0 +1,39 @@
+# Corundum-OCaml — top-level targets (the artifact's run.sh/results.sh).
+
+.PHONY: all build test eval tables micro perf scale crash bench doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Reproduce every table and figure; CSVs land in results/.
+eval: tables micro perf scale crash
+
+tables:
+	dune exec bin/tables.exe -- all --csv
+
+micro:
+	dune exec bin/micro.exe
+
+perf:
+	dune exec bin/perf.exe
+
+scale:
+	dune exec bin/scale.exe -- --segments 300 --words 8000
+
+crash:
+	dune exec bin/crash_sweep.exe -- --samples 2
+
+bench:
+	dune exec bench/main.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean
+	rm -rf results *.pool

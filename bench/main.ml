@@ -1,0 +1,317 @@
+(* Bechamel wall-clock benchmarks: one Test.make per table and figure of
+   the paper, plus the ablation benches DESIGN.md calls out.  These
+   complement the deterministic simulated-clock harnesses in bin/ (micro,
+   perf, scale): bechamel answers "how fast does this library itself run
+   on the host", the bin tools answer "what would it cost on PM".
+
+   Run: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Corundum
+
+let small =
+  { Pool_impl.size = 8 * 1024 * 1024; nslots = 2; slot_size = 256 * 1024 }
+
+(* --- Table 2: render the static-checks matrix -------------------------- *)
+
+let bench_table2 =
+  Test.make ~name:"table2:static-checks-matrix"
+    (Staged.stage (fun () -> ignore (Evaldata.Checks_matrix.to_csv ())))
+
+(* --- Table 3: count the lines-of-code delta ---------------------------- *)
+
+let bench_table3 =
+  Test.make ~name:"table3:loc-count"
+    (Staged.stage (fun () -> ignore (Evaldata.Loc_count.measure ())))
+
+(* --- Table 5: representative basic operations -------------------------- *)
+
+(* A pool reused across iterations; the bodies mirror micro.exe rows. *)
+let with_counter_pool () =
+  let module P = Pool.Make () in
+  P.create ~config:small ~latency:Pmem.Latency.zero ();
+  ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
+  (module P : Pool.S)
+
+let bench_table5_txnop =
+  let pool = lazy (with_counter_pool ()) in
+  Test.make ~name:"table5:txnop"
+    (Staged.stage (fun () ->
+         let module P = (val Lazy.force pool) in
+         P.transaction (fun _ -> ())))
+
+let bench_table5_datalog =
+  let state =
+    lazy
+      (let module P = Pool.Make () in
+       P.create ~config:small ~latency:Pmem.Latency.zero ();
+       ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
+       let base = P.transaction (fun j -> Pool_impl.tx_alloc (Journal.tx j) 4096) in
+       ((module P : Pool.S), base))
+  in
+  Test.make ~name:"table5:datalog-64B"
+    (Staged.stage (fun () ->
+         let (module P), base = Lazy.force state in
+         P.transaction (fun j ->
+             Pool_impl.tx_log (Journal.tx j) ~off:base ~len:64)))
+
+let bench_table5_alloc_free =
+  let pool = lazy (with_counter_pool ()) in
+  Test.make ~name:"table5:alloc+free-64B"
+    (Staged.stage (fun () ->
+         let module P = (val Lazy.force pool) in
+         P.transaction (fun j ->
+             let off = Pool_impl.tx_alloc (Journal.tx j) 64 in
+             Pool_impl.tx_free (Journal.tx j) off)))
+
+let bench_table5_atomic_init =
+  let pool = lazy (with_counter_pool ()) in
+  Test.make ~name:"table5:pbox-atomic-init"
+    (Staged.stage (fun () ->
+         let module P = (val Lazy.force pool) in
+         P.transaction (fun j ->
+             let b = Pbox.make ~ty:Ptype.int 1 j in
+             Pbox.drop b j)))
+
+(* --- Figure 1: one BST insert per engine -------------------------------- *)
+
+let bench_fig1 (name, (module E : Engines.Engine_sig.S)) =
+  let module T = Workloads.Bst.Make (E) in
+  let state =
+    lazy
+      (let eng =
+         E.create ~latency:Pmem.Latency.zero ~size:(16 * 1024 * 1024) ()
+       in
+       let key = ref 0 in
+       (eng, key))
+  in
+  Test.make ~name:(Printf.sprintf "fig1:bst-insert:%s" name)
+    (Staged.stage (fun () ->
+         let eng, key = Lazy.force state in
+         incr key;
+         T.insert eng (Int64.of_int !key)))
+
+let bench_fig1_all = List.map bench_fig1 Engines.Registry.all
+
+(* Typed-layer overhead: the same BST insert through the typed API
+   (Ptype serialization, Prefcell borrows) vs. the raw corundum engine. *)
+let bench_typed_bst =
+  let state =
+    lazy
+      (let module P = Pool.Make () in
+       P.create ~config:small ~latency:Pmem.Latency.zero ();
+       let module T = Workloads.Pbst.Make (P) in
+       let t = T.root () in
+       let key = ref 0 in
+       let insert () =
+         incr key;
+         P.transaction (fun j -> T.insert t !key j)
+       in
+       insert)
+  in
+  Test.make ~name:"fig1:bst-insert:corundum-typed"
+    (Staged.stage (fun () -> (Lazy.force state) ()))
+
+(* --- Figure 2: wordcount sequential kernel ------------------------------ *)
+
+let bench_fig2 =
+  let corpus =
+    lazy
+      (Workloads.Wordcount.generate_corpus ~vocabulary:500 ~segments:10
+         ~words_per_segment:200 ~seed:3 ())
+  in
+  Test.make ~name:"fig2:wordcount-seq-10x200"
+    (Staged.stage (fun () ->
+         ignore (Workloads.Wordcount.run_seq ~corpus:(Lazy.force corpus) ())))
+
+(* --- Ablations (DESIGN.md sec. 7) ---------------------------------------- *)
+
+(* Dedup on/off: repeated writes to one word with exact-range logging. *)
+let bench_ablation_dedup on =
+  let state =
+    lazy
+      (let module P = Pool.Make () in
+       P.create ~config:small ~latency:Pmem.Latency.zero ();
+       ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
+       let off = P.transaction (fun j -> Pool_impl.tx_alloc (Journal.tx j) 64) in
+       ((module P : Pool.S), off))
+  in
+  Test.make
+    ~name:(Printf.sprintf "ablation:dedup-%s" (if on then "on" else "off"))
+    (Staged.stage (fun () ->
+         let (module P), off = Lazy.force state in
+         P.transaction (fun j ->
+             for _ = 1 to 16 do
+               if on then Pool_impl.tx_log (Journal.tx j) ~off ~len:8
+               else Pool_impl.tx_log_nodedup (Journal.tx j) ~off ~len:8
+             done)))
+
+(* Flush policy: per-store persist (Atlas-style) vs commit-time persist. *)
+let bench_ablation_flush per_store =
+  let state =
+    lazy
+      (let module P = Pool.Make () in
+       P.create ~config:small ~latency:Pmem.Latency.zero ();
+       ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
+       let off = P.transaction (fun j -> Pool_impl.tx_alloc (Journal.tx j) 64) in
+       ((module P : Pool.S), off))
+  in
+  Test.make
+    ~name:
+      (Printf.sprintf "ablation:flush-%s"
+         (if per_store then "per-store" else "at-commit"))
+    (Staged.stage (fun () ->
+         let (module P), off = Lazy.force state in
+         P.transaction (fun j ->
+             let dev = Pool_impl.device (P.impl ()) in
+             for i = 0 to 7 do
+               Pool_impl.tx_log (Journal.tx j) ~off:(off + (i * 8)) ~len:8;
+               Pmem.Device.write_u64 dev (off + (i * 8)) 1L;
+               if per_store then Pmem.Device.persist dev (off + (i * 8)) 8
+             done)))
+
+(* Allocation-table persistence: one persist per mark (the shipped
+   design: each alloc individually crash-atomic) vs. marking a batch and
+   persisting once at the end (only sound if commit flushes the marks;
+   quantifies what that design change would buy). *)
+let bench_ablation_table batched =
+  let state =
+    lazy
+      (let dev = Pmem.Device.create ~size:(1024 * 1024) () in
+       let table =
+         Palloc.Alloc_table.create dev ~table_base:0 ~heap_base:16384
+           ~heap_len:(1024 * 1024 - 16384)
+       in
+       let idx = ref 0 in
+       (dev, table, idx))
+  in
+  Test.make
+    ~name:
+      (Printf.sprintf "ablation:table-persist-%s"
+         (if batched then "batched" else "each"))
+    (Staged.stage (fun () ->
+         let dev, table, idx = Lazy.force state in
+         let nblocks = Palloc.Alloc_table.nblocks table in
+         if batched then begin
+           (* mark 16 blocks, one persist for the run of bytes *)
+           let start = !idx in
+           for _ = 1 to 16 do
+             Pmem.Device.write_u8 dev !idx 1;
+             idx := (!idx + 1) mod nblocks
+           done;
+           if start < !idx then Pmem.Device.persist dev start (!idx - start)
+           else Pmem.Device.persist dev 0 16
+         end
+         else
+           for _ = 1 to 16 do
+             Palloc.Alloc_table.mark table ~idx:!idx ~order:0;
+             idx := (!idx + 1) mod nblocks
+           done))
+
+(* Index-structure ablation: AVL (deep, narrow, 8-byte logs) vs B+tree
+   (shallow, wide, value moves) on the same keys — the classic PM
+   trade-off. *)
+let bench_index kind =
+  let state =
+    lazy
+      (let module P = Pool.Make () in
+       P.create ~config:small ~latency:Pmem.Latency.zero ();
+       ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
+       let key = ref 0 in
+       match kind with
+       | `Avl ->
+           let m = P.transaction (fun j -> Pmap.make ~vty:Ptype.int j) in
+           fun () ->
+             incr key;
+             P.transaction (fun j -> Pmap.add m ~key:!key !key j)
+       | `Btree ->
+           let t = P.transaction (fun j -> Pbtree.make ~vty:Ptype.int j) in
+           fun () ->
+             incr key;
+             P.transaction (fun j -> Pbtree.add t ~key:!key !key j))
+  in
+  Test.make
+    ~name:
+      (Printf.sprintf "ablation:index-%s"
+         (match kind with `Avl -> "avl" | `Btree -> "btree"))
+    (Staged.stage (fun () -> (Lazy.force state) ()))
+
+(* Hash-structure ablation: int keys with inline entries vs string keys
+   with owned key blocks. *)
+let bench_hash kind =
+  let state =
+    lazy
+      (let module P = Pool.Make () in
+       P.create ~config:small ~latency:Pmem.Latency.zero ();
+       ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
+       let key = ref 0 in
+       match kind with
+       | `Int ->
+           let h = P.transaction (fun j -> Phashtbl.make ~vty:Ptype.int j) in
+           fun () ->
+             incr key;
+             P.transaction (fun j -> Phashtbl.add h ~key:!key !key j)
+       | `Str ->
+           let h = P.transaction (fun j -> Pstrmap.make ~vty:Ptype.int j) in
+           fun () ->
+             incr key;
+             P.transaction (fun j ->
+                 Pstrmap.add h ~key:(string_of_int !key) !key j))
+  in
+  Test.make
+    ~name:
+      (Printf.sprintf "ablation:hash-%s"
+         (match kind with `Int -> "int-keys" | `Str -> "string-keys"))
+    (Staged.stage (fun () -> (Lazy.force state) ()))
+
+let tests =
+  Test.make_grouped ~name:"corundum"
+    ([
+       bench_table2;
+       bench_table3;
+       bench_table5_txnop;
+       bench_table5_datalog;
+       bench_table5_alloc_free;
+       bench_table5_atomic_init;
+       bench_fig2;
+       bench_ablation_dedup true;
+       bench_ablation_dedup false;
+       bench_ablation_flush true;
+       bench_ablation_flush false;
+       bench_ablation_table true;
+       bench_ablation_table false;
+     ]
+    @ bench_fig1_all
+    @ [
+        bench_typed_bst;
+        bench_index `Avl;
+        bench_index `Btree;
+        bench_hash `Int;
+        bench_hash `Str;
+      ])
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let () =
+  let results = benchmark () in
+  Printf.printf "%-40s %16s\n" "benchmark" "ns/run";
+  Printf.printf "%s\n" (String.make 58 '-');
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with Some [ t ] -> t | _ -> nan
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-40s %16.1f\n" name est)
+    (List.sort compare !rows)

@@ -1,0 +1,292 @@
+(* Reproduces Table 5: basic-operation latencies on the Optane and
+   battery-backed-DRAM latency models, measured on the device's simulated
+   clock (deterministic; see DESIGN.md).  Writes results/micro.csv.
+
+   Pool brands cannot escape their generative functor, so every
+   measurement builds its own pool and runs start to finish inside one
+   closure. *)
+
+open Corundum
+
+let config =
+  { Pool_impl.size = 96 * 1024 * 1024; nslots = 2; slot_size = 16 * 1024 * 1024 }
+
+let fresh latency : (module Pool.S) =
+  let module P = Pool.Make () in
+  P.create ~config ~latency ();
+  ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
+  (module P)
+
+let sim (module P : Pool.S) = Pmem.Device.simulated_ns (Pool_impl.device (P.impl ()))
+
+type measurement = { label : string; run : Pmem.Latency.t -> int -> float }
+
+(* Timing helper used inside each measurement's transaction. *)
+let timed pool n f =
+  let t0 = sim pool in
+  for i = 0 to n - 1 do
+    f i
+  done;
+  (sim pool -. t0) /. float_of_int n
+
+let deref =
+  { label = "Deref";
+    run = (fun latency n ->
+      let module P = (val fresh latency) in
+      let b = P.transaction (fun j -> Pbox.make ~ty:Ptype.int 1 j) in
+      timed (module P) n (fun _ -> ignore (Pbox.get b))) }
+
+let derefmut_first =
+  { label = "DerefMut (the 1st time)";
+    run = (fun latency n ->
+      let module P = (val fresh latency) in
+      let boxes =
+        P.transaction (fun j -> Array.init n (fun _ -> Pbox.make ~ty:Ptype.int 0 j))
+      in
+      P.transaction (fun j -> timed (module P) n (fun i -> Pbox.set boxes.(i) 7 j))) }
+
+let derefmut_rest =
+  { label = "DerefMut (not the 1st time)";
+    run = (fun latency n ->
+      let module P = (val fresh latency) in
+      let b = P.transaction (fun j -> Pbox.make ~ty:Ptype.int 0 j) in
+      P.transaction (fun j ->
+          Pbox.set b 1 j (* pay the first-touch log before timing *);
+          timed (module P) n (fun i -> Pbox.set b i j))) }
+
+let alloc_row label size count_of =
+  { label;
+    run = (fun latency n ->
+      let n = count_of n in
+      let module P = (val fresh latency) in
+      P.transaction (fun j ->
+          timed (module P) n (fun _ ->
+              ignore (Pool_impl.tx_alloc (Journal.tx j) size)))) }
+
+(* DropLog appends are nearly free; the durable frees happen when the
+   transaction commits, so Dealloc times the commit itself. *)
+let dealloc_row label size count_of =
+  { label;
+    run = (fun latency n ->
+      let n = count_of n in
+      let module P = (val fresh latency) in
+      let offs =
+        P.transaction (fun j ->
+            Array.init n (fun _ -> Pool_impl.tx_alloc (Journal.tx j) size))
+      in
+      let before_commit = ref 0.0 in
+      P.transaction (fun j ->
+          Array.iter (fun off -> Pool_impl.tx_free (Journal.tx j) off) offs;
+          before_commit := sim (module P));
+      (sim (module P) -. !before_commit) /. float_of_int n) }
+
+let droplog =
+  { label = "DropLog (8 B)";
+    run = (fun latency n ->
+      let module P = (val fresh latency) in
+      let offs =
+        P.transaction (fun j ->
+            Array.init n (fun _ -> Pool_impl.tx_alloc (Journal.tx j) 8))
+      in
+      let t = ref 0.0 in
+      P.transaction (fun j ->
+          t := timed (module P) n (fun i ->
+                   Pool_impl.tx_free (Journal.tx j) offs.(i)));
+      !t) }
+
+(* The constructor must be polymorphic in the pool brand. *)
+type maker = { make : 'p. 'p Journal.t -> unit }
+
+let atomic_init label m =
+  { label;
+    run = (fun latency n ->
+      let module P = (val fresh latency) in
+      P.transaction (fun j -> timed (module P) n (fun _ -> m.make j))) }
+
+let txnop =
+  { label = "TxNop";
+    run = (fun latency n ->
+      let module P = (val fresh latency) in
+      let t0 = sim (module P) in
+      for _ = 1 to n do
+        P.transaction (fun _ -> ())
+      done;
+      (sim (module P) -. t0) /. float_of_int n) }
+
+let datalog label size count_of =
+  { label;
+    run = (fun latency n ->
+      let n = count_of n in
+      let module P = (val fresh latency) in
+      let base =
+        P.transaction (fun j -> Pool_impl.tx_alloc (Journal.tx j) (n * size))
+      in
+      P.transaction (fun j ->
+          timed (module P) n (fun i ->
+              Pool_impl.tx_log (Journal.tx j) ~off:(base + (i * size)) ~len:size))) }
+
+let pbox_pclone =
+  { label = "Pbox::pclone (8 B)";
+    run = (fun latency n ->
+      let module P = (val fresh latency) in
+      let b = P.transaction (fun j -> Pbox.make ~ty:Ptype.int 1 j) in
+      P.transaction (fun j ->
+          timed (module P) n (fun _ -> ignore (Pbox.pclone b j)))) }
+
+(* Reference-count operations: build the subject in a committed
+   transaction, then time n repetitions. *)
+let rc_measurements =
+  [
+    { label = "Prc::pclone";
+      run = (fun latency n ->
+        let module P = (val fresh latency) in
+        let rc = P.transaction (fun j -> Prc.make ~ty:Ptype.int 1 j) in
+        P.transaction (fun j ->
+            timed (module P) n (fun _ -> ignore (Prc.pclone rc j)))) };
+    { label = "Parc::pclone";
+      run = (fun latency n ->
+        let module P = (val fresh latency) in
+        let rc = P.transaction (fun j -> Parc.make ~ty:Ptype.int 1 j) in
+        P.transaction (fun j ->
+            timed (module P) n (fun _ -> ignore (Parc.pclone rc j)))) };
+    { label = "Prc::downgrade";
+      run = (fun latency n ->
+        let module P = (val fresh latency) in
+        let rc = P.transaction (fun j -> Prc.make ~ty:Ptype.int 1 j) in
+        P.transaction (fun j ->
+            timed (module P) n (fun _ -> ignore (Prc.downgrade rc j)))) };
+    { label = "Parc::downgrade";
+      run = (fun latency n ->
+        let module P = (val fresh latency) in
+        let rc = P.transaction (fun j -> Parc.make ~ty:Ptype.int 1 j) in
+        P.transaction (fun j ->
+            timed (module P) n (fun _ -> ignore (Parc.downgrade rc j)))) };
+    { label = "Prc::PWeak::upgrade";
+      run = (fun latency n ->
+        let module P = (val fresh latency) in
+        let w =
+          P.transaction (fun j ->
+              let rc = Prc.make ~ty:Ptype.int 1 j in
+              Prc.downgrade rc j)
+        in
+        P.transaction (fun j ->
+            timed (module P) n (fun _ -> ignore (Prc.upgrade w j)))) };
+    { label = "Parc::PWeak::upgrade";
+      run = (fun latency n ->
+        let module P = (val fresh latency) in
+        let w =
+          P.transaction (fun j ->
+              let rc = Parc.make ~ty:Ptype.int 1 j in
+              Parc.downgrade rc j)
+        in
+        P.transaction (fun j ->
+            timed (module P) n (fun _ -> ignore (Parc.upgrade w j)))) };
+    { label = "Prc::demote";
+      run = (fun latency n ->
+        let module P = (val fresh latency) in
+        let rc = P.transaction (fun j -> Prc.make ~ty:Ptype.int 1 j) in
+        P.transaction (fun j ->
+            timed (module P) n (fun _ -> ignore (Prc.demote rc j)))) };
+    { label = "Parc::demote";
+      run = (fun latency n ->
+        let module P = (val fresh latency) in
+        let rc = P.transaction (fun j -> Parc.make ~ty:Ptype.int 1 j) in
+        P.transaction (fun j ->
+            timed (module P) n (fun _ -> ignore (Parc.demote rc j)))) };
+    { label = "Prc::VWeak::promote";
+      run = (fun latency n ->
+        let module P = (val fresh latency) in
+        let vw =
+          P.transaction (fun j ->
+              let rc = Prc.make ~ty:Ptype.int 1 j in
+              Prc.demote rc j)
+        in
+        P.transaction (fun j ->
+            timed (module P) n (fun _ -> ignore (Prc.promote vw j)))) };
+    { label = "Parc::VWeak::promote";
+      run = (fun latency n ->
+        let module P = (val fresh latency) in
+        let vw =
+          P.transaction (fun j ->
+              let rc = Parc.make ~ty:Ptype.int 1 j in
+              Parc.demote rc j)
+        in
+        P.transaction (fun j ->
+            timed (module P) n (fun _ -> ignore (Parc.promote vw j)))) };
+  ]
+
+let measurements =
+  [
+    deref;
+    derefmut_first;
+    derefmut_rest;
+    alloc_row "Alloc (8 B)" 8 (fun n -> n);
+    alloc_row "Alloc (256 B)" 256 (fun n -> n);
+    alloc_row "Alloc (4 kB)" 4096 (fun n -> min n 4000);
+    dealloc_row "Dealloc (8 B)" 8 (fun n -> n);
+    dealloc_row "Dealloc (256 B)" 256 (fun n -> n);
+    dealloc_row "Dealloc (4 kB)" 4096 (fun n -> min n 4000);
+    atomic_init "Pbox:AtomicInit (8 B)"
+      { make = (fun j -> ignore (Pbox.make ~ty:Ptype.int 1 j)) };
+    atomic_init "Prc:AtomicInit (8 B)"
+      { make = (fun j -> ignore (Prc.make ~ty:Ptype.int 1 j)) };
+    atomic_init "Parc:AtomicInit (8 B)"
+      { make = (fun j -> ignore (Parc.make ~ty:Ptype.int 1 j)) };
+    txnop;
+    datalog "DataLog (8 B)" 8 (fun n -> n);
+    datalog "DataLog (1 kB)" 1024 (fun n -> min n 8000);
+    datalog "DataLog (4 kB)" 4096 (fun n -> min n 3000);
+    droplog;
+    pbox_pclone;
+  ]
+  @ rc_measurements
+
+let run_all n csv_path =
+  let rows =
+    List.map
+      (fun m ->
+        let optane = m.run Pmem.Latency.optane n in
+        let dram = m.run Pmem.Latency.dram n in
+        (m.label, optane, dram))
+      measurements
+  in
+  Printf.printf "%-30s %12s %12s\n" "Operation" "Optane (ns)" "DRAM (ns)";
+  Printf.printf "%s\n" (String.make 56 '-');
+  List.iter
+    (fun (label, o, d) -> Printf.printf "%-30s %12.1f %12.1f\n" label o d)
+    rows;
+  (match csv_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc "operation,optane_ns,dram_ns\n";
+      List.iter
+        (fun (label, o, d) -> Printf.fprintf oc "%s,%.1f,%.1f\n" label o d)
+        rows;
+      close_out oc;
+      Printf.printf "\nwrote %s\n" path)
+
+open Cmdliner
+
+let n_arg =
+  Arg.(value & opt int 20000 & info [ "n" ] ~doc:"Operations per measurement.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) (Some "results/micro.csv")
+    & info [ "csv" ] ~doc:"CSV output path (or 'none').")
+
+let main n csv =
+  let csv = match csv with Some "none" -> None | x -> x in
+  (match csv with
+  | Some p -> ( try Unix.mkdir (Filename.dirname p) 0o755 with _ -> ())
+  | None -> ());
+  run_all n csv
+
+let cmd =
+  Cmd.v
+    (Cmd.info "micro" ~doc:"Reproduce Table 5 (basic-operation latency)")
+    Term.(const main $ n_arg $ csv_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,171 @@
+(* Reproduces Figure 1: execution time of BST (INS/CHK), KVStore
+   (PUT/GET) and B+Tree (INS/CHK/REM/RAND) across the five engines
+   (PMDK, Atlas, Mnemosyne, go-pmem, Corundum — same algorithms, different
+   logging strategies).  Time is the device's calibrated simulated clock,
+   so the comparison reflects PM traffic, not host noise.
+   Writes results/perf.csv. *)
+
+let ops = [ "BST:INS"; "BST:CHK"; "KV:PUT"; "KV:GET";
+            "BPT:INS"; "BPT:CHK"; "BPT:REM"; "BPT:RAND" ]
+
+let simulated pool = Pmem.Device.simulated_ns (Corundum.Pool_impl.device pool)
+
+(* One engine's full column: the structures persist across operations
+   (CHK runs on the tree INS built), mirroring the paper's runs. *)
+let run_engine (module E : Engines.Engine_sig.S) ~n ~size =
+  let module Bst = Workloads.Bst.Make (E) in
+  let module Kv = Workloads.Kvstore.Make (E) in
+  let module Bpt = Workloads.Bptree.Make (E) in
+  let results = ref [] in
+  let record label pool f =
+    let t0 = simulated pool in
+    f ();
+    results := (label, (simulated pool -. t0) /. 1e9) :: !results
+  in
+  let rng = Random.State.make [| 0xFEED |] in
+  let key _ = Int64.of_int (Random.State.int rng (4 * n)) in
+
+  (* BST *)
+  let bst = E.create ~size () in
+  record "BST:INS" (E.pool bst) (fun () ->
+      for i = 0 to n - 1 do
+        Bst.insert bst (key i)
+      done);
+  record "BST:CHK" (E.pool bst) (fun () ->
+      for i = 0 to n - 1 do
+        ignore (Bst.mem bst (key i))
+      done);
+
+  (* KVStore *)
+  let kve = E.create ~size () in
+  let kv = Kv.create kve in
+  record "KV:PUT" (E.pool kve) (fun () ->
+      for i = 0 to n - 1 do
+        Kv.put kv (key i) (Int64.of_int i)
+      done);
+  record "KV:GET" (E.pool kve) (fun () ->
+      for i = 0 to n - 1 do
+        ignore (Kv.get kv (key i))
+      done);
+
+  (* B+Tree *)
+  let bpt = E.create ~size () in
+  record "BPT:INS" (E.pool bpt) (fun () ->
+      for i = 0 to n - 1 do
+        Bpt.insert bpt (key i) (Int64.of_int i)
+      done);
+  record "BPT:CHK" (E.pool bpt) (fun () ->
+      for i = 0 to n - 1 do
+        ignore (Bpt.find bpt (key i))
+      done);
+  record "BPT:REM" (E.pool bpt) (fun () ->
+      for i = 0 to n - 1 do
+        ignore (Bpt.remove bpt (key i))
+      done);
+  record "BPT:RAND" (E.pool bpt) (fun () ->
+      for i = 0 to n - 1 do
+        let k = key i in
+        match Random.State.int rng 10 with
+        | 0 | 1 | 2 -> ignore (Bpt.remove bpt k)
+        | 3 | 4 | 5 | 6 -> Bpt.insert bpt k (Int64.of_int i)
+        | _ -> ignore (Bpt.find bpt k)
+      done);
+  List.rev !results
+
+let run_all ~n ~size ~only csv_path =
+  let selected =
+    match only with
+    | [] -> Engines.Registry.all
+    | names ->
+        List.filter (fun (n, _) -> List.mem n names) Engines.Registry.all
+  in
+  if selected = [] then begin
+    Printf.eprintf "no matching engines; known: %s\n"
+      (String.concat ", " (List.map fst Engines.Registry.all));
+    exit 2
+  end;
+  let columns =
+    List.map (fun (name, e) -> (name, run_engine e ~n ~size)) selected
+  in
+  Printf.printf "Simulated execution time (s), %d ops per cell\n\n" n;
+  Printf.printf "%-10s" "op";
+  List.iter (fun (name, _) -> Printf.printf " %12s" name) columns;
+  Printf.printf "\n%s\n" (String.make (10 + (13 * List.length columns)) '-');
+  List.iter
+    (fun op ->
+      Printf.printf "%-10s" op;
+      List.iter
+        (fun (_, cells) -> Printf.printf " %12.3f" (List.assoc op cells))
+        columns;
+      print_newline ())
+    ops;
+  (* Normalized view: how much slower than Corundum (the paper's bars). *)
+  Option.iter
+    (fun corundum ->
+      Printf.printf "\nRelative to corundum (x)\n%-10s" "op";
+      List.iter (fun (name, _) -> Printf.printf " %12s" name) columns;
+      Printf.printf "\n";
+      List.iter
+        (fun op ->
+          Printf.printf "%-10s" op;
+          let base = List.assoc op corundum in
+          List.iter
+            (fun (_, cells) ->
+              Printf.printf " %12.2f" (List.assoc op cells /. base))
+            columns;
+          print_newline ())
+        ops)
+    (List.assoc_opt "corundum" columns);
+  match csv_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc "op,%s\n" (String.concat "," (List.map fst columns));
+      List.iter
+        (fun op ->
+          Printf.fprintf oc "%s,%s\n" op
+            (String.concat ","
+               (List.map
+                  (fun (_, cells) ->
+                    Printf.sprintf "%.4f" (List.assoc op cells))
+                  columns)))
+        ops;
+      close_out oc;
+      Printf.printf "\nwrote %s\n" path
+
+open Cmdliner
+
+let n_arg =
+  Arg.(value & opt int 100_000 & info [ "n" ] ~doc:"Operations per cell.")
+
+let size_arg =
+  Arg.(
+    value
+    & opt int (128 * 1024 * 1024)
+    & info [ "size" ] ~doc:"Pool size in bytes.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) (Some "results/perf.csv")
+    & info [ "csv" ] ~doc:"CSV output path (or 'none').")
+
+let only_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"ENGINE" ~doc:"Restrict to the named engines.")
+
+let main n size csv only =
+  let csv = match csv with Some "none" -> None | x -> x in
+  (match csv with
+  | Some p -> ( try Unix.mkdir (Filename.dirname p) 0o755 with _ -> ())
+  | None -> ());
+  run_all ~n ~size ~only csv
+
+let cmd =
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:"Reproduce Figure 1 (engine comparison on BST/KVStore/B+Tree)")
+    Term.(const main $ n_arg $ size_arg $ csv_arg $ only_arg)
+
+let () = exit (Cmd.eval cmd)

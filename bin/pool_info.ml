@@ -1,0 +1,39 @@
+(* Inspect a pool image without opening it: layout, root, journal slot
+   states, heap occupancy — and, with --check, a full consistency fsck
+   (header, journals, allocation table, heap tiling, root).  Read-only —
+   safe on a crash image before recovery has run.
+
+     dune exec bin/pool_info.exe -- quickstart.pool
+     dune exec bin/pool_info.exe -- --check quickstart.pool *)
+
+open Cmdliner
+
+let run check path =
+  match Pmem.Device.load path with
+  | dev ->
+      let info = Corundum.Pool_inspect.inspect_device dev in
+      Format.printf "%a" Corundum.Pool_inspect.pp info;
+      if not info.Corundum.Pool_inspect.magic_ok then exit 1;
+      if check then begin
+        let r = Corundum.Pool_check.check_device dev in
+        Format.printf "%a" Corundum.Pool_check.pp r;
+        if not (Corundum.Pool_check.ok r) then exit 1
+      end
+  | exception Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | exception Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+let check_arg =
+  Arg.(value & flag & info [ "check" ] ~doc:"Run the full consistency check.")
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"POOL" ~doc:"Pool image file.")
+
+let cmd =
+  Cmd.v (Cmd.info "pool_info" ~doc:"Inspect a Corundum pool image (read-only)")
+    Term.(const run $ check_arg $ path_arg)
+
+let () = exit (Cmd.eval cmd)

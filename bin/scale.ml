@@ -1,0 +1,105 @@
+(* Reproduces Figure 2: wordcount speedup over the sequential baseline
+   for producer:consumer configurations 1:1 .. 1:15.
+
+   Two modes:
+   - measured: wall-clock of the real multi-domain implementation
+     (meaningful only on a many-core host, like the paper's 48-core
+     testbed);
+   - modeled (default on small hosts): primitive costs (push, pop, count)
+     are measured from the real implementation, and the timeline is
+     replayed by the discrete-event schedule in [Workloads.Wordcount],
+     with the stack lock as the serializing resource.
+
+   Writes results/scale.csv. *)
+
+module W = Workloads.Wordcount
+
+let run ~segments ~words ~max_consumers ~mode csv_path =
+  let corpus =
+    W.generate_corpus ~segments ~words_per_segment:words ~seed:42 ()
+  in
+  let cores = Domain.recommended_domain_count () in
+  let mode =
+    match mode with
+    | `Auto -> if cores >= max_consumers + 2 then `Measured else `Modeled
+    | m -> m
+  in
+  Printf.printf "wordcount: %d segments x %d words, %d cores, %s mode\n\n"
+    segments words cores
+    (match mode with `Measured -> "measured" | `Modeled -> "modeled" | `Auto -> "auto");
+  let rows =
+    match mode with
+    | `Measured | `Auto ->
+        let seq = W.run_seq ~corpus () in
+        let base = seq.W.seconds in
+        ("seq", base, 1.0)
+        :: List.init max_consumers (fun i ->
+               let c = i + 1 in
+               let r = W.run ~producers:1 ~consumers:c ~corpus () in
+               if r.W.total_words <> seq.W.total_words then
+                 Printf.eprintf "WARNING: 1:%d lost words\n" c;
+               (Printf.sprintf "1:%d" c, r.W.seconds, base /. r.W.seconds))
+    | `Modeled ->
+        let model = W.measure_costs ~corpus () in
+        Printf.printf
+          "measured costs: push %.2f us, pop %.2f us, count %.2f us/segment\n\n"
+          (model.W.t_push *. 1e6) (model.W.t_pop *. 1e6)
+          (model.W.t_count *. 1e6);
+        let base = W.sequential_time model ~segments in
+        ("seq", base, 1.0)
+        :: List.init max_consumers (fun i ->
+               let c = i + 1 in
+               let t = W.simulate model ~segments ~consumers:c in
+               (Printf.sprintf "1:%d" c, t, base /. t))
+  in
+  Printf.printf "%-8s %12s %10s\n" "p:c" "time (s)" "speedup";
+  List.iter
+    (fun (cfg, t, sp) -> Printf.printf "%-8s %12.4f %10.2f\n" cfg t sp)
+    rows;
+  match csv_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc "config,seconds,speedup\n";
+      List.iter
+        (fun (c, s, sp) -> Printf.fprintf oc "%s,%.5f,%.3f\n" c s sp)
+        rows;
+      close_out oc;
+      Printf.printf "\nwrote %s\n" path
+
+open Cmdliner
+
+let segments_arg =
+  Arg.(value & opt int 2000 & info [ "segments" ] ~doc:"Corpus segments.")
+
+let words_arg =
+  Arg.(value & opt int 400 & info [ "words" ] ~doc:"Words per segment.")
+
+let consumers_arg =
+  Arg.(value & opt int 15 & info [ "max-consumers" ] ~doc:"Largest 1:c point.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("auto", `Auto); ("measured", `Measured); ("modeled", `Modeled) ]) `Auto
+    & info [ "mode" ] ~doc:"auto, measured (wall clock) or modeled (DES).")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) (Some "results/scale.csv")
+    & info [ "csv" ] ~doc:"CSV output path (or 'none').")
+
+let main segments words consumers mode csv =
+  let csv = match csv with Some "none" -> None | x -> x in
+  (match csv with
+  | Some p -> ( try Unix.mkdir (Filename.dirname p) 0o755 with _ -> ())
+  | None -> ());
+  run ~segments ~words ~max_consumers:consumers ~mode csv
+
+let cmd =
+  Cmd.v
+    (Cmd.info "scale" ~doc:"Reproduce Figure 2 (wordcount scalability)")
+    Term.(const main $ segments_arg $ words_arg $ consumers_arg $ mode_arg $ csv_arg)
+
+let () = exit (Cmd.eval cmd)

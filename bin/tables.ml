@@ -1,0 +1,76 @@
+(* Reproduces Table 2 (static-check matrix) and Table 3 (lines of code
+   added for persistence).  Writes results/table2.csv / table3.csv. *)
+
+let ensure_results () = (try Unix.mkdir "results" 0o755 with _ -> ())
+
+let table2 csv =
+  print_endline
+    "Table 2: enforcement of Corundum's design goals across PM libraries";
+  print_endline
+    "(S=static, D=dynamic, M=manual, GC=garbage collection, RC=refcount)\n";
+  Evaldata.Checks_matrix.render Format.std_formatter ();
+  if csv then begin
+    ensure_results ();
+    let oc = open_out "results/table2.csv" in
+    output_string oc (Evaldata.Checks_matrix.to_csv ());
+    close_out oc;
+    print_endline "\nwrote results/table2.csv"
+  end
+
+let table4 csv =
+  print_endline "Table 4: the microbenchmark workloads\n";
+  Evaldata.Workload_table.render Format.std_formatter ();
+  if csv then begin
+    ensure_results ();
+    let oc = open_out "results/table4.csv" in
+    output_string oc (Evaldata.Workload_table.to_csv ());
+    close_out oc;
+    print_endline "wrote results/table4.csv"
+  end
+
+let table3 csv =
+  print_endline "Table 3: lines of code to add persistence\n";
+  match Evaldata.Loc_count.measure () with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | Ok ms ->
+      Evaldata.Loc_count.render Format.std_formatter ms;
+      if csv then begin
+        ensure_results ();
+        let oc = open_out "results/table3.csv" in
+        output_string oc (Evaldata.Loc_count.to_csv ms);
+        close_out oc;
+        print_endline "\nwrote results/table3.csv"
+      end
+
+open Cmdliner
+
+let which_arg =
+  Arg.(
+    value
+    & pos 0
+        (enum [ ("table2", `T2); ("table3", `T3); ("table4", `T4); ("all", `All) ])
+        `All
+    & info [] ~docv:"TABLE" ~doc:"Which table: table2, table3 or all.")
+
+let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Also write CSV files.")
+
+let main which csv =
+  match which with
+  | `T2 -> table2 csv
+  | `T3 -> table3 csv
+  | `T4 -> table4 csv
+  | `All ->
+      table2 csv;
+      print_newline ();
+      table3 csv;
+      print_newline ();
+      table4 csv
+
+let cmd =
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Reproduce Tables 2, 3 and 4 of the paper")
+    Term.(const main $ which_arg $ csv_arg)
+
+let () = exit (Cmd.eval cmd)

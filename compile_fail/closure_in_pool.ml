@@ -1,0 +1,17 @@
+(* A closure captures volatile state (here a mutable counter); after a
+   restart it would be meaningless.  No descriptor for arrow types
+   exists, so it cannot be persisted. *)
+
+open Corundum
+module P = Pool.Make ()
+
+let () =
+  P.create ();
+  let hits = ref 0 in
+  let callback () = incr hits in
+  P.transaction (fun j ->
+      (* ERROR: no (unit -> unit, _) Ptype.t exists *)
+      let (_ : (unit -> unit, P.brand) Pbox.t) =
+        Pbox.make ~ty:Ptype.unit callback j
+      in
+      ())

@@ -1,0 +1,12 @@
+(* CONTROL: this snippet must COMPILE.  If it does not, the compile-fail
+   harness's include paths are broken and the other snippets' rejections
+   prove nothing. *)
+
+open Corundum
+module P = Pool.Make ()
+
+let () =
+  P.create ();
+  let b = P.transaction (fun j -> Pbox.make ~ty:Ptype.int 1 j) in
+  P.transaction (fun j -> Pbox.set b 2 j);
+  assert (Pbox.get b = 2)

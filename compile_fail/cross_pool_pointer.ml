@@ -1,0 +1,18 @@
+(* Paper Listing 4: a pointer created in pool P1 must not be storable in
+   pool P2.  Here a P1-branded box is stored through a P2-branded cell
+   type; the brands cannot unify. *)
+
+open Corundum
+module P1 = Pool.Make ()
+module P2 = Pool.Make ()
+
+let () =
+  P1.create ();
+  P2.create ();
+  let p1_box = P1.transaction (fun j1 -> Pbox.make ~ty:Ptype.int 1 j1) in
+  P2.transaction (fun j2 ->
+      (* ERROR: P1.brand is not P2.brand *)
+      let (_ : ((int, P2.brand) Pbox.t option, P2.brand) Pbox.t) =
+        Pbox.make ~ty:(Ptype.option (Pbox.ptype Ptype.int)) (Some p1_box) j2
+      in
+      ())

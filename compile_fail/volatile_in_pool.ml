@@ -1,0 +1,14 @@
+(* Paper Listing 3: only persistent-safe objects may enter a pool.  A
+   volatile ref cell has no Ptype witness, so there is no way to give
+   Pbox.make a descriptor for it. *)
+
+open Corundum
+module P = Pool.Make ()
+
+let () =
+  P.create ();
+  let volatile = ref 10 in
+  P.transaction (fun j ->
+      (* ERROR: int ref is not int; no (int ref, _) Ptype.t exists *)
+      let (_ : (int ref, P.brand) Pbox.t) = Pbox.make ~ty:Ptype.int volatile j in
+      ())

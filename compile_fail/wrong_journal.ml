@@ -1,0 +1,14 @@
+(* Transactions are bound to their pool: inside nested transactions on
+   two pools, P1's journal cannot authorize a mutation of P2's state. *)
+
+open Corundum
+module P1 = Pool.Make ()
+module P2 = Pool.Make ()
+
+let () =
+  P1.create ();
+  P2.create ();
+  let b2 = P2.transaction (fun j2 -> Pbox.make ~ty:Ptype.int 7 j2) in
+  P1.transaction (fun j1 ->
+      (* ERROR: expected P2.brand Journal.t, found P1.brand Journal.t *)
+      Pbox.set b2 8 j1)

@@ -1,0 +1,66 @@
+(* A persistent job queue: jobs survive restarts, and a job is removed
+   from the queue in the same transaction that records its result — so a
+   crash can never lose a job or run it twice (exactly-once bookkeeping).
+
+     dune exec examples/job_queue.exe -- submit "build the docs"
+     dune exec examples/job_queue.exe -- submit "run the benchmarks"
+     dune exec examples/job_queue.exe -- work        # process one job
+     dune exec examples/job_queue.exe -- status *)
+
+open Corundum
+module P = Pool.Make ()
+
+(* jobs are strings; results pair the job with its (string) outcome *)
+let queue_ty = Pqueue.ptype (Pstring.ptype ())
+let results_ty = Pvec.ptype (Ptype.pair (Pstring.ptype ()) (Pstring.ptype ()))
+let root_ty = Ptype.pair (Pbox.ptype queue_ty) (Pbox.ptype results_ty)
+
+let open_root () =
+  P.load_or_create "jobs.pool";
+  P.root ~ty:root_ty
+    ~init:(fun j ->
+      ( Pbox.make ~ty:queue_ty (Pqueue.make ~ty:(Pstring.ptype ()) j) j,
+        Pbox.make ~ty:results_ty
+          (Pvec.make ~ty:(Ptype.pair (Pstring.ptype ()) (Pstring.ptype ())) j)
+          j ))
+    ()
+
+let perform job =
+  (* stand-in for real work *)
+  Printf.sprintf "done (%d characters of instructions)" (String.length job)
+
+let () =
+  let root = open_root () in
+  let queue_box, results_box = Pbox.get root in
+  let queue = Pbox.get queue_box and results = Pbox.get results_box in
+  (match Array.to_list Sys.argv with
+  | [ _; "submit"; job ] ->
+      P.transaction (fun j -> Pqueue.push queue (Pstring.make job j) j);
+      Printf.printf "queued: %s\n" job
+  | [ _; "work" ] -> (
+      (* Take the job and record its result atomically: if we crash
+         mid-way the job stays queued; afterwards it is done exactly
+         once. *)
+      let outcome =
+        P.transaction (fun j ->
+            match Pqueue.pop queue j with
+            | None -> None
+            | Some ps ->
+                let job = Pstring.get ps in
+                let result = perform job in
+                Pvec.push results (ps, Pstring.make result j) j;
+                Some (job, result))
+      in
+      match outcome with
+      | Some (job, result) -> Printf.printf "worked: %s -> %s\n" job result
+      | None -> print_endline "(queue empty)")
+  | [ _; "status" ] ->
+      Printf.printf "pending (%d):\n" (Pqueue.length queue);
+      Pqueue.iter queue (fun ps -> Printf.printf "  - %s\n" (Pstring.get ps));
+      Printf.printf "completed (%d):\n" (Pvec.length results);
+      Pvec.iter results (fun (jps, rps) ->
+          Printf.printf "  * %s: %s\n" (Pstring.get jps) (Pstring.get rps))
+  | _ ->
+      prerr_endline "usage: job_queue (submit JOB | work | status)";
+      exit 2);
+  P.close ()

@@ -1,0 +1,103 @@
+(* Shared persistent objects with reference counting, weak references and
+   volatile weak pointers — the Prc/PWeak/VWeak API tour.
+
+   A catalog owns books through strong Prc references; a "recently
+   viewed" list holds persistent weak references (they must not keep
+   discarded books alive); and a volatile cache holds VWeak pointers,
+   the only legal pointer from volatile memory into the pool — promote()
+   tells us safely whether the book still exists.
+
+     dune exec examples/library_catalog.exe *)
+
+open Corundum
+module P = Pool.Make ()
+
+type book = { title : P.brand Pstring.t; year : int }
+
+let book_ty =
+  Ptype.record2 ~name:"book"
+    ~inj:(fun title year -> { title; year })
+    ~proj:(fun b -> (b.title, b.year))
+    (Pstring.ptype ()) Ptype.int
+
+let shelf_ty = Pvec.ptype (Prc.ptype book_ty)
+let recent_ty = Pvec.ptype (Prc.weak_ptype book_ty)
+let root_ty = Ptype.pair (Pbox.ptype shelf_ty) (Pbox.ptype recent_ty)
+
+let () =
+  P.create ~config:{ Pool_impl.size = 4 * 1024 * 1024; nslots = 2; slot_size = 64 * 1024 } ();
+  let root =
+    P.root ~ty:root_ty
+      ~init:(fun j ->
+        ( Pbox.make ~ty:shelf_ty (Pvec.make ~ty:(Prc.ptype book_ty) j) j,
+          Pbox.make ~ty:recent_ty (Pvec.make ~ty:(Prc.weak_ptype book_ty) j) j ))
+      ()
+  in
+  let shelf_box, recent_box = Pbox.get root in
+  let shelf = Pbox.get shelf_box and recent = Pbox.get recent_box in
+
+  (* Stock the shelf; mark two books as recently viewed (weak refs). *)
+  let volatile_cache =
+    P.transaction (fun j ->
+        let add title year =
+          let b =
+            Prc.make ~ty:book_ty { title = Pstring.make title j; year } j
+          in
+          Pvec.push shelf (Prc.pclone b j) j;
+          (* the shelf owns it *)
+          let b' = b in
+          Prc.drop b' j;
+          Pvec.get shelf (Pvec.length shelf - 1)
+        in
+        let ocaml = add "Real World OCaml" 2013 in
+        let rust = add "The Rust Programming Language" 2019 in
+        let _ = add "The Art of Multiprocessor Programming" 2008 in
+        Pvec.push recent (Prc.downgrade ocaml j) j;
+        Pvec.push recent (Prc.downgrade rust j) j;
+        (* volatile cache: VWeak is the only legal volatile->PM pointer *)
+        [ Prc.demote ocaml j; Prc.demote rust j ])
+  in
+
+  Printf.printf "shelf:\n";
+  Pvec.iter shelf (fun rc ->
+      let b = Prc.get rc in
+      Printf.printf "  %-40s (%d)  strong=%d weak=%d\n"
+        (Pstring.get b.title) b.year (Prc.strong_count rc) (Prc.weak_count rc));
+
+  (* Discard one book: the shelf's strong ref goes away; the weak refs
+     and the volatile cache must observe the death, not resurrect it. *)
+  P.transaction (fun j ->
+      match Pvec.pop shelf j with
+      | Some rc ->
+          Printf.printf "\ndiscarding: %s\n" (Pstring.get (Prc.get rc).title);
+          Prc.drop rc j
+      | None -> assert false);
+
+  P.transaction (fun j ->
+      Printf.printf "\nrecently viewed (via PWeak.upgrade):\n";
+      Pvec.iter recent (fun w ->
+          match Prc.upgrade w j with
+          | Some rc ->
+              Printf.printf "  alive: %s\n" (Pstring.get (Prc.get rc).title);
+              Prc.drop rc j
+          | None -> Printf.printf "  (a book is gone)\n");
+      Printf.printf "\nvolatile cache (via VWeak.promote):\n";
+      List.iter
+        (fun vw ->
+          match Prc.promote vw j with
+          | Some rc ->
+              Printf.printf "  alive: %s\n" (Pstring.get (Prc.get rc).title);
+              Prc.drop rc j
+          | None -> Printf.printf "  (cache entry points to a dead book)\n")
+        volatile_cache);
+
+  (* After a crash+reopen, the volatile cache is stale by construction:
+     promote refuses it rather than dereferencing a dangling pointer. *)
+  P.crash_and_reopen ();
+  P.transaction (fun j ->
+      List.iter
+        (fun vw ->
+          match Prc.promote vw j with
+          | Some _ -> Printf.printf "BUG: promote crossed a pool instance!\n"
+          | None -> Printf.printf "after reopen: cache entry safely invalid\n")
+        volatile_cache)

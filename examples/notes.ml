@@ -1,0 +1,94 @@
+(* A persistent notes application — the "many modules together" showcase:
+   note bodies in Pbytes (editable blobs), an id index in Pmap (ordered
+   listing), and an append-only Plog audit trail, all under one root and
+   all crash-atomic per command.
+
+     dune exec examples/notes.exe -- add "buy milk"
+     dune exec examples/notes.exe -- add "write the paper"
+     dune exec examples/notes.exe -- append 1 " and bread"
+     dune exec examples/notes.exe -- list
+     dune exec examples/notes.exe -- del 2
+     dune exec examples/notes.exe -- history *)
+
+open Corundum
+module P = Pool.Make ()
+
+type root = {
+  next_id : (int, P.brand) Pcell.t;
+  notes : (P.brand Pbytes.t, P.brand) Pmap.t;
+  audit : P.brand Plog.t;
+}
+
+let root_ty =
+  Ptype.record3 ~name:"notes-root"
+    ~inj:(fun next_id notes audit -> { next_id; notes; audit })
+    ~proj:(fun r -> (r.next_id, r.notes, r.audit))
+    (Pcell.ptype Ptype.int)
+    (Pmap.ptype (Pbytes.ptype ()))
+    (Plog.ptype ())
+
+let open_root () =
+  P.load_or_create "notes.pool";
+  Pbox.get
+    (P.root ~ty:root_ty
+       ~init:(fun j ->
+         {
+           next_id = Pcell.make ~ty:Ptype.int 1;
+           notes = Pmap.make ~vty:(Pbytes.ptype ()) j;
+           audit = Plog.make j;
+         })
+       ())
+
+let log r fmt =
+  Printf.ksprintf
+    (fun line j -> Plog.append r.audit line j)
+    fmt
+
+let () =
+  let r = open_root () in
+  (match Array.to_list Sys.argv with
+  | [ _; "add"; text ] ->
+      let id =
+        P.transaction (fun j ->
+            let id = Pcell.get r.next_id in
+            Pcell.set r.next_id (id + 1) j;
+            Pmap.add r.notes ~key:id (Pbytes.of_string text j) j;
+            log r "add #%d" id j;
+            id)
+      in
+      Printf.printf "added note #%d\n" id
+  | [ _; "append"; id; text ] ->
+      let id = int_of_string id in
+      let found =
+        P.transaction (fun j ->
+            match Pmap.find r.notes id with
+            | Some body ->
+                Pbytes.append body text j;
+                log r "append #%d (%d bytes)" id (String.length text) j;
+                true
+            | None -> false)
+      in
+      if not found then begin
+        Printf.eprintf "no note #%d\n" id;
+        exit 1
+      end
+  | [ _; "del"; id ] ->
+      let id = int_of_string id in
+      let found =
+        P.transaction (fun j ->
+            let was = Pmap.remove r.notes id j in
+            if was then log r "del #%d" id j;
+            was)
+      in
+      if not found then begin
+        Printf.eprintf "no note #%d\n" id;
+        exit 1
+      end
+  | [ _; "list" ] ->
+      Pmap.iter r.notes (fun id body ->
+          Printf.printf "#%-3d %s\n" id (Pbytes.to_string body))
+  | [ _; "history" ] -> Plog.iter r.audit print_endline
+  | _ ->
+      prerr_endline "usage: notes (add TEXT | append ID TEXT | del ID | list | history)";
+      exit 2);
+  P.close ()

@@ -1,0 +1,66 @@
+(* Quickstart: the paper's Listing 1 — a persistent linked list.
+
+   A Node holds an integer and a link to the next node; the link is a
+   PRefCell<Option<Pbox<Node>>> bound to pool P.  append() recursively
+   finds the end of the list and adds a node, all inside one transaction.
+
+   Run it twice:
+
+     dune exec examples/quickstart.exe -- 7
+     dune exec examples/quickstart.exe -- 9
+
+   The second run finds the list the first run left behind in
+   quickstart.pool and appends to it. *)
+
+open Corundum
+module P = Pool.Make ()
+
+(* struct Node { val: i32, next: PRefCell<Option<Pbox<Node,P>>,P> } *)
+type node = {
+  value : int;
+  next : ((node, P.brand) Pbox.t option, P.brand) Prefcell.t;
+}
+
+let rec node_ty_l : (node, P.brand) Ptype.t Lazy.t =
+  lazy
+    (Ptype.record2 ~name:"node"
+       ~inj:(fun value next -> { value; next })
+       ~proj:(fun n -> (n.value, n.next))
+       Ptype.int
+       (Prefcell.ptype (Ptype.option (Pbox.ptype_rec node_ty_l))))
+
+let node_ty = Lazy.force node_ty_l
+let link_ty = Ptype.option (Pbox.ptype_rec node_ty_l)
+
+(* fn append(n: &Node, v: i32, j: &Journal<P>) — Listing 1, lines 6-16 *)
+let rec append n v j =
+  match Prefcell.borrow n.next with
+  | Some succ -> append (Pbox.get succ) v j
+  | None ->
+      let node =
+        Pbox.make ~ty:node_ty
+          { value = v; next = Prefcell.make ~ty:link_ty None }
+          j
+      in
+      Prefcell.set n.next (Some node) j
+
+let rec to_list n =
+  n.value
+  ::
+  (match Prefcell.borrow n.next with
+  | None -> []
+  | Some b -> to_list (Pbox.get b))
+
+(* fn go(v: i32) — Listing 1, lines 17-22 *)
+let () =
+  let v = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 42 in
+  P.load_or_create "quickstart.pool";
+  let head =
+    P.root ~ty:node_ty
+      ~init:(fun _ -> { value = 0; next = Prefcell.make ~ty:link_ty None })
+      ()
+  in
+  P.transaction (fun j -> append (Pbox.get head) v j);
+  Printf.printf "list.pool now holds: %s\n"
+    (String.concat " -> " (List.map string_of_int (to_list (Pbox.get head))));
+  P.close ()

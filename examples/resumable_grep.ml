@@ -1,0 +1,100 @@
+(* Crash-resumable batch processing — the paper's "grep" MapReduce
+   workload with the property persistent memory exists for: a long job
+   whose progress survives power failures and resumes where it stopped,
+   never double-counting and never losing a processed segment.
+
+   Each segment is processed in one transaction that records its result
+   and marks it done atomically.  The demo injects a power failure
+   mid-job, recovers, resumes, and shows the result equals a crash-free
+   run.
+
+     dune exec examples/resumable_grep.exe *)
+
+open Corundum
+module P = Pool.Make ()
+
+let pattern = "w7"
+
+(* state: the segments and one result slot per segment (-1 = pending) *)
+let root_ty =
+  Ptype.pair (Pvec.ptype (Pstring.ptype ())) (Pvec.ptype Ptype.int)
+
+let count_matches ~pattern text =
+  let n = String.length text and m = String.length pattern in
+  let hits = ref 0 in
+  for i = 0 to n - m do
+    if String.sub text i m = pattern then incr hits
+  done;
+  !hits
+
+let fetch_root corpus () =
+  P.root ~ty:root_ty
+    ~init:(fun j ->
+      let segs = Pvec.make ~ty:(Pstring.ptype ()) j in
+      let results = Pvec.make ~ty:Ptype.int j in
+      List.iter
+        (fun s ->
+          Pvec.push segs (Pstring.make s j) j;
+          Pvec.push results (-1) j)
+        corpus;
+      (segs, results))
+    ()
+
+(* Process every pending segment; one transaction per segment makes each
+   step failure-atomic. *)
+let process corpus =
+  let segs, results = Pbox.get (fetch_root corpus ()) in
+  let processed = ref 0 in
+  for i = 0 to Pvec.length segs - 1 do
+    if Pvec.get results i = -1 then begin
+      P.transaction (fun j ->
+          let text = Pstring.get (Pvec.get segs i) in
+          Pvec.set results i (count_matches ~pattern text) j);
+      incr processed
+    end
+  done;
+  !processed
+
+let total corpus =
+  let _, results = Pbox.get (fetch_root corpus ()) in
+  Pvec.fold results ~init:0 ~f:(fun a r -> if r >= 0 then a + r else a)
+
+let pending corpus =
+  let _, results = Pbox.get (fetch_root corpus ()) in
+  Pvec.fold results ~init:0 ~f:(fun a r -> if r = -1 then a + 1 else a)
+
+let () =
+  let corpus =
+    Workloads.Wordcount.generate_corpus ~vocabulary:40 ~segments:60
+      ~words_per_segment:200 ~seed:11 ()
+  in
+  P.create ();
+  ignore (fetch_root corpus ());
+  Printf.printf "job: count \"%s\" in %d segments\n" pattern
+    (List.length corpus);
+
+  (* First attempt: the power fails somewhere in the middle. *)
+  let dev = Pool_impl.device (P.impl ()) in
+  Pmem.Device.set_crash_countdown dev 400;
+  (match process corpus with
+  | n -> Printf.printf "first run finished all %d segments?!\n" n
+  | exception Pmem.Device.Crashed ->
+      Printf.printf "*** power failure mid-job ***\n");
+  P.crash_and_reopen ();
+  Printf.printf "after recovery: %d segments still pending\n" (pending corpus);
+
+  (* Resume: only the pending segments are processed. *)
+  let resumed = process corpus in
+  Printf.printf "resumed run processed %d remaining segments\n" resumed;
+  let got = total corpus in
+
+  (* Compare with an uninterrupted run on fresh state. *)
+  let expected =
+    List.fold_left (fun a s -> a + count_matches ~pattern s) 0 corpus
+  in
+  Printf.printf "matches: %d (crash-free reference: %d)\n" got expected;
+  if got <> expected then begin
+    print_endline "MISMATCH: the job lost or double-counted work!";
+    exit 1
+  end;
+  print_endline "resume was exact: nothing lost, nothing double-counted."

@@ -1,0 +1,70 @@
+(* Working with several pools at once — the paper's Listing 4 territory.
+
+   Two pools are open simultaneously (a "catalog" and an "archive").
+   Data can move between them only BY VALUE, inside nested transactions;
+   storing a pointer from one pool inside the other does not type-check
+   (see compile_fail/cross_pool_pointer.ml for the rejected program).
+
+     dune exec examples/two_pools.exe *)
+
+open Corundum
+module Catalog = Pool.Make ()
+module Archive = Pool.Make ()
+
+(* the same item shape in both pools, each branded for its own pool *)
+let item_ty (type p) () :
+    ((int * p Pstring.t), p) Ptype.t =
+  Ptype.pair Ptype.int (Pstring.ptype ())
+
+let () =
+  Catalog.create ();
+  Archive.create ();
+
+  let catalog =
+    Catalog.root
+      ~ty:(Pvec.ptype (item_ty ()))
+      ~init:(fun j -> Pvec.make ~ty:(item_ty ()) j)
+      ()
+  in
+  let archive =
+    Archive.root
+      ~ty:(Pvec.ptype (item_ty ()))
+      ~init:(fun j -> Pvec.make ~ty:(item_ty ()) j)
+      ()
+  in
+
+  (* stock the catalog *)
+  Catalog.transaction (fun j ->
+      let v = Pbox.get catalog in
+      Pvec.push v (1, Pstring.make "keyboard" j) j;
+      Pvec.push v (2, Pstring.make "trackball" j) j;
+      Pvec.push v (3, Pstring.make "crt monitor" j) j);
+
+  (* Archive item 3: nested transactions on both pools; the string's
+     BYTES are copied — the Archive gets its own allocation, and the
+     Catalog's is dropped with its entry.  Both pools commit when their
+     own transaction ends, so each pool stays individually consistent. *)
+  Catalog.transaction (fun jc ->
+      let v = Pbox.get catalog in
+      match Pvec.pop v jc with
+      | None -> ()
+      | Some (id, name) ->
+          let text = Pstring.get name (* value crosses as an OCaml string *) in
+          Archive.transaction (fun ja ->
+              Pvec.push (Pbox.get archive) (id, Pstring.make text ja) ja);
+          Pstring.drop name jc);
+
+  let dump label box =
+    Printf.printf "%s:\n" label;
+    Pvec.iter (Pbox.get box) (fun (id, name) ->
+        Printf.printf "  #%d %s\n" id (Pstring.get name))
+  in
+  dump "catalog" catalog;
+  dump "archive" archive;
+
+  (* each pool's heap is independently leak-free *)
+  Crashtest.Leak_check.assert_clean (Catalog.impl ())
+    ~root_ty:(Pvec.ptype (item_ty ()));
+  Crashtest.Leak_check.assert_clean (Archive.impl ())
+    ~root_ty:(Pvec.ptype (item_ty ()));
+  print_endline "both pools are consistent and leak-free."

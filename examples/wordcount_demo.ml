@@ -1,0 +1,28 @@
+(* The paper's scalability workload as a standalone demo: one producer
+   pushes text segments onto a persistent mutex-guarded stack, consumer
+   domains pop and count words in thread-local tables.
+
+     dune exec examples/wordcount_demo.exe -- 4      # 4 consumers *)
+
+let () =
+  let consumers =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 2
+  in
+  let corpus =
+    Workloads.Wordcount.generate_corpus ~vocabulary:800 ~segments:200
+      ~words_per_segment:500 ~seed:1 ()
+  in
+  Printf.printf "corpus: %d segments, %d words total\n" (List.length corpus)
+    (200 * 500);
+  let seq = Workloads.Wordcount.run_seq ~corpus () in
+  Printf.printf "sequential: %.3f s (%d words, %d distinct)\n"
+    seq.Workloads.Wordcount.seconds seq.Workloads.Wordcount.total_words
+    seq.Workloads.Wordcount.distinct;
+  let par = Workloads.Wordcount.run ~producers:1 ~consumers ~corpus () in
+  Printf.printf "1 producer : %d consumers: %.3f s (%d words, %d distinct)\n"
+    consumers par.Workloads.Wordcount.seconds
+    par.Workloads.Wordcount.total_words par.Workloads.Wordcount.distinct;
+  assert (par.Workloads.Wordcount.total_words = seq.Workloads.Wordcount.total_words);
+  Printf.printf "speedup: %.2fx (on %d cores)\n"
+    (seq.Workloads.Wordcount.seconds /. par.Workloads.Wordcount.seconds)
+    (Domain.recommended_domain_count ())

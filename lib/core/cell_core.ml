@@ -1,0 +1,63 @@
+type ('a, 'p) place =
+  | Seed of { mutable pending : 'a }
+  | Placed of { off : int; pool : Pool_impl.t }
+
+type ('a, 'p) t = { cty : ('a, 'p) Ptype.t; place : ('a, 'p) place }
+
+let make ~ty v = { cty = ty; place = Seed { pending = v } }
+let ty c = c.cty
+
+let read c =
+  match c.place with
+  | Seed s -> s.pending
+  | Placed { off; pool } ->
+      Pool_impl.check_open pool;
+      Ptype.read c.cty pool off
+
+let write c tx v =
+  match c.place with
+  | Seed s -> s.pending <- v
+  | Placed { off; pool } ->
+      Pool_impl.tx_log tx ~off ~len:(max 8 (Ptype.size c.cty));
+      Ptype.drop c.cty tx off;
+      Ptype.write c.cty pool off v
+
+(* Move semantics: the old value's ownership transfers to the returned
+   copy instead of being released — the Rust [mem::replace] of this API,
+   needed to re-link nodes without cascading drops. *)
+let replace c tx v =
+  match c.place with
+  | Seed s ->
+      let old = s.pending in
+      s.pending <- v;
+      old
+  | Placed { off; pool } ->
+      let old = Ptype.read c.cty pool off in
+      Pool_impl.tx_log tx ~off ~len:(max 8 (Ptype.size c.cty));
+      Ptype.write c.cty pool off v;
+      old
+
+let placed_off c =
+  match c.place with Seed _ -> None | Placed { off; _ } -> Some off
+
+let pool c =
+  match c.place with Seed _ -> None | Placed { pool; _ } -> Some pool
+
+let ptype ~name inner =
+  Ptype.make ~name ~size:(Ptype.size inner)
+    ~read:(fun pool off -> { cty = inner; place = Placed { off; pool } })
+    ~write:(fun pool off c ->
+      match c.place with
+      | Seed s -> Ptype.write inner pool off s.pending
+      | Placed src ->
+          (* Re-writing a value into its own slot (e.g. a containing box's
+             [set]) is a no-op; copying a placed cell elsewhere would
+             duplicate ownership of what it contains. *)
+          if src.off <> off then
+            invalid_arg
+              (Printf.sprintf
+                 "%s: a placed cell cannot be copied to another slot; \
+                  construct a fresh cell instead"
+                 name))
+    ~drop:(fun tx off -> Ptype.drop inner tx off)
+    ~reach:(fun pool off -> Ptype.reach inner pool off)

@@ -1,0 +1,45 @@
+(** Shared placement machinery for the interior-mutability wrappers.
+
+    A wrapper value is either a {e seed} — a volatile initializer that has
+    not been stored in a pool yet — or {e placed} — a handle onto the slot
+    inside a pool allocation where the wrapped value lives.  Constructors
+    ({!make}) build seeds; reading a wrapper field out of persistent
+    memory yields placed handles.  A seed is a single-use initializer:
+    once written into the pool it does not alias the persistent slot.
+
+    This mirrors how Rust constructs a [PRefCell] by value and then moves
+    it into place; OCaml cannot express the move, so the seed/placed
+    distinction makes it explicit. *)
+
+type ('a, 'p) t
+
+val make : ty:('a, 'p) Ptype.t -> 'a -> ('a, 'p) t
+(** A seed holding the initial value. *)
+
+val ty : ('a, 'p) t -> ('a, 'p) Ptype.t
+
+val read : ('a, 'p) t -> 'a
+(** Copy the current value out (no journal; reads are always safe). *)
+
+val write : ('a, 'p) t -> Pool_impl.tx -> 'a -> unit
+(** Replace the value: undo-log the slot, release what the old value
+    owned, store the new value.  On a seed, simply replaces the pending
+    initializer. *)
+
+val replace : ('a, 'p) t -> Pool_impl.tx -> 'a -> 'a
+(** Like {!write} but with move semantics: the old value is returned and
+    {e not} released — ownership of whatever it points to transfers to
+    the caller (Rust's [mem::replace]).  Essential for re-linking
+    pointer-based structures without cascading drops. *)
+
+val placed_off : ('a, 'p) t -> int option
+(** Slot offset when placed; [None] for seeds. *)
+
+val pool : ('a, 'p) t -> Pool_impl.t option
+
+val ptype : name:string -> ('a, 'p) Ptype.t -> (('a, 'p) t, 'p) Ptype.t
+(** Placement descriptor shared by [Pcell]/[Prefcell]/[Pmutex]: the
+    wrapper occupies exactly the wrapped value's footprint.  Recursive
+    structures need no special variant here because recursion must pass
+    through a pointer type ({!Pbox.ptype_rec} and friends), which fixes
+    the inline footprint at 8 bytes. *)

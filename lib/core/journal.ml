@@ -1,0 +1,6 @@
+type 'p t = Pool_impl.tx
+
+let unsafe_of_tx tx = tx
+let tx j = if Pool_impl.tx_valid j then j else raise Pool_impl.Tx_escape
+let pool j = Pool_impl.tx_pool j
+let valid j = Pool_impl.tx_valid j

@@ -1,0 +1,28 @@
+(** The branded journal capability.
+
+    A ['p Journal.t] is the proof that the caller is inside a transaction
+    on the pool of brand ['p].  Every constructor and mutator of the
+    persistent pointer types demands one, which is how the library makes
+    unlogged modification of persistent state impossible (the paper's
+    invariant {e Mutable-In-Tx-Only}).
+
+    Mirroring the paper's invariant {e TX-Journal-Only}, the only safe way
+    to obtain a journal is as the argument that [P.transaction] passes to
+    its body.  {!unsafe_of_tx} is the analogue of Rust's [unsafe] journal
+    constructor: calling it yourself voids the library's guarantees.
+
+    Journals are epoch-checked: using one after its transaction has ended
+    raises {!Pool_impl.Tx_escape} (the dynamic stand-in for Rust's
+    [TxOutSafe]/lifetime enforcement, see DESIGN.md). *)
+
+type 'p t
+
+val unsafe_of_tx : Pool_impl.tx -> 'p t
+(** Brand-launder a raw transaction context.  Library-internal. *)
+
+val tx : 'p t -> Pool_impl.tx
+(** The underlying context.  Raises {!Pool_impl.Tx_escape} if the
+    transaction has ended. *)
+
+val pool : 'p t -> Pool_impl.t
+val valid : 'p t -> bool

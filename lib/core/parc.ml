@@ -1,0 +1,34 @@
+type ('a, 'p) t = ('a, 'p) Rc_core.rc
+type ('a, 'p) weak = ('a, 'p) Rc_core.pweak
+type ('a, 'p) vweak = ('a, 'p) Rc_core.vweak
+
+let atomic = true
+let make ~ty v j = Rc_core.make ~atomic ~ty v j
+let get = Rc_core.get
+let pclone = Rc_core.pclone
+let drop = Rc_core.drop
+let try_unwrap = Rc_core.try_unwrap
+let strong_count = Rc_core.strong_count
+let weak_count = Rc_core.weak_count
+let equal = Rc_core.equal
+let off = Rc_core.ctrl
+let downgrade = Rc_core.downgrade
+let upgrade = Rc_core.upgrade
+let weak_drop = Rc_core.weak_drop
+let demote = Rc_core.demote
+let promote = Rc_core.promote
+
+let ptype inner =
+  Rc_core.rc_ptype ~atomic
+    ~name:(Printf.sprintf "%s parc" (Ptype.name inner))
+    (fun () -> inner)
+
+let ptype_rec inner = Rc_core.rc_ptype ~atomic ~name:"parc" (fun () -> Lazy.force inner)
+
+let weak_ptype inner =
+  Rc_core.pweak_ptype ~atomic
+    ~name:(Printf.sprintf "%s parc-weak" (Ptype.name inner))
+    (fun () -> inner)
+
+let weak_ptype_rec inner =
+  Rc_core.pweak_ptype ~atomic ~name:"parc-weak" (fun () -> Lazy.force inner)

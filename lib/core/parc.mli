@@ -1,0 +1,44 @@
+(** [Parc] — persistent atomic reference counting.
+
+    The persistent counterpart of Rust's [Arc<T>]: shared ownership that
+    is safe to touch from multiple domains.  The control block is guarded
+    by a pool lock held until the owning transaction ends, and every
+    counter update appends its own undo entry (no deduplication), which
+    keeps concurrently updated counts recoverable after a crash — and
+    makes [Parc] operations markedly slower than {!Prc} ones, exactly the
+    asymmetry Table 5 of the paper reports.
+
+    Like the paper's [Parc] (which is [!Send]), a [Parc] handle must not
+    itself be smuggled to another thread to sidestep transactions: pass a
+    {!vweak} (obtained from {!demote}) to the other thread and {!promote}
+    it there, inside a transaction. *)
+
+type ('a, 'p) t
+type ('a, 'p) weak
+type ('a, 'p) vweak
+
+val make : ty:('a, 'p) Ptype.t -> 'a -> 'p Journal.t -> ('a, 'p) t
+val get : ('a, 'p) t -> 'a
+val pclone : ('a, 'p) t -> 'p Journal.t -> ('a, 'p) t
+val drop : ('a, 'p) t -> 'p Journal.t -> unit
+
+val try_unwrap : ('a, 'p) t -> 'p Journal.t -> 'a option
+(** Take the payload out if this is the only strong reference (Rust's
+    [Rc::try_unwrap]); [None] when shared. *)
+
+val strong_count : ('a, 'p) t -> int
+val weak_count : ('a, 'p) t -> int
+val equal : ('a, 'p) t -> ('a, 'p) t -> bool
+val off : ('a, 'p) t -> int
+
+val downgrade : ('a, 'p) t -> 'p Journal.t -> ('a, 'p) weak
+val upgrade : ('a, 'p) weak -> 'p Journal.t -> ('a, 'p) t option
+val weak_drop : ('a, 'p) weak -> 'p Journal.t -> unit
+
+val demote : ('a, 'p) t -> 'p Journal.t -> ('a, 'p) vweak
+val promote : ('a, 'p) vweak -> 'p Journal.t -> ('a, 'p) t option
+
+val ptype : ('a, 'p) Ptype.t -> (('a, 'p) t, 'p) Ptype.t
+val ptype_rec : ('a, 'p) Ptype.t Lazy.t -> (('a, 'p) t, 'p) Ptype.t
+val weak_ptype : ('a, 'p) Ptype.t -> (('a, 'p) weak, 'p) Ptype.t
+val weak_ptype_rec : ('a, 'p) Ptype.t Lazy.t -> (('a, 'p) weak, 'p) Ptype.t

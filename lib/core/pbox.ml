@@ -1,0 +1,73 @@
+module D = Pmem.Device
+
+type ('a, 'p) t = { off : int; pool : Pool_impl.t; ty : ('a, 'p) Ptype.t }
+
+let unsafe_handle pool off ty = { off; pool; ty }
+let off b = b.off
+let equal a b = a.off = b.off
+
+let make ~ty v j =
+  let tx = Journal.tx j in
+  let pool = Pool_impl.tx_pool tx in
+  let size = max 8 (Ptype.size ty) in
+  let off = Pool_impl.tx_alloc tx size in
+  Ptype.write ty pool off v;
+  (* AtomicInit: fresh blocks are not undo-logged (rollback frees them),
+     so their initial contents must be persisted eagerly. *)
+  D.persist (Pool_impl.device pool) off (Ptype.size ty);
+  { off; pool; ty }
+
+let get b =
+  Pool_impl.check_open b.pool;
+  Ptype.read b.ty b.pool b.off
+
+let set b v j =
+  let tx = Journal.tx j in
+  Pool_impl.tx_log tx ~off:b.off ~len:(max 8 (Ptype.size b.ty));
+  Ptype.drop b.ty tx b.off;
+  Ptype.write b.ty b.pool b.off v
+
+let modify b j f = set b (f (get b)) j
+
+let pclone b j = make ~ty:b.ty (get b) j
+
+let drop b j =
+  let tx = Journal.tx j in
+  Ptype.drop b.ty tx b.off;
+  Pool_impl.tx_free tx b.off
+
+let make_ptype inner_of =
+  Ptype.make ~name:"pbox" ~size:8
+    ~read:(fun pool off ->
+      {
+        off = Int64.to_int (D.read_u64 (Pool_impl.device pool) off);
+        pool;
+        ty = inner_of ();
+      })
+    ~write:(fun pool off b ->
+      D.write_u64 (Pool_impl.device pool) off (Int64.of_int b.off))
+    ~drop:(fun tx off ->
+      let pool = Pool_impl.tx_pool tx in
+      let target = Int64.to_int (D.read_u64 (Pool_impl.device pool) off) in
+      if target <> 0 then begin
+        Ptype.drop (inner_of ()) tx target;
+        Pool_impl.tx_free tx target
+      end)
+    ~reach:(fun pool off ->
+      let target = Int64.to_int (D.read_u64 (Pool_impl.device pool) off) in
+      if target = 0 then []
+      else
+        [
+          {
+            Ptype.block = target;
+            follow = (fun p -> Ptype.reach (inner_of ()) p target);
+          };
+        ])
+
+let ptype inner =
+  let t = make_ptype (fun () -> inner) in
+  Ptype.make ~name:(Printf.sprintf "%s pbox" (Ptype.name inner))
+    ~size:(Ptype.size t) ~read:(Ptype.read t) ~write:(Ptype.write t)
+    ~drop:(Ptype.drop t) ~reach:(Ptype.reach t)
+
+let ptype_rec inner = make_ptype (fun () -> Lazy.force inner)

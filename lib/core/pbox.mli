@@ -1,0 +1,58 @@
+(** [Pbox] — exclusively-owned pointer to persistent memory.
+
+    The persistent counterpart of Rust's [Box<T>], bound to a pool brand:
+    a [('a, 'p) Pbox.t] can only point into the pool of brand ['p], and
+    {!ptype} forces the brand of the pointee descriptor to match the brand
+    of the pool it is stored in — a cross-pool pointer does not type-check.
+
+    Construction is failure-atomic ([AtomicInit] in the paper): the block
+    is allocated through the journal and its initial contents are persisted
+    before the constructor returns, so a crash either rolls the allocation
+    back entirely or finds the box fully initialized.
+
+    OCaml has no deterministic scope exit, so dropping is explicit:
+    {!drop} releases the pointee (recursively) inside a transaction.  The
+    heap reachability checker (see [Crashtest.Leak_check]) verifies that
+    this discipline leaks nothing. *)
+
+type ('a, 'p) t
+
+val make : ty:('a, 'p) Ptype.t -> 'a -> 'p Journal.t -> ('a, 'p) t
+(** Allocate in the journal's pool and initialize atomically. *)
+
+val get : ('a, 'p) t -> 'a
+(** Dereference (copy out).  Needs no journal — reading persistent state
+    is always safe while the pool is open. *)
+
+val set : ('a, 'p) t -> 'a -> 'p Journal.t -> unit
+(** Replace the contents: undo-logs the block, releases whatever the old
+    value owned, writes the new value.  The first [set] in a transaction
+    pays for the log; later ones are cheap (the paper's [DerefMut]). *)
+
+val modify : ('a, 'p) t -> 'p Journal.t -> ('a -> 'a) -> unit
+
+val pclone : ('a, 'p) t -> 'p Journal.t -> ('a, 'p) t
+(** Deep-copy the box: a fresh allocation initialized with the current
+    value ([Pbox::pclone] in the paper — allocation plus copy). *)
+
+val drop : ('a, 'p) t -> 'p Journal.t -> unit
+(** Release the pointee's own references and free the block (deferred to
+    commit, rolled back on abort). *)
+
+val off : ('a, 'p) t -> int
+(** Block offset (identity; test and tooling support). *)
+
+val equal : ('a, 'p) t -> ('a, 'p) t -> bool
+
+val ptype : ('a, 'p) Ptype.t -> (('a, 'p) t, 'p) Ptype.t
+(** Store boxes inside other persistent structures.  Writing a box value
+    into a slot transfers ownership of the pointee to that slot. *)
+
+val ptype_rec : ('a, 'p) Ptype.t Lazy.t -> (('a, 'p) t, 'p) Ptype.t
+(** Like {!ptype} for recursive types: the pointee descriptor may refer
+    back to the structure under construction.  Pointers have a fixed
+    8-byte footprint, so the inner descriptor is only forced at runtime. *)
+
+val unsafe_handle : Pool_impl.t -> int -> ('a, 'p) Ptype.t -> ('a, 'p) t
+(** Rebuild a handle from a raw offset.  Library-internal (used by
+    {!Pool} for the root object). *)

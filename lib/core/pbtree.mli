@@ -1,0 +1,51 @@
+(** [Pbtree] — persistent B+tree with 8-way fanout (the paper's
+    "optimized, balanced B+Tree", Table 4) in the typed API.
+
+    Values live only in leaves, which are chained for ordered scans;
+    internal nodes hold separator keys.  Insertion splits full nodes on
+    the way down; deletion rebalances proactively (borrow from a sibling,
+    else merge).  Compared to {!Pmap} (an AVL tree), nodes are wide and
+    shallow — fewer pointer hops per lookup, more bytes logged per
+    structural change — the classic PM trade-off the paper benchmarks.
+
+    Values are any persistable type: replacing or removing an entry
+    releases what the old value owned; moving entries between nodes
+    during splits/merges transfers ownership without touching counts. *)
+
+type ('a, 'p) t
+
+val fanout : int
+(** 8: at most 7 keys per node. *)
+
+val make : vty:('a, 'p) Ptype.t -> 'p Journal.t -> ('a, 'p) t
+val length : ('a, 'p) t -> int
+val is_empty : ('a, 'p) t -> bool
+
+val add : ('a, 'p) t -> key:int -> 'a -> 'p Journal.t -> unit
+val find : ('a, 'p) t -> int -> 'a option
+val mem : ('a, 'p) t -> int -> bool
+val remove : ('a, 'p) t -> int -> 'p Journal.t -> bool
+
+val min_binding : ('a, 'p) t -> (int * 'a) option
+val max_binding : ('a, 'p) t -> (int * 'a) option
+
+val fold : ('a, 'p) t -> init:'b -> f:('b -> int -> 'a -> 'b) -> 'b
+(** Ascending, via the leaf chain. *)
+
+val iter : ('a, 'p) t -> (int -> 'a -> unit) -> unit
+val to_list : ('a, 'p) t -> (int * 'a) list
+
+val fold_range :
+  ('a, 'p) t -> lo:int -> hi:int -> init:'b -> f:('b -> int -> 'a -> 'b) -> 'b
+(** Descend to [lo]'s leaf, then scan the chain to [hi] (inclusive). *)
+
+val clear : ('a, 'p) t -> 'p Journal.t -> unit
+val drop : ('a, 'p) t -> 'p Journal.t -> unit
+val off : ('a, 'p) t -> int
+
+val check : ('a, 'p) t -> (unit, string) result
+(** Key order and bounds, node occupancy, uniform depth, leaf-chain
+    completeness, and the stored size. *)
+
+val ptype : ('a, 'p) Ptype.t -> (('a, 'p) t, 'p) Ptype.t
+val ptype_rec : ('a, 'p) Ptype.t Lazy.t -> (('a, 'p) t, 'p) Ptype.t

@@ -1,0 +1,14 @@
+type ('a, 'p) t = ('a, 'p) Cell_core.t
+
+let make = Cell_core.make
+let get = Cell_core.read
+let set c v j = Cell_core.write c (Journal.tx j) v
+
+let replace c v j = Cell_core.replace c (Journal.tx j) v
+
+let update c j f = set c (f (get c)) j
+let unsafe_expose c = c
+let off = Cell_core.placed_off
+
+let ptype inner =
+  Cell_core.ptype ~name:(Printf.sprintf "%s pcell" (Ptype.name inner)) inner

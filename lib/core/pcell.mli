@@ -1,0 +1,27 @@
+(** [Pcell] — interior mutability by copy ([PCell] in the paper).
+
+    A cell embedded in a persistent structure whose value is read and
+    replaced wholesale, like Rust's [Cell<T>].  [get] needs no journal;
+    [set] requires one, so mutation is only possible inside a transaction
+    and is always undo-logged. *)
+
+type ('a, 'p) t
+
+val make : ty:('a, 'p) Ptype.t -> 'a -> ('a, 'p) t
+(** A fresh cell (a single-use initializer until stored in a pool). *)
+
+val get : ('a, 'p) t -> 'a
+val set : ('a, 'p) t -> 'a -> 'p Journal.t -> unit
+val replace : ('a, 'p) t -> 'a -> 'p Journal.t -> 'a
+(** Move semantics: store the new value and return the old one {e without}
+    releasing it — ownership of what the old value referenced passes to
+    the caller.  Contrast {!set}, which drops the old value. *)
+
+val update : ('a, 'p) t -> 'p Journal.t -> ('a -> 'a) -> unit
+
+val unsafe_expose : ('a, 'p) t -> ('a, 'p) Cell_core.t
+(** The underlying placement, for the log-free operations in [Punsafe].
+    Unsafe in the same sense as that module. *)
+
+val off : ('a, 'p) t -> int option
+val ptype : ('a, 'p) Ptype.t -> (('a, 'p) t, 'p) Ptype.t

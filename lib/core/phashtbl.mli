@@ -1,0 +1,45 @@
+(** [Phashtbl] — persistent hash table with integer keys and amortized
+    O(1) operations.
+
+    A directory of chain heads plus one block per entry; the directory
+    doubles (with a full transactional rehash) when the load factor
+    exceeds 2, so chains stay short.  The rehash happens inside the
+    caller's transaction — the journal's spill chaining makes arbitrarily
+    large rehash logs safe — and is therefore failure-atomic like every
+    other update.
+
+    Use {!Pmap} instead when ordered iteration or range queries matter. *)
+
+type ('a, 'p) t
+
+val make : vty:('a, 'p) Ptype.t -> ?nbuckets:int -> 'p Journal.t -> ('a, 'p) t
+val length : ('a, 'p) t -> int
+val buckets : ('a, 'p) t -> int
+val is_empty : ('a, 'p) t -> bool
+
+val add : ('a, 'p) t -> key:int -> 'a -> 'p Journal.t -> unit
+(** Insert, or replace (releasing the old value). *)
+
+val find : ('a, 'p) t -> int -> 'a option
+val mem : ('a, 'p) t -> int -> bool
+
+val remove : ('a, 'p) t -> int -> 'p Journal.t -> bool
+(** Delete; returns whether the key was present. *)
+
+val fold : ('a, 'p) t -> init:'b -> f:('b -> int -> 'a -> 'b) -> 'b
+(** Unspecified order. *)
+
+val iter : ('a, 'p) t -> (int -> 'a -> unit) -> unit
+val to_list : ('a, 'p) t -> (int * 'a) list
+(** Sorted by key (for test determinism). *)
+
+val clear : ('a, 'p) t -> 'p Journal.t -> unit
+val drop : ('a, 'p) t -> 'p Journal.t -> unit
+val off : ('a, 'p) t -> int
+
+val check : ('a, 'p) t -> (unit, string) result
+(** Every entry hashes to the chain that holds it; the stored count
+    matches; no chain cycles. *)
+
+val ptype : ('a, 'p) Ptype.t -> (('a, 'p) t, 'p) Ptype.t
+val ptype_rec : ('a, 'p) Ptype.t Lazy.t -> (('a, 'p) t, 'p) Ptype.t

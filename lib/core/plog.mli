@@ -1,0 +1,33 @@
+(** [Plog] — append-only record log.
+
+    The classic PM structure the journal itself is built from, exposed as
+    a user-level container: records are appended durably and never
+    modified, iteration is oldest-first, and truncation discards the
+    whole history.  Records are variable-length strings; each append is
+    one failure-atomic step of the enclosing transaction.
+
+    Layout: a {!Pbytes} buffer of length-prefixed records plus a record
+    count. *)
+
+type 'p t
+
+val make : ?capacity:int -> 'p Journal.t -> 'p t
+val records : 'p t -> int
+val is_empty : 'p t -> bool
+val size_bytes : 'p t -> int
+
+val append : 'p t -> string -> 'p Journal.t -> unit
+val iter : 'p t -> (string -> unit) -> unit
+(** Oldest first. *)
+
+val fold : 'p t -> init:'b -> f:('b -> string -> 'b) -> 'b
+val to_list : 'p t -> string list
+val nth : 'p t -> int -> string option
+(** O(n); logs are for scanning, not random access. *)
+
+val truncate : 'p t -> 'p Journal.t -> unit
+(** Discard every record. *)
+
+val drop : 'p t -> 'p Journal.t -> unit
+val off : 'p t -> int
+val ptype : unit -> ('p t, 'p) Ptype.t

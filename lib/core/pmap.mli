@@ -1,0 +1,53 @@
+(** [Pmap] — persistent sorted map (AVL tree) with integer keys.
+
+    A self-balancing search tree whose nodes live in the pool; lookups
+    are O(log n) and iteration is in key order.  All structural updates
+    (links, heights, rotations) are undo-logged through the journal, so
+    any crash rolls back to the pre-transaction tree; the structural
+    invariants (ordering, balance, height bookkeeping) are
+    machine-checked by {!check} and exercised by the failure injector.
+
+    Values are any persistable type; replacing or removing an entry
+    releases what the old value owned (like {!Pcell.set}), and {!clear} /
+    {!drop} cascade. *)
+
+type ('a, 'p) t
+
+val make : vty:('a, 'p) Ptype.t -> 'p Journal.t -> ('a, 'p) t
+val length : ('a, 'p) t -> int
+val is_empty : ('a, 'p) t -> bool
+
+val add : ('a, 'p) t -> key:int -> 'a -> 'p Journal.t -> unit
+(** Insert, or replace (releasing the old value). *)
+
+val find : ('a, 'p) t -> int -> 'a option
+val mem : ('a, 'p) t -> int -> bool
+
+val remove : ('a, 'p) t -> int -> 'p Journal.t -> bool
+(** Delete; returns whether the key was present.  The stored value is
+    released. *)
+
+val min_binding : ('a, 'p) t -> (int * 'a) option
+val max_binding : ('a, 'p) t -> (int * 'a) option
+val fold : ('a, 'p) t -> init:'b -> f:('b -> int -> 'a -> 'b) -> 'b
+(** Ascending key order. *)
+
+val iter : ('a, 'p) t -> (int -> 'a -> unit) -> unit
+
+val fold_range :
+  ('a, 'p) t -> lo:int -> hi:int -> init:'b -> f:('b -> int -> 'a -> 'b) -> 'b
+(** Ascending fold over the keys in [lo, hi] (inclusive); prunes subtrees
+    outside the range, so the cost is O(log n + matches). *)
+
+val to_list : ('a, 'p) t -> (int * 'a) list
+val height : ('a, 'p) t -> int
+val clear : ('a, 'p) t -> 'p Journal.t -> unit
+val drop : ('a, 'p) t -> 'p Journal.t -> unit
+val off : ('a, 'p) t -> int
+
+val check : ('a, 'p) t -> (unit, string) result
+(** Structural invariants: key order, AVL balance (|bf| <= 1), recorded
+    heights, and the stored size. *)
+
+val ptype : ('a, 'p) Ptype.t -> (('a, 'p) t, 'p) Ptype.t
+val ptype_rec : ('a, 'p) Ptype.t Lazy.t -> (('a, 'p) t, 'p) Ptype.t

@@ -1,0 +1,37 @@
+type ('a, 'p) t = ('a, 'p) Cell_core.t
+
+type ('a, 'p) guard = {
+  cell : ('a, 'p) t;
+  tx : Pool_impl.tx;
+  validity : bool ref;
+}
+
+let make = Cell_core.make
+
+let lock c j =
+  let tx = Journal.tx j in
+  (match Cell_core.placed_off c with
+  | Some off -> Pool_impl.tx_lock tx off
+  | None -> () (* seeds are thread-private *));
+  { cell = c; tx; validity = Pool_impl.tx_validity tx }
+
+let live g = if not !(g.validity) then raise Pool_impl.Tx_escape
+
+let deref g =
+  live g;
+  Cell_core.read g.cell
+
+let deref_set g v =
+  live g;
+  Cell_core.write g.cell g.tx v
+
+let deref_update g f = deref_set g (f (deref g))
+
+let with_lock c j f =
+  let g = lock c j in
+  deref_update g f
+
+let off = Cell_core.placed_off
+
+let ptype inner =
+  Cell_core.ptype ~name:(Printf.sprintf "%s pmutex" (Ptype.name inner)) inner

@@ -1,0 +1,32 @@
+(** [Pmutex] — thread-safe interior mutability ([PMutex] in the paper).
+
+    [lock] acquires a pool-level lock keyed by the cell's slot and returns
+    a guard; the lock is held until the enclosing transaction ends, which
+    is what gives transactions isolation (design goal {e Tx-Are-Isolated}):
+    no other thread can observe the guarded data until the transaction
+    that modified it has committed.
+
+    Locking is reentrant within one transaction (a divergence from Rust's
+    [Mutex], where re-locking would deadlock; reentrancy is strictly safer
+    here and keeps recursive data-structure code natural).  Deadlock
+    between transactions acquiring multiple mutexes in different orders is
+    possible, exactly as the paper concedes. *)
+
+type ('a, 'p) t
+type ('a, 'p) guard
+(** Stranded: usable only until the transaction that created it ends. *)
+
+val make : ty:('a, 'p) Ptype.t -> 'a -> ('a, 'p) t
+
+val lock : ('a, 'p) t -> 'p Journal.t -> ('a, 'p) guard
+(** Blocks until the lock is available; released at transaction end. *)
+
+val deref : ('a, 'p) guard -> 'a
+val deref_set : ('a, 'p) guard -> 'a -> unit
+val deref_update : ('a, 'p) guard -> ('a -> 'a) -> unit
+
+val with_lock : ('a, 'p) t -> 'p Journal.t -> ('a -> 'a) -> unit
+(** Lock, replace the value, keep the lock until the transaction ends. *)
+
+val off : ('a, 'p) t -> int option
+val ptype : ('a, 'p) Ptype.t -> (('a, 'p) t, 'p) Ptype.t

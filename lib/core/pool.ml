@@ -1,0 +1,124 @@
+exception Root_type_mismatch of { expected : string; found_hash : int }
+
+module type S = sig
+  type brand
+  type journal = brand Journal.t
+
+  val create :
+    ?config:Pool_impl.config ->
+    ?latency:Pmem.Latency.t ->
+    ?path:string ->
+    unit ->
+    unit
+
+  val open_file : ?latency:Pmem.Latency.t -> string -> unit
+
+  val load_or_create :
+    ?config:Pool_impl.config -> ?latency:Pmem.Latency.t -> string -> unit
+
+  val close : unit -> unit
+  val save : unit -> unit
+  val is_open : unit -> bool
+  val crash_and_reopen : unit -> unit
+  val transaction : (journal -> 'a) -> 'a
+
+  val root :
+    ty:('a, brand) Ptype.t -> init:(journal -> 'a) -> unit -> ('a, brand) Pbox.t
+
+  val migrate_root :
+    from_ty:('old, brand) Ptype.t ->
+    to_ty:('new_, brand) Ptype.t ->
+    f:('old -> journal -> 'new_) ->
+    unit ->
+    ('new_, brand) Pbox.t
+
+  val impl : unit -> Pool_impl.t
+  val stats : unit -> Pool_impl.pool_stats
+  val recovery_stats : unit -> Pjournal.Recovery.stats
+end
+
+module Make () : S = struct
+  type brand
+  type journal = brand Journal.t
+
+  let current : Pool_impl.t option ref = ref None
+
+  let impl () =
+    match !current with
+    | Some p when Pool_impl.is_open p -> p
+    | _ -> raise Pool_impl.Pool_closed
+
+  let is_open () =
+    match !current with Some p -> Pool_impl.is_open p | None -> false
+
+  let require_closed () =
+    if is_open () then
+      invalid_arg "Pool: a pool is already open through this module"
+
+  let create ?config ?latency ?path () =
+    require_closed ();
+    current := Some (Pool_impl.create ?config ?latency ?path ())
+
+  let open_file ?latency path =
+    require_closed ();
+    current := Some (Pool_impl.open_file ?latency path)
+
+  let load_or_create ?config ?latency path =
+    if Sys.file_exists path then open_file ?latency path
+    else create ?config ?latency ~path ()
+
+  let close () = Pool_impl.close (impl ())
+  let save () = Pool_impl.save (impl ())
+
+  let crash_and_reopen () =
+    (* Works on a crashed pool too: the handle is closed but the media is
+       still there. *)
+    match !current with
+    | None -> raise Pool_impl.Pool_closed
+    | Some p -> current := Some (Pool_impl.reopen p)
+
+  let transaction f =
+    Pool_impl.transaction (impl ()) (fun tx -> f (Journal.unsafe_of_tx tx))
+
+  let root ~ty ~init () =
+    let p = impl () in
+    let off = Pool_impl.root_off p in
+    if off <> 0 then begin
+      let stored = Pool_impl.root_ty_hash p in
+      if stored <> Ptype.hash ty then
+        raise (Root_type_mismatch { expected = Ptype.name ty; found_hash = stored });
+      Pbox.unsafe_handle p off ty
+    end
+    else
+      transaction (fun j ->
+          let box = Pbox.make ~ty (init j) j in
+          Pool_impl.tx_set_root (Journal.tx j) ~off:(Pbox.off box)
+            ~ty_hash:(Ptype.hash ty);
+          box)
+
+  let migrate_root ~from_ty ~to_ty ~f () =
+    let p = impl () in
+    let off = Pool_impl.root_off p in
+    if off = 0 then raise Pool_impl.Pool_closed
+    else begin
+      let stored = Pool_impl.root_ty_hash p in
+      if stored = Ptype.hash to_ty then Pbox.unsafe_handle p off to_ty
+      else if stored <> Ptype.hash from_ty then
+        raise
+          (Root_type_mismatch { expected = Ptype.name from_ty; found_hash = stored })
+      else
+        transaction (fun j ->
+            (* move the old value out, build the new root, free the old
+               block shallowly (ownership of the contents moved into [f]) *)
+            let old_value = Ptype.read from_ty p off in
+            let fresh = f old_value j in
+            let box = Pbox.make ~ty:to_ty fresh j in
+            Pool_impl.tx_set_root (Journal.tx j) ~off:(Pbox.off box)
+              ~ty_hash:(Ptype.hash to_ty);
+            Pool_impl.tx_free (Journal.tx j) off;
+            box)
+    end
+
+  let stats () = Pool_impl.stats (impl ())
+  let recovery_stats () = Pool_impl.recovery_stats (impl ())
+end

@@ -1,0 +1,108 @@
+(** Typed, branded persistent memory pools.
+
+    Each application of {!Make} mints a fresh abstract [brand]; every
+    persistent pointer and journal of that pool carries the brand in its
+    type, so assigning a pointer from one pool into another — or logging
+    against the wrong pool's journal — fails to type-check.  This is the
+    OCaml rendering of Corundum binding "each persistent object to its
+    pool" via the pool type parameter (paper, §3.2), and it is what makes
+    inter-pool pointers impossible statically (Listing 4 of the paper).
+
+    A pool module is a singleton binding: at most one pool is open through
+    it at a time, mirroring "only one open pool is bound to P".
+
+    {[
+      module P = Corundum.Pool.Make ()
+
+      let () = P.create ~path:"list.pool" ()
+      let root = P.root ~ty:Ptype.int ~init:(fun _j -> 0) ()
+      let () = P.transaction (fun j -> Pbox.set root 42 j)
+    ]} *)
+
+exception Root_type_mismatch of { expected : string; found_hash : int }
+(** The pool was previously initialized with a root of a different type. *)
+
+module type S = sig
+  type brand
+  (** The phantom brand of this pool.  Never instantiated. *)
+
+  type journal = brand Journal.t
+
+  (** {1 Lifecycle} *)
+
+  val create :
+    ?config:Pool_impl.config ->
+    ?latency:Pmem.Latency.t ->
+    ?path:string ->
+    unit ->
+    unit
+  (** Format and open a fresh pool.  Raises [Invalid_argument] if one is
+      already open through this module. *)
+
+  val open_file : ?latency:Pmem.Latency.t -> string -> unit
+  (** Open an existing pool image (runs crash recovery). *)
+
+  val load_or_create :
+    ?config:Pool_impl.config ->
+    ?latency:Pmem.Latency.t ->
+    string ->
+    unit
+  (** [open_file] when the file exists, [create ~path] otherwise. *)
+
+  val close : unit -> unit
+  (** Close (and save to the backing file, if any). *)
+
+  val save : unit -> unit
+  (** Checkpoint the durable image to the backing file without closing
+      (only what has been fenced reaches the file, exactly like a power
+      cut at this instant). *)
+
+  val is_open : unit -> bool
+
+  val crash_and_reopen : unit -> unit
+  (** Test support: simulate a power failure on the open pool's media and
+      reopen it (recovery included).  All outstanding handles become
+      invalid. *)
+
+  (** {1 Transactions} *)
+
+  val transaction : (journal -> 'a) -> 'a
+  (** Run the body atomically: on normal return the transaction commits;
+      on exception it rolls back and the exception is re-raised.  Nested
+      calls on the same domain flatten into the outermost transaction
+      (paper §3.3). *)
+
+  (** {1 Root object} *)
+
+  val root : ty:('a, brand) Ptype.t -> init:(journal -> 'a) -> unit -> ('a, brand) Pbox.t
+  (** The pool's root object.  On first use the root is created atomically
+      by running [init] inside a transaction; afterwards the stored root
+      is returned, after verifying that its type matches [ty] (raises
+      {!Root_type_mismatch} otherwise). *)
+
+  val migrate_root :
+    from_ty:('old, brand) Ptype.t ->
+    to_ty:('new_, brand) Ptype.t ->
+    f:('old -> journal -> 'new_) ->
+    unit ->
+    ('new_, brand) Pbox.t
+  (** Schema migration: atomically replace a root of type [from_ty] with
+      one of type [to_ty], computed by [f] from the old value inside one
+      transaction.  If the stored root already has [to_ty]'s type, it is
+      returned unchanged; any other type raises {!Root_type_mismatch}.
+
+      Ownership: [f] receives the old root {e by move} — every pointer it
+      does not carry into the new value must be dropped inside [f], or it
+      will be reported by the leak checker.  The old root block itself is
+      released automatically (shallowly). *)
+
+  (** {1 Introspection} *)
+
+  val impl : unit -> Pool_impl.t
+  (** The untyped runtime (tooling, tests, crash harness). *)
+
+  val stats : unit -> Pool_impl.pool_stats
+  val recovery_stats : unit -> Pjournal.Recovery.stats
+end
+
+module Make () : S

@@ -1,0 +1,164 @@
+module D = Pmem.Device
+
+type finding = { where : string; problem : string }
+
+type report = {
+  findings : finding list;
+  slots_checked : int;
+  entries_checked : int;
+  blocks_checked : int;
+}
+
+let ok r = r.findings = []
+
+let header_size = 4096
+let magic = "CORUNDUM-POOL-01"
+
+let check_device dev =
+  let findings = ref [] in
+  let note where fmt =
+    Printf.ksprintf (fun problem -> findings := { where; problem } :: !findings) fmt
+  in
+  let u64 off = Int64.to_int (D.read_u64 dev off) in
+  let size = D.size dev in
+  let entries_checked = ref 0 and blocks_checked = ref 0 in
+  let slots_checked = ref 0 in
+  (* --- header ---------------------------------------------------------- *)
+  if size < header_size then note "header" "device smaller than a pool header"
+  else if not (String.equal (D.read_string dev 0 (String.length magic)) magic)
+  then note "header" "bad magic: not a Corundum pool"
+  else begin
+    let version = u64 16 in
+    if version <> 1 then note "header" "unsupported version %d" version;
+    let nslots = u64 48
+    and slot_size = u64 56
+    and heap_len = u64 64
+    and table_base = u64 72
+    and heap_base = u64 80
+    and root_off = u64 32 in
+    let sane =
+      nslots > 0 && nslots < 1024
+      && slot_size > 0
+      && header_size + (nslots * slot_size) <= table_base
+      && table_base + (heap_len / 64) <= heap_base
+      && heap_base + heap_len <= size
+      && heap_len mod 64 = 0
+    in
+    if not sane then note "header" "layout fields are inconsistent"
+    else begin
+      (* --- journal slots ------------------------------------------------ *)
+      for i = 0 to nslots - 1 do
+        incr slots_checked;
+        let base = header_size + (i * slot_size) in
+        let where = Printf.sprintf "journal slot %d" i in
+        let phase = u64 base
+        and count = u64 (base + 8)
+        and drops = u64 (base + 16) in
+        if phase <> 0 && phase <> 1 then note where "bad phase %d" phase;
+        if count < 0 || count * 16 > 64 * slot_size then
+          note where "implausible entry count %d" count
+        else begin
+          (* the spill chain must point at live heap blocks *)
+          let spills = Pjournal.Log_entry.spill_chain dev ~slot_base:base in
+          List.iter
+            (fun off ->
+              if off < heap_base || off >= heap_base + heap_len then
+                note where "spill region outside the heap"
+              else if (off - heap_base) mod 64 <> 0 then
+                note where "spill region misaligned")
+            spills;
+          (* walk the undo entries (spill-chain aware) *)
+          (try
+             Pjournal.Log_entry.walk dev ~slot_base:base ~slot_size ~count
+               (fun e ->
+                 incr entries_checked;
+                 match e with
+                 | Pjournal.Log_entry.Data { off; len; _ } ->
+                     if len <= 0 || off < 0 || off + len > size then
+                       failwith "data entry targets outside the pool"
+                 | Pjournal.Log_entry.Alloc { off; order } ->
+                     if off < heap_base || off >= heap_base + heap_len then
+                       failwith "alloc entry outside the heap";
+                     if order < 0 || order > 40 then failwith "alloc order bogus"
+                 | Pjournal.Log_entry.Drop { off } ->
+                     if off < heap_base || off >= heap_base + heap_len then
+                       failwith "drop entry outside the heap")
+           with
+          | Failure m -> note where "%s" m
+          | Invalid_argument m -> note where "torn entry: %s" m)
+        end;
+        if drops < 0 || drops * 16 > slot_size then
+          note where "implausible drop count %d" drops
+        else
+          for d = 1 to drops do
+            let at = base + slot_size - (d * 16) in
+            match Pjournal.Log_entry.read dev ~at with
+            | Pjournal.Log_entry.Drop { off }, _ ->
+                if off < heap_base || off >= heap_base + heap_len then
+                  note where "drop area entry outside the heap"
+            | _ -> note where "non-drop entry in drop area"
+            | exception Invalid_argument _ -> note where "torn drop entry"
+          done
+      done;
+      (* --- allocation table & heap tiling -------------------------------- *)
+      let nblocks = heap_len / 64 in
+      let idx = ref 0 in
+      (try
+         while !idx < nblocks do
+           let b = D.read_u8 dev (table_base + !idx) in
+           if b = 0 then incr idx
+           else begin
+             incr blocks_checked;
+             let order = b - 1 in
+             let len = 1 lsl order in
+             if order > 40 || !idx + len > nblocks then begin
+               note "alloc table" "block %d (order %d) overflows the heap" !idx order;
+               raise Exit
+             end;
+             if !idx land (len - 1) <> 0 then begin
+               note "alloc table" "block %d misaligned for order %d" !idx order;
+               raise Exit
+             end;
+             idx := !idx + len
+           end
+         done
+       with Exit -> ());
+      (* tiling via the buddy's own integrity check *)
+      (if !findings = [] then
+         let buddy = Palloc.Buddy.attach dev ~table_base ~heap_base ~heap_len in
+         match Palloc.Heap_walk.check buddy with
+         | Ok () -> ()
+         | Error m -> note "heap" "%s" m);
+      (* --- root ----------------------------------------------------------- *)
+      if root_off <> 0 then
+        if root_off < heap_base || root_off >= heap_base + heap_len then
+          note "root" "root offset %d outside the heap" root_off
+        else if (root_off - heap_base) mod 64 <> 0 then
+          note "root" "root offset %d misaligned" root_off
+        else begin
+          let bidx = (root_off - heap_base) / 64 in
+          if D.read_u8 dev (table_base + bidx) = 0 then
+            note "root" "root points at a free block"
+        end
+    end
+  end;
+  {
+    findings = List.rev !findings;
+    slots_checked = !slots_checked;
+    entries_checked = !entries_checked;
+    blocks_checked = !blocks_checked;
+  }
+
+let check_file path = check_device (D.load path)
+
+let pp ppf r =
+  if ok r then
+    Format.fprintf ppf
+      "pool is consistent (%d journal slots, %d log entries, %d live blocks checked)@."
+      r.slots_checked r.entries_checked r.blocks_checked
+  else begin
+    Format.fprintf ppf "pool has %d problem(s):@." (List.length r.findings);
+    List.iter
+      (fun f -> Format.fprintf ppf "  [%s] %s@." f.where f.problem)
+      r.findings
+  end

@@ -1,0 +1,32 @@
+(** Pool image verification — the [pmempool check]-style fsck.
+
+    Validates, read-only and without running recovery:
+
+    - the header (magic, version, layout arithmetic, in-device bounds);
+    - every journal slot (counts within the slot, entries parse, their
+      target offsets land inside the pool, drop areas are well formed);
+    - the allocation table (orders valid, heads aligned to their order,
+      blocks inside the heap);
+    - heap tiling (the free space derived from the table plus the
+      allocated blocks must cover the heap exactly);
+    - the root pointer (must be the head of a live block when set).
+
+    A pool that crashed mid-transaction is still {e consistent} here —
+    an [Active] journal is well-formed state that recovery will resolve —
+    so this checker passes on crash images; it fails only on genuine
+    corruption (torn metadata, wild offsets, overlapping blocks). *)
+
+type finding = { where : string; problem : string }
+
+type report = {
+  findings : finding list;
+  slots_checked : int;
+  entries_checked : int;
+  blocks_checked : int;
+}
+
+val ok : report -> bool
+
+val check_device : Pmem.Device.t -> report
+val check_file : string -> report
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,469 @@
+exception Pool_closed
+exception Tx_escape
+exception Borrow_error of string
+exception Recovery_needed of string
+
+module D = Pmem.Device
+module B = Palloc.Buddy
+module T = Palloc.Alloc_table
+module J = Pjournal.Journal_impl
+module R = Pjournal.Recovery
+
+(* On-media header layout. *)
+let header_size = 4096
+let magic = "CORUNDUM-POOL-01"
+let version = 1
+let hdr_version = 16
+let hdr_generation = 24
+let hdr_root = 32 (* root_off u64 then root_ty_hash u64 *)
+let hdr_root_hash = 40
+let hdr_nslots = 48
+let hdr_slot_size = 56
+let hdr_heap_len = 64
+let hdr_table_base = 72
+let hdr_heap_base = 80
+
+type config = { size : int; nslots : int; slot_size : int }
+
+let default_config = { size = 64 * 1024 * 1024; nslots = 8; slot_size = 256 * 1024 }
+
+type lock_entry = {
+  mutex : Mutex.t;
+  mutable owner : int option; (* owning domain id *)
+  mutable lock_depth : int;
+}
+
+type t = {
+  dev : D.t;
+  buddy : B.t;
+  uid : int;
+  mutable open_ : bool;
+  nslots : int;
+  slot_size : int;
+  journal_base : int;
+  table_base : int;
+  heap_base : int;
+  heap_len : int;
+  slots : J.t array;
+  slot_free : bool array;
+  slot_lock : Mutex.t;
+  slot_cond : Condition.t;
+  txs : (int, tx) Hashtbl.t; (* domain id -> active transaction *)
+  txs_lock : Mutex.t;
+  locks : (int, lock_entry) Hashtbl.t;
+  locks_lock : Mutex.t;
+  borrows : (int, unit) Hashtbl.t;
+  borrows_lock : Mutex.t;
+  births : (int, int) Hashtbl.t;
+  births_lock : Mutex.t;
+  recovery : R.stats;
+  mutable n_tx : int;
+  mutable n_abort : int;
+  mutable n_logs : int;
+  mutable n_allocs : int;
+  mutable n_frees : int;
+}
+
+and tx = {
+  pool : t;
+  jrnl : J.t;
+  slot_idx : int;
+  domain : int;
+  mutable depth : int;
+  valid : bool ref;
+  mutable held : lock_entry list;
+  mutable borrowed : int list;
+}
+
+let next_uid = Atomic.make 1
+
+let check_open t = if not t.open_ then raise Pool_closed
+let is_open t = t.open_
+let uid t = t.uid
+let device t = t.dev
+let buddy t = t.buddy
+let recovery_stats t = t.recovery
+let generation t = Int64.to_int (D.read_u64 t.dev hdr_generation)
+let root_off t = Int64.to_int (D.read_u64 t.dev hdr_root)
+let root_ty_hash t = Int64.to_int (D.read_u64 t.dev hdr_root_hash)
+
+(* Compute the media layout for a device of [size] bytes. *)
+let layout ~size ~nslots ~slot_size =
+  let table_base = header_size + (nslots * slot_size) in
+  if table_base >= size then invalid_arg "Pool_impl: pool too small for journals";
+  (* heap + table share the rest; the table is 1/64 of the heap *)
+  let budget = size - table_base in
+  let heap_len = ref (budget * 64 / 65 / 64 * 64) in
+  let heap_base_of len = (table_base + T.table_bytes ~heap_len:len + 63) / 64 * 64 in
+  while !heap_len > 0 && heap_base_of !heap_len + !heap_len > size do
+    heap_len := !heap_len - 64
+  done;
+  if !heap_len <= 0 then invalid_arg "Pool_impl: pool too small for a heap";
+  (table_base, heap_base_of !heap_len, !heap_len)
+
+let build dev ~buddy ~nslots ~slot_size ~table_base ~heap_base ~heap_len
+    ~recovery =
+  let slots =
+    Array.init nslots (fun i ->
+        (* each slot prefers its own allocator stripe *)
+        J.attach ~alloc_hint:i dev buddy
+          ~base:(header_size + (i * slot_size))
+          ~size:slot_size)
+  in
+  {
+    dev;
+    buddy;
+    uid = Atomic.fetch_and_add next_uid 1;
+    open_ = true;
+    nslots;
+    slot_size;
+    journal_base = header_size;
+    table_base;
+    heap_base;
+    heap_len;
+    slots;
+    slot_free = Array.make nslots true;
+    slot_lock = Mutex.create ();
+    slot_cond = Condition.create ();
+    txs = Hashtbl.create 8;
+    txs_lock = Mutex.create ();
+    locks = Hashtbl.create 64;
+    locks_lock = Mutex.create ();
+    borrows = Hashtbl.create 64;
+    borrows_lock = Mutex.create ();
+    births = Hashtbl.create 64;
+    births_lock = Mutex.create ();
+    recovery;
+    n_tx = 0;
+    n_abort = 0;
+    n_logs = 0;
+    n_allocs = 0;
+    n_frees = 0;
+  }
+
+let bump_generation dev =
+  let g = D.read_u64 dev hdr_generation in
+  D.write_u64 dev hdr_generation (Int64.add g 1L);
+  D.persist dev hdr_generation 8
+
+let create ?(config = default_config) ?latency ?path () =
+  let { size; nslots; slot_size } = config in
+  let dev = D.create ?latency ?path ~size () in
+  let table_base, heap_base, heap_len = layout ~size ~nslots ~slot_size in
+  (* Format: header, journal slots, allocation table. *)
+  D.write_string dev 0 magic;
+  D.write_u64 dev hdr_version (Int64.of_int version);
+  D.write_u64 dev hdr_generation 1L;
+  D.write_u64 dev hdr_root 0L;
+  D.write_u64 dev hdr_root_hash 0L;
+  D.write_u64 dev hdr_nslots (Int64.of_int nslots);
+  D.write_u64 dev hdr_slot_size (Int64.of_int slot_size);
+  D.write_u64 dev hdr_heap_len (Int64.of_int heap_len);
+  D.write_u64 dev hdr_table_base (Int64.of_int table_base);
+  D.write_u64 dev hdr_heap_base (Int64.of_int heap_base);
+  D.persist dev 0 header_size;
+  for i = 0 to nslots - 1 do
+    J.format dev ~base:(header_size + (i * slot_size)) ~size:slot_size
+  done;
+  let buddy = B.create ~stripes:nslots dev ~table_base ~heap_base ~heap_len in
+  build dev ~buddy ~nslots ~slot_size ~table_base ~heap_base ~heap_len
+    ~recovery:R.empty_stats
+
+(* Attach to formatted media: verify the header, run recovery, rebuild. *)
+let attach dev =
+  let m = D.read_string dev 0 (String.length magic) in
+  if not (String.equal m magic) then
+    raise (Recovery_needed "bad magic: not a Corundum pool");
+  let v = Int64.to_int (D.read_u64 dev hdr_version) in
+  if v <> version then
+    raise (Recovery_needed (Printf.sprintf "unsupported pool version %d" v));
+  let nslots = Int64.to_int (D.read_u64 dev hdr_nslots) in
+  let slot_size = Int64.to_int (D.read_u64 dev hdr_slot_size) in
+  let heap_len = Int64.to_int (D.read_u64 dev hdr_heap_len) in
+  let table_base = Int64.to_int (D.read_u64 dev hdr_table_base) in
+  let heap_base = Int64.to_int (D.read_u64 dev hdr_heap_base) in
+  let table = T.attach dev ~table_base ~heap_base ~heap_len in
+  let recovery =
+    R.recover dev table ~journal_base:header_size ~slot_size ~nslots
+  in
+  let buddy = B.attach ~stripes:nslots dev ~table_base ~heap_base ~heap_len in
+  bump_generation dev;
+  build dev ~buddy ~nslots ~slot_size ~table_base ~heap_base ~heap_len ~recovery
+
+let open_file ?latency path = attach (D.load ?latency path)
+
+let reopen t =
+  t.open_ <- false;
+  D.power_cycle t.dev;
+  attach t.dev
+
+let save t =
+  check_open t;
+  D.save t.dev
+
+let close t =
+  check_open t;
+  Mutex.lock t.txs_lock;
+  let busy = Hashtbl.length t.txs > 0 in
+  Mutex.unlock t.txs_lock;
+  if busy then invalid_arg "Pool_impl.close: transactions in progress";
+  if D.path t.dev <> None then D.save t.dev;
+  t.open_ <- false
+
+(* {1 Transaction engine} *)
+
+let tx_pool tx = tx.pool
+let tx_valid tx = !(tx.valid)
+let tx_validity tx = tx.valid
+let tx_journal tx = if !(tx.valid) then tx.jrnl else raise Tx_escape
+
+let in_transaction t =
+  let did = (Domain.self () :> int) in
+  Mutex.lock t.txs_lock;
+  let r = Hashtbl.mem t.txs did in
+  Mutex.unlock t.txs_lock;
+  r
+
+let acquire_slot t =
+  Mutex.lock t.slot_lock;
+  let rec find i =
+    if i >= t.nslots then None
+    else if t.slot_free.(i) then Some i
+    else find (i + 1)
+  in
+  let rec wait () =
+    match find 0 with
+    | Some i ->
+        t.slot_free.(i) <- false;
+        Mutex.unlock t.slot_lock;
+        i
+    | None ->
+        Condition.wait t.slot_cond t.slot_lock;
+        wait ()
+  in
+  wait ()
+
+let release_slot t i =
+  Mutex.lock t.slot_lock;
+  t.slot_free.(i) <- true;
+  Condition.signal t.slot_cond;
+  Mutex.unlock t.slot_lock
+
+let release_locks tx =
+  List.iter
+    (fun e ->
+      e.owner <- None;
+      e.lock_depth <- 0;
+      Mutex.unlock e.mutex)
+    tx.held;
+  tx.held <- []
+
+let clear_borrows tx =
+  let t = tx.pool in
+  Mutex.lock t.borrows_lock;
+  List.iter (fun off -> Hashtbl.remove t.borrows off) tx.borrowed;
+  Mutex.unlock t.borrows_lock;
+  tx.borrowed <- []
+
+let unregister tx =
+  let t = tx.pool in
+  tx.valid := false;
+  Mutex.lock t.txs_lock;
+  Hashtbl.remove t.txs tx.domain;
+  Mutex.unlock t.txs_lock;
+  release_slot t tx.slot_idx
+
+let finish_commit tx =
+  J.commit tx.jrnl;
+  release_locks tx;
+  clear_borrows tx;
+  unregister tx;
+  tx.pool.n_tx <- tx.pool.n_tx + 1
+
+let finish_abort tx =
+  J.abort tx.jrnl;
+  release_locks tx;
+  clear_borrows tx;
+  unregister tx;
+  tx.pool.n_abort <- tx.pool.n_abort + 1
+
+(* A simulated power failure: the media is frozen, so neither commit nor
+   abort may run; drop the volatile transaction state and propagate. *)
+let finish_crashed tx =
+  release_locks tx;
+  clear_borrows tx;
+  unregister tx;
+  tx.pool.open_ <- false
+
+let transaction t f =
+  check_open t;
+  let did = (Domain.self () :> int) in
+  Mutex.lock t.txs_lock;
+  let existing = Hashtbl.find_opt t.txs did in
+  Mutex.unlock t.txs_lock;
+  match existing with
+  | Some tx ->
+      (* Nested transaction: flatten onto the enclosing one. *)
+      tx.depth <- tx.depth + 1;
+      Fun.protect ~finally:(fun () -> tx.depth <- tx.depth - 1) (fun () -> f tx)
+  | None ->
+      let slot_idx = acquire_slot t in
+      let jrnl = t.slots.(slot_idx) in
+      (match J.begin_tx jrnl with
+      | () -> ()
+      | exception e ->
+          release_slot t slot_idx;
+          raise e);
+      let tx =
+        {
+          pool = t;
+          jrnl;
+          slot_idx;
+          domain = did;
+          depth = 0;
+          valid = ref true;
+          held = [];
+          borrowed = [];
+        }
+      in
+      Mutex.lock t.txs_lock;
+      Hashtbl.replace t.txs did tx;
+      Mutex.unlock t.txs_lock;
+      (match f tx with
+      | result ->
+          finish_commit tx;
+          result
+      | exception D.Crashed ->
+          finish_crashed tx;
+          raise D.Crashed
+      | exception e ->
+          (match finish_abort tx with
+          | () -> ()
+          | exception D.Crashed ->
+              finish_crashed tx;
+              raise D.Crashed);
+          raise e)
+
+(* {1 Logged heap operations} *)
+
+let live_tx tx = if not !(tx.valid) then raise Tx_escape
+
+let tx_alloc tx size =
+  live_tx tx;
+  let off = J.alloc tx.jrnl size in
+  let t = tx.pool in
+  t.n_allocs <- t.n_allocs + 1;
+  Mutex.lock t.births_lock;
+  Hashtbl.replace t.births off
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.births off));
+  Mutex.unlock t.births_lock;
+  off
+
+let tx_free tx off =
+  live_tx tx;
+  tx.pool.n_frees <- tx.pool.n_frees + 1;
+  J.free tx.jrnl off
+
+let tx_log tx ~off ~len =
+  live_tx tx;
+  tx.pool.n_logs <- tx.pool.n_logs + 1;
+  J.data_log tx.jrnl ~off ~len
+
+let tx_log_nodedup tx ~off ~len =
+  live_tx tx;
+  tx.pool.n_logs <- tx.pool.n_logs + 1;
+  J.data_log_nodedup tx.jrnl ~off ~len
+
+let tx_add_target tx ~off ~len =
+  live_tx tx;
+  J.add_target tx.jrnl ~off ~len
+
+let tx_set_root tx ~off ~ty_hash =
+  live_tx tx;
+  J.data_log tx.jrnl ~off:hdr_root ~len:16;
+  D.write_u64 tx.pool.dev hdr_root (Int64.of_int off);
+  D.write_u64 tx.pool.dev hdr_root_hash (Int64.of_int ty_hash)
+
+(* {1 Volatile side tables} *)
+
+let tx_lock tx off =
+  live_tx tx;
+  let t = tx.pool in
+  Mutex.lock t.locks_lock;
+  let entry =
+    match Hashtbl.find_opt t.locks off with
+    | Some e -> e
+    | None ->
+        let e = { mutex = Mutex.create (); owner = None; lock_depth = 0 } in
+        Hashtbl.add t.locks off e;
+        e
+  in
+  Mutex.unlock t.locks_lock;
+  if entry.owner = Some tx.domain then entry.lock_depth <- entry.lock_depth + 1
+  else begin
+    Mutex.lock entry.mutex;
+    entry.owner <- Some tx.domain;
+    entry.lock_depth <- 1;
+    tx.held <- entry :: tx.held
+  end
+
+let borrow_mut_flag tx off =
+  live_tx tx;
+  let t = tx.pool in
+  Mutex.lock t.borrows_lock;
+  let dup = Hashtbl.mem t.borrows off in
+  if not dup then Hashtbl.add t.borrows off ();
+  Mutex.unlock t.borrows_lock;
+  if dup then
+    raise
+      (Borrow_error
+         (Printf.sprintf "cell at %d is already mutably borrowed" off));
+  tx.borrowed <- off :: tx.borrowed
+
+let release_borrow_flag t off =
+  Mutex.lock t.borrows_lock;
+  Hashtbl.remove t.borrows off;
+  Mutex.unlock t.borrows_lock
+
+let is_borrowed t off =
+  Mutex.lock t.borrows_lock;
+  let r = Hashtbl.mem t.borrows off in
+  Mutex.unlock t.borrows_lock;
+  r
+
+let birth t off =
+  Mutex.lock t.births_lock;
+  let r = Option.value ~default:0 (Hashtbl.find_opt t.births off) in
+  Mutex.unlock t.births_lock;
+  r
+
+let bump_birth t off =
+  Mutex.lock t.births_lock;
+  Hashtbl.replace t.births off
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.births off));
+  Mutex.unlock t.births_lock
+
+(* {1 Accounting} *)
+
+type pool_stats = {
+  heap_capacity : int;
+  heap_used : int;
+  live_blocks : int;
+  transactions : int;
+  aborts : int;
+  log_requests : int;
+  allocations : int;
+  frees : int;
+}
+
+let stats t =
+  {
+    heap_capacity = B.capacity t.buddy;
+    heap_used = B.used_bytes t.buddy;
+    live_blocks = Palloc.Heap_walk.live_count t.buddy;
+    transactions = t.n_tx;
+    aborts = t.n_abort;
+    log_requests = t.n_logs;
+    allocations = t.n_allocs;
+    frees = t.n_frees;
+  }

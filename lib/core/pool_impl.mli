@@ -1,0 +1,156 @@
+(** Untyped persistent-memory pool runtime.
+
+    This module owns everything below the typed API: the on-media layout
+    (header, journal slots, allocation table, heap), open/create/recovery,
+    journal-slot assignment, the flat transaction engine with per-domain
+    nesting, the volatile lock and borrow tables backing [Pmutex] and
+    [Prefcell], and the volatile birth-counter table backing [Vweak]
+    promotion safety.
+
+    The typed layer ({!Pool}, {!Pbox}, …) adds pool branding on top; no
+    user-facing code should call this module directly. *)
+
+exception Pool_closed
+(** An operation touched a pool that has been closed (or superseded by a
+    {!reopen}). *)
+
+exception Tx_escape
+(** A journal or guard object was used after its transaction ended — the
+    dynamic analogue of Rust's [TxOutSafe]/lifetime enforcement. *)
+
+exception Borrow_error of string
+(** A [Prefcell] mutable-borrow rule was violated. *)
+
+exception Recovery_needed of string
+(** Internal corruption was detected at open time. *)
+
+type t
+
+type config = {
+  size : int;  (** total device bytes *)
+  nslots : int;  (** journal slots = max concurrent transactions *)
+  slot_size : int;  (** bytes per journal slot *)
+}
+
+val default_config : config
+(** 64 MiB, 8 slots of 256 KiB. *)
+
+(** {1 Lifecycle} *)
+
+val create :
+  ?config:config -> ?latency:Pmem.Latency.t -> ?path:string -> unit -> t
+(** Create and format a fresh pool (in memory; backed by [path] only when
+    {!close} or {!save} writes it out). *)
+
+val open_file : ?latency:Pmem.Latency.t -> string -> t
+(** Load a pool image from a file saved by {!close}/{!save}, running
+    journal recovery. *)
+
+val reopen : t -> t
+(** Simulate a restart on the same media: power-cycle the device (losing
+    volatile state, applying WPQ-survival semantics), run recovery, and
+    return a fresh handle.  The old handle becomes {!Pool_closed}.  This is
+    the crash-test entry point. *)
+
+val close : t -> unit
+(** Close the pool: forbid new transactions, save to the backing file if
+    any, and invalidate the handle. *)
+
+val save : t -> unit
+(** Persist the durable image to the backing file without closing. *)
+
+val is_open : t -> bool
+val uid : t -> int
+(** Unique id of this open instance (changes on every open/reopen). *)
+
+val generation : t -> int
+(** Durable generation counter, bumped at every open. *)
+
+val recovery_stats : t -> Pjournal.Recovery.stats
+(** What recovery did when this handle was opened. *)
+
+(** {1 Media access} *)
+
+val device : t -> Pmem.Device.t
+val buddy : t -> Palloc.Buddy.t
+val check_open : t -> unit
+
+(** {1 Root object} *)
+
+val root_off : t -> int
+(** Offset of the root block, or 0 when the root is not yet initialized. *)
+
+val root_ty_hash : t -> int
+
+(** {1 Transactions}
+
+    The engine hands the body a [tx] context; nesting within one domain is
+    flattened onto the same context.  On normal return the outermost level
+    commits; on exception it aborts and re-raises; on {!Pmem.Device.Crashed}
+    it re-raises without touching the media. *)
+
+type tx
+
+val transaction : t -> (tx -> 'a) -> 'a
+
+val tx_pool : tx -> t
+val tx_journal : tx -> Pjournal.Journal_impl.t
+(** Raises {!Tx_escape} if the transaction has ended. *)
+
+val tx_valid : tx -> bool
+val tx_validity : tx -> bool ref
+(** Shared flag that guards created inside the transaction capture; it
+    flips to [false] when the transaction ends. *)
+
+val in_transaction : t -> bool
+(** Whether the calling domain currently runs a transaction on this pool. *)
+
+(** {1 Logged heap operations (journal-capability level)} *)
+
+val tx_alloc : tx -> int -> int
+val tx_free : tx -> int -> unit
+val tx_log : tx -> off:int -> len:int -> unit
+val tx_log_nodedup : tx -> off:int -> len:int -> unit
+
+val tx_add_target : tx -> off:int -> len:int -> unit
+(** Register a range for commit-time persistence without undo logging —
+    only sound for ranges inside blocks allocated by this transaction. *)
+
+val tx_set_root : tx -> off:int -> ty_hash:int -> unit
+
+(** {1 Volatile side tables} *)
+
+val tx_lock : tx -> int -> unit
+(** Acquire the pool-level lock keyed by a block offset; held until the
+    outermost transaction ends; reentrant within one transaction. *)
+
+val borrow_mut_flag : tx -> int -> unit
+(** Mark a cell offset mutably borrowed for the rest of the transaction.
+    Raises {!Borrow_error} if it already is. *)
+
+val release_borrow_flag : t -> int -> unit
+(** End a mutable borrow early (guard released before transaction end). *)
+
+val is_borrowed : t -> int -> bool
+
+val birth : t -> int -> int
+(** Volatile birth counter for a block offset: bumped every time the
+    offset is (re)allocated during this open; lets volatile weak pointers
+    detect block reuse. *)
+
+val bump_birth : t -> int -> unit
+
+(** {1 Accounting} *)
+
+type pool_stats = {
+  heap_capacity : int;
+  heap_used : int;
+  live_blocks : int;
+  transactions : int;  (** committed *)
+  aborts : int;
+  log_requests : int;  (** [tx_log]/[tx_log_nodedup] calls (pre-dedup) *)
+  allocations : int;
+  frees : int;
+}
+
+val stats : t -> pool_stats

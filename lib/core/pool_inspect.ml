@@ -1,0 +1,108 @@
+module D = Pmem.Device
+
+type slot_state = Idle | Active of int | Committing of int
+
+type info = {
+  magic_ok : bool;
+  version : int;
+  generation : int;
+  root_off : int;
+  root_ty_hash : int;
+  nslots : int;
+  slot_size : int;
+  journal_base : int;
+  table_base : int;
+  heap_base : int;
+  heap_len : int;
+  device_size : int;
+  slots : slot_state list;
+  live_blocks : int;
+  live_bytes : int;
+  largest_block : int;
+}
+
+(* Header field offsets mirror Pool_impl's layout; kept in sync by the
+   roundtrip test in test_corundum. *)
+let magic = "CORUNDUM-POOL-01"
+let header_size = 4096
+
+let read_slot dev ~base =
+  let phase = D.read_u64 dev base in
+  let count = Int64.to_int (D.read_u64 dev (base + 8)) in
+  if phase = 1L then Committing count
+  else if count > 0 then Active count
+  else Idle
+
+let inspect_device dev =
+  let u64 off = Int64.to_int (D.read_u64 dev off) in
+  let magic_ok =
+    D.size dev >= header_size
+    && String.equal (D.read_string dev 0 (String.length magic)) magic
+  in
+  let nslots = if magic_ok then u64 48 else 0 in
+  let slot_size = if magic_ok then u64 56 else 0 in
+  let heap_len = if magic_ok then u64 64 else 0 in
+  let table_base = if magic_ok then u64 72 else 0 in
+  let heap_base = if magic_ok then u64 80 else 0 in
+  let slots =
+    List.init nslots (fun i ->
+        read_slot dev ~base:(header_size + (i * slot_size)))
+  in
+  let live_blocks = ref 0 and live_bytes = ref 0 and largest = ref 0 in
+  if magic_ok && heap_len > 0 then begin
+    let table =
+      Palloc.Alloc_table.attach dev ~table_base ~heap_base ~heap_len
+    in
+    Palloc.Alloc_table.iter_allocated table (fun ~idx:_ ~order ->
+        incr live_blocks;
+        let size = Palloc.Buddy.size_of_order order in
+        live_bytes := !live_bytes + size;
+        if size > !largest then largest := size)
+  end;
+  {
+    magic_ok;
+    version = (if magic_ok then u64 16 else 0);
+    generation = (if magic_ok then u64 24 else 0);
+    root_off = (if magic_ok then u64 32 else 0);
+    root_ty_hash = (if magic_ok then u64 40 else 0);
+    nslots;
+    slot_size;
+    journal_base = header_size;
+    table_base;
+    heap_base;
+    heap_len;
+    device_size = D.size dev;
+    slots;
+    live_blocks = !live_blocks;
+    live_bytes = !live_bytes;
+    largest_block = !largest;
+  }
+
+let inspect_file path = inspect_device (D.load path)
+
+let pp ppf i =
+  let open Format in
+  if not i.magic_ok then fprintf ppf "not a Corundum pool image@."
+  else begin
+    fprintf ppf "Corundum pool (version %d)@." i.version;
+    fprintf ppf "  device size   : %d bytes@." i.device_size;
+    fprintf ppf "  generation    : %d (times opened)@." i.generation;
+    fprintf ppf "  root          : %s@."
+      (if i.root_off = 0 then "(uninitialized)"
+       else Printf.sprintf "offset %d, type hash %#x" i.root_off i.root_ty_hash);
+    fprintf ppf "  layout        : journals @%d (%d x %d B), table @%d, heap @%d (+%d B)@."
+      i.journal_base i.nslots i.slot_size i.table_base i.heap_base i.heap_len;
+    fprintf ppf "  heap          : %d live blocks, %d bytes used (largest %d), %d free@."
+      i.live_blocks i.live_bytes i.largest_block (i.heap_len - i.live_bytes);
+    List.iteri
+      (fun n s ->
+        match s with
+        | Idle -> ()
+        | Active c ->
+            fprintf ppf "  journal %d     : ACTIVE, %d undo entries (will roll back on open)@." n c
+        | Committing c ->
+            fprintf ppf "  journal %d     : COMMITTING, %d entries (will complete on open)@." n c)
+      i.slots;
+    if List.for_all (fun s -> s = Idle) i.slots then
+      fprintf ppf "  journals      : all %d slots idle (clean shutdown)@." i.nslots
+  end

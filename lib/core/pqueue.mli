@@ -1,0 +1,36 @@
+(** [Pqueue] — persistent FIFO queue (growable ring buffer).
+
+    Two blocks, like {!Pvec}: a header [length | capacity | head index |
+    data pointer] and a power-of-two data block indexed modulo the
+    capacity.  Enqueue and dequeue are O(1); growth doubles and
+    linearizes the ring transactionally.
+
+    Dequeued elements transfer ownership to the caller (see {!Pvec.pop}
+    for the discipline). *)
+
+type ('a, 'p) t
+
+val make : ty:('a, 'p) Ptype.t -> ?capacity:int -> 'p Journal.t -> ('a, 'p) t
+val length : ('a, 'p) t -> int
+val capacity : ('a, 'p) t -> int
+val is_empty : ('a, 'p) t -> bool
+
+val push : ('a, 'p) t -> 'a -> 'p Journal.t -> unit
+(** Enqueue at the back. *)
+
+val pop : ('a, 'p) t -> 'p Journal.t -> 'a option
+(** Dequeue from the front. *)
+
+val peek : ('a, 'p) t -> 'a option
+(** Front element without removing it (no journal needed). *)
+
+val iter : ('a, 'p) t -> ('a -> unit) -> unit
+(** Front to back. *)
+
+val fold : ('a, 'p) t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+val to_list : ('a, 'p) t -> 'a list
+val clear : ('a, 'p) t -> 'p Journal.t -> unit
+val drop : ('a, 'p) t -> 'p Journal.t -> unit
+val off : ('a, 'p) t -> int
+val ptype : ('a, 'p) Ptype.t -> (('a, 'p) t, 'p) Ptype.t
+val ptype_rec : ('a, 'p) Ptype.t Lazy.t -> (('a, 'p) t, 'p) Ptype.t

@@ -1,0 +1,48 @@
+(** [Prc] — persistent reference counting without thread safety.
+
+    The persistent counterpart of Rust's [Rc<T>]: shared ownership of a
+    pool-resident value, freed when the last strong reference is dropped.
+    Like the paper's [Prc], it must not be shared across threads (Rust
+    enforces this with [!Send]; here it is a documented obligation checked
+    by the data-race–free usage of examples and tests).
+
+    Counter updates are undo-logged with per-transaction deduplication,
+    which is why repeated [pclone]/[drop] inside one transaction is almost
+    free (Table 5).  The payload is immutable through a [Prc]; mutate by
+    storing a {!Prefcell} or {!Pcell} inside it. *)
+
+type ('a, 'p) t
+type ('a, 'p) weak
+(** Persistent weak reference ([PWeak] in the paper). *)
+
+type ('a, 'p) vweak
+(** Volatile weak reference ([VWeak]): the only pointer from volatile
+    memory into a pool. *)
+
+val make : ty:('a, 'p) Ptype.t -> 'a -> 'p Journal.t -> ('a, 'p) t
+val get : ('a, 'p) t -> 'a
+val pclone : ('a, 'p) t -> 'p Journal.t -> ('a, 'p) t
+val drop : ('a, 'p) t -> 'p Journal.t -> unit
+
+val try_unwrap : ('a, 'p) t -> 'p Journal.t -> 'a option
+(** Take the payload out if this is the only strong reference (Rust's
+    [Rc::try_unwrap]); [None] when shared. *)
+
+val strong_count : ('a, 'p) t -> int
+val weak_count : ('a, 'p) t -> int
+val equal : ('a, 'p) t -> ('a, 'p) t -> bool
+val off : ('a, 'p) t -> int
+
+val downgrade : ('a, 'p) t -> 'p Journal.t -> ('a, 'p) weak
+val upgrade : ('a, 'p) weak -> 'p Journal.t -> ('a, 'p) t option
+val weak_drop : ('a, 'p) weak -> 'p Journal.t -> unit
+
+val demote : ('a, 'p) t -> 'p Journal.t -> ('a, 'p) vweak
+val promote : ('a, 'p) vweak -> 'p Journal.t -> ('a, 'p) t option
+(** [None] when the pool instance has been closed/reopened, the block was
+    freed (and possibly reused), or no strong reference remains. *)
+
+val ptype : ('a, 'p) Ptype.t -> (('a, 'p) t, 'p) Ptype.t
+val ptype_rec : ('a, 'p) Ptype.t Lazy.t -> (('a, 'p) t, 'p) Ptype.t
+val weak_ptype : ('a, 'p) Ptype.t -> (('a, 'p) weak, 'p) Ptype.t
+val weak_ptype_rec : ('a, 'p) Ptype.t Lazy.t -> (('a, 'p) weak, 'p) Ptype.t

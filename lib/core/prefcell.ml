@@ -1,0 +1,70 @@
+type ('a, 'p) t = ('a, 'p) Cell_core.t
+
+type ('a, 'p) refmut = {
+  cell : ('a, 'p) t;
+  tx : Pool_impl.tx;
+  validity : bool ref;
+  mutable released : bool;
+}
+
+let make = Cell_core.make
+
+let borrow c =
+  (match (Cell_core.pool c, Cell_core.placed_off c) with
+  | Some pool, Some off ->
+      if Pool_impl.is_borrowed pool off then
+        raise
+          (Pool_impl.Borrow_error
+             (Printf.sprintf "cell at %d is mutably borrowed" off))
+  | _ -> ());
+  Cell_core.read c
+
+let borrow_mut c j =
+  let tx = Journal.tx j in
+  (match Cell_core.placed_off c with
+  | Some off -> Pool_impl.borrow_mut_flag tx off
+  | None -> () (* seeds are thread-private initializers *));
+  { cell = c; tx; validity = Pool_impl.tx_validity tx; released = false }
+
+let live r =
+  if r.released || not !(r.validity) then raise Pool_impl.Tx_escape
+
+let deref r =
+  live r;
+  Cell_core.read r.cell
+
+let deref_set r v =
+  live r;
+  Cell_core.write r.cell r.tx v
+
+let deref_update r f = deref_set r (f (deref r))
+
+let release r =
+  if not r.released then begin
+    r.released <- true;
+    if !(r.validity) then
+      match (Cell_core.pool r.cell, Cell_core.placed_off r.cell) with
+      | Some pool, Some off -> Pool_impl.release_borrow_flag pool off
+      | _ -> ()
+  end
+
+let with_mut c j f =
+  let r = borrow_mut c j in
+  Fun.protect ~finally:(fun () -> release r) (fun () -> deref_update r f)
+
+let set c v j =
+  let r = borrow_mut c j in
+  Fun.protect ~finally:(fun () -> release r) (fun () -> deref_set r v)
+
+let replace c v j =
+  let r = borrow_mut c j in
+  Fun.protect
+    ~finally:(fun () -> release r)
+    (fun () ->
+      live r;
+      Cell_core.replace r.cell r.tx v)
+
+let off = Cell_core.placed_off
+
+let ptype inner =
+  Cell_core.ptype ~name:(Printf.sprintf "%s prefcell" (Ptype.name inner)) inner

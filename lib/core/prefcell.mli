@@ -1,0 +1,53 @@
+(** [Prefcell] — interior mutability with dynamic borrow checking
+    ([PRefCell] in the paper).
+
+    Reading ([borrow]) copies the value out and needs no journal.  Mutable
+    access requires a journal and is mediated by a {!refmut} guard, which
+    enforces the mutability invariant dynamically: at most one mutable
+    borrow of a cell may exist, and it lives until the enclosing
+    transaction ends (guards are {e stranded} — using one after commit or
+    abort raises {!Pool_impl.Tx_escape}).
+
+    The first write through a guard pays for an undo-log entry; subsequent
+    writes to the same cell in the same transaction are deduplicated —
+    exactly the paper's [DerefMut] first/rest asymmetry. *)
+
+type ('a, 'p) t
+type ('a, 'p) refmut
+(** The stranded mutable-reference object ([PRefMut]). *)
+
+val make : ty:('a, 'p) Ptype.t -> 'a -> ('a, 'p) t
+
+val borrow : ('a, 'p) t -> 'a
+(** Immutable access by copy.  Raises {!Pool_impl.Borrow_error} if the
+    cell is currently mutably borrowed. *)
+
+val borrow_mut : ('a, 'p) t -> 'p Journal.t -> ('a, 'p) refmut
+(** Take the unique mutable borrow for the rest of the transaction.
+    Raises {!Pool_impl.Borrow_error} if one already exists. *)
+
+val deref : ('a, 'p) refmut -> 'a
+val deref_set : ('a, 'p) refmut -> 'a -> unit
+val deref_update : ('a, 'p) refmut -> ('a -> 'a) -> unit
+
+val release : ('a, 'p) refmut -> unit
+(** End the borrow early (the analogue of the guard going out of scope in
+    Rust).  Guards not released explicitly are released when the
+    transaction ends; a released or ended guard raises
+    {!Pool_impl.Tx_escape} on use. *)
+
+val with_mut : ('a, 'p) t -> 'p Journal.t -> ('a -> 'a) -> unit
+(** [with_mut cell j f] borrows mutably, replaces the value by [f value],
+    and releases the borrow (scope-style). *)
+
+val set : ('a, 'p) t -> 'a -> 'p Journal.t -> unit
+(** Borrow mutably, store [v] (releasing what the old value owned),
+    release the borrow. *)
+
+val replace : ('a, 'p) t -> 'a -> 'p Journal.t -> 'a
+(** Move semantics: like {!set} but the old value is returned and not
+    released — the way to re-link nodes in pointer structures without
+    cascading drops (Rust's [mem::replace]). *)
+
+val off : ('a, 'p) t -> int option
+val ptype : ('a, 'p) Ptype.t -> (('a, 'p) t, 'p) Ptype.t

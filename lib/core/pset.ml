@@ -1,0 +1,20 @@
+type 'p t = (unit, 'p) Pmap.t
+
+let make j = Pmap.make ~vty:Ptype.unit j
+let cardinal = Pmap.length
+let is_empty = Pmap.is_empty
+let add s k j = Pmap.add s ~key:k () j
+let mem = Pmap.mem
+let remove = Pmap.remove
+let min_elt s = Option.map fst (Pmap.min_binding s)
+let max_elt s = Option.map fst (Pmap.max_binding s)
+let fold s ~init ~f = Pmap.fold s ~init ~f:(fun acc k () -> f acc k)
+let iter s f = Pmap.iter s (fun k () -> f k)
+let to_list s = List.map fst (Pmap.to_list s)
+let clear = Pmap.clear
+let drop = Pmap.drop
+let check = Pmap.check
+let ptype () = Pmap.ptype Ptype.unit
+
+let range s ~lo ~hi =
+  List.rev (Pmap.fold_range s ~lo ~hi ~init:[] ~f:(fun acc k () -> k :: acc))

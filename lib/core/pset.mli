@@ -1,0 +1,25 @@
+(** [Pset] — persistent sorted set of integers (a {!Pmap} with unit
+    payloads).  O(log n) membership, ordered iteration, crash-atomic
+    updates. *)
+
+type 'p t
+
+val make : 'p Journal.t -> 'p t
+val cardinal : 'p t -> int
+val is_empty : 'p t -> bool
+
+val add : 'p t -> int -> 'p Journal.t -> unit
+val mem : 'p t -> int -> bool
+val remove : 'p t -> int -> 'p Journal.t -> bool
+val min_elt : 'p t -> int option
+val max_elt : 'p t -> int option
+val fold : 'p t -> init:'b -> f:('b -> int -> 'b) -> 'b
+val iter : 'p t -> (int -> unit) -> unit
+val to_list : 'p t -> int list
+val range : 'p t -> lo:int -> hi:int -> int list
+(** Elements within [lo, hi], ascending (pruned descent). *)
+
+val clear : 'p t -> 'p Journal.t -> unit
+val drop : 'p t -> 'p Journal.t -> unit
+val check : 'p t -> (unit, string) result
+val ptype : unit -> ('p t, 'p) Ptype.t

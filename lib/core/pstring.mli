@@ -1,0 +1,24 @@
+(** [Pstring] — heap-allocated persistent string.
+
+    Variable-length strings cannot live inline in fixed-footprint slots
+    (use {!Ptype.fixed_string} for bounded inline text); a [Pstring] is an
+    owned pointer to a length-prefixed byte block, with the same atomic
+    initialization and explicit-drop discipline as {!Pbox}. *)
+
+type +'p t
+
+val make : string -> 'p Journal.t -> 'p t
+val get : 'p t -> string
+val length : 'p t -> int
+val equal : 'p t -> 'p t -> bool
+(** Content equality. *)
+
+val sub : 'p t -> pos:int -> len:int -> 'p Journal.t -> 'p t
+(** A fresh string holding the given slice. *)
+
+val concat : 'p t -> 'p t -> 'p Journal.t -> 'p t
+(** A fresh string holding the concatenation; the inputs are untouched. *)
+
+val drop : 'p t -> 'p Journal.t -> unit
+val off : 'p t -> int
+val ptype : unit -> ('p t, 'p) Ptype.t

@@ -1,0 +1,38 @@
+(** [Pstrmap] — persistent hash map with string keys.
+
+    The string-keyed sibling of {!Phashtbl}: keys live in owned
+    {!Pstring} blocks, chains compare the stored hash first and the full
+    key bytes only on a hash hit, and the directory doubles with a
+    transactional rehash at load factor 2. *)
+
+type ('a, 'p) t
+
+val make : vty:('a, 'p) Ptype.t -> ?nbuckets:int -> 'p Journal.t -> ('a, 'p) t
+val length : ('a, 'p) t -> int
+val buckets : ('a, 'p) t -> int
+val is_empty : ('a, 'p) t -> bool
+
+val add : ('a, 'p) t -> key:string -> 'a -> 'p Journal.t -> unit
+(** Insert, or replace (releasing the old value; the stored key block is
+    reused). *)
+
+val find : ('a, 'p) t -> string -> 'a option
+val mem : ('a, 'p) t -> string -> bool
+
+val remove : ('a, 'p) t -> string -> 'p Journal.t -> bool
+(** Delete; releases the key block and the value. *)
+
+val fold : ('a, 'p) t -> init:'b -> f:('b -> string -> 'a -> 'b) -> 'b
+val iter : ('a, 'p) t -> (string -> 'a -> unit) -> unit
+val keys : ('a, 'p) t -> string list
+val to_list : ('a, 'p) t -> (string * 'a) list
+(** Sorted by key. *)
+
+val clear : ('a, 'p) t -> 'p Journal.t -> unit
+val drop : ('a, 'p) t -> 'p Journal.t -> unit
+val off : ('a, 'p) t -> int
+
+val check : ('a, 'p) t -> (unit, string) result
+
+val ptype : ('a, 'p) Ptype.t -> (('a, 'p) t, 'p) Ptype.t
+val ptype_rec : ('a, 'p) Ptype.t Lazy.t -> (('a, 'p) t, 'p) Ptype.t

@@ -1,0 +1,37 @@
+module D = Pmem.Device
+
+let placed what c =
+  let c = Pcell.unsafe_expose c in
+  match (Cell_core.placed_off c, Cell_core.pool c) with
+  | Some off, Some pool -> (off, pool)
+  | _ -> invalid_arg (Printf.sprintf "Punsafe.%s: cell is not in a pool" what)
+
+let unlogged_set c v j =
+  let tx = Journal.tx j in
+  let off, pool = placed "unlogged_set" c in
+  ignore tx;
+  Ptype.write (Cell_core.ty (Pcell.unsafe_expose c)) pool off v
+
+let flush c j =
+  let tx = Journal.tx j in
+  let off, pool = placed "flush" c in
+  ignore tx;
+  D.flush (Pool_impl.device pool) off
+    (max 8 (Ptype.size (Cell_core.ty (Pcell.unsafe_expose c))))
+
+let fence j =
+  let pool = Journal.pool j in
+  D.fence (Pool_impl.device pool)
+
+let persist c j =
+  flush c j;
+  fence j
+
+let atomic_set c v j =
+  let ty = Cell_core.ty (Pcell.unsafe_expose c) in
+  if Ptype.size ty > 8 then
+    invalid_arg
+      (Printf.sprintf "Punsafe.atomic_set: %s is wider than 8 bytes"
+         (Ptype.name ty));
+  unlogged_set c v j;
+  persist c j

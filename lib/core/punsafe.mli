@@ -1,0 +1,32 @@
+(** Log-free programming — the unsafe escape hatch the paper lists as a
+    desirable extension (§3.9, "Log-Free Programming").
+
+    High-performance PM data structures often avoid logging entirely and
+    rely on carefully-ordered 8-byte atomic updates for crash consistency.
+    These operations bypass the undo journal: an enclosing transaction's
+    abort or a crash rollback will {e not} restore what they wrote.  Like
+    Rust's [unsafe] blocks, using them transfers the burden of proof to
+    the caller: every intermediate state the ordering exposes must be a
+    valid state of the data structure.
+
+    They still demand a journal — the brand and the in-transaction
+    obligation remain — only the logging is waived. *)
+
+val atomic_set : ('a, 'p) Pcell.t -> 'a -> 'p Journal.t -> unit
+(** Write a value whose footprint is at most 8 bytes and persist it
+    immediately (store + flush + fence): crash-atomic by hardware
+    word-atomicity, but invisible to rollback.  Raises [Invalid_argument]
+    on wider types or on an unplaced (seed) cell. *)
+
+val unlogged_set : ('a, 'p) Pcell.t -> 'a -> 'p Journal.t -> unit
+(** Write without logging {e and without persisting} — the raw store of a
+    carefully-ordered algorithm.  Pair with {!flush} and {!fence}. *)
+
+val flush : ('a, 'p) Pcell.t -> 'p Journal.t -> unit
+(** Write back the cell's lines ([clflushopt]); unordered until {!fence}. *)
+
+val fence : 'p Journal.t -> unit
+(** Order previously flushed lines ([sfence]). *)
+
+val persist : ('a, 'p) Pcell.t -> 'p Journal.t -> unit
+(** {!flush} + {!fence}. *)

@@ -1,0 +1,208 @@
+module D = Pmem.Device
+
+(* Header block: [len u64 | cap u64 | data u64]. *)
+let hdr_size = 24
+
+type ('a, 'p) t = { hdr : int; pool : Pool_impl.t; ty : ('a, 'p) Ptype.t }
+
+let off v = v.hdr
+let dev pool = Pool_impl.device pool
+let esize v = max 8 (Ptype.size v.ty)
+let read_len v = Int64.to_int (D.read_u64 (dev v.pool) v.hdr)
+let read_cap v = Int64.to_int (D.read_u64 (dev v.pool) (v.hdr + 8))
+let read_data v = Int64.to_int (D.read_u64 (dev v.pool) (v.hdr + 16))
+
+let length v =
+  Pool_impl.check_open v.pool;
+  read_len v
+
+let capacity v =
+  Pool_impl.check_open v.pool;
+  read_cap v
+
+let is_empty v = length v = 0
+
+let make ~ty ?(capacity = 8) j =
+  if capacity <= 0 then invalid_arg "Pvec.make: capacity must be positive";
+  let tx = Journal.tx j in
+  let pool = Pool_impl.tx_pool tx in
+  let es = max 8 (Ptype.size ty) in
+  let hdr = Pool_impl.tx_alloc tx hdr_size in
+  let data = Pool_impl.tx_alloc tx (capacity * es) in
+  D.write_u64 (dev pool) hdr 0L;
+  D.write_u64 (dev pool) (hdr + 8) (Int64.of_int capacity);
+  D.write_u64 (dev pool) (hdr + 16) (Int64.of_int data);
+  D.persist (dev pool) hdr hdr_size;
+  { hdr; pool; ty }
+
+let slot v i = read_data v + (i * esize v)
+
+let check_bounds v i what =
+  let len = read_len v in
+  if i < 0 || i >= len then
+    invalid_arg (Printf.sprintf "Pvec.%s: index %d out of bounds [0, %d)" what i len)
+
+let get v i =
+  Pool_impl.check_open v.pool;
+  check_bounds v i "get";
+  Ptype.read v.ty v.pool (slot v i)
+
+let set v i x j =
+  let tx = Journal.tx j in
+  check_bounds v i "set";
+  let s = slot v i in
+  Pool_impl.tx_log tx ~off:s ~len:(esize v);
+  Ptype.drop v.ty tx s;
+  Ptype.write v.ty v.pool s x
+
+(* Double the data block: fresh allocation, raw copy, eager persist (the
+   new block is not undo-logged; rollback frees it). *)
+let grow v tx =
+  let es = esize v in
+  let len = read_len v and cap = read_cap v and data = read_data v in
+  let ncap = cap * 2 in
+  let ndata = Pool_impl.tx_alloc tx (ncap * es) in
+  if len > 0 then begin
+    D.copy_within (dev v.pool) ~src:data ~dst:ndata ~len:(len * es);
+    D.persist (dev v.pool) ndata (len * es)
+  end;
+  Pool_impl.tx_log tx ~off:(v.hdr + 8) ~len:16;
+  D.write_u64 (dev v.pool) (v.hdr + 8) (Int64.of_int ncap);
+  D.write_u64 (dev v.pool) (v.hdr + 16) (Int64.of_int ndata);
+  Pool_impl.tx_free tx data
+
+let push v x j =
+  let tx = Journal.tx j in
+  let len = read_len v in
+  if len = read_cap v then grow v tx;
+  let s = slot v len in
+  Pool_impl.tx_log tx ~off:s ~len:(esize v);
+  Ptype.write v.ty v.pool s x;
+  Pool_impl.tx_log tx ~off:v.hdr ~len:8;
+  D.write_u64 (dev v.pool) v.hdr (Int64.of_int (len + 1))
+
+(* Shift-based editing; O(n) like Array-backed vectors everywhere. *)
+let insert_at v i x j =
+  let tx = Journal.tx j in
+  let len = read_len v in
+  if i < 0 || i > len then
+    invalid_arg (Printf.sprintf "Pvec.insert_at: index %d outside [0, %d]" i len);
+  if len = read_cap v then grow v tx;
+  let es = esize v in
+  (* log the shifted region as one range, then move it up *)
+  if len > i then begin
+    Pool_impl.tx_log tx ~off:(slot v i) ~len:((len - i + 1) * es);
+    D.copy_within (dev v.pool) ~src:(slot v i) ~dst:(slot v (i + 1))
+      ~len:((len - i) * es)
+  end
+  else Pool_impl.tx_log tx ~off:(slot v i) ~len:es;
+  Ptype.write v.ty v.pool (slot v i) x;
+  Pool_impl.tx_log tx ~off:v.hdr ~len:8;
+  D.write_u64 (dev v.pool) v.hdr (Int64.of_int (len + 1))
+
+let remove_at v i j =
+  let tx = Journal.tx j in
+  check_bounds v i "remove_at";
+  let len = read_len v in
+  let es = esize v in
+  let x = Ptype.read v.ty v.pool (slot v i) in
+  if len - 1 > i then begin
+    Pool_impl.tx_log tx ~off:(slot v i) ~len:((len - i) * es);
+    D.copy_within (dev v.pool) ~src:(slot v (i + 1)) ~dst:(slot v i)
+      ~len:((len - 1 - i) * es)
+  end;
+  Pool_impl.tx_log tx ~off:v.hdr ~len:8;
+  D.write_u64 (dev v.pool) v.hdr (Int64.of_int (len - 1));
+  x
+
+let pop v j =
+  let tx = Journal.tx j in
+  let len = read_len v in
+  if len = 0 then None
+  else begin
+    let x = Ptype.read v.ty v.pool (slot v (len - 1)) in
+    Pool_impl.tx_log tx ~off:v.hdr ~len:8;
+    D.write_u64 (dev v.pool) v.hdr (Int64.of_int (len - 1));
+    Some x
+  end
+
+let iter v f =
+  Pool_impl.check_open v.pool;
+  for i = 0 to read_len v - 1 do
+    f (Ptype.read v.ty v.pool (slot v i))
+  done
+
+let fold v ~init ~f =
+  let acc = ref init in
+  iter v (fun x -> acc := f !acc x);
+  !acc
+
+let to_list v = List.rev (fold v ~init:[] ~f:(fun acc x -> x :: acc))
+
+let clear v j =
+  let tx = Journal.tx j in
+  let len = read_len v in
+  for i = 0 to len - 1 do
+    Ptype.drop v.ty tx (slot v i)
+  done;
+  Pool_impl.tx_log tx ~off:v.hdr ~len:8;
+  D.write_u64 (dev v.pool) v.hdr 0L
+
+let drop v j =
+  let tx = Journal.tx j in
+  let len = read_len v in
+  for i = 0 to len - 1 do
+    Ptype.drop v.ty tx (slot v i)
+  done;
+  Pool_impl.tx_free tx (read_data v);
+  Pool_impl.tx_free tx v.hdr
+
+let make_ptype inner_of =
+  Ptype.make ~name:"pvec" ~size:8
+    ~read:(fun pool off ->
+      {
+        hdr = Int64.to_int (D.read_u64 (dev pool) off);
+        pool;
+        ty = inner_of ();
+      })
+    ~write:(fun pool off v ->
+      D.write_u64 (dev pool) off (Int64.of_int v.hdr))
+    ~drop:(fun tx off ->
+      let pool = Pool_impl.tx_pool tx in
+      let hdr = Int64.to_int (D.read_u64 (dev pool) off) in
+      if hdr <> 0 then
+        drop { hdr; pool; ty = inner_of () } (Journal.unsafe_of_tx tx))
+    ~reach:(fun pool off ->
+      let hdr = Int64.to_int (D.read_u64 (dev pool) off) in
+      if hdr = 0 then []
+      else
+        [
+          {
+            Ptype.block = hdr;
+            follow =
+              (fun p ->
+                let v = { hdr; pool = p; ty = inner_of () } in
+                let data = read_data v in
+                [
+                  {
+                    Ptype.block = data;
+                    follow =
+                      (fun p2 ->
+                        let v2 = { hdr; pool = p2; ty = inner_of () } in
+                        let len = read_len v2 in
+                        List.concat
+                          (List.init len (fun i ->
+                               Ptype.reach v2.ty p2 (slot v2 i))));
+                  };
+                ]);
+          };
+        ])
+
+let ptype inner =
+  let t = make_ptype (fun () -> inner) in
+  Ptype.make
+    ~name:(Printf.sprintf "%s pvec" (Ptype.name inner))
+    ~size:(Ptype.size t) ~read:(Ptype.read t) ~write:(Ptype.write t)
+    ~drop:(Ptype.drop t) ~reach:(Ptype.reach t)
+
+let ptype_rec inner = make_ptype (fun () -> Lazy.force inner)

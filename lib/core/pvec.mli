@@ -1,0 +1,47 @@
+(** [Pvec] — persistent growable vector.
+
+    A two-block structure: a small header ([length | capacity | data
+    pointer]) plus a data block of fixed-footprint elements.  Growth
+    doubles the data block transactionally (allocate, copy, persist,
+    deferred-free the old block), so a crash mid-growth can never lose or
+    duplicate elements.
+
+    Popping moves ownership of the element to the caller; if the element
+    type owns pointers the caller must eventually [drop] them through the
+    element's own API. *)
+
+type ('a, 'p) t
+
+val make : ty:('a, 'p) Ptype.t -> ?capacity:int -> 'p Journal.t -> ('a, 'p) t
+val length : ('a, 'p) t -> int
+val capacity : ('a, 'p) t -> int
+val is_empty : ('a, 'p) t -> bool
+val get : ('a, 'p) t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val set : ('a, 'p) t -> int -> 'a -> 'p Journal.t -> unit
+(** Replace an element, releasing what the old element owned. *)
+
+val push : ('a, 'p) t -> 'a -> 'p Journal.t -> unit
+val pop : ('a, 'p) t -> 'p Journal.t -> 'a option
+
+val insert_at : ('a, 'p) t -> int -> 'a -> 'p Journal.t -> unit
+(** Insert before position [i] (so [insert_at v (length v) x] appends),
+    shifting the tail; O(n). *)
+
+val remove_at : ('a, 'p) t -> int -> 'p Journal.t -> 'a
+(** Remove and return the element at [i], shifting the tail down;
+    ownership moves to the caller (like {!pop}). *)
+
+val iter : ('a, 'p) t -> ('a -> unit) -> unit
+val fold : ('a, 'p) t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+val to_list : ('a, 'p) t -> 'a list
+val clear : ('a, 'p) t -> 'p Journal.t -> unit
+(** Drop every element and reset the length to zero. *)
+
+val drop : ('a, 'p) t -> 'p Journal.t -> unit
+(** Drop all elements and free both blocks. *)
+
+val off : ('a, 'p) t -> int
+val ptype : ('a, 'p) Ptype.t -> ((('a, 'p) t), 'p) Ptype.t
+val ptype_rec : ('a, 'p) Ptype.t Lazy.t -> ((('a, 'p) t), 'p) Ptype.t

@@ -1,0 +1,60 @@
+(** Shared implementation of persistent reference counting.
+
+    Control-block layout: [strong u64 | weak u64 | payload].  The payload
+    is dropped when the strong count reaches zero; the block itself is
+    freed only when both counts are zero, so weak pointers can never
+    observe reused memory.
+
+    Two flavours share this code (the paper's [Prc] and [Parc]):
+
+    - non-atomic ([atomic = false]): counter updates are undo-logged with
+      per-transaction deduplication — the first bump in a transaction pays
+      for a log entry, later ones are nearly free (Table 5's fast
+      [Prc::pclone]);
+    - atomic ([atomic = true]): the control block is guarded by a pool
+      lock held until the transaction ends, and every update appends its
+      own undo entry (no dedup), keeping concurrent counters recoverable —
+      and correspondingly slower (Table 5's [Parc] rows).
+
+    Volatile weak pointers ([vweak]) are the only way to refer to
+    persistent data from volatile memory: they hold no counts and validate
+    at promotion time that the pool instance is still open and the block
+    was not freed and reused (per-offset birth counters). *)
+
+exception Dangling of int
+(** A strong operation touched a control block whose payload is gone —
+    the dynamic stand-in for what Rust rules out statically. *)
+
+type ('a, 'p) rc
+type ('a, 'p) pweak
+type ('a, 'p) vweak
+
+val make : atomic:bool -> ty:('a, 'p) Ptype.t -> 'a -> 'p Journal.t -> ('a, 'p) rc
+val get : ('a, 'p) rc -> 'a
+val ctrl : ('a, 'p) rc -> int
+val equal : ('a, 'p) rc -> ('a, 'p) rc -> bool
+val strong_count : ('a, 'p) rc -> int
+val weak_count : ('a, 'p) rc -> int
+val pclone : ('a, 'p) rc -> 'p Journal.t -> ('a, 'p) rc
+val drop : ('a, 'p) rc -> 'p Journal.t -> unit
+
+val try_unwrap : ('a, 'p) rc -> 'p Journal.t -> 'a option
+(** Take the payload out if this is the only strong reference (ownership
+    of what the value references moves to the caller; the block is
+    released).  [None] when other strong owners exist. *)
+
+val downgrade : ('a, 'p) rc -> 'p Journal.t -> ('a, 'p) pweak
+val demote : ('a, 'p) rc -> 'p Journal.t -> ('a, 'p) vweak
+val upgrade : ('a, 'p) pweak -> 'p Journal.t -> ('a, 'p) rc option
+val weak_drop : ('a, 'p) pweak -> 'p Journal.t -> unit
+val promote : ('a, 'p) vweak -> 'p Journal.t -> ('a, 'p) rc option
+
+val rc_ptype :
+  atomic:bool -> name:string -> (unit -> ('a, 'p) Ptype.t) ->
+  (('a, 'p) rc, 'p) Ptype.t
+(** Descriptor for storing a strong reference in a pool slot.  Writing
+    moves ownership of one strong count into the slot. *)
+
+val pweak_ptype :
+  atomic:bool -> name:string -> (unit -> ('a, 'p) Ptype.t) ->
+  (('a, 'p) pweak, 'p) Ptype.t

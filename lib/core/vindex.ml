@@ -1,0 +1,77 @@
+module type RC = sig
+  type ('a, 'p) t
+  type ('a, 'p) vweak
+
+  val demote : ('a, 'p) t -> 'p Journal.t -> ('a, 'p) vweak
+  val promote : ('a, 'p) vweak -> 'p Journal.t -> ('a, 'p) t option
+  val drop : ('a, 'p) t -> 'p Journal.t -> unit
+end
+
+module type S = sig
+  type ('a, 'p) rc
+  type ('k, 'a, 'p) t
+
+  val create : ?size:int -> unit -> ('k, 'a, 'p) t
+  val add : ('k, 'a, 'p) t -> 'k -> ('a, 'p) rc -> 'p Journal.t -> unit
+  val find : ('k, 'a, 'p) t -> 'k -> 'p Journal.t -> ('a, 'p) rc option
+
+  val find_or :
+    ('k, 'a, 'p) t ->
+    'k ->
+    'p Journal.t ->
+    load:(unit -> ('a, 'p) rc option) ->
+    ('a, 'p) rc option
+
+  val remove : ('k, 'a, 'p) t -> 'k -> unit
+  val length : ('k, 'a, 'p) t -> int
+  val evict_dead : ('k, 'a, 'p) t -> 'p Journal.t -> int
+end
+
+module Make (R : RC) = struct
+  type ('k, 'a, 'p) t = ('k, ('a, 'p) R.vweak) Hashtbl.t
+
+  let create ?(size = 64) () = Hashtbl.create size
+  let add t k rc j = Hashtbl.replace t k (R.demote rc j)
+
+  let find t k j =
+    match Hashtbl.find_opt t k with
+    | None -> None
+    | Some vw -> (
+        match R.promote vw j with
+        | Some rc -> Some rc
+        | None ->
+            (* the object died since it was indexed; self-clean *)
+            Hashtbl.remove t k;
+            None)
+
+  let find_or t k j ~load =
+    match find t k j with
+    | Some rc -> Some rc
+    | None -> (
+        match load () with
+        | Some rc ->
+            add t k rc j;
+            Some rc
+        | None -> None)
+
+  let remove = Hashtbl.remove
+  let length = Hashtbl.length
+
+  let evict_dead t j =
+    let dead =
+      Hashtbl.fold
+        (fun k vw acc ->
+          match R.promote vw j with
+          | Some rc ->
+              (* promote bumped the count; release it again *)
+              R.drop rc j;
+              acc
+          | None -> k :: acc)
+        t []
+    in
+    List.iter (Hashtbl.remove t) dead;
+    List.length dead
+end
+
+include Make (Prc)
+module Arc = Make (Parc)

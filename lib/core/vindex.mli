@@ -1,0 +1,68 @@
+(** [Vindex] — a volatile index over persistent objects.
+
+    The paper motivates [VWeak] with exactly this structure: "imagine a
+    volatile index that stores pointers to persistent objects" (§3.9).  A
+    [Vindex] is an ordinary in-memory hash table whose values are volatile
+    weak pointers into a pool.  It accelerates lookups without affecting
+    reference counts, and because every dereference goes through
+    [promote], a lookup can never observe a freed, reused, or
+    closed-pool object — it simply misses.
+
+    The index is volatile: it dies with the process and is rebuilt on
+    demand (see {!find_or}), which is the correct lifecycle for a cache
+    over persistent truth.
+
+    The top-level operations index {!Prc} objects; {!Arc} is the same
+    structure over {!Parc} (both are instances of {!Make}). *)
+
+(** What the index needs from a reference-counted pointer family. *)
+module type RC = sig
+  type ('a, 'p) t
+  type ('a, 'p) vweak
+
+  val demote : ('a, 'p) t -> 'p Journal.t -> ('a, 'p) vweak
+  val promote : ('a, 'p) vweak -> 'p Journal.t -> ('a, 'p) t option
+  val drop : ('a, 'p) t -> 'p Journal.t -> unit
+end
+
+module type S = sig
+  type ('a, 'p) rc
+  type ('k, 'a, 'p) t
+
+  val create : ?size:int -> unit -> ('k, 'a, 'p) t
+
+  val add : ('k, 'a, 'p) t -> 'k -> ('a, 'p) rc -> 'p Journal.t -> unit
+  (** Index an object under a key ([demote]s it; no count change). *)
+
+  val find : ('k, 'a, 'p) t -> 'k -> 'p Journal.t -> ('a, 'p) rc option
+  (** Promote the cached pointer.  [None] when the key was never indexed
+      {e or} the object is gone (freed, block reused, pool reopened) —
+      dead entries are evicted on the way.  A successful promotion
+      transfers a strong count to the caller, who must eventually drop
+      it. *)
+
+  val find_or :
+    ('k, 'a, 'p) t ->
+    'k ->
+    'p Journal.t ->
+    load:(unit -> ('a, 'p) rc option) ->
+    ('a, 'p) rc option
+  (** {!find}, falling back to [load] (e.g. a walk of the persistent
+      structure) and re-indexing its result. *)
+
+  val remove : ('k, 'a, 'p) t -> 'k -> unit
+
+  val length : ('k, 'a, 'p) t -> int
+  (** Entries held, including ones that may have silently died. *)
+
+  val evict_dead : ('k, 'a, 'p) t -> 'p Journal.t -> int
+  (** Drop every entry that no longer promotes; returns how many went. *)
+end
+
+module Make (R : RC) : S with type ('a, 'p) rc := ('a, 'p) R.t
+
+(** {1 The standard instances} *)
+
+include S with type ('a, 'p) rc := ('a, 'p) Prc.t
+
+module Arc : S with type ('a, 'p) rc := ('a, 'p) Parc.t

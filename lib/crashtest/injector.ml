@@ -1,0 +1,77 @@
+module D = Pmem.Device
+
+module type INSTANCE = sig
+  val setup : unit -> unit
+  val run : unit -> unit
+  val device : unit -> D.t
+  val reopen : unit -> unit
+  val verify : outcome:[ `Crashed of int | `Completed ] -> unit
+end
+
+type result = {
+  points : int;
+  crashes_injected : int;
+  failures : (int * string) list;
+}
+
+let points_of_dry_run make =
+  let module I = (val make () : INSTANCE) in
+  I.setup ();
+  let before = D.persist_points (I.device ()) in
+  I.run ();
+  let pts = D.persist_points (I.device ()) - before in
+  I.verify ~outcome:`Completed;
+  pts
+
+let chosen_points ~points ~limit =
+  match limit with
+  | Some l when l > 0 && l < points ->
+      (* Sample evenly across the range, always including the edges. *)
+      List.sort_uniq compare
+        (List.init l (fun i -> 1 + (i * (points - 1) / (max 1 (l - 1)))))
+  | _ -> List.init points (fun i -> i + 1)
+
+let sweep ?limit ?(survival_samples = 1) make =
+  let points = points_of_dry_run make in
+  let failures = ref [] in
+  let injected = ref 0 in
+  let try_point k sample =
+    let module I = (val make () : INSTANCE) in
+    I.setup ();
+    D.set_crash_countdown (I.device ()) k;
+    match I.run () with
+    | () ->
+        (* The schedule outlived the run (nondeterministic scenarios). *)
+        D.set_crash_countdown (I.device ()) 0
+    | exception D.Crashed -> begin
+        incr injected;
+        (* sample a different subset of surviving WPQ lines each time *)
+        D.reseed (I.device ()) (0x5EED + (k * 131) + sample);
+        I.reopen ();
+        match I.verify ~outcome:(`Crashed k) with
+        | () -> ()
+        | exception e ->
+            failures := (k, Printexc.to_string e) :: !failures
+      end
+    | exception e ->
+        failures :=
+          (k, Printf.sprintf "scenario failed before crash: %s" (Printexc.to_string e))
+          :: !failures
+  in
+  List.iter
+    (fun k ->
+      for sample = 1 to max 1 survival_samples do
+        try_point k sample
+      done)
+    (chosen_points ~points ~limit);
+  { points; crashes_injected = !injected; failures = List.rev !failures }
+
+let is_clean r = r.failures = []
+
+let pp_result ppf r =
+  Format.fprintf ppf "%d persist points, %d crashes injected, %d failures"
+    r.points r.crashes_injected
+    (List.length r.failures);
+  List.iter
+    (fun (k, msg) -> Format.fprintf ppf "@.  crash@%d: %s" k msg)
+    r.failures

@@ -1,0 +1,57 @@
+module P = Corundum.Pool_impl
+module Ptype = Corundum.Ptype
+module ISet = Set.Make (Int)
+
+type report = {
+  live : int;
+  reachable : int;
+  leaked : int list;
+  dangling : int list;
+}
+
+let reachable_set pool ~root_ty =
+  let root = P.root_off pool in
+  if root = 0 then ISet.empty
+  else begin
+    let visited = ref (ISet.singleton root) in
+    (* Breadth-first through the typed reference graph; [visited] guards
+       against cycles (weak back-edges). *)
+    let queue = Queue.create () in
+    List.iter (fun e -> Queue.add e queue) (Ptype.reach root_ty pool root);
+    while not (Queue.is_empty queue) do
+      let e = Queue.pop queue in
+      if not (ISet.mem e.Ptype.block !visited) then begin
+        visited := ISet.add e.Ptype.block !visited;
+        List.iter (fun e' -> Queue.add e' queue) (e.Ptype.follow pool)
+      end
+    done;
+    !visited
+  end
+
+let analyze pool ~root_ty =
+  let live =
+    List.fold_left
+      (fun acc (b : Palloc.Heap_walk.block) -> ISet.add b.off acc)
+      ISet.empty
+      (Palloc.Heap_walk.live_blocks (P.buddy pool))
+  in
+  let reachable = reachable_set pool ~root_ty in
+  {
+    live = ISet.cardinal live;
+    reachable = ISet.cardinal reachable;
+    leaked = ISet.elements (ISet.diff live reachable);
+    dangling = ISet.elements (ISet.diff reachable live);
+  }
+
+let is_clean r = r.leaked = [] && r.dangling = []
+
+let pp ppf r =
+  Format.fprintf ppf "live=%d reachable=%d leaked=[%s] dangling=[%s]" r.live
+    r.reachable
+    (String.concat ";" (List.map string_of_int r.leaked))
+    (String.concat ";" (List.map string_of_int r.dangling))
+
+let assert_clean pool ~root_ty =
+  let r = analyze pool ~root_ty in
+  if not (is_clean r) then
+    failwith (Format.asprintf "persistent heap not clean: %a" pp r)

@@ -1,0 +1,32 @@
+(** Persistent-heap reachability checking.
+
+    Corundum's design goal {e No-Acyclic-Leaks} is enforced in the paper
+    by Rust's ownership system; OCaml's GC cannot provide the same
+    deterministic drops, so this library re-establishes the guarantee
+    observationally: after any transaction (and after every injected
+    crash), every block the allocator believes is live must be reachable
+    from the pool's root object through the {!Corundum.Ptype} reference
+    graph, and every reference must point at a live block.
+
+    Blocks can legitimately be {e weak-only} reachable (kept alive purely
+    by weak counts); they are reported separately because they are not
+    leaks. *)
+
+type report = {
+  live : int;  (** blocks the allocator considers allocated *)
+  reachable : int;  (** blocks reachable from the root *)
+  leaked : int list;  (** live but unreachable block offsets *)
+  dangling : int list;  (** reachable but not live block offsets *)
+}
+
+val analyze : Corundum.Pool_impl.t -> root_ty:('a, 'p) Corundum.Ptype.t -> report
+(** Walk from the pool's root object.  The pool must have a root and
+    [root_ty] must be the type it was created with. *)
+
+val is_clean : report -> bool
+(** No leaks and no dangling references. *)
+
+val pp : Format.formatter -> report -> unit
+
+val assert_clean : Corundum.Pool_impl.t -> root_ty:('a, 'p) Corundum.Ptype.t -> unit
+(** Raises [Failure] with a description when the heap is not clean. *)

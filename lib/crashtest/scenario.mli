@@ -1,0 +1,58 @@
+(** Canned failure-injection scenarios over the typed Corundum API.
+
+    Each call builds a completely fresh pool (its own brand, its own
+    simulated device), so the injector can instantiate one per crash
+    point.  Every scenario's [verify] asserts {e atomicity} (the observed
+    state is exactly a prefix of committed transactions), {e heap
+    integrity} (the buddy free lists and allocation table tile the heap),
+    and {e leak freedom} (allocator-live = root-reachable).
+
+    These scenarios are shared between the test suite and the
+    [crash_sweep] executable. *)
+
+val small_config : Corundum.Pool_impl.config
+(** A 1 MiB pool configuration, cheap enough to rebuild per crash point. *)
+
+val counter : ?increments:int -> unit -> (module Injector.INSTANCE)
+(** [increments] separate transactions, each bumping a root counter by 1;
+    after a crash the counter must equal the number of committed
+    transactions. *)
+
+val list_append : ?nodes:int -> unit -> (module Injector.INSTANCE)
+(** One transaction appending [nodes] nodes to a persistent linked list;
+    after a crash the list holds either just the sentinel or all nodes. *)
+
+val rc_sharing : unit -> (module Injector.INSTANCE)
+(** One transaction allocating a [Prc], storing it in two cells (clone);
+    after a crash either both cells are empty or both are set with a
+    strong count of two. *)
+
+val vec_ops : ?pushes:int -> unit -> (module Injector.INSTANCE)
+(** Pushes in one transaction, pops in a second; the vector length must be
+    0, [pushes], or [pushes - 2]. *)
+
+val transfer : ?accounts:int -> ?moves:int -> unit -> (module Injector.INSTANCE)
+(** Random transfers between persistent accounts, one per transaction; the
+    total balance is invariant across any crash. *)
+
+val queue_ops : ?pushes:int -> unit -> (module Injector.INSTANCE)
+(** Pushes (forcing ring growth) in one transaction, two pops in a second;
+    the queue must be empty, full, or drained — never torn. *)
+
+val logfree_counter : ?increments:int -> unit -> (module Injector.INSTANCE)
+(** Increments through [Punsafe.atomic_set] (no logging): 8-byte atomic
+    persists mean any prefix count is a valid state even though the
+    journal never sees the writes. *)
+
+val map_rotations : ?keys:int -> unit -> (module Injector.INSTANCE)
+(** Ascending [Pmap] inserts (forcing AVL rotations at every level) and a
+    delete; after any crash the tree's order, balance and size invariants
+    must hold on exactly the before/after contents. *)
+
+val btree_ops : ?keys:int -> unit -> (module Injector.INSTANCE)
+(** B+tree inserts (forcing splits) and deletes (forcing merges); after
+    any crash the tree invariants must hold on exactly the before/middle/
+    after contents. *)
+
+val all : (string * (unit -> (module Injector.INSTANCE))) list
+(** Name/constructor pairs for every scenario above, with defaults. *)

@@ -1,0 +1,37 @@
+(** The Atlas strategy: lock-based failure-atomic sections.  Atlas
+    publishes an undo entry synchronously for {e every} store (no
+    deduplication — its log is keyed by program point, not by address)
+    and writes the store itself back synchronously so the log's
+    happens-before graph stays recoverable.  That is one logged entry
+    plus one extra flush+fence per store. *)
+
+module P = Corundum.Pool_impl
+module D = Pmem.Device
+
+let name = "atlas"
+
+(* Per-store cost of Atlas's FASE machinery beyond the log write itself:
+   happens-before tracking and the log-structure maintenance its
+   helper thread must prune later. *)
+let fase_overhead_ns = 150
+
+type t = P.t
+type tx = P.tx
+
+let create ?latency ?size () = Engine_common.create_pool ?latency ?size ()
+let of_pool p = p
+let pool t = t
+let transaction = Engine_common.transaction
+let alloc = Engine_common.alloc
+let free = Engine_common.free
+let read = Engine_common.read
+
+let write tx off v =
+  D.charge_ns (P.device (P.tx_pool tx)) fase_overhead_ns;
+  P.tx_log_nodedup tx ~off ~len:8;
+  Engine_common.raw_write tx off v;
+  (* Synchronous write-back of the store (Atlas's eager durability). *)
+  D.persist (P.device (P.tx_pool tx)) off 8
+
+let root = Engine_common.root
+let set_root = Engine_common.set_root

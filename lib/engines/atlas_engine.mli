@@ -1,0 +1,8 @@
+(** The Atlas strategy: lock-based failure-atomic sections.  Atlas
+    publishes an undo entry synchronously for {e every} store (no
+    deduplication — its log is keyed by program point, not by address)
+    and writes the store itself back synchronously so the log's
+    happens-before graph stays recoverable.  That is one logged entry
+    plus one extra flush+fence per store. *)
+
+include Engine_sig.S

@@ -1,0 +1,42 @@
+(** The Corundum strategy: cell-granularity deduplicated undo logging
+    with deferred frees.  The typed API logs a whole [PRefCell] on first
+    mutable deref; for the raw-heap workloads (whose nodes are one or two
+    cache lines) the containing line is the faithful granularity.
+    Deduplication is a per-transaction hash table — nearly free, unlike
+    PMDK's range tree.  Stores into a block allocated by the current
+    transaction need no undo entry at all (the fresh-allocation
+    optimization behind [AtomicInit]). *)
+
+module P = Corundum.Pool_impl
+
+let name = "corundum"
+
+type t = P.t
+
+type tx = { ptx : P.tx; mutable fresh : (int * int) list (* start, size *) }
+
+let create ?latency ?size () = Engine_common.create_pool ?latency ?size ()
+let of_pool p = p
+let pool t = t
+let transaction t f = P.transaction t (fun ptx -> f { ptx; fresh = [] })
+
+let alloc tx n =
+  let off = Engine_common.alloc tx.ptx n in
+  tx.fresh <- (off, n) :: tx.fresh;
+  off
+
+let free tx off = Engine_common.free tx.ptx off
+let read tx off = Engine_common.read tx.ptx off
+
+let in_fresh tx off =
+  List.exists (fun (start, size) -> off >= start && off < start + size) tx.fresh
+
+let write tx off v =
+  if in_fresh tx off then
+    (* fresh block: no undo needed, just make it durable at commit *)
+    P.tx_add_target tx.ptx ~off ~len:8
+  else Engine_common.line_log tx.ptx off;
+  Engine_common.raw_write tx.ptx off v
+
+let root tx = Engine_common.root tx.ptx
+let set_root tx off = Engine_common.set_root tx.ptx off

@@ -1,0 +1,10 @@
+(** The Corundum strategy: cell-granularity deduplicated undo logging
+    with deferred frees.  The typed API logs a whole [PRefCell] on first
+    mutable deref; for the raw-heap workloads (whose nodes are one or two
+    cache lines) the containing line is the faithful granularity.
+    Deduplication is a per-transaction hash table — nearly free, unlike
+    PMDK's range tree.  Stores into a block allocated by the current
+    transaction need no undo entry at all (the fresh-allocation
+    optimization behind [AtomicInit]). *)
+
+include Engine_sig.S

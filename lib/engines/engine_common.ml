@@ -1,0 +1,23 @@
+(* Shared plumbing for engines built over the Pool_impl substrate. *)
+
+module P = Corundum.Pool_impl
+
+let default_size = 64 * 1024 * 1024
+
+let create_pool ?(latency = Pmem.Latency.optane) ?(size = default_size) () =
+  (* Journals scale with the pool so small test pools stay viable. *)
+  let slot_size = max (64 * 1024) (min (1024 * 1024) (size / 32)) in
+  P.create ~config:{ P.size; nslots = 8; slot_size } ~latency ()
+
+let transaction = P.transaction
+let alloc = P.tx_alloc
+let free = P.tx_free
+let read tx off = Pmem.Device.read_u64 (P.device (P.tx_pool tx)) off
+let raw_write tx off v = Pmem.Device.write_u64 (P.device (P.tx_pool tx)) off v
+let root tx = P.root_off (P.tx_pool tx)
+let set_root tx off = P.tx_set_root tx ~off ~ty_hash:0
+
+(* Cache-line-granularity logging (PMDK's TX_ADD semantics): snapshot the
+   whole 64-byte line containing the store.  Blocks are 64-byte aligned
+   powers of two, so a line never crosses an allocation boundary. *)
+let line_log tx off = P.tx_log tx ~off:(off land lnot 63) ~len:64

@@ -1,0 +1,24 @@
+(** Shared plumbing for engines built over the [Pool_impl] substrate:
+    pool construction with journals scaled to the pool size, raw word
+    access, root management, and the cache-line-granularity logging used
+    by the PMDK-style engines. *)
+
+val default_size : int
+val create_pool :
+  ?latency:Pmem.Latency.t -> ?size:int -> unit -> Corundum.Pool_impl.t
+
+val transaction : Corundum.Pool_impl.t -> (Corundum.Pool_impl.tx -> 'a) -> 'a
+val alloc : Corundum.Pool_impl.tx -> int -> int
+val free : Corundum.Pool_impl.tx -> int -> unit
+val read : Corundum.Pool_impl.tx -> int -> int64
+val raw_write : Corundum.Pool_impl.tx -> int -> int64 -> unit
+(** Store without logging; the caller has logged (or is writing into a
+    fresh block). *)
+
+val root : Corundum.Pool_impl.tx -> int
+val set_root : Corundum.Pool_impl.tx -> int -> unit
+
+val line_log : Corundum.Pool_impl.tx -> int -> unit
+(** Undo-log the whole 64-byte line containing the offset (deduplicated).
+    Blocks are 64-byte-aligned powers of two, so a line never crosses an
+    allocation boundary. *)

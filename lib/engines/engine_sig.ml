@@ -1,0 +1,53 @@
+(** The raw persistent-heap interface shared by all comparator engines.
+
+    The paper's Figure 1 compares the same data-structure algorithms
+    implemented against PMDK, Atlas, Mnemosyne, go-pmem and Corundum.  We
+    mirror that methodology: the workloads ({!Workloads.Bst},
+    {!Workloads.Kvstore}, {!Workloads.Bptree}) are functors over this
+    signature, and each engine implements the signature with that
+    library's {e logging strategy}:
+
+    - {!Corundum_engine}: exact-range undo logging with per-transaction
+      deduplication; deferred frees (this library's own journal).
+    - {!Pmdk_engine}: [libpmemobj]-style [TX_ADD] — undo snapshots at
+      cache-line granularity (coarser log traffic than Corundum's exact
+      ranges).
+    - {!Atlas_engine}: failure-atomic sections — one synchronously
+      persisted undo entry {e and} a synchronous write-back per store.
+    - {!Mnemosyne_engine}: write-aside redo logging — stores go to a log
+      and a volatile write-set; loads pay read-indirection; the write-set
+      is applied to home locations at commit.
+    - {!Gopmem_engine}: undo logging plus Go runtime costs — a write
+      barrier per store and periodic stop-the-world GC sweeps proportional
+      to the live heap.
+
+    All engines run on the same simulated device, allocator and journal
+    substrate, so measured differences come from the strategy, not from
+    incidental implementation quality.  Timings are read from the
+    device's calibrated simulated clock. *)
+
+module type S = sig
+  val name : string
+
+  type t
+  type tx
+
+  val create : ?latency:Pmem.Latency.t -> ?size:int -> unit -> t
+  (** A fresh in-memory pool (default 64 MiB, Optane latency model). *)
+
+  val of_pool : Corundum.Pool_impl.t -> t
+  (** Wrap an existing pool — e.g. one reopened after a crash. *)
+
+  val pool : t -> Corundum.Pool_impl.t
+  val transaction : t -> (tx -> 'a) -> 'a
+  val alloc : tx -> int -> int
+  val free : tx -> int -> unit
+  val read : tx -> int -> int64
+  val write : tx -> int -> int64 -> unit
+  val root : tx -> int
+  (** Offset of the workload's root block (0 when unset). *)
+
+  val set_root : tx -> int -> unit
+end
+
+type engine = (module S)

@@ -1,0 +1,46 @@
+(** The go-pmem strategy: undo logging (as in its [txn] package) plus the
+    Go runtime's costs — a write barrier on every store into the
+    persistent heap, and a periodic stop-the-world garbage-collection
+    sweep whose length grows with the number of live persistent objects
+    (go-pmem extends Go's GC to scan the persistent heap). *)
+
+module P = Corundum.Pool_impl
+module D = Pmem.Device
+
+let name = "go-pmem"
+
+let write_barrier_ns = 18
+let sweep_period = 512 (* allocations between emulated GC cycles *)
+let sweep_ns_per_block = 35
+
+type t = { p : P.t; mutable allocs_since_gc : int }
+type tx = { ptx : P.tx; eng : t }
+
+let create ?latency ?size () =
+  { p = Engine_common.create_pool ?latency ?size (); allocs_since_gc = 0 }
+
+let of_pool p = { p; allocs_since_gc = 0 }
+let pool t = t.p
+
+let transaction t f = P.transaction t.p (fun ptx -> f { ptx; eng = t })
+
+let alloc tx n =
+  let eng = tx.eng in
+  eng.allocs_since_gc <- eng.allocs_since_gc + 1;
+  if eng.allocs_since_gc >= sweep_period then begin
+    eng.allocs_since_gc <- 0;
+    let live = Palloc.Heap_walk.live_count (P.buddy eng.p) in
+    D.charge_ns (P.device eng.p) (live * sweep_ns_per_block)
+  end;
+  Engine_common.alloc tx.ptx n
+
+let free tx off = Engine_common.free tx.ptx off
+let read tx off = Engine_common.read tx.ptx off
+
+let write tx off v =
+  D.charge_ns (P.device (P.tx_pool tx.ptx)) write_barrier_ns;
+  Engine_common.line_log tx.ptx off;
+  Engine_common.raw_write tx.ptx off v
+
+let root tx = Engine_common.root tx.ptx
+let set_root tx off = Engine_common.set_root tx.ptx off

@@ -1,0 +1,7 @@
+(** The go-pmem strategy: undo logging (as in its [txn] package) plus the
+    Go runtime's costs — a write barrier on every store into the
+    persistent heap, and a periodic stop-the-world garbage-collection
+    sweep whose length grows with the number of live persistent objects
+    (go-pmem extends Go's GC to scan the persistent heap). *)
+
+include Engine_sig.S

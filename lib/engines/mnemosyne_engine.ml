@@ -1,0 +1,58 @@
+(** The Mnemosyne strategy: write-aside (redo) logging.  A store appends a
+    persistent log record and lands in a volatile write-set; the home
+    location is untouched until commit.  Loads must consult the write-set
+    first (read indirection).  At commit the write-set is applied to the
+    home locations and persisted.
+
+    The log record is modelled by an undo entry of equal size on the same
+    journal substrate (identical media traffic); the write-set and its
+    commit-time application are real. *)
+
+module P = Corundum.Pool_impl
+module D = Pmem.Device
+
+let name = "mnemosyne"
+
+(* Write-set costs beyond media traffic: every load checks the write-set
+   (read indirection), every store maintains it and the torn-bit encoding
+   of Mnemosyne's raw word log. *)
+let read_indirection_ns = 20
+let log_append_ns = 60
+
+type t = P.t
+
+type tx = { ptx : P.tx; wset : (int, int64) Hashtbl.t }
+
+let create ?latency ?size () = Engine_common.create_pool ?latency ?size ()
+let of_pool p = p
+let pool t = t
+
+let transaction t f =
+  P.transaction t (fun ptx ->
+      let tx = { ptx; wset = Hashtbl.create 64 } in
+      let result = f tx in
+      (* Commit: apply the write-set to home locations.  The locations
+         were logged at store time, so the substrate commit will flush
+         them. *)
+      Hashtbl.iter
+        (fun off v -> D.write_u64 (P.device (P.tx_pool ptx)) off v)
+        tx.wset;
+      result)
+
+let alloc tx n = Engine_common.alloc tx.ptx n
+let free tx off = Engine_common.free tx.ptx off
+
+let read tx off =
+  D.charge_ns (P.device (P.tx_pool tx.ptx)) read_indirection_ns;
+  match Hashtbl.find_opt tx.wset off with
+  | Some v -> v
+  | None -> Engine_common.read tx.ptx off
+
+let write tx off v =
+  (* One persistent log record per store; home location deferred. *)
+  D.charge_ns (P.device (P.tx_pool tx.ptx)) log_append_ns;
+  P.tx_log_nodedup tx.ptx ~off ~len:8;
+  Hashtbl.replace tx.wset off v
+
+let root tx = Engine_common.root tx.ptx
+let set_root tx off = Engine_common.set_root tx.ptx off

@@ -1,0 +1,11 @@
+(** The Mnemosyne strategy: write-aside (redo) logging.  A store appends a
+    persistent log record and lands in a volatile write-set; the home
+    location is untouched until commit.  Loads must consult the write-set
+    first (read indirection).  At commit the write-set is applied to the
+    home locations and persisted.
+
+    The log record is modelled by an undo entry of equal size on the same
+    journal substrate (identical media traffic); the write-set and its
+    commit-time application are real. *)
+
+include Engine_sig.S

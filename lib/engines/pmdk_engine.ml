@@ -1,0 +1,44 @@
+(** The PMDK ([libpmemobj]) strategy: [TX_ADD]-style undo snapshots at
+    cache-line granularity.  Deduplication and range tracking go through
+    pmemobj's balanced range tree, paid on {e every} store ([TX_ADD] is
+    called before each write), which is where Corundum's hash-table dedup
+    pulls ahead.  Memory returned by [pmemobj_tx_alloc] needs no snapshot,
+    so fresh blocks skip logging here too. *)
+
+module P = Corundum.Pool_impl
+module D = Pmem.Device
+
+let name = "pmdk"
+
+(* Cost of one pmemobj_tx_add_range call: range-tree lookup/insert. *)
+let tx_add_overhead_ns = 90
+
+type t = P.t
+type tx = { ptx : P.tx; mutable fresh : (int * int) list }
+
+let create ?latency ?size () = Engine_common.create_pool ?latency ?size ()
+let of_pool p = p
+let pool t = t
+let transaction t f = P.transaction t (fun ptx -> f { ptx; fresh = [] })
+
+let alloc tx n =
+  let off = Engine_common.alloc tx.ptx n in
+  tx.fresh <- (off, n) :: tx.fresh;
+  off
+
+let free tx off = Engine_common.free tx.ptx off
+let read tx off = Engine_common.read tx.ptx off
+
+let in_fresh tx off =
+  List.exists (fun (start, size) -> off >= start && off < start + size) tx.fresh
+
+let write tx off v =
+  if in_fresh tx off then P.tx_add_target tx.ptx ~off ~len:8
+  else begin
+    D.charge_ns (P.device (P.tx_pool tx.ptx)) tx_add_overhead_ns;
+    Engine_common.line_log tx.ptx off
+  end;
+  Engine_common.raw_write tx.ptx off v
+
+let root tx = Engine_common.root tx.ptx
+let set_root tx off = Engine_common.set_root tx.ptx off

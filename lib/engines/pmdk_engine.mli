@@ -1,0 +1,8 @@
+(** The PMDK ([libpmemobj]) strategy: [TX_ADD]-style undo snapshots at
+    cache-line granularity.  Deduplication and range tracking go through
+    pmemobj's balanced range tree, paid on {e every} store ([TX_ADD] is
+    called before each write), which is where Corundum's hash-table dedup
+    pulls ahead.  Memory returned by [pmemobj_tx_alloc] needs no snapshot,
+    so fresh blocks skip logging here too. *)
+
+include Engine_sig.S

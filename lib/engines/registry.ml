@@ -1,0 +1,13 @@
+(** All comparator engines, in the order Figure 1 of the paper lists
+    them. *)
+
+let all : (string * Engine_sig.engine) list =
+  [
+    (Pmdk_engine.name, (module Pmdk_engine : Engine_sig.S));
+    (Atlas_engine.name, (module Atlas_engine : Engine_sig.S));
+    (Mnemosyne_engine.name, (module Mnemosyne_engine : Engine_sig.S));
+    (Gopmem_engine.name, (module Gopmem_engine : Engine_sig.S));
+    (Corundum_engine.name, (module Corundum_engine : Engine_sig.S));
+  ]
+
+let find name = List.assoc_opt name all

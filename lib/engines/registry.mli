@@ -1,0 +1,5 @@
+(** All comparator engines, in the order Figure 1 of the paper lists
+    them. *)
+
+val all : (string * Engine_sig.engine) list
+val find : string -> Engine_sig.engine option

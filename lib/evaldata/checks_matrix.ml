@@ -1,0 +1,162 @@
+(** Table 2 of the paper: how each PM library enforces Corundum's design
+    goals, encoded as data so the table can be regenerated (and so our
+    OCaml port's honest enforcement levels sit next to the original's).
+
+    Enforcement legend: [S]tatic (compile-time), [D]ynamic (runtime
+    detection), [M]anual (programmer's problem); leak handling is [GC] or
+    reference counting ([RC]).  Mixed entries reflect mixed mechanisms. *)
+
+type enforcement = S | D | M | SD | SM | GC | RC | RC_D
+
+let to_string = function
+  | S -> "S"
+  | D -> "D"
+  | M -> "M"
+  | SD -> "S/D"
+  | SM -> "S/M"
+  | GC -> "GC"
+  | RC -> "RC"
+  | RC_D -> "RC/D"
+
+type property =
+  | Only_p_object
+  | Interpool
+  | Nv_to_v
+  | V_to_nv
+  | No_races
+  | Tx_atomicity
+  | Tx_isolation
+  | No_leaks
+
+let properties =
+  [
+    (Only_p_object, "Only-P-Object");
+    (Interpool, "Ptrs: interpool");
+    (Nv_to_v, "Ptrs: NV-to-V");
+    (V_to_nv, "Ptrs: V-to-NV");
+    (No_races, "No-Races");
+    (Tx_atomicity, "Tx: atomicity");
+    (Tx_isolation, "Tx: isolation");
+    (No_leaks, "No-Leaks");
+  ]
+
+type system = { name : string; cells : (property * enforcement) list }
+
+(* Rows exactly as Table 2 of the paper. *)
+let paper_systems =
+  [
+    {
+      name = "NV-Heaps";
+      cells =
+        [
+          (Only_p_object, M); (Interpool, D); (Nv_to_v, S); (V_to_nv, M);
+          (No_races, S); (Tx_atomicity, S); (Tx_isolation, M); (No_leaks, RC);
+        ];
+    };
+    {
+      name = "Mnemosyne";
+      cells =
+        [
+          (Only_p_object, M); (Interpool, D); (Nv_to_v, S); (V_to_nv, M);
+          (No_races, S); (Tx_atomicity, S); (Tx_isolation, M); (No_leaks, M);
+        ];
+    };
+    {
+      name = "libpmemobj";
+      cells =
+        [
+          (Only_p_object, M); (Interpool, D); (Nv_to_v, M); (V_to_nv, M);
+          (No_races, M); (Tx_atomicity, M); (Tx_isolation, M); (No_leaks, M);
+        ];
+    };
+    {
+      name = "libpmemobj++";
+      cells =
+        [
+          (Only_p_object, M); (Interpool, D); (Nv_to_v, M); (V_to_nv, M);
+          (No_races, M); (Tx_atomicity, S); (Tx_isolation, M); (No_leaks, M);
+        ];
+    };
+    {
+      name = "NVM Direct";
+      cells =
+        [
+          (Only_p_object, D); (Interpool, D); (Nv_to_v, S); (V_to_nv, D);
+          (No_races, M); (Tx_atomicity, SM); (Tx_isolation, SM); (No_leaks, M);
+        ];
+    };
+    {
+      name = "Atlas";
+      cells =
+        [
+          (Only_p_object, M); (Interpool, M); (Nv_to_v, M); (V_to_nv, M);
+          (No_races, M); (Tx_atomicity, S); (Tx_isolation, M); (No_leaks, GC);
+        ];
+    };
+    {
+      name = "go-pmem";
+      cells =
+        [
+          (Only_p_object, M); (Interpool, M); (Nv_to_v, M); (V_to_nv, M);
+          (No_races, M); (Tx_atomicity, S); (Tx_isolation, M); (No_leaks, GC);
+        ];
+    };
+    {
+      name = "Corundum (Rust)";
+      cells =
+        [
+          (Only_p_object, S); (Interpool, SD); (Nv_to_v, S); (V_to_nv, D);
+          (No_races, S); (Tx_atomicity, S); (Tx_isolation, S); (No_leaks, RC);
+        ];
+    };
+  ]
+
+(* Our port's honest enforcement: what survived the move from Rust's
+   affine types to OCaml's type system + dynamic epochs (DESIGN.md §1). *)
+let ocaml_port =
+  {
+    name = "Corundum-OCaml";
+    cells =
+      [
+        (Only_p_object, S) (* no Ptype witness, no entry into the pool *);
+        (Interpool, S) (* generative pool brands *);
+        (Nv_to_v, S) (* volatile refs have no descriptor *);
+        (V_to_nv, D) (* vweak: uid/birth checks at promote *);
+        (No_races, D) (* pool locks at runtime; OCaml has no Send/Sync *);
+        (Tx_atomicity, SD) (* journal capability static; escape dynamic *);
+        (Tx_isolation, SD) (* lock-till-commit; guard escape dynamic *);
+        (No_leaks, RC_D) (* refcounts + reachability checker *);
+      ];
+  }
+
+let all_systems = paper_systems @ [ ocaml_port ]
+
+let cell system prop = List.assoc prop system.cells
+
+let render ppf () =
+  let open Format in
+  fprintf ppf "%-16s" "System";
+  List.iter (fun (_, label) -> fprintf ppf " %14s" label) properties;
+  fprintf ppf "@.";
+  List.iter
+    (fun sys ->
+      fprintf ppf "%-16s" sys.name;
+      List.iter
+        (fun (p, _) -> fprintf ppf " %14s" (to_string (cell sys p)))
+        properties;
+      fprintf ppf "@.")
+    all_systems
+
+let to_csv () =
+  let header =
+    "system," ^ String.concat "," (List.map snd properties)
+  in
+  let rows =
+    List.map
+      (fun sys ->
+        sys.name ^ ","
+        ^ String.concat ","
+            (List.map (fun (p, _) -> to_string (cell sys p)) properties))
+      all_systems
+  in
+  String.concat "\n" (header :: rows) ^ "\n"

@@ -1,0 +1,41 @@
+(** Table 2 of the paper as data: how each PM library enforces Corundum's
+    design goals, plus an honest row for this OCaml port (see
+    EXPERIMENTS.md for the S→D rationale). *)
+
+type enforcement =
+  | S  (** static: the compiler enforces or rejects *)
+  | D  (** dynamic: detected at runtime *)
+  | M  (** manual: the programmer's problem *)
+  | SD  (** static backbone, dynamic backstop *)
+  | SM  (** static and manual facets *)
+  | GC  (** leaks handled by garbage collection *)
+  | RC  (** leaks handled by reference counting *)
+  | RC_D  (** reference counting plus a dynamic checker *)
+
+val to_string : enforcement -> string
+
+type property =
+  | Only_p_object
+  | Interpool
+  | Nv_to_v
+  | V_to_nv
+  | No_races
+  | Tx_atomicity
+  | Tx_isolation
+  | No_leaks
+
+val properties : (property * string) list
+(** Column order of the rendered table. *)
+
+type system = { name : string; cells : (property * enforcement) list }
+
+val paper_systems : system list
+(** The eight rows of the paper's Table 2, verbatim. *)
+
+val ocaml_port : system
+(** This repository's enforcement levels. *)
+
+val all_systems : system list
+val cell : system -> property -> enforcement
+val render : Format.formatter -> unit -> unit
+val to_csv : unit -> string

@@ -1,0 +1,101 @@
+(** Compile-fail checking: the static half of Table 2's evidence.
+
+    Each snippet in [compile_fail/] attempts a PM bug that the library
+    claims is a type error.  This module compiles every snippet against
+    the built library and reports whether the compiler rejected it.  A
+    snippet that {e compiles} is a hole in the static story and fails the
+    test suite. *)
+
+type outcome = {
+  snippet : string;
+  must_compile : bool;
+      (** [control_*.ml] snippets validate the harness: they must build *)
+  rejected : bool;  (** the compiler refused it *)
+  type_error : bool;  (** the rejection is a type error, not e.g. an
+                          unbound module (which would mean broken paths) *)
+  message : string;  (** first error line, for the report *)
+}
+
+let snippet_dir root = Filename.concat root "compile_fail"
+
+let include_dirs root =
+  List.map
+    (fun lib ->
+      Filename.concat root
+        (Printf.sprintf "_build/default/lib/%s/.%s.objs/byte" lib lib))
+    [ "pmem"; "palloc"; "pjournal" ]
+  @ [ Filename.concat root "_build/default/lib/core/.corundum.objs/byte" ]
+
+let snippets root =
+  Sys.readdir (snippet_dir root)
+  |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".ml")
+  |> List.sort compare
+
+(* Compile one snippet in a scratch directory; capture the first error. *)
+let try_compile root snippet =
+  let tmp = Filename.temp_file "corundum_cf" ".ml" in
+  let src = Filename.concat (snippet_dir root) snippet in
+  let ic = open_in src and oc = open_out tmp in
+  (try
+     while true do
+       output_string oc (input_line ic);
+       output_char oc '\n'
+     done
+   with End_of_file -> ());
+  close_in ic;
+  close_out oc;
+  let log = Filename.temp_file "corundum_cf" ".log" in
+  let includes =
+    String.concat " " (List.map (fun d -> "-I " ^ Filename.quote d) (include_dirs root))
+  in
+  let cmd =
+    Printf.sprintf
+      "ocamlfind ocamlc -package threads.posix -thread %s -c %s -o %s 2> %s"
+      includes (Filename.quote tmp)
+      (Filename.quote (Filename.remove_extension tmp ^ ".cmo"))
+      (Filename.quote log)
+  in
+  let status = Sys.command cmd in
+  let message =
+    let ic = open_in log in
+    let rec first_error () =
+      match input_line ic with
+      | line ->
+          if
+            String.length line >= 5
+            && (String.sub line 0 5 = "Error"
+               || (String.length line >= 6 && String.sub line 0 6 = "Error:"))
+          then line
+          else first_error ()
+      | exception End_of_file -> ""
+    in
+    let m = first_error () in
+    close_in ic;
+    m
+  in
+  List.iter
+    (fun f -> try Sys.remove f with Sys_error _ -> ())
+    [ tmp; log; Filename.remove_extension tmp ^ ".cmo";
+      Filename.remove_extension tmp ^ ".cmi" ];
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  {
+    snippet;
+    must_compile =
+      String.length snippet >= 8 && String.sub snippet 0 8 = "control_";
+    rejected = status <> 0;
+    type_error = contains message "type" || contains message "expression";
+    message;
+  }
+
+let run () =
+  match Loc_count.find_root () with
+  | None -> Error "cannot locate repository root"
+  | Some root ->
+      if not (Sys.file_exists (snippet_dir root)) then
+        Error "compile_fail/ directory not found"
+      else Ok (List.map (try_compile root) (snippets root))

@@ -1,0 +1,20 @@
+(** Compile-fail checking: the static half of Table 2's evidence.
+
+    Each snippet in [compile_fail/] attempts a PM bug that the library
+    claims is a type error; this module compiles every snippet against
+    the built library and reports whether (and why) the compiler rejected
+    it.  [control_*.ml] snippets must compile instead — they validate the
+    harness's include paths. *)
+
+type outcome = {
+  snippet : string;
+  must_compile : bool;
+      (** [control_*.ml] snippets validate the harness: they must build *)
+  rejected : bool;  (** the compiler refused it *)
+  type_error : bool;
+      (** the rejection is a type error, not e.g. an unbound module
+          (which would mean broken paths) *)
+  message : string;  (** first error line, for the report *)
+}
+
+val run : unit -> (outcome list, string) result

@@ -1,0 +1,131 @@
+(** Table 3 of the paper: lines of code added to make a volatile data
+    structure persistent.  The paper compares Rust-vs-Corundum and
+    C++-vs-PMDK; here we compare the volatile OCaml structures against
+    their Corundum twins, which are kept deliberately parallel
+    (see {!Workloads.Volatile_list} / {!Workloads.Plist} etc.). *)
+
+type row = {
+  app : string;
+  volatile_file : string;
+  persistent_file : string;  (** the Corundum (typed) implementation *)
+  raw_file : string;  (** the PMDK-style raw-heap implementation *)
+}
+
+let rows =
+  [
+    {
+      app = "Linked List";
+      volatile_file = "lib/workloads/volatile_list.ml";
+      persistent_file = "lib/workloads/plist.ml";
+      raw_file = "lib/workloads/raw_list.ml";
+    };
+    {
+      app = "Binary tree";
+      volatile_file = "lib/workloads/volatile_bst.ml";
+      persistent_file = "lib/workloads/pbst.ml";
+      raw_file = "lib/workloads/bst.ml";
+    };
+    {
+      app = "HashMap";
+      volatile_file = "lib/workloads/volatile_hashmap.ml";
+      persistent_file = "lib/workloads/phashmap.ml";
+      raw_file = "lib/workloads/kvstore.ml";
+    };
+  ]
+
+(* Count source lines: skip blanks and pure comment lines (the doc
+   headers explain methodology, they are not implementation effort). *)
+let count_loc path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let loc = ref 0 in
+      let in_comment = ref 0 in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           let opens =
+             let c = ref 0 and i = ref 0 in
+             while !i + 1 < String.length line do
+               (match (line.[!i], line.[!i + 1]) with
+               | '(', '*' -> incr c
+               | '*', ')' -> decr c
+               | _ -> ());
+               incr i
+             done;
+             !c
+           in
+           let was_in_comment = !in_comment > 0 in
+           in_comment := max 0 (!in_comment + opens);
+           let pure_comment =
+             was_in_comment
+             || String.length line >= 2
+                && String.sub line 0 2 = "(*"
+           in
+           if String.length line > 0 && not pure_comment then incr loc
+         done
+       with End_of_file -> ());
+      !loc)
+
+(* Locate the repository root by walking up to the dune-project file, so
+   the executable works from any cwd (including _build sandboxes). *)
+let find_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else up parent
+  in
+  match Sys.getenv_opt "CORUNDUM_ROOT" with
+  | Some r -> Some r
+  | None -> up (Sys.getcwd ())
+
+type measured = {
+  app : string;
+  volatile_loc : int;
+  persistent_loc : int;
+  added : int;
+  percent : float;
+  raw_loc : int;  (** the PMDK-style implementation, written from scratch *)
+}
+
+let measure_row root r =
+  let v = count_loc (Filename.concat root r.volatile_file) in
+  let p = count_loc (Filename.concat root r.persistent_file) in
+  let raw = count_loc (Filename.concat root r.raw_file) in
+  {
+    app = r.app;
+    volatile_loc = v;
+    persistent_loc = p;
+    added = p - v;
+    percent = 100.0 *. float_of_int (p - v) /. float_of_int v;
+    raw_loc = raw;
+  }
+
+let measure () =
+  match find_root () with
+  | None -> Error "cannot locate repository root (set CORUNDUM_ROOT)"
+  | Some root -> (
+      try Ok (List.map (measure_row root) rows) with Sys_error m -> Error m)
+
+let render ppf ms =
+  Format.fprintf ppf "%-14s %10s %10s %18s %12s@." "App" "OCaml" "Corundum"
+    "added" "raw (PMDK)";
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "%-14s %10d %10d %10d (%4.1f%%) %12d@." m.app
+        m.volatile_loc m.persistent_loc m.added m.percent m.raw_loc)
+    ms
+
+let to_csv ms =
+  let rows =
+    List.map
+      (fun m ->
+        Printf.sprintf "%s,%d,%d,%d,%.1f,%d" m.app m.volatile_loc
+          m.persistent_loc m.added m.percent m.raw_loc)
+      ms
+  in
+  String.concat "\n"
+    ("app,volatile_loc,corundum_loc,added,percent,raw_pmdk_loc" :: rows)
+  ^ "\n"

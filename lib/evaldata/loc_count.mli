@@ -1,0 +1,34 @@
+(** Table 3 of the paper: lines of code added to make a volatile data
+    structure persistent, measured by counting source lines (blank and
+    comment lines excluded) of the deliberately parallel volatile /
+    Corundum implementation pairs in [lib/workloads]. *)
+
+type row = {
+  app : string;
+  volatile_file : string;
+  persistent_file : string;  (** the Corundum (typed) implementation *)
+  raw_file : string;  (** the PMDK-style raw-heap implementation *)
+}
+
+val rows : row list
+(** The three applications of the paper's Table 3. *)
+
+val count_loc : string -> int
+(** Source lines of one file (skips blanks and comment-only lines). *)
+
+val find_root : unit -> string option
+(** Locate the repository root (walks up to [dune-project]; the
+    [CORUNDUM_ROOT] environment variable overrides). *)
+
+type measured = {
+  app : string;
+  volatile_loc : int;
+  persistent_loc : int;
+  added : int;
+  percent : float;
+  raw_loc : int;  (** the PMDK-style implementation, written from scratch *)
+}
+
+val measure : unit -> (measured list, string) result
+val render : Format.formatter -> measured list -> unit
+val to_csv : measured list -> string

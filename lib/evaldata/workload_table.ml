@@ -1,0 +1,63 @@
+(** Table 4 of the paper: the microbenchmark workloads.  Reproduced as
+    data so [bin/tables.exe table4] regenerates the table, each row
+    pointing at this repository's implementation. *)
+
+type row = {
+  name : string;
+  description : string;  (** the paper's wording *)
+  implemented_by : string;  (** module(s) in this repository *)
+  regenerated_by : string;  (** command reproducing its results *)
+}
+
+let rows =
+  [
+    {
+      name = "BST";
+      description =
+        "A transaction-free (in PMDK and Corundum) and failure-atomic \
+         implementation of a Binary Search Tree";
+      implemented_by = "Workloads.Bst (engines), Workloads.Pbst (typed)";
+      regenerated_by = "dune exec bin/perf.exe";
+    };
+    {
+      name = "KVStore";
+      description =
+        "A simple Key-Value store data structure using hash map";
+      implemented_by =
+        "Workloads.Kvstore (engines), Workloads.Phashmap / Corundum.Pstrmap (typed)";
+      regenerated_by = "dune exec bin/perf.exe";
+    };
+    {
+      name = "B+Tree";
+      description = "An optimized, balanced B+Tree with 8-way fanout";
+      implemented_by = "Workloads.Bptree (engines), Corundum.Pbtree (typed)";
+      regenerated_by = "dune exec bin/perf.exe";
+    };
+    {
+      name = "wordcount";
+      description =
+        "Counts the occurrences of each word in a corpus of text using a \
+         hashmap and producer/consumer threads";
+      implemented_by = "Workloads.Wordcount (domains + DES model)";
+      regenerated_by = "dune exec bin/scale.exe";
+    };
+  ]
+
+let render ppf () =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s %s@.%-10s   implemented by: %s@.%-10s   regenerate:     %s@.@."
+        r.name r.description "" r.implemented_by "" r.regenerated_by)
+    rows
+
+let to_csv () =
+  let header = "workload,description,implemented_by,regenerated_by" in
+  let quote s = "\"" ^ String.concat "\"\"" (String.split_on_char '\"' s) ^ "\"" in
+  let body =
+    List.map
+      (fun r ->
+        String.concat ","
+          [ r.name; quote r.description; quote r.implemented_by; r.regenerated_by ])
+      rows
+  in
+  String.concat "\n" (header :: body) ^ "\n"

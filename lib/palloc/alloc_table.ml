@@ -1,0 +1,72 @@
+type t = {
+  dev : Pmem.Device.t;
+  table_base : int;
+  heap_base : int;
+  heap_len : int;
+  nblocks : int;
+}
+
+let min_block = 64
+let min_block_shift = 6
+let table_bytes ~heap_len = heap_len / min_block
+
+let make dev ~table_base ~heap_base ~heap_len =
+  if heap_len mod min_block <> 0 then
+    invalid_arg "Alloc_table: heap_len must be a multiple of min_block";
+  if heap_len <= 0 then invalid_arg "Alloc_table: empty heap";
+  { dev; table_base; heap_base; heap_len; nblocks = heap_len / min_block }
+
+let create dev ~table_base ~heap_base ~heap_len =
+  let t = make dev ~table_base ~heap_base ~heap_len in
+  Pmem.Device.fill dev table_base t.nblocks '\000';
+  Pmem.Device.persist dev table_base t.nblocks;
+  t
+
+let attach dev ~table_base ~heap_base ~heap_len =
+  make dev ~table_base ~heap_base ~heap_len
+
+let nblocks t = t.nblocks
+let heap_base t = t.heap_base
+let heap_len t = t.heap_len
+let device t = t.dev
+
+let index_of_offset t off =
+  let rel = off - t.heap_base in
+  if rel < 0 || rel >= t.heap_len then
+    invalid_arg (Printf.sprintf "Alloc_table: offset %d outside heap" off);
+  if rel land (min_block - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Alloc_table: offset %d not block-aligned" off);
+  rel lsr min_block_shift
+
+let offset_of_index t idx =
+  if idx < 0 || idx >= t.nblocks then
+    invalid_arg (Printf.sprintf "Alloc_table: index %d out of range" idx);
+  t.heap_base + (idx lsl min_block_shift)
+
+let entry_addr t idx = t.table_base + idx
+
+let mark t ~idx ~order =
+  let addr = entry_addr t idx in
+  Pmem.Device.write_u8 t.dev addr (order + 1);
+  Pmem.Device.persist t.dev addr 1
+
+let clear t ~idx =
+  let addr = entry_addr t idx in
+  Pmem.Device.write_u8 t.dev addr 0;
+  Pmem.Device.persist t.dev addr 1
+
+let order_at t ~idx =
+  match Pmem.Device.read_u8 t.dev (entry_addr t idx) with
+  | 0 -> None
+  | b -> Some (b - 1)
+
+let iter_allocated t f =
+  let rec go idx =
+    if idx < t.nblocks then
+      match order_at t ~idx with
+      | Some order ->
+          f ~idx ~order;
+          go (idx + (1 lsl order))
+      | None -> go (idx + 1)
+  in
+  go 0

@@ -1,0 +1,51 @@
+(** Persistent allocation table: the durable truth of the buddy allocator.
+
+    One byte per minimum-order (64 B) block of the heap: [0] means the block
+    is free or the interior of a larger allocation; [k+1] means the block is
+    the head of an allocated block of order [k].  A single-byte store is
+    atomic on every platform and idempotent, so marking and unmarking need
+    no logging of their own — transactional rollback/redo simply rewrites
+    the byte (see DESIGN.md, "Crash-consistency protocols"). *)
+
+type t
+
+val min_block : int
+(** Minimum allocation granule in bytes (64, one cache line). *)
+
+val min_block_shift : int
+
+val create : Pmem.Device.t -> table_base:int -> heap_base:int -> heap_len:int -> t
+(** Format a fresh table: zero it and persist.  [heap_len] must be a
+    multiple of {!min_block}; the table occupies [heap_len / min_block]
+    bytes at [table_base]. *)
+
+val attach : Pmem.Device.t -> table_base:int -> heap_base:int -> heap_len:int -> t
+(** Bind to an existing (already formatted) table without touching it. *)
+
+val table_bytes : heap_len:int -> int
+(** Size of the table needed for a heap of [heap_len] bytes. *)
+
+val nblocks : t -> int
+val heap_base : t -> int
+val heap_len : t -> int
+val device : t -> Pmem.Device.t
+
+val index_of_offset : t -> int -> int
+(** Block index of a heap byte offset.  Raises [Invalid_argument] if the
+    offset is outside the heap or not block-aligned. *)
+
+val offset_of_index : t -> int -> int
+
+val mark : t -> idx:int -> order:int -> unit
+(** Durably mark block [idx] as the allocated head of an order-[order]
+    block (write byte + persist). *)
+
+val clear : t -> idx:int -> unit
+(** Durably mark block [idx] free (idempotent; persist). *)
+
+val order_at : t -> idx:int -> int option
+(** [Some order] if [idx] is an allocated head, [None] if the byte is 0. *)
+
+val iter_allocated : t -> (idx:int -> order:int -> unit) -> unit
+(** Visit every allocated head in index order; the iteration skips the
+    interior blocks of each allocation. *)

@@ -1,0 +1,257 @@
+exception Out_of_pmem
+exception Invalid_free of int
+
+module ISet = Set.Make (Int)
+
+type reservation = { r_idx : int; r_order : int }
+
+(* A stripe is an independently locked region of the heap with its own
+   volatile free lists — the paper's per-thread allocator.  Stripe
+   boundaries sit on power-of-two block indices, so buddy pairs never
+   cross a stripe and merging stays local. *)
+type stripe = {
+  lock : Mutex.t;
+  mutable free : ISet.t array; (* index: order; elements: block indices *)
+  mutable free_bytes : int;
+  lo : int; (* first block index (inclusive) *)
+  hi : int; (* last block index (exclusive) *)
+}
+
+type t = {
+  table : Alloc_table.t;
+  stripes : stripe array;
+  span : int; (* blocks per stripe (power of two); last stripe may be larger *)
+  max_order : int; (* largest order any stripe can hand out *)
+}
+
+let min_block = Alloc_table.min_block
+
+let log2_floor n =
+  let rec go k n = if n <= 1 then k else go (k + 1) (n lsr 1) in
+  go 0 n
+
+let order_of_size size =
+  if size <= 0 then invalid_arg "Buddy.order_of_size: non-positive size";
+  let rec go order blocksz =
+    if blocksz >= size then order else go (order + 1) (blocksz * 2)
+  in
+  go 0 min_block
+
+let size_of_order order = min_block lsl order
+let table t = t.table
+let max_order t = t.max_order
+let stripes t = Array.length t.stripes
+let capacity t = Alloc_table.heap_len t.table
+
+let free_bytes t =
+  Array.fold_left (fun acc s -> acc + s.free_bytes) 0 t.stripes
+
+let used_bytes t = capacity t - free_bytes t
+
+let locked s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+let dev t = Alloc_table.device t.table
+
+let stripe_of t idx =
+  min (idx / t.span) (Array.length t.stripes - 1)
+
+let add_free s order idx =
+  s.free.(order) <- ISet.add idx s.free.(order);
+  s.free_bytes <- s.free_bytes + size_of_order order
+
+let remove_free s order idx =
+  s.free.(order) <- ISet.remove idx s.free.(order);
+  s.free_bytes <- s.free_bytes - size_of_order order
+
+(* Carve the free index range [lo, hi) into maximal aligned blocks no
+   larger than the global max order. *)
+let carve t s lo hi =
+  let rec go lo =
+    if lo < hi then begin
+      let by_align = if lo = 0 then t.max_order else log2_floor (lo land -lo) in
+      let by_len = log2_floor (hi - lo) in
+      let order = min t.max_order (min by_align by_len) in
+      add_free s order lo;
+      go (lo + (1 lsl order))
+    end
+  in
+  go lo
+
+(* Insert a block into its stripe's free lists, merging with its buddy
+   while the buddy is wholly free at the same order and inside the
+   stripe. *)
+let rec insert_merged t s idx order =
+  let buddy = idx lxor (1 lsl order) in
+  if
+    order < t.max_order
+    && buddy >= s.lo
+    && buddy + (1 lsl order) <= s.hi
+    && ISet.mem buddy s.free.(order)
+  then begin
+    remove_free s order buddy;
+    Pmem.Device.charge_alloc_steps (dev t) 1;
+    insert_merged t s (min idx buddy) (order + 1)
+  end
+  else add_free s order idx
+
+let rebuild_locked t =
+  Array.iter
+    (fun s ->
+      s.free <- Array.make (t.max_order + 1) ISet.empty;
+      s.free_bytes <- 0)
+    t.stripes;
+  (* walk the table once, carving free gaps into the owning stripes *)
+  let nblocks = Alloc_table.nblocks t.table in
+  let carve_range lo hi =
+    (* split the range at stripe boundaries *)
+    let rec go lo =
+      if lo < hi then begin
+        let s = t.stripes.(stripe_of t lo) in
+        let stop = min hi s.hi in
+        carve t s lo stop;
+        go stop
+      end
+    in
+    go lo
+  in
+  let cursor = ref 0 in
+  Alloc_table.iter_allocated t.table (fun ~idx ~order ->
+      if !cursor < idx then carve_range !cursor idx;
+      cursor := idx + (1 lsl order));
+  if !cursor < nblocks then carve_range !cursor nblocks
+
+let make dev ~table_base ~heap_base ~heap_len ~stripes ~fresh =
+  if stripes <= 0 then invalid_arg "Buddy: stripe count must be positive";
+  let table =
+    if fresh then Alloc_table.create dev ~table_base ~heap_base ~heap_len
+    else Alloc_table.attach dev ~table_base ~heap_base ~heap_len
+  in
+  let nblocks = Alloc_table.nblocks table in
+  let span =
+    if stripes = 1 then nblocks
+    else begin
+      let s = 1 lsl log2_floor (nblocks / stripes) in
+      if s = 0 then invalid_arg "Buddy: heap too small for that many stripes";
+      s
+    end
+  in
+  let max_order = log2_floor span in
+  let nstripes = if stripes = 1 then 1 else stripes in
+  let mk i =
+    let lo = i * span in
+    let hi = if i = nstripes - 1 then nblocks else (i + 1) * span in
+    {
+      lock = Mutex.create ();
+      free = Array.make (max_order + 1) ISet.empty;
+      free_bytes = 0;
+      lo;
+      hi;
+    }
+  in
+  let t =
+    {
+      table;
+      stripes = Array.init nstripes mk;
+      span;
+      max_order;
+    }
+  in
+  rebuild_locked t;
+  t
+
+let create ?(stripes = 1) dev ~table_base ~heap_base ~heap_len =
+  make dev ~table_base ~heap_base ~heap_len ~stripes ~fresh:true
+
+let attach ?(stripes = 1) dev ~table_base ~heap_base ~heap_len =
+  make dev ~table_base ~heap_base ~heap_len ~stripes ~fresh:false
+
+let rebuild t = rebuild_locked t
+
+(* Reserve within one stripe; returns None when it cannot satisfy. *)
+let reserve_in t s order =
+  locked s (fun () ->
+      let rec find j =
+        if j > t.max_order then None
+        else if ISet.is_empty s.free.(j) then find (j + 1)
+        else Some j
+      in
+      match find order with
+      | None -> None
+      | Some j ->
+          let idx = ISet.min_elt s.free.(j) in
+          remove_free s j idx;
+          (* Split down to the requested order, releasing upper halves. *)
+          let rec split k =
+            if k > order then begin
+              let k = k - 1 in
+              add_free s k (idx + (1 lsl k));
+              Pmem.Device.charge_alloc_steps (dev t) 1;
+              split k
+            end
+          in
+          split j;
+          (* Metadata traffic grows with block size (headers, class lists
+             in a real buddy); charged per order so large allocations cost
+             more, matching the paper's Alloc(4 kB) > Alloc(8 B) shape. *)
+          Pmem.Device.charge_alloc_steps (dev t) (order + 1);
+          Some { r_idx = idx; r_order = order })
+
+let reserve ?(hint = 0) t size =
+  let order = order_of_size size in
+  if order > t.max_order then raise Out_of_pmem;
+  let n = Array.length t.stripes in
+  let rec try_stripe i =
+    if i >= n then raise Out_of_pmem
+    else
+      match reserve_in t t.stripes.((hint + i) mod n) order with
+      | Some r -> r
+      | None -> try_stripe (i + 1)
+  in
+  try_stripe 0
+
+let cancel t r =
+  let s = t.stripes.(stripe_of t r.r_idx) in
+  locked s (fun () -> insert_merged t s r.r_idx r.r_order)
+
+let commit t r = Alloc_table.mark t.table ~idx:r.r_idx ~order:r.r_order
+let offset_of_reservation t r = Alloc_table.offset_of_index t.table r.r_idx
+
+let alloc ?hint t size =
+  let r = reserve ?hint t size in
+  commit t r;
+  offset_of_reservation t r
+
+let dealloc t off =
+  let idx = Alloc_table.index_of_offset t.table off in
+  match Alloc_table.order_at t.table ~idx with
+  | None -> raise (Invalid_free off)
+  | Some order ->
+      Alloc_table.clear t.table ~idx;
+      let s = t.stripes.(stripe_of t idx) in
+      locked s (fun () -> insert_merged t s idx order)
+
+let dealloc_if_live t off =
+  let idx = Alloc_table.index_of_offset t.table off in
+  match Alloc_table.order_at t.table ~idx with
+  | None -> ()
+  | Some order ->
+      Alloc_table.clear t.table ~idx;
+      let s = t.stripes.(stripe_of t idx) in
+      locked s (fun () -> insert_merged t s idx order)
+
+let block_size t off =
+  let idx = Alloc_table.index_of_offset t.table off in
+  Option.map size_of_order (Alloc_table.order_at t.table ~idx)
+
+let fold_free t ~init ~f =
+  Array.fold_left
+    (fun acc s ->
+      locked s (fun () ->
+          let acc = ref acc in
+          Array.iteri
+            (fun order set -> ISet.iter (fun idx -> acc := f !acc ~idx ~order) set)
+            s.free;
+          !acc))
+    init t.stripes

@@ -1,0 +1,96 @@
+(** Crash-consistent buddy allocator over a {!Pmem.Device} heap region.
+
+    Durable state is the {!Alloc_table}; free space is tracked in volatile
+    per-order free sets rebuilt from the table at {!attach} time, so the
+    allocator itself never needs multi-word atomic updates.
+
+    Transactional allocation uses a three-step protocol driven by the
+    journal layer:
+
+    + {!reserve} removes a block from the volatile free lists (no durable
+      effect — a crash here loses nothing);
+    + the journal durably records the allocation intent;
+    + {!commit} durably marks the table byte.
+
+    If the transaction aborts, {!cancel} (before commit) or a journal-driven
+    {!dealloc} (after commit) undoes the allocation.  Frees inside a
+    transaction are deferred by the journal and applied at commit via
+    {!dealloc}, which is idempotent at the table level. *)
+
+exception Out_of_pmem
+(** No stripe can satisfy the request. *)
+
+exception Invalid_free of int
+(** Raised by {!dealloc} when the offset is not the head of a live block
+    (double free or wild free). *)
+
+type t
+
+type reservation = private { r_idx : int; r_order : int }
+
+val create :
+  ?stripes:int -> Pmem.Device.t -> table_base:int -> heap_base:int -> heap_len:int -> t
+(** Format a fresh heap (zeroes the allocation table).  [stripes]
+    (default 1) partitions the heap into independently locked arenas —
+    the paper's per-thread allocators; allocations prefer the caller's
+    {e hint} stripe and steal from others under pressure.  Stripe
+    boundaries sit on power-of-two block indices, so buddies never cross
+    them; with [n] stripes the largest allocatable block is roughly
+    [heap/n]. *)
+
+val attach :
+  ?stripes:int -> Pmem.Device.t -> table_base:int -> heap_base:int -> heap_len:int -> t
+(** Bind to an existing heap and rebuild the free lists from the table.
+    The striping is volatile policy, not media format: any [stripes]
+    value may be used on any heap. *)
+
+val table : t -> Alloc_table.t
+val max_order : t -> int
+val stripes : t -> int
+val order_of_size : int -> int
+(** Smallest order whose block size is >= the given byte size. *)
+
+val size_of_order : int -> int
+
+(** {1 Reservation protocol} *)
+
+val reserve : ?hint:int -> t -> int -> reservation
+(** [reserve t size] claims a block of at least [size] bytes from the
+    volatile free lists, preferring stripe [hint mod stripes].  Raises
+    {!Out_of_pmem}. *)
+
+val cancel : t -> reservation -> unit
+(** Return an uncommitted reservation to the free lists. *)
+
+val commit : t -> reservation -> unit
+(** Durably mark the reservation allocated in the table. *)
+
+val offset_of_reservation : t -> reservation -> int
+
+(** {1 One-shot interface (non-transactional callers and recovery)} *)
+
+val alloc : ?hint:int -> t -> int -> int
+(** [reserve] + [commit]; returns the block's byte offset. *)
+
+val dealloc : t -> int -> unit
+(** Durably free the block headed at the given offset and merge buddies in
+    the volatile lists.  Raises {!Invalid_free}. *)
+
+val dealloc_if_live : t -> int -> unit
+(** Like {!dealloc} but a no-op when the block is already free — the
+    idempotent form used when re-applying drop logs during recovery. *)
+
+val rebuild : t -> unit
+(** Drop and re-derive the volatile free lists from the table (used after
+    recovery has edited table bytes directly). *)
+
+(** {1 Introspection} *)
+
+val block_size : t -> int -> int option
+(** Size of the live block headed at the offset, if any. *)
+
+val capacity : t -> int
+val free_bytes : t -> int
+val used_bytes : t -> int
+val fold_free : t -> init:'a -> f:('a -> idx:int -> order:int -> 'a) -> 'a
+(** Fold over every block in the volatile free lists (test support). *)

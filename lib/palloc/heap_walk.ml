@@ -1,0 +1,88 @@
+type block = { off : int; size : int }
+
+let live_blocks buddy =
+  let table = Buddy.table buddy in
+  let acc = ref [] in
+  Alloc_table.iter_allocated table (fun ~idx ~order ->
+      acc :=
+        {
+          off = Alloc_table.offset_of_index table idx;
+          size = Buddy.size_of_order order;
+        }
+        :: !acc);
+  List.rev !acc
+
+let live_count buddy =
+  let n = ref 0 in
+  Alloc_table.iter_allocated (Buddy.table buddy) (fun ~idx:_ ~order:_ -> incr n);
+  !n
+
+let live_bytes buddy =
+  let n = ref 0 in
+  Alloc_table.iter_allocated (Buddy.table buddy) (fun ~idx:_ ~order ->
+      n := !n + Buddy.size_of_order order);
+  !n
+
+type report = {
+  blocks : int;
+  bytes_used : int;
+  bytes_free : int;
+  largest_free : int;
+  fragmentation : float;
+}
+
+let report buddy =
+  let largest =
+    Buddy.fold_free buddy ~init:0 ~f:(fun acc ~idx:_ ~order ->
+        max acc (Buddy.size_of_order order))
+  in
+  let free = Buddy.free_bytes buddy in
+  {
+    blocks = live_count buddy;
+    bytes_used = Buddy.used_bytes buddy;
+    bytes_free = free;
+    largest_free = largest;
+    fragmentation =
+      (if free = 0 then 0.0 else 1.0 -. (float_of_int largest /. float_of_int free));
+  }
+
+let check buddy =
+  let table = Buddy.table buddy in
+  let nblocks = Alloc_table.nblocks table in
+  (* 0 = unseen, 1 = free-list, 2 = allocated *)
+  let cover = Bytes.make nblocks '\000' in
+  let claim tag idx order =
+    let len = 1 lsl order in
+    if idx land (len - 1) <> 0 then
+      Error (Printf.sprintf "block %d at order %d is misaligned" idx order)
+    else if idx + len > nblocks then
+      Error (Printf.sprintf "block %d at order %d overflows the heap" idx order)
+    else begin
+      let clash = ref None in
+      for i = idx to idx + len - 1 do
+        if !clash = None && Bytes.get cover i <> '\000' then clash := Some i;
+        Bytes.set cover i tag
+      done;
+      match !clash with
+      | Some i -> Error (Printf.sprintf "blocks overlap at index %d" i)
+      | None -> Ok ()
+    end
+  in
+  let result = ref (Ok ()) in
+  let claim_checked tag ~idx ~order =
+    match !result with
+    | Error _ -> ()
+    | Ok () -> result := claim tag idx order
+  in
+  Alloc_table.iter_allocated table (fun ~idx ~order ->
+      claim_checked '\002' ~idx ~order);
+  ignore
+    (Buddy.fold_free buddy ~init:() ~f:(fun () ~idx ~order ->
+         claim_checked '\001' ~idx ~order));
+  match !result with
+  | Error _ as e -> e
+  | Ok () ->
+      let hole = Bytes.index_opt cover '\000' in
+      (match hole with
+      | Some i -> Error (Printf.sprintf "index %d is neither free nor allocated" i)
+      | None -> Ok ())

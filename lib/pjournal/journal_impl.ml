@@ -1,0 +1,276 @@
+exception Journal_full
+exception Not_in_transaction
+
+module D = Pmem.Device
+
+(* Header field offsets within a slot: phase, undo entry count, drop
+   count, and the head of the spill chain. *)
+let hdr_phase = 0
+let hdr_count = 8
+let hdr_drops = 16
+let hdr_spill = 24
+let hdr_size = 64
+let phase_normal = 0L
+let phase_committing = 1L
+let drop_slot_bytes = 16
+let tx_overhead_ns = 198
+let spill_min = 16 * 1024
+
+type t = {
+  dev : D.t;
+  buddy : Palloc.Buddy.t;
+  base : int;
+  size : int;
+  alloc_hint : int; (* preferred allocator stripe (the slot's index) *)
+  mutable active : bool;
+  mutable count : int; (* volatile mirror of persistent entry count *)
+  mutable cursor : int; (* absolute address of the next entry byte *)
+  mutable cur_limit : int; (* absolute end of the current entry region *)
+  mutable last_region : int; (* base of the chain's last region *)
+  mutable spills : int list; (* spill block offsets, oldest first *)
+  mutable drops : int list; (* drop offsets, newest first *)
+  dedup : (int * int, unit) Hashtbl.t; (* (off, len) ranges already logged *)
+  dropped : (int, unit) Hashtbl.t;
+  mutable targets : (int * int) list; (* data ranges to persist at commit *)
+}
+
+let format dev ~base ~size =
+  if size < hdr_size + 256 then invalid_arg "Journal_impl.format: slot too small";
+  D.fill dev base hdr_size '\000';
+  D.persist dev base hdr_size
+
+let attach ?(alloc_hint = 0) dev buddy ~base ~size =
+  {
+    dev;
+    buddy;
+    base;
+    size;
+    alloc_hint;
+    active = false;
+    count = 0;
+    cursor = base + hdr_size;
+    cur_limit = Log_entry.main_entry_limit ~slot_base:base ~slot_size:size;
+    last_region = base;
+    spills = [];
+    drops = [];
+    dedup = Hashtbl.create 64;
+    dropped = Hashtbl.create 16;
+    targets = [];
+  }
+
+let base t = t.base
+let size t = t.size
+let is_active t = t.active
+let entry_count t = t.count
+let drop_count t = List.length t.drops
+let spill_count t = List.length t.spills
+let logged_bytes t =
+  if t.last_region = t.base then t.cursor - t.base - hdr_size
+  else t.cursor - t.last_region - Log_entry.spill_header
+
+let drop_capacity t = t.size / 4 / drop_slot_bytes
+let remaining_bytes t = t.cur_limit - t.cursor
+
+let require_active t = if not t.active then raise Not_in_transaction
+
+let begin_tx t =
+  if t.active then invalid_arg "Journal_impl.begin_tx: already in a transaction";
+  t.active <- true;
+  t.count <- 0;
+  t.cursor <- t.base + hdr_size;
+  t.cur_limit <- Log_entry.main_entry_limit ~slot_base:t.base ~slot_size:t.size;
+  t.last_region <- t.base;
+  t.spills <- [];
+  t.drops <- [];
+  t.targets <- [];
+  Hashtbl.reset t.dedup;
+  Hashtbl.reset t.dropped;
+  D.charge_ns t.dev tx_overhead_ns
+
+(* Persist the entry just written at absolute [at] of [len] bytes, then
+   advance and persist the entry count.  The two persists are ordered
+   (entry first) so a crash can never expose a counted-but-torn entry. *)
+let seal_entry t ~at ~len =
+  D.persist t.dev at len;
+  t.count <- t.count + 1;
+  D.write_u64 t.dev (t.base + hdr_count) (Int64.of_int t.count);
+  D.persist t.dev (t.base + hdr_count) 8
+
+(* Chain a fresh spill region big enough for [need] entry bytes.  The
+   ordering makes every intermediate state recoverable: the region's own
+   header becomes durable before the chain points at it, and the chain
+   points at it before its allocation-table mark (an unmarked chained
+   block is freed as a no-op by recovery's idempotent sweep). *)
+let add_spill t need =
+  let exact = need + Log_entry.spill_header in
+  let r =
+    (* prefer a roomy region; fall back to the exact need under pressure *)
+    match Palloc.Buddy.reserve ~hint:t.alloc_hint t.buddy (max spill_min exact) with
+    | r -> r
+    | exception Palloc.Buddy.Out_of_pmem -> (
+        try Palloc.Buddy.reserve ~hint:t.alloc_hint t.buddy exact
+        with Palloc.Buddy.Out_of_pmem -> raise Journal_full)
+  in
+  let off = Palloc.Buddy.offset_of_reservation t.buddy r in
+  let actual = Palloc.Buddy.size_of_order (r : Palloc.Buddy.reservation).r_order in
+  D.write_u64 t.dev off 0L;
+  D.write_u64 t.dev (off + 8) (Int64.of_int actual);
+  D.persist t.dev off Log_entry.spill_header;
+  let link =
+    if t.last_region = t.base then t.base + hdr_spill else t.last_region
+  in
+  D.write_u64 t.dev link (Int64.of_int off);
+  D.persist t.dev link 8;
+  Palloc.Buddy.commit t.buddy r;
+  t.spills <- t.spills @ [ off ];
+  t.last_region <- off;
+  t.cursor <- off + Log_entry.spill_header;
+  t.cur_limit <- off + actual
+
+let ensure_room t need =
+  if t.cursor + need > t.cur_limit then begin
+    (* mark the continuation so walkers stop parsing this region here *)
+    if t.cursor + 8 <= t.cur_limit then Log_entry.write_jump t.dev ~at:t.cursor;
+    add_spill t need
+  end
+
+let append_data t ~off ~len =
+  let need = Log_entry.data_entry_size len in
+  ensure_room t need;
+  let at = t.cursor in
+  Log_entry.write_data t.dev ~at ~off ~len;
+  t.cursor <- t.cursor + need;
+  seal_entry t ~at ~len:need;
+  t.targets <- (off, len) :: t.targets
+
+let data_log t ~off ~len =
+  require_active t;
+  if len <= 0 then invalid_arg "Journal_impl.data_log: non-positive length";
+  if not (Hashtbl.mem t.dedup (off, len)) then begin
+    append_data t ~off ~len;
+    Hashtbl.add t.dedup (off, len) ()
+  end
+
+let add_target t ~off ~len =
+  require_active t;
+  t.targets <- (off, len) :: t.targets
+
+let data_log_nodedup t ~off ~len =
+  require_active t;
+  if len <= 0 then invalid_arg "Journal_impl.data_log: non-positive length";
+  append_data t ~off ~len
+
+let alloc t bytes =
+  require_active t;
+  let r = Palloc.Buddy.reserve ~hint:t.alloc_hint t.buddy bytes in
+  let off = Palloc.Buddy.offset_of_reservation t.buddy r in
+  (match
+     let need = Log_entry.alloc_entry_size in
+     ensure_room t need;
+     let at = t.cursor in
+     Log_entry.write_alloc t.dev ~at ~off
+       ~order:(r : Palloc.Buddy.reservation).r_order;
+     t.cursor <- t.cursor + need;
+     seal_entry t ~at ~len:need
+   with
+  | () -> ()
+  | exception e ->
+      Palloc.Buddy.cancel t.buddy r;
+      raise e);
+  Palloc.Buddy.commit t.buddy r;
+  off
+
+let free t off =
+  require_active t;
+  if Hashtbl.mem t.dropped off then raise (Palloc.Buddy.Invalid_free off);
+  (match Palloc.Buddy.block_size t.buddy off with
+  | Some _ -> ()
+  | None -> raise (Palloc.Buddy.Invalid_free off));
+  if List.length t.drops >= drop_capacity t then raise Journal_full;
+  (* Volatile append into the drop area; durable only at commit. *)
+  let at = t.base + t.size - ((List.length t.drops + 1) * drop_slot_bytes) in
+  Log_entry.write_drop t.dev ~at ~off;
+  t.drops <- off :: t.drops;
+  Hashtbl.add t.dropped off ()
+
+let write_phase t phase =
+  D.write_u64 t.dev (t.base + hdr_phase) phase;
+  D.persist t.dev (t.base + hdr_phase) 8
+
+(* Truncate the slot.  Counts go durably to zero first (so a crash cannot
+   leave a count that overruns a released spill chain), then the spill
+   regions are released and unchained, then the phase resets. *)
+let truncate t =
+  D.write_u64 t.dev (t.base + hdr_count) 0L;
+  D.write_u64 t.dev (t.base + hdr_drops) 0L;
+  D.persist t.dev (t.base + hdr_count) 16;
+  if t.spills <> [] then begin
+    List.iter (fun off -> Palloc.Buddy.dealloc_if_live t.buddy off) t.spills;
+    D.write_u64 t.dev (t.base + hdr_spill) 0L;
+    D.persist t.dev (t.base + hdr_spill) 8
+  end;
+  write_phase t phase_normal;
+  t.count <- 0;
+  t.cursor <- t.base + hdr_size;
+  t.cur_limit <- Log_entry.main_entry_limit ~slot_base:t.base ~slot_size:t.size;
+  t.last_region <- t.base;
+  t.spills <- [];
+  t.drops <- [];
+  t.targets <- [];
+  Hashtbl.reset t.dedup;
+  Hashtbl.reset t.dropped
+
+let commit t =
+  require_active t;
+  t.active <- false;
+  if t.count = 0 && t.drops = [] then ()
+  else begin
+    (* 1. Make every logged target range durable. *)
+    List.iter (fun (off, len) -> D.flush t.dev off len) t.targets;
+    (* 2. Make the drop area and its count durable, then mark committing. *)
+    let ndrops = List.length t.drops in
+    if ndrops > 0 then begin
+      let area = ndrops * drop_slot_bytes in
+      D.flush t.dev (t.base + t.size - area) area;
+      D.write_u64 t.dev (t.base + hdr_drops) (Int64.of_int ndrops);
+      D.flush t.dev (t.base + hdr_drops) 8
+    end;
+    D.fence t.dev;
+    if ndrops > 0 then begin
+      write_phase t phase_committing;
+      (* 3. Apply deferred frees; idempotent, so recovery may re-run them. *)
+      List.iter (fun off -> Palloc.Buddy.dealloc_if_live t.buddy off) t.drops
+    end;
+    (* 4. Truncate. *)
+    truncate t
+  end
+
+let abort t =
+  require_active t;
+  t.active <- false;
+  if t.count = 0 then truncate t
+  else begin
+    (* Collect entries (following any spill chain), then restore data logs
+       newest-first. *)
+    let entries = ref [] in
+    Log_entry.walk t.dev ~slot_base:t.base ~slot_size:t.size ~count:t.count
+      (fun e -> entries := e :: !entries);
+    (* [entries] is newest-first, which is the order undo must apply. *)
+    List.iter
+      (fun e ->
+        match e with
+        | Log_entry.Data { off; len; payload } ->
+            D.copy_within t.dev ~src:payload ~dst:off ~len;
+            D.flush t.dev off len
+        | Log_entry.Alloc _ | Log_entry.Drop _ -> ())
+      !entries;
+    D.fence t.dev;
+    List.iter
+      (fun e ->
+        match e with
+        | Log_entry.Alloc { off; order = _ } ->
+            Palloc.Buddy.dealloc_if_live t.buddy off
+        | Log_entry.Data _ | Log_entry.Drop _ -> ())
+      !entries;
+    truncate t
+  end

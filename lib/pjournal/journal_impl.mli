@@ -1,0 +1,93 @@
+(** Runtime undo journal bound to one persistent slot.
+
+    A slot is a fixed region: a 64-byte header ([phase], [count],
+    [drop_count]), an undo-entry area growing up from the header, and a
+    drop-entry area growing down from the end.  The persistent [count] is
+    advanced only after an entry is durable, so recovery never reads a torn
+    entry.  Drop entries are volatile until {!commit} persists them in one
+    batch (the paper's constant-time [DropLog]); a transaction that never
+    commits simply discards them.
+
+    Protocols (also in DESIGN.md):
+
+    - [data_log]: save old bytes -> persist entry -> persist count ->
+      caller may now modify the target range;
+    - [alloc]: reserve (volatile) -> persist Alloc entry + count ->
+      durably mark the allocation table;
+    - [commit]: persist all logged target ranges -> persist drop area and
+      [phase=Committing] -> apply drops -> truncate;
+    - [abort]: restore data logs in reverse -> free logged allocations ->
+      truncate. *)
+
+exception Journal_full
+(** The log cannot grow: the heap has no room for another spill region,
+    or the drop area (the slot's reserved tail quarter) is exhausted.
+    The transaction can still abort cleanly. *)
+
+exception Not_in_transaction
+(** A logging operation was invoked on an inactive journal. *)
+
+type t
+
+val format : Pmem.Device.t -> base:int -> size:int -> unit
+(** Zero a slot's header durably (pool-creation time). *)
+
+val attach :
+  ?alloc_hint:int -> Pmem.Device.t -> Palloc.Buddy.t -> base:int -> size:int -> t
+(** Bind to a formatted slot.  The slot must be idle (run {!Recovery}
+    first after a crash).  [alloc_hint] names the allocator stripe this
+    slot's transactions prefer — pairing each journal with its own arena,
+    the paper's per-thread allocator design. *)
+
+val base : t -> int
+val size : t -> int
+val is_active : t -> bool
+val tx_overhead_ns : int
+(** Fixed simulated cost charged per outermost transaction (the paper's
+    [TxNop], ~198 ns, medium-independent). *)
+
+val begin_tx : t -> unit
+(** Start a flat transaction.  Raises [Invalid_argument] if already
+    active; nesting is flattened by the layer above. *)
+
+val data_log : t -> off:int -> len:int -> unit
+(** Undo-log the current contents of a range.  Exact duplicate ranges
+    within one transaction are logged once. *)
+
+val add_target : t -> off:int -> len:int -> unit
+(** Register a range to be persisted at commit without logging it — for
+    writes into blocks allocated in this same transaction, whose rollback
+    is the allocation rollback itself (the fresh-allocation
+    optimization). *)
+
+val data_log_nodedup : t -> off:int -> len:int -> unit
+(** Like {!data_log} but always appends a fresh entry; used for shared
+    counters ([Parc]) whose every update must be individually undoable
+    (newest-first replay restores the oldest value). *)
+
+val alloc : t -> int -> int
+(** Transactionally allocate: the block is live immediately but rolled
+    back if the transaction aborts or the system crashes before commit. *)
+
+val free : t -> int -> unit
+(** Defer freeing of a live block until commit.  Raises
+    [Palloc.Buddy.Invalid_free] if the offset was already dropped in this
+    transaction or is not a live block head. *)
+
+val commit : t -> unit
+val abort : t -> unit
+
+(** {1 Introspection (tests and stats)} *)
+
+val entry_count : t -> int
+val drop_count : t -> int
+
+val spill_count : t -> int
+(** Heap-allocated overflow regions chained to this transaction's log.
+    Slots hold small transactions inline; larger ones spill, so there is
+    no fixed bound on transaction size (heap capacity aside). *)
+
+val logged_bytes : t -> int
+(** Bytes of undo-entry area consumed. *)
+
+val remaining_bytes : t -> int

@@ -1,0 +1,119 @@
+type t =
+  | Data of { off : int; len : int; payload : int }
+  | Alloc of { off : int; order : int }
+  | Drop of { off : int }
+
+let kind_data = 1
+let kind_alloc = 2
+let kind_drop = 3
+
+(* A jump sentinel marks "the log continues in the next region"; the tail
+   of a region after it is dead space.  8 bytes, persisted when written. *)
+let kind_jump = 4
+let pad8 n = (n + 7) land lnot 7
+let data_entry_size len = 24 + pad8 len
+let alloc_entry_size = 24
+let drop_entry_size = 16
+
+module D = Pmem.Device
+
+let write_data dev ~at ~off ~len =
+  D.write_u64 dev at (Int64.of_int kind_data);
+  D.write_u64 dev (at + 8) (Int64.of_int off);
+  D.write_u64 dev (at + 16) (Int64.of_int len);
+  D.copy_within dev ~src:off ~dst:(at + 24) ~len
+
+let write_alloc dev ~at ~off ~order =
+  D.write_u64 dev at (Int64.of_int kind_alloc);
+  D.write_u64 dev (at + 8) (Int64.of_int off);
+  D.write_u64 dev (at + 16) (Int64.of_int order)
+
+let write_drop dev ~at ~off =
+  D.write_u64 dev at (Int64.of_int kind_drop);
+  D.write_u64 dev (at + 8) (Int64.of_int off)
+
+(* Entry size without materializing the entry (for region-boundary
+   decisions during walks). *)
+let peek_size dev ~at =
+  let kind = Int64.to_int (D.read_u64 dev at) in
+  if kind = kind_data then
+    data_entry_size (Int64.to_int (D.read_u64 dev (at + 16)))
+  else if kind = kind_alloc then alloc_entry_size
+  else if kind = kind_drop then drop_entry_size
+  else invalid_arg (Printf.sprintf "Log_entry.peek: bad kind %d at %d" kind at)
+
+let read dev ~at =
+  let kind = Int64.to_int (D.read_u64 dev at) in
+  let off = Int64.to_int (D.read_u64 dev (at + 8)) in
+  if kind = kind_data then begin
+    let len = Int64.to_int (D.read_u64 dev (at + 16)) in
+    (Data { off; len; payload = at + 24 }, data_entry_size len)
+  end
+  else if kind = kind_alloc then begin
+    let order = Int64.to_int (D.read_u64 dev (at + 16)) in
+    (Alloc { off; order }, alloc_entry_size)
+  end
+  else if kind = kind_drop then (Drop { off }, drop_entry_size)
+  else invalid_arg (Printf.sprintf "Log_entry.read: bad kind %d at %d" kind at)
+
+(* --- walking a (possibly spilled) undo log ----------------------------- *)
+
+(* An undo log is the slot's entry area plus a chain of heap-allocated
+   spill regions (slot header word +24 points at the first; each region
+   starts with [next u64 | limit u64]).  An entry never crosses a region
+   boundary: the writer jumps to the next region when one would, and the
+   walker reproduces the same decision from the entry sizes. *)
+
+let spill_header = 16
+
+(* The tail quarter of a slot is reserved for the drop area, so the main
+   entry region never collides with it and walkers need no knowledge of
+   the (volatile) drop count. *)
+let main_entry_limit ~slot_base ~slot_size =
+  slot_base + slot_size - (slot_size / 4)
+
+let write_jump dev ~at =
+  D.write_u64 dev at (Int64.of_int kind_jump);
+  D.persist dev at 8
+
+let walk dev ~slot_base ~slot_size ~count f =
+  let next_region base =
+    (* region 0 is the slot itself; its chain pointer is in the header *)
+    if base = slot_base then Int64.to_int (D.read_u64 dev (slot_base + 24))
+    else Int64.to_int (D.read_u64 dev base)
+  in
+  let region_cursor base =
+    if base = slot_base then base + 64 else base + spill_header
+  in
+  let region_limit base =
+    if base = slot_base then main_entry_limit ~slot_base ~slot_size
+    else base + Int64.to_int (D.read_u64 dev (base + 8))
+  in
+  let jump base =
+    let nxt = next_region base in
+    if nxt = 0 then invalid_arg "Log_entry.walk: count overruns the log";
+    nxt
+  in
+  let rec go remaining base cursor =
+    if remaining > 0 then
+      let limit = region_limit base in
+      (* regions end either by exhaustion or at an explicit jump sentinel *)
+      if
+        cursor + 8 > limit
+        || Int64.to_int (D.read_u64 dev cursor) = kind_jump
+      then
+        let base = jump base in
+        go remaining base (region_cursor base)
+      else begin
+        let e, sz = read dev ~at:cursor in
+        f e;
+        go (remaining - 1) base (cursor + sz)
+      end
+  in
+  go count slot_base (region_cursor slot_base)
+
+let spill_chain dev ~slot_base =
+  let rec go acc ptr =
+    if ptr = 0 then List.rev acc else go (ptr :: acc) (Int64.to_int (D.read_u64 dev ptr))
+  in
+  go [] (Int64.to_int (D.read_u64 dev (slot_base + 24)))

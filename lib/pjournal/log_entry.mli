@@ -1,0 +1,69 @@
+(** Wire format of journal entries.
+
+    Entries live in a journal slot's entry area and are valid iff their
+    index is below the slot's persistent entry count; the count is only
+    advanced after an entry is durably written, so a torn entry is never
+    observed by recovery.
+
+    Layout (all fields little-endian u64):
+
+    - [Data]:  [kind=1 | target offset | length | saved bytes, padded to 8]
+    - [Alloc]: [kind=2 | block offset  | order]
+    - [Drop]:  [kind=3 | block offset]
+*)
+
+type t =
+  | Data of { off : int; len : int; payload : int }
+      (** Undo record: [len] saved bytes at device offset [payload] must be
+          copied back to [off] on abort. *)
+  | Alloc of { off : int; order : int }
+      (** Allocation intent: block at [off] must be freed on abort. *)
+  | Drop of { off : int }
+      (** Deferred free: block at [off] must be freed at commit. *)
+
+val kind_data : int
+val kind_alloc : int
+val kind_drop : int
+
+val kind_jump : int
+(** Region-jump sentinel: the log continues in the next spill region. *)
+
+val data_entry_size : int -> int
+(** Total bytes a [Data] entry of the given payload length occupies. *)
+
+val alloc_entry_size : int
+val drop_entry_size : int
+
+val write_data : Pmem.Device.t -> at:int -> off:int -> len:int -> unit
+(** Write a [Data] entry header at [at] and copy the current contents of
+    [off, off+len) into its payload.  Does not persist. *)
+
+val write_alloc : Pmem.Device.t -> at:int -> off:int -> order:int -> unit
+val write_drop : Pmem.Device.t -> at:int -> off:int -> unit
+
+val write_jump : Pmem.Device.t -> at:int -> unit
+(** Durably mark that the log continues in the next region (the writer
+    places one whenever at least 8 bytes remain before spilling). *)
+
+val read : Pmem.Device.t -> at:int -> t * int
+(** Decode the entry at [at]; also return its total size.  Raises
+    [Invalid_argument] on a corrupt kind tag. *)
+
+val peek_size : Pmem.Device.t -> at:int -> int
+(** Total size of the entry at [at] without decoding it fully. *)
+
+val spill_header : int
+(** Bytes of metadata at the head of a spill region ([next | limit]). *)
+
+val main_entry_limit : slot_base:int -> slot_size:int -> int
+(** Absolute end of the slot's own entry region; the tail quarter of the
+    slot is reserved for drop entries. *)
+
+val walk :
+  Pmem.Device.t -> slot_base:int -> slot_size:int -> count:int -> (t -> unit) -> unit
+(** Visit [count] entries of a slot's undo log in write order, following
+    the spill chain (slot header word +24) across region boundaries.
+    Raises [Invalid_argument] on a torn log. *)
+
+val spill_chain : Pmem.Device.t -> slot_base:int -> int list
+(** Offsets of the slot's spill regions, in chain order. *)

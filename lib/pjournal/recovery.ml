@@ -1,0 +1,129 @@
+module D = Pmem.Device
+
+type stats = {
+  slots_scanned : int;
+  rolled_back : int;
+  completed : int;
+  data_restored : int;
+  allocs_reverted : int;
+  drops_applied : int;
+}
+
+let empty_stats =
+  {
+    slots_scanned = 0;
+    rolled_back = 0;
+    completed = 0;
+    data_restored = 0;
+    allocs_reverted = 0;
+    drops_applied = 0;
+  }
+
+let add_stats a b =
+  {
+    slots_scanned = a.slots_scanned + b.slots_scanned;
+    rolled_back = a.rolled_back + b.rolled_back;
+    completed = a.completed + b.completed;
+    data_restored = a.data_restored + b.data_restored;
+    allocs_reverted = a.allocs_reverted + b.allocs_reverted;
+    drops_applied = a.drops_applied + b.drops_applied;
+  }
+
+let drop_slot_bytes = 16
+let phase_committing = 1L
+
+(* Revert an allocation-table byte if it is still set (idempotent). *)
+let clear_if_live table off =
+  let idx = Palloc.Alloc_table.index_of_offset table off in
+  match Palloc.Alloc_table.order_at table ~idx with
+  | Some _ ->
+      Palloc.Alloc_table.clear table ~idx;
+      true
+  | None -> false
+
+(* Counts go to zero first, then any spill chain is released (idempotent
+   single-byte table clears) and unchained, then the phase resets — the
+   same ordering as the runtime truncate, so re-running after a crash
+   mid-recovery always converges. *)
+let truncate dev table ~base =
+  D.write_u64 dev (base + 8) 0L;
+  D.write_u64 dev (base + 16) 0L;
+  D.persist dev (base + 8) 16;
+  (match Log_entry.spill_chain dev ~slot_base:base with
+  | [] -> ()
+  | spills ->
+      List.iter (fun off -> ignore (clear_if_live table off)) spills;
+      D.write_u64 dev (base + 24) 0L;
+      D.persist dev (base + 24) 8);
+  D.write_u64 dev base 0L;
+  D.persist dev base 8
+
+let read_undo_entries dev ~base ~size ~count =
+  let entries = ref [] in
+  Log_entry.walk dev ~slot_base:base ~slot_size:size ~count (fun e ->
+      entries := e :: !entries);
+  !entries (* newest first *)
+
+let recover_slot dev table ~base ~size =
+  let phase = D.read_u64 dev base in
+  let count = Int64.to_int (D.read_u64 dev (base + 8)) in
+  let ndrops = Int64.to_int (D.read_u64 dev (base + 16)) in
+  if phase = phase_committing then begin
+    (* The transaction durably committed; finish its deferred frees. *)
+    let applied = ref 0 in
+    for i = 1 to ndrops do
+      let at = base + size - (i * drop_slot_bytes) in
+      match Log_entry.read dev ~at with
+      | Log_entry.Drop { off }, _ -> if clear_if_live table off then incr applied
+      | (Log_entry.Data _ | Log_entry.Alloc _), _ ->
+          invalid_arg "Recovery: non-drop entry in drop area"
+    done;
+    truncate dev table ~base;
+    { empty_stats with slots_scanned = 1; completed = 1; drops_applied = !applied }
+  end
+  else if count > 0 then begin
+    (* In-flight transaction: undo newest-first. *)
+    let entries = read_undo_entries dev ~base ~size ~count in
+    let restored = ref 0 and reverted = ref 0 in
+    List.iter
+      (fun e ->
+        match e with
+        | Log_entry.Data { off; len; payload } ->
+            D.copy_within dev ~src:payload ~dst:off ~len;
+            D.flush dev off len;
+            incr restored
+        | Log_entry.Alloc _ | Log_entry.Drop _ -> ())
+      entries;
+    D.fence dev;
+    List.iter
+      (fun e ->
+        match e with
+        | Log_entry.Alloc { off; order = _ } ->
+            if clear_if_live table off then incr reverted
+        | Log_entry.Data _ | Log_entry.Drop _ -> ())
+      entries;
+    truncate dev table ~base;
+    {
+      empty_stats with
+      slots_scanned = 1;
+      rolled_back = 1;
+      data_restored = !restored;
+      allocs_reverted = !reverted;
+    }
+  end
+  else begin
+    (* Idle — but a crash between a truncate's count reset and its spill
+       release leaves a chained slot, so scrub residual fields and free
+       any orphaned spill regions. *)
+    if phase <> 0L || ndrops <> 0 || Log_entry.spill_chain dev ~slot_base:base <> []
+    then truncate dev table ~base;
+    { empty_stats with slots_scanned = 1 }
+  end
+
+let recover dev table ~journal_base ~slot_size ~nslots =
+  let acc = ref empty_stats in
+  for i = 0 to nslots - 1 do
+    let base = journal_base + (i * slot_size) in
+    acc := add_stats !acc (recover_slot dev table ~base ~size:slot_size)
+  done;
+  !acc

@@ -1,0 +1,37 @@
+(** Crash recovery for journal slots.
+
+    Runs at pool-open time, after {!Pmem.Device.power_cycle} (or a process
+    restart) and {e before} the buddy allocator rebuilds its volatile free
+    lists, since recovery edits allocation-table bytes directly.
+
+    A slot in phase [Committing] had durably decided to commit: its drop
+    entries are re-applied (idempotent) and the slot is truncated.  Any
+    other slot with a non-zero entry count was mid-transaction: data
+    entries are restored newest-first, logged allocations are reverted,
+    drops are discarded.  Recovery itself is idempotent, so a crash during
+    recovery is handled by running it again. *)
+
+type stats = {
+  slots_scanned : int;
+  rolled_back : int;  (** in-flight transactions undone *)
+  completed : int;  (** committing transactions finished *)
+  data_restored : int;  (** data undo entries applied *)
+  allocs_reverted : int;  (** allocations rolled back *)
+  drops_applied : int;  (** deferred frees re-applied *)
+}
+
+val empty_stats : stats
+val add_stats : stats -> stats -> stats
+
+val recover_slot :
+  Pmem.Device.t -> Palloc.Alloc_table.t -> base:int -> size:int -> stats
+(** Recover one slot. *)
+
+val recover :
+  Pmem.Device.t ->
+  Palloc.Alloc_table.t ->
+  journal_base:int ->
+  slot_size:int ->
+  nslots:int ->
+  stats
+(** Recover a contiguous array of slots. *)

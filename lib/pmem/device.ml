@@ -1,0 +1,350 @@
+exception Crashed
+
+let line_size = 64
+let line_shift = 6
+
+(* Per-line cache state, stored one byte per line. *)
+let st_clean = '\000'
+let st_dirty = '\001'
+let st_flushed = '\002' (* snapshot in WPQ, no store since the flush *)
+let st_flushed_dirty = '\003' (* snapshot in WPQ, line re-dirtied since *)
+
+type t = {
+  size : int;
+  nlines : int;
+  latency : Latency.t;
+  path : string option;
+  durable : Bytes.t; (* what survives a power failure *)
+  view : Bytes.t; (* what loads observe (durable + cached stores) *)
+  state : Bytes.t; (* one state byte per line *)
+  wpq : (int, Bytes.t) Hashtbl.t; (* line number -> 64-byte snapshot *)
+  lock : Mutex.t; (* protects wpq, state transitions in flush/fence *)
+  mutable rng : Random.State.t;
+  mutable crashed : bool;
+  mutable crash_countdown : int; (* <= 0 means disabled *)
+  persist_pts : int Atomic.t;
+  loads : int Atomic.t;
+  stores : int Atomic.t;
+  flushes : int Atomic.t;
+  flush_calls : int Atomic.t;
+  fences : int Atomic.t;
+  fence_lines : int Atomic.t;
+  alloc_steps : int Atomic.t;
+  extra_ns : int Atomic.t;
+}
+
+type stats = {
+  loads : int;
+  stores : int;
+  flushes : int;
+  flush_calls : int;
+  fences : int;
+  fence_lines : int;
+  alloc_steps : int;
+  extra_ns : int;
+}
+
+let round_up_lines size = (size + line_size - 1) / line_size * line_size
+
+let create ?(latency = Latency.zero) ?(seed = 0xC0FFEE) ?path ~size () =
+  if size <= 0 then invalid_arg "Device.create: size must be positive";
+  let size = round_up_lines size in
+  {
+    size;
+    nlines = size / line_size;
+    latency;
+    path;
+    durable = Bytes.make size '\000';
+    view = Bytes.make size '\000';
+    state = Bytes.make (size / line_size) st_clean;
+    wpq = Hashtbl.create 256;
+    lock = Mutex.create ();
+    rng = Random.State.make [| seed |];
+    crashed = false;
+    crash_countdown = 0;
+    persist_pts = Atomic.make 0;
+    loads = Atomic.make 0;
+    stores = Atomic.make 0;
+    flushes = Atomic.make 0;
+    flush_calls = Atomic.make 0;
+    fences = Atomic.make 0;
+    fence_lines = Atomic.make 0;
+    alloc_steps = Atomic.make 0;
+    extra_ns = Atomic.make 0;
+  }
+
+let size t = t.size
+let latency t = t.latency
+let path t = t.path
+let is_crashed t = t.crashed
+
+let check_alive t = if t.crashed then raise Crashed
+
+let check_range t off len what =
+  if off < 0 || len < 0 || off + len > t.size then
+    invalid_arg
+      (Printf.sprintf "Device.%s: range [%d, %d) outside [0, %d)" what off
+         (off + len) t.size)
+
+(* Mark every line intersecting [off, off+len) as dirtied by a store. *)
+let mark_dirty t off len =
+  let first = off lsr line_shift and last = (off + len - 1) lsr line_shift in
+  for l = first to last do
+    match Bytes.unsafe_get t.state l with
+    | c when c = st_clean -> Bytes.unsafe_set t.state l st_dirty
+    | c when c = st_flushed -> Bytes.unsafe_set t.state l st_flushed_dirty
+    | _ -> ()
+  done
+
+(* {1 Loads} *)
+
+let read_u8 t off =
+  check_alive t;
+  check_range t off 1 "read_u8";
+  Atomic.incr t.loads;
+  Char.code (Bytes.unsafe_get t.view off)
+
+let read_u32 t off =
+  check_alive t;
+  check_range t off 4 "read_u32";
+  Atomic.incr t.loads;
+  Int32.to_int (Bytes.get_int32_le t.view off) land 0xFFFFFFFF
+
+let read_u64 t off =
+  check_alive t;
+  check_range t off 8 "read_u64";
+  Atomic.incr t.loads;
+  Bytes.get_int64_le t.view off
+
+let read_bytes t off len =
+  check_alive t;
+  check_range t off len "read_bytes";
+  Atomic.incr t.loads;
+  Bytes.sub t.view off len
+
+let read_string t off len = Bytes.unsafe_to_string (read_bytes t off len)
+
+(* {1 Stores} *)
+
+let write_u8 t off v =
+  check_alive t;
+  check_range t off 1 "write_u8";
+  Atomic.incr t.stores;
+  Bytes.unsafe_set t.view off (Char.unsafe_chr (v land 0xFF));
+  mark_dirty t off 1
+
+let write_u32 t off v =
+  check_alive t;
+  check_range t off 4 "write_u32";
+  Atomic.incr t.stores;
+  Bytes.set_int32_le t.view off (Int32.of_int v);
+  mark_dirty t off 4
+
+let write_u64 t off v =
+  check_alive t;
+  check_range t off 8 "write_u64";
+  Atomic.incr t.stores;
+  Bytes.set_int64_le t.view off v;
+  mark_dirty t off 8
+
+let write_bytes t off b =
+  check_alive t;
+  let len = Bytes.length b in
+  check_range t off len "write_bytes";
+  if len > 0 then begin
+    Atomic.incr t.stores;
+    Bytes.blit b 0 t.view off len;
+    mark_dirty t off len
+  end
+
+let write_string t off s =
+  check_alive t;
+  let len = String.length s in
+  check_range t off len "write_string";
+  if len > 0 then begin
+    Atomic.incr t.stores;
+    Bytes.blit_string s 0 t.view off len;
+    mark_dirty t off len
+  end
+
+let fill t off len c =
+  check_alive t;
+  check_range t off len "fill";
+  if len > 0 then begin
+    Atomic.incr t.stores;
+    Bytes.fill t.view off len c;
+    mark_dirty t off len
+  end
+
+let copy_within t ~src ~dst ~len =
+  check_alive t;
+  check_range t src len "copy_within(src)";
+  check_range t dst len "copy_within(dst)";
+  if len > 0 then begin
+    Atomic.incr t.loads;
+    Atomic.incr t.stores;
+    Bytes.blit t.view src t.view dst len;
+    mark_dirty t dst len
+  end
+
+(* {1 Persist points and crash scheduling} *)
+
+(* Replace the survival RNG; used by the failure injector to sample
+   several WPQ-survival outcomes at the same crash point. *)
+let reseed t seed =
+  Mutex.lock t.lock;
+  t.rng <- Random.State.make [| seed |];
+  Mutex.unlock t.lock
+
+let set_crash_countdown t n =
+  Mutex.lock t.lock;
+  t.crash_countdown <- n;
+  Mutex.unlock t.lock
+
+let persist_points t = Atomic.get t.persist_pts
+
+(* Must be called with [t.lock] held.  Counts a persist point and raises
+   if the scheduled crash lands on it; the caller's operation must not have
+   taken effect yet. *)
+let persist_point_locked t =
+  Atomic.incr t.persist_pts;
+  if t.crash_countdown > 0 then begin
+    t.crash_countdown <- t.crash_countdown - 1;
+    if t.crash_countdown = 0 then begin
+      t.crashed <- true;
+      Mutex.unlock t.lock;
+      raise Crashed
+    end
+  end
+
+let snapshot_line t l =
+  let off = l lsl line_shift in
+  Bytes.sub t.view off (min line_size (t.size - off))
+
+let flush t off len =
+  check_alive t;
+  check_range t off len "flush";
+  if len > 0 then begin
+    Mutex.lock t.lock;
+    persist_point_locked t;
+    Atomic.incr t.flush_calls;
+    let first = off lsr line_shift and last = (off + len - 1) lsr line_shift in
+    for l = first to last do
+      Atomic.incr t.flushes;
+      match Bytes.unsafe_get t.state l with
+      | c when c = st_dirty || c = st_flushed_dirty ->
+          Hashtbl.replace t.wpq l (snapshot_line t l);
+          Bytes.unsafe_set t.state l st_flushed
+      | _ -> ()
+    done;
+    Mutex.unlock t.lock
+  end
+
+let fence t =
+  check_alive t;
+  Mutex.lock t.lock;
+  persist_point_locked t;
+  Atomic.incr t.fences;
+  let drain l snap =
+    Atomic.incr t.fence_lines;
+    Bytes.blit snap 0 t.durable (l lsl line_shift) (Bytes.length snap);
+    match Bytes.unsafe_get t.state l with
+    | c when c = st_flushed -> Bytes.unsafe_set t.state l st_clean
+    | c when c = st_flushed_dirty -> Bytes.unsafe_set t.state l st_dirty
+    | _ -> ()
+  in
+  Hashtbl.iter drain t.wpq;
+  Hashtbl.reset t.wpq;
+  Mutex.unlock t.lock
+
+let persist t off len =
+  flush t off len;
+  fence t
+
+let power_cycle t =
+  Mutex.lock t.lock;
+  (* Lines sitting in the WPQ at power failure may or may not have reached
+     media; decide each one independently. *)
+  let maybe_drain l snap =
+    if Random.State.bool t.rng then
+      Bytes.blit snap 0 t.durable (l lsl line_shift) (Bytes.length snap)
+  in
+  Hashtbl.iter maybe_drain t.wpq;
+  Hashtbl.reset t.wpq;
+  Bytes.blit t.durable 0 t.view 0 t.size;
+  Bytes.fill t.state 0 t.nlines st_clean;
+  t.crashed <- false;
+  t.crash_countdown <- 0;
+  Mutex.unlock t.lock
+
+(* {1 File backing} *)
+
+let magic = "CORUNDUM-PMEM-V1"
+
+let save t =
+  match t.path with
+  | None -> invalid_arg "Device.save: device has no backing path"
+  | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc magic;
+          let hdr = Bytes.create 8 in
+          Bytes.set_int64_le hdr 0 (Int64.of_int t.size);
+          output_bytes oc hdr;
+          output_bytes oc t.durable)
+
+let load ?(latency = Latency.zero) ?(seed = 0xC0FFEE) path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if not (String.equal m magic) then
+        invalid_arg (Printf.sprintf "Device.load: %s is not a pmem image" path);
+      let hdr = Bytes.create 8 in
+      really_input ic hdr 0 8;
+      let size = Int64.to_int (Bytes.get_int64_le hdr 0) in
+      let t = create ~latency ~seed ~path ~size () in
+      really_input ic t.durable 0 size;
+      Bytes.blit t.durable 0 t.view 0 size;
+      t)
+
+(* {1 Accounting} *)
+
+let stats (t : t) =
+  {
+    loads = Atomic.get t.loads;
+    stores = Atomic.get t.stores;
+    flushes = Atomic.get t.flushes;
+    flush_calls = Atomic.get t.flush_calls;
+    fences = Atomic.get t.fences;
+    fence_lines = Atomic.get t.fence_lines;
+    alloc_steps = Atomic.get t.alloc_steps;
+    extra_ns = Atomic.get t.extra_ns;
+  }
+
+let reset_stats (t : t) =
+  Atomic.set t.loads 0;
+  Atomic.set t.stores 0;
+  Atomic.set t.flushes 0;
+  Atomic.set t.flush_calls 0;
+  Atomic.set t.fences 0;
+  Atomic.set t.fence_lines 0;
+  Atomic.set t.alloc_steps 0;
+  Atomic.set t.extra_ns 0
+
+let simulated_ns (t : t) =
+  let s = stats t and m = t.latency in
+  (float_of_int s.loads *. m.Latency.read_ns)
+  +. (float_of_int s.stores *. m.Latency.write_ns)
+  +. (float_of_int s.flush_calls *. m.Latency.flush_ns)
+  +. (float_of_int (max 0 (s.flushes - s.flush_calls)) *. m.Latency.flush_bulk_ns)
+  +. (float_of_int s.fences *. m.Latency.fence_base_ns)
+  +. (float_of_int s.fence_lines *. m.Latency.fence_per_line_ns)
+  +. (float_of_int s.alloc_steps *. m.Latency.alloc_step_ns)
+  +. float_of_int s.extra_ns
+
+let charge_ns (t : t) n = ignore (Atomic.fetch_and_add t.extra_ns n)
+let charge_alloc_steps (t : t) n = ignore (Atomic.fetch_and_add t.alloc_steps n)

@@ -1,0 +1,40 @@
+(** Latency models for the simulated persistent-memory device.
+
+    The device does not sleep; it accounts simulated time analytically from
+    operation counts (see {!Device.simulated_ns}).  The presets are
+    calibrated so that the microbenchmark harness reproduces the relative
+    shape of Table 5 of the Corundum paper (ASPLOS '21): Optane is slower
+    than battery-backed DRAM for media writes, cached loads are sub-ns, and
+    a flush+fence pair dominates small persists. *)
+
+type t = {
+  name : string;  (** preset name, e.g. ["optane"] *)
+  read_ns : float;  (** cost of one load (cache hit assumed) *)
+  write_ns : float;  (** cost of one store into the cache *)
+  flush_ns : float;  (** cost of the first line write-back in a flush call *)
+  flush_bulk_ns : float;
+      (** cost of each additional line in the same flush call — pipelined
+          [clflushopt]s overlap, so bulk write-back is much cheaper per
+          line than an isolated one *)
+  fence_base_ns : float;  (** fixed cost of an [sfence] *)
+  fence_per_line_ns : float;
+      (** additional fence cost per write-pending-queue line drained; models
+          the media write bandwidth difference between Optane and DRAM *)
+  alloc_step_ns : float;
+      (** cost charged per buddy split/merge step; models allocator metadata
+          traffic that the byte-table design elides (see DESIGN.md sec. 4) *)
+}
+
+val optane : t
+(** Calibrated against Intel Optane DC numbers in Table 5. *)
+
+val dram : t
+(** Calibrated against the battery-backed DRAM column of Table 5. *)
+
+val zero : t
+(** Free operations; useful for functional tests where time is irrelevant. *)
+
+val by_name : string -> t option
+(** [by_name "optane"] returns the preset of that name. *)
+
+val all : t list

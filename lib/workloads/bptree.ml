@@ -1,0 +1,396 @@
+(** B+tree with 8-way fanout over a raw persistent heap (Figure 1's
+    B+Tree).
+
+    Node layout (128 bytes):
+    - meta u64 at +0: bit 0 = leaf flag, bits 1.. = entry count;
+    - keys[7] at +8;
+    - leaf:     values[7] at +64, next-leaf pointer at +120;
+    - internal: children[8] at +64.
+
+    Internal nodes hold [count] separator keys and [count+1] children;
+    child [i] covers keys < keys[i] (the rightmost child covers the
+    rest).  Values live only in leaves, which are chained for scans.
+    Deletion rebalances proactively (borrow from a sibling, else merge),
+    keeping every non-root node at least half full. *)
+
+module Make (E : Engines.Engine_sig.S) = struct
+  type t = E.t
+
+  let fanout = 8
+  let max_keys = fanout - 1 (* 7 *)
+  let min_keys = 3
+  let node_size = 128
+
+  (* --- node accessors -------------------------------------------------- *)
+
+  let meta tx n = Int64.to_int (E.read tx n)
+  let is_leaf tx n = meta tx n land 1 = 1
+  let count tx n = meta tx n lsr 1
+
+  let set_meta tx n ~leaf ~count =
+    E.write tx n (Int64.of_int ((count lsl 1) lor if leaf then 1 else 0))
+
+  let key tx n i = E.read tx (n + 8 + (i * 8))
+  let set_key tx n i v = E.write tx (n + 8 + (i * 8)) v
+  let value tx n i = E.read tx (n + 64 + (i * 8))
+  let set_value tx n i v = E.write tx (n + 64 + (i * 8)) v
+  let child tx n i = Int64.to_int (E.read tx (n + 64 + (i * 8)))
+  let set_child tx n i c = E.write tx (n + 64 + (i * 8)) (Int64.of_int c)
+  let next_leaf tx n = Int64.to_int (E.read tx (n + 120))
+  let set_next_leaf tx n c = E.write tx (n + 120) (Int64.of_int c)
+
+  let new_node tx ~leaf =
+    let n = E.alloc tx node_size in
+    set_meta tx n ~leaf ~count:0;
+    if leaf then set_next_leaf tx n 0;
+    n
+
+  (* Index of the child to descend into: the first separator > key, or
+     the rightmost child. *)
+  let descend_index tx n k =
+    let c = count tx n in
+    let rec go i = if i >= c then i else if k < key tx n i then i else go (i + 1) in
+    go 0
+
+  (* Position of [k] in a leaf, or the insertion point. *)
+  let leaf_search tx n k =
+    let c = count tx n in
+    let rec go i =
+      if i >= c then `Insert_at i
+      else
+        let ki = key tx n i in
+        if k = ki then `Found i else if k < ki then `Insert_at i else go (i + 1)
+    in
+    go 0
+
+  (* --- lookup ----------------------------------------------------------- *)
+
+  let find eng k =
+    E.transaction eng (fun tx ->
+        let rec go n =
+          if n = 0 then None
+          else if is_leaf tx n then
+            match leaf_search tx n k with
+            | `Found i -> Some (value tx n i)
+            | `Insert_at _ -> None
+          else go (child tx n (descend_index tx n k))
+        in
+        go (E.root tx))
+
+  let mem eng k = find eng k <> None
+
+  (* --- insert ----------------------------------------------------------- *)
+
+  (* Split the full child at index [i] of internal node [parent].  For a
+     leaf the separator is the first key of the new right node (keys stay
+     in the leaves); for an internal node the middle key moves up. *)
+  let split_child tx parent i =
+    let c = child tx parent i in
+    let leaf = is_leaf tx c in
+    let right = new_node tx ~leaf in
+    let sep =
+      if leaf then begin
+        (* left keeps 0..2 (3 entries), right takes 3..6 (4 entries) *)
+        for k = 3 to 6 do
+          set_key tx right (k - 3) (key tx c k);
+          set_value tx right (k - 3) (value tx c k)
+        done;
+        set_meta tx right ~leaf:true ~count:4;
+        set_next_leaf tx right (next_leaf tx c);
+        set_next_leaf tx c right;
+        set_meta tx c ~leaf:true ~count:3;
+        key tx right 0
+      end
+      else begin
+        (* left keeps keys 0..2 / children 0..3; key 3 moves up; right
+           takes keys 4..6 / children 4..7 *)
+        for k = 4 to 6 do
+          set_key tx right (k - 4) (key tx c k)
+        done;
+        for k = 4 to 7 do
+          set_child tx right (k - 4) (child tx c k)
+        done;
+        set_meta tx right ~leaf:false ~count:3;
+        let sep = key tx c 3 in
+        set_meta tx c ~leaf:false ~count:3;
+        sep
+      end
+    in
+    (* Shift the parent's keys and children right to make room at [i]. *)
+    let pc = count tx parent in
+    for k = pc - 1 downto i do
+      set_key tx parent (k + 1) (key tx parent k)
+    done;
+    for k = pc downto i + 1 do
+      set_child tx parent (k + 1) (child tx parent k)
+    done;
+    set_key tx parent i sep;
+    set_child tx parent (i + 1) right;
+    set_meta tx parent ~leaf:false ~count:(pc + 1)
+
+  let rec insert_nonfull tx n k v =
+    if is_leaf tx n then begin
+      match leaf_search tx n k with
+      | `Found i -> set_value tx n i v
+      | `Insert_at i ->
+          let c = count tx n in
+          for m = c - 1 downto i do
+            set_key tx n (m + 1) (key tx n m);
+            set_value tx n (m + 1) (value tx n m)
+          done;
+          set_key tx n i k;
+          set_value tx n i v;
+          set_meta tx n ~leaf:true ~count:(c + 1)
+    end
+    else begin
+      let i = descend_index tx n k in
+      let c = child tx n i in
+      if count tx c = max_keys then begin
+        split_child tx n i;
+        (* the separator changed the geometry: re-pick the child *)
+        let i = descend_index tx n k in
+        insert_nonfull tx (child tx n i) k v
+      end
+      else insert_nonfull tx c k v
+    end
+
+  let insert eng k v =
+    E.transaction eng (fun tx ->
+        let root = E.root tx in
+        if root = 0 then begin
+          let leaf = new_node tx ~leaf:true in
+          set_key tx leaf 0 k;
+          set_value tx leaf 0 v;
+          set_meta tx leaf ~leaf:true ~count:1;
+          E.set_root tx leaf
+        end
+        else if count tx root = max_keys then begin
+          let nroot = new_node tx ~leaf:false in
+          set_child tx nroot 0 root;
+          set_meta tx nroot ~leaf:false ~count:0;
+          split_child tx nroot 0;
+          E.set_root tx nroot;
+          insert_nonfull tx nroot k v
+        end
+        else insert_nonfull tx root k v)
+
+  (* --- delete ----------------------------------------------------------- *)
+
+  let remove_from_leaf tx n i =
+    let c = count tx n in
+    for m = i to c - 2 do
+      set_key tx n m (key tx n (m + 1));
+      set_value tx n m (value tx n (m + 1))
+    done;
+    set_meta tx n ~leaf:true ~count:(c - 1)
+
+  (* Borrowing and merging around child [i] of [parent]. *)
+
+  let borrow_from_left tx parent i =
+    let c = child tx parent i and l = child tx parent (i - 1) in
+    let lc = count tx l and cc = count tx c in
+    if is_leaf tx c then begin
+      for m = cc - 1 downto 0 do
+        set_key tx c (m + 1) (key tx c m);
+        set_value tx c (m + 1) (value tx c m)
+      done;
+      set_key tx c 0 (key tx l (lc - 1));
+      set_value tx c 0 (value tx l (lc - 1));
+      set_meta tx c ~leaf:true ~count:(cc + 1);
+      set_meta tx l ~leaf:true ~count:(lc - 1);
+      set_key tx parent (i - 1) (key tx c 0)
+    end
+    else begin
+      for m = cc - 1 downto 0 do
+        set_key tx c (m + 1) (key tx c m)
+      done;
+      for m = cc downto 0 do
+        set_child tx c (m + 1) (child tx c m)
+      done;
+      set_key tx c 0 (key tx parent (i - 1));
+      set_child tx c 0 (child tx l lc);
+      set_meta tx c ~leaf:false ~count:(cc + 1);
+      set_key tx parent (i - 1) (key tx l (lc - 1));
+      set_meta tx l ~leaf:false ~count:(lc - 1)
+    end
+
+  let borrow_from_right tx parent i =
+    let c = child tx parent i and r = child tx parent (i + 1) in
+    let rc = count tx r and cc = count tx c in
+    if is_leaf tx c then begin
+      set_key tx c cc (key tx r 0);
+      set_value tx c cc (value tx r 0);
+      set_meta tx c ~leaf:true ~count:(cc + 1);
+      for m = 0 to rc - 2 do
+        set_key tx r m (key tx r (m + 1));
+        set_value tx r m (value tx r (m + 1))
+      done;
+      set_meta tx r ~leaf:true ~count:(rc - 1);
+      set_key tx parent i (key tx r 0)
+    end
+    else begin
+      set_key tx c cc (key tx parent i);
+      set_child tx c (cc + 1) (child tx r 0);
+      set_meta tx c ~leaf:false ~count:(cc + 1);
+      set_key tx parent i (key tx r 0);
+      for m = 0 to rc - 2 do
+        set_key tx r m (key tx r (m + 1))
+      done;
+      for m = 0 to rc - 1 do
+        set_child tx r m (child tx r (m + 1))
+      done;
+      set_meta tx r ~leaf:false ~count:(rc - 1)
+    end
+
+  (* Merge child [i+1] into child [i]; removes separator [i] from the
+     parent and frees the right node. *)
+  let merge_children tx parent i =
+    let l = child tx parent i and r = child tx parent (i + 1) in
+    let lc = count tx l and rc = count tx r in
+    if is_leaf tx l then begin
+      for m = 0 to rc - 1 do
+        set_key tx l (lc + m) (key tx r m);
+        set_value tx l (lc + m) (value tx r m)
+      done;
+      set_meta tx l ~leaf:true ~count:(lc + rc);
+      set_next_leaf tx l (next_leaf tx r)
+    end
+    else begin
+      set_key tx l lc (key tx parent i);
+      for m = 0 to rc - 1 do
+        set_key tx l (lc + 1 + m) (key tx r m)
+      done;
+      for m = 0 to rc do
+        set_child tx l (lc + 1 + m) (child tx r m)
+      done;
+      set_meta tx l ~leaf:false ~count:(lc + rc + 1)
+    end;
+    let pc = count tx parent in
+    for m = i to pc - 2 do
+      set_key tx parent m (key tx parent (m + 1))
+    done;
+    for m = i + 1 to pc - 1 do
+      set_child tx parent m (child tx parent (m + 1))
+    done;
+    set_meta tx parent ~leaf:false ~count:(pc - 1);
+    E.free tx r
+
+  (* Ensure child [i] of [parent] has more than [min_keys] keys before
+     descending into it. *)
+  let fix_child tx parent i =
+    let c = child tx parent i in
+    if count tx c > min_keys then ()
+    else if i > 0 && count tx (child tx parent (i - 1)) > min_keys then
+      borrow_from_left tx parent i
+    else if i < count tx parent && count tx (child tx parent (i + 1)) > min_keys
+    then borrow_from_right tx parent i
+    else if i > 0 then merge_children tx parent (i - 1)
+    else merge_children tx parent i
+
+  let rec remove_rec tx n k =
+    if is_leaf tx n then
+      match leaf_search tx n k with
+      | `Found i ->
+          remove_from_leaf tx n i;
+          true
+      | `Insert_at _ -> false
+    else begin
+      let i = descend_index tx n k in
+      fix_child tx n i;
+      (* the fix may have merged the target child away; re-resolve *)
+      let i = descend_index tx n k in
+      remove_rec tx (child tx n i) k
+    end
+
+  let remove eng k =
+    E.transaction eng (fun tx ->
+        let root = E.root tx in
+        if root = 0 then false
+        else begin
+          let r = remove_rec tx root k in
+          (* collapse an empty internal root; free an empty leaf root *)
+          let root = E.root tx in
+          if (not (is_leaf tx root)) && count tx root = 0 then begin
+            E.set_root tx (child tx root 0);
+            E.free tx root
+          end
+          else if is_leaf tx root && count tx root = 0 then begin
+            E.set_root tx 0;
+            E.free tx root
+          end;
+          r
+        end)
+
+  (* --- scans and checks -------------------------------------------------- *)
+
+  let leftmost_leaf tx n =
+    let rec go n = if is_leaf tx n then n else go (child tx n 0) in
+    go n
+
+  let fold eng ~init ~f =
+    E.transaction eng (fun tx ->
+        let root = E.root tx in
+        if root = 0 then init
+        else begin
+          let acc = ref init in
+          let leaf = ref (leftmost_leaf tx root) in
+          while !leaf <> 0 do
+            for i = 0 to count tx !leaf - 1 do
+              acc := f !acc (key tx !leaf i) (value tx !leaf i)
+            done;
+            leaf := next_leaf tx !leaf
+          done;
+          !acc
+        end)
+
+  let to_list eng =
+    List.rev (fold eng ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+  let size eng = fold eng ~init:0 ~f:(fun n _ _ -> n + 1)
+
+  exception Violation of string
+
+  (* Structural invariants: key order, occupancy bounds, uniform depth. *)
+  let check eng =
+    E.transaction eng (fun tx ->
+        let fail fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt in
+        let rec go n ~lo ~hi ~is_root =
+          let c = count tx n in
+          if (not is_root) && c < min_keys && not (is_leaf tx n) then
+            fail "internal node %d underfull (%d)" n c;
+          if (not is_root) && is_leaf tx n && c < min_keys then
+            fail "leaf %d underfull (%d)" n c;
+          if c > max_keys then fail "node %d overfull (%d)" n c;
+          for i = 0 to c - 1 do
+            let k = key tx n i in
+            (match lo with
+            | Some l when k < l -> fail "key %Ld below bound in %d" k n
+            | _ -> ());
+            (match hi with
+            | Some h when k >= h -> fail "key %Ld above bound in %d" k n
+            | _ -> ());
+            if i > 0 && key tx n (i - 1) >= k then fail "keys unsorted in %d" n
+          done;
+          if is_leaf tx n then 1
+          else begin
+            let depths =
+              List.init (c + 1) (fun i ->
+                  let lo' = if i = 0 then lo else Some (key tx n (i - 1)) in
+                  let hi' = if i = c then hi else Some (key tx n i) in
+                  go (child tx n i) ~lo:lo' ~hi:hi' ~is_root:false)
+            in
+            match depths with
+            | d :: rest ->
+                if List.exists (fun d' -> d' <> d) rest then
+                  fail "ragged depth under %d" n;
+                d + 1
+            | [] -> fail "internal node %d without children" n
+          end
+        in
+        let root = E.root tx in
+        if root = 0 then Ok ()
+        else
+          match go root ~lo:None ~hi:None ~is_root:true with
+          | _depth -> Ok ()
+          | exception Violation msg -> Error msg)
+end

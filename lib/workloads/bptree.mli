@@ -1,0 +1,32 @@
+(** B+tree with 8-way fanout over a raw persistent heap (Figure 1's
+    B+Tree).
+
+    Values live only in leaves, which are chained for ordered scans;
+    internal nodes hold separator keys.  Insertion splits full nodes on
+    the way down; deletion rebalances proactively (borrow from a sibling,
+    else merge), keeping every non-root node at least half full — the
+    structural invariants are machine-checked by {!Make.check}. *)
+
+module Make (E : Engines.Engine_sig.S) : sig
+  type t = E.t
+
+  val fanout : int
+  val insert : t -> int64 -> int64 -> unit
+  (** Insert or update. *)
+
+  val find : t -> int64 -> int64 option
+  val mem : t -> int64 -> bool
+
+  val remove : t -> int64 -> bool
+  (** Whether the key was present. *)
+
+  val fold : t -> init:'b -> f:('b -> int64 -> int64 -> 'b) -> 'b
+  (** Ordered, via the leaf chain. *)
+
+  val to_list : t -> (int64 * int64) list
+  val size : t -> int
+
+  val check : t -> (unit, string) result
+  (** Structural invariants: key order and bounds, node occupancy,
+      uniform depth. *)
+end

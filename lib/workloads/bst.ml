@@ -1,0 +1,70 @@
+(** Binary search tree over a raw persistent heap (Figure 1's BST).
+
+    Mirrors the PMDK example the paper ports: an unbalanced tree of
+    [key | left | right] nodes, inserted with a single pointer link, so
+    each insert is one small failure-atomic transaction.
+
+    Node layout (32 bytes): key i64 at +0, left u64 at +8, right u64 at
+    +16. *)
+
+module Make (E : Engines.Engine_sig.S) = struct
+  type t = E.t
+
+  let node_size = 32
+  let key_of tx n = E.read tx n
+  let left_of tx n = Int64.to_int (E.read tx (n + 8))
+  let right_of tx n = Int64.to_int (E.read tx (n + 16))
+
+  let new_node tx key =
+    let n = E.alloc tx node_size in
+    E.write tx n key;
+    E.write tx (n + 8) 0L;
+    E.write tx (n + 16) 0L;
+    n
+
+  let insert eng key =
+    E.transaction eng (fun tx ->
+        let rec place cur =
+          let k = key_of tx cur in
+          if key = k then () (* duplicate: nothing to do *)
+          else if key < k then
+            let l = left_of tx cur in
+            if l = 0 then E.write tx (cur + 8) (Int64.of_int (new_node tx key))
+            else place l
+          else
+            let r = right_of tx cur in
+            if r = 0 then E.write tx (cur + 16) (Int64.of_int (new_node tx key))
+            else place r
+        in
+        let root = E.root tx in
+        if root = 0 then E.set_root tx (new_node tx key) else place root)
+
+  let mem eng key =
+    E.transaction eng (fun tx ->
+        let rec go cur =
+          if cur = 0 then false
+          else
+            let k = key_of tx cur in
+            if key = k then true
+            else if key < k then go (left_of tx cur)
+            else go (right_of tx cur)
+        in
+        go (E.root tx))
+
+  let size eng =
+    E.transaction eng (fun tx ->
+        let rec count cur =
+          if cur = 0 then 0
+          else 1 + count (left_of tx cur) + count (right_of tx cur)
+        in
+        count (E.root tx))
+
+  (* In-order key list; doubles as a sortedness check in tests. *)
+  let to_list eng =
+    E.transaction eng (fun tx ->
+        let rec go cur acc =
+          if cur = 0 then acc
+          else go (left_of tx cur) (key_of tx cur :: go (right_of tx cur) acc)
+        in
+        go (E.root tx) [])
+end

@@ -1,0 +1,19 @@
+(** Binary search tree over a raw persistent heap (Figure 1's BST).
+
+    Mirrors the PMDK example the paper ports: an unbalanced tree of
+    [key | left | right] nodes; each insert is one small failure-atomic
+    transaction ending in a single pointer link.  Functorized over the
+    engine so the same algorithm runs on every logging strategy. *)
+
+module Make (E : Engines.Engine_sig.S) : sig
+  type t = E.t
+
+  val insert : t -> int64 -> unit
+  (** Idempotent on duplicates. *)
+
+  val mem : t -> int64 -> bool
+  val size : t -> int
+
+  val to_list : t -> int64 list
+  (** In-order traversal (sorted; the tests rely on it). *)
+end

@@ -1,0 +1,86 @@
+(** Hash-map key-value store over a raw persistent heap (Figure 1's
+    KVStore).
+
+    Fixed-size bucket directory of chain heads; entries are
+    [key i64 | value i64 | next u64] blocks.  PUT updates in place or
+    prepends; GET scans the chain; DEL unlinks. *)
+
+module Make (E : Engines.Engine_sig.S) = struct
+  type t = { eng : E.t; nbuckets : int }
+
+  let entry_size = 24
+
+  let create ?(nbuckets = 1024) eng =
+    E.transaction eng (fun tx ->
+        if E.root tx = 0 then begin
+          let dir = E.alloc tx (nbuckets * 8) in
+          for i = 0 to nbuckets - 1 do
+            E.write tx (dir + (i * 8)) 0L
+          done;
+          E.set_root tx dir
+        end);
+    { eng; nbuckets }
+
+  (* Fibonacci hashing keeps adversarial integer keys spread out. *)
+  let bucket_of t key =
+    Int64.to_int
+      (Int64.unsigned_rem
+         (Int64.mul key 0x9E3779B97F4A7C15L)
+         (Int64.of_int t.nbuckets))
+
+  let head_slot t tx key = E.root tx + (bucket_of t key * 8)
+
+  let put t key value =
+    E.transaction t.eng (fun tx ->
+        let slot = head_slot t tx key in
+        let rec find cur =
+          if cur = 0 then None
+          else if E.read tx cur = key then Some cur
+          else find (Int64.to_int (E.read tx (cur + 16)))
+        in
+        match find (Int64.to_int (E.read tx slot)) with
+        | Some e -> E.write tx (e + 8) value
+        | None ->
+            let e = E.alloc tx entry_size in
+            E.write tx e key;
+            E.write tx (e + 8) value;
+            E.write tx (e + 16) (E.read tx slot);
+            E.write tx slot (Int64.of_int e))
+
+  let get t key =
+    E.transaction t.eng (fun tx ->
+        let rec find cur =
+          if cur = 0 then None
+          else if E.read tx cur = key then Some (E.read tx (cur + 8))
+          else find (Int64.to_int (E.read tx (cur + 16)))
+        in
+        find (Int64.to_int (E.read tx (head_slot t tx key))))
+
+  let del t key =
+    E.transaction t.eng (fun tx ->
+        let slot = head_slot t tx key in
+        let rec unlink prev_slot cur =
+          if cur = 0 then false
+          else if E.read tx cur = key then begin
+            E.write tx prev_slot (E.read tx (cur + 16));
+            E.free tx cur;
+            true
+          end
+          else unlink (cur + 16) (Int64.to_int (E.read tx (cur + 16)))
+        in
+        unlink slot (Int64.to_int (E.read tx slot)))
+
+  let length t =
+    E.transaction t.eng (fun tx ->
+        let total = ref 0 in
+        for b = 0 to t.nbuckets - 1 do
+          let rec count cur =
+            if cur <> 0 then begin
+              incr total;
+              count (Int64.to_int (E.read tx (cur + 16)))
+            end
+          in
+          count (Int64.to_int (E.read tx (E.root tx + (b * 8))))
+        done;
+        !total)
+end

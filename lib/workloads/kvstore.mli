@@ -1,0 +1,18 @@
+(** Hash-map key-value store over a raw persistent heap (Figure 1's
+    KVStore): a fixed bucket directory of entry chains, with in-place
+    update on PUT of an existing key. *)
+
+module Make (E : Engines.Engine_sig.S) : sig
+  type t
+
+  val create : ?nbuckets:int -> E.t -> t
+  (** Binds to the engine's root directory, formatting it on first use. *)
+
+  val put : t -> int64 -> int64 -> unit
+  val get : t -> int64 -> int64 option
+
+  val del : t -> int64 -> bool
+  (** Whether the key was present. *)
+
+  val length : t -> int
+end

@@ -1,0 +1,133 @@
+(** Persistent binary search tree — {!Volatile_bst} plus Corundum. *)
+
+open Corundum
+
+module Make (P : Pool.S) = struct
+  type node = {
+    key : int;
+    left : (link, P.brand) Prefcell.t;
+    right : (link, P.brand) Prefcell.t;
+  }
+
+  and link = (node, P.brand) Pbox.t option
+
+  let rec node_ty_l : (node, P.brand) Ptype.t Lazy.t =
+    lazy
+      (Ptype.record3 ~name:"pbst-node"
+         ~inj:(fun key left right -> { key; left; right })
+         ~proj:(fun n -> (n.key, n.left, n.right))
+         Ptype.int
+         (Prefcell.ptype (Ptype.option (Pbox.ptype_rec node_ty_l)))
+         (Prefcell.ptype (Ptype.option (Pbox.ptype_rec node_ty_l))))
+
+  let node_ty = Lazy.force node_ty_l
+  let link_ty = Ptype.option (Pbox.ptype_rec node_ty_l)
+  let root_ty = Prefcell.ptype link_ty
+
+  type t = ((link, P.brand) Prefcell.t, P.brand) Pbox.t
+
+  let root () : t =
+    P.root ~ty:root_ty ~init:(fun _ -> Prefcell.make ~ty:link_ty None) ()
+
+  let new_node k j =
+    Pbox.make ~ty:node_ty
+      {
+        key = k;
+        left = Prefcell.make ~ty:link_ty None;
+        right = Prefcell.make ~ty:link_ty None;
+      }
+      j
+
+  let insert t k j =
+    let rec go cell =
+      match Prefcell.borrow cell with
+      | None -> Prefcell.set cell (Some (new_node k j)) j
+      | Some b when k < (Pbox.get b).key -> go (Pbox.get b).left
+      | Some b when k > (Pbox.get b).key -> go (Pbox.get b).right
+      | Some _ -> ()
+    in
+    go (Pbox.get t)
+
+  let mem t k =
+    let rec go cell =
+      match Prefcell.borrow cell with
+      | None -> false
+      | Some b when k < (Pbox.get b).key -> go (Pbox.get b).left
+      | Some b when k > (Pbox.get b).key -> go (Pbox.get b).right
+      | Some _ -> true
+    in
+    go (Pbox.get t)
+
+  let size t =
+    let rec go cell =
+      match Prefcell.borrow cell with
+      | None -> 0
+      | Some b -> 1 + go (Pbox.get b).left + go (Pbox.get b).right
+    in
+    go (Pbox.get t)
+
+  let to_list t =
+    let rec go acc cell =
+      match Prefcell.borrow cell with
+      | None -> acc
+      | Some b ->
+          let n = Pbox.get b in
+          go (n.key :: go acc n.right) n.left
+    in
+    go [] (Pbox.get t)
+
+  let is_empty t = Prefcell.borrow (Pbox.get t) = None
+
+  let fold t ~init ~f =
+    let rec go acc cell =
+      match Prefcell.borrow cell with
+      | None -> acc
+      | Some b ->
+          let n = Pbox.get b in
+          go (f (go acc n.left) n.key) n.right
+    in
+    go init (Pbox.get t)
+
+  let iter t f = fold t ~init:() ~f:(fun () k -> f k)
+
+  let min_key t =
+    let rec go best cell =
+      match Prefcell.borrow cell with
+      | None -> best
+      | Some b ->
+          let n = Pbox.get b in
+          go (Some n.key) n.left
+    in
+    go None (Pbox.get t)
+
+  let max_key t =
+    let rec go best cell =
+      match Prefcell.borrow cell with
+      | None -> best
+      | Some b ->
+          let n = Pbox.get b in
+          go (Some n.key) n.right
+    in
+    go None (Pbox.get t)
+
+  let height t =
+    let rec go cell =
+      match Prefcell.borrow cell with
+      | None -> 0
+      | Some b ->
+          let n = Pbox.get b in
+          1 + max (go n.left) (go n.right)
+    in
+    go (Pbox.get t)
+
+  let of_list ks j =
+    let t = root () in
+    List.iter (fun k -> insert t k j) ks;
+    t
+
+  let range t ~lo ~hi =
+    fold t ~init:[] ~f:(fun acc k -> if k >= lo && k <= hi then k :: acc else acc)
+    |> List.rev
+
+  let count_if t p = fold t ~init:0 ~f:(fun n k -> if p k then n + 1 else n)
+end

@@ -1,0 +1,28 @@
+(** Persistent binary search tree — {!Volatile_bst} plus Corundum
+    (Table 3's "Binary tree" row). *)
+
+module Make (P : Corundum.Pool.S) : sig
+  type node
+  type t
+
+  val node_ty : (node, P.brand) Corundum.Ptype.t
+  val root_ty :
+    ((((node, P.brand) Corundum.Pbox.t option, P.brand) Corundum.Prefcell.t), P.brand) Corundum.Ptype.t
+
+  val root : unit -> t
+  val insert : t -> int -> P.brand Corundum.Journal.t -> unit
+  val mem : t -> int -> bool
+  val size : t -> int
+  val to_list : t -> int list
+  (** In-order (sorted). *)
+
+  val is_empty : t -> bool
+  val fold : t -> init:'b -> f:('b -> int -> 'b) -> 'b
+  val iter : t -> (int -> unit) -> unit
+  val min_key : t -> int option
+  val max_key : t -> int option
+  val height : t -> int
+  val of_list : int list -> P.brand Corundum.Journal.t -> t
+  val range : t -> lo:int -> hi:int -> int list
+  val count_if : t -> (int -> bool) -> int
+end

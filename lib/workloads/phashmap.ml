@@ -1,0 +1,142 @@
+(** Persistent chained hash map — {!Volatile_hashmap} plus Corundum. *)
+
+open Corundum
+
+module Make (P : Pool.S) = struct
+  type entry = {
+    key : int;
+    value : (int, P.brand) Pcell.t;
+    next : (link, P.brand) Prefcell.t;
+  }
+
+  and link = (entry, P.brand) Pbox.t option
+
+  let rec entry_ty_l : (entry, P.brand) Ptype.t Lazy.t =
+    lazy
+      (Ptype.record3 ~name:"phashmap-entry"
+         ~inj:(fun key value next -> { key; value; next })
+         ~proj:(fun e -> (e.key, e.value, e.next))
+         Ptype.int
+         (Pcell.ptype Ptype.int)
+         (Prefcell.ptype (Ptype.option (Pbox.ptype_rec entry_ty_l))))
+
+  let entry_ty = Lazy.force entry_ty_l
+  let link_ty = Ptype.option (Pbox.ptype_rec entry_ty_l)
+  let bucket_ty = Prefcell.ptype link_ty
+  let root_ty = Pvec.ptype bucket_ty
+
+  type t = ((((link, P.brand) Prefcell.t, P.brand) Pvec.t, P.brand) Pbox.t)
+
+  let root ?(nbuckets = 64) () : t =
+    P.root ~ty:root_ty
+      ~init:(fun j ->
+        let v = Pvec.make ~ty:bucket_ty ~capacity:nbuckets j in
+        for _ = 1 to nbuckets do
+          Pvec.push v (Prefcell.make ~ty:link_ty None) j
+        done;
+        v)
+      ()
+
+  let bucket_of t k =
+    let v = Pbox.get t in
+    Pvec.get v ((k * 0x2545F491) land max_int mod Pvec.length v)
+
+  let put t k v j =
+    let cell = bucket_of t k in
+    let rec find link =
+      match Prefcell.borrow link with
+      | None -> None
+      | Some b ->
+          let e = Pbox.get b in
+          if e.key = k then Some e else find e.next
+    in
+    match find cell with
+    | Some e -> Pcell.set e.value v j
+    | None ->
+        let entry =
+          Pbox.make ~ty:entry_ty
+            {
+              key = k;
+              value = Pcell.make ~ty:Ptype.int v;
+              next = Prefcell.make ~ty:link_ty None;
+            }
+            j
+        in
+        let old = Prefcell.replace cell (Some entry) j in
+        Prefcell.set (Pbox.get entry).next old j
+
+  let get t k =
+    let rec find link =
+      match Prefcell.borrow link with
+      | None -> None
+      | Some b ->
+          let e = Pbox.get b in
+          if e.key = k then Some (Pcell.get e.value) else find e.next
+    in
+    find (bucket_of t k)
+
+  let del t k j =
+    let rec unlink link =
+      match Prefcell.borrow link with
+      | None -> false
+      | Some b when (Pbox.get b).key = k ->
+          let succ = Prefcell.replace (Pbox.get b).next None j in
+          Prefcell.set link succ j;
+          true
+      | Some b -> unlink (Pbox.get b).next
+    in
+    unlink (bucket_of t k)
+
+  let length t =
+    let v = Pbox.get t in
+    let n = ref 0 in
+    Pvec.iter v (fun cell ->
+        let rec count link =
+          match Prefcell.borrow link with
+          | None -> ()
+          | Some b ->
+              incr n;
+              count (Pbox.get b).next
+        in
+        count cell);
+    !n
+
+  let is_empty t = length t = 0
+
+  let fold t ~init ~f =
+    let v = Pbox.get t in
+    let acc = ref init in
+    Pvec.iter v (fun cell ->
+        let rec go link =
+          match Prefcell.borrow link with
+          | None -> ()
+          | Some b ->
+              let e = Pbox.get b in
+              acc := f !acc e.key (Pcell.get e.value);
+              go e.next
+        in
+        go cell);
+    !acc
+
+  let iter t f = fold t ~init:() ~f:(fun () k v -> f k v)
+  let mem t k = get t k <> None
+  let keys t = fold t ~init:[] ~f:(fun acc k _ -> k :: acc)
+  let values t = fold t ~init:[] ~f:(fun acc _ v -> v :: acc)
+
+  let update t k f j =
+    match get t k with
+    | Some v -> put t k (f v) j
+    | None -> ()
+
+  let of_list kvs j =
+    let t = root () in
+    List.iter (fun (k, v) -> put t k v j) kvs;
+    t
+
+  let to_list t =
+    List.sort compare (fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+  let clear t j =
+    let v = Pbox.get t in
+    Pvec.iter v (fun cell -> Prefcell.set cell None j)
+end

@@ -1,0 +1,35 @@
+(** Persistent chained hash map — {!Volatile_hashmap} plus Corundum
+    (Table 3's "HashMap" row).  Buckets live in a {!Corundum.Pvec};
+    values are updated in place through {!Corundum.Pcell}. *)
+
+module Make (P : Corundum.Pool.S) : sig
+  type entry
+  type t
+
+  val entry_ty : (entry, P.brand) Corundum.Ptype.t
+
+  val root_ty :
+    ( (((entry, P.brand) Corundum.Pbox.t option, P.brand) Corundum.Prefcell.t,
+        P.brand )
+      Corundum.Pvec.t,
+      P.brand )
+    Corundum.Ptype.t
+  (** Descriptor of the bucket vector (what the root box holds and what
+      the leak checker walks from). *)
+
+  val root : ?nbuckets:int -> unit -> t
+  val put : t -> int -> int -> P.brand Corundum.Journal.t -> unit
+  val get : t -> int -> int option
+  val del : t -> int -> P.brand Corundum.Journal.t -> bool
+  val length : t -> int
+  val is_empty : t -> bool
+  val fold : t -> init:'b -> f:('b -> int -> int -> 'b) -> 'b
+  val iter : t -> (int -> int -> unit) -> unit
+  val mem : t -> int -> bool
+  val keys : t -> int list
+  val values : t -> int list
+  val update : t -> int -> (int -> int) -> P.brand Corundum.Journal.t -> unit
+  val of_list : (int * int) list -> P.brand Corundum.Journal.t -> t
+  val to_list : t -> (int * int) list
+  val clear : t -> P.brand Corundum.Journal.t -> unit
+end

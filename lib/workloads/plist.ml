@@ -1,0 +1,125 @@
+(** Persistent sorted linked list — {!Volatile_list} plus Corundum.
+
+    The structural code matches the volatile version line for line where
+    possible; the additions are exactly what the paper's Table 3 counts:
+    type descriptors, the journal argument threaded through mutators, and
+    transactional construction. *)
+
+open Corundum
+
+module Make (P : Pool.S) = struct
+  type node = { value : int; next : (link, P.brand) Prefcell.t }
+  and link = (node, P.brand) Pbox.t option
+
+  let rec node_ty_l : (node, P.brand) Ptype.t Lazy.t =
+    lazy
+      (Ptype.record2 ~name:"plist-node"
+         ~inj:(fun value next -> { value; next })
+         ~proj:(fun n -> (n.value, n.next))
+         Ptype.int
+         (Prefcell.ptype (Ptype.option (Pbox.ptype_rec node_ty_l))))
+
+  let node_ty = Lazy.force node_ty_l
+  let link_ty = Ptype.option (Pbox.ptype_rec node_ty_l)
+  let head_ty = Prefcell.ptype link_ty
+
+  type t = ((link, P.brand) Prefcell.t, P.brand) Pbox.t
+
+  let root () : t =
+    P.root ~ty:head_ty ~init:(fun _ -> Prefcell.make ~ty:link_ty None) ()
+
+  let new_node v j =
+    Pbox.make ~ty:node_ty { value = v; next = Prefcell.make ~ty:link_ty None } j
+
+  let insert t v j =
+    let rec go cell =
+      match Prefcell.borrow cell with
+      | None -> Prefcell.set cell (Some (new_node v j)) j
+      | Some b when v < (Pbox.get b).value ->
+          let n = new_node v j in
+          (* move the old link into the new node's next (no drop) *)
+          let old = Prefcell.replace cell (Some n) j in
+          Prefcell.set (Pbox.get n).next old j
+      | Some b when v = (Pbox.get b).value -> ()
+      | Some b -> go (Pbox.get b).next
+    in
+    go (Pbox.get t)
+
+  let mem t v =
+    let rec go cell =
+      match Prefcell.borrow cell with
+      | None -> false
+      | Some b ->
+          let n = Pbox.get b in
+          if n.value = v then true else if v < n.value then false else go n.next
+    in
+    go (Pbox.get t)
+
+  let remove t v j =
+    let rec go cell =
+      match Prefcell.borrow cell with
+      | None -> false
+      | Some b when (Pbox.get b).value = v ->
+          (* detach the tail, then drop just the removed node *)
+          let succ = Prefcell.replace (Pbox.get b).next None j in
+          Prefcell.set cell succ j;
+          true
+      | Some b when v < (Pbox.get b).value -> false
+      | Some b -> go (Pbox.get b).next
+    in
+    go (Pbox.get t)
+
+  let to_list t =
+    let rec go acc cell =
+      match Prefcell.borrow cell with
+      | None -> List.rev acc
+      | Some b ->
+          let n = Pbox.get b in
+          go (n.value :: acc) n.next
+    in
+    go [] (Pbox.get t)
+
+  let length t = List.length (to_list t)
+
+  let is_empty t = Prefcell.borrow (Pbox.get t) = None
+
+  let fold t ~init ~f =
+    let rec go acc cell =
+      match Prefcell.borrow cell with
+      | None -> acc
+      | Some b ->
+          let n = Pbox.get b in
+          go (f acc n.value) n.next
+    in
+    go init (Pbox.get t)
+
+  let iter t f = fold t ~init:() ~f:(fun () v -> f v)
+
+  let min_value t =
+    match Prefcell.borrow (Pbox.get t) with
+    | None -> None
+    | Some b -> Some (Pbox.get b).value
+
+  let max_value t = fold t ~init:None ~f:(fun _ v -> Some v)
+
+  let nth t i =
+    let rec go k cell =
+      match Prefcell.borrow cell with
+      | None -> None
+      | Some b ->
+          let n = Pbox.get b in
+          if k = 0 then Some n.value else go (k - 1) n.next
+    in
+    if i < 0 then None else go i (Pbox.get t)
+
+  let of_list vs j =
+    let t = root () in
+    List.iter (fun v -> insert t v j) vs;
+    t
+
+  let clear t j = Prefcell.set (Pbox.get t) None j
+
+  let count_if t p = fold t ~init:0 ~f:(fun n v -> if p v then n + 1 else n)
+
+  let equal a b = to_list a = to_list b
+end

@@ -1,0 +1,37 @@
+(** Persistent sorted linked list — {!Volatile_list} plus Corundum.
+
+    The implementation mirrors the volatile version line for line; the
+    Table 3 harness ([bin/tables.exe table3]) counts the two files'
+    difference as the cost of adding persistence.  Mutators thread the
+    journal; reads are journal-free. *)
+
+module Make (P : Corundum.Pool.S) : sig
+  type node
+  type t
+
+  val node_ty : (node, P.brand) Corundum.Ptype.t
+  val head_ty :
+    ((((node, P.brand) Corundum.Pbox.t option, P.brand) Corundum.Prefcell.t), P.brand) Corundum.Ptype.t
+  (** Root descriptor (also what the leak checker walks from). *)
+
+  val root : unit -> t
+  (** The pool's list head (created on first use). *)
+
+  val insert : t -> int -> P.brand Corundum.Journal.t -> unit
+  (** Sorted insert; duplicates are ignored. *)
+
+  val remove : t -> int -> P.brand Corundum.Journal.t -> bool
+  val mem : t -> int -> bool
+  val to_list : t -> int list
+  val length : t -> int
+  val is_empty : t -> bool
+  val fold : t -> init:'b -> f:('b -> int -> 'b) -> 'b
+  val iter : t -> (int -> unit) -> unit
+  val min_value : t -> int option
+  val max_value : t -> int option
+  val nth : t -> int -> int option
+  val of_list : int list -> P.brand Corundum.Journal.t -> t
+  val clear : t -> P.brand Corundum.Journal.t -> unit
+  val count_if : t -> (int -> bool) -> int
+  val equal : t -> t -> bool
+end

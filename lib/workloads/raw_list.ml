@@ -1,0 +1,87 @@
+(** Sorted linked list over a raw persistent heap — the "PMDK C++" side
+    of Table 3: the same structure as {!Volatile_list}/{!Plist}, written
+    the way one writes against [libpmemobj]: manual layout, offsets as
+    pointers, explicit transactions around every mutation.
+
+    Node layout (16 bytes): value i64 at +0, next u64 at +8. *)
+
+module Make (E : Engines.Engine_sig.S) = struct
+  type t = E.t
+
+  let node_size = 16
+  let value_of tx n = Int64.to_int (E.read tx n)
+  let next_of tx n = Int64.to_int (E.read tx (n + 8))
+
+  let new_node tx v next =
+    let n = E.alloc tx node_size in
+    E.write tx n (Int64.of_int v);
+    E.write tx (n + 8) (Int64.of_int next);
+    n
+
+  let insert eng v =
+    E.transaction eng (fun tx ->
+        let rec go slot cur =
+          if cur = 0 then E.write tx slot (Int64.of_int (new_node tx v 0))
+          else
+            let cv = value_of tx cur in
+            if v = cv then ()
+            else if v < cv then E.write tx slot (Int64.of_int (new_node tx v cur))
+            else go (cur + 8) (next_of tx cur)
+        in
+        (* the root word is the head pointer; allocate it on first use *)
+        let head_slot =
+          match E.root tx with
+          | 0 ->
+              let s = E.alloc tx 8 in
+              E.write tx s 0L;
+              E.set_root tx s;
+              s
+          | s -> s
+        in
+        go head_slot (Int64.to_int (E.read tx head_slot)))
+
+  let mem eng v =
+    E.transaction eng (fun tx ->
+        match E.root tx with
+        | 0 -> false
+        | head_slot ->
+            let rec go cur =
+              if cur = 0 then false
+              else
+                let cv = value_of tx cur in
+                if v = cv then true else if v < cv then false else go (next_of tx cur)
+            in
+            go (Int64.to_int (E.read tx head_slot)))
+
+  let remove eng v =
+    E.transaction eng (fun tx ->
+        match E.root tx with
+        | 0 -> false
+        | head_slot ->
+            let rec go slot cur =
+              if cur = 0 then false
+              else
+                let cv = value_of tx cur in
+                if v = cv then begin
+                  E.write tx slot (E.read tx (cur + 8));
+                  E.free tx cur;
+                  true
+                end
+                else if v < cv then false
+                else go (cur + 8) (next_of tx cur)
+            in
+            go head_slot (Int64.to_int (E.read tx head_slot)))
+
+  let to_list eng =
+    E.transaction eng (fun tx ->
+        match E.root tx with
+        | 0 -> []
+        | head_slot ->
+            let rec go acc cur =
+              if cur = 0 then List.rev acc
+              else go (value_of tx cur :: acc) (next_of tx cur)
+            in
+            go [] (Int64.to_int (E.read tx head_slot)))
+
+  let length eng = List.length (to_list eng)
+end

@@ -1,0 +1,17 @@
+(** Sorted linked list over a raw persistent heap — the "PMDK C++" side
+    of Table 3's ease-of-use comparison.  Unlike {!Plist} (a delta over
+    {!Volatile_list}), this is what writing against a [libpmemobj]-style
+    API demands: a from-scratch rewrite with manual layout and offsets as
+    pointers. *)
+
+module Make (E : Engines.Engine_sig.S) : sig
+  type t = E.t
+
+  val insert : t -> int -> unit
+  (** Sorted insert; duplicates ignored. *)
+
+  val mem : t -> int -> bool
+  val remove : t -> int -> bool
+  val to_list : t -> int list
+  val length : t -> int
+end

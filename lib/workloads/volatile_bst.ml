@@ -1,0 +1,83 @@
+(** Volatile binary search tree — the "Rust" baseline of Table 3.
+    {!Pbst} is the identical structure with Corundum persistence added. *)
+
+type node = { key : int; left : node option ref; right : node option ref }
+type t = { root : node option ref }
+
+let create () = { root = ref None }
+
+let insert t k =
+  let rec go cell =
+    match !cell with
+    | None -> cell := Some { key = k; left = ref None; right = ref None }
+    | Some n when k < n.key -> go n.left
+    | Some n when k > n.key -> go n.right
+    | Some _ -> ()
+  in
+  go t.root
+
+let mem t k =
+  let rec go = function
+    | None -> false
+    | Some n when k < n.key -> go !(n.left)
+    | Some n when k > n.key -> go !(n.right)
+    | Some _ -> true
+  in
+  go !(t.root)
+
+let size t =
+  let rec go = function
+    | None -> 0
+    | Some n -> 1 + go !(n.left) + go !(n.right)
+  in
+  go !(t.root)
+
+let to_list t =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (n.key :: go acc !(n.right)) !(n.left)
+  in
+  go [] !(t.root)
+
+let is_empty t = !(t.root) = None
+
+let fold t ~init ~f =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (f (go acc !(n.left)) n.key) !(n.right)
+  in
+  go init !(t.root)
+
+let iter t f = fold t ~init:() ~f:(fun () k -> f k)
+
+let min_key t =
+  let rec go best = function
+    | None -> best
+    | Some n -> go (Some n.key) !(n.left)
+  in
+  go None !(t.root)
+
+let max_key t =
+  let rec go best = function
+    | None -> best
+    | Some n -> go (Some n.key) !(n.right)
+  in
+  go None !(t.root)
+
+let height t =
+  let rec go = function
+    | None -> 0
+    | Some n -> 1 + max (go !(n.left)) (go !(n.right))
+  in
+  go !(t.root)
+
+let of_list ks =
+  let t = create () in
+  List.iter (insert t) ks;
+  t
+
+let range t ~lo ~hi =
+  fold t ~init:[] ~f:(fun acc k -> if k >= lo && k <= hi then k :: acc else acc)
+  |> List.rev
+
+let count_if t p = fold t ~init:0 ~f:(fun n k -> if p k then n + 1 else n)

@@ -1,0 +1,21 @@
+(** Volatile binary search tree — the "Rust" baseline of Table 3.
+    {!Pbst} is the identical structure with Corundum persistence added. *)
+
+type t
+
+val create : unit -> t
+val insert : t -> int -> unit
+val mem : t -> int -> bool
+val size : t -> int
+val to_list : t -> int list
+(** In-order (sorted). *)
+
+val is_empty : t -> bool
+val fold : t -> init:'b -> f:('b -> int -> 'b) -> 'b
+val iter : t -> (int -> unit) -> unit
+val min_key : t -> int option
+val max_key : t -> int option
+val height : t -> int
+val of_list : int list -> t
+val range : t -> lo:int -> hi:int -> int list
+val count_if : t -> (int -> bool) -> int

@@ -1,0 +1,89 @@
+(** Volatile chained hash map — the "Rust" baseline of Table 3.
+    {!Phashmap} is the identical structure with Corundum persistence
+    added. *)
+
+type entry = { key : int; mutable value : int; mutable next : entry option }
+type t = { buckets : entry option array }
+
+let create ?(nbuckets = 64) () = { buckets = Array.make nbuckets None }
+let bucket_of t k = (k * 0x2545F491) land max_int mod Array.length t.buckets
+
+let put t k v =
+  let b = bucket_of t k in
+  let rec find = function
+    | None -> None
+    | Some e -> if e.key = k then Some e else find e.next
+  in
+  match find t.buckets.(b) with
+  | Some e -> e.value <- v
+  | None -> t.buckets.(b) <- Some { key = k; value = v; next = t.buckets.(b) }
+
+let get t k =
+  let rec find = function
+    | None -> None
+    | Some e -> if e.key = k then Some e.value else find e.next
+  in
+  find t.buckets.(bucket_of t k)
+
+let del t k =
+  let b = bucket_of t k in
+  let rec unlink = function
+    | None -> (None, false)
+    | Some e when e.key = k -> (e.next, true)
+    | Some e ->
+        let rest, found = unlink e.next in
+        e.next <- rest;
+        (Some e, found)
+  in
+  let head, found = unlink t.buckets.(b) in
+  t.buckets.(b) <- head;
+  found
+
+let length t =
+  let n = ref 0 in
+  Array.iter
+    (fun head ->
+      let rec count = function
+        | None -> ()
+        | Some e ->
+            incr n;
+            count e.next
+      in
+      count head)
+    t.buckets;
+  !n
+
+let is_empty t = length t = 0
+
+let fold t ~init ~f =
+  let acc = ref init in
+  Array.iter
+    (fun head ->
+      let rec go = function
+        | None -> ()
+        | Some e ->
+            acc := f !acc e.key e.value;
+            go e.next
+      in
+      go head)
+    t.buckets;
+  !acc
+
+let iter t f = fold t ~init:() ~f:(fun () k v -> f k v)
+let mem t k = get t k <> None
+let keys t = fold t ~init:[] ~f:(fun acc k _ -> k :: acc)
+let values t = fold t ~init:[] ~f:(fun acc _ v -> v :: acc)
+
+let update t k f =
+  match get t k with
+  | Some v -> put t k (f v)
+  | None -> ()
+
+let of_list kvs =
+  let t = create () in
+  List.iter (fun (k, v) -> put t k v) kvs;
+  t
+
+let to_list t = List.sort compare (fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+let clear t = Array.fill t.buckets 0 (Array.length t.buckets) None

@@ -1,0 +1,21 @@
+(** Volatile chained hash map — the "Rust" baseline of Table 3.
+    {!Phashmap} is the identical structure with Corundum persistence
+    added. *)
+
+type t
+
+val create : ?nbuckets:int -> unit -> t
+val put : t -> int -> int -> unit
+val get : t -> int -> int option
+val del : t -> int -> bool
+val length : t -> int
+val is_empty : t -> bool
+val fold : t -> init:'b -> f:('b -> int -> int -> 'b) -> 'b
+val iter : t -> (int -> int -> unit) -> unit
+val mem : t -> int -> bool
+val keys : t -> int list
+val values : t -> int list
+val update : t -> int -> (int -> int) -> unit
+val of_list : (int * int) list -> t
+val to_list : t -> (int * int) list
+val clear : t -> unit

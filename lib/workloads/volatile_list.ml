@@ -1,0 +1,84 @@
+(** Volatile sorted linked list — the "Rust" baseline of Table 3.
+
+    {!Plist} is the same structure with Corundum persistence added; the
+    two files are kept deliberately parallel so that the line-count delta
+    measured by [tables.exe table3] reflects the real cost of adding
+    persistence, as in the paper's ease-of-use study. *)
+
+type node = { value : int; next : node option ref }
+type t = { head : node option ref }
+
+let create () = { head = ref None }
+
+let insert t v =
+  let rec go cell =
+    match !cell with
+    | None -> cell := Some { value = v; next = ref None }
+    | Some n when v < n.value -> cell := Some { value = v; next = ref (Some n) }
+    | Some n when v = n.value -> ()
+    | Some n -> go n.next
+  in
+  go t.head
+
+let mem t v =
+  let rec go = function
+    | None -> false
+    | Some n -> if n.value = v then true else if v < n.value then false else go !(n.next)
+  in
+  go !(t.head)
+
+let remove t v =
+  let rec go cell =
+    match !cell with
+    | None -> false
+    | Some n when n.value = v ->
+        cell := !(n.next);
+        true
+    | Some n when v < n.value -> false
+    | Some n -> go n.next
+  in
+  go t.head
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.value :: acc) !(n.next)
+  in
+  go [] !(t.head)
+
+let length t = List.length (to_list t)
+
+let is_empty t = !(t.head) = None
+
+let fold t ~init ~f =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (f acc n.value) !(n.next)
+  in
+  go init !(t.head)
+
+let iter t f = fold t ~init:() ~f:(fun () v -> f v)
+
+let min_value t =
+  match !(t.head) with None -> None | Some n -> Some n.value
+
+let max_value t =
+  fold t ~init:None ~f:(fun _ v -> Some v)
+
+let nth t i =
+  let rec go k = function
+    | None -> None
+    | Some n -> if k = 0 then Some n.value else go (k - 1) !(n.next)
+  in
+  if i < 0 then None else go i !(t.head)
+
+let of_list vs =
+  let t = create () in
+  List.iter (insert t) vs;
+  t
+
+let clear t = t.head := None
+
+let count_if t p = fold t ~init:0 ~f:(fun n v -> if p v then n + 1 else n)
+
+let equal a b = to_list a = to_list b

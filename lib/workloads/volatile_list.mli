@@ -1,0 +1,27 @@
+(** Volatile sorted linked list — the "Rust" baseline of Table 3.
+
+    {!Plist} is the same structure with Corundum persistence added; the
+    two implementations are kept deliberately parallel so that the
+    line-count delta measured by [bin/tables.exe table3] reflects the real
+    cost of adding persistence, as in the paper's ease-of-use study. *)
+
+type t
+
+val create : unit -> t
+val insert : t -> int -> unit
+(** Sorted insert; duplicates are ignored. *)
+
+val remove : t -> int -> bool
+val mem : t -> int -> bool
+val to_list : t -> int list
+val length : t -> int
+val is_empty : t -> bool
+val fold : t -> init:'b -> f:('b -> int -> 'b) -> 'b
+val iter : t -> (int -> unit) -> unit
+val min_value : t -> int option
+val max_value : t -> int option
+val nth : t -> int -> int option
+val of_list : int list -> t
+val clear : t -> unit
+val count_if : t -> (int -> bool) -> int
+val equal : t -> t -> bool

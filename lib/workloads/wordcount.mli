@@ -1,0 +1,56 @@
+(** Wordcount — the paper's scalability workload (Figure 2).
+
+    One producer pushes text segments onto a persistent, mutex-guarded
+    stack; consumer domains pop segments and count word frequencies in
+    thread-local volatile tables (the paper deliberately does not merge
+    them, to isolate library scalability from reduction cost).
+
+    The corpus is synthetic Zipf-distributed text standing in for the
+    Canterbury corpus (DESIGN.md §1).  On hosts without enough cores for
+    the paper's 16-thread sweep, {!measure_costs} + {!simulate} replay
+    the timeline with a discrete-event schedule; see [bin/scale.exe]. *)
+
+val generate_corpus :
+  ?vocabulary:int ->
+  segments:int ->
+  words_per_segment:int ->
+  seed:int ->
+  unit ->
+  string list
+(** Deterministic synthetic corpus. *)
+
+type result = {
+  seconds : float;  (** wall-clock duration *)
+  total_words : int;  (** words counted across all consumers *)
+  distinct : int;  (** distinct words seen *)
+}
+
+val run : producers:int -> consumers:int -> corpus:string list -> unit -> result
+(** The real multi-domain implementation (its own private pool). *)
+
+val run_seq : corpus:string list -> unit -> result
+(** The paper's baseline: produce everything, then consume everything,
+    single-threaded. *)
+
+val count_words : (string, int) Hashtbl.t -> string -> int
+(** Count one segment into a table; returns the segment's word count
+    (exposed for tests and the cost model). *)
+
+(** {1 Scalability model} *)
+
+type cost_model = {
+  t_push : float;  (** seconds per push transaction (lock held) *)
+  t_pop : float;  (** seconds per pop transaction (lock held) *)
+  t_count : float;  (** seconds to count one segment (parallel work) *)
+}
+
+val measure_costs :
+  ?latency:Pmem.Latency.t -> corpus:string list -> unit -> cost_model
+(** Push/pop costs come from the simulated PM clock (they are PM-bound);
+    counting is CPU-bound wall time. *)
+
+val simulate : cost_model -> segments:int -> consumers:int -> float
+(** Makespan of the producer/consumer timeline with the stack lock as the
+    serializing resource (greedy event schedule). *)
+
+val sequential_time : cost_model -> segments:int -> float

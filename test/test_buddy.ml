@@ -1,0 +1,389 @@
+(* Tests for the crash-consistent buddy allocator: allocation, splitting,
+   merging, the reserve/commit protocol, rebuild-from-table, and heap
+   integrity under randomized workloads. *)
+
+module D = Pmem.Device
+module B = Palloc.Buddy
+module T = Palloc.Alloc_table
+module W = Palloc.Heap_walk
+
+let heap_len = 64 * 1024
+let table_base = 0
+let heap_base = T.table_bytes ~heap_len (* table first, heap right after *)
+
+let mk () =
+  let dev = D.create ~size:(heap_base + heap_len) () in
+  (dev, B.create dev ~table_base ~heap_base ~heap_len)
+
+let check_int = Alcotest.(check int)
+
+let assert_intact buddy =
+  match W.check buddy with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "heap integrity violated: %s" msg
+
+let test_orders () =
+  check_int "64B is order 0" 0 (B.order_of_size 64);
+  check_int "1B is order 0" 0 (B.order_of_size 1);
+  check_int "65B is order 1" 1 (B.order_of_size 65);
+  check_int "128B is order 1" 1 (B.order_of_size 128);
+  check_int "4kB is order 6" 6 (B.order_of_size 4096);
+  check_int "size of order 3" 512 (B.size_of_order 3);
+  Alcotest.match_raises "non-positive size"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (B.order_of_size 0))
+
+let test_alloc_basic () =
+  let _, buddy = mk () in
+  check_int "fresh heap fully free" heap_len (B.free_bytes buddy);
+  let off = B.alloc buddy 64 in
+  Alcotest.(check bool) "block in heap" true (off >= heap_base);
+  check_int "aligned" 0 (off mod 64);
+  check_int "block size" 64 (Option.get (B.block_size buddy off));
+  check_int "used" 64 (B.used_bytes buddy);
+  assert_intact buddy;
+  B.dealloc buddy off;
+  check_int "all free again" heap_len (B.free_bytes buddy);
+  assert_intact buddy
+
+let test_rounding_to_block () =
+  let _, buddy = mk () in
+  let off = B.alloc buddy 100 in
+  check_int "100B rounds to 128" 128 (Option.get (B.block_size buddy off))
+
+let test_distinct_blocks () =
+  let _, buddy = mk () in
+  let offs = List.init 32 (fun _ -> B.alloc buddy 64) in
+  let sorted = List.sort_uniq compare offs in
+  check_int "all distinct" 32 (List.length sorted);
+  assert_intact buddy
+
+let test_exhaustion () =
+  let _, buddy = mk () in
+  (* The whole heap as min blocks. *)
+  let n = heap_len / 64 in
+  let offs = List.init n (fun _ -> B.alloc buddy 64) in
+  check_int "zero free" 0 (B.free_bytes buddy);
+  Alcotest.check_raises "exhausted" B.Out_of_pmem (fun () ->
+      ignore (B.alloc buddy 64));
+  List.iter (B.dealloc buddy) offs;
+  check_int "all free after frees" heap_len (B.free_bytes buddy);
+  assert_intact buddy
+
+let test_merge_restores_max_block () =
+  let _, buddy = mk () in
+  let n = heap_len / 64 in
+  let offs = List.init n (fun _ -> B.alloc buddy 64) in
+  List.iter (B.dealloc buddy) offs;
+  (* After full merge we must be able to take the largest block again. *)
+  let off = B.alloc buddy heap_len in
+  check_int "max block allocatable" heap_len (Option.get (B.block_size buddy off));
+  assert_intact buddy
+
+let test_oversized_alloc () =
+  let _, buddy = mk () in
+  Alcotest.check_raises "oversized" B.Out_of_pmem (fun () ->
+      ignore (B.alloc buddy (2 * heap_len)))
+
+let test_double_free () =
+  let _, buddy = mk () in
+  let off = B.alloc buddy 64 in
+  B.dealloc buddy off;
+  Alcotest.check_raises "double free" (B.Invalid_free off) (fun () ->
+      B.dealloc buddy off)
+
+let test_wild_free () =
+  let _, buddy = mk () in
+  let off = B.alloc buddy 256 in
+  Alcotest.check_raises "interior free" (B.Invalid_free (off + 64)) (fun () ->
+      B.dealloc buddy (off + 64));
+  Alcotest.match_raises "unaligned free"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> B.dealloc buddy (off + 1))
+
+let test_reserve_cancel () =
+  let _, buddy = mk () in
+  let free0 = B.free_bytes buddy in
+  let r = B.reserve buddy 4096 in
+  check_int "reserved space removed" (free0 - 4096) (B.free_bytes buddy);
+  (* Not committed: the table knows nothing. *)
+  check_int "nothing allocated durably" 0 (W.live_count buddy);
+  B.cancel buddy r;
+  check_int "cancel restores space" free0 (B.free_bytes buddy);
+  assert_intact buddy
+
+let test_reserve_commit () =
+  let _, buddy = mk () in
+  let r = B.reserve buddy 128 in
+  B.commit buddy r;
+  check_int "one live block" 1 (W.live_count buddy);
+  let off = B.offset_of_reservation buddy r in
+  check_int "live size" 128 (Option.get (B.block_size buddy off));
+  assert_intact buddy
+
+let test_dealloc_if_live_idempotent () =
+  let _, buddy = mk () in
+  let off = B.alloc buddy 64 in
+  B.dealloc_if_live buddy off;
+  B.dealloc_if_live buddy off (* second call is a no-op *);
+  check_int "free" heap_len (B.free_bytes buddy);
+  assert_intact buddy
+
+let test_attach_rebuilds () =
+  let dev, buddy = mk () in
+  let keep = B.alloc buddy 256 in
+  let tmp = B.alloc buddy 64 in
+  B.dealloc buddy tmp;
+  (* A restart: volatile free lists are rebuilt from the table. *)
+  D.power_cycle dev;
+  let buddy2 = B.attach dev ~table_base ~heap_base ~heap_len in
+  check_int "used space preserved" 256 (B.used_bytes buddy2);
+  check_int "kept block survives" 256 (Option.get (B.block_size buddy2 keep));
+  assert_intact buddy2;
+  (* The surviving block can be freed and the heap fully recovered. *)
+  B.dealloc buddy2 keep;
+  let off = B.alloc buddy2 heap_len in
+  check_int "max block after rebuild" heap_len
+    (Option.get (B.block_size buddy2 off))
+
+let test_unpersisted_reserve_invisible_after_crash () =
+  let dev, buddy = mk () in
+  let r = B.reserve buddy 64 in
+  ignore r (* crash before commit: reservation is purely volatile *);
+  D.power_cycle dev;
+  let buddy2 = B.attach dev ~table_base ~heap_base ~heap_len in
+  check_int "no leak" 0 (W.live_count buddy2);
+  check_int "all free" heap_len (B.free_bytes buddy2)
+
+let test_live_blocks_walk () =
+  let _, buddy = mk () in
+  let a = B.alloc buddy 64 in
+  let b = B.alloc buddy 4096 in
+  let blocks = W.live_blocks buddy in
+  check_int "two blocks" 2 (List.length blocks);
+  let find off = List.find (fun (bl : W.block) -> bl.off = off) blocks in
+  check_int "sizes recorded" 64 (find a).W.size;
+  check_int "sizes recorded" 4096 (find b).W.size;
+  check_int "live bytes" (64 + 4096) (W.live_bytes buddy)
+
+let test_report () =
+  let _, buddy = mk () in
+  let r0 = W.report buddy in
+  check_int "fresh heap no live blocks" 0 r0.W.blocks;
+  Alcotest.(check (float 0.001)) "no fragmentation" 0.0 r0.W.fragmentation;
+  ignore (B.alloc buddy 64);
+  let r1 = W.report buddy in
+  Alcotest.(check bool) "fragmented now" true (r1.W.fragmentation > 0.0)
+
+let test_alloc_charges_steps () =
+  let dev, buddy = mk () in
+  let s0 = (D.stats dev).D.alloc_steps in
+  (* Allocating the min block from a pristine max block must split all the
+     way down. *)
+  ignore (B.alloc buddy 64);
+  let s1 = (D.stats dev).D.alloc_steps in
+  check_int "splits charged" (B.max_order buddy + 1) (s1 - s0)
+
+(* --- striped arenas (the paper's per-thread allocators) ---------------- *)
+
+let mk_striped n =
+  let dev = D.create ~size:(heap_base + heap_len) () in
+  (dev, B.create ~stripes:n dev ~table_base ~heap_base ~heap_len)
+
+let test_stripes_basic () =
+  let _, buddy = mk_striped 4 in
+  check_int "stripe count" 4 (B.stripes buddy);
+  check_int "fully free" heap_len (B.free_bytes buddy);
+  (* hints place allocations in distinct regions *)
+  let a = B.alloc ~hint:0 buddy 64 in
+  let b = B.alloc ~hint:1 buddy 64 in
+  let c = B.alloc ~hint:2 buddy 64 in
+  let span = heap_len / 4 in
+  Alcotest.(check bool) "hint 0 in stripe 0" true (a - heap_base < span);
+  Alcotest.(check bool) "hint 1 in stripe 1" true
+    (b - heap_base >= span && b - heap_base < 2 * span);
+  Alcotest.(check bool) "hint 2 in stripe 2" true
+    (c - heap_base >= 2 * span && c - heap_base < 3 * span);
+  assert_intact buddy;
+  B.dealloc buddy a;
+  B.dealloc buddy b;
+  B.dealloc buddy c;
+  check_int "all free again" heap_len (B.free_bytes buddy);
+  assert_intact buddy
+
+let test_stripes_steal_under_pressure () =
+  let _, buddy = mk_striped 4 in
+  let span_bytes = heap_len / 4 in
+  (* exhaust stripe 0 *)
+  let hogs = List.init (span_bytes / 64) (fun _ -> B.alloc ~hint:0 buddy 64) in
+  (* further hint-0 allocations must steal from other stripes, not fail *)
+  let stolen = B.alloc ~hint:0 buddy 64 in
+  Alcotest.(check bool) "stolen from another stripe" true
+    (stolen - heap_base >= span_bytes);
+  assert_intact buddy;
+  List.iter (B.dealloc buddy) (stolen :: hogs);
+  assert_intact buddy
+
+let test_stripes_cap_block_size () =
+  let _, buddy = mk_striped 4 in
+  (* the largest block is one stripe's span *)
+  let off = B.alloc buddy (heap_len / 4) in
+  check_int "span-sized block" (heap_len / 4) (Option.get (B.block_size buddy off));
+  Alcotest.check_raises "larger than a stripe" B.Out_of_pmem (fun () ->
+      ignore (B.alloc buddy (heap_len / 2)))
+
+let test_stripes_parallel_domains () =
+  let _, buddy = mk_striped 4 in
+  let worker i () =
+    let offs = ref [] in
+    for _ = 1 to 100 do
+      offs := B.alloc ~hint:i buddy 64 :: !offs
+    done;
+    List.iter (B.dealloc buddy) !offs
+  in
+  let ds = List.init 4 (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join ds;
+  check_int "all returned" heap_len (B.free_bytes buddy);
+  assert_intact buddy
+
+let qcheck_striped_random_ops =
+  let gen =
+    QCheck.(
+      pair (int_range 1 6)
+        (list_of_size Gen.(int_bound 60)
+           (triple bool (int_range 1 4096) (int_bound 7))))
+  in
+  QCheck.Test.make ~name:"striped alloc/free keeps heap intact" ~count:150 gen
+    (fun (nstripes, ops) ->
+      let _, buddy = mk_striped nstripes in
+      let live = ref [] in
+      List.iter
+        (fun (is_alloc, size, hint) ->
+          if is_alloc || !live = [] then (
+            match B.alloc ~hint buddy size with
+            | off -> live := off :: !live
+            | exception B.Out_of_pmem -> ())
+          else
+            match !live with
+            | off :: rest ->
+                B.dealloc buddy off;
+                live := rest
+            | [] -> ())
+        ops;
+      match W.check buddy with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+(* Property: any interleaving of allocs and frees keeps the heap intact and
+   the accounting exact. *)
+let qcheck_random_ops =
+  let gen =
+    QCheck.(list_of_size Gen.(int_bound 60) (pair bool (int_range 1 8192)))
+  in
+  QCheck.Test.make ~name:"random alloc/free keeps heap intact" ~count:200 gen
+    (fun ops ->
+      let _, buddy = mk () in
+      let live = ref [] in
+      List.iter
+        (fun (is_alloc, size) ->
+          if is_alloc || !live = [] then (
+            match B.alloc buddy size with
+            | off -> live := (off, size) :: !live
+            | exception B.Out_of_pmem -> ())
+          else
+            match !live with
+            | (off, _) :: rest ->
+                B.dealloc buddy off;
+                live := rest
+            | [] -> ())
+        ops;
+      (match W.check buddy with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_report msg);
+      (* Every live block must still be resolvable with enough room. *)
+      List.for_all
+        (fun (off, size) ->
+          match B.block_size buddy off with
+          | Some bs -> bs >= size
+          | None -> false)
+        !live)
+
+(* Property: the volatile free lists rebuilt after a restart are equivalent
+   to the pre-restart state (same free byte count, intact heap). *)
+let qcheck_rebuild_equiv =
+  let gen = QCheck.(list_of_size Gen.(int_bound 40) (int_range 1 4096)) in
+  QCheck.Test.make ~name:"attach after restart preserves accounting" ~count:100
+    gen (fun sizes ->
+      let dev, buddy = mk () in
+      let offs =
+        List.filter_map
+          (fun s ->
+            match B.alloc buddy s with
+            | off -> Some off
+            | exception B.Out_of_pmem -> None)
+          sizes
+      in
+      (* free every other block to create fragmentation *)
+      List.iteri (fun i off -> if i mod 2 = 0 then B.dealloc buddy off) offs;
+      let free_before = B.free_bytes buddy in
+      D.power_cycle dev;
+      let buddy2 = B.attach dev ~table_base ~heap_base ~heap_len in
+      (match W.check buddy2 with
+      | Ok () -> ()
+      | Error msg -> QCheck.Test.fail_report msg);
+      B.free_bytes buddy2 = free_before)
+
+let () =
+  Alcotest.run "palloc_buddy"
+    [
+      ("orders", [ Alcotest.test_case "order arithmetic" `Quick test_orders ]);
+      ( "alloc",
+        [
+          Alcotest.test_case "basic" `Quick test_alloc_basic;
+          Alcotest.test_case "rounding" `Quick test_rounding_to_block;
+          Alcotest.test_case "distinct blocks" `Quick test_distinct_blocks;
+          Alcotest.test_case "exhaustion" `Quick test_exhaustion;
+          Alcotest.test_case "merge restores max block" `Quick
+            test_merge_restores_max_block;
+          Alcotest.test_case "oversized" `Quick test_oversized_alloc;
+          Alcotest.test_case "alloc charges split steps" `Quick
+            test_alloc_charges_steps;
+        ] );
+      ( "free",
+        [
+          Alcotest.test_case "double free" `Quick test_double_free;
+          Alcotest.test_case "wild free" `Quick test_wild_free;
+          Alcotest.test_case "dealloc_if_live idempotent" `Quick
+            test_dealloc_if_live_idempotent;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "reserve/cancel" `Quick test_reserve_cancel;
+          Alcotest.test_case "reserve/commit" `Quick test_reserve_commit;
+          Alcotest.test_case "uncommitted reservation invisible" `Quick
+            test_unpersisted_reserve_invisible_after_crash;
+        ] );
+      ( "restart",
+        [ Alcotest.test_case "attach rebuilds" `Quick test_attach_rebuilds ] );
+      ( "stripes",
+        [
+          Alcotest.test_case "hints place locally" `Quick test_stripes_basic;
+          Alcotest.test_case "steal under pressure" `Quick
+            test_stripes_steal_under_pressure;
+          Alcotest.test_case "block size capped by span" `Quick
+            test_stripes_cap_block_size;
+          Alcotest.test_case "parallel domains" `Slow
+            test_stripes_parallel_domains;
+          QCheck_alcotest.to_alcotest qcheck_striped_random_ops;
+        ] );
+      ( "walk",
+        [
+          Alcotest.test_case "live blocks" `Quick test_live_blocks_walk;
+          Alcotest.test_case "report" `Quick test_report;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest qcheck_random_ops;
+          QCheck_alcotest.to_alcotest qcheck_rebuild_equiv;
+        ] );
+    ]

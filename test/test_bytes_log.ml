@@ -1,0 +1,176 @@
+(* Pbytes (mutable persistent buffer) and Plog (append-only record log):
+   roundtrips, growth, abort/crash atomicity, and leak freedom. *)
+
+open Corundum
+
+let small =
+  { Pool_impl.size = 4 * 1024 * 1024; nslots = 2; slot_size = 128 * 1024 }
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let bytes_root (type b) (module P : Pool.S with type brand = b) () =
+  P.root ~ty:(Pbytes.ptype ()) ~init:(fun j -> Pbytes.make j) ()
+
+let test_pbytes_basics () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let b = Pbox.get (bytes_root (module P) ()) in
+  check_int "empty" 0 (Pbytes.length b);
+  P.transaction (fun j ->
+      Pbytes.append b "hello, " j;
+      Pbytes.append b "world" j);
+  check_int "length" 12 (Pbytes.length b);
+  check_str "contents" "hello, world" (Pbytes.to_string b);
+  check_str "sub-read" "world" (Pbytes.read b ~pos:7 ~len:5);
+  Alcotest.(check char) "get" 'h' (Pbytes.get b 0);
+  P.transaction (fun j -> Pbytes.write b ~pos:7 "ocaml" j);
+  check_str "in-place write" "hello, ocaml" (Pbytes.to_string b);
+  P.transaction (fun j -> Pbytes.set b 0 'H' j);
+  check_str "set" "Hello, ocaml" (Pbytes.to_string b);
+  P.transaction (fun j -> Pbytes.truncate b 5 j);
+  check_str "truncate" "Hello" (Pbytes.to_string b)
+
+let test_pbytes_growth () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let b = Pbox.get (bytes_root (module P) ()) in
+  let chunk = String.make 100 'x' in
+  P.transaction (fun j ->
+      for _ = 1 to 50 do
+        Pbytes.append b chunk j
+      done);
+  check_int "grew" 5000 (Pbytes.length b);
+  Alcotest.(check bool) "capacity kept up" true (Pbytes.capacity b >= 5000);
+  Alcotest.(check bool) "contents intact" true
+    (String.for_all (fun c -> c = 'x') (Pbytes.to_string b));
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Pbytes.ptype ())
+
+let test_pbytes_bounds () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let b = Pbox.get (bytes_root (module P) ()) in
+  P.transaction (fun j -> Pbytes.append b "abc" j);
+  let must_fail f =
+    Alcotest.match_raises "out of range"
+      (function Invalid_argument _ -> true | _ -> false)
+      f
+  in
+  must_fail (fun () -> ignore (Pbytes.read b ~pos:1 ~len:3));
+  must_fail (fun () -> ignore (Pbytes.get b 3));
+  P.transaction (fun j ->
+      must_fail (fun () -> Pbytes.write b ~pos:2 "xy" j);
+      must_fail (fun () -> Pbytes.truncate b 4 j))
+
+let test_pbytes_abort_and_crash () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let b = Pbox.get (bytes_root (module P) ()) in
+  P.transaction (fun j -> Pbytes.append b "stable" j);
+  (try
+     P.transaction (fun j ->
+         Pbytes.write b ~pos:0 "STABLE" j;
+         Pbytes.append b " plus growth forcing a resize of the data block" j;
+         failwith "abort")
+   with Failure _ -> ());
+  check_str "abort rolled everything back" "stable" (Pbytes.to_string b);
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Pbytes.ptype ());
+  P.crash_and_reopen ();
+  let b = Pbox.get (bytes_root (module P) ()) in
+  check_str "crash keeps committed contents" "stable" (Pbytes.to_string b)
+
+let log_root (type b) (module P : Pool.S with type brand = b) () =
+  P.root ~ty:(Plog.ptype ()) ~init:(fun j -> Plog.make j) ()
+
+let test_plog_basics () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let l = Pbox.get (log_root (module P) ()) in
+  Alcotest.(check bool) "empty" true (Plog.is_empty l);
+  P.transaction (fun j ->
+      Plog.append l "first" j;
+      Plog.append l "" j;
+      Plog.append l "third record, a bit longer" j);
+  check_int "records" 3 (Plog.records l);
+  Alcotest.(check (list string))
+    "oldest-first order"
+    [ "first"; ""; "third record, a bit longer" ]
+    (Plog.to_list l);
+  Alcotest.(check (option string)) "nth" (Some "") (Plog.nth l 1);
+  Alcotest.(check (option string)) "nth out of range" None (Plog.nth l 3);
+  P.transaction (fun j -> Plog.truncate l j);
+  check_int "truncated" 0 (Plog.records l);
+  Alcotest.(check (list string)) "no records" [] (Plog.to_list l)
+
+let test_plog_crash_prefix () =
+  (* One record per transaction: after a crash the log holds exactly a
+     prefix of the appended records. *)
+  let records = List.init 6 (fun i -> Printf.sprintf "entry-%d" i) in
+  let attempt k =
+    let module P = Pool.Make () in
+    P.create ~config:small ();
+    let fetch () = log_root (module P) () in
+    ignore (fetch ());
+    let dev = Pool_impl.device (P.impl ()) in
+    if k > 0 then Pmem.Device.set_crash_countdown dev k;
+    (match
+       List.iter
+         (fun r -> P.transaction (fun j -> Plog.append (Pbox.get (fetch ())) r j))
+         records
+     with
+    | () -> Pmem.Device.set_crash_countdown dev 0
+    | exception Pmem.Device.Crashed -> ());
+    P.crash_and_reopen ();
+    let l = Pbox.get (fetch ()) in
+    let got = Plog.to_list l in
+    let n = List.length got in
+    if got <> List.filteri (fun i _ -> i < n) records then
+      Alcotest.failf "crash@%d: log is not a prefix" k;
+    Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Plog.ptype ());
+    let dev = Pool_impl.device (P.impl ()) in
+    Pmem.Device.persist_points dev
+  in
+  let points = attempt 0 in
+  let step = max 1 (points / 40) in
+  let k = ref 1 in
+  while !k <= points do
+    ignore (attempt !k);
+    k := !k + step
+  done
+
+let test_plog_in_struct () =
+  (* a log owned through a box — drop cascades through Pbytes *)
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let ty = Ptype.option (Pbox.ptype (Plog.ptype ())) in
+  let root =
+    P.root ~ty:(Pcell.ptype ty) ~init:(fun _ -> Pcell.make ~ty None) ()
+  in
+  let live () = (P.stats ()).Pool_impl.live_blocks in
+  let baseline = live () in
+  P.transaction (fun j ->
+      let l = Plog.make j in
+      Plog.append l "kept" j;
+      Pcell.set (Pbox.get root) (Some (Pbox.make ~ty:(Plog.ptype ()) l j)) j);
+  Alcotest.(check bool) "blocks appeared" true (live () > baseline);
+  P.transaction (fun j -> Pcell.set (Pbox.get root) None j);
+  check_int "full cascade on drop" baseline (live ());
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Pcell.ptype ty)
+
+let () =
+  Alcotest.run "corundum_bytes_log"
+    [
+      ( "pbytes",
+        [
+          Alcotest.test_case "basics" `Quick test_pbytes_basics;
+          Alcotest.test_case "growth" `Quick test_pbytes_growth;
+          Alcotest.test_case "bounds" `Quick test_pbytes_bounds;
+          Alcotest.test_case "abort and crash" `Quick test_pbytes_abort_and_crash;
+        ] );
+      ( "plog",
+        [
+          Alcotest.test_case "basics" `Quick test_plog_basics;
+          Alcotest.test_case "crash prefix" `Slow test_plog_crash_prefix;
+          Alcotest.test_case "owned through a box" `Quick test_plog_in_struct;
+        ] );
+    ]

@@ -1,0 +1,187 @@
+(* Tests for the interior-mutability wrappers: Pcell, Prefcell (dynamic
+   borrow rules), and Pmutex (lock-till-commit isolation). *)
+
+open Corundum
+
+let small =
+  { Pool_impl.size = 2 * 1024 * 1024; nslots = 4; slot_size = 64 * 1024 }
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A root holding a single int cell of each flavour. *)
+let cell_root (type b) (module P : Pool.S with type brand = b) () =
+  P.root
+    ~ty:
+      (Ptype.record3 ~name:"cells"
+         ~inj:(fun a b c -> (a, b, c))
+         ~proj:(fun x -> x)
+         (Pcell.ptype Ptype.int)
+         (Prefcell.ptype Ptype.int)
+         (Pmutex.ptype Ptype.int))
+    ~init:(fun _ ->
+      ( Pcell.make ~ty:Ptype.int 10,
+        Prefcell.make ~ty:Ptype.int 20,
+        Pmutex.make ~ty:Ptype.int 30 ))
+    ()
+
+let test_pcell () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let root = cell_root (module P) () in
+  let c, _, _ = Pbox.get root in
+  check_int "initial" 10 (Pcell.get c);
+  P.transaction (fun j ->
+      Pcell.set c 11 j;
+      check_int "visible in tx" 11 (Pcell.get c);
+      check_int "replace returns old" 11 (Pcell.replace c 12 j);
+      Pcell.update c j succ);
+  check_int "committed" 13 (Pcell.get c);
+  (try P.transaction (fun j -> Pcell.set c 99 j; failwith "x")
+   with Failure _ -> ());
+  check_int "rolled back" 13 (Pcell.get c)
+
+let test_prefcell_borrow_rules () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let root = cell_root (module P) () in
+  let _, rc, _ = Pbox.get root in
+  check_int "borrow reads" 20 (Prefcell.borrow rc);
+  P.transaction (fun j ->
+      let m = Prefcell.borrow_mut rc j in
+      Prefcell.deref_set m 21;
+      check_int "deref sees write" 21 (Prefcell.deref m);
+      (* The mutability invariant: no second borrow of any kind. *)
+      Alcotest.match_raises "double borrow_mut"
+        (function Pool_impl.Borrow_error _ -> true | _ -> false)
+        (fun () -> ignore (Prefcell.borrow_mut rc j));
+      Alcotest.match_raises "borrow while mutably borrowed"
+        (function Pool_impl.Borrow_error _ -> true | _ -> false)
+        (fun () -> ignore (Prefcell.borrow rc));
+      (* Releasing the guard (scope exit) re-enables borrowing. *)
+      Prefcell.release m;
+      check_int "borrow after release" 21 (Prefcell.borrow rc);
+      Alcotest.check_raises "released guard is dead" Pool_impl.Tx_escape
+        (fun () -> Prefcell.deref_set m 0);
+      Prefcell.with_mut rc j succ);
+  check_int "committed" 22 (Prefcell.borrow rc)
+
+let test_prefcell_borrow_cleared_at_tx_end () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let root = cell_root (module P) () in
+  let _, rc, _ = Pbox.get root in
+  P.transaction (fun j -> ignore (Prefcell.borrow_mut rc j));
+  (* Not released explicitly: the transaction end must clear the flag. *)
+  check_int "borrowable again" 20 (Prefcell.borrow rc);
+  P.transaction (fun j -> Prefcell.set rc 25 j);
+  check_int "set works" 25 (Prefcell.borrow rc)
+
+let test_prefcell_abort_clears_borrows () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let root = cell_root (module P) () in
+  let _, rc, _ = Pbox.get root in
+  (try
+     P.transaction (fun j ->
+         let m = Prefcell.borrow_mut rc j in
+         Prefcell.deref_set m 77;
+         failwith "abort")
+   with Failure _ -> ());
+  check_int "value rolled back" 20 (Prefcell.borrow rc);
+  P.transaction (fun j -> ignore (Prefcell.borrow_mut rc j))
+
+let test_pmutex_basics () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let root = cell_root (module P) () in
+  let _, _, m = Pbox.get root in
+  P.transaction (fun j ->
+      let g = Pmutex.lock m j in
+      check_int "read under lock" 30 (Pmutex.deref g);
+      Pmutex.deref_set g 31;
+      (* Reentrant within the same transaction. *)
+      let g2 = Pmutex.lock m j in
+      Pmutex.deref_update g2 succ);
+  check_int "committed" 32
+    (P.transaction (fun j -> Pmutex.deref (Pmutex.lock m j)))
+
+let test_pmutex_guard_stranded () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let root = cell_root (module P) () in
+  let _, _, m = Pbox.get root in
+  let g = P.transaction (fun j -> Pmutex.lock m j) in
+  Alcotest.check_raises "stranded guard" Pool_impl.Tx_escape (fun () ->
+      Pmutex.deref_set g 0)
+
+let test_pmutex_cross_domain_isolation () =
+  (* Many concurrent increments under the mutex: none may be lost, which
+     also exercises lock-until-commit isolation. *)
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let root = cell_root (module P) () in
+  let _, _, m = Pbox.get root in
+  let n = 50 in
+  let worker () =
+    for _ = 1 to n do
+      P.transaction (fun j -> Pmutex.with_lock m j succ)
+    done
+  in
+  let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+  Domain.join d1;
+  Domain.join d2;
+  check_int "no lost updates" (30 + (2 * n))
+    (P.transaction (fun j -> Pmutex.deref (Pmutex.lock m j)))
+
+let test_seed_cells_work_before_placement () =
+  let c = Pcell.make ~ty:Ptype.int 5 in
+  check_int "seed readable" 5 (Pcell.get c);
+  let rc = Prefcell.make ~ty:Ptype.int 6 in
+  check_int "seed prefcell readable" 6 (Prefcell.borrow rc);
+  check_bool "seed has no offset" true (Pcell.off c = None)
+
+let test_placed_cell_copy_rejected () =
+  (* Copying a placed cell to a different slot would duplicate ownership;
+     the placement descriptor rejects it. *)
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let ty = Pcell.ptype Ptype.int in
+  let root =
+    P.root ~ty:(Ptype.pair ty ty)
+      ~init:(fun _ -> (Pcell.make ~ty:Ptype.int 1, Pcell.make ~ty:Ptype.int 2))
+      ()
+  in
+  P.transaction (fun j ->
+      let c1, _c2 = Pbox.get root in
+      Alcotest.match_raises "cross-slot cell copy"
+        (function Invalid_argument _ -> true | _ -> false)
+        (fun () -> Pbox.set root (c1, c1) j))
+
+let () =
+  Alcotest.run "corundum_cells"
+    [
+      ("pcell", [ Alcotest.test_case "get/set/replace/update" `Quick test_pcell ]);
+      ( "prefcell",
+        [
+          Alcotest.test_case "borrow rules" `Quick test_prefcell_borrow_rules;
+          Alcotest.test_case "borrow cleared at tx end" `Quick
+            test_prefcell_borrow_cleared_at_tx_end;
+          Alcotest.test_case "abort clears borrows" `Quick
+            test_prefcell_abort_clears_borrows;
+        ] );
+      ( "pmutex",
+        [
+          Alcotest.test_case "basics" `Quick test_pmutex_basics;
+          Alcotest.test_case "stranded guard" `Quick test_pmutex_guard_stranded;
+          Alcotest.test_case "cross-domain isolation" `Slow
+            test_pmutex_cross_domain_isolation;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "seeds before placement" `Quick
+            test_seed_cells_work_before_placement;
+          Alcotest.test_case "placed cell copy rejected" `Quick
+            test_placed_cell_copy_rejected;
+        ] );
+    ]

@@ -1,0 +1,302 @@
+(* Tests for persistent collections: Pstring and Pvec, plus the leak
+   checker they are exercised against. *)
+
+open Corundum
+
+let small =
+  { Pool_impl.size = 2 * 1024 * 1024; nslots = 2; slot_size = 64 * 1024 }
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_pstring () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
+  let live () = (P.stats ()).Pool_impl.live_blocks in
+  let baseline = live () in
+  P.transaction (fun j ->
+      let s = Pstring.make "persistent memory" j in
+      check_str "contents" "persistent memory" (Pstring.get s);
+      check_int "length" 17 (Pstring.length s);
+      let s2 = Pstring.make "persistent memory" j in
+      check_bool "content equality" true (Pstring.equal s s2);
+      let s3 = Pstring.make "" j in
+      check_str "empty string" "" (Pstring.get s3);
+      Pstring.drop s j;
+      Pstring.drop s2 j;
+      Pstring.drop s3 j);
+  check_int "all reclaimed" baseline (live ())
+
+let test_pstring_in_struct () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let ty = Ptype.pair (Pstring.ptype ()) Ptype.int in
+  let root =
+    P.root
+      ~ty:(Pbox.ptype ty |> Ptype.option |> Pcell.ptype)
+      ~init:(fun _ -> Pcell.make ~ty:(Ptype.option (Pbox.ptype ty)) None)
+      ()
+  in
+  P.transaction (fun j ->
+      let s = Pstring.make "named" j in
+      let b = Pbox.make ~ty (s, 42) j in
+      Pcell.set (Pbox.get root) (Some b) j);
+  P.crash_and_reopen ();
+  let root =
+    P.root
+      ~ty:(Pbox.ptype ty |> Ptype.option |> Pcell.ptype)
+      ~init:(fun _ -> assert false)
+      ()
+  in
+  (match Pcell.get (Pbox.get root) with
+  | Some b ->
+      let s, n = Pbox.get b in
+      check_str "string survived crash" "named" (Pstring.get s);
+      check_int "int survived crash" 42 n
+  | None -> Alcotest.fail "struct lost");
+  Crashtest.Leak_check.assert_clean (P.impl ())
+    ~root_ty:(Pbox.ptype ty |> Ptype.option |> Pcell.ptype)
+
+let test_pstring_slicing () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
+  let live () = (P.stats ()).Pool_impl.live_blocks in
+  let baseline = live () in
+  P.transaction (fun j ->
+      let a = Pstring.make "persistent" j in
+      let b = Pstring.make " memory" j in
+      let c = Pstring.concat a b j in
+      check_str "concat" "persistent memory" (Pstring.get c);
+      let d = Pstring.sub c ~pos:11 ~len:6 j in
+      check_str "sub" "memory" (Pstring.get d);
+      Alcotest.match_raises "sub out of range"
+        (function Invalid_argument _ -> true | _ -> false)
+        (fun () -> ignore (Pstring.sub c ~pos:15 ~len:10 j));
+      List.iter (fun s -> Pstring.drop s j) [ a; b; c; d ]);
+  check_int "all reclaimed" baseline (live ())
+
+let vec_root (type b) (module P : Pool.S with type brand = b) () =
+  P.root
+    ~ty:(Pvec.ptype Ptype.int)
+    ~init:(fun j -> Pvec.make ~ty:Ptype.int ~capacity:2 j)
+    ()
+
+let test_pvec_push_pop () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let v = Pbox.get (vec_root (module P) ()) in
+  check_bool "fresh vector empty" true (Pvec.is_empty v);
+  P.transaction (fun j ->
+      for i = 1 to 10 do
+        Pvec.push v i j
+      done);
+  check_int "length" 10 (Pvec.length v);
+  check_bool "capacity grew" true (Pvec.capacity v >= 10);
+  Alcotest.(check (list int))
+    "contents" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (Pvec.to_list v);
+  P.transaction (fun j ->
+      check_bool "pop returns last" true (Pvec.pop v j = Some 10);
+      check_bool "pop again" true (Pvec.pop v j = Some 9));
+  check_int "shrunk" 8 (Pvec.length v);
+  P.transaction (fun j ->
+      Pvec.clear v j;
+      check_bool "pop on empty" true (Pvec.pop v j = None));
+  check_int "cleared" 0 (Pvec.length v)
+
+let test_pvec_get_set_bounds () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let v = Pbox.get (vec_root (module P) ()) in
+  P.transaction (fun j ->
+      Pvec.push v 1 j;
+      Pvec.push v 2 j;
+      Pvec.set v 0 100 j);
+  check_int "set took" 100 (Pvec.get v 0);
+  check_int "neighbour untouched" 2 (Pvec.get v 1);
+  Alcotest.match_raises "get out of bounds"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (Pvec.get v 2));
+  P.transaction (fun j ->
+      Alcotest.match_raises "set out of bounds"
+        (function Invalid_argument _ -> true | _ -> false)
+        (fun () -> Pvec.set v (-1) 0 j))
+
+let test_pvec_growth_abort () =
+  (* Abort in the middle of growth must leave the old state intact and
+     leak nothing. *)
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let v = Pbox.get (vec_root (module P) ()) in
+  P.transaction (fun j ->
+      Pvec.push v 1 j;
+      Pvec.push v 2 j);
+  (try
+     P.transaction (fun j ->
+         for i = 3 to 40 do
+           Pvec.push v i j
+         done;
+         failwith "abort mid-growth")
+   with Failure _ -> ());
+  Alcotest.(check (list int)) "old contents" [ 1; 2 ] (Pvec.to_list v);
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Pvec.ptype Ptype.int);
+  (match Palloc.Heap_walk.check (Pool_impl.buddy (P.impl ())) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m)
+
+let test_pvec_positional_edits () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let v = Pbox.get (vec_root (module P) ()) in
+  P.transaction (fun j ->
+      Pvec.push v 1 j;
+      Pvec.push v 3 j;
+      Pvec.insert_at v 1 2 j (* middle *);
+      Pvec.insert_at v 0 0 j (* front *);
+      Pvec.insert_at v 4 4 j (* append position *));
+  Alcotest.(check (list int)) "inserts land in order" [ 0; 1; 2; 3; 4 ]
+    (Pvec.to_list v);
+  P.transaction (fun j ->
+      check_int "remove middle" 2 (Pvec.remove_at v 2 j);
+      check_int "remove front" 0 (Pvec.remove_at v 0 j);
+      check_int "remove last" 4 (Pvec.remove_at v 2 j));
+  Alcotest.(check (list int)) "remaining" [ 1; 3 ] (Pvec.to_list v);
+  Alcotest.match_raises "insert out of bounds"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> P.transaction (fun j -> Pvec.insert_at v 5 9 j));
+  (* edits roll back with everything else *)
+  (try
+     P.transaction (fun j ->
+         ignore (Pvec.remove_at v 0 j);
+         Pvec.insert_at v 0 99 j;
+         failwith "abort")
+   with Failure _ -> ());
+  Alcotest.(check (list int)) "edits rolled back" [ 1; 3 ] (Pvec.to_list v)
+
+let qcheck_pvec_positional =
+  QCheck.Test.make ~name:"pvec positional edits match list model" ~count:60
+    QCheck.(list_of_size Gen.(int_bound 120) (pair bool small_nat))
+    (fun ops ->
+      let module P = Pool.Make () in
+      P.create ~config:small ();
+      let v = Pbox.get (vec_root (module P) ()) in
+      let model = ref [] in
+      List.iter
+        (fun (ins, x) ->
+          let len = List.length !model in
+          if ins || len = 0 then begin
+            let i = x mod (len + 1) in
+            P.transaction (fun j -> Pvec.insert_at v i x j);
+            model :=
+              List.filteri (fun k _ -> k < i) !model
+              @ [ x ]
+              @ List.filteri (fun k _ -> k >= i) !model
+          end
+          else begin
+            let i = x mod len in
+            let got = P.transaction (fun j -> Pvec.remove_at v i j) in
+            let expect = List.nth !model i in
+            if got <> expect then QCheck.Test.fail_report "wrong element removed";
+            model := List.filteri (fun k _ -> k <> i) !model
+          end)
+        ops;
+      Pvec.to_list v = !model)
+
+let test_pool_save_checkpoint () =
+  let path = Filename.temp_file "corundum_save" ".pool" in
+  let module P = Pool.Make () in
+  P.create ~config:small ~path ();
+  let root = P.root ~ty:Ptype.int ~init:(fun _ -> 1) () in
+  P.transaction (fun j -> Pbox.set root 2 j);
+  P.save () (* checkpoint without closing *);
+  P.transaction (fun j -> Pbox.set root 3 j) (* after the checkpoint *);
+  (* a different "process" opens the checkpoint *)
+  let module Q = Pool.Make () in
+  Q.open_file path;
+  let qroot = Q.root ~ty:Ptype.int ~init:(fun _ -> 0) () in
+  check_int "checkpoint holds the fenced state" 2 (Pbox.get qroot);
+  (* the original pool is still live and current *)
+  check_int "original pool unaffected" 3 (Pbox.get root);
+  Q.close ();
+  Sys.remove path
+
+let test_pvec_of_strings () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let ty = Pvec.ptype (Pstring.ptype ()) in
+  let root =
+    P.root ~ty ~init:(fun j -> Pvec.make ~ty:(Pstring.ptype ()) j) ()
+  in
+  let v = Pbox.get root in
+  P.transaction (fun j ->
+      List.iter
+        (fun s -> Pvec.push v (Pstring.make s j) j)
+        [ "alpha"; "beta"; "gamma" ]);
+  Alcotest.(check (list string))
+    "string vector" [ "alpha"; "beta"; "gamma" ]
+    (List.map Pstring.get (Pvec.to_list v));
+  (* clear must cascade into the owned strings *)
+  let live () = (P.stats ()).Pool_impl.live_blocks in
+  let before = live () in
+  P.transaction (fun j -> Pvec.clear v j);
+  check_int "strings reclaimed" (before - 3) (live ());
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:ty
+
+let test_leak_detector_detects () =
+  (* Deliberately orphan a block: commit a transaction whose allocation is
+     never connected to the root.  In Rust this is statically impossible
+     (TxOutSafe); here the checker reports it. *)
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
+  P.transaction (fun j -> ignore (Pbox.make ~ty:Ptype.int 1 j));
+  let r = Crashtest.Leak_check.analyze (P.impl ()) ~root_ty:Ptype.int in
+  check_bool "leak reported" false (Crashtest.Leak_check.is_clean r);
+  check_int "exactly one orphan" 1 (List.length r.Crashtest.Leak_check.leaked)
+
+let test_leak_detector_clean_on_rooted () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let slot_ty = Ptype.option (Pbox.ptype Ptype.int) in
+  let root =
+    P.root ~ty:(Pcell.ptype slot_ty)
+      ~init:(fun _ -> Pcell.make ~ty:slot_ty None)
+      ()
+  in
+  P.transaction (fun j ->
+      let b = Pbox.make ~ty:Ptype.int 5 j in
+      Pcell.set (Pbox.get root) (Some b) j);
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Pcell.ptype slot_ty)
+
+let () =
+  Alcotest.run "corundum_collections"
+    [
+      ( "pstring",
+        [
+          Alcotest.test_case "basics" `Quick test_pstring;
+          Alcotest.test_case "inside struct, across crash" `Quick
+            test_pstring_in_struct;
+          Alcotest.test_case "sub/concat" `Quick test_pstring_slicing;
+        ] );
+      ( "pvec",
+        [
+          Alcotest.test_case "push/pop" `Quick test_pvec_push_pop;
+          Alcotest.test_case "get/set bounds" `Quick test_pvec_get_set_bounds;
+          Alcotest.test_case "growth abort" `Quick test_pvec_growth_abort;
+          Alcotest.test_case "vector of strings" `Quick test_pvec_of_strings;
+          Alcotest.test_case "positional edits" `Quick
+            test_pvec_positional_edits;
+          QCheck_alcotest.to_alcotest qcheck_pvec_positional;
+          Alcotest.test_case "pool save checkpoint" `Quick
+            test_pool_save_checkpoint;
+        ] );
+      ( "leak-check",
+        [
+          Alcotest.test_case "detects orphans" `Quick test_leak_detector_detects;
+          Alcotest.test_case "clean on rooted" `Quick
+            test_leak_detector_clean_on_rooted;
+        ] );
+    ]

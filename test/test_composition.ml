@@ -1,0 +1,174 @@
+(* Deep-composition torture tests: nested containers (boxes of vectors of
+   maps of strings, rc-shared queues, …) must read back correctly, drop
+   cascade completely, survive crashes, and stay leak-free.  These are
+   the structures real applications build; every Ptype combinator's
+   drop/reach closure gets exercised several levels deep. *)
+
+open Corundum
+
+let small =
+  { Pool_impl.size = 8 * 1024 * 1024; nslots = 2; slot_size = 256 * 1024 }
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* vec of (string, map of strings) — three levels of ownership *)
+let test_vec_of_maps_of_strings () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let inner_ty = Ptype.pair (Pstring.ptype ()) (Pmap.ptype (Pstring.ptype ())) in
+  let root_ty = Pvec.ptype inner_ty in
+  let root =
+    P.root ~ty:root_ty ~init:(fun j -> Pvec.make ~ty:inner_ty j) ()
+  in
+  let v = Pbox.get root in
+  P.transaction (fun j ->
+      for group = 1 to 3 do
+        let m = Pmap.make ~vty:(Pstring.ptype ()) j in
+        for item = 1 to 4 do
+          Pmap.add m ~key:item
+            (Pstring.make (Printf.sprintf "g%d-i%d" group item) j)
+            j
+        done;
+        Pvec.push v (Pstring.make (Printf.sprintf "group%d" group) j, m) j
+      done);
+  check_int "three groups" 3 (Pvec.length v);
+  let name, m = Pvec.get v 1 in
+  check_bool "group name" true (Pstring.get name = "group2");
+  check_bool "inner binding" true
+    (match Pmap.find m 3 with
+    | Some s -> Pstring.get s = "g2-i3"
+    | None -> false);
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty;
+  (* survive a crash, then tear one group down and check the cascade *)
+  P.crash_and_reopen ();
+  let root = P.root ~ty:root_ty ~init:(fun _ -> assert false) () in
+  let v = Pbox.get root in
+  check_int "groups survive crash" 3 (Pvec.length v);
+  let live () = (P.stats ()).Pool_impl.live_blocks in
+  let before = live () in
+  P.transaction (fun j ->
+      match Pvec.pop v j with
+      | Some (name, m) ->
+          Pstring.drop name j;
+          Pmap.drop m j
+      | None -> Alcotest.fail "empty");
+  (* one group = name string + map hdr + 4 nodes + 4 value strings = 10 *)
+  check_int "cascade reclaimed the whole group" (before - 10) (live ());
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty
+
+(* rc-shared queue: two cells share one queue through Prc; dropping one
+   reference must keep the queue, dropping both must reclaim it all *)
+let test_shared_queue_through_rc () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let q_ty = Pqueue.ptype Ptype.int in
+  let slot_ty = Pcell.ptype (Ptype.option (Prc.ptype q_ty)) in
+  let root_ty = Ptype.pair slot_ty slot_ty in
+  let root =
+    P.root ~ty:root_ty
+      ~init:(fun _ ->
+        ( Pcell.make ~ty:(Ptype.option (Prc.ptype q_ty)) None,
+          Pcell.make ~ty:(Ptype.option (Prc.ptype q_ty)) None ))
+      ()
+  in
+  let c1, c2 = Pbox.get root in
+  P.transaction (fun j ->
+      let q = Pqueue.make ~ty:Ptype.int j in
+      Pqueue.push q 1 j;
+      Pqueue.push q 2 j;
+      let rc = Prc.make ~ty:q_ty q j in
+      let rc2 = Prc.pclone rc j in
+      Pcell.set c1 (Some rc) j;
+      Pcell.set c2 (Some rc2) j);
+  (* mutate through one handle, observe through the other *)
+  P.transaction (fun j ->
+      match Pcell.get c1 with
+      | Some rc -> Pqueue.push (Prc.get rc) 3 j
+      | None -> Alcotest.fail "c1 empty");
+  (match Pcell.get c2 with
+  | Some rc ->
+      Alcotest.(check (list int)) "shared view" [ 1; 2; 3 ]
+        (Pqueue.to_list (Prc.get rc))
+  | None -> Alcotest.fail "c2 empty");
+  let live () = (P.stats ()).Pool_impl.live_blocks in
+  let with_queue = live () in
+  P.transaction (fun j -> Pcell.set c1 None j);
+  check_int "one owner left: queue intact" with_queue (live ());
+  P.transaction (fun j -> Pcell.set c2 None j);
+  (* ctrl block + queue hdr + data block reclaimed *)
+  check_int "last owner gone: full cascade" (with_queue - 3) (live ());
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty
+
+(* a set inside a box inside an option — exercising Pset + deep options *)
+let test_optional_boxed_set () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let root_ty = Pcell.ptype (Ptype.option (Pbox.ptype (Pset.ptype ()))) in
+  let root =
+    P.root ~ty:root_ty
+      ~init:(fun _ ->
+        Pcell.make ~ty:(Ptype.option (Pbox.ptype (Pset.ptype ()))) None)
+      ()
+  in
+  let cell = Pbox.get root in
+  P.transaction (fun j ->
+      let s = Pset.make j in
+      List.iter (fun k -> Pset.add s k j) [ 5; 3; 9; 1 ];
+      Pcell.set cell (Some (Pbox.make ~ty:(Pset.ptype ()) s j)) j);
+  (match Pcell.get cell with
+  | Some b ->
+      let s = Pbox.get b in
+      Alcotest.(check (list int)) "sorted elements" [ 1; 3; 5; 9 ] (Pset.to_list s);
+      check_bool "mem" true (Pset.mem s 5);
+      check_bool "not mem" false (Pset.mem s 6);
+      check_bool "min" true (Pset.min_elt s = Some 1);
+      (match Pset.check s with Ok () -> () | Error e -> Alcotest.fail e)
+  | None -> Alcotest.fail "cell empty");
+  let live () = (P.stats ()).Pool_impl.live_blocks in
+  let before = live () in
+  P.transaction (fun j -> Pcell.set cell None j);
+  (* box + set hdr + 4 nodes *)
+  check_int "cascade through option+box+set" (before - 6) (live ());
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty
+
+(* Pset model check *)
+let qcheck_pset_model =
+  QCheck.Test.make ~name:"pset matches Set under random ops" ~count:40
+    QCheck.(list_of_size Gen.(int_bound 200) (pair (int_bound 80) bool))
+    (fun ops ->
+      let module P = Pool.Make () in
+      P.create ~config:small ();
+      let root =
+        P.root ~ty:(Pset.ptype ()) ~init:(fun j -> Pset.make j) ()
+      in
+      let s = Pbox.get root in
+      let module IS = Set.Make (Int) in
+      let model = ref IS.empty in
+      List.iter
+        (fun (k, ins) ->
+          if ins then begin
+            P.transaction (fun j -> Pset.add s k j);
+            model := IS.add k !model
+          end
+          else begin
+            ignore (P.transaction (fun j -> Pset.remove s k j));
+            model := IS.remove k !model
+          end)
+        ops;
+      (match Pset.check s with Ok () -> () | Error e -> QCheck.Test.fail_report e);
+      Pset.to_list s = IS.elements !model)
+
+let () =
+  Alcotest.run "corundum_composition"
+    [
+      ( "deep-structures",
+        [
+          Alcotest.test_case "vec of maps of strings" `Quick
+            test_vec_of_maps_of_strings;
+          Alcotest.test_case "rc-shared queue" `Quick
+            test_shared_queue_through_rc;
+          Alcotest.test_case "optional boxed set" `Quick test_optional_boxed_set;
+        ] );
+      ("pset", [ QCheck_alcotest.to_alcotest qcheck_pset_model ]);
+    ]

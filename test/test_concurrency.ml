@@ -1,0 +1,202 @@
+(* Multi-domain and multi-pool behaviour: journal slot contention,
+   isolation under concurrent transactions, independent pools in nested
+   transactions, and the dynamic backstops for cross-pool discipline. *)
+
+open Corundum
+
+let small =
+  { Pool_impl.size = 4 * 1024 * 1024; nslots = 2; slot_size = 64 * 1024 }
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* More domains than journal slots: transactions must queue on the slot
+   pool (Condition-based) rather than fail. *)
+let test_slot_contention () =
+  let module P = Pool.Make () in
+  P.create ~config:small () (* 2 slots *);
+  let root =
+    P.root ~ty:(Pmutex.ptype Ptype.int)
+      ~init:(fun _ -> Pmutex.make ~ty:Ptype.int 0)
+      ()
+  in
+  let m = Pbox.get root in
+  let n = 25 in
+  let worker () =
+    for _ = 1 to n do
+      P.transaction (fun j -> Pmutex.with_lock m j succ)
+    done
+  in
+  let domains = List.init 5 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  check_int "all increments with 5 domains on 2 slots" (5 * n)
+    (P.transaction (fun j -> Pmutex.deref (Pmutex.lock m j)))
+
+(* Isolation: while one domain holds the mutex mid-transaction, another
+   domain's read of the guarded cell must not see the uncommitted value. *)
+let test_isolation_under_lock () =
+  let module P = Pool.Make () in
+  P.create ~config:{ small with nslots = 4 } ();
+  let root =
+    P.root ~ty:(Pmutex.ptype Ptype.int)
+      ~init:(fun _ -> Pmutex.make ~ty:Ptype.int 1)
+      ()
+  in
+  let m = Pbox.get root in
+  let in_critical = Atomic.make false in
+  let observed = Atomic.make (-1) in
+  let observer_done = Atomic.make false in
+  let writer () =
+    P.transaction (fun j ->
+        let g = Pmutex.lock m j in
+        Pmutex.deref_set g 999;
+        Atomic.set in_critical true;
+        (* hold the lock until the observer finished its attempt *)
+        while not (Atomic.get observer_done) do
+          Domain.cpu_relax ()
+        done;
+        Pmutex.deref_set g 2)
+  in
+  let observer () =
+    while not (Atomic.get in_critical) do
+      Domain.cpu_relax ()
+    done;
+    (* This blocks until the writer commits (lock held to commit), so the
+       uncommitted 999 is never visible. *)
+    Atomic.set observer_done true;
+    let v = P.transaction (fun j -> Pmutex.deref (Pmutex.lock m j)) in
+    Atomic.set observed v
+  in
+  let w = Domain.spawn writer in
+  let o = Domain.spawn observer in
+  Domain.join w;
+  Domain.join o;
+  check_int "observer sees only the committed value" 2 (Atomic.get observed)
+
+(* Two pools open at once: nested transactions across pools work, data
+   flows between them only by value, and each pool's statistics are
+   independent. *)
+let test_two_pools () =
+  let module P1 = Pool.Make () in
+  let module P2 = Pool.Make () in
+  P1.create ~config:small ();
+  P2.create ~config:small ();
+  let r1 = P1.root ~ty:Ptype.int ~init:(fun _ -> 100) () in
+  let r2 = P2.root ~ty:Ptype.int ~init:(fun _ -> 200) () in
+  (* nested transactions on distinct pools (paper Listing 4's legal part) *)
+  P1.transaction (fun j1 ->
+      P2.transaction (fun j2 ->
+          (* copy BY VALUE from P1 to P2 — the only legal data flow *)
+          Pbox.set r2 (Pbox.get r1 + 1) j2);
+      Pbox.set r1 7 j1);
+  check_int "p1 committed" 7 (Pbox.get r1);
+  check_int "p2 committed" 101 (Pbox.get r2);
+  (* aborting P1's transaction does not disturb committed P2 state *)
+  (try
+     P1.transaction (fun j1 ->
+         Pbox.set r1 0 j1;
+         P2.transaction (fun j2 -> Pbox.set r2 0 j2);
+         failwith "abort p1")
+   with Failure _ -> ());
+  check_int "p1 rolled back" 7 (Pbox.get r1);
+  (* P2's nested tx flattened into... its own pool's tx, which committed
+     independently when its own outermost level (inside the P1 body)
+     returned. *)
+  check_int "p2 keeps its own committed write" 0 (Pbox.get r2);
+  check_int "pools count their own transactions" 2
+    (P1.stats ()).Pool_impl.transactions;
+  P1.close ();
+  (* closing P1 leaves P2 usable *)
+  P2.transaction (fun j2 -> Pbox.set r2 5 j2);
+  check_int "p2 alive after p1 close" 5 (Pbox.get r2);
+  P2.close ()
+
+(* Independent pools written from independent domains concurrently. *)
+let test_parallel_pools () =
+  let mk () =
+    let module P = Pool.Make () in
+    P.create ~config:small ();
+    ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
+    (module P : Pool.S)
+  in
+  let pools = List.init 3 (fun _ -> mk ()) in
+  let work (module P : Pool.S) () =
+    let root = P.root ~ty:Ptype.int ~init:(fun _ -> 0) () in
+    for _ = 1 to 100 do
+      P.transaction (fun j -> Pbox.modify root j succ)
+    done;
+    Pbox.get root
+  in
+  let domains = List.map (fun p -> Domain.spawn (work p)) pools in
+  let totals = List.map Domain.join domains in
+  Alcotest.(check (list int)) "each pool counted alone" [ 100; 100; 100 ] totals
+
+(* The dynamic backstop for the paper's pool-closure hazard: handles into
+   a closed pool fail cleanly rather than reading unmapped memory. *)
+let test_closed_pool_handles () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let root =
+    P.root ~ty:(Pvec.ptype Ptype.int)
+      ~init:(fun j -> Pvec.make ~ty:Ptype.int j)
+      ()
+  in
+  let v = Pbox.get root in
+  P.transaction (fun j -> Pvec.push v 3 j);
+  P.close ();
+  Alcotest.check_raises "vector handle dead" Pool_impl.Pool_closed (fun () ->
+      ignore (Pvec.length v));
+  Alcotest.check_raises "box handle dead" Pool_impl.Pool_closed (fun () ->
+      ignore (Pbox.get root))
+
+let test_pool_inspect_roundtrip () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let root = P.root ~ty:Ptype.int ~init:(fun _ -> 5) () in
+  P.transaction (fun j -> Pbox.set root 6 j);
+  let dev = Pool_impl.device (P.impl ()) in
+  let info = Pool_inspect.inspect_device dev in
+  check_bool "magic" true info.Pool_inspect.magic_ok;
+  check_int "generation" (Pool_impl.generation (P.impl ()))
+    info.Pool_inspect.generation;
+  check_int "root offset agrees" (Pool_impl.root_off (P.impl ()))
+    info.Pool_inspect.root_off;
+  check_int "live blocks agree" (P.stats ()).Pool_impl.live_blocks
+    info.Pool_inspect.live_blocks;
+  check_bool "all slots idle outside tx" true
+    (List.for_all (fun s -> s = Pool_inspect.Idle) info.Pool_inspect.slots);
+  (* a crash image shows the active slot *)
+  Pmem.Device.set_crash_countdown dev 5;
+  (try P.transaction (fun j -> Pbox.set root 9 j)
+   with Pmem.Device.Crashed -> ());
+  Pmem.Device.power_cycle dev;
+  let info = Pool_inspect.inspect_device dev in
+  check_bool "active slot visible in crash image" true
+    (List.exists
+       (function Pool_inspect.Active _ -> true | _ -> false)
+       info.Pool_inspect.slots)
+
+let () =
+  Alcotest.run "corundum_concurrency"
+    [
+      ( "domains",
+        [
+          Alcotest.test_case "journal slot contention" `Slow
+            test_slot_contention;
+          Alcotest.test_case "isolation under lock" `Slow
+            test_isolation_under_lock;
+          Alcotest.test_case "parallel independent pools" `Slow
+            test_parallel_pools;
+        ] );
+      ( "multi-pool",
+        [
+          Alcotest.test_case "two pools, nested txs" `Quick test_two_pools;
+          Alcotest.test_case "closed pool handles" `Quick
+            test_closed_pool_handles;
+        ] );
+      ( "inspect",
+        [
+          Alcotest.test_case "pool_inspect roundtrip" `Quick
+            test_pool_inspect_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+(* Failure-injection sweeps over the typed API: every canned scenario is
+   crashed at (a sample of) its persist points, recovered, and checked for
+   atomicity, heap integrity and leak freedom. *)
+
+let sweep_clean ?limit ?survival_samples name make () =
+  let r = Crashtest.Injector.sweep ?limit ?survival_samples make in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: scenario has persist points" name)
+    true (r.Crashtest.Injector.points > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: crashes were injected" name)
+    true (r.Crashtest.Injector.crashes_injected > 0);
+  if not (Crashtest.Injector.is_clean r) then
+    Alcotest.failf "%s: %s" name
+      (Format.asprintf "%a" Crashtest.Injector.pp_result r)
+
+(* Property: a random sequence of single-op transactions on a persistent
+   vector, crashed at a random persist point, recovers to exactly one of
+   the committed states (a prefix of the history), with an intact,
+   leak-free heap. *)
+let qcheck_random_crash_prefix =
+  let open Corundum in
+  QCheck.Test.make ~name:"random crash recovers to a committed state" ~count:60
+    QCheck.(
+      pair (int_range 1 80)
+        (list_of_size Gen.(int_range 1 15) (int_bound 99)))
+    (fun (crash_at, ops) ->
+      let module P = Pool.Make () in
+      P.create ~config:Crashtest.Scenario.small_config ();
+      let root_ty = Pvec.ptype Ptype.int in
+      let root () =
+        P.root ~ty:root_ty ~init:(fun j -> Pvec.make ~ty:Ptype.int ~capacity:2 j) ()
+      in
+      ignore (root ());
+      let dev = Pool_impl.device (P.impl ()) in
+      (* Apply ops one per transaction.  Every state reached by a committed
+         prefix is acceptable after recovery; additionally, a crash during
+         the commit's own truncation is AFTER the durable commit point, so
+         the state the in-flight op produces is acceptable too. *)
+      let states = ref [ [] ] in
+      let model = ref [] in
+      let next_of v m =
+        if v mod 3 = 0 && m <> [] then
+          List.filteri (fun i _ -> i < List.length m - 1) m
+        else m @ [ v ]
+      in
+      Pmem.Device.set_crash_countdown dev crash_at;
+      (match
+         List.iter
+           (fun v ->
+             let vec = Pbox.get (root ()) in
+             let pending = next_of v !model in
+             states := pending :: !states (* may commit even if we crash *);
+             P.transaction (fun j ->
+                 if v mod 3 = 0 && Pvec.length vec > 0 then
+                   ignore (Pvec.pop vec j)
+                 else Pvec.push vec v j);
+             model := pending;
+             (* only the committed state and the next pending remain valid *)
+             states := [ !model ])
+           ops
+       with
+      | () -> Pmem.Device.set_crash_countdown dev 0
+      | exception Pmem.Device.Crashed -> ());
+      P.crash_and_reopen ();
+      let vec = Pbox.get (root ()) in
+      let now = Pvec.to_list vec in
+      (match Palloc.Heap_walk.check (Pool_impl.buddy (P.impl ())) with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_report m);
+      Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty;
+      List.mem now !states)
+
+(* A crash image written to a file and recovered by a fresh process
+   (fresh device) rolls the in-flight transaction back. *)
+let test_crash_image_file_roundtrip () =
+  let open Corundum in
+  let path = Filename.temp_file "corundum_crash" ".pool" in
+  let module P = Pool.Make () in
+  P.create ~config:Crashtest.Scenario.small_config ~path ();
+  let root = P.root ~ty:Ptype.int ~init:(fun _ -> 1) () in
+  P.transaction (fun j -> Pbox.set root 2 j);
+  let dev = Pool_impl.device (P.impl ()) in
+  (* crash after the undo entry and count are durable (2 persists each)
+     but before commit finishes, so recovery has work to do *)
+  Pmem.Device.set_crash_countdown dev 5;
+  (match P.transaction (fun j -> Pbox.set root 3 j) with
+  | () -> Alcotest.fail "crash did not fire"
+  | exception Pmem.Device.Crashed -> ());
+  (* "the machine lost power": only durable media reaches the file *)
+  Pmem.Device.save dev;
+  let module Q = Pool.Make () in
+  Q.open_file path;
+  Alcotest.(check int) "recovery rolled one tx back" 1
+    (Q.recovery_stats ()).Pjournal.Recovery.rolled_back;
+  let root = Q.root ~ty:Ptype.int ~init:(fun _ -> 0) () in
+  Alcotest.(check int) "in-flight tx rolled back" 2 (Pbox.get root);
+  Q.close ();
+  Sys.remove path
+
+let () =
+  Alcotest.run "corundum_crash"
+    [
+      ( "sweeps",
+        [
+          Alcotest.test_case "counter (exhaustive)" `Slow
+            (sweep_clean "counter" (fun () -> Crashtest.Scenario.counter ()));
+          Alcotest.test_case "list append (exhaustive)" `Slow
+            (sweep_clean "list_append" (fun () ->
+                 Crashtest.Scenario.list_append ()));
+          Alcotest.test_case "rc sharing (exhaustive)" `Slow
+            (sweep_clean "rc_sharing" (fun () -> Crashtest.Scenario.rc_sharing ()));
+          Alcotest.test_case "vec ops (exhaustive)" `Slow
+            (sweep_clean "vec_ops" (fun () -> Crashtest.Scenario.vec_ops ()));
+          Alcotest.test_case "transfers (sampled)" `Slow
+            (sweep_clean ~limit:60 "transfer" (fun () ->
+                 Crashtest.Scenario.transfer ()));
+          Alcotest.test_case "queue ops (exhaustive)" `Slow
+            (sweep_clean "queue_ops" (fun () -> Crashtest.Scenario.queue_ops ()));
+          Alcotest.test_case "log-free counter (exhaustive)" `Slow
+            (sweep_clean "logfree_counter" (fun () ->
+                 Crashtest.Scenario.logfree_counter ()));
+          Alcotest.test_case "map rotations (exhaustive)" `Slow
+            (sweep_clean "map_rotations" (fun () ->
+                 Crashtest.Scenario.map_rotations ()));
+          Alcotest.test_case "btree ops (sampled)" `Slow
+            (sweep_clean ~limit:150 "btree_ops" (fun () ->
+                 Crashtest.Scenario.btree_ops ()));
+          Alcotest.test_case "vec ops x3 survival samples" `Slow
+            (sweep_clean ~survival_samples:3 "vec_ops_samples" (fun () ->
+                 Crashtest.Scenario.vec_ops ()));
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_random_crash_prefix;
+          Alcotest.test_case "crash image file roundtrip" `Quick
+            test_crash_image_file_roundtrip;
+        ] );
+    ]

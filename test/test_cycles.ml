@@ -1,0 +1,161 @@
+(* The paper's acknowledged limitation (§3.9, "Cyclic References"):
+   reference counting leaks cycles, and for persistent memory the leak is
+   permanent.  These tests pin the behaviour down: a strong cycle leaks
+   and the reachability checker reports it; breaking the back-edge with a
+   persistent weak reference (the documented idiom) reclaims everything. *)
+
+open Corundum
+
+let small =
+  { Pool_impl.size = 2 * 1024 * 1024; nslots = 2; slot_size = 64 * 1024 }
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A node that can point strongly at a peer. *)
+module Strong (P : Pool.S) = struct
+  type node = { label : int; peer : (peer_link, P.brand) Pcell.t }
+  and peer_link = (node, P.brand) Prc.t option
+
+  let rec node_ty_l : (node, P.brand) Ptype.t Lazy.t =
+    lazy
+      (Ptype.record2 ~name:"cycle-node"
+         ~inj:(fun label peer -> { label; peer })
+         ~proj:(fun n -> (n.label, n.peer))
+         Ptype.int
+         (Pcell.ptype (Ptype.option (Prc.ptype_rec node_ty_l))))
+
+  let node_ty = Lazy.force node_ty_l
+  let link_ty = Ptype.option (Prc.ptype_rec node_ty_l)
+
+  let fresh label j =
+    Prc.make ~ty:node_ty { label; peer = Pcell.make ~ty:link_ty None } j
+end
+
+let test_strong_cycle_leaks () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let module N = Strong (P) in
+  ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
+  let live () = (P.stats ()).Pool_impl.live_blocks in
+  let baseline = live () in
+  P.transaction (fun j ->
+      let a = N.fresh 1 j in
+      let b = N.fresh 2 j in
+      (* a -> b and b -> a, both strong: each keeps the other alive *)
+      Pcell.set (Prc.get a).N.peer (Some (Prc.pclone b j)) j;
+      Pcell.set (Prc.get b).N.peer (Some (Prc.pclone a j)) j;
+      (* drop our own handles: the cycle now holds itself *)
+      Prc.drop a j;
+      Prc.drop b j);
+  (* the blocks are still allocated — the permanent leak the paper
+     warns about *)
+  check_int "cycle blocks still live" (baseline + 2) (live ());
+  let report = Crashtest.Leak_check.analyze (P.impl ()) ~root_ty:Ptype.int in
+  check_bool "checker reports the leak" false
+    (Crashtest.Leak_check.is_clean report);
+  check_int "exactly the two cycle nodes" 2
+    (List.length report.Crashtest.Leak_check.leaked)
+
+let test_weak_backedge_reclaims () =
+  (* The documented idiom: forward edge strong, back edge weak. *)
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let module N = struct
+    type node = {
+      label : int;
+      next : (next_link, P.brand) Pcell.t;
+      prev : (prev_link, P.brand) Pcell.t;
+    }
+
+    and next_link = (node, P.brand) Prc.t option
+    and prev_link = (node, P.brand) Prc.weak option
+
+    let rec node_ty_l : (node, P.brand) Ptype.t Lazy.t =
+      lazy
+        (Ptype.record3 ~name:"weak-cycle-node"
+           ~inj:(fun label next prev -> { label; next; prev })
+           ~proj:(fun n -> (n.label, n.next, n.prev))
+           Ptype.int
+           (Pcell.ptype (Ptype.option (Prc.ptype_rec node_ty_l)))
+           (Pcell.ptype (Ptype.option (Prc.weak_ptype_rec node_ty_l))))
+
+    let node_ty = Lazy.force node_ty_l
+    let next_ty = Ptype.option (Prc.ptype_rec node_ty_l)
+    let prev_ty = Ptype.option (Prc.weak_ptype_rec node_ty_l)
+
+    let fresh label j =
+      Prc.make ~ty:node_ty
+        {
+          label;
+          next = Pcell.make ~ty:next_ty None;
+          prev = Pcell.make ~ty:prev_ty None;
+        }
+        j
+  end in
+  let root_ty = Pcell.ptype N.next_ty in
+  let root =
+    P.root ~ty:root_ty ~init:(fun _ -> Pcell.make ~ty:N.next_ty None) ()
+  in
+  let live () = (P.stats ()).Pool_impl.live_blocks in
+  let baseline = live () in
+  P.transaction (fun j ->
+      let a = N.fresh 1 j in
+      let b = N.fresh 2 j in
+      (* a.next -> b (strong); b.prev -> a (weak) *)
+      Pcell.set (Prc.get a).N.next (Some (Prc.pclone b j)) j;
+      Pcell.set (Prc.get b).N.prev (Some (Prc.downgrade a j)) j;
+      Pcell.set (Pbox.get root) (Some a) j;
+      Prc.drop b j);
+  check_int "doubly-linked pair lives" (baseline + 2) (live ());
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty;
+  (* navigate backwards through the weak edge *)
+  P.transaction (fun j ->
+      match Pcell.get (Pbox.get root) with
+      | Some a -> (
+          match Pcell.get (Prc.get a).N.next with
+          | Some b -> (
+              match Pcell.get (Prc.get b).N.prev with
+              | Some back -> (
+                  match Prc.upgrade back j with
+                  | Some a' ->
+                      check_int "weak back edge navigates" 1 (Prc.get a').N.label;
+                      Prc.drop a' j
+                  | None -> Alcotest.fail "upgrade failed")
+              | None -> Alcotest.fail "no back edge")
+          | None -> Alcotest.fail "no forward edge")
+      | None -> Alcotest.fail "no root");
+  (* unhook from the root: the WHOLE pair reclaims — no cycle, no leak *)
+  P.transaction (fun j -> Pcell.set (Pbox.get root) None j);
+  check_int "everything reclaimed" baseline (live ());
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty
+
+let test_self_reference_leaks () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let module N = Strong (P) in
+  ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
+  let live () = (P.stats ()).Pool_impl.live_blocks in
+  let baseline = live () in
+  P.transaction (fun j ->
+      let a = N.fresh 1 j in
+      (* a -> a *)
+      Pcell.set (Prc.get a).N.peer (Some (Prc.pclone a j)) j;
+      Prc.drop a j);
+  check_int "self-cycle leaks" (baseline + 1) (live ());
+  let report = Crashtest.Leak_check.analyze (P.impl ()) ~root_ty:Ptype.int in
+  check_int "one orphan" 1 (List.length report.Crashtest.Leak_check.leaked)
+
+let () =
+  Alcotest.run "corundum_cycles"
+    [
+      ( "cycles",
+        [
+          Alcotest.test_case "strong cycle leaks (paper 3.9)" `Quick
+            test_strong_cycle_leaks;
+          Alcotest.test_case "weak back-edge reclaims" `Quick
+            test_weak_backedge_reclaims;
+          Alcotest.test_case "self reference leaks" `Quick
+            test_self_reference_leaks;
+        ] );
+    ]

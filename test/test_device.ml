@@ -1,0 +1,324 @@
+(* Tests for the simulated PM device: cache model, persistence primitives,
+   crash semantics, file backing and accounting. *)
+
+module D = Pmem.Device
+
+let mk ?(size = 64 * 1024) ?latency ?path () = D.create ?latency ?path ~size ()
+
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+
+let test_roundtrip () =
+  let d = mk () in
+  D.write_u8 d 0 0xAB;
+  check_int "u8" 0xAB (D.read_u8 d 0);
+  D.write_u32 d 4 0xDEADBEEF;
+  check_int "u32" 0xDEADBEEF (D.read_u32 d 4);
+  D.write_u64 d 8 0x1122334455667788L;
+  check_i64 "u64" 0x1122334455667788L (D.read_u64 d 8);
+  D.write_bytes d 100 (Bytes.of_string "hello");
+  Alcotest.(check string) "bytes" "hello" (D.read_string d 100 5);
+  D.write_string d 200 "world";
+  Alcotest.(check string) "string" "world" (D.read_string d 200 5);
+  D.fill d 300 10 'x';
+  Alcotest.(check string) "fill" "xxxxxxxxxx" (D.read_string d 300 10);
+  D.copy_within d ~src:100 ~dst:400 ~len:5;
+  Alcotest.(check string) "copy_within" "hello" (D.read_string d 400 5)
+
+let test_bounds () =
+  let d = mk ~size:128 () in
+  let must_fail f =
+    Alcotest.match_raises "out of range"
+      (function Invalid_argument _ -> true | _ -> false)
+      f
+  in
+  must_fail (fun () -> ignore (D.read_u8 d 128));
+  must_fail (fun () -> ignore (D.read_u64 d 121));
+  must_fail (fun () -> D.write_u8 d (-1) 0);
+  must_fail (fun () -> D.write_u64 d 125 0L);
+  must_fail (fun () -> ignore (D.read_bytes d 120 9));
+  must_fail (fun () -> D.flush d 120 9)
+
+let test_unflushed_lost () =
+  let d = mk () in
+  D.write_u64 d 0 42L;
+  D.power_cycle d;
+  check_i64 "unflushed store lost" 0L (D.read_u64 d 0)
+
+let test_persist_durable () =
+  let d = mk () in
+  D.write_u64 d 0 42L;
+  D.persist d 0 8;
+  D.power_cycle d;
+  check_i64 "persisted store survives" 42L (D.read_u64 d 0)
+
+let test_flush_no_fence_uncertain () =
+  let d = mk () in
+  D.write_u64 d 0 42L;
+  D.flush d 0 8;
+  (* Flushed but unfenced: may or may not survive; must be one or other. *)
+  D.power_cycle d;
+  let v = D.read_u64 d 0 in
+  Alcotest.(check bool) "flushed-unfenced is 0 or 42" true (v = 0L || v = 42L)
+
+let test_snapshot_semantics () =
+  (* clflushopt writes back the value at flush time; later stores to the
+     same line are independent. *)
+  let d = mk () in
+  D.write_u64 d 0 1L;
+  D.flush d 0 8;
+  D.write_u64 d 0 2L;
+  D.fence d;
+  check_i64 "view sees latest" 2L (D.read_u64 d 0);
+  D.power_cycle d;
+  check_i64 "media has flush-time snapshot" 1L (D.read_u64 d 0)
+
+let test_fence_only_drains_flushed () =
+  let d = mk () in
+  D.write_u64 d 0 7L;
+  D.fence d;
+  D.power_cycle d;
+  check_i64 "fence without flush persists nothing" 0L (D.read_u64 d 0)
+
+let test_crash_countdown () =
+  let d = mk () in
+  D.write_u64 d 0 9L;
+  D.set_crash_countdown d 2;
+  D.flush d 0 8;
+  (* next persist point crashes *)
+  Alcotest.check_raises "crashes at scheduled point" D.Crashed (fun () ->
+      D.fence d);
+  Alcotest.(check bool) "is_crashed" true (D.is_crashed d);
+  Alcotest.check_raises "all ops fail after crash" D.Crashed (fun () ->
+      ignore (D.read_u8 d 0));
+  Alcotest.check_raises "stores fail after crash" D.Crashed (fun () ->
+      D.write_u8 d 0 1);
+  D.power_cycle d;
+  let v = D.read_u64 d 0 in
+  (* The flush happened, the fence did not: value is in-WPQ at crash. *)
+  Alcotest.(check bool) "WPQ line randomly survives" true (v = 0L || v = 9L);
+  (* device works again *)
+  D.write_u64 d 8 1L;
+  D.persist d 8 8
+
+let test_crash_before_first_point () =
+  let d = mk () in
+  D.set_crash_countdown d 1;
+  D.write_u64 d 0 5L;
+  Alcotest.check_raises "crashes at first flush" D.Crashed (fun () ->
+      D.flush d 0 8);
+  D.power_cycle d;
+  check_i64 "crashing flush has no effect" 0L (D.read_u64 d 0)
+
+let test_persist_points_counter () =
+  let d = mk () in
+  let p0 = D.persist_points d in
+  D.write_u64 d 0 1L;
+  D.persist d 0 8;
+  check_int "two persist points per persist" (p0 + 2) (D.persist_points d)
+
+let test_save_load () =
+  let path = Filename.temp_file "corundum" ".pool" in
+  let d = mk ~size:4096 ~path () in
+  D.write_u64 d 16 77L;
+  D.persist d 16 8;
+  D.write_u64 d 24 88L (* not persisted: must not be saved *);
+  D.save d;
+  let d2 = D.load path in
+  check_i64 "persisted data round-trips" 77L (D.read_u64 d2 16);
+  check_i64 "unpersisted data is not saved" 0L (D.read_u64 d2 24);
+  check_int "size restored" 4096 (D.size d2);
+  Sys.remove path
+
+let test_save_without_path () =
+  let d = mk () in
+  Alcotest.match_raises "no path"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> D.save d)
+
+let test_stats_and_time () =
+  let d = mk ~latency:Pmem.Latency.optane () in
+  D.reset_stats d;
+  let t0 = D.simulated_ns d in
+  Alcotest.(check (float 0.001)) "reset time zero" 0.0 t0;
+  D.write_u64 d 0 1L;
+  D.persist d 0 8;
+  ignore (D.read_u64 d 0);
+  let s = D.stats d in
+  check_int "loads" 1 s.D.loads;
+  check_int "stores" 1 s.D.stores;
+  check_int "flushes" 1 s.D.flushes;
+  check_int "fences" 1 s.D.fences;
+  check_int "fence_lines" 1 s.D.fence_lines;
+  check_int "flush calls" 1 s.D.flush_calls;
+  let m = Pmem.Latency.optane in
+  let expect =
+    m.Pmem.Latency.read_ns +. m.Pmem.Latency.write_ns +. m.Pmem.Latency.flush_ns
+    +. m.Pmem.Latency.fence_base_ns +. m.Pmem.Latency.fence_per_line_ns
+  in
+  Alcotest.(check (float 0.001)) "simulated time formula" expect (D.simulated_ns d);
+  D.charge_ns d 100;
+  Alcotest.(check (float 0.001)) "charge_ns" (expect +. 100.0) (D.simulated_ns d)
+
+let test_latency_presets () =
+  Alcotest.(check bool) "optane by name" true
+    (Pmem.Latency.by_name "optane" = Some Pmem.Latency.optane);
+  Alcotest.(check bool) "unknown name" true (Pmem.Latency.by_name "nope" = None);
+  Alcotest.(check bool) "optane slower than dram on fence drains" true
+    Pmem.Latency.(optane.fence_per_line_ns > dram.fence_per_line_ns)
+
+let test_power_cycle_without_crash_drops_cache () =
+  (* A clean restart has the same volatile-loss semantics. *)
+  let d = mk () in
+  D.write_u64 d 0 3L;
+  D.persist d 0 8;
+  D.write_u64 d 8 4L;
+  D.power_cycle d;
+  check_i64 "persisted kept" 3L (D.read_u64 d 0);
+  check_i64 "cached dropped" 0L (D.read_u64 d 8)
+
+let test_size_rounding () =
+  let d = mk ~size:100 () in
+  check_int "rounded up to line multiple" 128 (D.size d)
+
+let test_flush_spanning_lines () =
+  let d = mk () in
+  D.write_bytes d 60 (Bytes.make 8 '\xFF') (* spans lines 0 and 1 *);
+  D.persist d 60 8;
+  D.power_cycle d;
+  Alcotest.(check string) "both lines durable"
+    (String.make 8 '\xFF')
+    (D.read_string d 60 8)
+
+let qcheck_persisted_survives =
+  QCheck.Test.make ~name:"persisted writes always survive power cycles"
+    ~count:100
+    QCheck.(small_list (pair (int_bound 1000) (int_bound 255)))
+    (fun writes ->
+      let d = mk ~size:2048 () in
+      List.iter
+        (fun (off, v) ->
+          D.write_u8 d off v;
+          D.persist d off 1)
+        writes;
+      D.power_cycle d;
+      (* last write to each offset wins *)
+      let expected = Hashtbl.create 16 in
+      List.iter (fun (off, v) -> Hashtbl.replace expected off v) writes;
+      Hashtbl.fold (fun off v acc -> acc && D.read_u8 d off = v) expected true)
+
+(* Model-based persistence check: replay a random program of stores,
+   flushes and fences against a simple model of durable state.  After a
+   power cycle, a byte whose last store was followed by flush+fence must
+   hold that store; a byte never flushed since its last store must hold
+   its last DURABLE value.  Bytes in the flushed-but-unfenced window may
+   hold either, and the test accepts both. *)
+let qcheck_model_based =
+  let module IM = Map.Make (Int) in
+  QCheck.Test.make ~name:"device matches persistence model" ~count:150
+    QCheck.(
+      list_of_size Gen.(int_bound 80)
+        (oneof
+           [
+             map
+               (fun (o, v) -> `Store (o, v))
+               (pair (int_bound 511) (int_bound 255));
+             map (fun o -> `Flush o) (int_bound 511);
+             always `Fence;
+           ]))
+    (fun program ->
+      let d = mk ~size:512 () in
+      (* model state per byte: durable value, pending (flushed unfenced)
+         value option, cached value *)
+      let durable = ref IM.empty
+      and pending = ref IM.empty (* line -> snapshot of cached values *)
+      and cached = ref IM.empty in
+      let line_of o = o / 64 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Store (o, v) ->
+              D.write_u8 d o v;
+              cached := IM.add o v !cached
+          | `Flush o ->
+              D.flush d o 1;
+              (* snapshot the cached bytes of this line *)
+              let l = line_of o in
+              let snap =
+                IM.filter (fun o' _ -> line_of o' = l) !cached
+              in
+              if not (IM.is_empty snap) then
+                pending := IM.add l snap !pending
+          | `Fence ->
+              D.fence d;
+              IM.iter
+                (fun _ snap ->
+                  IM.iter (fun o v -> durable := IM.add o v !durable) snap)
+                !pending;
+              pending := IM.empty)
+        program;
+      D.power_cycle d;
+      (* every byte must now match durable, OR a pending snapshot value *)
+      let ok = ref true in
+      for o = 0 to 511 do
+        let got = D.read_u8 d o in
+        let want_durable = Option.value ~default:0 (IM.find_opt o !durable) in
+        let want_pending =
+          Option.bind (IM.find_opt (line_of o) !pending) (IM.find_opt o)
+        in
+        let acceptable =
+          got = want_durable
+          || match want_pending with Some v -> got = v | None -> false
+        in
+        if not acceptable then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "pmem_device"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "size rounding" `Quick test_size_rounding;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "unflushed lost" `Quick test_unflushed_lost;
+          Alcotest.test_case "persist durable" `Quick test_persist_durable;
+          Alcotest.test_case "flush w/o fence uncertain" `Quick
+            test_flush_no_fence_uncertain;
+          Alcotest.test_case "flush snapshots line" `Quick test_snapshot_semantics;
+          Alcotest.test_case "fence only drains flushed" `Quick
+            test_fence_only_drains_flushed;
+          Alcotest.test_case "restart drops cache" `Quick
+            test_power_cycle_without_crash_drops_cache;
+          Alcotest.test_case "flush spanning lines" `Quick
+            test_flush_spanning_lines;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "countdown" `Quick test_crash_countdown;
+          Alcotest.test_case "crash before first point" `Quick
+            test_crash_before_first_point;
+          Alcotest.test_case "persist point counter" `Quick
+            test_persist_points_counter;
+        ] );
+      ( "file",
+        [
+          Alcotest.test_case "save/load" `Quick test_save_load;
+          Alcotest.test_case "save without path" `Quick test_save_without_path;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "stats and simulated time" `Quick
+            test_stats_and_time;
+          Alcotest.test_case "latency presets" `Quick test_latency_presets;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest qcheck_persisted_survives;
+          QCheck_alcotest.to_alcotest qcheck_model_based;
+        ] );
+    ]

@@ -1,0 +1,474 @@
+(* Tests for the library extensions beyond the paper's core API: the
+   persistent FIFO queue and the log-free (Punsafe) operations the paper
+   lists as future work. *)
+
+open Corundum
+
+let small =
+  { Pool_impl.size = 2 * 1024 * 1024; nslots = 2; slot_size = 64 * 1024 }
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let queue_root (type b) (module P : Pool.S with type brand = b) () =
+  P.root
+    ~ty:(Pqueue.ptype Ptype.int)
+    ~init:(fun j -> Pqueue.make ~ty:Ptype.int ~capacity:4 j)
+    ()
+
+let test_pqueue_fifo () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let q = Pbox.get (queue_root (module P) ()) in
+  check_bool "fresh empty" true (Pqueue.is_empty q);
+  P.transaction (fun j ->
+      for i = 1 to 5 do
+        Pqueue.push q i j
+      done);
+  check_int "length" 5 (Pqueue.length q);
+  Alcotest.(check (option int)) "peek is front" (Some 1) (Pqueue.peek q);
+  Alcotest.(check (list int)) "front-to-back order" [ 1; 2; 3; 4; 5 ]
+    (Pqueue.to_list q);
+  P.transaction (fun j ->
+      check_bool "pop front" true (Pqueue.pop q j = Some 1);
+      check_bool "pop next" true (Pqueue.pop q j = Some 2));
+  check_int "shrunk" 3 (Pqueue.length q)
+
+let test_pqueue_wraparound () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let q = Pbox.get (queue_root (module P) ()) in
+  (* Cycle through many pushes/pops with length < capacity so the head
+     index wraps repeatedly. *)
+  let model = Queue.create () in
+  let rng = Random.State.make [| 77 |] in
+  P.transaction (fun j ->
+      for i = 1 to 200 do
+        if Random.State.bool rng || Queue.is_empty model then begin
+          Pqueue.push q i j;
+          Queue.add i model
+        end
+        else begin
+          let expected = Queue.pop model in
+          match Pqueue.pop q j with
+          | Some v -> check_int "fifo under wraparound" expected v
+          | None -> Alcotest.fail "queue empty but model is not"
+        end
+      done);
+  Alcotest.(check (list int))
+    "tail contents agree" (List.of_seq (Queue.to_seq model))
+    (Pqueue.to_list q)
+
+let test_pqueue_growth_preserves_order () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let q = Pbox.get (queue_root (module P) ()) in
+  P.transaction (fun j ->
+      (* shift the head first so growth must linearize a wrapped ring *)
+      for i = 1 to 3 do
+        Pqueue.push q i j
+      done;
+      ignore (Pqueue.pop q j);
+      ignore (Pqueue.pop q j);
+      for i = 4 to 20 do
+        Pqueue.push q i j
+      done);
+  Alcotest.(check (list int))
+    "order after growth" (List.init 18 (fun i -> i + 3))
+    (Pqueue.to_list q);
+  check_bool "capacity grew" true (Pqueue.capacity q >= 18)
+
+let test_pqueue_crash_survival () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let q = Pbox.get (queue_root (module P) ()) in
+  P.transaction (fun j ->
+      for i = 1 to 7 do
+        Pqueue.push q (i * 11) j
+      done);
+  P.crash_and_reopen ();
+  let q = Pbox.get (queue_root (module P) ()) in
+  Alcotest.(check (list int))
+    "contents survive crash"
+    (List.init 7 (fun i -> (i + 1) * 11))
+    (Pqueue.to_list q);
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Pqueue.ptype Ptype.int)
+
+let test_pqueue_clear_drop_leakfree () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let ty = Pqueue.ptype (Pstring.ptype ()) in
+  let root =
+    P.root ~ty ~init:(fun j -> Pqueue.make ~ty:(Pstring.ptype ()) j) ()
+  in
+  let q = Pbox.get root in
+  P.transaction (fun j ->
+      List.iter (fun s -> Pqueue.push q (Pstring.make s j) j) [ "a"; "bb"; "ccc" ]);
+  P.transaction (fun j -> Pqueue.clear q j);
+  check_int "cleared" 0 (Pqueue.length q);
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:ty
+
+let qcheck_pqueue_model =
+  QCheck.Test.make ~name:"pqueue matches Queue under random ops" ~count:50
+    QCheck.(list_of_size Gen.(int_bound 200) (pair bool small_nat))
+    (fun ops ->
+      let module P = Pool.Make () in
+      P.create ~config:small ();
+      let q = Pbox.get (queue_root (module P) ()) in
+      let model = Queue.create () in
+      List.iter
+        (fun (push, v) ->
+          if push then begin
+            P.transaction (fun j -> Pqueue.push q v j);
+            Queue.add v model
+          end
+          else begin
+            let got = P.transaction (fun j -> Pqueue.pop q j) in
+            let expect =
+              if Queue.is_empty model then None else Some (Queue.pop model)
+            in
+            if got <> expect then QCheck.Test.fail_report "fifo order broken"
+          end)
+        ops;
+      Pqueue.to_list q = List.of_seq (Queue.to_seq model))
+
+(* --- Punsafe: log-free operations -------------------------------------- *)
+
+let cell_root (type b) (module P : Pool.S with type brand = b) () =
+  P.root
+    ~ty:(Pcell.ptype Ptype.int)
+    ~init:(fun _ -> Pcell.make ~ty:Ptype.int 100)
+    ()
+
+let test_atomic_set_bypasses_rollback () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let c = Pbox.get (cell_root (module P) ()) in
+  (try
+     P.transaction (fun j ->
+         Punsafe.atomic_set c 200 j;
+         failwith "abort")
+   with Failure _ -> ());
+  (* Unsafe means unsafe: the aborted transaction does NOT restore it. *)
+  check_int "log-free write survives rollback" 200 (Pcell.get c)
+
+let test_atomic_set_crash_durable () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let c = Pbox.get (cell_root (module P) ()) in
+  P.transaction (fun j -> Punsafe.atomic_set c 300 j);
+  P.crash_and_reopen ();
+  let c = Pbox.get (cell_root (module P) ()) in
+  check_int "atomic_set is immediately durable" 300 (Pcell.get c)
+
+let test_unlogged_set_lost_without_persist () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let c = Pbox.get (cell_root (module P) ()) in
+  P.transaction (fun j -> Punsafe.unlogged_set c 400 j);
+  check_int "visible in cache" 400 (Pcell.get c);
+  P.crash_and_reopen ();
+  let c = Pbox.get (cell_root (module P) ()) in
+  check_int "unflushed log-free write lost on crash" 100 (Pcell.get c)
+
+let test_unlogged_set_with_persist_durable () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let c = Pbox.get (cell_root (module P) ()) in
+  P.transaction (fun j ->
+      Punsafe.unlogged_set c 500 j;
+      Punsafe.flush c j;
+      Punsafe.fence j);
+  P.crash_and_reopen ();
+  let c = Pbox.get (cell_root (module P) ()) in
+  check_int "explicitly ordered write durable" 500 (Pcell.get c)
+
+let test_atomic_set_rejects_wide_types () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let ty = Pcell.ptype (Ptype.pair Ptype.int Ptype.int) in
+  let root =
+    P.root ~ty
+      ~init:(fun _ -> Pcell.make ~ty:(Ptype.pair Ptype.int Ptype.int) (1, 2))
+      ()
+  in
+  P.transaction (fun j ->
+      Alcotest.match_raises "16-byte atomic store rejected"
+        (function Invalid_argument _ -> true | _ -> false)
+        (fun () -> Punsafe.atomic_set (Pbox.get root) (3, 4) j))
+
+let test_punsafe_requires_placed_cell () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
+  let seed = Pcell.make ~ty:Ptype.int 1 in
+  P.transaction (fun j ->
+      Alcotest.match_raises "seed rejected"
+        (function Invalid_argument _ -> true | _ -> false)
+        (fun () -> Punsafe.atomic_set seed 2 j))
+
+(* --- Ptype.either ------------------------------------------------------ *)
+
+let test_either_roundtrip () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let ty = Ptype.either Ptype.int (Ptype.fixed_string 16) in
+  P.transaction (fun j ->
+      let l = Pbox.make ~ty (Either.Left 42) j in
+      let r = Pbox.make ~ty (Either.Right "hello") j in
+      check_bool "left roundtrip" true (Pbox.get l = Either.Left 42);
+      check_bool "right roundtrip" true (Pbox.get r = Either.Right "hello");
+      Pbox.set l (Either.Right "swap") j;
+      check_bool "cross-arm set" true (Pbox.get l = Either.Right "swap");
+      Pbox.drop l j;
+      Pbox.drop r j);
+  check_int "no stray blocks" 0 (P.stats ()).Pool_impl.live_blocks
+
+let test_either_drops_correct_arm () =
+  (* A pointer in one arm must be released when overwritten, and the tag
+     must select the right drop. *)
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let ty = Ptype.either (Pbox.ptype Ptype.int) Ptype.int in
+  let root =
+    P.root ~ty:(Pcell.ptype ty)
+      ~init:(fun _ -> Pcell.make ~ty (Either.Right 0))
+      ()
+  in
+  let live () = (P.stats ()).Pool_impl.live_blocks in
+  let baseline = live () in
+  P.transaction (fun j ->
+      let inner = Pbox.make ~ty:Ptype.int 1 j in
+      Pcell.set (Pbox.get root) (Either.Left inner) j);
+  check_int "arm holds a block" (baseline + 1) (live ());
+  P.transaction (fun j -> Pcell.set (Pbox.get root) (Either.Right 9) j);
+  check_int "switching arms releases the pointee" baseline (live ());
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Pcell.ptype ty)
+
+(* --- Vindex: volatile index over persistent objects --------------------- *)
+
+let test_vindex_basics () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let shelf_ty = Pvec.ptype (Prc.ptype Ptype.int) in
+  let root =
+    P.root ~ty:shelf_ty ~init:(fun j -> Pvec.make ~ty:(Prc.ptype Ptype.int) j) ()
+  in
+  let shelf = Pbox.get root in
+  let idx : (string, int, P.brand) Vindex.t = Vindex.create () in
+  P.transaction (fun j ->
+      let rc = Prc.make ~ty:Ptype.int 7 j in
+      Vindex.add idx "seven" rc j;
+      Pvec.push shelf rc j (* the shelf owns it *));
+  check_int "indexed" 1 (Vindex.length idx);
+  P.transaction (fun j ->
+      match Vindex.find idx "seven" j with
+      | Some rc ->
+          check_int "hit returns the object" 7 (Prc.get rc);
+          Prc.drop rc j (* release the promote's count *)
+      | None -> Alcotest.fail "index miss on live object");
+  check_bool "miss on unknown key" true
+    (P.transaction (fun j -> Vindex.find idx "eight" j) = None)
+
+let test_vindex_death_and_eviction () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let shelf_ty = Pvec.ptype (Prc.ptype Ptype.int) in
+  let root =
+    P.root ~ty:shelf_ty ~init:(fun j -> Pvec.make ~ty:(Prc.ptype Ptype.int) j) ()
+  in
+  let shelf = Pbox.get root in
+  let idx : (int, int, P.brand) Vindex.t = Vindex.create () in
+  P.transaction (fun j ->
+      for i = 0 to 4 do
+        let rc = Prc.make ~ty:Ptype.int i j in
+        Vindex.add idx i rc j;
+        Pvec.push shelf rc j
+      done);
+  (* kill two objects *)
+  P.transaction (fun j ->
+      (match Pvec.pop shelf j with Some rc -> Prc.drop rc j | None -> ());
+      match Pvec.pop shelf j with Some rc -> Prc.drop rc j | None -> ());
+  P.transaction (fun j ->
+      check_bool "dead entry misses" true (Vindex.find idx 4 j = None));
+  check_int "miss self-evicted" 4 (Vindex.length idx);
+  let evicted = P.transaction (fun j -> Vindex.evict_dead idx j) in
+  check_int "sweep evicts the other corpse" 1 evicted;
+  check_int "live entries remain" 3 (Vindex.length idx);
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:shelf_ty
+
+let test_vindex_find_or_rebuilds () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let shelf_ty = Pvec.ptype (Prc.ptype Ptype.int) in
+  let root =
+    P.root ~ty:shelf_ty ~init:(fun j -> Pvec.make ~ty:(Prc.ptype Ptype.int) j) ()
+  in
+  let shelf = Pbox.get root in
+  P.transaction (fun j ->
+      let rc = Prc.make ~ty:Ptype.int 99 j in
+      Pvec.push shelf rc j);
+  let idx : (string, int, P.brand) Vindex.t = Vindex.create () in
+  let loads = ref 0 in
+  let lookup j =
+    Vindex.find_or idx "it" j ~load:(fun () ->
+        incr loads;
+        (* walk the persistent structure: clone out of the shelf *)
+        if Pvec.length shelf > 0 then
+          Some (P.transaction (fun j -> Prc.pclone (Pvec.get shelf 0) j))
+        else None)
+  in
+  P.transaction (fun j ->
+      match lookup j with
+      | Some rc -> check_int "loaded" 99 (Prc.get rc)
+      | None -> Alcotest.fail "load failed");
+  P.transaction (fun j ->
+      match lookup j with
+      | Some rc ->
+          check_int "cached" 99 (Prc.get rc);
+          Prc.drop rc j
+      | None -> Alcotest.fail "cache+load failed");
+  check_int "loader ran once" 1 !loads
+
+(* --- Vindex.Arc: the Parc instance of the volatile index ---------------- *)
+
+let test_vindex_arc () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let shelf_ty = Pvec.ptype (Parc.ptype Ptype.int) in
+  let root =
+    P.root ~ty:shelf_ty ~init:(fun j -> Pvec.make ~ty:(Parc.ptype Ptype.int) j) ()
+  in
+  let shelf = Pbox.get root in
+  let idx : (string, int, P.brand) Vindex.Arc.t = Vindex.Arc.create () in
+  P.transaction (fun j ->
+      let rc = Parc.make ~ty:Ptype.int 21 j in
+      Vindex.Arc.add idx "x" rc j;
+      Pvec.push shelf rc j);
+  P.transaction (fun j ->
+      match Vindex.Arc.find idx "x" j with
+      | Some rc ->
+          check_int "arc hit" 21 (Parc.get rc);
+          Parc.drop rc j
+      | None -> Alcotest.fail "arc index miss");
+  (* kill the object; the arc index must miss safely *)
+  P.transaction (fun j ->
+      match Pvec.pop shelf j with
+      | Some rc -> Parc.drop rc j
+      | None -> ());
+  P.transaction (fun j ->
+      check_bool "dead arc entry misses" true (Vindex.Arc.find idx "x" j = None))
+
+(* --- recursive containers: an n-ary tree of Pvec<Pbox<node>> ----------- *)
+
+let test_nary_tree_recursion () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let module T = struct
+    type node = {
+      tag : int;
+      children : (((node, P.brand) Pbox.t, P.brand) Pvec.t, P.brand) Pcell.t;
+    }
+
+    let rec node_ty_l : (node, P.brand) Ptype.t Lazy.t =
+      lazy
+        (Ptype.record2 ~name:"nary-node"
+           ~inj:(fun tag children -> { tag; children })
+           ~proj:(fun n -> (n.tag, n.children))
+           Ptype.int
+           (Pcell.ptype (Pvec.ptype_rec (lazy (Pbox.ptype_rec node_ty_l)))))
+
+    let node_ty = Lazy.force node_ty_l
+  end in
+  let open T in
+  let root =
+    P.root ~ty:node_ty
+      ~init:(fun j ->
+        {
+          tag = 0;
+          children =
+            Pcell.make
+              ~ty:(Pvec.ptype_rec (lazy (Pbox.ptype_rec node_ty_l)))
+              (Pvec.make ~ty:(Pbox.ptype_rec node_ty_l) j);
+        })
+      ()
+  in
+  (* build a 2-level tree: 3 children, each with 2 grandchildren *)
+  P.transaction (fun j ->
+      let mk tag =
+        Pbox.make ~ty:node_ty
+          {
+            tag;
+            children =
+              Pcell.make
+                ~ty:(Pvec.ptype_rec (lazy (Pbox.ptype_rec node_ty_l)))
+                (Pvec.make ~ty:(Pbox.ptype_rec node_ty_l) j);
+          }
+          j
+      in
+      let top = Pbox.get root in
+      for c = 1 to 3 do
+        let child = mk (c * 10) in
+        let gkids = Pcell.get (Pbox.get child).children in
+        for g = 1 to 2 do
+          Pvec.push gkids (mk ((c * 10) + g)) j
+        done;
+        Pvec.push (Pcell.get top.children) child j
+      done);
+  (* walk and sum the tags *)
+  let rec sum n =
+    n.tag + Pvec.fold (Pcell.get n.children) ~init:0 ~f:(fun a b -> a + sum (Pbox.get b))
+  in
+  check_int "tree sum" 189 (sum (Pbox.get root));
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:node_ty;
+  (* crash: deep structure survives *)
+  P.crash_and_reopen ();
+  let root = P.root ~ty:node_ty ~init:(fun _ -> assert false) () in
+  check_int "tree sum after crash" 189 (sum (Pbox.get root))
+
+let () =
+  Alcotest.run "corundum_extensions"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "fifo" `Quick test_pqueue_fifo;
+          Alcotest.test_case "wraparound" `Quick test_pqueue_wraparound;
+          Alcotest.test_case "growth preserves order" `Quick
+            test_pqueue_growth_preserves_order;
+          Alcotest.test_case "crash survival" `Quick test_pqueue_crash_survival;
+          Alcotest.test_case "clear/drop leak-free" `Quick
+            test_pqueue_clear_drop_leakfree;
+          QCheck_alcotest.to_alcotest qcheck_pqueue_model;
+        ] );
+      ( "either",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_either_roundtrip;
+          Alcotest.test_case "drops correct arm" `Quick
+            test_either_drops_correct_arm;
+        ] );
+      ( "vindex",
+        [
+          Alcotest.test_case "basics" `Quick test_vindex_basics;
+          Alcotest.test_case "death and eviction" `Quick
+            test_vindex_death_and_eviction;
+          Alcotest.test_case "find_or rebuilds" `Quick
+            test_vindex_find_or_rebuilds;
+        ] );
+      ( "vindex-arc", [ Alcotest.test_case "parc instance" `Quick test_vindex_arc ] );
+      ( "recursion",
+        [ Alcotest.test_case "n-ary tree of vectors" `Quick test_nary_tree_recursion ] );
+      ( "punsafe",
+        [
+          Alcotest.test_case "bypasses rollback" `Quick
+            test_atomic_set_bypasses_rollback;
+          Alcotest.test_case "crash durable" `Quick test_atomic_set_crash_durable;
+          Alcotest.test_case "unlogged lost without persist" `Quick
+            test_unlogged_set_lost_without_persist;
+          Alcotest.test_case "ordered write durable" `Quick
+            test_unlogged_set_with_persist_durable;
+          Alcotest.test_case "wide types rejected" `Quick
+            test_atomic_set_rejects_wide_types;
+          Alcotest.test_case "seed rejected" `Quick
+            test_punsafe_requires_placed_cell;
+        ] );
+    ]

@@ -1,0 +1,239 @@
+(* Pbtree (typed 8-way B+tree): model-based validation, structural
+   invariants, owned values across splits/merges, range scans, crash
+   sweep, and leak freedom. *)
+
+open Corundum
+module M = Map.Make (Int)
+
+let small =
+  { Pool_impl.size = 8 * 1024 * 1024; nslots = 2; slot_size = 256 * 1024 }
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let tree_root (type b) (module P : Pool.S with type brand = b) () =
+  P.root
+    ~ty:(Pbtree.ptype Ptype.int)
+    ~init:(fun j -> Pbtree.make ~vty:Ptype.int j)
+    ()
+
+let assert_ok t =
+  match Pbtree.check t with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_basics () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let t = Pbox.get (tree_root (module P) ()) in
+  check_bool "empty" true (Pbtree.is_empty t);
+  P.transaction (fun j ->
+      List.iter (fun k -> Pbtree.add t ~key:k (k * 10) j) [ 5; 1; 9; 3 ]);
+  check_int "length" 4 (Pbtree.length t);
+  check_bool "find" true (Pbtree.find t 9 = Some 90);
+  check_bool "miss" true (Pbtree.find t 2 = None);
+  Alcotest.(check (list (pair int int)))
+    "ordered scan" [ (1, 10); (3, 30); (5, 50); (9, 90) ] (Pbtree.to_list t);
+  check_bool "min" true (Pbtree.min_binding t = Some (1, 10));
+  check_bool "max" true (Pbtree.max_binding t = Some (9, 90));
+  P.transaction (fun j -> Pbtree.add t ~key:5 55 j);
+  check_bool "replace" true (Pbtree.find t 5 = Some 55);
+  check_int "replace keeps size" 4 (Pbtree.length t);
+  assert_ok t
+
+let test_splits_sequential () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let t = Pbox.get (tree_root (module P) ()) in
+  let n = 1000 in
+  P.transaction (fun j ->
+      for k = 1 to n do
+        Pbtree.add t ~key:k k j
+      done);
+  assert_ok t;
+  check_int "size" n (Pbtree.length t);
+  Alcotest.(check (list (pair int int)))
+    "full ordered scan"
+    (List.init n (fun i -> (i + 1, i + 1)))
+    (Pbtree.to_list t);
+  (* drain in random-ish order *)
+  P.transaction (fun j ->
+      for k = 1 to n do
+        let k = ((k * 7919) mod n) + 1 in
+        ignore (Pbtree.remove t k j)
+      done);
+  assert_ok t;
+  P.transaction (fun j ->
+      for k = 1 to n do
+        ignore (Pbtree.remove t k j)
+      done);
+  check_int "drained" 0 (Pbtree.length t);
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Pbtree.ptype Ptype.int)
+
+let test_against_model () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let t = Pbox.get (tree_root (module P) ()) in
+  let model = ref M.empty in
+  let rng = Random.State.make [| 404 |] in
+  for step = 1 to 3000 do
+    let k = Random.State.int rng 250 in
+    (match Random.State.int rng 10 with
+    | 0 | 1 | 2 ->
+        let was = P.transaction (fun j -> Pbtree.remove t k j) in
+        Alcotest.(check bool)
+          (Printf.sprintf "remove agrees at %d" step)
+          (M.mem k !model) was;
+        model := M.remove k !model
+    | _ ->
+        P.transaction (fun j -> Pbtree.add t ~key:k step j);
+        model := M.add k step !model);
+    if step mod 300 = 0 then assert_ok t
+  done;
+  assert_ok t;
+  Alcotest.(check (list (pair int int)))
+    "matches model" (M.bindings !model) (Pbtree.to_list t);
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Pbtree.ptype Ptype.int)
+
+let test_owned_values_across_splits () =
+  (* string values must survive node splits/merges with exact ownership *)
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let vty = Pstring.ptype () in
+  let root =
+    P.root ~ty:(Pbtree.ptype vty) ~init:(fun j -> Pbtree.make ~vty j) ()
+  in
+  let t = Pbox.get root in
+  let n = 60 in
+  P.transaction (fun j ->
+      for k = 1 to n do
+        Pbtree.add t ~key:k (Pstring.make (Printf.sprintf "v%03d" k) j) j
+      done);
+  assert_ok t;
+  for k = 1 to n do
+    match Pbtree.find t k with
+    | Some s ->
+        if Pstring.get s <> Printf.sprintf "v%03d" k then
+          Alcotest.failf "value %d corrupted by splits" k
+    | None -> Alcotest.failf "value %d lost" k
+  done;
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Pbtree.ptype vty);
+  (* removals trigger merges; ownership must still be exact *)
+  P.transaction (fun j ->
+      for k = 1 to n do
+        if k mod 2 = 0 then ignore (Pbtree.remove t k j)
+      done);
+  assert_ok t;
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Pbtree.ptype vty);
+  let live () = (P.stats ()).Pool_impl.live_blocks in
+  let before = live () in
+  ignore before;
+  P.transaction (fun j -> Pbtree.clear t j);
+  check_int "cleared" 0 (Pbtree.length t);
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Pbtree.ptype vty)
+
+let test_range_scan () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let t = Pbox.get (tree_root (module P) ()) in
+  P.transaction (fun j ->
+      for k = 1 to 100 do
+        Pbtree.add t ~key:(k * 2) k j
+      done);
+  let range lo hi =
+    List.rev (Pbtree.fold_range t ~lo ~hi ~init:[] ~f:(fun acc k _ -> k :: acc))
+  in
+  Alcotest.(check (list int)) "interior" [ 10; 12; 14 ] (range 10 14);
+  Alcotest.(check (list int)) "odd bounds" [ 10; 12; 14 ] (range 9 15);
+  Alcotest.(check (list int)) "empty" [] (range 201 300);
+  check_int "full range" 100 (List.length (range 0 1000))
+
+let test_crash_sweep () =
+  (* a split-heavy transaction crashed at (a sample of) persist points *)
+  let attempt k =
+    let module P = Pool.Make () in
+    P.create ~config:small ();
+    let fetch () = tree_root (module P) () in
+    P.transaction (fun j ->
+        let t = Pbox.get (fetch ()) in
+        for key = 1 to 7 do
+          Pbtree.add t ~key key j
+        done);
+    let dev = Pool_impl.device (P.impl ()) in
+    let p0 = Pmem.Device.persist_points dev in
+    if k > 0 then Pmem.Device.set_crash_countdown dev k;
+    (match
+       P.transaction (fun j ->
+           let t = Pbox.get (fetch ()) in
+           for key = 8 to 30 do
+             Pbtree.add t ~key key j
+           done);
+       P.transaction (fun j ->
+           let t = Pbox.get (fetch ()) in
+           for key = 1 to 10 do
+             ignore (Pbtree.remove t key j)
+           done)
+     with
+    | () -> Pmem.Device.set_crash_countdown dev 0
+    | exception Pmem.Device.Crashed -> ());
+    let points = Pmem.Device.persist_points dev - p0 in
+    P.crash_and_reopen ();
+    let t = Pbox.get (fetch ()) in
+    (match Pbtree.check t with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "crash@%d: tree broken: %s" k e);
+    let len = Pbtree.length t in
+    if len <> 7 && len <> 30 && len <> 20 then
+      Alcotest.failf "crash@%d: torn size %d" k len;
+    (match Palloc.Heap_walk.check (Pool_impl.buddy (P.impl ())) with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "crash@%d: heap: %s" k m);
+    Crashtest.Leak_check.assert_clean (P.impl ())
+      ~root_ty:(Pbtree.ptype Ptype.int);
+    points
+  in
+  let points = attempt 0 in
+  let step = max 1 (points / 120) in
+  let k = ref 1 in
+  while !k <= points do
+    ignore (attempt !k);
+    k := !k + step
+  done
+
+let qcheck_model =
+  QCheck.Test.make ~name:"pbtree matches Map under random ops" ~count:30
+    QCheck.(list_of_size Gen.(int_bound 300) (pair (int_bound 120) bool))
+    (fun ops ->
+      let module P = Pool.Make () in
+      P.create ~config:small ();
+      let t = Pbox.get (tree_root (module P) ()) in
+      let model = ref M.empty in
+      List.iteri
+        (fun i (k, ins) ->
+          if ins then begin
+            P.transaction (fun j -> Pbtree.add t ~key:k i j);
+            model := M.add k i !model
+          end
+          else begin
+            ignore (P.transaction (fun j -> Pbtree.remove t k j));
+            model := M.remove k !model
+          end)
+        ops;
+      (match Pbtree.check t with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report e);
+      Pbtree.to_list t = M.bindings !model)
+
+let () =
+  Alcotest.run "corundum_pbtree"
+    [
+      ( "pbtree",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "splits + drain" `Quick test_splits_sequential;
+          Alcotest.test_case "model-based" `Slow test_against_model;
+          Alcotest.test_case "owned values across splits" `Quick
+            test_owned_values_across_splits;
+          Alcotest.test_case "range scan" `Quick test_range_scan;
+          Alcotest.test_case "crash sweep" `Slow test_crash_sweep;
+          QCheck_alcotest.to_alcotest qcheck_model;
+        ] );
+    ]

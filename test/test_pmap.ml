@@ -1,0 +1,226 @@
+(* Pmap (persistent AVL map): model-based validation against Map, AVL
+   invariant checking, abort/crash atomicity, and leak freedom. *)
+
+open Corundum
+module M = Map.Make (Int)
+
+let small =
+  { Pool_impl.size = 4 * 1024 * 1024; nslots = 2; slot_size = 256 * 1024 }
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let map_root (type b) (module P : Pool.S with type brand = b) () =
+  P.root
+    ~ty:(Pmap.ptype Ptype.int)
+    ~init:(fun j -> Pmap.make ~vty:Ptype.int j)
+    ()
+
+let assert_ok m =
+  match Pmap.check m with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_basics () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let m = Pbox.get (map_root (module P) ()) in
+  check_bool "empty" true (Pmap.is_empty m);
+  P.transaction (fun j ->
+      Pmap.add m ~key:5 50 j;
+      Pmap.add m ~key:1 10 j;
+      Pmap.add m ~key:9 90 j);
+  check_int "length" 3 (Pmap.length m);
+  check_bool "find hit" true (Pmap.find m 5 = Some 50);
+  check_bool "find miss" true (Pmap.find m 4 = None);
+  Alcotest.(check (list (pair int int)))
+    "sorted bindings" [ (1, 10); (5, 50); (9, 90) ] (Pmap.to_list m);
+  check_bool "min" true (Pmap.min_binding m = Some (1, 10));
+  check_bool "max" true (Pmap.max_binding m = Some (9, 90));
+  P.transaction (fun j -> Pmap.add m ~key:5 55 j);
+  check_bool "replace" true (Pmap.find m 5 = Some 55);
+  check_int "replace keeps length" 3 (Pmap.length m);
+  assert_ok m
+
+let test_balancing_sequential () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let m = Pbox.get (map_root (module P) ()) in
+  let n = 1024 in
+  P.transaction (fun j ->
+      for k = 1 to n do
+        Pmap.add m ~key:k k j
+      done);
+  assert_ok m;
+  check_int "length" n (Pmap.length m);
+  (* AVL height bound: 1.44 log2(n) + 2 *)
+  check_bool "height is logarithmic" true (Pmap.height m <= 16);
+  P.transaction (fun j ->
+      for k = 1 to n do
+        if k mod 2 = 0 then ignore (Pmap.remove m k j)
+      done);
+  assert_ok m;
+  check_int "half removed" (n / 2) (Pmap.length m)
+
+let test_against_model () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let m = Pbox.get (map_root (module P) ()) in
+  let model = ref M.empty in
+  let rng = Random.State.make [| 2024 |] in
+  for step = 1 to 3000 do
+    let k = Random.State.int rng 200 in
+    (match Random.State.int rng 10 with
+    | 0 | 1 | 2 ->
+        let was = P.transaction (fun j -> Pmap.remove m k j) in
+        Alcotest.(check bool)
+          (Printf.sprintf "remove agrees at %d" step)
+          (M.mem k !model) was;
+        model := M.remove k !model
+    | _ ->
+        P.transaction (fun j -> Pmap.add m ~key:k step j);
+        model := M.add k step !model);
+    if step mod 250 = 0 then assert_ok m
+  done;
+  assert_ok m;
+  Alcotest.(check (list (pair int int)))
+    "bindings match model" (M.bindings !model) (Pmap.to_list m);
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Pmap.ptype Ptype.int)
+
+let test_abort_restores_tree () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let m = Pbox.get (map_root (module P) ()) in
+  P.transaction (fun j ->
+      for k = 1 to 20 do
+        Pmap.add m ~key:k k j
+      done);
+  let before = Pmap.to_list m in
+  (try
+     P.transaction (fun j ->
+         for k = 21 to 60 do
+           Pmap.add m ~key:k k j
+         done;
+         ignore (Pmap.remove m 3 j);
+         ignore (Pmap.remove m 7 j);
+         failwith "abort")
+   with Failure _ -> ());
+  Alcotest.(check (list (pair int int))) "tree restored" before (Pmap.to_list m);
+  assert_ok m;
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Pmap.ptype Ptype.int)
+
+let test_crash_survival () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let m = Pbox.get (map_root (module P) ()) in
+  P.transaction (fun j ->
+      for k = 1 to 50 do
+        Pmap.add m ~key:(k * 3) k j
+      done);
+  let before = Pmap.to_list m in
+  P.crash_and_reopen ();
+  let m = Pbox.get (map_root (module P) ()) in
+  Alcotest.(check (list (pair int int))) "tree survives crash" before (Pmap.to_list m);
+  assert_ok m;
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Pmap.ptype Ptype.int)
+
+let test_owned_values_cascade () =
+  (* values that own pointers must be released on replace/remove/clear *)
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let vty = Pstring.ptype () in
+  let root =
+    P.root ~ty:(Pmap.ptype vty) ~init:(fun j -> Pmap.make ~vty j) ()
+  in
+  let m = Pbox.get root in
+  let live () = (P.stats ()).Pool_impl.live_blocks in
+  let baseline = live () in
+  P.transaction (fun j ->
+      Pmap.add m ~key:1 (Pstring.make "one" j) j;
+      Pmap.add m ~key:2 (Pstring.make "two" j) j);
+  check_int "nodes + strings live" (baseline + 4) (live ());
+  P.transaction (fun j -> Pmap.add m ~key:1 (Pstring.make "uno" j) j);
+  check_int "replaced string reclaimed" (baseline + 4) (live ());
+  check_bool "replacement visible" true
+    (match Pmap.find m 1 with Some s -> Pstring.get s = "uno" | None -> false);
+  P.transaction (fun j -> ignore (Pmap.remove m 2 j));
+  check_int "removed node and string reclaimed" (baseline + 2) (live ());
+  P.transaction (fun j -> Pmap.clear m j);
+  check_int "clear cascades" baseline (live ());
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(Pmap.ptype vty)
+
+let test_range_queries () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let m = Pbox.get (map_root (module P) ()) in
+  P.transaction (fun j ->
+      List.iter (fun k -> Pmap.add m ~key:k (k * 10) j) [ 5; 1; 9; 3; 7; 11 ]);
+  let range lo hi =
+    List.rev (Pmap.fold_range m ~lo ~hi ~init:[] ~f:(fun acc k _ -> k :: acc))
+  in
+  Alcotest.(check (list int)) "interior" [ 3; 5; 7 ] (range 3 7);
+  Alcotest.(check (list int)) "inclusive bounds" [ 1; 3; 5; 7; 9; 11 ] (range 1 11);
+  Alcotest.(check (list int)) "empty" [] (range 12 20);
+  Alcotest.(check (list int)) "point" [ 7 ] (range 7 7);
+  Alcotest.(check (list int)) "clipped" [ 9; 11 ] (range 8 100)
+
+let qcheck_range_model =
+  QCheck.Test.make ~name:"pmap range matches filtered model" ~count:60
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_bound 80) (int_bound 100))
+        (int_bound 100) (int_bound 100))
+    (fun (keys, a, b) ->
+      let lo = min a b and hi = max a b in
+      let module P = Pool.Make () in
+      P.create ~config:small ();
+      let m = Pbox.get (map_root (module P) ()) in
+      P.transaction (fun j -> List.iter (fun k -> Pmap.add m ~key:k k j) keys);
+      let got =
+        List.rev (Pmap.fold_range m ~lo ~hi ~init:[] ~f:(fun acc k _ -> k :: acc))
+      in
+      let expect =
+        List.sort_uniq compare (List.filter (fun k -> k >= lo && k <= hi) keys)
+      in
+      got = expect)
+
+let qcheck_pmap_model =
+  QCheck.Test.make ~name:"pmap matches Map under random ops" ~count:40
+    QCheck.(list_of_size Gen.(int_bound 250) (pair (int_bound 100) bool))
+    (fun ops ->
+      let module P = Pool.Make () in
+      P.create ~config:small ();
+      let m = Pbox.get (map_root (module P) ()) in
+      let model = ref M.empty in
+      List.iteri
+        (fun i (k, ins) ->
+          if ins then begin
+            P.transaction (fun j -> Pmap.add m ~key:k i j);
+            model := M.add k i !model
+          end
+          else begin
+            ignore (P.transaction (fun j -> Pmap.remove m k j));
+            model := M.remove k !model
+          end)
+        ops;
+      (match Pmap.check m with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report e);
+      Pmap.to_list m = M.bindings !model)
+
+let () =
+  Alcotest.run "corundum_pmap"
+    [
+      ( "pmap",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "balancing" `Quick test_balancing_sequential;
+          Alcotest.test_case "model-based" `Slow test_against_model;
+          Alcotest.test_case "abort restores tree" `Quick
+            test_abort_restores_tree;
+          Alcotest.test_case "crash survival" `Quick test_crash_survival;
+          Alcotest.test_case "owned values cascade" `Quick
+            test_owned_values_cascade;
+          Alcotest.test_case "range queries" `Quick test_range_queries;
+          QCheck_alcotest.to_alcotest qcheck_range_model;
+          QCheck_alcotest.to_alcotest qcheck_pmap_model;
+        ] );
+    ]

@@ -1,0 +1,152 @@
+(* Exhaustive Ptype combinator coverage: nesting, footprints, edge sizes,
+   record arities, and serialization properties beyond what the core
+   suite touches. *)
+
+open Corundum
+
+let small =
+  { Pool_impl.size = 2 * 1024 * 1024; nslots = 2; slot_size = 64 * 1024 }
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+type 'a poly_ty = { ty : 'p. unit -> ('a, 'p) Ptype.t }
+
+let roundtrip (type a) (pty : a poly_ty) (eq : a -> a -> bool) (v : a) =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  P.transaction (fun j ->
+      let b = Pbox.make ~ty:(pty.ty ()) v j in
+      let ok = eq (Pbox.get b) v in
+      Pbox.drop b j;
+      ok)
+
+let test_footprints () =
+  check_int "unit" 0 (Ptype.size Ptype.unit);
+  check_int "scalar" 8 (Ptype.size Ptype.int);
+  check_int "pair" 16 (Ptype.size Ptype.(pair int float));
+  check_int "triple" 24 (Ptype.size Ptype.(triple int int int));
+  check_int "option adds a tag" 16 (Ptype.size Ptype.(option int));
+  check_int "option unit is just the tag" 8 (Ptype.size Ptype.(option unit));
+  check_int "either takes the larger arm" 24
+    (Ptype.size Ptype.(either int (pair int int)));
+  check_int "array" 40 (Ptype.size Ptype.(array 5 int));
+  check_int "array of nothing" 0 (Ptype.size Ptype.(array 0 int));
+  check_int "fixed_string pads to 8" 24 (Ptype.size (Ptype.fixed_string 9));
+  check_int "fixed_string 0" 8 (Ptype.size (Ptype.fixed_string 0));
+  check_int "pointer types are words" 8 (Ptype.size (Pbox.ptype Ptype.int));
+  (* wrappers are transparent to layout *)
+  check_int "pcell is inner-sized" 16
+    (Ptype.size (Pcell.ptype Ptype.(pair int int)))
+
+let test_deep_nesting_roundtrip () =
+  let mk () =
+    Ptype.(option (either (pair int (fixed_string 8)) (array 3 bool)))
+  in
+  check_bool "none" true (roundtrip { ty = mk } ( = ) None);
+  check_bool "left" true
+    (roundtrip { ty = mk } ( = ) (Some (Either.Left (7, "ok"))));
+  check_bool "right" true
+    (roundtrip { ty = mk } ( = ) (Some (Either.Right [| true; false; true |])))
+
+let test_record_arities () =
+  let r5 () =
+    Ptype.record5 ~name:"r5"
+      ~inj:(fun a b c d e -> (a, b, c, d, e))
+      ~proj:(fun x -> x)
+      Ptype.int Ptype.bool Ptype.char Ptype.float Ptype.int
+  in
+  check_int "record5 footprint" 40 (Ptype.size (r5 ()));
+  check_bool "record5 roundtrip" true
+    (roundtrip { ty = r5 } ( = ) (1, true, 'x', 2.5, -9));
+  let r6 () =
+    Ptype.record6 ~name:"r6"
+      ~inj:(fun a b c d e f -> (a, b, c, d, e, f))
+      ~proj:(fun x -> x)
+      Ptype.int Ptype.int Ptype.int Ptype.int Ptype.int Ptype.int
+  in
+  check_int "record6 footprint" 48 (Ptype.size (r6 ()));
+  check_bool "record6 roundtrip" true
+    (roundtrip { ty = r6 } ( = ) (1, 2, 3, 4, 5, 6))
+
+let test_unit_in_containers () =
+  check_bool "array of unit" true
+    (roundtrip { ty = (fun () -> Ptype.(array 4 unit)) } ( = ) [| (); (); (); () |]);
+  check_bool "pair with unit" true
+    (roundtrip { ty = (fun () -> Ptype.(pair unit int)) } ( = ) ((), 3))
+
+let test_option_clears_payload () =
+  (* writing None must zero the payload so a stale pointer cannot sit in
+     a dead slot (important for the leak walker) *)
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let ty = Ptype.option (Pbox.ptype Ptype.int) in
+  let root =
+    P.root ~ty:(Pcell.ptype ty) ~init:(fun _ -> Pcell.make ~ty None) ()
+  in
+  P.transaction (fun j ->
+      let b = Pbox.make ~ty:Ptype.int 1 j in
+      Pcell.set (Pbox.get root) (Some b) j);
+  P.transaction (fun j -> Pcell.set (Pbox.get root) None j);
+  (* the dead pointer bytes are gone: the reach walker sees nothing *)
+  let r = Crashtest.Leak_check.analyze (P.impl ()) ~root_ty:(Pcell.ptype ty) in
+  check_bool "no dangling edges" true (r.Crashtest.Leak_check.dangling = []);
+  check_bool "clean" true (Crashtest.Leak_check.is_clean r)
+
+let test_name_hashes_disperse () =
+  let names =
+    [
+      Ptype.hash Ptype.int;
+      Ptype.hash Ptype.float;
+      Ptype.hash Ptype.(pair int int);
+      Ptype.hash Ptype.(option int);
+      Ptype.hash Ptype.(array 3 int);
+      Ptype.hash (Ptype.fixed_string 8);
+      Ptype.hash (Pbox.ptype Ptype.int);
+      Ptype.hash (Prc.ptype Ptype.int);
+      Ptype.hash (Pvec.ptype Ptype.int);
+      Ptype.hash (Pmap.ptype Ptype.int);
+    ]
+  in
+  check_int "all distinct" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let qcheck_deep_roundtrip =
+  QCheck.Test.make ~name:"nested combinators roundtrip" ~count:120
+    QCheck.(
+      pair
+        (option (pair int (string_of_size Gen.(int_bound 8))))
+        (array_of_size Gen.(pure 3) small_nat))
+    (fun (o, arr) ->
+      let mk () =
+        Ptype.(pair (option (pair int (fixed_string 8))) (array 3 int))
+      in
+      roundtrip { ty = mk } ( = ) (o, arr))
+
+let qcheck_either_roundtrip =
+  QCheck.Test.make ~name:"either roundtrip" ~count:120
+    QCheck.(
+      oneof
+        [ map Either.left int; map Either.right (string_of_size Gen.(int_bound 16)) ])
+    (fun v ->
+      roundtrip
+        { ty = (fun () -> Ptype.(either int (fixed_string 16))) }
+        ( = ) v)
+
+let () =
+  Alcotest.run "corundum_ptype"
+    [
+      ( "combinators",
+        [
+          Alcotest.test_case "footprints" `Quick test_footprints;
+          Alcotest.test_case "deep nesting" `Quick test_deep_nesting_roundtrip;
+          Alcotest.test_case "record arities" `Quick test_record_arities;
+          Alcotest.test_case "unit in containers" `Quick test_unit_in_containers;
+          Alcotest.test_case "option clears payload" `Quick
+            test_option_clears_payload;
+          Alcotest.test_case "name hashes disperse" `Quick
+            test_name_hashes_disperse;
+          QCheck_alcotest.to_alcotest qcheck_deep_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_either_roundtrip;
+        ] );
+    ]

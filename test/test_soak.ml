@@ -1,0 +1,108 @@
+(* Soak test: a long random mixed workload over several structures in one
+   pool, with periodic invariant checks, leak checks, and mid-run crash/
+   reopen cycles.  This is the "does everything compose over time" test —
+   allocator fragmentation, journal reuse across thousands of
+   transactions, handle refresh after reopen, and cascaded ownership all
+   get exercised together. *)
+
+open Corundum
+module M = Map.Make (Int)
+
+let config =
+  { Pool_impl.size = 8 * 1024 * 1024; nslots = 2; slot_size = 256 * 1024 }
+
+(* One root holding a map, a vector and a queue. *)
+let vty () = Pstring.ptype ()
+
+let root_ty () =
+  Ptype.triple
+    (Pmap.ptype (vty ()))
+    (Pvec.ptype Ptype.int)
+    (Pqueue.ptype Ptype.int)
+
+let test_soak () =
+  let module P = Pool.Make () in
+  P.create ~config ();
+  let fetch_root () =
+    P.root ~ty:(root_ty ())
+      ~init:(fun j ->
+        ( Pmap.make ~vty:(vty ()) j,
+          Pvec.make ~ty:Ptype.int j,
+          Pqueue.make ~ty:Ptype.int j ))
+      ()
+  in
+  ignore (fetch_root ());
+  let rng = Random.State.make [| 31337 |] in
+  (* volatile models *)
+  let map_model = ref M.empty in
+  let vec_model = ref [] in
+  let queue_model = Queue.create () in
+  let steps = 4000 in
+  for step = 1 to steps do
+    let pmap, pvec, pqueue = Pbox.get (fetch_root ()) in
+    (match Random.State.int rng 9 with
+    | 0 | 1 ->
+        let k = Random.State.int rng 150 in
+        let s = Printf.sprintf "v%d" step in
+        P.transaction (fun j -> Pmap.add pmap ~key:k (Pstring.make s j) j);
+        map_model := M.add k s !map_model
+    | 2 ->
+        let k = Random.State.int rng 150 in
+        let was = P.transaction (fun j -> Pmap.remove pmap k j) in
+        Alcotest.(check bool) "map remove agrees" (M.mem k !map_model) was;
+        map_model := M.remove k !map_model
+    | 3 | 4 ->
+        P.transaction (fun j -> Pvec.push pvec step j);
+        vec_model := !vec_model @ [ step ]
+    | 5 ->
+        let got = P.transaction (fun j -> Pvec.pop pvec j) in
+        let expect =
+          match List.rev !vec_model with
+          | [] -> None
+          | last :: rest ->
+              vec_model := List.rev rest;
+              Some last
+        in
+        Alcotest.(check (option int)) "vec pop agrees" expect got
+    | 6 | 7 ->
+        P.transaction (fun j -> Pqueue.push pqueue step j);
+        Queue.add step queue_model
+    | _ ->
+        let got = P.transaction (fun j -> Pqueue.pop pqueue j) in
+        let expect =
+          if Queue.is_empty queue_model then None
+          else Some (Queue.pop queue_model)
+        in
+        Alcotest.(check (option int)) "queue pop agrees" expect got);
+    if step mod 500 = 0 then begin
+      (* periodic full validation *)
+      let pmap, pvec, pqueue = Pbox.get (fetch_root ()) in
+      (match Pmap.check pmap with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "map broken at step %d: %s" step e);
+      Alcotest.(check (list (pair int string)))
+        "map contents" (M.bindings !map_model)
+        (List.map (fun (k, s) -> (k, Pstring.get s)) (Pmap.to_list pmap));
+      Alcotest.(check (list int)) "vec contents" !vec_model (Pvec.to_list pvec);
+      Alcotest.(check (list int))
+        "queue contents"
+        (List.of_seq (Queue.to_seq queue_model))
+        (Pqueue.to_list pqueue);
+      (match Palloc.Heap_walk.check (Pool_impl.buddy (P.impl ())) with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "heap broken at step %d: %s" step m);
+      Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:(root_ty ())
+    end;
+    (* periodic clean restart: everything must survive and keep working *)
+    if step mod 1500 = 0 then P.crash_and_reopen ()
+  done;
+  let s = P.stats () in
+  (* volatile counters reset at each reopen; only the last window shows *)
+  Alcotest.(check bool) "transactions ran since last reopen" true
+    (s.Pool_impl.transactions > 500);
+  Alcotest.(check bool) "allocations happened" true (s.Pool_impl.allocations > 0);
+  Alcotest.(check bool) "frees happened" true (s.Pool_impl.frees > 0)
+
+let () =
+  Alcotest.run "corundum_soak"
+    [ ("soak", [ Alcotest.test_case "mixed workload + restarts" `Slow test_soak ]) ]

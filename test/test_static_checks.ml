@@ -1,0 +1,37 @@
+(* The static half of the safety story: every snippet in compile_fail/
+   attempts a PM bug the library claims is a compile-time error (the
+   paper's Listings 2-4).  The library must make the compiler reject
+   each one. *)
+
+let () =
+  let outcomes =
+    match Evaldata.Compile_fail.run () with
+    | Ok o -> o
+    | Error msg -> Alcotest.failf "compile-fail harness unavailable: %s" msg
+  in
+  let case (o : Evaldata.Compile_fail.outcome) =
+    Alcotest.test_case o.snippet `Quick (fun () ->
+        if o.must_compile then begin
+          (* the harness's own control: valid code must build *)
+          if o.rejected then
+            Alcotest.failf "control snippet failed to compile: %s" o.message
+        end
+        else begin
+          if not o.rejected then
+            Alcotest.failf
+              "%s COMPILED: a static guarantee has a hole (expected a type \
+               error)"
+              o.snippet;
+          Alcotest.(check bool)
+            (o.snippet ^ ": rejection is a type error, not a setup problem")
+            true o.type_error
+        end)
+  in
+  Alcotest.run "static_checks"
+    [
+      ( "compile-fail",
+        match outcomes with
+        | [] -> [ Alcotest.test_case "snippets exist" `Quick (fun () ->
+                      Alcotest.fail "no compile-fail snippets found") ]
+        | os -> List.map case os );
+    ]

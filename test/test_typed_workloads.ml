@@ -1,0 +1,217 @@
+(* The typed (Table 3) data structures are validated against their
+   volatile twins, checked for leaks, and carried across simulated
+   crashes.  Wordcount is validated for exact counting. *)
+
+open Corundum
+
+let small =
+  { Pool_impl.size = 4 * 1024 * 1024; nslots = 4; slot_size = 64 * 1024 }
+
+let check_int = Alcotest.(check int)
+
+let test_plist_matches_volatile () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let module L = Workloads.Plist.Make (P) in
+  let l = L.root () in
+  let v = Workloads.Volatile_list.create () in
+  let rng = Random.State.make [| 11 |] in
+  for _ = 1 to 300 do
+    let k = Random.State.int rng 80 in
+    if Random.State.int rng 4 = 0 then begin
+      let a = P.transaction (fun j -> L.remove l k j) in
+      let b = Workloads.Volatile_list.remove v k in
+      Alcotest.(check bool) "remove agrees" b a
+    end
+    else begin
+      P.transaction (fun j -> L.insert l k j);
+      Workloads.Volatile_list.insert v k
+    end
+  done;
+  Alcotest.(check (list int))
+    "contents agree" (Workloads.Volatile_list.to_list v) (L.to_list l);
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:L.head_ty;
+  (* survive a crash *)
+  let expected = L.to_list l in
+  P.crash_and_reopen ();
+  let l = L.root () in
+  Alcotest.(check (list int)) "contents survive crash" expected (L.to_list l);
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:L.head_ty
+
+let test_pbst_matches_volatile () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let module T = Workloads.Pbst.Make (P) in
+  let t = T.root () in
+  let v = Workloads.Volatile_bst.create () in
+  let rng = Random.State.make [| 12 |] in
+  for _ = 1 to 400 do
+    let k = Random.State.int rng 200 in
+    P.transaction (fun j -> T.insert t k j);
+    Workloads.Volatile_bst.insert v k
+  done;
+  check_int "sizes agree" (Workloads.Volatile_bst.size v) (T.size t);
+  Alcotest.(check (list int))
+    "in-order agrees" (Workloads.Volatile_bst.to_list v) (T.to_list t);
+  for probe = 0 to 210 do
+    Alcotest.(check bool)
+      (Printf.sprintf "mem %d" probe)
+      (Workloads.Volatile_bst.mem v probe)
+      (T.mem t probe)
+  done;
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:T.root_ty
+
+let test_phashmap_matches_volatile () =
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let module H = Workloads.Phashmap.Make (P) in
+  let h = H.root ~nbuckets:8 () in
+  let v = Workloads.Volatile_hashmap.create ~nbuckets:8 () in
+  let rng = Random.State.make [| 13 |] in
+  for _ = 1 to 500 do
+    let k = Random.State.int rng 60 in
+    match Random.State.int rng 5 with
+    | 0 ->
+        let a = P.transaction (fun j -> H.del h k j) in
+        let b = Workloads.Volatile_hashmap.del v k in
+        Alcotest.(check bool) "del agrees" b a
+    | _ ->
+        let value = Random.State.int rng 1000 in
+        P.transaction (fun j -> H.put h k value j);
+        Workloads.Volatile_hashmap.put v k value
+  done;
+  check_int "lengths agree" (Workloads.Volatile_hashmap.length v) (H.length h);
+  for probe = 0 to 70 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "get %d" probe)
+      (Workloads.Volatile_hashmap.get v probe)
+      (H.get h probe)
+  done;
+  Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty:H.root_ty;
+  (* crash survival *)
+  let snapshot = List.init 70 (fun k -> H.get h k) in
+  P.crash_and_reopen ();
+  let h = H.root ~nbuckets:8 () in
+  Alcotest.(check bool)
+    "map survives crash" true
+    (List.init 70 (fun k -> H.get h k) = snapshot)
+
+let test_wordcount_seq_exact () =
+  let corpus =
+    Workloads.Wordcount.generate_corpus ~vocabulary:50 ~segments:20
+      ~words_per_segment:100 ~seed:7 ()
+  in
+  let r = Workloads.Wordcount.run_seq ~corpus () in
+  check_int "all words counted" 2000 r.Workloads.Wordcount.total_words;
+  Alcotest.(check bool)
+    "distinct bounded by vocabulary" true
+    (r.Workloads.Wordcount.distinct <= 50)
+
+let test_wordcount_parallel_exact () =
+  let corpus =
+    Workloads.Wordcount.generate_corpus ~vocabulary:50 ~segments:30
+      ~words_per_segment:80 ~seed:8 ()
+  in
+  let seq = Workloads.Wordcount.run_seq ~corpus () in
+  let par = Workloads.Wordcount.run ~producers:1 ~consumers:3 ~corpus () in
+  check_int "parallel counts all words"
+    seq.Workloads.Wordcount.total_words par.Workloads.Wordcount.total_words;
+  check_int "distinct agrees" seq.Workloads.Wordcount.distinct
+    par.Workloads.Wordcount.distinct
+
+let test_corpus_deterministic () =
+  let a =
+    Workloads.Wordcount.generate_corpus ~segments:3 ~words_per_segment:10
+      ~seed:1 ()
+  in
+  let b =
+    Workloads.Wordcount.generate_corpus ~segments:3 ~words_per_segment:10
+      ~seed:1 ()
+  in
+  Alcotest.(check (list string)) "same seed, same corpus" a b;
+  let c =
+    Workloads.Wordcount.generate_corpus ~segments:3 ~words_per_segment:10
+      ~seed:2 ()
+  in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+(* --- the DES scalability model (Figure 2's fallback) ------------------- *)
+
+let test_simulate_properties () =
+  let model =
+    { Workloads.Wordcount.t_push = 10e-6; t_pop = 2e-6; t_count = 200e-6 }
+  in
+  let segments = 200 in
+  let seq = Workloads.Wordcount.sequential_time model ~segments in
+  Alcotest.(check (float 1e-9))
+    "sequential time is the op sum"
+    (float_of_int segments *. (10e-6 +. 2e-6 +. 200e-6))
+    seq;
+  let t c = Workloads.Wordcount.simulate model ~segments ~consumers:c in
+  (* more consumers never hurt *)
+  let rec monotone c prev =
+    if c > 16 then ()
+    else begin
+      let cur = t c in
+      Alcotest.(check bool)
+        (Printf.sprintf "makespan non-increasing at %d" c)
+        true
+        (cur <= prev +. 1e-9);
+      monotone (c + 1) cur
+    end
+  in
+  monotone 2 (t 1);
+  (* lower bounds: the producer's serial work, and perfect division of
+     the counting work *)
+  let producer_floor = float_of_int segments *. 10e-6 in
+  let count_floor c = float_of_int segments *. 200e-6 /. float_of_int c in
+  for c = 1 to 16 do
+    let m = t c in
+    Alcotest.(check bool)
+      (Printf.sprintf "above producer floor at %d" c)
+      true (m >= producer_floor);
+    Alcotest.(check bool)
+      (Printf.sprintf "above counting floor at %d" c)
+      true
+      (m >= count_floor c)
+  done;
+  (* one consumer is roughly sequential *)
+  Alcotest.(check bool) "1 consumer near sequential" true (t 1 >= 0.9 *. seq)
+
+let test_simulate_lock_bound () =
+  (* when the lock-held ops dominate, adding consumers stops helping *)
+  let model =
+    { Workloads.Wordcount.t_push = 100e-6; t_pop = 100e-6; t_count = 10e-6 }
+  in
+  let t c = Workloads.Wordcount.simulate model ~segments:100 ~consumers:c in
+  let speedup =
+    Workloads.Wordcount.sequential_time model ~segments:100 /. t 16
+  in
+  Alcotest.(check bool) "lock-bound speedup stays near 1-2x" true (speedup < 2.5)
+
+let () =
+  Alcotest.run "typed_workloads"
+    [
+      ( "plist",
+        [ Alcotest.test_case "matches volatile + crash" `Quick
+            test_plist_matches_volatile ] );
+      ( "pbst",
+        [ Alcotest.test_case "matches volatile" `Quick test_pbst_matches_volatile ]
+      );
+      ( "phashmap",
+        [
+          Alcotest.test_case "matches volatile + crash" `Quick
+            test_phashmap_matches_volatile;
+        ] );
+      ( "wordcount",
+        [
+          Alcotest.test_case "sequential exact" `Quick test_wordcount_seq_exact;
+          Alcotest.test_case "parallel exact" `Slow test_wordcount_parallel_exact;
+          Alcotest.test_case "corpus deterministic" `Quick
+            test_corpus_deterministic;
+          Alcotest.test_case "DES model properties" `Quick
+            test_simulate_properties;
+          Alcotest.test_case "DES lock-bound ceiling" `Quick
+            test_simulate_lock_bound;
+        ] );
+    ]

@@ -1,0 +1,198 @@
+(* Workload correctness: every data structure is validated against a
+   volatile model, on every engine, including structural invariants for
+   the B+tree. *)
+
+let engines = Engines.Registry.all
+
+let small = 8 * 1024 * 1024
+
+(* --- BST --------------------------------------------------------------- *)
+
+let test_bst_against_model (name, (module E : Engines.Engine_sig.S)) () =
+  let module T = Workloads.Bst.Make (E) in
+  let eng = E.create ~latency:Pmem.Latency.zero ~size:small () in
+  let rng = Random.State.make [| 1; 2 |] in
+  let model = Hashtbl.create 64 in
+  for _ = 1 to 500 do
+    let k = Int64.of_int (Random.State.int rng 200) in
+    T.insert eng k;
+    Hashtbl.replace model k ()
+  done;
+  Alcotest.(check int)
+    (name ^ ": bst size") (Hashtbl.length model) (T.size eng);
+  Hashtbl.iter
+    (fun k () ->
+      if not (T.mem eng k) then Alcotest.failf "%s: missing key %Ld" name k)
+    model;
+  for probe = 0 to 220 do
+    let k = Int64.of_int probe in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: membership %d" name probe)
+      (Hashtbl.mem model k) (T.mem eng k)
+  done;
+  let sorted = T.to_list eng in
+  Alcotest.(check bool)
+    (name ^ ": in-order traversal sorted") true
+    (List.sort compare sorted = sorted)
+
+(* --- KVStore ------------------------------------------------------------ *)
+
+let test_kv_against_model (name, (module E : Engines.Engine_sig.S)) () =
+  let module K = Workloads.Kvstore.Make (E) in
+  let eng = E.create ~latency:Pmem.Latency.zero ~size:small () in
+  let t = K.create ~nbuckets:16 eng (* small: forces chains *) in
+  let rng = Random.State.make [| 3; 4 |] in
+  let model = Hashtbl.create 64 in
+  for _ = 1 to 800 do
+    let k = Int64.of_int (Random.State.int rng 100) in
+    match Random.State.int rng 10 with
+    | 0 | 1 ->
+        let was = K.del t k in
+        let expected = Hashtbl.mem model k in
+        Hashtbl.remove model k;
+        Alcotest.(check bool) (name ^ ": del result") expected was
+    | _ ->
+        let v = Int64.of_int (Random.State.int rng 10000) in
+        K.put t k v;
+        Hashtbl.replace model k v
+  done;
+  Alcotest.(check int) (name ^ ": kv length") (Hashtbl.length model) (K.length t);
+  for probe = 0 to 110 do
+    let k = Int64.of_int probe in
+    Alcotest.(check (option int64))
+      (Printf.sprintf "%s: get %d" name probe)
+      (Hashtbl.find_opt model k) (K.get t k)
+  done
+
+(* --- B+tree ------------------------------------------------------------- *)
+
+let check_tree name (module E : Engines.Engine_sig.S) check eng =
+  match check eng with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: b+tree invariant: %s" name msg
+
+let test_bptree_against_model (name, (module E : Engines.Engine_sig.S)) () =
+  let module B = Workloads.Bptree.Make (E) in
+  let eng = E.create ~latency:Pmem.Latency.zero ~size:small () in
+  let rng = Random.State.make [| 5; 6 |] in
+  let module M = Map.Make (Int64) in
+  let model = ref M.empty in
+  for step = 1 to 2000 do
+    let k = Int64.of_int (Random.State.int rng 300) in
+    (match Random.State.int rng 10 with
+    | 0 | 1 | 2 ->
+        let was = B.remove eng k in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: remove result at %d" name step)
+          (M.mem k !model) was;
+        model := M.remove k !model
+    | _ ->
+        let v = Int64.of_int step in
+        B.insert eng k v;
+        model := M.add k v !model);
+    if step mod 100 = 0 then check_tree name (module E) B.check eng
+  done;
+  check_tree name (module E) B.check eng;
+  Alcotest.(check int) (name ^ ": size") (M.cardinal !model) (B.size eng);
+  let expected = M.bindings !model in
+  Alcotest.(check bool)
+    (name ^ ": full scan matches model") true
+    (B.to_list eng = expected);
+  for probe = 0 to 310 do
+    let k = Int64.of_int probe in
+    Alcotest.(check (option int64))
+      (Printf.sprintf "%s: find %d" name probe)
+      (M.find_opt k !model) (B.find eng k)
+  done
+
+let test_bptree_sequential_fill () =
+  let module E = Engines.Corundum_engine in
+  let module B = Workloads.Bptree.Make (E) in
+  let eng = E.create ~latency:Pmem.Latency.zero ~size:small () in
+  for i = 1 to 1000 do
+    B.insert eng (Int64.of_int i) (Int64.of_int (i * 2))
+  done;
+  (match B.check eng with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "size" 1000 (B.size eng);
+  (* drain it fully in reverse order *)
+  for i = 1000 downto 1 do
+    Alcotest.(check bool) "remove present" true (B.remove eng (Int64.of_int i))
+  done;
+  Alcotest.(check int) "empty" 0 (B.size eng);
+  (* reusable after emptying *)
+  B.insert eng 5L 50L;
+  Alcotest.(check (option int64)) "reinsert works" (Some 50L) (B.find eng 5L)
+
+let qcheck_bptree_random =
+  QCheck.Test.make ~name:"b+tree matches map under random ops" ~count:30
+    QCheck.(list_of_size Gen.(int_bound 300) (pair (int_bound 120) bool))
+    (fun ops ->
+      let module E = Engines.Corundum_engine in
+      let module B = Workloads.Bptree.Make (E) in
+      let module M = Map.Make (Int64) in
+      let eng = E.create ~latency:Pmem.Latency.zero ~size:small () in
+      let model = ref M.empty in
+      List.iter
+        (fun (k, ins) ->
+          let k = Int64.of_int k in
+          if ins then begin
+            B.insert eng k k;
+            model := M.add k k !model
+          end
+          else begin
+            ignore (B.remove eng k);
+            model := M.remove k !model
+          end)
+        ops;
+      (match B.check eng with Ok () -> () | Error m -> QCheck.Test.fail_report m);
+      B.to_list eng = M.bindings !model)
+
+(* --- raw linked list (Table 3's PMDK-style implementation) ------------- *)
+
+let test_raw_list (name, (module E : Engines.Engine_sig.S)) () =
+  let module L = Workloads.Raw_list.Make (E) in
+  let eng = E.create ~latency:Pmem.Latency.zero ~size:(4 * 1024 * 1024) () in
+  let v = Workloads.Volatile_list.create () in
+  let rng = Random.State.make [| 21 |] in
+  for _ = 1 to 300 do
+    let k = Random.State.int rng 80 in
+    if Random.State.int rng 4 = 0 then begin
+      let a = L.remove eng k in
+      let b = Workloads.Volatile_list.remove v k in
+      Alcotest.(check bool) (name ^ ": raw list remove agrees") b a
+    end
+    else begin
+      L.insert eng k;
+      Workloads.Volatile_list.insert v k
+    end
+  done;
+  Alcotest.(check (list int))
+    (name ^ ": raw list contents")
+    (Workloads.Volatile_list.to_list v)
+    (L.to_list eng);
+  for probe = 0 to 85 do
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: raw list mem %d" name probe)
+      (Workloads.Volatile_list.mem v probe)
+      (L.mem eng probe)
+  done
+
+let () =
+  let per_engine mk =
+    List.map (fun e -> Alcotest.test_case (fst e) `Quick (mk e)) engines
+  in
+  Alcotest.run "workloads"
+    [
+      ("bst", per_engine test_bst_against_model);
+      ("raw_list", per_engine test_raw_list);
+      ("kvstore", per_engine test_kv_against_model);
+      ("bptree", per_engine test_bptree_against_model);
+      ( "bptree-extra",
+        [
+          Alcotest.test_case "sequential fill+drain" `Quick
+            test_bptree_sequential_fill;
+          QCheck_alcotest.to_alcotest qcheck_bptree_random;
+        ] );
+    ]
