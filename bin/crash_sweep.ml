@@ -1,8 +1,14 @@
 (* Exhaustive failure injection over the canned scenarios: every persist
-   point of every scenario gets a crash, recovery, and a full atomicity +
-   heap-integrity + leak check.  Exits non-zero on any violation. *)
+   point of every scenario gets a crash, recovery, a full atomicity +
+   heap-integrity + leak check, and a post-recovery fsck.  With --torn,
+   surviving write-pending lines additionally land word-torn at the given
+   probability.  Exits non-zero on any violation. *)
 
-let run limit samples names =
+let run limit samples torn names =
+  if not (torn >= 0.0 && torn <= 1.0) then begin
+    Printf.eprintf "crash_sweep: --torn must be a probability in [0, 1]\n";
+    exit 2
+  end;
   let scenarios =
     match names with
     | [] -> Crashtest.Scenario.all
@@ -17,7 +23,10 @@ let run limit samples names =
   let failed = ref false in
   List.iter
     (fun (name, make) ->
-      let r = Crashtest.Injector.sweep ?limit ~survival_samples:samples make in
+      let r =
+        Crashtest.Injector.sweep ?limit ~survival_samples:samples
+          ~torn_prob:torn make
+      in
       Printf.printf "%-14s %s\n" name
         (Format.asprintf "%a" Crashtest.Injector.pp_result r);
       if not (Crashtest.Injector.is_clean r) then failed := true)
@@ -38,12 +47,20 @@ let samples_arg =
     & info [ "samples" ]
         ~doc:"WPQ-survival samples per crash point (explores nondeterminism).")
 
+let torn_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "torn" ] ~docv:"PROB"
+        ~doc:
+          "Probability that a surviving write-pending line lands word-torn \
+           at the crash (each 8-byte word independently old or new).")
+
 let names_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"SCENARIO" ~doc:"Scenario names.")
 
 let cmd =
   Cmd.v
     (Cmd.info "crash_sweep" ~doc:"Failure-injection sweep over all scenarios")
-    Term.(const run $ limit_arg $ samples_arg $ names_arg)
+    Term.(const run $ limit_arg $ samples_arg $ torn_arg $ names_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,39 +1,107 @@
-(* Inspect a pool image without opening it: layout, root, journal slot
-   states, heap occupancy — and, with --check, a full consistency fsck
-   (header, journals, allocation table, heap tiling, root).  Read-only —
-   safe on a crash image before recovery has run.
+(* Inspect and check a pool image without opening it.
 
-     dune exec bin/pool_info.exe -- quickstart.pool
-     dune exec bin/pool_info.exe -- --check quickstart.pool *)
+     dune exec bin/pool_info.exe -- quickstart.pool            # layout info
+     dune exec bin/pool_info.exe -- --check quickstart.pool    # info + fsck
+     dune exec bin/pool_info.exe -- fsck quickstart.pool       # fsck only
+     dune exec bin/pool_info.exe -- fsck --repair quickstart.pool
+
+   Everything except [fsck --repair] is read-only — safe on a crash image
+   before recovery has run.  [fsck --repair] rewrites the image in place
+   (truncating corrupt journal suffixes, quarantining impossible
+   allocation-table entries, re-sealing the header checksum) and exits
+   non-zero if damage remains that repair cannot fix — such pools can
+   still be opened with [~mode:Read_only]. *)
 
 open Cmdliner
 
-let run check path =
+let load path =
   match Pmem.Device.load path with
-  | dev ->
-      let info = Corundum.Pool_inspect.inspect_device dev in
-      Format.printf "%a" Corundum.Pool_inspect.pp info;
-      if not info.Corundum.Pool_inspect.magic_ok then exit 1;
-      if check then begin
-        let r = Corundum.Pool_check.check_device dev in
-        Format.printf "%a" Corundum.Pool_check.pp r;
-        if not (Corundum.Pool_check.ok r) then exit 1
-      end
+  | dev -> dev
   | exception Sys_error msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 1
   | exception Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 1
+  | exception End_of_file ->
+      Printf.eprintf "error: %s: truncated or not a pmem image\n" path;
+      exit 1
+
+let run_info check path =
+  let dev = load path in
+  let info = Corundum.Pool_inspect.inspect_device dev in
+  Format.printf "%a" Corundum.Pool_inspect.pp info;
+  if not info.Corundum.Pool_inspect.magic_ok then exit 1;
+  if check then begin
+    let r = Corundum.Pool_check.check_device dev in
+    Format.printf "%a" Corundum.Pool_check.pp r;
+    if not (Corundum.Pool_check.ok r) then exit 1
+  end
+
+let run_fsck repair path =
+  let dev = load path in
+  if repair then begin
+    let r = Corundum.Pool_check.repair dev in
+    Format.printf "%a" Corundum.Pool_check.pp_repair r;
+    if r.Corundum.Pool_check.actions <> [] then Pmem.Device.save dev;
+    if not (Corundum.Pool_check.repaired r) then exit 1
+  end
+  else begin
+    let r = Corundum.Pool_check.check_device dev in
+    Format.printf "%a" Corundum.Pool_check.pp r;
+    if not (Corundum.Pool_check.ok r) then exit 1
+  end
+
+let path_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"POOL" ~doc:"Pool image file.")
 
 let check_arg =
   Arg.(value & flag & info [ "check" ] ~doc:"Run the full consistency check.")
 
-let path_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"POOL" ~doc:"Pool image file.")
+let repair_arg =
+  Arg.(
+    value & flag
+    & info [ "repair" ]
+        ~doc:
+          "Repair the image in place: truncate corrupt journal suffixes, \
+           quarantine impossible allocation-table entries, re-seal the \
+           header checksum.  Exits non-zero on unrepairable damage.")
+
+let info_term = Term.(const run_info $ check_arg $ path_arg)
+
+let info_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print layout, root and occupancy (the default).")
+    info_term
+
+let fsck_cmd =
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"Check a pool image for corruption; with --repair, fix it.")
+    Term.(const run_fsck $ repair_arg $ path_arg)
 
 let cmd =
-  Cmd.v (Cmd.info "pool_info" ~doc:"Inspect a Corundum pool image (read-only)")
-    Term.(const run $ check_arg $ path_arg)
+  Cmd.group ~default:info_term
+    (Cmd.info "pool_info" ~doc:"Inspect and check a Corundum pool image")
+    [ info_cmd; fsck_cmd ]
 
-let () = exit (Cmd.eval cmd)
+(* Back-compat: [pool_info POOL] (no subcommand) still means [info POOL] —
+   a command group would otherwise read the image path as a command name. *)
+let () =
+  let argv = Sys.argv in
+  let argv =
+    if
+      Array.length argv > 1
+      && not
+           (List.mem argv.(1)
+              [ "info"; "fsck"; "--help"; "-h"; "--version" ])
+    then
+      Array.append
+        [| argv.(0); "info" |]
+        (Array.sub argv 1 (Array.length argv - 1))
+    else argv
+  in
+  exit (Cmd.eval ~argv cmd)

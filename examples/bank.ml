@@ -32,7 +32,9 @@ let transfer root src dst amount j =
       a)
 
 let () =
-  P.create ~config:{ Pool_impl.size = 4 * 1024 * 1024; nslots = 2; slot_size = 64 * 1024 } ();
+  P.create
+    ~config:{ Pool_impl.size = 4 * 1024 * 1024; nslots = 2; slot_size = 64 * 1024 }
+    ~path:"bank.pool" ();
   let root = P.root ~ty:root_ty ~init:(fun _ -> Array.make accounts initial) () in
   Printf.printf "opening books:\n";
   print_books root;
@@ -72,4 +74,7 @@ let () =
   P.transaction (fun j -> transfer root 0 1 5 j);
   assert (total root = accounts * initial);
   Crashtest.Leak_check.assert_clean (P.impl ()) ~root_ty;
-  Printf.printf "post-recovery transfer committed; heap is leak-free.\n"
+  Printf.printf "post-recovery transfer committed; heap is leak-free.\n";
+  (* save the crash-recovered image so tooling (pool_info fsck) can audit it *)
+  P.save ();
+  Printf.printf "recovered image saved to bank.pool.\n"

@@ -11,7 +11,8 @@ module type S = sig
     unit ->
     unit
 
-  val open_file : ?latency:Pmem.Latency.t -> string -> unit
+  val open_file :
+    ?mode:Pool_impl.open_mode -> ?latency:Pmem.Latency.t -> string -> unit
 
   val load_or_create :
     ?config:Pool_impl.config -> ?latency:Pmem.Latency.t -> string -> unit
@@ -19,6 +20,7 @@ module type S = sig
   val close : unit -> unit
   val save : unit -> unit
   val is_open : unit -> bool
+  val is_read_only : unit -> bool
   val crash_and_reopen : unit -> unit
   val transaction : (journal -> 'a) -> 'a
 
@@ -51,6 +53,11 @@ module Make () : S = struct
   let is_open () =
     match !current with Some p -> Pool_impl.is_open p | None -> false
 
+  let is_read_only () =
+    match !current with
+    | Some p -> Pool_impl.is_open p && Pool_impl.is_read_only p
+    | None -> false
+
   let require_closed () =
     if is_open () then
       invalid_arg "Pool: a pool is already open through this module"
@@ -59,9 +66,9 @@ module Make () : S = struct
     require_closed ();
     current := Some (Pool_impl.create ?config ?latency ?path ())
 
-  let open_file ?latency path =
+  let open_file ?mode ?latency path =
     require_closed ();
-    current := Some (Pool_impl.open_file ?latency path)
+    current := Some (Pool_impl.open_file ?mode ?latency path)
 
   let load_or_create ?config ?latency path =
     if Sys.file_exists path then open_file ?latency path

@@ -39,8 +39,13 @@ module type S = sig
   (** Format and open a fresh pool.  Raises [Invalid_argument] if one is
       already open through this module. *)
 
-  val open_file : ?latency:Pmem.Latency.t -> string -> unit
-  (** Open an existing pool image (runs crash recovery). *)
+  val open_file :
+    ?mode:Pool_impl.open_mode -> ?latency:Pmem.Latency.t -> string -> unit
+  (** Open an existing pool image (runs crash recovery).  With
+      [~mode:Read_only] nothing is written: recovery is skipped,
+      transactions raise {!Pool_impl.Read_only_pool}, and reads may
+      observe uncommitted in-flight data — the degraded mode for pools
+      whose damage is detectable but not repairable. *)
 
   val load_or_create :
     ?config:Pool_impl.config ->
@@ -58,6 +63,9 @@ module type S = sig
       cut at this instant). *)
 
   val is_open : unit -> bool
+
+  val is_read_only : unit -> bool
+  (** Whether the currently open pool was opened with [~mode:Read_only]. *)
 
   val crash_and_reopen : unit -> unit
   (** Test support: simulate a power failure on the open pool's media and

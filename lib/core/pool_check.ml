@@ -14,6 +14,40 @@ let ok r = r.findings = []
 let header_size = 4096
 let magic = "CORUNDUM-POOL-01"
 
+(* Slot header field offsets (mirroring Journal_impl). *)
+let hdr_phase = 0
+let hdr_count = 8
+let hdr_drops = 16
+let hdr_spill = 24
+
+type layout = {
+  nslots : int;
+  slot_size : int;
+  heap_len : int;
+  table_base : int;
+  heap_base : int;
+  root_off : int;
+}
+
+let read_layout dev =
+  let u64 off = Int64.to_int (D.read_u64 dev off) in
+  {
+    nslots = u64 48;
+    slot_size = u64 56;
+    heap_len = u64 64;
+    table_base = u64 72;
+    heap_base = u64 80;
+    root_off = u64 32;
+  }
+
+let layout_sane dev l =
+  l.nslots > 0 && l.nslots < 1024
+  && l.slot_size > 0
+  && header_size + (l.nslots * l.slot_size) <= l.table_base
+  && l.table_base + (l.heap_len / 64) <= l.heap_base
+  && l.heap_base + l.heap_len <= D.size dev
+  && l.heap_len mod 64 = 0
+
 let check_device dev =
   let findings = ref [] in
   let note where fmt =
@@ -30,44 +64,39 @@ let check_device dev =
   else begin
     let version = u64 16 in
     if version <> 1 then note "header" "unsupported version %d" version;
-    let nslots = u64 48
-    and slot_size = u64 56
-    and heap_len = u64 64
-    and table_base = u64 72
-    and heap_base = u64 80
-    and root_off = u64 32 in
-    let sane =
-      nslots > 0 && nslots < 1024
-      && slot_size > 0
-      && header_size + (nslots * slot_size) <= table_base
-      && table_base + (heap_len / 64) <= heap_base
-      && heap_base + heap_len <= size
-      && heap_len mod 64 = 0
+    let ({ nslots; slot_size; heap_len; table_base; heap_base; root_off } as l) =
+      read_layout dev
     in
-    if not sane then note "header" "layout fields are inconsistent"
+    if not (layout_sane dev l) then note "header" "layout fields are inconsistent"
     else begin
+      if not (Pool_impl.header_crc_ok dev) then
+        note "header" "layout checksum mismatch (stored %#x, computed %#x)"
+          (Pool_impl.stored_header_crc dev)
+          (Pool_impl.header_crc dev);
       (* --- journal slots ------------------------------------------------ *)
       for i = 0 to nslots - 1 do
         incr slots_checked;
         let base = header_size + (i * slot_size) in
         let where = Printf.sprintf "journal slot %d" i in
-        let phase = u64 base
-        and count = u64 (base + 8)
-        and drops = u64 (base + 16) in
+        let phase = u64 (base + hdr_phase)
+        and count = u64 (base + hdr_count)
+        and drops = u64 (base + hdr_drops) in
         if phase <> 0 && phase <> 1 then note where "bad phase %d" phase;
         if count < 0 || count * 16 > 64 * slot_size then
           note where "implausible entry count %d" count
         else begin
           (* the spill chain must point at live heap blocks *)
-          let spills = Pjournal.Log_entry.spill_chain dev ~slot_base:base in
-          List.iter
-            (fun off ->
-              if off < heap_base || off >= heap_base + heap_len then
-                note where "spill region outside the heap"
-              else if (off - heap_base) mod 64 <> 0 then
-                note where "spill region misaligned")
-            spills;
-          (* walk the undo entries (spill-chain aware) *)
+          (match Pjournal.Log_entry.spill_chain dev ~slot_base:base with
+          | spills ->
+              List.iter
+                (fun off ->
+                  if off < heap_base || off >= heap_base + heap_len then
+                    note where "spill region outside the heap"
+                  else if (off - heap_base) mod 64 <> 0 then
+                    note where "spill region misaligned")
+                spills
+          | exception Invalid_argument m -> note where "corrupt spill chain: %s" m);
+          (* walk the undo entries (spill-chain aware, checksum-verified) *)
           (try
              Pjournal.Log_entry.walk dev ~slot_base:base ~slot_size ~count
                (fun e ->
@@ -119,6 +148,13 @@ let check_device dev =
                note "alloc table" "block %d misaligned for order %d" !idx order;
                raise Exit
              end;
+             (* interior bytes of an allocated extent must stay zero, or a
+                phantom head surfaces when the covering block is freed *)
+             for j = !idx + 1 to !idx + len - 1 do
+               if D.read_u8 dev (table_base + j) <> 0 then
+                 note "alloc table" "phantom head at index %d inside block %d" j
+                   !idx
+             done;
              idx := !idx + len
            end
          done
@@ -162,3 +198,218 @@ let pp ppf r =
       (fun f -> Format.fprintf ppf "  [%s] %s@." f.where f.problem)
       r.findings
   end
+
+(* {1 Repair} *)
+
+type repair_action = { where : string; action : string }
+
+type repair_report = {
+  actions : repair_action list;
+  entries_truncated : int;
+  drops_truncated : int;
+  blocks_quarantined : int;
+  unrepairable : finding list;
+  post : report;
+}
+
+let repaired r = r.unrepairable = [] && ok r.post
+
+(* The repairing fsck.  Runs on a raw image before recovery and restores
+   structural consistency without touching committed data:
+
+   - a header whose layout fields are sane but whose checksum is stale is
+     re-sealed;
+   - a journal slot with a corrupt suffix (first entry failing its
+     checksum, or a broken spill chain) is truncated to its verified
+     prefix — the same "treat as never written" rule recovery applies —
+     and a slot whose header fields are themselves implausible is reset
+     outright;
+   - allocation-table bytes that claim impossible blocks (bogus order,
+     misalignment, heap overflow, phantom heads inside a live extent) are
+     quarantined: cleared, so the extent returns to the free space that
+     tiling can account for;
+   - a wild root pointer is NOT repaired (the data it named is gone);
+     it is reported as unrepairable and the pool remains openable only
+     in [Read_only] mode.
+
+   Every write is persisted, so a crash mid-repair just means running
+   repair again; all actions are idempotent. *)
+let repair dev =
+  let actions = ref [] and unrepairable = ref [] in
+  let act where fmt =
+    Printf.ksprintf (fun action -> actions := { where; action } :: !actions) fmt
+  in
+  let lost where fmt =
+    Printf.ksprintf
+      (fun problem -> unrepairable := { where; problem } :: !unrepairable)
+      fmt
+  in
+  let entries_truncated = ref 0
+  and drops_truncated = ref 0
+  and quarantined = ref 0 in
+  let size = D.size dev in
+  if size < header_size then lost "header" "device smaller than a pool header"
+  else if not (String.equal (D.read_string dev 0 (String.length magic)) magic)
+  then lost "header" "bad magic: not a Corundum pool"
+  else begin
+    let version = Int64.to_int (D.read_u64 dev 16) in
+    let ({ nslots; slot_size; heap_len; table_base; heap_base; root_off } as l) =
+      read_layout dev
+    in
+    if version <> 1 then lost "header" "unsupported version %d" version
+    else if not (layout_sane dev l) then
+      lost "header" "layout fields are inconsistent; nothing can be trusted"
+    else begin
+      if not (Pool_impl.header_crc_ok dev) then begin
+        Pool_impl.write_header_crc dev;
+        act "header" "re-sealed layout checksum"
+      end;
+      (* --- journal slots ------------------------------------------------ *)
+      let write_field base off v =
+        D.write_u64 dev (base + off) (Int64.of_int v);
+        D.persist dev (base + off) 8
+      in
+      let reset_slot base why =
+        (* counts to zero first, then the chain, then the phase — the same
+           ordering as a runtime truncate *)
+        write_field base hdr_count 0;
+        write_field base hdr_drops 0;
+        write_field base hdr_spill 0;
+        write_field base hdr_phase 0;
+        act (Printf.sprintf "journal slot %d" (base / slot_size)) "reset slot: %s"
+          why
+      in
+      for i = 0 to nslots - 1 do
+        let base = header_size + (i * slot_size) in
+        let where = Printf.sprintf "journal slot %d" i in
+        let phase = Int64.to_int (D.read_u64 dev (base + hdr_phase))
+        and count = Int64.to_int (D.read_u64 dev (base + hdr_count))
+        and drops = Int64.to_int (D.read_u64 dev (base + hdr_drops)) in
+        if phase <> 0 && phase <> 1 then
+          reset_slot base (Printf.sprintf "bad phase %d" phase)
+        else if count < 0 || count * 16 > 64 * slot_size then
+          reset_slot base (Printf.sprintf "implausible entry count %d" count)
+        else begin
+          let chain_ok =
+            match Pjournal.Log_entry.spill_chain dev ~slot_base:base with
+            | spills ->
+                List.for_all
+                  (fun off ->
+                    off >= heap_base
+                    && off < heap_base + heap_len
+                    && (off - heap_base) mod 64 = 0)
+                  spills
+            | exception Invalid_argument _ -> false
+          in
+          if not chain_ok then begin
+            entries_truncated := !entries_truncated + count;
+            reset_slot base "corrupt spill chain"
+          end
+          else begin
+            let valid, reason =
+              Pjournal.Log_entry.walk_checked dev ~slot_base:base
+                ~slot_size ~count
+                (fun _ -> ())
+            in
+            if valid < count then begin
+              write_field base hdr_count valid;
+              entries_truncated := !entries_truncated + (count - valid);
+              act where "truncated %d corrupt undo entries (%s)" (count - valid)
+                (Option.value ~default:"?" reason)
+            end;
+            if drops < 0 || drops * 16 > slot_size then begin
+              write_field base hdr_drops 0;
+              drops_truncated := !drops_truncated + max 0 drops;
+              act where "cleared implausible drop count %d" drops
+            end
+            else begin
+              let valid_drops = ref drops in
+              (try
+                 for d = 1 to drops do
+                   let at = base + slot_size - (d * 16) in
+                   match Pjournal.Log_entry.read dev ~at with
+                   | Pjournal.Log_entry.Drop { off }, _
+                     when off >= heap_base && off < heap_base + heap_len ->
+                       ()
+                   | _ ->
+                       valid_drops := d - 1;
+                       raise Exit
+                   | exception Invalid_argument _ ->
+                       valid_drops := d - 1;
+                       raise Exit
+                 done
+               with Exit -> ());
+              if !valid_drops < drops then begin
+                write_field base hdr_drops !valid_drops;
+                drops_truncated := !drops_truncated + (drops - !valid_drops);
+                act where "truncated %d corrupt drop entries" (drops - !valid_drops)
+              end
+            end
+          end
+        end
+      done;
+      (* --- allocation table: quarantine impossible claims ---------------- *)
+      let nblocks = heap_len / 64 in
+      let clear j why =
+        D.write_u8 dev (table_base + j) 0;
+        D.persist dev (table_base + j) 1;
+        incr quarantined;
+        act "alloc table" "quarantined block %d: %s" j why
+      in
+      let idx = ref 0 in
+      while !idx < nblocks do
+        let b = D.read_u8 dev (table_base + !idx) in
+        if b = 0 then incr idx
+        else begin
+          let order = b - 1 in
+          let len = 1 lsl order in
+          if order > 40 || !idx + len > nblocks then begin
+            clear !idx (Printf.sprintf "order %d overflows the heap" order);
+            incr idx
+          end
+          else if !idx land (len - 1) <> 0 then begin
+            clear !idx (Printf.sprintf "misaligned for order %d" order);
+            incr idx
+          end
+          else begin
+            (* phantom heads inside a live extent: rot below the head *)
+            for j = !idx + 1 to !idx + len - 1 do
+              if D.read_u8 dev (table_base + j) <> 0 then
+                clear j
+                  (Printf.sprintf "phantom head inside block %d (order %d)" !idx
+                     order)
+            done;
+            idx := !idx + len
+          end
+        end
+      done;
+      (* --- root: detectable, not repairable ------------------------------ *)
+      if root_off <> 0 then
+        if root_off < heap_base || root_off >= heap_base + heap_len then
+          lost "root" "root offset %d outside the heap (open read-only)" root_off
+        else if (root_off - heap_base) mod 64 <> 0 then
+          lost "root" "root offset %d misaligned (open read-only)" root_off
+        else if D.read_u8 dev (table_base + ((root_off - heap_base) / 64)) = 0
+        then lost "root" "root points at a free block (open read-only)"
+    end
+  end;
+  {
+    actions = List.rev !actions;
+    entries_truncated = !entries_truncated;
+    drops_truncated = !drops_truncated;
+    blocks_quarantined = !quarantined;
+    unrepairable = List.rev !unrepairable;
+    post = check_device dev;
+  }
+
+let pp_repair ppf r =
+  List.iter (fun a -> Format.fprintf ppf "repair [%s] %s@." a.where a.action) r.actions;
+  List.iter
+    (fun (f : finding) ->
+      Format.fprintf ppf "UNREPAIRABLE [%s] %s@." f.where f.problem)
+    r.unrepairable;
+  Format.fprintf ppf
+    "repair: %d actions, %d undo entries truncated, %d drops truncated, %d blocks quarantined@."
+    (List.length r.actions) r.entries_truncated r.drops_truncated
+    r.blocks_quarantined;
+  pp ppf r.post

@@ -30,3 +30,40 @@ val ok : report -> bool
 val check_device : Pmem.Device.t -> report
 val check_file : string -> report
 val pp : Format.formatter -> report -> unit
+
+(** {1 Repair}
+
+    The repairing pass restores structural consistency without touching
+    committed data:
+
+    - re-seals a stale header checksum when the layout fields are sane;
+    - truncates a journal slot's undo log to its checksum-verified prefix
+      (the same "treat a torn entry as never written" rule recovery
+      applies) and resets slots whose own header fields are implausible;
+    - quarantines allocation-table bytes claiming impossible blocks
+      (bogus order, misalignment, heap overflow, phantom heads inside a
+      live extent) by clearing them back to free space;
+    - does {e not} repair a wild root pointer — the data it named is
+      gone; it is reported in [unrepairable] and the pool remains
+      openable only with [~mode:Read_only].
+
+    Every write is persisted and idempotent, so a crash mid-repair is
+    answered by running repair again. *)
+
+type repair_action = { where : string; action : string }
+
+type repair_report = {
+  actions : repair_action list;  (** what was fixed, in order *)
+  entries_truncated : int;  (** undo entries dropped from journal slots *)
+  drops_truncated : int;  (** drop records removed from drop areas *)
+  blocks_quarantined : int;  (** alloc-table bytes cleared *)
+  unrepairable : finding list;  (** damage detected but not fixable *)
+  post : report;  (** [check_device] re-run after the repairs *)
+}
+
+val repair : Pmem.Device.t -> repair_report
+
+val repaired : repair_report -> bool
+(** No unrepairable findings and the post-repair check is clean. *)
+
+val pp_repair : Format.formatter -> repair_report -> unit

@@ -2,6 +2,7 @@ exception Pool_closed
 exception Tx_escape
 exception Borrow_error of string
 exception Recovery_needed of string
+exception Read_only_pool
 
 module D = Pmem.Device
 module B = Palloc.Buddy
@@ -22,6 +23,28 @@ let hdr_slot_size = 56
 let hdr_heap_len = 64
 let hdr_table_base = 72
 let hdr_heap_base = 80
+let hdr_csum = 88 (* CRC-32 of the immutable layout fields *)
+
+(* The header checksum covers the fields that never change after format:
+   version, nslots, slot size, heap length, table base, heap base.  The
+   generation counter and the root words are deliberately excluded — they
+   are updated through their own atomic, journal-protected protocols. *)
+let header_crc dev =
+  let buf = Bytes.create 48 in
+  List.iteri
+    (fun i off -> Bytes.set_int64_le buf (i * 8) (D.read_u64 dev off))
+    [ hdr_version; hdr_nslots; hdr_slot_size; hdr_heap_len; hdr_table_base;
+      hdr_heap_base ];
+  Pmem.Crc32.bytes buf
+
+let stored_header_crc dev = Int64.to_int (D.read_u64 dev hdr_csum)
+let header_crc_ok dev = stored_header_crc dev = header_crc dev
+
+let write_header_crc dev =
+  D.write_u64 dev hdr_csum (Int64.of_int (header_crc dev));
+  D.persist dev hdr_csum 8
+
+type open_mode = Read_write | Read_only
 
 type config = { size : int; nslots : int; slot_size : int }
 
@@ -38,6 +61,7 @@ type t = {
   buddy : B.t;
   uid : int;
   mutable open_ : bool;
+  read_only : bool;
   nslots : int;
   slot_size : int;
   journal_base : int;
@@ -79,6 +103,8 @@ let next_uid = Atomic.make 1
 
 let check_open t = if not t.open_ then raise Pool_closed
 let is_open t = t.open_
+let is_read_only t = t.read_only
+let check_writable t = if t.read_only then raise Read_only_pool
 let uid t = t.uid
 let device t = t.dev
 let buddy t = t.buddy
@@ -101,8 +127,8 @@ let layout ~size ~nslots ~slot_size =
   if !heap_len <= 0 then invalid_arg "Pool_impl: pool too small for a heap";
   (table_base, heap_base_of !heap_len, !heap_len)
 
-let build dev ~buddy ~nslots ~slot_size ~table_base ~heap_base ~heap_len
-    ~recovery =
+let build ?(read_only = false) dev ~buddy ~nslots ~slot_size ~table_base
+    ~heap_base ~heap_len ~recovery =
   let slots =
     Array.init nslots (fun i ->
         (* each slot prefers its own allocator stripe *)
@@ -115,6 +141,7 @@ let build dev ~buddy ~nslots ~slot_size ~table_base ~heap_base ~heap_len
     buddy;
     uid = Atomic.fetch_and_add next_uid 1;
     open_ = true;
+    read_only;
     nslots;
     slot_size;
     journal_base = header_size;
@@ -161,6 +188,7 @@ let create ?(config = default_config) ?latency ?path () =
   D.write_u64 dev hdr_heap_len (Int64.of_int heap_len);
   D.write_u64 dev hdr_table_base (Int64.of_int table_base);
   D.write_u64 dev hdr_heap_base (Int64.of_int heap_base);
+  D.write_u64 dev hdr_csum (Int64.of_int (header_crc dev));
   D.persist dev 0 header_size;
   for i = 0 to nslots - 1 do
     J.format dev ~base:(header_size + (i * slot_size)) ~size:slot_size
@@ -169,28 +197,40 @@ let create ?(config = default_config) ?latency ?path () =
   build dev ~buddy ~nslots ~slot_size ~table_base ~heap_base ~heap_len
     ~recovery:R.empty_stats
 
-(* Attach to formatted media: verify the header, run recovery, rebuild. *)
-let attach dev =
+(* Attach to formatted media: verify the header, run recovery, rebuild.
+   In [Read_only] mode nothing is written — recovery and the generation
+   bump are skipped — so a damaged-but-readable pool can still be
+   salvaged; reads may then observe uncommitted in-flight data. *)
+let attach ?(mode = Read_write) dev =
   let m = D.read_string dev 0 (String.length magic) in
   if not (String.equal m magic) then
     raise (Recovery_needed "bad magic: not a Corundum pool");
   let v = Int64.to_int (D.read_u64 dev hdr_version) in
   if v <> version then
     raise (Recovery_needed (Printf.sprintf "unsupported pool version %d" v));
+  if mode = Read_write && not (header_crc_ok dev) then
+    raise
+      (Recovery_needed
+         "pool header checksum mismatch (run fsck, or open read-only)");
   let nslots = Int64.to_int (D.read_u64 dev hdr_nslots) in
   let slot_size = Int64.to_int (D.read_u64 dev hdr_slot_size) in
   let heap_len = Int64.to_int (D.read_u64 dev hdr_heap_len) in
   let table_base = Int64.to_int (D.read_u64 dev hdr_table_base) in
   let heap_base = Int64.to_int (D.read_u64 dev hdr_heap_base) in
-  let table = T.attach dev ~table_base ~heap_base ~heap_len in
   let recovery =
-    R.recover dev table ~journal_base:header_size ~slot_size ~nslots
+    match mode with
+    | Read_only -> R.empty_stats
+    | Read_write ->
+        let table = T.attach dev ~table_base ~heap_base ~heap_len in
+        R.recover dev table ~journal_base:header_size ~slot_size ~nslots
   in
   let buddy = B.attach ~stripes:nslots dev ~table_base ~heap_base ~heap_len in
-  bump_generation dev;
-  build dev ~buddy ~nslots ~slot_size ~table_base ~heap_base ~heap_len ~recovery
+  if mode = Read_write then bump_generation dev;
+  build ~read_only:(mode = Read_only) dev ~buddy ~nslots ~slot_size ~table_base
+    ~heap_base ~heap_len ~recovery
 
-let open_file ?latency path = attach (D.load ?latency path)
+let open_file ?(mode = Read_write) ?latency path =
+  attach ~mode (D.load ?latency path)
 
 let reopen t =
   t.open_ <- false;
@@ -199,6 +239,7 @@ let reopen t =
 
 let save t =
   check_open t;
+  check_writable t;
   D.save t.dev
 
 let close t =
@@ -207,7 +248,7 @@ let close t =
   let busy = Hashtbl.length t.txs > 0 in
   Mutex.unlock t.txs_lock;
   if busy then invalid_arg "Pool_impl.close: transactions in progress";
-  if D.path t.dev <> None then D.save t.dev;
+  if (not t.read_only) && D.path t.dev <> None then D.save t.dev;
   t.open_ <- false
 
 (* {1 Transaction engine} *)
@@ -297,6 +338,7 @@ let finish_crashed tx =
 
 let transaction t f =
   check_open t;
+  check_writable t;
   let did = (Domain.self () :> int) in
   Mutex.lock t.txs_lock;
   let existing = Hashtbl.find_opt t.txs did in

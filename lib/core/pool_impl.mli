@@ -24,7 +24,20 @@ exception Borrow_error of string
 exception Recovery_needed of string
 (** Internal corruption was detected at open time. *)
 
+exception Read_only_pool
+(** A mutating operation (transaction, save) touched a pool opened in
+    {!Read_only} mode. *)
+
 type t
+
+type open_mode =
+  | Read_write  (** Normal open: run recovery, bump the generation. *)
+  | Read_only
+      (** Degraded open for damaged media: nothing is written — recovery
+          and the generation bump are skipped, transactions raise
+          {!Read_only_pool}.  Reads may observe uncommitted in-flight
+          data from an unrecovered journal; the mode exists to salvage
+          pools whose damage is detectable but not repairable. *)
 
 type config = {
   size : int;  (** total device bytes *)
@@ -42,9 +55,11 @@ val create :
 (** Create and format a fresh pool (in memory; backed by [path] only when
     {!close} or {!save} writes it out). *)
 
-val open_file : ?latency:Pmem.Latency.t -> string -> t
+val open_file : ?mode:open_mode -> ?latency:Pmem.Latency.t -> string -> t
 (** Load a pool image from a file saved by {!close}/{!save}, running
-    journal recovery. *)
+    journal recovery (unless [mode] is {!Read_only}).  Raises
+    {!Recovery_needed} on a bad magic/version, or — in [Read_write] mode —
+    on a header checksum mismatch. *)
 
 val reopen : t -> t
 (** Simulate a restart on the same media: power-cycle the device (losing
@@ -60,6 +75,7 @@ val save : t -> unit
 (** Persist the durable image to the backing file without closing. *)
 
 val is_open : t -> bool
+val is_read_only : t -> bool
 val uid : t -> int
 (** Unique id of this open instance (changes on every open/reopen). *)
 
@@ -74,6 +90,24 @@ val recovery_stats : t -> Pjournal.Recovery.stats
 val device : t -> Pmem.Device.t
 val buddy : t -> Palloc.Buddy.t
 val check_open : t -> unit
+
+(** {1 Header checksum}
+
+    The pool header carries a CRC-32 of its immutable layout fields
+    (version, nslots, slot size, heap length, table base, heap base);
+    the generation counter and root words are excluded — they have their
+    own atomic, journal-protected update protocols.  Verified at every
+    read-write open; repaired by {!Pool_check.repair} when the layout
+    itself is still sane. *)
+
+val header_crc : Pmem.Device.t -> int
+(** Checksum recomputed from the layout fields currently on media. *)
+
+val stored_header_crc : Pmem.Device.t -> int
+val header_crc_ok : Pmem.Device.t -> bool
+
+val write_header_crc : Pmem.Device.t -> unit
+(** Recompute and durably (re)write the header checksum. *)
 
 (** {1 Root object} *)
 

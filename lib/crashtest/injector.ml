@@ -11,6 +11,7 @@ end
 type result = {
   points : int;
   crashes_injected : int;
+  torn_lines : int;
   failures : (int * string) list;
 }
 
@@ -31,27 +32,43 @@ let chosen_points ~points ~limit =
         (List.init l (fun i -> 1 + (i * (points - 1) / (max 1 (l - 1)))))
   | _ -> List.init points (fun i -> i + 1)
 
-let sweep ?limit ?(survival_samples = 1) make =
+let sweep ?limit ?(survival_samples = 1) ?(torn_prob = 0.0) ?(fsck = true) make
+    =
   let points = points_of_dry_run make in
   let failures = ref [] in
   let injected = ref 0 in
+  let torn = ref 0 in
   let try_point k sample =
     let module I = (val make () : INSTANCE) in
     I.setup ();
-    D.set_crash_countdown (I.device ()) k;
+    let dev = I.device () in
+    if torn_prob > 0.0 then D.set_torn_write_prob dev torn_prob;
+    D.set_crash_countdown dev k;
     match I.run () with
     | () ->
         (* The schedule outlived the run (nondeterministic scenarios). *)
-        D.set_crash_countdown (I.device ()) 0
+        D.set_crash_countdown dev 0
     | exception D.Crashed -> begin
         incr injected;
         (* sample a different subset of surviving WPQ lines each time *)
-        D.reseed (I.device ()) (0x5EED + (k * 131) + sample);
+        D.reseed dev (0x5EED + (k * 131) + sample);
         I.reopen ();
-        match I.verify ~outcome:(`Crashed k) with
+        torn := !torn + (D.stats dev).D.torn_lines;
+        (match I.verify ~outcome:(`Crashed k) with
         | () -> ()
         | exception e ->
-            failures := (k, Printexc.to_string e) :: !failures
+            failures := (k, Printexc.to_string e) :: !failures);
+        (* recovery must leave a structurally consistent image: a pool
+           that verifies but fails fsck has corruption waiting to bite *)
+        if fsck then begin
+          let report = Corundum.Pool_check.check_device (I.device ()) in
+          if not (Corundum.Pool_check.ok report) then
+            failures :=
+              ( k,
+                Format.asprintf "post-recovery fsck: %a" Corundum.Pool_check.pp
+                  report )
+              :: !failures
+        end
       end
     | exception e ->
         failures :=
@@ -64,13 +81,19 @@ let sweep ?limit ?(survival_samples = 1) make =
         try_point k sample
       done)
     (chosen_points ~points ~limit);
-  { points; crashes_injected = !injected; failures = List.rev !failures }
+  {
+    points;
+    crashes_injected = !injected;
+    torn_lines = !torn;
+    failures = List.rev !failures;
+  }
 
 let is_clean r = r.failures = []
 
 let pp_result ppf r =
-  Format.fprintf ppf "%d persist points, %d crashes injected, %d failures"
-    r.points r.crashes_injected
+  Format.fprintf ppf
+    "%d persist points, %d crashes injected, %d torn lines, %d failures"
+    r.points r.crashes_injected r.torn_lines
     (List.length r.failures);
   List.iter
     (fun (k, msg) -> Format.fprintf ppf "@.  crash@%d: %s" k msg)

@@ -29,17 +29,36 @@ end
 type result = {
   points : int;  (** persist points in the scenario's [run] *)
   crashes_injected : int;
+  torn_lines : int;  (** cache lines that landed word-torn at the crash *)
   failures : (int * string) list;  (** crash point, violation description *)
 }
 
 val sweep :
-  ?limit:int -> ?survival_samples:int -> (unit -> (module INSTANCE)) -> result
+  ?limit:int ->
+  ?survival_samples:int ->
+  ?torn_prob:float ->
+  ?fsck:bool ->
+  (unit -> (module INSTANCE)) ->
+  result
 (** Run the full sweep.  [limit] caps the number of injected crashes (the
     points are then sampled evenly); default exhausts every point.
     [survival_samples] (default 1) repeats each crash point with different
     write-pending-queue survival subsets — lines flushed but not fenced at
     the failure may or may not have reached media, and each sample
-    explores a different outcome. *)
+    explores a different outcome.
+
+    [torn_prob] (default 0) additionally tears surviving write-pending
+    lines at that probability: each 8-byte word of a torn line lands
+    independently old or new, modeling media whose atomic write unit is
+    smaller than a cache line.  Recovery must still restore an
+    invariant-respecting state — the journal's sealed-entry ordering and
+    checksums are exactly what makes that true.
+
+    After every recovery the image is additionally checked with
+    {!Corundum.Pool_check.check_device} (disable with [~fsck:false]): a
+    pool that satisfies the scenario's invariants but is structurally
+    corrupt is silent corruption waiting to surface, and counts as a
+    failure. *)
 
 val pp_result : Format.formatter -> result -> unit
 val is_clean : result -> bool

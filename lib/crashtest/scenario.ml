@@ -430,6 +430,64 @@ let btree_ops ?(keys = 10) () : (module Injector.INSTANCE) =
       Leak_check.assert_clean (P.impl ()) ~root_ty
   end)
 
+(* --- Kvstore: string-keyed hash map puts and deletes ------------------- *)
+
+let kvstore ?(ops = 5) () : (module Injector.INSTANCE) =
+  (module struct
+    include Fresh ()
+
+    let root_ty = Pstrmap.ptype Ptype.int
+    let seed_keys = [ "alpha"; "beta"; "gamma" ]
+
+    let root () =
+      P.root ~ty:root_ty ~init:(fun j -> Pstrmap.make ~vty:Ptype.int j) ()
+
+    let setup () =
+      created ();
+      ignore (root ());
+      (* a committed working set the run's rehash/deletes must not lose *)
+      P.transaction (fun j ->
+          let m = Pbox.get (root ()) in
+          List.iteri (fun i k -> Pstrmap.add m ~key:k (i + 1) j) seed_keys)
+
+    let run () =
+      P.transaction (fun j ->
+          let m = Pbox.get (root ()) in
+          for k = 1 to ops do
+            Pstrmap.add m ~key:(Printf.sprintf "key-%d" k) (k * 100) j
+          done);
+      P.transaction (fun j ->
+          let m = Pbox.get (root ()) in
+          if not (Pstrmap.remove m "beta" j) then fail "kvstore: beta missing")
+
+    let verify ~outcome =
+      let m = Pbox.get (root ()) in
+      (match Pstrmap.check m with
+      | Ok () -> ()
+      | Error e -> fail "kvstore: structure broken after crash: %s" e);
+      let nseed = List.length seed_keys in
+      let len = Pstrmap.length m in
+      let ok =
+        match outcome with
+        | `Completed -> len = nseed + ops - 1
+        | `Crashed _ ->
+            len = nseed || len = nseed + ops || len = nseed + ops - 1
+      in
+      if not ok then fail "kvstore: torn size %d" len;
+      (* atomicity: either no run keys, or all of them with intact values *)
+      if len > nseed then
+        for k = 1 to ops do
+          match Pstrmap.find m (Printf.sprintf "key-%d" k) with
+          | Some v when v = k * 100 -> ()
+          | Some v -> fail "kvstore: key-%d corrupted to %d" k v
+          | None -> fail "kvstore: key-%d lost" k
+        done;
+      if Pstrmap.find m "alpha" <> Some 1 || Pstrmap.find m "gamma" <> Some 3
+      then fail "kvstore: committed seed data lost";
+      heap_ok (P.impl ());
+      Leak_check.assert_clean (P.impl ()) ~root_ty
+  end)
+
 let all =
   [
     ("counter", fun () -> counter ());
@@ -441,4 +499,5 @@ let all =
     ("logfree_counter", fun () -> logfree_counter ());
     ("map_rotations", fun () -> map_rotations ());
     ("btree_ops", fun () -> btree_ops ());
+    ("kvstore", fun () -> kvstore ());
   ]

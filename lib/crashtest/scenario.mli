@@ -54,5 +54,11 @@ val btree_ops : ?keys:int -> unit -> (module Injector.INSTANCE)
     any crash the tree invariants must hold on exactly the before/middle/
     after contents. *)
 
+val kvstore : ?ops:int -> unit -> (module Injector.INSTANCE)
+(** String-keyed hash-map puts (forcing a rehash) in one transaction and a
+    delete in a second, over a committed seed working set; after any crash
+    the map's chain invariants hold, the size is exactly one of the three
+    committed states, and the seed data is intact. *)
+
 val all : (string * (unit -> (module Injector.INSTANCE))) list
 (** Name/constructor pairs for every scenario above, with defaults. *)

@@ -17,44 +17,86 @@ let drop_entry_size = 16
 
 module D = Pmem.Device
 
+(* Word 0 of every entry packs the kind (low 32 bits) with a CRC-32 of the
+   entry body (high 32 bits).  The body is the meaningful bytes after the
+   kind word — for [Data] that includes the saved payload (but not its
+   padding) — so a torn or rotted entry fails verification instead of
+   being silently applied.  Packing the checksum into the kind word keeps
+   every entry size unchanged. *)
+
+let pack_kind ~kind ~crc =
+  Int64.logor (Int64.of_int kind) (Int64.shift_left (Int64.of_int crc) 32)
+
+let kind_of_word w = Int64.to_int (Int64.logand w 0xFFFFFFFFL)
+let crc_of_word w = Int64.to_int (Int64.shift_right_logical w 32)
+
+(* CRC of [len] device bytes at [off]; reading through the device charges
+   the loads the checksum really costs. *)
+let crc_of_range dev ~off ~len = Pmem.Crc32.bytes (D.read_bytes dev off len)
+
+let body_len_data len = 16 + len
+let body_len_alloc = 16
+let body_len_drop = 8
+
+let seal dev ~at ~kind ~body_len =
+  let crc = crc_of_range dev ~off:(at + 8) ~len:body_len in
+  D.write_u64 dev at (pack_kind ~kind ~crc)
+
 let write_data dev ~at ~off ~len =
-  D.write_u64 dev at (Int64.of_int kind_data);
   D.write_u64 dev (at + 8) (Int64.of_int off);
   D.write_u64 dev (at + 16) (Int64.of_int len);
-  D.copy_within dev ~src:off ~dst:(at + 24) ~len
+  D.copy_within dev ~src:off ~dst:(at + 24) ~len;
+  seal dev ~at ~kind:kind_data ~body_len:(body_len_data len)
 
 let write_alloc dev ~at ~off ~order =
-  D.write_u64 dev at (Int64.of_int kind_alloc);
   D.write_u64 dev (at + 8) (Int64.of_int off);
-  D.write_u64 dev (at + 16) (Int64.of_int order)
+  D.write_u64 dev (at + 16) (Int64.of_int order);
+  seal dev ~at ~kind:kind_alloc ~body_len:body_len_alloc
 
 let write_drop dev ~at ~off =
-  D.write_u64 dev at (Int64.of_int kind_drop);
-  D.write_u64 dev (at + 8) (Int64.of_int off)
+  D.write_u64 dev (at + 8) (Int64.of_int off);
+  seal dev ~at ~kind:kind_drop ~body_len:body_len_drop
+
+let corrupt ~at fmt =
+  Printf.ksprintf
+    (fun m -> invalid_arg (Printf.sprintf "Log_entry: %s at %d" m at))
+    fmt
 
 (* Entry size without materializing the entry (for region-boundary
    decisions during walks). *)
 let peek_size dev ~at =
-  let kind = Int64.to_int (D.read_u64 dev at) in
+  let kind = kind_of_word (D.read_u64 dev at) in
   if kind = kind_data then
     data_entry_size (Int64.to_int (D.read_u64 dev (at + 16)))
   else if kind = kind_alloc then alloc_entry_size
   else if kind = kind_drop then drop_entry_size
-  else invalid_arg (Printf.sprintf "Log_entry.peek: bad kind %d at %d" kind at)
+  else corrupt ~at "bad kind %d" kind
+
+let verify dev ~at ~stored_crc ~body_len =
+  if at + 8 + body_len > D.size dev then corrupt ~at "entry overruns the device";
+  if crc_of_range dev ~off:(at + 8) ~len:body_len <> stored_crc then
+    corrupt ~at "checksum mismatch"
 
 let read dev ~at =
-  let kind = Int64.to_int (D.read_u64 dev at) in
+  let w = D.read_u64 dev at in
+  let kind = kind_of_word w and stored_crc = crc_of_word w in
   let off = Int64.to_int (D.read_u64 dev (at + 8)) in
   if kind = kind_data then begin
     let len = Int64.to_int (D.read_u64 dev (at + 16)) in
+    if len <= 0 || len > D.size dev then corrupt ~at "implausible length %d" len;
+    verify dev ~at ~stored_crc ~body_len:(body_len_data len);
     (Data { off; len; payload = at + 24 }, data_entry_size len)
   end
   else if kind = kind_alloc then begin
+    verify dev ~at ~stored_crc ~body_len:body_len_alloc;
     let order = Int64.to_int (D.read_u64 dev (at + 16)) in
     (Alloc { off; order }, alloc_entry_size)
   end
-  else if kind = kind_drop then (Drop { off }, drop_entry_size)
-  else invalid_arg (Printf.sprintf "Log_entry.read: bad kind %d at %d" kind at)
+  else if kind = kind_drop then begin
+    verify dev ~at ~stored_crc ~body_len:body_len_drop;
+    (Drop { off }, drop_entry_size)
+  end
+  else corrupt ~at "bad kind %d" kind
 
 (* --- walking a (possibly spilled) undo log ----------------------------- *)
 
@@ -73,10 +115,15 @@ let main_entry_limit ~slot_base ~slot_size =
   slot_base + slot_size - (slot_size / 4)
 
 let write_jump dev ~at =
-  D.write_u64 dev at (Int64.of_int kind_jump);
+  D.write_u64 dev at (pack_kind ~kind:kind_jump ~crc:0);
   D.persist dev at 8
 
-let walk dev ~slot_base ~slot_size ~count f =
+(* The checksum-aware walk: visit entries until [count] is reached or the
+   first entry fails verification (torn or rotted metadata); return how
+   many verified.  The prefix below the first bad entry is exactly the log
+   a torn tail write never produced — recovery treats the rest as
+   never-written. *)
+let walk_checked dev ~slot_base ~slot_size ~count f =
   let next_region base =
     (* region 0 is the slot itself; its chain pointer is in the header *)
     if base = slot_base then Int64.to_int (D.read_u64 dev (slot_base + 24))
@@ -89,31 +136,46 @@ let walk dev ~slot_base ~slot_size ~count f =
     if base = slot_base then main_entry_limit ~slot_base ~slot_size
     else base + Int64.to_int (D.read_u64 dev (base + 8))
   in
-  let jump base =
-    let nxt = next_region base in
-    if nxt = 0 then invalid_arg "Log_entry.walk: count overruns the log";
-    nxt
-  in
-  let rec go remaining base cursor =
-    if remaining > 0 then
+  let rec go visited hops base cursor =
+    if visited >= count then (visited, None)
+    else
       let limit = region_limit base in
       (* regions end either by exhaustion or at an explicit jump sentinel *)
       if
         cursor + 8 > limit
-        || Int64.to_int (D.read_u64 dev cursor) = kind_jump
-      then
-        let base = jump base in
-        go remaining base (region_cursor base)
-      else begin
-        let e, sz = read dev ~at:cursor in
-        f e;
-        go (remaining - 1) base (cursor + sz)
+        || kind_of_word (D.read_u64 dev cursor) = kind_jump
+      then begin
+        let nxt = next_region base in
+        if nxt <= 0 || nxt + spill_header > D.size dev then
+          (visited, Some "log chain truncated before the entry count")
+        else if hops >= 4096 then (visited, Some "spill chain is cyclic")
+        else go visited (hops + 1) nxt (region_cursor nxt)
       end
+      else
+        match read dev ~at:cursor with
+        | e, sz ->
+            f e;
+            go (visited + 1) hops base (cursor + sz)
+        | exception Invalid_argument m -> (visited, Some m)
   in
-  go count slot_base (region_cursor slot_base)
+  go 0 0 slot_base (region_cursor slot_base)
+
+let walk dev ~slot_base ~slot_size ~count f =
+  match walk_checked dev ~slot_base ~slot_size ~count f with
+  | _, None -> ()
+  | visited, Some reason ->
+      invalid_arg
+        (Printf.sprintf "Log_entry.walk: %s (after %d of %d entries)" reason
+           visited count)
 
 let spill_chain dev ~slot_base =
-  let rec go acc ptr =
-    if ptr = 0 then List.rev acc else go (ptr :: acc) (Int64.to_int (D.read_u64 dev ptr))
+  (* Bounds- and cycle-guarded: this runs on corrupt images too. *)
+  let rec go acc hops ptr =
+    if ptr = 0 then List.rev acc
+    else if ptr < 0 || ptr + spill_header > D.size dev then
+      invalid_arg
+        (Printf.sprintf "Log_entry.spill_chain: wild link to %d" ptr)
+    else if hops >= 4096 then invalid_arg "Log_entry.spill_chain: cyclic chain"
+    else go (ptr :: acc) (hops + 1) (Int64.to_int (D.read_u64 dev ptr))
   in
-  go [] (Int64.to_int (D.read_u64 dev (slot_base + 24)))
+  go [] 0 (Int64.to_int (D.read_u64 dev (slot_base + 24)))

@@ -3,13 +3,21 @@
     Entries live in a journal slot's entry area and are valid iff their
     index is below the slot's persistent entry count; the count is only
     advanced after an entry is durably written, so a torn entry is never
-    observed by recovery.
+    observed by recovery.  As defense in depth against media faults the
+    ordering cannot mask (8-byte-granularity torn writes, bit rot), every
+    entry also carries a CRC-32 of its body packed into the high half of
+    its kind word; {!read} verifies it, and {!walk_checked} lets recovery
+    treat the suffix after the first bad entry as never written.
 
-    Layout (all fields little-endian u64):
+    Layout (all fields little-endian u64; word 0 is
+    [kind (low 32 bits) | body CRC-32 (high 32 bits)]):
 
-    - [Data]:  [kind=1 | target offset | length | saved bytes, padded to 8]
-    - [Alloc]: [kind=2 | block offset  | order]
-    - [Drop]:  [kind=3 | block offset]
+    - [Data]:  [kind=1+crc | target offset | length | saved bytes, padded to 8]
+    - [Alloc]: [kind=2+crc | block offset  | order]
+    - [Drop]:  [kind=3+crc | block offset]
+
+    The CRC covers the body — everything after the kind word except a
+    [Data] entry's padding.
 *)
 
 type t =
@@ -35,8 +43,9 @@ val alloc_entry_size : int
 val drop_entry_size : int
 
 val write_data : Pmem.Device.t -> at:int -> off:int -> len:int -> unit
-(** Write a [Data] entry header at [at] and copy the current contents of
-    [off, off+len) into its payload.  Does not persist. *)
+(** Write a [Data] entry at [at]: copy the current contents of
+    [off, off+len) into its payload, then seal the kind word with the
+    body checksum.  Does not persist. *)
 
 val write_alloc : Pmem.Device.t -> at:int -> off:int -> order:int -> unit
 val write_drop : Pmem.Device.t -> at:int -> off:int -> unit
@@ -46,11 +55,12 @@ val write_jump : Pmem.Device.t -> at:int -> unit
     places one whenever at least 8 bytes remain before spilling). *)
 
 val read : Pmem.Device.t -> at:int -> t * int
-(** Decode the entry at [at]; also return its total size.  Raises
-    [Invalid_argument] on a corrupt kind tag. *)
+(** Decode and checksum-verify the entry at [at]; also return its total
+    size.  Raises [Invalid_argument] on a corrupt kind tag, implausible
+    length, or checksum mismatch. *)
 
 val peek_size : Pmem.Device.t -> at:int -> int
-(** Total size of the entry at [at] without decoding it fully. *)
+(** Total size of the entry at [at] without decoding or verifying it. *)
 
 val spill_header : int
 (** Bytes of metadata at the head of a spill region ([next | limit]). *)
@@ -63,7 +73,21 @@ val walk :
   Pmem.Device.t -> slot_base:int -> slot_size:int -> count:int -> (t -> unit) -> unit
 (** Visit [count] entries of a slot's undo log in write order, following
     the spill chain (slot header word +24) across region boundaries.
-    Raises [Invalid_argument] on a torn log. *)
+    Raises [Invalid_argument] on a torn or corrupt log. *)
+
+val walk_checked :
+  Pmem.Device.t ->
+  slot_base:int ->
+  slot_size:int ->
+  count:int ->
+  (t -> unit) ->
+  int * string option
+(** Like {!walk} but stops at the first entry that fails verification (or
+    at a broken spill chain) instead of raising; returns how many entries
+    verified and, when short of [count], why the walk stopped.  [f] is
+    only called on verified entries, so the visited prefix is exactly the
+    log a torn tail write never extended. *)
 
 val spill_chain : Pmem.Device.t -> slot_base:int -> int list
-(** Offsets of the slot's spill regions, in chain order. *)
+(** Offsets of the slot's spill regions, in chain order.  Raises
+    [Invalid_argument] on a wild or cyclic chain (corrupt images). *)

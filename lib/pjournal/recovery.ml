@@ -7,6 +7,8 @@ type stats = {
   data_restored : int;
   allocs_reverted : int;
   drops_applied : int;
+  entries_skipped : int;
+  drops_skipped : int;
 }
 
 let empty_stats =
@@ -17,6 +19,8 @@ let empty_stats =
     data_restored = 0;
     allocs_reverted = 0;
     drops_applied = 0;
+    entries_skipped = 0;
+    drops_skipped = 0;
   }
 
 let add_stats a b =
@@ -27,6 +31,8 @@ let add_stats a b =
     data_restored = a.data_restored + b.data_restored;
     allocs_reverted = a.allocs_reverted + b.allocs_reverted;
     drops_applied = a.drops_applied + b.drops_applied;
+    entries_skipped = a.entries_skipped + b.entries_skipped;
+    drops_skipped = a.drops_skipped + b.drops_skipped;
   }
 
 let drop_slot_bytes = 16
@@ -34,12 +40,21 @@ let phase_committing = 1L
 
 (* Revert an allocation-table byte if it is still set (idempotent). *)
 let clear_if_live table off =
-  let idx = Palloc.Alloc_table.index_of_offset table off in
-  match Palloc.Alloc_table.order_at table ~idx with
-  | Some _ ->
-      Palloc.Alloc_table.clear table ~idx;
-      true
-  | None -> false
+  match Palloc.Alloc_table.index_of_offset table off with
+  | exception Invalid_argument _ -> false (* wild offset on a corrupt image *)
+  | idx -> (
+      match Palloc.Alloc_table.order_at table ~idx with
+      | Some _ ->
+          Palloc.Alloc_table.clear table ~idx;
+          true
+      | None -> false)
+
+(* A corrupt image can carry a wild or cyclic spill chain; treat it as
+   empty — the repairing fsck is the tool that reclaims such wreckage. *)
+let spill_chain_or_empty dev ~slot_base =
+  match Log_entry.spill_chain dev ~slot_base with
+  | chain -> chain
+  | exception Invalid_argument _ -> []
 
 (* Counts go to zero first, then any spill chain is released (idempotent
    single-byte table clears) and unchained, then the phase resets — the
@@ -49,41 +64,57 @@ let truncate dev table ~base =
   D.write_u64 dev (base + 8) 0L;
   D.write_u64 dev (base + 16) 0L;
   D.persist dev (base + 8) 16;
-  (match Log_entry.spill_chain dev ~slot_base:base with
+  (match spill_chain_or_empty dev ~slot_base:base with
   | [] -> ()
-  | spills ->
-      List.iter (fun off -> ignore (clear_if_live table off)) spills;
-      D.write_u64 dev (base + 24) 0L;
-      D.persist dev (base + 24) 8);
+  | spills -> List.iter (fun off -> ignore (clear_if_live table off)) spills);
+  if D.read_u64 dev (base + 24) <> 0L then begin
+    D.write_u64 dev (base + 24) 0L;
+    D.persist dev (base + 24) 8
+  end;
   D.write_u64 dev base 0L;
   D.persist dev base 8
 
+(* Collect the verified prefix of the undo log.  A torn or rotted entry
+   (checksum mismatch) ends the prefix: the seal ordering persists every
+   entry before counting it, so a bad entry can only be the tail write
+   that never durably finished — treat it and everything after as never
+   written. *)
 let read_undo_entries dev ~base ~size ~count =
   let entries = ref [] in
-  Log_entry.walk dev ~slot_base:base ~slot_size:size ~count (fun e ->
-      entries := e :: !entries);
-  !entries (* newest first *)
+  let valid, _reason =
+    Log_entry.walk_checked dev ~slot_base:base ~slot_size:size ~count (fun e ->
+        entries := e :: !entries)
+  in
+  (!entries (* newest first *), count - valid)
 
 let recover_slot dev table ~base ~size =
   let phase = D.read_u64 dev base in
   let count = Int64.to_int (D.read_u64 dev (base + 8)) in
   let ndrops = Int64.to_int (D.read_u64 dev (base + 16)) in
   if phase = phase_committing then begin
-    (* The transaction durably committed; finish its deferred frees. *)
-    let applied = ref 0 in
+    (* The transaction durably committed; finish its deferred frees.  A
+       drop entry that fails verification is skipped (frees are
+       idempotent and independent); the leak is visible to fsck. *)
+    let applied = ref 0 and skipped = ref 0 in
     for i = 1 to ndrops do
       let at = base + size - (i * drop_slot_bytes) in
       match Log_entry.read dev ~at with
       | Log_entry.Drop { off }, _ -> if clear_if_live table off then incr applied
-      | (Log_entry.Data _ | Log_entry.Alloc _), _ ->
-          invalid_arg "Recovery: non-drop entry in drop area"
+      | (Log_entry.Data _ | Log_entry.Alloc _), _ -> incr skipped
+      | exception Invalid_argument _ -> incr skipped
     done;
     truncate dev table ~base;
-    { empty_stats with slots_scanned = 1; completed = 1; drops_applied = !applied }
+    {
+      empty_stats with
+      slots_scanned = 1;
+      completed = 1;
+      drops_applied = !applied;
+      drops_skipped = !skipped;
+    }
   end
   else if count > 0 then begin
     (* In-flight transaction: undo newest-first. *)
-    let entries = read_undo_entries dev ~base ~size ~count in
+    let entries, skipped = read_undo_entries dev ~base ~size ~count in
     let restored = ref 0 and reverted = ref 0 in
     List.iter
       (fun e ->
@@ -109,13 +140,17 @@ let recover_slot dev table ~base ~size =
       rolled_back = 1;
       data_restored = !restored;
       allocs_reverted = !reverted;
+      entries_skipped = skipped;
     }
   end
   else begin
     (* Idle — but a crash between a truncate's count reset and its spill
        release leaves a chained slot, so scrub residual fields and free
        any orphaned spill regions. *)
-    if phase <> 0L || ndrops <> 0 || Log_entry.spill_chain dev ~slot_base:base <> []
+    if
+      phase <> 0L || ndrops <> 0
+      || spill_chain_or_empty dev ~slot_base:base <> []
+      || D.read_u64 dev (base + 24) <> 0L
     then truncate dev table ~base;
     { empty_stats with slots_scanned = 1 }
   end

@@ -9,7 +9,16 @@
     other slot with a non-zero entry count was mid-transaction: data
     entries are restored newest-first, logged allocations are reverted,
     drops are discarded.  Recovery itself is idempotent, so a crash during
-    recovery is handled by running it again. *)
+    recovery is handled by running it again.
+
+    Media faults: every entry carries a checksum ({!Log_entry}).  An undo
+    entry that fails verification ends the valid prefix — it and every
+    later entry are treated as never written (the seal ordering persists
+    an entry before counting it, so only the torn tail write can be bad) —
+    and is counted in [entries_skipped].  A corrupt drop entry is skipped
+    individually (frees are idempotent and independent).  Wild or cyclic
+    spill chains are dropped rather than followed; the repairing fsck
+    ({!Corundum.Pool_check}) reclaims what such wreckage leaks. *)
 
 type stats = {
   slots_scanned : int;
@@ -18,6 +27,8 @@ type stats = {
   data_restored : int;  (** data undo entries applied *)
   allocs_reverted : int;  (** allocations rolled back *)
   drops_applied : int;  (** deferred frees re-applied *)
+  entries_skipped : int;  (** undo entries discarded as torn/corrupt *)
+  drops_skipped : int;  (** drop entries discarded as torn/corrupt *)
 }
 
 val empty_stats : stats

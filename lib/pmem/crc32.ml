@@ -1,0 +1,33 @@
+(* CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.  Used to
+   guard on-media metadata (journal entries, pool header) against torn
+   writes and bit rot.  Plain OCaml ints: a CRC always fits in 32 bits. *)
+
+let polynomial = 0xEDB88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then polynomial lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc byte =
+  let t = Lazy.force table in
+  Array.unsafe_get t ((crc lxor byte) land 0xFF) lxor (crc lsr 8)
+
+let seed = 0xFFFFFFFF
+let finish crc = crc lxor 0xFFFFFFFF
+
+let bytes ?(off = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - off in
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Crc32.bytes: range outside the buffer";
+  let crc = ref seed in
+  for i = off to off + len - 1 do
+    crc := update !crc (Char.code (Bytes.unsafe_get b i))
+  done;
+  finish !crc
+
+let string ?off ?len s = bytes ?off ?len (Bytes.unsafe_of_string s)

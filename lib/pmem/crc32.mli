@@ -1,0 +1,21 @@
+(** CRC-32 (IEEE 802.3) checksums for on-media metadata.
+
+    A checksum always fits in the low 32 bits of an OCaml [int], so
+    values can be packed into spare halves of u64 metadata words. *)
+
+val bytes : ?off:int -> ?len:int -> Bytes.t -> int
+(** Checksum of [len] bytes starting at [off] (defaults: the whole
+    buffer).  Raises [Invalid_argument] on an out-of-range slice. *)
+
+val string : ?off:int -> ?len:int -> string -> int
+
+(** {1 Incremental interface} *)
+
+val seed : int
+(** Initial accumulator. *)
+
+val update : int -> int -> int
+(** [update acc byte] folds one byte (0..255) into the accumulator. *)
+
+val finish : int -> int
+(** Finalize an accumulator into the checksum value. *)

@@ -22,6 +22,7 @@ type t = {
   mutable rng : Random.State.t;
   mutable crashed : bool;
   mutable crash_countdown : int; (* <= 0 means disabled *)
+  mutable torn_write_prob : float; (* chance a failing WPQ line lands torn *)
   persist_pts : int Atomic.t;
   loads : int Atomic.t;
   stores : int Atomic.t;
@@ -31,6 +32,8 @@ type t = {
   fence_lines : int Atomic.t;
   alloc_steps : int Atomic.t;
   extra_ns : int Atomic.t;
+  torn_lines : int Atomic.t;
+  corrupted_lines : int Atomic.t;
 }
 
 type stats = {
@@ -42,6 +45,8 @@ type stats = {
   fence_lines : int;
   alloc_steps : int;
   extra_ns : int;
+  torn_lines : int;
+  corrupted_lines : int;
 }
 
 let round_up_lines size = (size + line_size - 1) / line_size * line_size
@@ -62,6 +67,7 @@ let create ?(latency = Latency.zero) ?(seed = 0xC0FFEE) ?path ~size () =
     rng = Random.State.make [| seed |];
     crashed = false;
     crash_countdown = 0;
+    torn_write_prob = 0.0;
     persist_pts = Atomic.make 0;
     loads = Atomic.make 0;
     stores = Atomic.make 0;
@@ -71,6 +77,8 @@ let create ?(latency = Latency.zero) ?(seed = 0xC0FFEE) ?path ~size () =
     fence_lines = Atomic.make 0;
     alloc_steps = Atomic.make 0;
     extra_ns = Atomic.make 0;
+    torn_lines = Atomic.make 0;
+    corrupted_lines = Atomic.make 0;
   }
 
 let size t = t.size
@@ -201,6 +209,15 @@ let set_crash_countdown t n =
   t.crash_countdown <- n;
   Mutex.unlock t.lock
 
+let set_torn_write_prob t p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg "Device.set_torn_write_prob: probability outside [0, 1]";
+  Mutex.lock t.lock;
+  t.torn_write_prob <- p;
+  Mutex.unlock t.lock
+
+let torn_write_prob t = t.torn_write_prob
+
 let persist_points t = Atomic.get t.persist_pts
 
 (* Must be called with [t.lock] held.  Counts a persist point and raises
@@ -264,10 +281,24 @@ let persist t off len =
 let power_cycle t =
   Mutex.lock t.lock;
   (* Lines sitting in the WPQ at power failure may or may not have reached
-     media; decide each one independently. *)
+     media; decide each one independently.  With a torn-write probability
+     set, a line's write-back can additionally be interrupted mid-line:
+     media guarantees 8-byte atomicity only, so each u64 word of the line
+     independently lands new or stays old. *)
   let maybe_drain l snap =
-    if Random.State.bool t.rng then
-      Bytes.blit snap 0 t.durable (l lsl line_shift) (Bytes.length snap)
+    let off = l lsl line_shift in
+    let len = Bytes.length snap in
+    if t.torn_write_prob > 0.0 && Random.State.float t.rng 1.0 < t.torn_write_prob
+    then begin
+      Atomic.incr t.torn_lines;
+      let w = ref 0 in
+      while !w < len do
+        let n = min 8 (len - !w) in
+        if Random.State.bool t.rng then Bytes.blit snap !w t.durable (off + !w) n;
+        w := !w + 8
+      done
+    end
+    else if Random.State.bool t.rng then Bytes.blit snap 0 t.durable off len
   in
   Hashtbl.iter maybe_drain t.wpq;
   Hashtbl.reset t.wpq;
@@ -275,6 +306,24 @@ let power_cycle t =
   Bytes.fill t.state 0 t.nlines st_clean;
   t.crashed <- false;
   t.crash_countdown <- 0;
+  Mutex.unlock t.lock
+
+(* {1 Media corruption (bit rot)} *)
+
+(* Flip one RNG-chosen bit of the durable byte at [off] — a scrub-visible
+   media fault, below the cache.  The volatile view only reflects the rot
+   when the containing line holds no cached store (a dirty or write-pending
+   line masks the media until its next write-back). *)
+let corrupt_line t off =
+  check_range t off 1 "corrupt_line";
+  Mutex.lock t.lock;
+  let bit = 1 lsl Random.State.int t.rng 8 in
+  let flipped = Char.chr (Char.code (Bytes.get t.durable off) lxor bit) in
+  Bytes.set t.durable off flipped;
+  let line = off lsr line_shift in
+  if Bytes.get t.state line = st_clean && not (Hashtbl.mem t.wpq line) then
+    Bytes.set t.view off flipped;
+  Atomic.incr t.corrupted_lines;
   Mutex.unlock t.lock
 
 (* {1 File backing} *)
@@ -323,6 +372,8 @@ let stats (t : t) =
     fence_lines = Atomic.get t.fence_lines;
     alloc_steps = Atomic.get t.alloc_steps;
     extra_ns = Atomic.get t.extra_ns;
+    torn_lines = Atomic.get t.torn_lines;
+    corrupted_lines = Atomic.get t.corrupted_lines;
   }
 
 let reset_stats (t : t) =
@@ -333,7 +384,9 @@ let reset_stats (t : t) =
   Atomic.set t.fences 0;
   Atomic.set t.fence_lines 0;
   Atomic.set t.alloc_steps 0;
-  Atomic.set t.extra_ns 0
+  Atomic.set t.extra_ns 0;
+  Atomic.set t.torn_lines 0;
+  Atomic.set t.corrupted_lines 0
 
 let simulated_ns (t : t) =
   let s = stats t and m = t.latency in

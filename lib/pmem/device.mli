@@ -97,7 +97,29 @@ val power_cycle : t -> unit
     survives with probability 1/2 (device RNG); dirty lines are lost; the
     volatile view is re-read from durable media; the device becomes usable
     again.  Idempotent on a non-crashed device (it simply drops volatile
-    state, which also models a restart without a crash). *)
+    state, which also models a restart without a crash).
+
+    With a nonzero {!set_torn_write_prob}, a write-pending line's
+    write-back can additionally be {e torn} by the failure: media
+    guarantees 8-byte atomicity only, so each u64 word of the line
+    independently lands new or stays old. *)
+
+(** {1 Media faults} *)
+
+val set_torn_write_prob : t -> float -> unit
+(** Probability, per write-pending line at a power failure, that the
+    line's write-back is torn at 8-byte granularity instead of landing or
+    failing whole.  0 (the default) restores the all-or-nothing model.
+    Raises [Invalid_argument] outside [0, 1]. *)
+
+val torn_write_prob : t -> float
+
+val corrupt_line : t -> int -> unit
+(** [corrupt_line t off] flips one RNG-chosen bit of the durable byte at
+    [off] — simulated media bit rot, below the cache.  The volatile view
+    reflects the rot only when the containing line holds no cached store
+    (a dirty or write-pending line masks the media until its next
+    write-back).  Works on crashed devices (rot needs no power). *)
 
 (** {1 Durability across processes} *)
 
@@ -119,6 +141,8 @@ type stats = {
   fence_lines : int;  (** lines drained by fences *)
   alloc_steps : int;  (** buddy split/merge steps charged by the allocator *)
   extra_ns : int;  (** ad-hoc charges *)
+  torn_lines : int;  (** WPQ lines torn at power failures *)
+  corrupted_lines : int;  (** bit-rot faults injected via {!corrupt_line} *)
 }
 
 val stats : t -> stats

@@ -25,7 +25,9 @@ let build () =
   ((module P : Pool.S), Pool_impl.device (P.impl ()))
 
 let finding_in where r =
-  List.exists (fun f -> f.Pool_check.where = where) r.Pool_check.findings
+  List.exists
+    (fun (f : Pool_check.finding) -> f.where = where)
+    r.Pool_check.findings
 
 let test_clean_pool_passes () =
   let _, dev = build () in
