@@ -300,7 +300,53 @@ let benchmark () =
   let raw = Benchmark.all cfg instances tests in
   Analyze.all ols Instance.monotonic_clock raw
 
+(* --trace FILE: skip the wall-clock benchmark and run one small traced
+   workload instead — bechamel's millions of iterations would only wrap
+   the ring.  The workload touches every instrumented layer (tx, journal,
+   allocator, device flush/fence) so the exported Chrome trace and
+   metrics dump exercise the full schema. *)
+let run_traced path =
+  Ptelemetry.Trace.install_ring ~capacity:(1 lsl 16) ();
+  let module P = Pool.Make () in
+  P.create ~config:small ~latency:Pmem.Latency.optane ();
+  ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
+  let off = P.transaction (fun j -> Pool_impl.tx_alloc (Journal.tx j) 4096) in
+  let dev = Pool_impl.device (P.impl ()) in
+  for i = 1 to 100 do
+    P.transaction (fun j ->
+        Pool_impl.tx_log (Journal.tx j) ~off:(off + (i mod 8 * 64)) ~len:64;
+        Pmem.Device.write_u64 dev (off + (i mod 8 * 64)) (Int64.of_int i);
+        if i mod 10 = 0 then begin
+          let b = Pool_impl.tx_alloc (Journal.tx j) 128 in
+          Pool_impl.tx_free (Journal.tx j) b
+        end)
+  done;
+  let module E = Engines.Corundum_engine in
+  let module T = Workloads.Bst.Make (E) in
+  let eng = E.create ~size:(8 * 1024 * 1024) () in
+  for k = 1 to 50 do
+    T.insert eng (Int64.of_int k)
+  done;
+  Ptelemetry.Trace.uninstall ();
+  Ptelemetry.Trace.save_chrome path;
+  let oc = open_out (path ^ ".metrics.json") in
+  output_string oc (Ptelemetry.Json.to_string (Ptelemetry.Metrics.dump_json ()));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d events) and %s.metrics.json\n" path
+    (List.length (Ptelemetry.Trace.events ()))
+    path
+
 let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--trace"; path ] -> run_traced path
+  | [ _ ] -> ()
+  | _ ->
+      prerr_endline "usage: bench [--trace FILE]";
+      exit 2
+
+let () =
+  if Array.length Sys.argv > 1 then exit 0;
   let results = benchmark () in
   Printf.printf "%-40s %16s\n" "benchmark" "ns/run";
   Printf.printf "%s\n" (String.make 58 '-');

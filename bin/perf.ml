@@ -72,7 +72,16 @@ let run_engine (module E : Engines.Engine_sig.S) ~n ~size =
       done);
   List.rev !results
 
-let run_all ~n ~size ~only csv_path =
+(* Table-5-style decomposition: flushes/fences/logged-bytes per basic
+   operation under each engine's logging strategy. *)
+let print_attribution selected =
+  let columns =
+    List.map (fun (name, e) -> (name, Engines.Attribution.measure e)) selected
+  in
+  print_newline ();
+  print_string (Engines.Attribution.table columns)
+
+let select only =
   let selected =
     match only with
     | [] -> Engines.Registry.all
@@ -84,6 +93,10 @@ let run_all ~n ~size ~only csv_path =
       (String.concat ", " (List.map fst Engines.Registry.all));
     exit 2
   end;
+  selected
+
+let run_all ~n ~size ~only csv_path =
+  let selected = select only in
   let columns =
     List.map (fun (name, e) -> (name, run_engine e ~n ~size)) selected
   in
@@ -155,17 +168,51 @@ let only_arg =
     value & pos_all string []
     & info [] ~docv:"ENGINE" ~doc:"Restrict to the named engines.")
 
-let main n size csv only =
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:
+          "Write a Chrome trace_event JSON of the run to $(docv) (load in \
+           chrome://tracing or Perfetto) and a metrics dump to \
+           $(docv).metrics.json." ~docv:"FILE")
+
+let attr_arg =
+  Arg.(
+    value & flag
+    & info [ "attr" ]
+        ~doc:"Print the per-engine flush/fence attribution table.")
+
+let main n size csv only trace attr =
   let csv = match csv with Some "none" -> None | x -> x in
   (match csv with
   | Some p -> ( try Unix.mkdir (Filename.dirname p) 0o755 with _ -> ())
   | None -> ());
-  run_all ~n ~size ~only csv
+  Option.iter (fun _ -> Ptelemetry.Trace.install_ring ~capacity:(1 lsl 18) ())
+    trace;
+  run_all ~n ~size ~only csv;
+  if attr then print_attribution (select only);
+  match trace with
+  | None -> ()
+  | Some path ->
+      Ptelemetry.Trace.uninstall ();
+      Ptelemetry.Trace.save_chrome path;
+      let oc = open_out (path ^ ".metrics.json") in
+      output_string oc (Ptelemetry.Json.to_string (Ptelemetry.Metrics.dump_json ()));
+      output_char oc '\n';
+      close_out oc;
+      let dropped = Ptelemetry.Trace.dropped () in
+      Printf.printf "wrote %s (%d events%s) and %s.metrics.json\n" path
+        (List.length (Ptelemetry.Trace.events ()))
+        (if dropped > 0 then Printf.sprintf ", %d dropped" dropped else "")
+        path
 
 let cmd =
   Cmd.v
     (Cmd.info "perf"
        ~doc:"Reproduce Figure 1 (engine comparison on BST/KVStore/B+Tree)")
-    Term.(const main $ n_arg $ size_arg $ csv_arg $ only_arg)
+    Term.(const main $ n_arg $ size_arg $ csv_arg $ only_arg $ trace_arg
+          $ attr_arg)
 
 let () = exit (Cmd.eval cmd)

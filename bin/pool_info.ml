@@ -14,8 +14,8 @@
 
 open Cmdliner
 
-let load path =
-  match Pmem.Device.load path with
+let load ?latency path =
+  match Pmem.Device.load ?latency path with
   | dev -> dev
   | exception Sys_error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -52,6 +52,54 @@ let run_fsck repair path =
     if not (Corundum.Pool_check.ok r) then exit 1
   end
 
+(* [top]: open the image in memory (the file is never written back),
+   run a short probe workload with telemetry subscribed, and print the
+   metrics registry — flushes/tx, fences/tx, logged bytes/tx and the
+   latency histograms for this pool's actual layout and contents. *)
+let run_top probes path =
+  (* Optane latencies so the tx.latency_ns histogram is meaningful. *)
+  let dev = load ~latency:Pmem.Latency.optane path in
+  Ptelemetry.Trace.install_ring ~capacity:(1 lsl 16) ();
+  let pool =
+    match Corundum.Pool_impl.attach dev with
+    | pool -> pool
+    | exception Corundum.Pool_impl.Recovery_needed msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+  in
+  let module P = Corundum.Pool_impl in
+  let scratch =
+    P.transaction pool (fun tx -> P.tx_alloc tx 256)
+  in
+  let d = P.device pool in
+  for i = 1 to probes do
+    P.transaction pool (fun tx ->
+        P.tx_log tx ~off:scratch ~len:64;
+        Pmem.Device.write_u64 d scratch (Int64.of_int i);
+        if i mod 4 = 0 then begin
+          let b = P.tx_alloc tx 64 in
+          Pmem.Device.write_u64 d b (Int64.of_int i);
+          P.tx_add_target tx ~off:b ~len:8
+        end)
+  done;
+  P.transaction pool (fun tx -> P.tx_free tx scratch);
+  Ptelemetry.Trace.uninstall ();
+  let s = P.stats pool in
+  let per v =
+    float_of_int v /. float_of_int (max 1 (s.P.transactions + s.P.aborts))
+  in
+  let ds = Pmem.Device.stats d in
+  Printf.printf "probe workload: %d transactions on %s (in-memory; file untouched)\n\n"
+    (s.P.transactions + s.P.aborts) path;
+  Printf.printf "per-transaction attribution\n";
+  Printf.printf "  flushes/tx      : %.2f\n" (per ds.Pmem.Device.flush_calls);
+  Printf.printf "  fences/tx       : %.2f\n" (per ds.Pmem.Device.fences);
+  Printf.printf "  logged bytes/tx : %.1f\n\n" (per s.P.logged_bytes);
+  Printf.printf "metrics registry\n%s" (Ptelemetry.Metrics.dump_text ());
+  Printf.printf "\ntrace ring: %d events retained, %d dropped\n"
+    (List.length (Ptelemetry.Trace.events ()))
+    (Ptelemetry.Trace.dropped ())
+
 let path_arg =
   Arg.(
     required
@@ -83,10 +131,24 @@ let fsck_cmd =
        ~doc:"Check a pool image for corruption; with --repair, fix it.")
     Term.(const run_fsck $ repair_arg $ path_arg)
 
+let probes_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "probes" ] ~doc:"Probe transactions to run." ~docv:"N")
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run a short probe workload against an in-memory copy of the pool \
+          and print per-transaction flush/fence/logging attribution plus \
+          the telemetry metrics registry.  The image file is not modified.")
+    Term.(const run_top $ probes_arg $ path_arg)
+
 let cmd =
   Cmd.group ~default:info_term
     (Cmd.info "pool_info" ~doc:"Inspect and check a Corundum pool image")
-    [ info_cmd; fsck_cmd ]
+    [ info_cmd; fsck_cmd; top_cmd ]
 
 (* Back-compat: [pool_info POOL] (no subcommand) still means [info POOL] —
    a command group would otherwise read the image path as a command name. *)
@@ -97,7 +159,7 @@ let () =
       Array.length argv > 1
       && not
            (List.mem argv.(1)
-              [ "info"; "fsck"; "--help"; "-h"; "--version" ])
+              [ "info"; "fsck"; "top"; "--help"; "-h"; "--version" ])
     then
       Array.append
         [| argv.(0); "info" |]

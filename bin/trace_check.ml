@@ -1,0 +1,30 @@
+(* Validate a Chrome trace_event JSON file against the schema the
+   telemetry exporter promises: required fields, known phases, X events
+   carrying durations, and balanced B/E span nesting per thread.  Exits
+   0 on a clean file, 1 with one line per violation otherwise — small
+   enough for CI to run on every traced benchmark. *)
+
+let () =
+  let paths =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as paths) -> paths
+    | _ ->
+        prerr_endline "usage: trace_check FILE.json ...";
+        exit 2
+  in
+  let bad = ref false in
+  List.iter
+    (fun path ->
+      match Ptelemetry.Trace_schema.validate_file path with
+      | Ok n -> Printf.printf "%s: ok (%d events)\n" path n
+      | Error errs ->
+          bad := true;
+          List.iter
+            (fun { Ptelemetry.Trace_schema.index; msg } ->
+              Printf.eprintf "%s: event %d: %s\n" path index msg)
+            errs
+      | exception Sys_error msg ->
+          bad := true;
+          Printf.eprintf "%s\n" msg)
+    paths;
+  if !bad then exit 1

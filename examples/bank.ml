@@ -7,7 +7,12 @@
    injects a simulated power failure mid-stream, recovers, and shows that
    the books still balance.
 
-     dune exec examples/bank.exe *)
+     dune exec examples/bank.exe
+     dune exec examples/bank.exe -- --trace bank_trace.json
+
+   With --trace, the whole run — transfers, the crash, recovery — is
+   recorded as a Chrome trace_event file (load it in chrome://tracing or
+   Perfetto), with a metrics dump written next to it. *)
 
 open Corundum
 module P = Pool.Make ()
@@ -31,7 +36,18 @@ let transfer root src dst amount j =
       a.(dst) <- a.(dst) + amount;
       a)
 
+let trace_path =
+  match Array.to_list Sys.argv with
+  | [ _; "--trace"; path ] -> Some path
+  | [ _ ] -> None
+  | _ ->
+      prerr_endline "usage: bank [--trace FILE]";
+      exit 2
+
 let () =
+  Option.iter
+    (fun _ -> Ptelemetry.Trace.install_ring ~capacity:(1 lsl 16) ())
+    trace_path;
   P.create
     ~config:{ Pool_impl.size = 4 * 1024 * 1024; nslots = 2; slot_size = 64 * 1024 }
     ~path:"bank.pool" ();
@@ -77,4 +93,18 @@ let () =
   Printf.printf "post-recovery transfer committed; heap is leak-free.\n";
   (* save the crash-recovered image so tooling (pool_info fsck) can audit it *)
   P.save ();
-  Printf.printf "recovered image saved to bank.pool.\n"
+  Printf.printf "recovered image saved to bank.pool.\n";
+  Option.iter
+    (fun path ->
+      Ptelemetry.Trace.uninstall ();
+      Ptelemetry.Trace.save_chrome path;
+      let oc = open_out (path ^ ".metrics.json") in
+      output_string oc
+        (Ptelemetry.Json.to_string (Ptelemetry.Metrics.dump_json ()));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "trace written to %s (%d events), metrics to %s.metrics.json\n"
+        path
+        (List.length (Ptelemetry.Trace.events ()))
+        path)
+    trace_path

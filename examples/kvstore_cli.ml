@@ -89,7 +89,16 @@ let iter buckets f =
       go cell)
     buckets
 
+(* Strip a leading [--trace FILE] so any command can be traced. *)
+let trace_path, argv =
+  match Array.to_list Sys.argv with
+  | prog :: "--trace" :: path :: rest -> (Some path, prog :: rest)
+  | argv -> (None, argv)
+
 let () =
+  Option.iter
+    (fun _ -> Ptelemetry.Trace.install_ring ~capacity:(1 lsl 16) ())
+    trace_path;
   P.load_or_create "kvstore.pool";
   let root =
     P.root ~ty:root_ty
@@ -97,7 +106,7 @@ let () =
       ()
   in
   let buckets = Pbox.get root in
-  (match Array.to_list Sys.argv with
+  (match argv with
   | [ _; "put"; k; v ] ->
       P.transaction (fun j ->
           ignore (del buckets k j : bool) (* replace = delete + insert *);
@@ -117,6 +126,13 @@ let () =
       end
   | [ _; "list" ] -> iter buckets (fun k v -> Printf.printf "%s=%s\n" k v)
   | _ ->
-      prerr_endline "usage: kvstore_cli (put K V | get K | del K | list)";
+      prerr_endline
+        "usage: kvstore_cli [--trace FILE] (put K V | get K | del K | list)";
       exit 2);
-  P.close ()
+  P.close ();
+  Option.iter
+    (fun path ->
+      Ptelemetry.Trace.uninstall ();
+      Ptelemetry.Trace.save_chrome path;
+      Printf.eprintf "trace written to %s\n" path)
+    trace_path

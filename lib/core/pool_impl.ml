@@ -9,6 +9,19 @@ module B = Palloc.Buddy
 module T = Palloc.Alloc_table
 module J = Pjournal.Journal_impl
 module R = Pjournal.Recovery
+module Tr = Ptelemetry.Trace
+module Mx = Ptelemetry.Metrics
+
+let m_tx = Mx.counter "tx.count"
+let m_aborts = Mx.counter "tx.aborts"
+let m_recoveries = Mx.counter "recovery.count"
+let m_rolled_back = Mx.counter "recovery.rolled_back"
+let m_completed = Mx.counter "recovery.completed"
+let h_tx_latency = Mx.histogram "tx.latency_ns"
+let h_tx_logged = Mx.histogram "tx.logged_bytes"
+let h_tx_flushes = Mx.histogram "tx.flushes"
+let h_tx_fences = Mx.histogram "tx.fences"
+let h_tx_undo = Mx.histogram "tx.undo_depth"
 
 (* On-media header layout. *)
 let header_size = 4096
@@ -24,6 +37,8 @@ let hdr_heap_len = 64
 let hdr_table_base = 72
 let hdr_heap_base = 80
 let hdr_csum = 88 (* CRC-32 of the immutable layout fields *)
+let hdr_tx_total = 96 (* lifetime committed transactions, folded at save *)
+let hdr_abort_total = 104 (* lifetime aborted transactions, folded at save *)
 
 (* The header checksum covers the fields that never change after format:
    version, nslots, slot size, heap length, table base, heap base.  The
@@ -86,6 +101,12 @@ type t = {
   mutable n_logs : int;
   mutable n_allocs : int;
   mutable n_frees : int;
+  mutable n_logged_bytes : int;
+  (* Lifetime totals read from the header at open; the volatile [n_tx] /
+     [n_abort] deltas are folded back into the header only at {!save} and
+     {!close}, so steady-state commits add no persist points. *)
+  lifetime_tx0 : int;
+  lifetime_abort0 : int;
 }
 
 and tx = {
@@ -166,6 +187,9 @@ let build ?(read_only = false) dev ~buddy ~nslots ~slot_size ~table_base
     n_logs = 0;
     n_allocs = 0;
     n_frees = 0;
+    n_logged_bytes = 0;
+    lifetime_tx0 = Int64.to_int (D.read_u64 dev hdr_tx_total);
+    lifetime_abort0 = Int64.to_int (D.read_u64 dev hdr_abort_total);
   }
 
 let bump_generation dev =
@@ -222,7 +246,27 @@ let attach ?(mode = Read_write) dev =
     | Read_only -> R.empty_stats
     | Read_write ->
         let table = T.attach dev ~table_base ~heap_base ~heap_len in
-        R.recover dev table ~journal_base:header_size ~slot_size ~nslots
+        let t0 = if Tr.on () then D.simulated_ns dev else 0.0 in
+        let r =
+          R.recover dev table ~journal_base:header_size ~slot_size ~nslots
+        in
+        if Tr.on () then begin
+          Mx.incr m_recoveries;
+          Mx.incr ~by:r.R.rolled_back m_rolled_back;
+          Mx.incr ~by:r.R.completed m_completed;
+          Tr.emit
+            ~args:
+              [
+                ("slots", string_of_int r.R.slots_scanned);
+                ("rolled_back", string_of_int r.R.rolled_back);
+                ("completed", string_of_int r.R.completed);
+                ("entries_skipped", string_of_int r.R.entries_skipped);
+              ]
+            ~cat:"pool" ~name:"recovery"
+            ~ph:(Tr.X (D.simulated_ns dev -. t0))
+            ~ts_ns:t0 ()
+        end;
+        r
   in
   let buddy = B.attach ~stripes:nslots dev ~table_base ~heap_base ~heap_len in
   if mode = Read_write then bump_generation dev;
@@ -237,9 +281,22 @@ let reopen t =
   D.power_cycle t.dev;
   attach t.dev
 
+(* Fold the volatile transaction totals into the header.  Called only at
+   save/close so ordinary commits stay free of extra persist points; a
+   crash loses at most the counts since the last save (the counters are
+   statistics, not correctness state). *)
+let persist_lifetime_totals t =
+  if not (D.is_crashed t.dev) then begin
+    D.write_u64 t.dev hdr_tx_total (Int64.of_int (t.lifetime_tx0 + t.n_tx));
+    D.write_u64 t.dev hdr_abort_total
+      (Int64.of_int (t.lifetime_abort0 + t.n_abort));
+    D.persist t.dev hdr_tx_total 16
+  end
+
 let save t =
   check_open t;
   check_writable t;
+  persist_lifetime_totals t;
   D.save t.dev
 
 let close t =
@@ -248,7 +305,10 @@ let close t =
   let busy = Hashtbl.length t.txs > 0 in
   Mutex.unlock t.txs_lock;
   if busy then invalid_arg "Pool_impl.close: transactions in progress";
-  if (not t.read_only) && D.path t.dev <> None then D.save t.dev;
+  if not t.read_only then begin
+    persist_lifetime_totals t;
+    if D.path t.dev <> None then D.save t.dev
+  end;
   t.open_ <- false
 
 (* {1 Transaction engine} *)
@@ -319,14 +379,16 @@ let finish_commit tx =
   release_locks tx;
   clear_borrows tx;
   unregister tx;
-  tx.pool.n_tx <- tx.pool.n_tx + 1
+  tx.pool.n_tx <- tx.pool.n_tx + 1;
+  tx.pool.n_logged_bytes <- tx.pool.n_logged_bytes + J.tx_logged_bytes tx.jrnl
 
 let finish_abort tx =
   J.abort tx.jrnl;
   release_locks tx;
   clear_borrows tx;
   unregister tx;
-  tx.pool.n_abort <- tx.pool.n_abort + 1
+  tx.pool.n_abort <- tx.pool.n_abort + 1;
+  tx.pool.n_logged_bytes <- tx.pool.n_logged_bytes + J.tx_logged_bytes tx.jrnl
 
 (* A simulated power failure: the media is frozen, so neither commit nor
    abort may run; drop the volatile transaction state and propagate. *)
@@ -371,19 +433,67 @@ let transaction t f =
       Mutex.lock t.txs_lock;
       Hashtbl.replace t.txs did tx;
       Mutex.unlock t.txs_lock;
+      (* Telemetry brackets the outermost transaction: an instant at
+         begin and one complete ("X") span at the end whose args carry
+         the per-transaction flush/fence/logging attribution, derived
+         from device-counter deltas so tracing itself never perturbs the
+         simulated clock. *)
+      let tr = Tr.on () in
+      let t0 = if tr then D.simulated_ns t.dev else 0.0 in
+      let s0 = if tr then Some (D.stats t.dev) else None in
+      if tr then
+        Tr.emit
+          ~args:[ ("slot", string_of_int slot_idx) ]
+          ~cat:"pool" ~name:"tx_begin" ~ph:Tr.I ~ts_ns:t0 ();
+      let note outcome ~undo_depth =
+        if tr then begin
+          let t1 = D.simulated_ns t.dev in
+          let s1 = D.stats t.dev and s0 = Option.get s0 in
+          let flushes = s1.D.flush_calls - s0.D.flush_calls in
+          let fences = s1.D.fences - s0.D.fences in
+          let logged = J.tx_logged_bytes jrnl in
+          Mx.incr m_tx;
+          if outcome = "abort" then Mx.incr m_aborts;
+          if outcome <> "crash" then begin
+            Mx.observe h_tx_latency (int_of_float (t1 -. t0));
+            Mx.observe h_tx_logged logged;
+            Mx.observe h_tx_flushes flushes;
+            Mx.observe h_tx_fences fences;
+            Mx.observe h_tx_undo undo_depth
+          end;
+          Tr.emit
+            ~args:
+              [
+                ("outcome", outcome);
+                ("flushes", string_of_int flushes);
+                ("fences", string_of_int fences);
+                ("logged_bytes", string_of_int logged);
+                ("undo_depth", string_of_int undo_depth);
+              ]
+            ~cat:"pool" ~name:"tx"
+            ~ph:(Tr.X (t1 -. t0))
+            ~ts_ns:t0 ()
+        end
+      in
       (match f tx with
       | result ->
+          let undo_depth = J.entry_count jrnl in
           finish_commit tx;
+          note "commit" ~undo_depth;
           result
       | exception D.Crashed ->
           finish_crashed tx;
+          note "crash" ~undo_depth:(J.entry_count jrnl);
           raise D.Crashed
       | exception e ->
+          let undo_depth = J.entry_count jrnl in
           (match finish_abort tx with
           | () -> ()
           | exception D.Crashed ->
               finish_crashed tx;
+              note "crash" ~undo_depth;
               raise D.Crashed);
+          note "abort" ~undo_depth;
           raise e)
 
 (* {1 Logged heap operations} *)
@@ -496,6 +606,9 @@ type pool_stats = {
   log_requests : int;
   allocations : int;
   frees : int;
+  logged_bytes : int;
+  lifetime_transactions : int;
+  lifetime_aborts : int;
 }
 
 let stats t =
@@ -508,4 +621,7 @@ let stats t =
     log_requests = t.n_logs;
     allocations = t.n_allocs;
     frees = t.n_frees;
+    logged_bytes = t.n_logged_bytes;
+    lifetime_transactions = t.lifetime_tx0 + t.n_tx;
+    lifetime_aborts = t.lifetime_abort0 + t.n_abort;
   }

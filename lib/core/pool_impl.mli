@@ -55,11 +55,16 @@ val create :
 (** Create and format a fresh pool (in memory; backed by [path] only when
     {!close} or {!save} writes it out). *)
 
+val attach : ?mode:open_mode -> Pmem.Device.t -> t
+(** Attach to an already-formatted device: verify the header, run journal
+    recovery (unless [mode] is {!Read_only}), and build a handle.  Lets a
+    tool operate on an in-memory copy of an image without ever writing
+    the file back.  Raises {!Recovery_needed} on a bad magic/version, or
+    — in [Read_write] mode — on a header checksum mismatch. *)
+
 val open_file : ?mode:open_mode -> ?latency:Pmem.Latency.t -> string -> t
-(** Load a pool image from a file saved by {!close}/{!save}, running
-    journal recovery (unless [mode] is {!Read_only}).  Raises
-    {!Recovery_needed} on a bad magic/version, or — in [Read_write] mode —
-    on a header checksum mismatch. *)
+(** [attach (Device.load path)]: load a pool image saved by
+    {!close}/{!save} and attach to it. *)
 
 val reopen : t -> t
 (** Simulate a restart on the same media: power-cycle the device (losing
@@ -185,6 +190,13 @@ type pool_stats = {
   log_requests : int;  (** [tx_log]/[tx_log_nodedup] calls (pre-dedup) *)
   allocations : int;
   frees : int;
+  logged_bytes : int;  (** undo-entry bytes sealed since open *)
+  lifetime_transactions : int;
+  (** committed across the pool's whole life: a persistent counter folded
+      into the header at {!save}/{!close} plus this open's volatile count
+      — deliberately {e not} persisted per transaction, so commits carry
+      no extra persist points.  A crash loses the unfolded tail. *)
+  lifetime_aborts : int;
 }
 
 val stats : t -> pool_stats

@@ -19,6 +19,8 @@ type info = {
   live_blocks : int;
   live_bytes : int;
   largest_block : int;
+  lifetime_tx : int;
+  lifetime_aborts : int;
 }
 
 (* Header field offsets mirror Pool_impl's layout; kept in sync by the
@@ -76,6 +78,8 @@ let inspect_device dev =
     live_blocks = !live_blocks;
     live_bytes = !live_bytes;
     largest_block = !largest;
+    lifetime_tx = (if magic_ok then u64 96 else 0);
+    lifetime_aborts = (if magic_ok then u64 104 else 0);
   }
 
 let inspect_file path = inspect_device (D.load path)
@@ -94,6 +98,8 @@ let pp ppf i =
       i.journal_base i.nslots i.slot_size i.table_base i.heap_base i.heap_len;
     fprintf ppf "  heap          : %d live blocks, %d bytes used (largest %d), %d free@."
       i.live_blocks i.live_bytes i.largest_block (i.heap_len - i.live_bytes);
+    fprintf ppf "  transactions  : %d committed, %d aborted (lifetime, as of last save)@."
+      i.lifetime_tx i.lifetime_aborts;
     List.iteri
       (fun n s ->
         match s with

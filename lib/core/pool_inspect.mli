@@ -24,6 +24,8 @@ type info = {
   live_blocks : int;
   live_bytes : int;
   largest_block : int;
+  lifetime_tx : int;  (** committed transactions folded at last save *)
+  lifetime_aborts : int;
 }
 
 val inspect_device : Pmem.Device.t -> info

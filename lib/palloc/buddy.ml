@@ -2,6 +2,13 @@ exception Out_of_pmem
 exception Invalid_free of int
 
 module ISet = Set.Make (Int)
+module Tr = Ptelemetry.Trace
+module Mx = Ptelemetry.Metrics
+
+let m_allocs = Mx.counter "alloc.count"
+let m_frees = Mx.counter "free.count"
+let h_alloc_size = Mx.histogram "alloc.size"
+let h_free_size = Mx.histogram "free.size"
 
 type reservation = { r_idx : int; r_order : int }
 
@@ -215,7 +222,25 @@ let cancel t r =
   let s = t.stripes.(stripe_of t r.r_idx) in
   locked s (fun () -> insert_merged t s r.r_idx r.r_order)
 
-let commit t r = Alloc_table.mark t.table ~idx:r.r_idx ~order:r.r_order
+(* One instant event per committed allocation / completed free; metric
+   sizes are the rounded block sizes the heap actually loses or regains. *)
+let note t name ~off ~bytes =
+  let counter, histo =
+    if name = "alloc" then (m_allocs, h_alloc_size) else (m_frees, h_free_size)
+  in
+  Mx.incr counter;
+  Mx.observe histo bytes;
+  Tr.emit
+    ~args:[ ("off", string_of_int off); ("bytes", string_of_int bytes) ]
+    ~cat:"palloc" ~name ~ph:Tr.I
+    ~ts_ns:(Pmem.Device.simulated_ns (dev t)) ()
+
+let commit t r =
+  Alloc_table.mark t.table ~idx:r.r_idx ~order:r.r_order;
+  if Tr.on () then
+    note t "alloc"
+      ~off:(Alloc_table.offset_of_index t.table r.r_idx)
+      ~bytes:(size_of_order r.r_order)
 let offset_of_reservation t r = Alloc_table.offset_of_index t.table r.r_idx
 
 let alloc ?hint t size =
@@ -230,7 +255,8 @@ let dealloc t off =
   | Some order ->
       Alloc_table.clear t.table ~idx;
       let s = t.stripes.(stripe_of t idx) in
-      locked s (fun () -> insert_merged t s idx order)
+      locked s (fun () -> insert_merged t s idx order);
+      if Tr.on () then note t "free" ~off ~bytes:(size_of_order order)
 
 let dealloc_if_live t off =
   let idx = Alloc_table.index_of_offset t.table off in
@@ -239,7 +265,8 @@ let dealloc_if_live t off =
   | Some order ->
       Alloc_table.clear t.table ~idx;
       let s = t.stripes.(stripe_of t idx) in
-      locked s (fun () -> insert_merged t s idx order)
+      locked s (fun () -> insert_merged t s idx order);
+      if Tr.on () then note t "free" ~off ~bytes:(size_of_order order)
 
 let block_size t off =
   let idx = Alloc_table.index_of_offset t.table off in

@@ -2,6 +2,12 @@ exception Journal_full
 exception Not_in_transaction
 
 module D = Pmem.Device
+module Tr = Ptelemetry.Trace
+module Mx = Ptelemetry.Metrics
+
+let m_entries = Mx.counter "journal.entries"
+let m_spills = Mx.counter "journal.spills"
+let h_entry_bytes = Mx.histogram "journal.entry_bytes"
 
 (* Header field offsets within a slot: phase, undo entry count, drop
    count, and the head of the spill chain. *)
@@ -32,6 +38,7 @@ type t = {
   dedup : (int * int, unit) Hashtbl.t; (* (off, len) ranges already logged *)
   dropped : (int, unit) Hashtbl.t;
   mutable targets : (int * int) list; (* data ranges to persist at commit *)
+  mutable tx_logged : int; (* entry bytes sealed in the current transaction *)
 }
 
 let format dev ~base ~size =
@@ -56,6 +63,7 @@ let attach ?(alloc_hint = 0) dev buddy ~base ~size =
     dedup = Hashtbl.create 64;
     dropped = Hashtbl.create 16;
     targets = [];
+    tx_logged = 0;
   }
 
 let base t = t.base
@@ -67,6 +75,8 @@ let spill_count t = List.length t.spills
 let logged_bytes t =
   if t.last_region = t.base then t.cursor - t.base - hdr_size
   else t.cursor - t.last_region - Log_entry.spill_header
+
+let tx_logged_bytes t = t.tx_logged
 
 let drop_capacity t = t.size / 4 / drop_slot_bytes
 let remaining_bytes t = t.cur_limit - t.cursor
@@ -83,6 +93,7 @@ let begin_tx t =
   t.spills <- [];
   t.drops <- [];
   t.targets <- [];
+  t.tx_logged <- 0;
   Hashtbl.reset t.dedup;
   Hashtbl.reset t.dropped;
   D.charge_ns t.dev tx_overhead_ns
@@ -90,11 +101,20 @@ let begin_tx t =
 (* Persist the entry just written at absolute [at] of [len] bytes, then
    advance and persist the entry count.  The two persists are ordered
    (entry first) so a crash can never expose a counted-but-torn entry. *)
-let seal_entry t ~at ~len =
+let seal_entry t ~kind ~at ~len =
   D.persist t.dev at len;
   t.count <- t.count + 1;
   D.write_u64 t.dev (t.base + hdr_count) (Int64.of_int t.count);
-  D.persist t.dev (t.base + hdr_count) 8
+  D.persist t.dev (t.base + hdr_count) 8;
+  t.tx_logged <- t.tx_logged + len;
+  if Tr.on () then begin
+    Mx.incr m_entries;
+    Mx.observe h_entry_bytes len;
+    Tr.emit
+      ~args:[ ("kind", kind); ("at", string_of_int at); ("len", string_of_int len) ]
+      ~cat:"journal" ~name:"log_entry" ~ph:Tr.I
+      ~ts_ns:(D.simulated_ns t.dev) ()
+  end
 
 (* Chain a fresh spill region big enough for [need] entry bytes.  The
    ordering makes every intermediate state recoverable: the region's own
@@ -125,7 +145,14 @@ let add_spill t need =
   t.spills <- t.spills @ [ off ];
   t.last_region <- off;
   t.cursor <- off + Log_entry.spill_header;
-  t.cur_limit <- off + actual
+  t.cur_limit <- off + actual;
+  if Tr.on () then begin
+    Mx.incr m_spills;
+    Tr.emit
+      ~args:[ ("off", string_of_int off); ("bytes", string_of_int actual) ]
+      ~cat:"journal" ~name:"spill" ~ph:Tr.I
+      ~ts_ns:(D.simulated_ns t.dev) ()
+  end
 
 let ensure_room t need =
   if t.cursor + need > t.cur_limit then begin
@@ -140,7 +167,7 @@ let append_data t ~off ~len =
   let at = t.cursor in
   Log_entry.write_data t.dev ~at ~off ~len;
   t.cursor <- t.cursor + need;
-  seal_entry t ~at ~len:need;
+  seal_entry t ~kind:"data" ~at ~len:need;
   t.targets <- (off, len) :: t.targets
 
 let data_log t ~off ~len =
@@ -171,7 +198,7 @@ let alloc t bytes =
      Log_entry.write_alloc t.dev ~at ~off
        ~order:(r : Palloc.Buddy.reservation).r_order;
      t.cursor <- t.cursor + need;
-     seal_entry t ~at ~len:need
+     seal_entry t ~kind:"alloc" ~at ~len:need
    with
   | () -> ()
   | exception e ->

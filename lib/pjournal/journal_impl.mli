@@ -88,6 +88,12 @@ val spill_count : t -> int
     no fixed bound on transaction size (heap capacity aside). *)
 
 val logged_bytes : t -> int
-(** Bytes of undo-entry area consumed. *)
+(** Bytes of undo-entry area consumed in the {e current} region only. *)
+
+val tx_logged_bytes : t -> int
+(** Total entry bytes sealed since {!begin_tx}, across every spill region
+    — the per-transaction logging volume telemetry attributes to a
+    commit.  Stable after {!commit}/{!abort} until the next
+    {!begin_tx}. *)
 
 val remaining_bytes : t -> int

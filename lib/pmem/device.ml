@@ -94,6 +94,62 @@ let check_range t off len what =
       (Printf.sprintf "Device.%s: range [%d, %d) outside [0, %d)" what off
          (off + len) t.size)
 
+(* {1 Accounting} *)
+
+let stats (t : t) =
+  {
+    loads = Atomic.get t.loads;
+    stores = Atomic.get t.stores;
+    flushes = Atomic.get t.flushes;
+    flush_calls = Atomic.get t.flush_calls;
+    fences = Atomic.get t.fences;
+    fence_lines = Atomic.get t.fence_lines;
+    alloc_steps = Atomic.get t.alloc_steps;
+    extra_ns = Atomic.get t.extra_ns;
+    torn_lines = Atomic.get t.torn_lines;
+    corrupted_lines = Atomic.get t.corrupted_lines;
+  }
+
+let reset_stats (t : t) =
+  Atomic.set t.loads 0;
+  Atomic.set t.stores 0;
+  Atomic.set t.flushes 0;
+  Atomic.set t.flush_calls 0;
+  Atomic.set t.fences 0;
+  Atomic.set t.fence_lines 0;
+  Atomic.set t.alloc_steps 0;
+  Atomic.set t.extra_ns 0;
+  Atomic.set t.torn_lines 0;
+  Atomic.set t.corrupted_lines 0
+
+let simulated_ns (t : t) =
+  let s = stats t and m = t.latency in
+  (float_of_int s.loads *. m.Latency.read_ns)
+  +. (float_of_int s.stores *. m.Latency.write_ns)
+  +. (float_of_int s.flush_calls *. m.Latency.flush_ns)
+  +. (float_of_int (max 0 (s.flushes - s.flush_calls)) *. m.Latency.flush_bulk_ns)
+  +. (float_of_int s.fences *. m.Latency.fence_base_ns)
+  +. (float_of_int s.fence_lines *. m.Latency.fence_per_line_ns)
+  +. (float_of_int s.alloc_steps *. m.Latency.alloc_step_ns)
+  +. float_of_int s.extra_ns
+
+let charge_ns (t : t) n = ignore (Atomic.fetch_and_add t.extra_ns n)
+let charge_alloc_steps (t : t) n = ignore (Atomic.fetch_and_add t.alloc_steps n)
+
+(* {1 Telemetry}
+
+   Emission sites fire only when a trace subscriber is installed
+   (one atomic load + branch otherwise) and never touch the stat
+   counters, so instrumentation cannot move the simulated clock. *)
+
+module Tr = Ptelemetry.Trace
+
+(* Per-access events are behind the [`All] detail level — they flood. *)
+let emit_access t name off len =
+  Tr.emit
+    ~args:[ ("off", string_of_int off); ("len", string_of_int len) ]
+    ~cat:"device" ~name ~ph:Tr.I ~ts_ns:(simulated_ns t) ()
+
 (* Mark every line intersecting [off, off+len) as dirtied by a store. *)
 let mark_dirty t off len =
   let first = off lsr line_shift and last = (off + len - 1) lsr line_shift in
@@ -110,24 +166,28 @@ let read_u8 t off =
   check_alive t;
   check_range t off 1 "read_u8";
   Atomic.incr t.loads;
+  if Tr.verbose () then emit_access t "load" off 1;
   Char.code (Bytes.unsafe_get t.view off)
 
 let read_u32 t off =
   check_alive t;
   check_range t off 4 "read_u32";
   Atomic.incr t.loads;
+  if Tr.verbose () then emit_access t "load" off 4;
   Int32.to_int (Bytes.get_int32_le t.view off) land 0xFFFFFFFF
 
 let read_u64 t off =
   check_alive t;
   check_range t off 8 "read_u64";
   Atomic.incr t.loads;
+  if Tr.verbose () then emit_access t "load" off 8;
   Bytes.get_int64_le t.view off
 
 let read_bytes t off len =
   check_alive t;
   check_range t off len "read_bytes";
   Atomic.incr t.loads;
+  if Tr.verbose () then emit_access t "load" off len;
   Bytes.sub t.view off len
 
 let read_string t off len = Bytes.unsafe_to_string (read_bytes t off len)
@@ -139,21 +199,24 @@ let write_u8 t off v =
   check_range t off 1 "write_u8";
   Atomic.incr t.stores;
   Bytes.unsafe_set t.view off (Char.unsafe_chr (v land 0xFF));
-  mark_dirty t off 1
+  mark_dirty t off 1;
+  if Tr.verbose () then emit_access t "store" off 1
 
 let write_u32 t off v =
   check_alive t;
   check_range t off 4 "write_u32";
   Atomic.incr t.stores;
   Bytes.set_int32_le t.view off (Int32.of_int v);
-  mark_dirty t off 4
+  mark_dirty t off 4;
+  if Tr.verbose () then emit_access t "store" off 4
 
 let write_u64 t off v =
   check_alive t;
   check_range t off 8 "write_u64";
   Atomic.incr t.stores;
   Bytes.set_int64_le t.view off v;
-  mark_dirty t off 8
+  mark_dirty t off 8;
+  if Tr.verbose () then emit_access t "store" off 8
 
 let write_bytes t off b =
   check_alive t;
@@ -162,7 +225,8 @@ let write_bytes t off b =
   if len > 0 then begin
     Atomic.incr t.stores;
     Bytes.blit b 0 t.view off len;
-    mark_dirty t off len
+    mark_dirty t off len;
+    if Tr.verbose () then emit_access t "store" off len
   end
 
 let write_string t off s =
@@ -172,7 +236,8 @@ let write_string t off s =
   if len > 0 then begin
     Atomic.incr t.stores;
     Bytes.blit_string s 0 t.view off len;
-    mark_dirty t off len
+    mark_dirty t off len;
+    if Tr.verbose () then emit_access t "store" off len
   end
 
 let fill t off len c =
@@ -181,7 +246,8 @@ let fill t off len c =
   if len > 0 then begin
     Atomic.incr t.stores;
     Bytes.fill t.view off len c;
-    mark_dirty t off len
+    mark_dirty t off len;
+    if Tr.verbose () then emit_access t "store" off len
   end
 
 let copy_within t ~src ~dst ~len =
@@ -192,7 +258,8 @@ let copy_within t ~src ~dst ~len =
     Atomic.incr t.loads;
     Atomic.incr t.stores;
     Bytes.blit t.view src t.view dst len;
-    mark_dirty t dst len
+    mark_dirty t dst len;
+    if Tr.verbose () then emit_access t "copy" dst len
   end
 
 (* {1 Persist points and crash scheduling} *)
@@ -254,7 +321,18 @@ let flush t off len =
           Bytes.unsafe_set t.state l st_flushed
       | _ -> ()
     done;
-    Mutex.unlock t.lock
+    Mutex.unlock t.lock;
+    if Tr.on () then begin
+      let lines = last - first + 1 and m = t.latency in
+      let dur =
+        m.Latency.flush_ns
+        +. (float_of_int (lines - 1) *. m.Latency.flush_bulk_ns)
+      in
+      Tr.emit
+        ~args:[ ("off", string_of_int off); ("lines", string_of_int lines) ]
+        ~cat:"device" ~name:"flush" ~ph:(Tr.X dur)
+        ~ts_ns:(simulated_ns t -. dur) ()
+    end
   end
 
 let fence t =
@@ -262,8 +340,10 @@ let fence t =
   Mutex.lock t.lock;
   persist_point_locked t;
   Atomic.incr t.fences;
+  let drained = ref 0 in
   let drain l snap =
     Atomic.incr t.fence_lines;
+    incr drained;
     Bytes.blit snap 0 t.durable (l lsl line_shift) (Bytes.length snap);
     match Bytes.unsafe_get t.state l with
     | c when c = st_flushed -> Bytes.unsafe_set t.state l st_clean
@@ -272,7 +352,18 @@ let fence t =
   in
   Hashtbl.iter drain t.wpq;
   Hashtbl.reset t.wpq;
-  Mutex.unlock t.lock
+  Mutex.unlock t.lock;
+  if Tr.on () then begin
+    let m = t.latency in
+    let dur =
+      m.Latency.fence_base_ns
+      +. (float_of_int !drained *. m.Latency.fence_per_line_ns)
+    in
+    Tr.emit
+      ~args:[ ("lines", string_of_int !drained) ]
+      ~cat:"device" ~name:"fence" ~ph:(Tr.X dur)
+      ~ts_ns:(simulated_ns t -. dur) ()
+  end
 
 let persist t off len =
   flush t off len;
@@ -359,45 +450,3 @@ let load ?(latency = Latency.zero) ?(seed = 0xC0FFEE) path =
       really_input ic t.durable 0 size;
       Bytes.blit t.durable 0 t.view 0 size;
       t)
-
-(* {1 Accounting} *)
-
-let stats (t : t) =
-  {
-    loads = Atomic.get t.loads;
-    stores = Atomic.get t.stores;
-    flushes = Atomic.get t.flushes;
-    flush_calls = Atomic.get t.flush_calls;
-    fences = Atomic.get t.fences;
-    fence_lines = Atomic.get t.fence_lines;
-    alloc_steps = Atomic.get t.alloc_steps;
-    extra_ns = Atomic.get t.extra_ns;
-    torn_lines = Atomic.get t.torn_lines;
-    corrupted_lines = Atomic.get t.corrupted_lines;
-  }
-
-let reset_stats (t : t) =
-  Atomic.set t.loads 0;
-  Atomic.set t.stores 0;
-  Atomic.set t.flushes 0;
-  Atomic.set t.flush_calls 0;
-  Atomic.set t.fences 0;
-  Atomic.set t.fence_lines 0;
-  Atomic.set t.alloc_steps 0;
-  Atomic.set t.extra_ns 0;
-  Atomic.set t.torn_lines 0;
-  Atomic.set t.corrupted_lines 0
-
-let simulated_ns (t : t) =
-  let s = stats t and m = t.latency in
-  (float_of_int s.loads *. m.Latency.read_ns)
-  +. (float_of_int s.stores *. m.Latency.write_ns)
-  +. (float_of_int s.flush_calls *. m.Latency.flush_ns)
-  +. (float_of_int (max 0 (s.flushes - s.flush_calls)) *. m.Latency.flush_bulk_ns)
-  +. (float_of_int s.fences *. m.Latency.fence_base_ns)
-  +. (float_of_int s.fence_lines *. m.Latency.fence_per_line_ns)
-  +. (float_of_int s.alloc_steps *. m.Latency.alloc_step_ns)
-  +. float_of_int s.extra_ns
-
-let charge_ns (t : t) n = ignore (Atomic.fetch_and_add t.extra_ns n)
-let charge_alloc_steps (t : t) n = ignore (Atomic.fetch_and_add t.alloc_steps n)

@@ -146,7 +146,18 @@ type stats = {
 }
 
 val stats : t -> stats
+
 val reset_stats : t -> unit
+(** Zero {e every} field of {!stats} — traffic counters, latency
+    charges, and the media-fault counters ([torn_lines],
+    [corrupted_lines]) alike — so a benchmark window opened after a
+    fault-injection phase starts clean.  Two things deliberately
+    survive a reset: {!persist_points} (it sequences crash scheduling,
+    not accounting, and resetting it would silently shift a pending
+    {!set_crash_countdown}), and the media state itself (resetting
+    counters does not un-tear or un-rot any line).  {!simulated_ns}
+    restarts from zero since it is derived from the counters. *)
+
 val simulated_ns : t -> float
 (** Simulated elapsed time under the device's latency model. *)
 

@@ -1,0 +1,206 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* {1 Printing} *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_num buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> add_num buf f
+  | Str s -> escape buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          to_buffer buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+(* {1 Parsing} — plain recursive descent over the string. *)
+
+type state = { s : string; mutable i : int }
+
+let fail st msg = failwith (Printf.sprintf "Json.of_string: %s at byte %d" msg st.i)
+let peek st = if st.i < String.length st.s then Some st.s.[st.i] else None
+
+let skip_ws st =
+  while
+    st.i < String.length st.s
+    && (match st.s.[st.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.i <- st.i + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.i <- st.i + 1
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let literal st word v =
+  let n = String.length word in
+  if st.i + n <= String.length st.s && String.sub st.s st.i n = word then begin
+    st.i <- st.i + n;
+    v
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+(* Encode a Unicode scalar (BMP) as UTF-8. *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> st.i <- st.i + 1
+    | Some '\\' ->
+        st.i <- st.i + 1;
+        (match peek st with
+        | Some '"' -> Buffer.add_char buf '"'; st.i <- st.i + 1
+        | Some '\\' -> Buffer.add_char buf '\\'; st.i <- st.i + 1
+        | Some '/' -> Buffer.add_char buf '/'; st.i <- st.i + 1
+        | Some 'b' -> Buffer.add_char buf '\b'; st.i <- st.i + 1
+        | Some 'f' -> Buffer.add_char buf '\012'; st.i <- st.i + 1
+        | Some 'n' -> Buffer.add_char buf '\n'; st.i <- st.i + 1
+        | Some 'r' -> Buffer.add_char buf '\r'; st.i <- st.i + 1
+        | Some 't' -> Buffer.add_char buf '\t'; st.i <- st.i + 1
+        | Some 'u' ->
+            st.i <- st.i + 1;
+            if st.i + 4 > String.length st.s then fail st "truncated \\u escape";
+            let hex = String.sub st.s st.i 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some u -> add_utf8 buf u
+            | None -> fail st "bad \\u escape");
+            st.i <- st.i + 4
+        | _ -> fail st "bad escape");
+        go ()
+    | Some c -> Buffer.add_char buf c; st.i <- st.i + 1; go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.i in
+  let num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while st.i < String.length st.s && num_char st.s.[st.i] do
+    st.i <- st.i + 1
+  done;
+  match float_of_string_opt (String.sub st.s start (st.i - start)) with
+  | Some f -> f
+  | None -> fail st "bad number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+      st.i <- st.i + 1;
+      skip_ws st;
+      if peek st = Some '}' then begin st.i <- st.i + 1; Obj [] end
+      else begin
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' -> st.i <- st.i + 1; members ((k, v) :: acc)
+          | Some '}' -> st.i <- st.i + 1; List.rev ((k, v) :: acc)
+          | _ -> fail st "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      st.i <- st.i + 1;
+      skip_ws st;
+      if peek st = Some ']' then begin st.i <- st.i + 1; List [] end
+      else begin
+        let rec elements acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' -> st.i <- st.i + 1; elements (v :: acc)
+          | Some ']' -> st.i <- st.i + 1; List.rev (v :: acc)
+          | _ -> fail st "expected ',' or ']'"
+        in
+        List (elements [])
+      end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some _ -> Num (parse_number st)
+
+let of_string s =
+  let st = { s; i = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.i <> String.length s then fail st "trailing garbage";
+  v
+
+(* {1 Accessors} *)
+
+let mem k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let str = function Str s -> Some s | _ -> None
+let num = function Num f -> Some f | _ -> None
+let list = function List xs -> Some xs | _ -> None
+let obj = function Obj kvs -> Some kvs | _ -> None

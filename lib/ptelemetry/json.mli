@@ -1,0 +1,35 @@
+(** A minimal JSON value type with a printer and a parser.
+
+    Just enough JSON for the telemetry subsystem to emit Chrome
+    [trace_event] files and metric dumps, and to read them back for
+    validation and round-trip tests — deliberately not a general-purpose
+    JSON library (no streaming, no number fidelity beyond [float], BMP
+    escapes only), so the stack keeps its zero-dependency property. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Integral floats print without a
+    fractional part so counters survive a round-trip textually. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> t
+(** Parse a complete JSON document.  Raises [Failure] with a position on
+    malformed input or trailing garbage. *)
+
+(** {1 Accessors} (total: return [None] on shape mismatch) *)
+
+val mem : string -> t -> t option
+(** [mem k (Obj ...)] is the value bound to [k], if any. *)
+
+val str : t -> string option
+val num : t -> float option
+val list : t -> t list option
+val obj : t -> (string * t) list option

@@ -1,0 +1,195 @@
+let nbuckets = 63
+
+type counter = { cname : string; value : int Atomic.t }
+
+type histogram = {
+  hname : string;
+  lock : Mutex.t;
+  buckets : int array; (* length [nbuckets] *)
+  mutable count : int;
+  mutable sum : int;
+  mutable hmin : int;
+  mutable hmax : int;
+}
+
+type metric = C of counter | H of histogram
+
+(* The registry: name -> metric, guarded for interning; individual
+   updates use the metric's own synchronization. *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let counter name =
+  Mutex.lock registry_lock;
+  let r =
+    match Hashtbl.find_opt registry name with
+    | Some (C c) -> Ok c
+    | Some (H _) -> Error (name ^ " is already a histogram")
+    | None ->
+        let c = { cname = name; value = Atomic.make 0 } in
+        Hashtbl.add registry name (C c);
+        Ok c
+  in
+  Mutex.unlock registry_lock;
+  match r with Ok c -> c | Error m -> invalid_arg ("Metrics.counter: " ^ m)
+
+let histogram name =
+  Mutex.lock registry_lock;
+  let r =
+    match Hashtbl.find_opt registry name with
+    | Some (H h) -> Ok h
+    | Some (C _) -> Error (name ^ " is already a counter")
+    | None ->
+        let h =
+          {
+            hname = name;
+            lock = Mutex.create ();
+            buckets = Array.make nbuckets 0;
+            count = 0;
+            sum = 0;
+            hmin = 0;
+            hmax = 0;
+          }
+        in
+        Hashtbl.add registry name (H h);
+        Ok h
+  in
+  Mutex.unlock registry_lock;
+  match r with Ok h -> h | Error m -> invalid_arg ("Metrics.histogram: " ^ m)
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.value by)
+let counter_value c = Atomic.get c.value
+
+let log2_floor n =
+  let rec go k n = if n <= 1 then k else go (k + 1) (n lsr 1) in
+  go 0 n
+
+(* Bucket 0: v <= 0.  Bucket i >= 1: v in [2^(i-1), 2^i). *)
+let bucket_of v =
+  if v <= 0 then 0 else min (nbuckets - 1) (log2_floor v + 1)
+
+let bucket_lo i = if i <= 0 then 0 else 1 lsl (i - 1)
+
+let observe h v =
+  Mutex.lock h.lock;
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  if h.count = 0 || v < h.hmin then h.hmin <- max 0 v;
+  if v > h.hmax then h.hmax <- v;
+  h.count <- h.count + 1;
+  h.sum <- h.sum + max 0 v;
+  Mutex.unlock h.lock
+
+type histo_snapshot = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : (int * int) list;
+}
+
+let snapshot h =
+  Mutex.lock h.lock;
+  let buckets = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then buckets := (i, h.buckets.(i)) :: !buckets
+  done;
+  let s =
+    { count = h.count; sum = h.sum; min = h.hmin; max = h.hmax;
+      buckets = !buckets }
+  in
+  Mutex.unlock h.lock;
+  s
+
+let find_metric name =
+  Mutex.lock registry_lock;
+  let m = Hashtbl.find_opt registry name in
+  Mutex.unlock registry_lock;
+  m
+
+let find_counter name =
+  match find_metric name with Some (C c) -> Some (counter_value c) | _ -> None
+
+let find_histogram name =
+  match find_metric name with Some (H h) -> Some (snapshot h) | _ -> None
+
+let mean (s : histo_snapshot) =
+  if s.count = 0 then 0.0 else float_of_int s.sum /. float_of_int s.count
+
+let quantile (s : histo_snapshot) q =
+  if s.count = 0 then 0
+  else begin
+    let rank = int_of_float (Float.of_int (s.count - 1) *. q) in
+    let rec go seen = function
+      | [] -> s.max
+      | (i, n) :: rest -> if seen + n > rank then bucket_lo i else go (seen + n) rest
+    in
+    go 0 s.buckets
+  end
+
+let sorted_metrics () =
+  Mutex.lock registry_lock;
+  let all = Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+let dump_text () =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | C c -> Buffer.add_string buf (Printf.sprintf "%s %d\n" name (counter_value c))
+      | H h ->
+          let s = snapshot h in
+          Buffer.add_string buf
+            (Printf.sprintf "%s count=%d sum=%d mean=%.1f p50~%d p99~%d max=%d\n"
+               name s.count s.sum (mean s) (quantile s 0.5) (quantile s 0.99)
+               s.max))
+    (sorted_metrics ());
+  Buffer.contents buf
+
+let dump_json () =
+  let counters = ref [] and histos = ref [] in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | C c -> counters := (name, Json.Num (float_of_int (counter_value c))) :: !counters
+      | H h ->
+          let s = snapshot h in
+          let buckets =
+            List.map
+              (fun (i, n) ->
+                Json.List [ Json.Num (float_of_int (bucket_lo i));
+                            Json.Num (float_of_int n) ])
+              s.buckets
+          in
+          histos :=
+            ( name,
+              Json.Obj
+                [
+                  ("count", Json.Num (float_of_int s.count));
+                  ("sum", Json.Num (float_of_int s.sum));
+                  ("min", Json.Num (float_of_int s.min));
+                  ("max", Json.Num (float_of_int s.max));
+                  ("mean", Json.Num (mean s));
+                  ("buckets", Json.List buckets);
+                ] )
+            :: !histos)
+    (sorted_metrics ());
+  Json.Obj
+    [ ("counters", Json.Obj (List.rev !counters));
+      ("histograms", Json.Obj (List.rev !histos)) ]
+
+let reset () =
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | C c -> Atomic.set c.value 0
+      | H h ->
+          Mutex.lock h.lock;
+          Array.fill h.buckets 0 nbuckets 0;
+          h.count <- 0;
+          h.sum <- 0;
+          h.hmin <- 0;
+          h.hmax <- 0;
+          Mutex.unlock h.lock)
+    (sorted_metrics ())

@@ -1,0 +1,73 @@
+(** Global registry of named counters and log-scale histograms.
+
+    The registry backs the per-transaction attribution the evaluation
+    needs (flushes/tx, fences/tx, logged bytes/tx — the quantities
+    Table 5 of the paper reasons with): instrumentation sites intern a
+    metric once and bump it on the hot path, and tooling dumps the whole
+    registry as stable text or JSON.
+
+    Metric names are dot-separated ([tx.flushes], [alloc.size], …); the
+    dumps list them in lexicographic order so diffs between runs are
+    meaningful.  All operations are thread-safe.
+
+    Instrumentation sites must guard updates behind {!Trace.on} so an
+    uninstrumented run pays only a branch; the registry itself does not
+    check the flag. *)
+
+type counter
+type histogram
+
+val counter : string -> counter
+(** Intern (find or create) the counter named [s]. *)
+
+val histogram : string -> histogram
+(** Intern the histogram named [s].  Raises [Invalid_argument] if the
+    name is already registered as a counter (and vice versa). *)
+
+val incr : ?by:int -> counter -> unit
+val observe : histogram -> int -> unit
+(** Record one sample.  Negative samples clamp to bucket 0. *)
+
+(** {1 Reading} *)
+
+val counter_value : counter -> int
+val find_counter : string -> int option
+(** Current value of a counter by name, if registered. *)
+
+type histo_snapshot = {
+  count : int;
+  sum : int;
+  min : int;  (** 0 when [count = 0] *)
+  max : int;
+  buckets : (int * int) list;
+      (** (bucket index, samples) for non-empty buckets, ascending. *)
+}
+
+val find_histogram : string -> histo_snapshot option
+
+val bucket_of : int -> int
+(** The log2 bucket a sample lands in: bucket 0 holds values [<= 0],
+    bucket [i >= 1] holds the half-open range [[2^(i-1), 2^i)].  Capped
+    at bucket 62. *)
+
+val bucket_lo : int -> int
+(** Smallest value of bucket [i] (0 for bucket 0). *)
+
+val mean : histo_snapshot -> float
+val quantile : histo_snapshot -> float -> int
+(** [quantile s q] estimates the [q]-quantile ([0 <= q <= 1]) as the
+    lower bound of the bucket holding that rank — a floor estimate,
+    exact to within one power of two. *)
+
+(** {1 Dumps} *)
+
+val dump_text : unit -> string
+(** One metric per line: [name value] for counters, [name
+    count=… sum=… mean=… p50~… p99~… max=…] for histograms. *)
+
+val dump_json : unit -> Json.t
+(** [{"counters": {name: value}, "histograms": {name: {count, sum, min,
+    max, mean, buckets: [[lo, n], …]}}}]. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (names stay registered). *)

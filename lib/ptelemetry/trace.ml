@@ -1,0 +1,144 @@
+type phase = B | E | I | X of float
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts_ns : float;
+  tid : int;
+  args : (string * string) list;
+}
+
+type ring = {
+  buf : event option array;
+  mutable next : int; (* slot the next event lands in *)
+  mutable total : int; (* events ever emitted into this ring *)
+}
+
+type sink = Ring of ring | Jsonl of out_channel
+
+(* [active] mirrors [sink <> None] so the hot-path guard is one atomic
+   load; [lock] serializes emission and sink swaps. *)
+let active = Atomic.make false
+let detail_all = Atomic.make false
+let sink : sink option ref = ref None
+let lock = Mutex.create ()
+
+let on () = Atomic.get active
+let verbose () = Atomic.get detail_all && Atomic.get active
+
+let set_detail d =
+  Atomic.set detail_all (match d with `All -> true | `Ordering -> false)
+
+let install_ring ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.install_ring: capacity must be positive";
+  Mutex.lock lock;
+  sink := Some (Ring { buf = Array.make capacity None; next = 0; total = 0 });
+  Atomic.set active true;
+  Mutex.unlock lock
+
+let install_jsonl oc =
+  Mutex.lock lock;
+  sink := Some (Jsonl oc);
+  Atomic.set active true;
+  Mutex.unlock lock
+
+let uninstall () =
+  Mutex.lock lock;
+  (match !sink with Some (Jsonl oc) -> flush oc | _ -> ());
+  Atomic.set active false;
+  Mutex.unlock lock
+
+let phase_string = function B -> "B" | E -> "E" | I -> "i" | X _ -> "X"
+
+let event_to_json e =
+  let base =
+    [
+      ("name", Json.Str e.name);
+      ("cat", Json.Str e.cat);
+      ("ph", Json.Str (phase_string e.ph));
+      ("ts", Json.Num (e.ts_ns /. 1000.0));
+      ("pid", Json.Num 1.0);
+      ("tid", Json.Num (float_of_int e.tid));
+    ]
+  in
+  let dur = match e.ph with X d -> [ ("dur", Json.Num (d /. 1000.0)) ] | _ -> [] in
+  let args =
+    match e.args with
+    | [] -> []
+    | kvs -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) kvs)) ]
+  in
+  Json.Obj (base @ dur @ args)
+
+let emit ?(args = []) ?tid ~cat ~name ~ph ~ts_ns () =
+  if Atomic.get active then begin
+    let tid = match tid with Some t -> t | None -> (Domain.self () :> int) in
+    let e = { name; cat; ph; ts_ns; tid; args } in
+    Mutex.lock lock;
+    (match !sink with
+    | None -> ()
+    | Some (Ring r) ->
+        r.buf.(r.next) <- Some e;
+        r.next <- (r.next + 1) mod Array.length r.buf;
+        r.total <- r.total + 1
+    | Some (Jsonl oc) ->
+        output_string oc (Json.to_string (event_to_json e));
+        output_char oc '\n');
+    Mutex.unlock lock
+  end
+
+let begin_span ?args ~cat ~name ~ts_ns () = emit ?args ~cat ~name ~ph:B ~ts_ns ()
+let end_span ?args ~cat ~name ~ts_ns () = emit ?args ~cat ~name ~ph:E ~ts_ns ()
+
+let events () =
+  Mutex.lock lock;
+  let r =
+    match !sink with
+    | Some (Ring r) ->
+        let cap = Array.length r.buf in
+        let n = min r.total cap in
+        let first = if r.total <= cap then 0 else r.next in
+        List.filter_map
+          (fun i -> r.buf.((first + i) mod cap))
+          (List.init n Fun.id)
+    | _ -> []
+  in
+  Mutex.unlock lock;
+  r
+
+let dropped () =
+  Mutex.lock lock;
+  let d =
+    match !sink with
+    | Some (Ring r) -> max 0 (r.total - Array.length r.buf)
+    | _ -> 0
+  in
+  Mutex.unlock lock;
+  d
+
+let clear () =
+  Mutex.lock lock;
+  (match !sink with
+  | Some (Ring r) ->
+      Array.fill r.buf 0 (Array.length r.buf) None;
+      r.next <- 0;
+      r.total <- 0
+  | _ -> ());
+  Mutex.unlock lock
+
+let to_chrome_json evs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Json.to_buffer buf (event_to_json e))
+    evs;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let save_chrome path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json (events ())))

@@ -1,0 +1,100 @@
+(** Event tracing for the PM stack.
+
+    A single global subscriber (a bounded in-memory ring, or a JSONL
+    stream) receives timestamped events from instrumentation sites in
+    the device, journal, allocator and pool layers.  Timestamps are the
+    device's {e simulated} nanoseconds, so traces are deterministic and
+    reflect PM cost, not host noise.
+
+    With no subscriber installed, {!on} is false and every emission
+    site reduces to one atomic load and a branch — the uninstrumented
+    hot path stays within noise, and {e zero} events are retained.
+
+    The ring exports Chrome [trace_event] JSON ({!to_chrome_json},
+    loadable in [chrome://tracing] / Perfetto) and one-event-per-line
+    JSONL.  {!Trace_schema} validates both and parses them back. *)
+
+type phase =
+  | B  (** span begin (paired with [E] per thread, LIFO) *)
+  | E  (** span end *)
+  | I  (** instant *)
+  | X of float  (** complete span carrying its duration in ns *)
+
+type event = {
+  name : string;
+  cat : string;  (** category: [tx], [journal], [device], [alloc], … *)
+  ph : phase;
+  ts_ns : float;  (** simulated-ns timestamp *)
+  tid : int;  (** emitting domain id *)
+  args : (string * string) list;
+}
+
+(** {1 Subscription} *)
+
+val install_ring : ?capacity:int -> unit -> unit
+(** Subscribe an in-memory ring keeping the most recent [capacity]
+    events (default 65536); older events are overwritten and counted in
+    {!dropped}.  Replaces any current subscriber. *)
+
+val install_jsonl : out_channel -> unit
+(** Subscribe a streaming sink: each event is written immediately as
+    one JSON object per line.  The channel is flushed on
+    {!uninstall}. *)
+
+val uninstall : unit -> unit
+(** Remove the subscriber.  {!on} becomes false; a ring's events remain
+    readable through {!events} until the next [install_*]. *)
+
+val on : unit -> bool
+(** Whether a subscriber is installed — the guard every instrumentation
+    site checks before doing any telemetry work. *)
+
+val set_detail : [ `Ordering | `All ] -> unit
+(** [`Ordering] (default): the device emits only ordering points
+    (flush/fence).  [`All]: individual loads and stores emit instant
+    events too — very verbose; for short windows only. *)
+
+val verbose : unit -> bool
+(** [on () && detail = `All]. *)
+
+(** {1 Emission} *)
+
+val emit :
+  ?args:(string * string) list ->
+  ?tid:int ->
+  cat:string ->
+  name:string ->
+  ph:phase ->
+  ts_ns:float ->
+  unit ->
+  unit
+(** No-op unless {!on}.  [tid] defaults to the calling domain's id. *)
+
+val begin_span :
+  ?args:(string * string) list -> cat:string -> name:string -> ts_ns:float -> unit -> unit
+
+val end_span :
+  ?args:(string * string) list -> cat:string -> name:string -> ts_ns:float -> unit -> unit
+
+(** {1 Reading the ring} *)
+
+val events : unit -> event list
+(** Events currently retained, oldest first.  [[]] when the subscriber
+    is a JSONL stream or nothing was ever installed. *)
+
+val dropped : unit -> int
+(** Events overwritten by ring wrap-around since the last install. *)
+
+val clear : unit -> unit
+(** Empty the ring (keeps the subscription). *)
+
+(** {1 Export} *)
+
+val event_to_json : event -> Json.t
+(** One Chrome [trace_event] object; [ts]/[dur] are microseconds. *)
+
+val to_chrome_json : event list -> string
+(** A complete [{"traceEvents": […]}] document. *)
+
+val save_chrome : string -> unit
+(** Write the ring's current contents as Chrome JSON to a file. *)

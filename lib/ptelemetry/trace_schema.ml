@@ -1,0 +1,172 @@
+type error = { index : int; msg : string }
+
+let err index fmt = Printf.ksprintf (fun msg -> { index; msg }) fmt
+
+let phases = [ "B"; "E"; "i"; "X"; "C"; "M" ]
+
+let event_list = function
+  | Json.List evs -> Ok evs
+  | Json.Obj _ as doc -> (
+      match Json.mem "traceEvents" doc with
+      | Some (Json.List evs) -> Ok evs
+      | Some _ -> Error "traceEvents is not an array"
+      | None -> Error "missing traceEvents")
+  | _ -> Error "document is neither an object nor an array"
+
+let check_event i ev errors =
+  match ev with
+  | Json.Obj _ ->
+      let need_str k =
+        match Option.bind (Json.mem k ev) Json.str with
+        | Some s -> Some s
+        | None ->
+            errors := err i "missing or non-string %S" k :: !errors;
+            None
+      in
+      let need_num k =
+        match Option.bind (Json.mem k ev) Json.num with
+        | Some n -> Some n
+        | None ->
+            errors := err i "missing or non-numeric %S" k :: !errors;
+            None
+      in
+      ignore (need_str "name");
+      (match need_str "ph" with
+      | None -> ()
+      | Some ph ->
+          if not (List.mem ph phases) then
+            errors := err i "invalid ph %S" ph :: !errors;
+          (match Json.mem "dur" ev with
+          | Some d -> (
+              match Json.num d with
+              | Some d when d >= 0.0 -> ()
+              | _ -> errors := err i "non-numeric or negative dur" :: !errors)
+          | None ->
+              if ph = "X" then errors := err i "X event without dur" :: !errors));
+      (match need_num "ts" with
+      | Some ts when ts < 0.0 -> errors := err i "negative ts" :: !errors
+      | _ -> ());
+      ignore (need_num "pid");
+      ignore (need_num "tid");
+      (match Json.mem "args" ev with
+      | None -> ()
+      | Some (Json.Obj _) -> ()
+      | Some _ -> errors := err i "args is not an object" :: !errors)
+  | _ -> errors := err i "event is not an object" :: !errors
+
+(* Per-thread B/E stack discipline: every E must close the most recent
+   open B of the same name, and nothing may remain open at the end. *)
+let check_spans evs errors =
+  let stacks : (float * float, (int * string) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iteri
+    (fun i ev ->
+      let ph = Option.bind (Json.mem "ph" ev) Json.str in
+      let name =
+        Option.value ~default:"?" (Option.bind (Json.mem "name" ev) Json.str)
+      in
+      let key =
+        ( Option.value ~default:0.0 (Option.bind (Json.mem "pid" ev) Json.num),
+          Option.value ~default:0.0 (Option.bind (Json.mem "tid" ev) Json.num) )
+      in
+      let stack =
+        match Hashtbl.find_opt stacks key with
+        | Some s -> s
+        | None ->
+            let s = ref [] in
+            Hashtbl.add stacks key s;
+            s
+      in
+      match ph with
+      | Some "B" -> stack := (i, name) :: !stack
+      | Some "E" -> (
+          match !stack with
+          | [] -> errors := err i "E %S with no open span" name :: !errors
+          | (_, open_name) :: rest ->
+              if open_name <> name then
+                errors :=
+                  err i "E %S closes open span %S" name open_name :: !errors;
+              stack := rest)
+      | _ -> ())
+    evs;
+  Hashtbl.iter
+    (fun _ stack ->
+      List.iter
+        (fun (i, name) -> errors := err i "span %S never closed" name :: !errors)
+        !stack)
+    stacks
+
+let validate doc =
+  match event_list doc with
+  | Error msg -> [ { index = -1; msg } ]
+  | Ok evs ->
+      let errors = ref [] in
+      List.iteri (fun i ev -> check_event i ev errors) evs;
+      check_spans evs errors;
+      List.rev !errors
+
+let validate_string s =
+  match Json.of_string s with
+  | doc -> validate doc
+  | exception Failure msg -> [ { index = -1; msg } ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let validate_file path =
+  let s = read_file path in
+  match validate_string s with
+  | [] -> (
+      match event_list (Json.of_string s) with
+      | Ok evs -> Ok (List.length evs)
+      | Error msg -> Error [ { index = -1; msg } ])
+  | errors -> Error errors
+
+let events_of_json doc =
+  match event_list doc with
+  | Error msg -> failwith ("Trace_schema.events_of_json: " ^ msg)
+  | Ok evs ->
+      List.map
+        (fun ev ->
+          let str k =
+            match Option.bind (Json.mem k ev) Json.str with
+            | Some s -> s
+            | None -> failwith ("events_of_json: missing " ^ k)
+          in
+          let num k =
+            match Option.bind (Json.mem k ev) Json.num with
+            | Some n -> n
+            | None -> failwith ("events_of_json: missing " ^ k)
+          in
+          let ph =
+            match str "ph" with
+            | "B" -> Trace.B
+            | "E" -> Trace.E
+            | "i" -> Trace.I
+            | "X" -> Trace.X (num "dur" *. 1000.0)
+            | p -> failwith ("events_of_json: unsupported ph " ^ p)
+          in
+          let args =
+            match Json.mem "args" ev with
+            | Some (Json.Obj kvs) ->
+                List.map
+                  (fun (k, v) ->
+                    match Json.str v with
+                    | Some s -> (k, s)
+                    | None -> failwith "events_of_json: non-string arg")
+                  kvs
+            | _ -> []
+          in
+          {
+            Trace.name = str "name";
+            cat = str "cat";
+            ph;
+            ts_ns = num "ts" *. 1000.0;
+            tid = int_of_float (num "tid");
+            args;
+          })
+        evs

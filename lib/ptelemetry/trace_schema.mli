@@ -1,0 +1,34 @@
+(** Structural validation of Chrome [trace_event] documents.
+
+    The CI gate: after a traced benchmark run, the emitted JSON is
+    checked against the subset of the Chrome trace-event format this
+    library generates — no external schema tooling, no dependencies.
+
+    Checks performed:
+    - the document is an object with a [traceEvents] array (or a bare
+      array of events);
+    - every event has a string [name], a string [cat], a [ph] drawn
+      from [B E i X C M], numeric [ts], [pid] and [tid]; [X] events
+      additionally carry a numeric [dur]; [args], when present, is an
+      object;
+    - per [(pid, tid)], [B]/[E] events balance like a stack and each
+      [E] closes a [B] of the same name;
+    - timestamps are non-negative. *)
+
+type error = { index : int;  (** event index, or -1 for document-level *)
+               msg : string }
+
+val validate : Json.t -> error list
+(** Empty on success. *)
+
+val validate_string : string -> error list
+(** Parse then validate; a parse failure is reported as one
+    document-level error. *)
+
+val validate_file : string -> (int, error list) result
+(** [Ok n] when the file holds a valid trace of [n] events. *)
+
+val events_of_json : Json.t -> Trace.event list
+(** Parse a (valid) Chrome trace document back into events — the
+    exporter round-trip used by tests.  Raises [Failure] on events
+    outside the generated subset. *)

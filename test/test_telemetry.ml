@@ -1,0 +1,299 @@
+(* The telemetry subsystem: metrics registry known answers, trace ring
+   ordering and span discipline, Chrome exporter round-trips, the
+   zero-overhead guarantee with no subscriber, and the exact flush/fence
+   attribution of one committed Pbox update. *)
+
+open Corundum
+module D = Pmem.Device
+module Tr = Ptelemetry.Trace
+module Mx = Ptelemetry.Metrics
+module Json = Ptelemetry.Json
+module Schema = Ptelemetry.Trace_schema
+
+let small =
+  { Pool_impl.size = 4 * 1024 * 1024; nslots = 2; slot_size = 64 * 1024 }
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Every test starts from a clean global telemetry state. *)
+let fresh () =
+  Tr.uninstall ();
+  Tr.clear ();
+  Tr.set_detail `Ordering;
+  Mx.reset ()
+
+(* --- metrics registry -------------------------------------------------- *)
+
+let test_histogram_buckets () =
+  fresh ();
+  (* log2 buckets: 0 holds v<=0; bucket i>=1 holds [2^(i-1), 2^i). *)
+  List.iter
+    (fun (v, b) ->
+      check_int (Printf.sprintf "bucket_of %d" v) b (Mx.bucket_of v))
+    [ (-3, 0); (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (7, 3); (8, 4);
+      (1023, 10); (1024, 11) ];
+  List.iter
+    (fun (i, lo) ->
+      check_int (Printf.sprintf "bucket_lo %d" i) lo (Mx.bucket_lo i))
+    [ (0, 0); (1, 1); (2, 2); (3, 4); (4, 8) ];
+  let h = Mx.histogram "test.h" in
+  List.iter (Mx.observe h) [ 0; 1; 2; 3; 4; 7; 8 ];
+  let s = Option.get (Mx.find_histogram "test.h") in
+  check_int "count" 7 s.Mx.count;
+  check_int "sum" 25 s.Mx.sum;
+  check_int "min" 0 s.Mx.min;
+  check_int "max" 8 s.Mx.max;
+  Alcotest.(check (list (pair int int)))
+    "buckets are (index, count)"
+    [ (0, 1); (1, 1); (2, 2); (3, 2); (4, 1) ]
+    s.Mx.buckets;
+  check_int "p50 floor estimate" 2 (Mx.quantile s 0.5);
+  check_int "p99 floor estimate" 4 (Mx.quantile s 0.99)
+
+let test_counters_and_dump () =
+  fresh ();
+  let c = Mx.counter "test.c" in
+  Mx.incr c;
+  Mx.incr ~by:41 c;
+  check_bool "interned: same name, same counter" true
+    (Mx.find_counter "test.c" <> None);
+  let contains text needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length text
+      && (String.sub text i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "text dump carries the counter" true
+    (contains (Mx.dump_text ()) "test.c 42");
+  match Json.of_string (Json.to_string (Mx.dump_json ())) with
+  | doc ->
+      let counters = Option.get (Json.mem "counters" doc) in
+      check_bool "json dump round-trips the counter" true
+        (Option.bind (Json.mem "test.c" counters) Json.num = Some 42.0)
+  | exception Failure msg -> Alcotest.failf "metrics json unparsable: %s" msg
+
+(* --- trace ring -------------------------------------------------------- *)
+
+let test_span_nesting_and_order () =
+  fresh ();
+  Tr.install_ring ~capacity:64 ();
+  Tr.begin_span ~cat:"t" ~name:"outer" ~ts_ns:10.0 ();
+  Tr.begin_span ~cat:"t" ~name:"inner" ~ts_ns:20.0 ();
+  Tr.emit ~cat:"t" ~name:"tick" ~ph:Tr.I ~ts_ns:25.0 ();
+  Tr.end_span ~cat:"t" ~name:"inner" ~ts_ns:30.0 ();
+  Tr.end_span ~cat:"t" ~name:"outer" ~ts_ns:40.0 ();
+  let evs = Tr.events () in
+  Alcotest.(check (list string))
+    "emission order is preserved"
+    [ "outer"; "inner"; "tick"; "inner"; "outer" ]
+    (List.map (fun e -> e.Tr.name) evs);
+  check_int "nothing dropped" 0 (Tr.dropped ());
+  (* The exported document passes the schema checker, including the
+     B/E stack-balance check. *)
+  check_bool "chrome export validates" true
+    (Schema.validate_string (Tr.to_chrome_json evs) = []);
+  Tr.uninstall ()
+
+let test_ring_wraparound () =
+  fresh ();
+  Tr.install_ring ~capacity:4 ();
+  for i = 1 to 10 do
+    Tr.emit ~cat:"t" ~name:(string_of_int i) ~ph:Tr.I
+      ~ts_ns:(float_of_int i) ()
+  done;
+  Alcotest.(check (list string))
+    "ring keeps the newest events, oldest first"
+    [ "7"; "8"; "9"; "10" ]
+    (List.map (fun e -> e.Tr.name) (Tr.events ()));
+  check_int "dropped counts overwritten events" 6 (Tr.dropped ());
+  Tr.uninstall ()
+
+let test_exporter_roundtrip () =
+  fresh ();
+  Tr.install_ring ();
+  Tr.emit ~args:[ ("k", "v"); ("n", "7") ] ~cat:"c" ~name:"complete"
+    ~ph:(Tr.X 1500.0) ~ts_ns:2000.0 ();
+  Tr.emit ~cat:"c" ~name:"instant" ~ph:Tr.I ~ts_ns:3000.0 ();
+  let evs = Tr.events () in
+  let doc = Json.of_string (Tr.to_chrome_json evs) in
+  check_bool "schema-clean" true (Schema.validate doc = []);
+  let back = Schema.events_of_json doc in
+  check_int "event count survives" (List.length evs) (List.length back);
+  List.iter2
+    (fun a b ->
+      check_bool "name survives" true (a.Tr.name = b.Tr.name);
+      check_bool "cat survives" true (a.Tr.cat = b.Tr.cat);
+      check_bool "args survive" true (a.Tr.args = b.Tr.args);
+      check_bool "timestamp survives (us precision)" true
+        (Float.abs (a.Tr.ts_ns -. b.Tr.ts_ns) < 1.0);
+      match (a.Tr.ph, b.Tr.ph) with
+      | Tr.X d1, Tr.X d2 ->
+          check_bool "duration survives" true (Float.abs (d1 -. d2) < 1.0)
+      | p1, p2 -> check_bool "phase survives" true (p1 = p2))
+    evs back;
+  Tr.uninstall ()
+
+let test_schema_catches_violations () =
+  fresh ();
+  (* An E with no open B, and an X without dur. *)
+  let bad =
+    {|{"traceEvents":[
+        {"name":"a","cat":"t","ph":"E","ts":1,"pid":1,"tid":1},
+        {"name":"b","cat":"t","ph":"X","ts":2,"pid":1,"tid":1}]}|}
+  in
+  check_int "both violations reported" 2
+    (List.length (Schema.validate_string bad))
+
+(* --- zero-overhead off state ------------------------------------------ *)
+
+(* With no subscriber, a full transactional workload must retain zero
+   events, touch no metrics, and leave the simulated clock bit-identical
+   to an uninstrumented run — telemetry must never perturb the model. *)
+let workload () =
+  let module P = Pool.Make () in
+  P.create ~config:small ~latency:Pmem.Latency.optane ();
+  let root = P.root ~ty:Ptype.int ~init:(fun _ -> 0) () in
+  for i = 1 to 20 do
+    P.transaction (fun j ->
+        Pbox.set root i j;
+        if i mod 5 = 0 then begin
+          let off = Pool_impl.tx_alloc (Journal.tx j) 128 in
+          Pool_impl.tx_free (Journal.tx j) off
+        end)
+  done;
+  D.simulated_ns (Pool_impl.device (P.impl ()))
+
+let test_no_subscriber_zero_events () =
+  fresh ();
+  let ns_off = workload () in
+  check_bool "no events retained" true (Tr.events () = []);
+  check_bool "tx counter untouched" true
+    (match Mx.find_counter "tx.count" with Some v -> v = 0 | None -> true);
+  Tr.install_ring ();
+  let ns_on = workload () in
+  Tr.uninstall ();
+  check_bool "tracing does not move the simulated clock" true
+    (ns_off = ns_on);
+  check_bool "traced run retained events" true (Tr.events () <> [])
+
+(* --- flush/fence attribution known answer ----------------------------- *)
+
+(* One warm committed 8-byte Pbox.set under the Corundum engine costs
+   exactly:
+     seal_entry:  persist(entry) + persist(count)      = 2 flushes, 2 fences
+     commit:      flush(target) ... fence              = 1 flush,   1 fence
+     truncate:    persist(counts=0) + persist(phase)   = 2 flushes, 2 fences
+   The first set in a pool pays the same (dedup tables are per-tx), so a
+   warm-up only isolates the root-creation traffic. *)
+let test_pbox_update_flush_fence_counts () =
+  fresh ();
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let root = P.root ~ty:Ptype.int ~init:(fun _ -> 0) () in
+  P.transaction (fun j -> Pbox.set root 1 j);
+  let dev = Pool_impl.device (P.impl ()) in
+  let lb0 = (Pool_impl.stats (P.impl ())).Pool_impl.logged_bytes in
+  let s0 = D.stats dev in
+  P.transaction (fun j -> Pbox.set root 2 j);
+  let s1 = D.stats dev in
+  check_int "flush calls for one committed update" 5
+    (s1.D.flush_calls - s0.D.flush_calls);
+  check_int "fences for one committed update" 5 (s1.D.fences - s0.D.fences);
+  check_int "entry bytes logged by one update" 32
+    ((Pool_impl.stats (P.impl ())).Pool_impl.logged_bytes - lb0)
+
+(* The same known answer observed through the telemetry layer: the tx
+   span's attribution args must agree with the device-counter deltas. *)
+let test_tx_span_attribution () =
+  fresh ();
+  let module P = Pool.Make () in
+  P.create ~config:small ();
+  let root = P.root ~ty:Ptype.int ~init:(fun _ -> 0) () in
+  P.transaction (fun j -> Pbox.set root 1 j);
+  Tr.install_ring ();
+  P.transaction (fun j -> Pbox.set root 2 j);
+  Tr.uninstall ();
+  let tx_events =
+    List.filter (fun e -> e.Tr.name = "tx") (Tr.events ())
+  in
+  check_int "one tx span" 1 (List.length tx_events);
+  let args = (List.hd tx_events).Tr.args in
+  let arg k = List.assoc k args in
+  check_bool "committed" true (arg "outcome" = "commit");
+  check_int "flushes attributed" 5 (int_of_string (arg "flushes"));
+  check_int "fences attributed" 5 (int_of_string (arg "fences"));
+  check_int "logged bytes attributed" 32 (int_of_string (arg "logged_bytes"));
+  check_int "tx.count metric" 1
+    (Option.value ~default:(-1) (Mx.find_counter "tx.count"))
+
+(* --- lifetime counters ------------------------------------------------ *)
+
+let test_lifetime_counters_survive_reattach () =
+  fresh ();
+  let pool = Pool_impl.create ~config:small () in
+  let root_scratch =
+    Pool_impl.transaction pool (fun tx -> Pool_impl.tx_alloc tx 64)
+  in
+  for i = 1 to 5 do
+    Pool_impl.transaction pool (fun tx ->
+        Pool_impl.tx_log tx ~off:root_scratch ~len:8;
+        D.write_u64 (Pool_impl.device pool) root_scratch (Int64.of_int i))
+  done;
+  (try Pool_impl.transaction pool (fun _ -> failwith "boom")
+   with Failure _ -> ());
+  let before = Pool_impl.stats pool in
+  check_int "six commits this open" 6 before.Pool_impl.transactions;
+  check_int "one abort this open" 1 before.Pool_impl.aborts;
+  let dev = Pool_impl.device pool in
+  Pool_impl.close pool;
+  (* close folded the totals into the header; a fresh attach reads them. *)
+  let pool2 = Pool_impl.attach dev in
+  let after = Pool_impl.stats pool2 in
+  check_int "lifetime commits survive reattach" 6
+    after.Pool_impl.lifetime_transactions;
+  check_int "lifetime aborts survive reattach" 1
+    after.Pool_impl.lifetime_aborts;
+  check_int "per-open counters restart" 0 after.Pool_impl.transactions;
+  let info = Pool_inspect.inspect_device dev in
+  check_int "pool_inspect reads the same totals" 6 info.Pool_inspect.lifetime_tx
+
+let () =
+  Alcotest.run "corundum telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "counters and dumps" `Quick
+            test_counters_and_dump;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting and order" `Quick
+            test_span_nesting_and_order;
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "exporter roundtrip" `Quick
+            test_exporter_roundtrip;
+          Alcotest.test_case "schema catches violations" `Quick
+            test_schema_catches_violations;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "no subscriber, zero events" `Quick
+            test_no_subscriber_zero_events;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "pbox update flush/fence known answer" `Quick
+            test_pbox_update_flush_fence_counts;
+          Alcotest.test_case "tx span attribution args" `Quick
+            test_tx_span_attribution;
+        ] );
+      ( "lifetime",
+        [
+          Alcotest.test_case "counters survive reattach" `Quick
+            test_lifetime_counters_survive_reattach;
+        ] );
+    ]
