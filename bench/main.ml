@@ -300,13 +300,13 @@ let benchmark () =
   let raw = Benchmark.all cfg instances tests in
   Analyze.all ols Instance.monotonic_clock raw
 
-(* --trace FILE: skip the wall-clock benchmark and run one small traced
-   workload instead — bechamel's millions of iterations would only wrap
-   the ring.  The workload touches every instrumented layer (tx, journal,
-   allocator, device flush/fence) so the exported Chrome trace and
-   metrics dump exercise the full schema. *)
-let run_traced path =
-  Ptelemetry.Trace.install_ring ~capacity:(1 lsl 16) ();
+(* --trace/--metrics/--psan: skip the wall-clock benchmark and run one
+   small instrumented workload instead — bechamel's millions of
+   iterations would only wrap the ring.  The workload touches every
+   instrumented layer (tx, journal, allocator, device flush/fence) so
+   the exported Chrome trace, the metrics dump and the sanitizer all
+   exercise the full event surface. *)
+let instrumented_workload () =
   let module P = Pool.Make () in
   P.create ~config:small ~latency:Pmem.Latency.optane ();
   ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
@@ -326,24 +326,66 @@ let run_traced path =
   let eng = E.create ~size:(8 * 1024 * 1024) () in
   for k = 1 to 50 do
     T.insert eng (Int64.of_int k)
-  done;
-  Ptelemetry.Trace.uninstall ();
-  Ptelemetry.Trace.save_chrome path;
-  let oc = open_out (path ^ ".metrics.json") in
-  output_string oc (Ptelemetry.Json.to_string (Ptelemetry.Metrics.dump_json ()));
+  done
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
   output_char oc '\n';
-  close_out oc;
-  Printf.printf "wrote %s (%d events) and %s.metrics.json\n" path
-    (List.length (Ptelemetry.Trace.events ()))
-    path
+  close_out oc
+
+let run_instrumented ~trace ~metrics ~psan ~psan_json =
+  let psan_on = psan || psan_json <> None in
+  if psan_on then Psan.enable ();
+  (match trace with
+  | Some _ -> Ptelemetry.Trace.install_ring ~capacity:(1 lsl 16) ()
+  | None ->
+      (* metrics sites ride the trace gate; a Null sink turns them on
+         without retaining a single event *)
+      if metrics <> None then Ptelemetry.Trace.install_null ());
+  instrumented_workload ();
+  Ptelemetry.Trace.uninstall ();
+  (match trace with
+  | None -> ()
+  | Some path ->
+      Ptelemetry.Trace.save_chrome path;
+      write_file (path ^ ".metrics.json")
+        (Ptelemetry.Json.to_string (Ptelemetry.Metrics.dump_json ()));
+      Printf.printf "wrote %s (%d events) and %s.metrics.json\n" path
+        (List.length (Ptelemetry.Trace.events ()))
+        path);
+  (match metrics with
+  | None -> ()
+  | Some path ->
+      write_file path
+        (Ptelemetry.Json.to_string (Ptelemetry.Metrics.dump_json ()));
+      Printf.printf "wrote %s\n" path);
+  if psan_on then begin
+    Psan.disable ();
+    print_string (Psan.report_text ());
+    Option.iter (fun p -> write_file p (Psan.report_json ())) psan_json;
+    if not (Psan.clean ()) then exit 1
+  end
+
+let usage () =
+  prerr_endline
+    "usage: bench [--trace FILE] [--metrics FILE] [--psan] [--psan-json FILE]";
+  exit 2
 
 let () =
-  match Array.to_list Sys.argv with
-  | [ _; "--trace"; path ] -> run_traced path
-  | [ _ ] -> ()
-  | _ ->
-      prerr_endline "usage: bench [--trace FILE]";
-      exit 2
+  let rec parse trace metrics psan psan_json = function
+    | [] -> (trace, metrics, psan, psan_json)
+    | "--trace" :: f :: rest -> parse (Some f) metrics psan psan_json rest
+    | "--metrics" :: f :: rest -> parse trace (Some f) psan psan_json rest
+    | "--psan" :: rest -> parse trace metrics true psan_json rest
+    | "--psan-json" :: f :: rest -> parse trace metrics psan (Some f) rest
+    | _ -> usage ()
+  in
+  match List.tl (Array.to_list Sys.argv) with
+  | [] -> () (* plain run: the bechamel benchmark below *)
+  | args ->
+      let trace, metrics, psan, psan_json = parse None None false None args in
+      run_instrumented ~trace ~metrics ~psan ~psan_json
 
 let () =
   if Array.length Sys.argv > 1 then exit 0;

@@ -4,11 +4,13 @@
    surviving write-pending lines additionally land word-torn at the given
    probability.  Exits non-zero on any violation. *)
 
-let run limit samples torn names =
+let run limit samples torn psan psan_json names =
   if not (torn >= 0.0 && torn <= 1.0) then begin
     Printf.eprintf "crash_sweep: --torn must be a probability in [0, 1]\n";
     exit 2
   end;
+  let psan_on = psan || psan_json <> None in
+  if psan_on then Psan.enable ();
   let scenarios =
     match names with
     | [] -> Crashtest.Scenario.all
@@ -31,6 +33,18 @@ let run limit samples torn names =
         (Format.asprintf "%a" Crashtest.Injector.pp_result r);
       if not (Crashtest.Injector.is_clean r) then failed := true)
     scenarios;
+  if psan_on then begin
+    Psan.disable ();
+    print_string (Psan.report_text ());
+    (match psan_json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Psan.report_json ());
+        output_char oc '\n';
+        close_out oc);
+    if not (Psan.clean ()) then failed := true
+  end;
   if !failed then exit 1
 
 open Cmdliner
@@ -58,9 +72,27 @@ let torn_arg =
 let names_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"SCENARIO" ~doc:"Scenario names.")
 
+let psan_arg =
+  Arg.(
+    value & flag
+    & info [ "psan" ]
+        ~doc:
+          "Run the persistency sanitizer over the whole sweep (crashes, \
+           recoveries and all) and print its report; exit non-zero on any \
+           violation.")
+
+let psan_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "psan-json" ]
+        ~doc:"Write the psan report as JSON to $(docv) (implies --psan)."
+        ~docv:"FILE")
+
 let cmd =
   Cmd.v
     (Cmd.info "crash_sweep" ~doc:"Failure-injection sweep over all scenarios")
-    Term.(const run $ limit_arg $ samples_arg $ torn_arg $ names_arg)
+    Term.(const run $ limit_arg $ samples_arg $ torn_arg $ psan_arg
+          $ psan_json_arg $ names_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -79,7 +79,16 @@ let print_attribution selected =
     List.map (fun (name, e) -> (name, Engines.Attribution.measure e)) selected
   in
   print_newline ();
-  print_string (Engines.Attribution.table columns)
+  print_string (Engines.Attribution.table columns);
+  (* The same raw-pool probe mix [pool_info top] runs, for cross-checking
+     the two surfaces against each other. *)
+  let module A = Engines.Attribution in
+  let pool = Engines.Engine_common.create_pool ~size:(16 * 1024 * 1024) () in
+  let s = A.probe_summary pool in
+  Printf.printf
+    "\nraw-pool probe mix (%d txs, as pool_info top): %.2f flushes/tx, %.2f \
+     fences/tx, %.1f logged B/tx\n"
+    s.A.probe_txs s.A.flushes_per_tx s.A.fences_per_tx s.A.logged_per_tx
 
 let select only =
   let selected =
@@ -184,35 +193,81 @@ let attr_arg =
     & info [ "attr" ]
         ~doc:"Print the per-engine flush/fence attribution table.")
 
-let main n size csv only trace attr =
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ]
+        ~doc:
+          "Write the metrics-registry JSON to $(docv) without retaining a \
+           trace ring (composable with --trace, which additionally writes \
+           FILE.metrics.json next to the trace)." ~docv:"FILE")
+
+let psan_arg =
+  Arg.(
+    value & flag
+    & info [ "psan" ]
+        ~doc:
+          "Run the persistency sanitizer over the whole run and print its \
+           report; exit non-zero on any violation (warnings allowed).")
+
+let psan_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "psan-json" ]
+        ~doc:"Write the psan report as JSON to $(docv) (implies --psan)."
+        ~docv:"FILE")
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc
+
+let main n size csv only trace metrics attr psan psan_json =
   let csv = match csv with Some "none" -> None | x -> x in
   (match csv with
   | Some p -> ( try Unix.mkdir (Filename.dirname p) 0o755 with _ -> ())
   | None -> ());
+  let psan_on = psan || psan_json <> None in
+  if psan_on then Psan.enable ();
   Option.iter (fun _ -> Ptelemetry.Trace.install_ring ~capacity:(1 lsl 18) ())
     trace;
+  if trace = None && metrics <> None then Ptelemetry.Trace.install_null ();
   run_all ~n ~size ~only csv;
   if attr then print_attribution (select only);
-  match trace with
+  (match trace with
   | None -> ()
   | Some path ->
       Ptelemetry.Trace.uninstall ();
       Ptelemetry.Trace.save_chrome path;
-      let oc = open_out (path ^ ".metrics.json") in
-      output_string oc (Ptelemetry.Json.to_string (Ptelemetry.Metrics.dump_json ()));
-      output_char oc '\n';
-      close_out oc;
+      write_file (path ^ ".metrics.json")
+        (Ptelemetry.Json.to_string (Ptelemetry.Metrics.dump_json ()));
       let dropped = Ptelemetry.Trace.dropped () in
       Printf.printf "wrote %s (%d events%s) and %s.metrics.json\n" path
         (List.length (Ptelemetry.Trace.events ()))
         (if dropped > 0 then Printf.sprintf ", %d dropped" dropped else "")
-        path
+        path);
+  (match metrics with
+  | None -> ()
+  | Some path ->
+      write_file path
+        (Ptelemetry.Json.to_string (Ptelemetry.Metrics.dump_json ()));
+      if trace = None then Ptelemetry.Trace.uninstall ();
+      Printf.printf "wrote %s\n" path);
+  if psan_on then begin
+    Psan.disable ();
+    print_string (Psan.report_text ());
+    Option.iter (fun p -> write_file p (Psan.report_json ())) psan_json;
+    if not (Psan.clean ()) then exit 1
+  end
 
 let cmd =
   Cmd.v
     (Cmd.info "perf"
        ~doc:"Reproduce Figure 1 (engine comparison on BST/KVStore/B+Tree)")
     Term.(const main $ n_arg $ size_arg $ csv_arg $ only_arg $ trace_arg
-          $ attr_arg)
+          $ metrics_arg $ attr_arg $ psan_arg $ psan_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -67,34 +67,15 @@ let run_top probes path =
         Printf.eprintf "error: %s\n" msg;
         exit 1
   in
-  let module P = Corundum.Pool_impl in
-  let scratch =
-    P.transaction pool (fun tx -> P.tx_alloc tx 256)
-  in
-  let d = P.device pool in
-  for i = 1 to probes do
-    P.transaction pool (fun tx ->
-        P.tx_log tx ~off:scratch ~len:64;
-        Pmem.Device.write_u64 d scratch (Int64.of_int i);
-        if i mod 4 = 0 then begin
-          let b = P.tx_alloc tx 64 in
-          Pmem.Device.write_u64 d b (Int64.of_int i);
-          P.tx_add_target tx ~off:b ~len:8
-        end)
-  done;
-  P.transaction pool (fun tx -> P.tx_free tx scratch);
+  let module A = Engines.Attribution in
+  let s = A.probe_summary ~probes pool in
   Ptelemetry.Trace.uninstall ();
-  let s = P.stats pool in
-  let per v =
-    float_of_int v /. float_of_int (max 1 (s.P.transactions + s.P.aborts))
-  in
-  let ds = Pmem.Device.stats d in
   Printf.printf "probe workload: %d transactions on %s (in-memory; file untouched)\n\n"
-    (s.P.transactions + s.P.aborts) path;
+    s.A.probe_txs path;
   Printf.printf "per-transaction attribution\n";
-  Printf.printf "  flushes/tx      : %.2f\n" (per ds.Pmem.Device.flush_calls);
-  Printf.printf "  fences/tx       : %.2f\n" (per ds.Pmem.Device.fences);
-  Printf.printf "  logged bytes/tx : %.1f\n\n" (per s.P.logged_bytes);
+  Printf.printf "  flushes/tx      : %.2f\n" s.A.flushes_per_tx;
+  Printf.printf "  fences/tx       : %.2f\n" s.A.fences_per_tx;
+  Printf.printf "  logged bytes/tx : %.1f\n\n" s.A.logged_per_tx;
   Printf.printf "metrics registry\n%s" (Ptelemetry.Metrics.dump_text ());
   Printf.printf "\ntrace ring: %d events retained, %d dropped\n"
     (List.length (Ptelemetry.Trace.events ()))

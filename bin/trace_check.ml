@@ -2,21 +2,112 @@
    telemetry exporter promises: required fields, known phases, X events
    carrying durations, and balanced B/E span nesting per thread.  Exits
    0 on a clean file, 1 with one line per violation otherwise — small
-   enough for CI to run on every traced benchmark. *)
+   enough for CI to run on every traced benchmark.
+
+   With --stats, also print a summary of each valid file: event counts
+   per phase and per category, and simulated-duration percentiles for
+   every distinct complete-span (X) name — a quick profile of where a
+   traced run spent its simulated time, with no external tooling. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let percentile sorted p =
+  (* nearest-rank on a sorted array; p in [0,100] *)
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p /. 100.0 *. float n)) - 1))
+
+let print_stats path =
+  let events =
+    Ptelemetry.Trace_schema.events_of_json
+      (Ptelemetry.Json.of_string (read_file path))
+  in
+  let phase_counts = Hashtbl.create 8 in
+  let cat_counts = Hashtbl.create 8 in
+  let durs : (string, float list ref) Hashtbl.t = Hashtbl.create 16 in
+  let bump tbl key =
+    Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  List.iter
+    (fun (e : Ptelemetry.Trace.event) ->
+      let ph_name =
+        match e.ph with
+        | Ptelemetry.Trace.B -> "B"
+        | Ptelemetry.Trace.E -> "E"
+        | Ptelemetry.Trace.I -> "i"
+        | Ptelemetry.Trace.X _ -> "X"
+      in
+      bump phase_counts ph_name;
+      bump cat_counts e.cat;
+      match e.ph with
+      | Ptelemetry.Trace.X dur ->
+          let key = e.cat ^ "." ^ e.name in
+          let cell =
+            match Hashtbl.find_opt durs key with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.add durs key r;
+                r
+          in
+          cell := dur :: !cell
+      | _ -> ())
+    events;
+  Printf.printf "%s: stats over %d events\n" path (List.length events);
+  Printf.printf "  phases  :";
+  List.iter
+    (fun ph ->
+      match Hashtbl.find_opt phase_counts ph with
+      | Some n -> Printf.printf " %s=%d" ph n
+      | None -> ())
+    [ "B"; "E"; "i"; "X" ];
+  print_newline ();
+  let cats =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) cat_counts [])
+  in
+  Printf.printf "  cats    :";
+  List.iter (fun (c, n) -> Printf.printf " %s=%d" c n) cats;
+  print_newline ();
+  let spans =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, !v) :: acc) durs [])
+  in
+  if spans <> [] then begin
+    Printf.printf "  %-28s %6s %10s %10s %10s %10s\n" "X-span (sim ns)" "count"
+      "p50" "p90" "p99" "max";
+    List.iter
+      (fun (name, ds) ->
+        let a = Array.of_list ds in
+        Array.sort compare a;
+        Printf.printf "  %-28s %6d %10.0f %10.0f %10.0f %10.0f\n" name
+          (Array.length a) (percentile a 50.0) (percentile a 90.0)
+          (percentile a 99.0)
+          a.(Array.length a - 1))
+      spans
+  end
 
 let () =
-  let paths =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as paths) -> paths
-    | _ ->
-        prerr_endline "usage: trace_check FILE.json ...";
-        exit 2
-  in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let stats = List.mem "--stats" args in
+  let paths = List.filter (fun a -> a <> "--stats") args in
+  if paths = [] then begin
+    prerr_endline "usage: trace_check [--stats] FILE.json ...";
+    exit 2
+  end;
   let bad = ref false in
   List.iter
     (fun path ->
       match Ptelemetry.Trace_schema.validate_file path with
-      | Ok n -> Printf.printf "%s: ok (%d events)\n" path n
+      | Ok n ->
+          Printf.printf "%s: ok (%d events)\n" path n;
+          if stats then (
+            try print_stats path
+            with Failure msg | Sys_error msg ->
+              bad := true;
+              Printf.eprintf "%s: stats failed: %s\n" path msg)
       | Error errs ->
           bad := true;
           List.iter

@@ -9,10 +9,14 @@
 
      dune exec examples/bank.exe
      dune exec examples/bank.exe -- --trace bank_trace.json
+     dune exec examples/bank.exe -- --psan
 
    With --trace, the whole run — transfers, the crash, recovery — is
    recorded as a Chrome trace_event file (load it in chrome://tracing or
-   Perfetto), with a metrics dump written next to it. *)
+   Perfetto), with a metrics dump written next to it.  --metrics FILE
+   writes the metrics registry alone (no event ring retained); --psan
+   runs the persistency sanitizer over the run, crash and recovery
+   included, and exits non-zero on any violation. *)
 
 open Corundum
 module P = Pool.Make ()
@@ -36,18 +40,34 @@ let transfer root src dst amount j =
       a.(dst) <- a.(dst) + amount;
       a)
 
-let trace_path =
-  match Array.to_list Sys.argv with
-  | [ _; "--trace"; path ] -> Some path
-  | [ _ ] -> None
-  | _ ->
-      prerr_endline "usage: bank [--trace FILE]";
-      exit 2
+let trace_path, metrics_path, psan_on, psan_json =
+  let rec parse trace metrics psan psan_json = function
+    | [] -> (trace, metrics, psan || psan_json <> None, psan_json)
+    | "--trace" :: f :: rest -> parse (Some f) metrics psan psan_json rest
+    | "--metrics" :: f :: rest -> parse trace (Some f) psan psan_json rest
+    | "--psan" :: rest -> parse trace metrics true psan_json rest
+    | "--psan-json" :: f :: rest -> parse trace metrics psan (Some f) rest
+    | _ ->
+        prerr_endline
+          "usage: bank [--trace FILE] [--metrics FILE] [--psan] [--psan-json \
+           FILE]";
+        exit 2
+  in
+  parse None None false None (List.tl (Array.to_list Sys.argv))
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc
 
 let () =
+  if psan_on then Psan.enable ();
   Option.iter
     (fun _ -> Ptelemetry.Trace.install_ring ~capacity:(1 lsl 16) ())
     trace_path;
+  if trace_path = None && metrics_path <> None then
+    Ptelemetry.Trace.install_null ();
   P.create
     ~config:{ Pool_impl.size = 4 * 1024 * 1024; nslots = 2; slot_size = 64 * 1024 }
     ~path:"bank.pool" ();
@@ -98,13 +118,23 @@ let () =
     (fun path ->
       Ptelemetry.Trace.uninstall ();
       Ptelemetry.Trace.save_chrome path;
-      let oc = open_out (path ^ ".metrics.json") in
-      output_string oc
+      write_file (path ^ ".metrics.json")
         (Ptelemetry.Json.to_string (Ptelemetry.Metrics.dump_json ()));
-      output_char oc '\n';
-      close_out oc;
       Printf.printf "trace written to %s (%d events), metrics to %s.metrics.json\n"
         path
         (List.length (Ptelemetry.Trace.events ()))
         path)
-    trace_path
+    trace_path;
+  Option.iter
+    (fun path ->
+      write_file path
+        (Ptelemetry.Json.to_string (Ptelemetry.Metrics.dump_json ()));
+      if trace_path = None then Ptelemetry.Trace.uninstall ();
+      Printf.printf "metrics written to %s\n" path)
+    metrics_path;
+  if psan_on then begin
+    Psan.disable ();
+    print_string (Psan.report_text ());
+    Option.iter (fun p -> write_file p (Psan.report_json ())) psan_json;
+    if not (Psan.clean ()) then exit 1
+  end

@@ -11,6 +11,7 @@ module J = Pjournal.Journal_impl
 module R = Pjournal.Recovery
 module Tr = Ptelemetry.Trace
 module Mx = Ptelemetry.Metrics
+module Pr = Ptelemetry.Probe
 
 let m_tx = Mx.counter "tx.count"
 let m_aborts = Mx.counter "tx.aborts"
@@ -157,6 +158,8 @@ let build ?(read_only = false) dev ~buddy ~nslots ~slot_size ~table_base
           ~base:(header_size + (i * slot_size))
           ~size:slot_size)
   in
+  if Pr.on () then
+    Pr.emit (Pr.Pool_attach { dev = D.id dev; heap_base; heap_len });
   {
     dev;
     buddy;
@@ -247,8 +250,16 @@ let attach ?(mode = Read_write) dev =
     | Read_write ->
         let table = T.attach dev ~table_base ~heap_base ~heap_len in
         let t0 = if Tr.on () then D.simulated_ns dev else 0.0 in
+        (* Recovery restores logged heap state outside any transaction —
+           that is the protocol, not a violation, so the audit window is
+           bracketed as exempt. *)
+        if Pr.on () then Pr.emit (Pr.Exempt_push { dev = D.id dev });
         let r =
-          R.recover dev table ~journal_base:header_size ~slot_size ~nslots
+          Fun.protect
+            ~finally:(fun () ->
+              if Pr.on () then Pr.emit (Pr.Exempt_pop { dev = D.id dev }))
+            (fun () ->
+              R.recover dev table ~journal_base:header_size ~slot_size ~nslots)
         in
         if Tr.on () then begin
           Mx.incr m_recoveries;
@@ -433,6 +444,15 @@ let transaction t f =
       Mutex.lock t.txs_lock;
       Hashtbl.replace t.txs did tx;
       Mutex.unlock t.txs_lock;
+      if Pr.on () then
+        Pr.emit (Pr.Tx_begin { dev = D.id t.dev; ns = D.simulated_ns t.dev });
+      (* The probe outcome event after each finisher; [simulated_ns] is a
+         pure counter fold, safe even on a crashed device. *)
+      let probe_end outcome =
+        if Pr.on () then
+          Pr.emit
+            (Pr.Tx_end { dev = D.id t.dev; outcome; ns = D.simulated_ns t.dev })
+      in
       (* Telemetry brackets the outermost transaction: an instant at
          begin and one complete ("X") span at the end whose args carry
          the per-transaction flush/fence/logging attribution, derived
@@ -479,10 +499,12 @@ let transaction t f =
       | result ->
           let undo_depth = J.entry_count jrnl in
           finish_commit tx;
+          probe_end Pr.Commit;
           note "commit" ~undo_depth;
           result
       | exception D.Crashed ->
           finish_crashed tx;
+          probe_end Pr.Crash;
           note "crash" ~undo_depth:(J.entry_count jrnl);
           raise D.Crashed
       | exception e ->
@@ -491,8 +513,10 @@ let transaction t f =
           | () -> ()
           | exception D.Crashed ->
               finish_crashed tx;
+              probe_end Pr.Crash;
               note "crash" ~undo_depth;
               raise D.Crashed);
+          probe_end Pr.Abort;
           note "abort" ~undo_depth;
           raise e)
 

@@ -55,6 +55,52 @@ let measure ?(size = 16 * 1024 * 1024) ?(ops = 64) (module E : Engine_sig.S) =
   in
   [ update; alloc; free ]
 
+(* The canonical raw-pool probe mix: every transaction performs one
+   logged 64-byte update of a scratch block; every fourth additionally
+   allocates and initialises a fresh 64-byte block (the fresh-allocation
+   path); the scratch block is freed in a final transaction.  Shared by
+   [pool_info top] and [perf --attr] so both surfaces measure the same
+   workload. *)
+let probe_pool ?(probes = 32) pool =
+  let d = P.device pool in
+  let scratch = P.transaction pool (fun tx -> P.tx_alloc tx 256) in
+  for i = 1 to probes do
+    P.transaction pool (fun tx ->
+        P.tx_log tx ~off:scratch ~len:64;
+        D.write_u64 d scratch (Int64.of_int i);
+        if i mod 4 = 0 then begin
+          let b = P.tx_alloc tx 64 in
+          D.write_u64 d b (Int64.of_int i);
+          P.tx_add_target tx ~off:b ~len:8
+        end)
+  done;
+  P.transaction pool (fun tx -> P.tx_free tx scratch)
+
+type probe_summary = {
+  probe_txs : int;
+  flushes_per_tx : float;
+  fences_per_tx : float;
+  logged_per_tx : float;
+}
+
+let probe_summary ?probes pool =
+  let d = P.device pool in
+  let s0 = D.stats d in
+  let p0 = P.stats pool in
+  probe_pool ?probes pool;
+  let s1 = D.stats d in
+  let p1 = P.stats pool in
+  let txs =
+    p1.P.transactions + p1.P.aborts - p0.P.transactions - p0.P.aborts
+  in
+  let per v = float_of_int v /. float_of_int (max 1 txs) in
+  {
+    probe_txs = txs;
+    flushes_per_tx = per (s1.D.flush_calls - s0.D.flush_calls);
+    fences_per_tx = per (s1.D.fences - s0.D.fences);
+    logged_per_tx = per (p1.P.logged_bytes - p0.P.logged_bytes);
+  }
+
 let table columns =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf

@@ -26,3 +26,25 @@ val measure : ?size:int -> ?ops:int -> Engine_sig.engine -> row list
 val table : (string * row list) list -> string
 (** Render engine columns into a per-operation text table of
     flushes/op, fences/op, logged bytes/op and simulated ns/op. *)
+
+(** {1 Raw-pool probe workload}
+
+    The canonical probe mix run directly against a {!Corundum.Pool_impl}
+    pool — one logged 64-byte update per transaction, a fresh 64-byte
+    allocation every fourth, a final free.  [pool_info top] and
+    [perf --attr] both measure this same workload, so the two surfaces
+    cannot drift apart. *)
+
+val probe_pool : ?probes:int -> Corundum.Pool_impl.t -> unit
+(** Run the probe mix ([probes] transactions, default 32) plus the
+    scratch alloc/free bracketing transactions. *)
+
+type probe_summary = {
+  probe_txs : int;  (** transactions the probe ran *)
+  flushes_per_tx : float;
+  fences_per_tx : float;
+  logged_per_tx : float;  (** journal entry bytes per transaction *)
+}
+
+val probe_summary : ?probes:int -> Corundum.Pool_impl.t -> probe_summary
+(** {!probe_pool} bracketed by device/pool counter deltas. *)

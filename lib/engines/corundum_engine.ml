@@ -32,10 +32,14 @@ let in_fresh tx off =
   List.exists (fun (start, size) -> off >= start && off < start + size) tx.fresh
 
 let write tx off v =
-  if in_fresh tx off then
-    (* fresh block: no undo needed, just make it durable at commit *)
-    P.tx_add_target tx.ptx ~off ~len:8
-  else Engine_common.line_log tx.ptx off;
+  (if Engine_common.Fault_profile.get () = Engine_common.Fault_profile.Missing_log
+   then
+     (* buggy variant: treat every store as fresh — no undo entry ever *)
+     P.tx_add_target tx.ptx ~off ~len:8
+   else if in_fresh tx off then
+     (* fresh block: no undo needed, just make it durable at commit *)
+     P.tx_add_target tx.ptx ~off ~len:8
+   else Engine_common.line_log tx.ptx off);
   Engine_common.raw_write tx.ptx off v
 
 let root tx = Engine_common.root tx.ptx

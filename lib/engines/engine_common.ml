@@ -21,3 +21,38 @@ let set_root tx off = P.tx_set_root tx ~off ~ty_hash:0
    whole 64-byte line containing the store.  Blocks are 64-byte aligned
    powers of two, so a line never crosses an allocation boundary. *)
 let line_log tx off = P.tx_log tx ~off:(off land lnot 63) ~len:64
+
+(* Deliberately-buggy engine variants: positive controls for the
+   sanitizer, each eliding exactly one leg of the persistence protocol.
+   Psan must flag them (V1/V2/V3 respectively) and the crash-injection
+   sweep must observe the corruption they cause — the correlation that
+   validates the sanitizer's verdicts against real crash outcomes. *)
+module Fault_profile = struct
+  type t =
+    | Clean  (** the shipped protocol, no elision *)
+    | Missing_log  (** in-place stores never undo-logged (V1) *)
+    | Missing_flush  (** commit skips the data flushes (V2) *)
+    | Missing_fence  (** commit skips its ordering fence (V3) *)
+
+  let current = ref Clean
+
+  let set p =
+    current := p;
+    match p with
+    | Clean | Missing_log ->
+        Pjournal.Journal_impl.set_fault_elision ~flush:false ~fence:false
+    | Missing_flush ->
+        Pjournal.Journal_impl.set_fault_elision ~flush:true ~fence:false
+    | Missing_fence ->
+        Pjournal.Journal_impl.set_fault_elision ~flush:false ~fence:true
+
+  let get () = !current
+
+  let name = function
+    | Clean -> "clean"
+    | Missing_log -> "missing-log"
+    | Missing_flush -> "missing-flush"
+    | Missing_fence -> "missing-fence"
+
+  let all = [ Clean; Missing_log; Missing_flush; Missing_fence ]
+end

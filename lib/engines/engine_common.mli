@@ -22,3 +22,24 @@ val line_log : Corundum.Pool_impl.tx -> int -> unit
 (** Undo-log the whole 64-byte line containing the offset (deduplicated).
     Blocks are 64-byte-aligned powers of two, so a line never crosses an
     allocation boundary. *)
+
+(** Deliberately-buggy engine variants — positive controls for the
+    persistency sanitizer.  Each profile elides exactly one leg of the
+    persistence protocol: [Missing_log] makes {!Corundum_engine} skip
+    undo logging for in-place stores (psan V1), [Missing_flush] and
+    [Missing_fence] elide the commit-time data flushes / commit fence
+    in the journal (psan V2 / V3).  The knob is global; always reset to
+    [Clean] after use. *)
+module Fault_profile : sig
+  type t = Clean | Missing_log | Missing_flush | Missing_fence
+
+  val set : t -> unit
+  (** Select the profile and program the journal's elision switches. *)
+
+  val get : unit -> t
+
+  val name : t -> string
+  (** ["clean"], ["missing-log"], ["missing-flush"], ["missing-fence"]. *)
+
+  val all : t list
+end

@@ -4,6 +4,20 @@ exception Not_in_transaction
 module D = Pmem.Device
 module Tr = Ptelemetry.Trace
 module Mx = Ptelemetry.Metrics
+module Pr = Ptelemetry.Probe
+
+(* Fault-injection knobs for the sanitizer's positive controls
+   (Engines.Engine_common.Fault_profile).  They elide exactly one
+   persist primitive each at commit: the step-1 flushes of the logged
+   target ranges, or the single commit fence.  Journal bookkeeping
+   persists (drop area, truncation) are protocol, not user data, and
+   are never elided. *)
+let elide_commit_flush = ref false
+let elide_commit_fence = ref false
+
+let set_fault_elision ~flush ~fence =
+  elide_commit_flush := flush;
+  elide_commit_fence := fence
 
 let m_entries = Mx.counter "journal.entries"
 let m_spills = Mx.counter "journal.spills"
@@ -133,6 +147,10 @@ let add_spill t need =
   in
   let off = Palloc.Buddy.offset_of_reservation t.buddy r in
   let actual = Palloc.Buddy.size_of_order (r : Palloc.Buddy.reservation).r_order in
+  (* Declared before the first header store: from here on, writes into
+     [off, off+actual) are journal protocol, not user data. *)
+  if Pr.on () then
+    Pr.emit (Pr.Region_reserve { dev = D.id t.dev; off; len = actual });
   D.write_u64 t.dev off 0L;
   D.write_u64 t.dev (off + 8) (Int64.of_int actual);
   D.persist t.dev off Log_entry.spill_header;
@@ -168,7 +186,8 @@ let append_data t ~off ~len =
   Log_entry.write_data t.dev ~at ~off ~len;
   t.cursor <- t.cursor + need;
   seal_entry t ~kind:"data" ~at ~len:need;
-  t.targets <- (off, len) :: t.targets
+  t.targets <- (off, len) :: t.targets;
+  if Pr.on () then Pr.emit (Pr.Log { dev = D.id t.dev; off; len })
 
 let data_log t ~off ~len =
   require_active t;
@@ -205,6 +224,14 @@ let alloc t bytes =
       Palloc.Buddy.cancel t.buddy r;
       raise e);
   Palloc.Buddy.commit t.buddy r;
+  if Pr.on () then
+    Pr.emit
+      (Pr.Alloc
+         {
+           dev = D.id t.dev;
+           off;
+           len = Palloc.Buddy.size_of_order (r : Palloc.Buddy.reservation).r_order;
+         });
   off
 
 let free t off =
@@ -233,6 +260,10 @@ let truncate t =
   D.persist t.dev (t.base + hdr_count) 16;
   if t.spills <> [] then begin
     List.iter (fun off -> Palloc.Buddy.dealloc_if_live t.buddy off) t.spills;
+    if Pr.on () then
+      List.iter
+        (fun off -> Pr.emit (Pr.Region_release { dev = D.id t.dev; off }))
+        t.spills;
     D.write_u64 t.dev (t.base + hdr_spill) 0L;
     D.persist t.dev (t.base + hdr_spill) 8
   end;
@@ -253,7 +284,8 @@ let commit t =
   if t.count = 0 && t.drops = [] then ()
   else begin
     (* 1. Make every logged target range durable. *)
-    List.iter (fun (off, len) -> D.flush t.dev off len) t.targets;
+    if not !elide_commit_flush then
+      List.iter (fun (off, len) -> D.flush t.dev off len) t.targets;
     (* 2. Make the drop area and its count durable, then mark committing. *)
     let ndrops = List.length t.drops in
     if ndrops > 0 then begin
@@ -262,7 +294,12 @@ let commit t =
       D.write_u64 t.dev (t.base + hdr_drops) (Int64.of_int ndrops);
       D.flush t.dev (t.base + hdr_drops) 8
     end;
-    D.fence t.dev;
+    if not !elide_commit_fence then D.fence t.dev;
+    (* The commit point: everything this transaction stored must be
+       durable now.  Emitted before [truncate], whose own persists drain
+       the WPQ and would mask an elided or forgotten commit fence. *)
+    if Pr.on () then
+      Pr.emit (Pr.Commit_point { dev = D.id t.dev; ns = D.simulated_ns t.dev });
     if ndrops > 0 then begin
       write_phase t phase_committing;
       (* 3. Apply deferred frees; idempotent, so recovery may re-run them. *)

@@ -97,3 +97,14 @@ val tx_logged_bytes : t -> int
     {!begin_tx}. *)
 
 val remaining_bytes : t -> int
+
+(** {1 Fault injection (sanitizer positive controls)} *)
+
+val set_fault_elision : flush:bool -> fence:bool -> unit
+(** Globally elide persist primitives at {!commit}: [flush] skips the
+    step-1 flushes of the logged target ranges (user data never reaches
+    the write-pending queue); [fence] skips the single commit fence
+    (flushed data sits in the WPQ at the commit point).  Journal
+    bookkeeping persists are never elided.  Both default to [false];
+    set through {!Engines.Engine_common.Fault_profile}, and reset with
+    [set_fault_elision ~flush:false ~fence:false]. *)

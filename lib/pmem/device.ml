@@ -10,6 +10,7 @@ let st_flushed = '\002' (* snapshot in WPQ, no store since the flush *)
 let st_flushed_dirty = '\003' (* snapshot in WPQ, line re-dirtied since *)
 
 type t = {
+  id : int; (* process-unique; lets subscribers key state per device *)
   size : int;
   nlines : int;
   latency : Latency.t;
@@ -51,10 +52,13 @@ type stats = {
 
 let round_up_lines size = (size + line_size - 1) / line_size * line_size
 
+let next_id = Atomic.make 0
+
 let create ?(latency = Latency.zero) ?(seed = 0xC0FFEE) ?path ~size () =
   if size <= 0 then invalid_arg "Device.create: size must be positive";
   let size = round_up_lines size in
   {
+    id = Atomic.fetch_and_add next_id 1;
     size;
     nlines = size / line_size;
     latency;
@@ -81,6 +85,7 @@ let create ?(latency = Latency.zero) ?(seed = 0xC0FFEE) ?path ~size () =
     corrupted_lines = Atomic.make 0;
   }
 
+let id t = t.id
 let size t = t.size
 let latency t = t.latency
 let path t = t.path
@@ -143,6 +148,14 @@ let charge_alloc_steps (t : t) n = ignore (Atomic.fetch_and_add t.alloc_steps n)
    counters, so instrumentation cannot move the simulated clock. *)
 
 module Tr = Ptelemetry.Trace
+module Pr = Ptelemetry.Probe
+
+(* Semantic probe for online auditors (psan): same gate discipline as
+   [Tr] — one atomic load and no event construction when nothing is
+   subscribed.  [simulated_ns] is a pure fold over the stat counters,
+   so reading it for the event payload cannot move the clock. *)
+let probe_store t off len =
+  Pr.emit (Pr.Store { dev = t.id; off; len; ns = simulated_ns t })
 
 (* Per-access events are behind the [`All] detail level — they flood. *)
 let emit_access t name off len =
@@ -200,6 +213,7 @@ let write_u8 t off v =
   Atomic.incr t.stores;
   Bytes.unsafe_set t.view off (Char.unsafe_chr (v land 0xFF));
   mark_dirty t off 1;
+  if Pr.on () then probe_store t off 1;
   if Tr.verbose () then emit_access t "store" off 1
 
 let write_u32 t off v =
@@ -208,6 +222,7 @@ let write_u32 t off v =
   Atomic.incr t.stores;
   Bytes.set_int32_le t.view off (Int32.of_int v);
   mark_dirty t off 4;
+  if Pr.on () then probe_store t off 4;
   if Tr.verbose () then emit_access t "store" off 4
 
 let write_u64 t off v =
@@ -216,6 +231,7 @@ let write_u64 t off v =
   Atomic.incr t.stores;
   Bytes.set_int64_le t.view off v;
   mark_dirty t off 8;
+  if Pr.on () then probe_store t off 8;
   if Tr.verbose () then emit_access t "store" off 8
 
 let write_bytes t off b =
@@ -226,6 +242,7 @@ let write_bytes t off b =
     Atomic.incr t.stores;
     Bytes.blit b 0 t.view off len;
     mark_dirty t off len;
+    if Pr.on () then probe_store t off len;
     if Tr.verbose () then emit_access t "store" off len
   end
 
@@ -237,6 +254,7 @@ let write_string t off s =
     Atomic.incr t.stores;
     Bytes.blit_string s 0 t.view off len;
     mark_dirty t off len;
+    if Pr.on () then probe_store t off len;
     if Tr.verbose () then emit_access t "store" off len
   end
 
@@ -247,6 +265,7 @@ let fill t off len c =
     Atomic.incr t.stores;
     Bytes.fill t.view off len c;
     mark_dirty t off len;
+    if Pr.on () then probe_store t off len;
     if Tr.verbose () then emit_access t "store" off len
   end
 
@@ -259,6 +278,7 @@ let copy_within t ~src ~dst ~len =
     Atomic.incr t.stores;
     Bytes.blit t.view src t.view dst len;
     mark_dirty t dst len;
+    if Pr.on () then probe_store t dst len;
     if Tr.verbose () then emit_access t "copy" dst len
   end
 
@@ -322,6 +342,7 @@ let flush t off len =
       | _ -> ()
     done;
     Mutex.unlock t.lock;
+    if Pr.on () then Pr.emit (Pr.Flush { dev = t.id; off; len; ns = simulated_ns t });
     if Tr.on () then begin
       let lines = last - first + 1 and m = t.latency in
       let dur =
@@ -353,6 +374,7 @@ let fence t =
   Hashtbl.iter drain t.wpq;
   Hashtbl.reset t.wpq;
   Mutex.unlock t.lock;
+  if Pr.on () then Pr.emit (Pr.Fence { dev = t.id; ns = simulated_ns t });
   if Tr.on () then begin
     let m = t.latency in
     let dur =
@@ -397,7 +419,8 @@ let power_cycle t =
   Bytes.fill t.state 0 t.nlines st_clean;
   t.crashed <- false;
   t.crash_countdown <- 0;
-  Mutex.unlock t.lock
+  Mutex.unlock t.lock;
+  if Pr.on () then Pr.emit (Pr.Power_cycle { dev = t.id })
 
 (* {1 Media corruption (bit rot)} *)
 

@@ -36,6 +36,11 @@ val create : ?latency:Latency.t -> ?seed:int -> ?path:string -> size:int -> unit
     {!Latency.zero}.  [path] names an optional backing file used by
     {!save} and {!load}. *)
 
+val id : t -> int
+(** Process-unique device id, assigned at {!create} (and therefore also
+    by {!load}).  Carried by {!Ptelemetry.Probe} events so auditors can
+    key shadow state per device without holding the device itself. *)
+
 val size : t -> int
 val latency : t -> Latency.t
 val path : t -> string option

@@ -1,0 +1,118 @@
+(** Online persist-ordering and logging sanitizer.
+
+    Psan subscribes to the {!Ptelemetry.Probe} bus and replays every
+    store, flush and fence through a shadow state machine per 64-byte
+    line (Clean → Dirty → write-pending → durable), tracking in
+    parallel which heap ranges the open transaction has undo-logged or
+    freshly allocated.  It judges the event stream online and reports
+    each violation with the offset, the line's shadow state, the owning
+    transaction, and the simulated time — Corundum's static guarantees,
+    checked dynamically against the actual event order (DESIGN.md §10).
+
+    {2 Violation classes}
+
+    - {b V1} [unlogged-store]: in-place store inside a transaction to
+      heap data with no covering undo-log entry or same-transaction
+      allocation.  Rollback would not restore it.
+    - {b V2} [missing-flush]: a range stored by the transaction is
+      still dirty (never flushed) at the commit point.  A crash after
+      commit loses supposedly-committed data.
+    - {b V3} [missing-fence]: a range stored by the transaction was
+      flushed but sits in the write-pending queue at the commit point —
+      no fence ordered it before commit, so it may still be lost.
+    - {b V4} [store-outside-tx]: store to pool heap data outside any
+      transaction (no rollback protocol is in effect at all).
+
+    {2 Warnings} (waste, not corruption)
+
+    - {b W1} [redundant-flush]: a flush over lines none of which held
+      unwritten-back data.
+    - {b W2} [redundant-fence]: back-to-back fences with an empty
+      write-pending queue.
+
+    Journal slots, the allocation table and the pool header are
+    protocol regions and statically exempt (everything below the heap);
+    journal spill regions inside the heap are exempted dynamically for
+    their lifetime, and recovery's out-of-transaction restores are
+    exempt inside the [Exempt_push]/[Exempt_pop] bracket.  User escape
+    hatches ({!Punsafe}) are accommodated with {!exempt}.
+
+    Findings are deduplicated per (class, device, line). *)
+
+type violation_class = V1 | V2 | V3 | V4 | W1 | W2
+
+val class_name : violation_class -> string
+(** ["V1"] … ["W2"]. *)
+
+val class_title : violation_class -> string
+(** Short human label, e.g. ["unlogged in-place store in transaction"]. *)
+
+val is_warning : violation_class -> bool
+(** True for W1/W2. *)
+
+type finding = {
+  cls : violation_class;
+  dev : int;  (** {!Pmem.Device.id} of the offending device *)
+  off : int;  (** byte offset of the offending range (line-clipped) *)
+  len : int;
+  tx : int option;  (** psan's id of the owning transaction, if any *)
+  ns : float;  (** simulated time of the judgement *)
+  detail : string;  (** line shadow state and what was expected *)
+}
+
+(** {1 Lifecycle} *)
+
+val enable : unit -> unit
+(** Reset all shadow state and findings, then subscribe to the probe
+    bus (replacing any other subscriber).  User exemptions registered
+    with {!exempt} survive.
+
+    Enable {e before} creating or attaching pools: psan learns each
+    device's heap bounds from its [Pool_attach] event, and stores on a
+    device attached while psan was off are not monitored. *)
+
+val disable : unit -> unit
+(** Unsubscribe.  Findings remain readable until the next {!enable} or
+    {!reset}. *)
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Clear shadow state and findings (keeps the subscription and the
+    user exemptions). *)
+
+(** {1 Exemptions} *)
+
+val exempt : dev:int -> off:int -> len:int -> unit
+(** Declare [off, off+len) on device [dev] as deliberately outside the
+    transactional protocol (a {!Punsafe} region).  Stores there raise
+    no V1/V4 and are not checked at commit.  May be called before the
+    pool is attached or psan is enabled; survives {!reset} and power
+    cycles. *)
+
+val unexempt : dev:int -> off:int -> len:int -> unit
+(** Remove an exact range previously passed to {!exempt}. *)
+
+(** {1 Findings} *)
+
+val violations : unit -> finding list
+(** V1–V4 findings, oldest first. *)
+
+val warnings : unit -> finding list
+(** W1/W2 findings, oldest first. *)
+
+val violation_count : unit -> int
+val warning_count : unit -> int
+
+val clean : unit -> bool
+(** [violation_count () = 0] — warnings do not spoil cleanliness. *)
+
+(** {1 Reports} *)
+
+val report_text : unit -> string
+(** Human-readable report: one line per finding plus a summary.  Ends
+    with ["psan: clean"] when there are no violations. *)
+
+val report_json : unit -> string
+(** [{"violations": […], "warnings": […], "summary": {…}}] with
+    per-class counts and a ["clean"] flag in the summary. *)

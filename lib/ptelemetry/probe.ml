@@ -1,0 +1,42 @@
+type tx_outcome = Commit | Abort | Crash
+
+type event =
+  | Store of { dev : int; off : int; len : int; ns : float }
+  | Flush of { dev : int; off : int; len : int; ns : float }
+  | Fence of { dev : int; ns : float }
+  | Power_cycle of { dev : int }
+  | Pool_attach of { dev : int; heap_base : int; heap_len : int }
+  | Tx_begin of { dev : int; ns : float }
+  | Tx_end of { dev : int; outcome : tx_outcome; ns : float }
+  | Log of { dev : int; off : int; len : int }
+  | Alloc of { dev : int; off : int; len : int }
+  | Commit_point of { dev : int; ns : float }
+  | Region_reserve of { dev : int; off : int; len : int }
+  | Region_release of { dev : int; off : int }
+  | Exempt_push of { dev : int }
+  | Exempt_pop of { dev : int }
+
+(* [active] mirrors [handler <> None] so the hot-path guard is one
+   atomic load, as in {!Trace}.  The handler itself is responsible for
+   its own synchronization; delivery happens on the emitting thread. *)
+let active = Atomic.make false
+let handler : (event -> unit) option ref = ref None
+let lock = Mutex.create ()
+
+let on () = Atomic.get active
+
+let install f =
+  Mutex.lock lock;
+  handler := Some f;
+  Atomic.set active true;
+  Mutex.unlock lock
+
+let uninstall () =
+  Mutex.lock lock;
+  Atomic.set active false;
+  handler := None;
+  Mutex.unlock lock
+
+let emit ev =
+  if Atomic.get active then
+    match !handler with Some f -> f ev | None -> ()

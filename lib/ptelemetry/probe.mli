@@ -1,0 +1,76 @@
+(** Semantic event bus for online auditors.
+
+    {!Trace} records {e what happened when} for humans; this bus carries
+    the {e protocol-level} events an online checker needs to judge the
+    run: stores, flushes, fences, undo-log coverage, transaction
+    boundaries, and region lifetimes.  The persistency sanitizer
+    ({!Psan}, [lib/psan]) is the canonical subscriber.
+
+    The discipline is the same as {!Trace}: one global subscriber behind
+    one atomic gate.  With no subscriber installed every emission site
+    reduces to a single atomic load and a branch, and no event value is
+    even constructed — instrumentation cannot perturb the simulated
+    clock.  Handlers run synchronously on the emitting thread (so a
+    subscriber may consult [Domain.self ()] to attribute events), and
+    must not themselves touch the device.
+
+    Devices are identified by {!Pmem.Device.id} — a process-unique
+    integer — so this library stays free of any dependency on the
+    layers it audits. *)
+
+type tx_outcome = Commit | Abort | Crash
+
+type event =
+  | Store of { dev : int; off : int; len : int; ns : float }
+      (** A CPU store into the device's volatile view. *)
+  | Flush of { dev : int; off : int; len : int; ns : float }
+      (** A [clflushopt]-style write-back request over a byte range. *)
+  | Fence of { dev : int; ns : float }
+      (** An [sfence]: the write-pending queue drains to media. *)
+  | Power_cycle of { dev : int }
+      (** Power-failure semantics applied; all cache state is gone. *)
+  | Pool_attach of { dev : int; heap_base : int; heap_len : int }
+      (** A pool is now live on [dev]; data lives in
+          [heap_base, heap_base + heap_len) and everything below
+          [heap_base] is pool metadata (header, journals, alloc table). *)
+  | Tx_begin of { dev : int; ns : float }
+      (** Outermost transaction opened on the calling domain. *)
+  | Tx_end of { dev : int; outcome : tx_outcome; ns : float }
+      (** Outermost transaction finished on the calling domain. *)
+  | Log of { dev : int; off : int; len : int }
+      (** An undo-log entry now covers [off, off+len): the old contents
+          are durably saved, so in-place stores there are rollback-safe. *)
+  | Alloc of { dev : int; off : int; len : int }
+      (** A block allocated by the current transaction (actual block
+          size); stores into it need no undo entry — rollback is the
+          allocation rollback itself. *)
+  | Commit_point of { dev : int; ns : float }
+      (** The commit fence of the calling domain's transaction has
+          executed (or, under fault injection, was elided): every range
+          the transaction stored must be durable {e now}.  Emitted
+          before the journal truncates, whose own persists would mask a
+          missing commit fence. *)
+  | Region_reserve of { dev : int; off : int; len : int }
+      (** The journal reserved [off, off+len) of the heap for its own
+          bookkeeping (a spill region); writes there are journal
+          protocol, not user data. *)
+  | Region_release of { dev : int; off : int }
+      (** The spill region starting at [off] was released. *)
+  | Exempt_push of { dev : int }
+      (** Begin a privileged window (recovery): heap stores are the
+          recovery protocol restoring logged state, not user code. *)
+  | Exempt_pop of { dev : int }
+
+val install : (event -> unit) -> unit
+(** Subscribe [f]; replaces any current subscriber. *)
+
+val uninstall : unit -> unit
+
+val on : unit -> bool
+(** Whether a subscriber is installed — the guard every emission site
+    checks before constructing an event. *)
+
+val emit : event -> unit
+(** Deliver to the subscriber; no-op when {!on} is false.  Emission
+    sites should still guard with {!on} so the event value itself is
+    never built on the uninstrumented path. *)

@@ -15,7 +15,7 @@ type ring = {
   mutable total : int; (* events ever emitted into this ring *)
 }
 
-type sink = Ring of ring | Jsonl of out_channel
+type sink = Ring of ring | Jsonl of out_channel | Null
 
 (* [active] mirrors [sink <> None] so the hot-path guard is one atomic
    load; [lock] serializes emission and sink swaps. *)
@@ -40,6 +40,12 @@ let install_ring ?(capacity = 65536) () =
 let install_jsonl oc =
   Mutex.lock lock;
   sink := Some (Jsonl oc);
+  Atomic.set active true;
+  Mutex.unlock lock
+
+let install_null () =
+  Mutex.lock lock;
+  sink := Some Null;
   Atomic.set active true;
   Mutex.unlock lock
 
@@ -71,12 +77,13 @@ let event_to_json e =
   Json.Obj (base @ dur @ args)
 
 let emit ?(args = []) ?tid ~cat ~name ~ph ~ts_ns () =
-  if Atomic.get active then begin
+  if Atomic.get active && (match !sink with Some Null -> false | _ -> true)
+  then begin
     let tid = match tid with Some t -> t | None -> (Domain.self () :> int) in
     let e = { name; cat; ph; ts_ns; tid; args } in
     Mutex.lock lock;
     (match !sink with
-    | None -> ()
+    | None | Some Null -> ()
     | Some (Ring r) ->
         r.buf.(r.next) <- Some e;
         r.next <- (r.next + 1) mod Array.length r.buf;

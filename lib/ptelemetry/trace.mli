@@ -41,6 +41,13 @@ val install_jsonl : out_channel -> unit
     one JSON object per line.  The channel is flushed on
     {!uninstall}. *)
 
+val install_null : unit -> unit
+(** Subscribe a sink that discards every event.  {!on} becomes true, so
+    gated side effects that ride the trace gate — notably the
+    {!Metrics} registry updates at instrumentation sites — run without
+    paying for event retention.  Used by [--metrics] when no [--trace]
+    ring is wanted. *)
+
 val uninstall : unit -> unit
 (** Remove the subscriber.  {!on} becomes false; a ring's events remain
     readable through {!events} until the next [install_*]. *)

@@ -177,7 +177,17 @@ let test_no_subscriber_zero_events () =
   Tr.uninstall ();
   check_bool "tracing does not move the simulated clock" true
     (ns_off = ns_on);
-  check_bool "traced run retained events" true (Tr.events () <> [])
+  check_bool "traced run retained events" true (Tr.events () <> []);
+  (* The sanitizer rides the probe bus: enabled, it must observe without
+     perturbing; disabled again, the probe path must be fully off. *)
+  Psan.enable ();
+  let ns_psan = workload () in
+  Psan.disable ();
+  check_bool "psan does not move the simulated clock" true (ns_off = ns_psan);
+  check_bool "workload under psan is clean" true (Psan.clean ());
+  let ns_after = workload () in
+  check_bool "clock parity restored after psan disable" true
+    (ns_off = ns_after)
 
 (* --- flush/fence attribution known answer ----------------------------- *)
 
