@@ -367,25 +367,168 @@ let run_instrumented ~trace ~metrics ~psan ~psan_json =
     if not (Psan.clean ()) then exit 1
   end
 
+(* --json: the deterministic per-engine attribution mix (flushes, fences,
+   logged bytes and simulated ns per op) as machine-readable JSON — the
+   CI regression gate diffs this against a committed baseline.  One op
+   per line so the --baseline comparison can parse it without a JSON
+   library. *)
+let attribution_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": \"corundum-bench-v1\",\n";
+  Buffer.add_string buf "  \"engines\": [\n";
+  List.iteri
+    (fun i (name, eng) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      let rows = Engines.Attribution.measure eng in
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"engine\": %S, \"ops\": [\n" name);
+      List.iteri
+        (fun k (r : Engines.Attribution.row) ->
+          if k > 0 then Buffer.add_string buf ",\n";
+          let per v = float_of_int v /. float_of_int r.ops in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      { \"op\": %S, \"ops\": %d, \"flushes_per_op\": %.4f, \
+                \"fences_per_op\": %.4f, \"logged_bytes_per_op\": %.2f, \
+                \"sim_ns_per_op\": %.1f }"
+               r.op r.ops (per r.flushes) (per r.fences) (per r.logged_bytes)
+               (r.sim_ns /. float_of_int r.ops)))
+        rows;
+      Buffer.add_string buf "\n    ] }")
+    Engines.Registry.all;
+  Buffer.add_string buf "\n  ]\n}";
+  Buffer.contents buf
+
+(* Minimal extraction from the one-op-per-line JSON above; tolerant of
+   whitespace but not of reformatting — the file is machine-written. *)
+let find_sub line pat =
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = pat then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let str_field line key =
+  match find_sub line (Printf.sprintf "\"%s\": \"" key) with
+  | None -> None
+  | Some start ->
+      String.index_from_opt line start '"'
+      |> Option.map (fun j -> String.sub line start (j - start))
+
+let num_field line key =
+  match find_sub line (Printf.sprintf "\"%s\": " key) with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      let n = String.length line in
+      while
+        !stop < n
+        && match line.[!stop] with '0' .. '9' | '.' | '-' -> true | _ -> false
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub line start (!stop - start))
+
+(* (engine, op) -> fences_per_op rows of a bench JSON file. *)
+let parse_fence_rows path =
+  let ic = open_in path in
+  let rows = ref [] and engine = ref "" in
+  (try
+     while true do
+       let line = input_line ic in
+       (match str_field line "engine" with
+       | Some e -> engine := e
+       | None -> ());
+       match (str_field line "op", num_field line "fences_per_op") with
+       | Some op, Some f -> rows := ((!engine, op), f) :: !rows
+       | _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  List.rev !rows
+
+let compare_against_baseline ~current ~baseline =
+  let base = parse_fence_rows baseline in
+  let cur = parse_fence_rows current in
+  if cur = [] then begin
+    Printf.eprintf "no rows parsed from %s\n" current;
+    exit 1
+  end;
+  let failed = ref false in
+  List.iter
+    (fun ((engine, op), fences) ->
+      match List.assoc_opt (engine, op) base with
+      | None -> Printf.printf "NEW    %-12s %-12s %.4f fences/op\n" engine op fences
+      | Some b ->
+          let limit = (b *. 1.10) +. 0.01 in
+          if fences > limit then begin
+            failed := true;
+            Printf.printf "REGRESS %-12s %-12s %.4f fences/op (baseline %.4f)\n"
+              engine op fences b
+          end
+          else
+            Printf.printf "OK     %-12s %-12s %.4f fences/op (baseline %.4f)\n"
+              engine op fences b)
+    cur;
+  if !failed then begin
+    prerr_endline "fence-per-op regression against BENCH baseline";
+    exit 1
+  end
+
 let usage () =
   prerr_endline
-    "usage: bench [--trace FILE] [--metrics FILE] [--psan] [--psan-json FILE]";
+    "usage: bench [--trace FILE] [--metrics FILE] [--psan] [--psan-json FILE]\n\
+    \       bench --json FILE [--baseline FILE]";
   exit 2
 
 let () =
-  let rec parse trace metrics psan psan_json = function
-    | [] -> (trace, metrics, psan, psan_json)
-    | "--trace" :: f :: rest -> parse (Some f) metrics psan psan_json rest
-    | "--metrics" :: f :: rest -> parse trace (Some f) psan psan_json rest
-    | "--psan" :: rest -> parse trace metrics true psan_json rest
-    | "--psan-json" :: f :: rest -> parse trace metrics psan (Some f) rest
+  let trace = ref None
+  and metrics = ref None
+  and psan = ref false
+  and psan_json = ref None
+  and json = ref None
+  and baseline = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--trace" :: f :: rest ->
+        trace := Some f;
+        parse rest
+    | "--metrics" :: f :: rest ->
+        metrics := Some f;
+        parse rest
+    | "--psan" :: rest ->
+        psan := true;
+        parse rest
+    | "--psan-json" :: f :: rest ->
+        psan_json := Some f;
+        parse rest
+    | "--json" :: f :: rest ->
+        json := Some f;
+        parse rest
+    | "--baseline" :: f :: rest ->
+        baseline := Some f;
+        parse rest
     | _ -> usage ()
   in
   match List.tl (Array.to_list Sys.argv) with
   | [] -> () (* plain run: the bechamel benchmark below *)
   | args ->
-      let trace, metrics, psan, psan_json = parse None None false None args in
-      run_instrumented ~trace ~metrics ~psan ~psan_json
+      parse args;
+      if !trace <> None || !metrics <> None || !psan || !psan_json <> None then
+        run_instrumented ~trace:!trace ~metrics:!metrics ~psan:!psan
+          ~psan_json:!psan_json;
+      (match !json with
+      | None -> ()
+      | Some path ->
+          write_file path (attribution_json ());
+          Printf.printf "wrote %s\n" path);
+      (match (!json, !baseline) with
+      | Some current, Some b -> compare_against_baseline ~current ~baseline:b
+      | None, Some _ ->
+          prerr_endline "--baseline requires --json FILE for the current run";
+          exit 2
+      | _ -> ())
 
 let () =
   if Array.length Sys.argv > 1 then exit 0;

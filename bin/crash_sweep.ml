@@ -4,7 +4,47 @@
    surviving write-pending lines additionally land word-torn at the given
    probability.  Exits non-zero on any violation. *)
 
-let run limit samples torn psan psan_json names =
+(* --crash-image: mint a pre-recovery crash image under the current
+   journal protocol and save it to FILE.  A small pool commits a few
+   transactions, then a power failure is scheduled mid-transaction; the
+   power-cycled (possibly torn) media state is saved unrecovered, so CI
+   can verify that [pool_info fsck] understands in-flight images. *)
+let write_crash_image path countdown =
+  let module P = Corundum.Pool_impl in
+  let pool = P.create ~config:Crashtest.Scenario.small_config ~path () in
+  let dev = P.device pool in
+  let cell =
+    P.transaction pool (fun tx ->
+        let off = P.tx_alloc tx 256 in
+        P.tx_set_root tx ~off ~ty_hash:0;
+        off)
+  in
+  for i = 1 to 4 do
+    P.transaction pool (fun tx ->
+        P.tx_log tx ~off:cell ~len:64;
+        Pmem.Device.write_u64 dev cell (Int64.of_int i))
+  done;
+  Pmem.Device.set_crash_countdown dev countdown;
+  match
+    P.transaction pool (fun tx ->
+        let b = P.tx_alloc tx 128 in
+        P.tx_log tx ~off:(cell + 64) ~len:64;
+        Pmem.Device.write_u64 dev (cell + 64) 0xDEADL;
+        P.tx_free tx b)
+  with
+  | () ->
+      Printf.eprintf
+        "crash_sweep: countdown %d survived the victim transaction; image \
+         not written\n"
+        countdown;
+      exit 1
+  | exception Pmem.Device.Crashed ->
+      Pmem.Device.power_cycle dev;
+      Pmem.Device.save dev;
+      Printf.printf "wrote pre-recovery crash image %s (crash at persist %d)\n"
+        path countdown
+
+let run_sweep limit samples torn psan psan_json names =
   if not (torn >= 0.0 && torn <= 1.0) then begin
     Printf.eprintf "crash_sweep: --torn must be a probability in [0, 1]\n";
     exit 2
@@ -46,6 +86,11 @@ let run limit samples torn psan psan_json names =
     if not (Psan.clean ()) then failed := true
   end;
   if !failed then exit 1
+
+let run limit samples torn psan psan_json crash_image crash_at names =
+  match crash_image with
+  | Some path -> write_crash_image path crash_at
+  | None -> run_sweep limit samples torn psan psan_json names
 
 open Cmdliner
 
@@ -89,10 +134,29 @@ let psan_json_arg =
         ~doc:"Write the psan report as JSON to $(docv) (implies --psan)."
         ~docv:"FILE")
 
+let crash_image_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "crash-image" ]
+        ~doc:
+          "Instead of sweeping: run a small canonical workload, crash it \
+           mid-transaction, and save the power-cycled pre-recovery image to \
+           $(docv) for offline fsck."
+        ~docv:"FILE")
+
+let crash_at_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "crash-at" ]
+        ~doc:
+          "With --crash-image: persist point (within the victim \
+           transaction) at which the power failure fires.")
+
 let cmd =
   Cmd.v
     (Cmd.info "crash_sweep" ~doc:"Failure-injection sweep over all scenarios")
     Term.(const run $ limit_arg $ samples_arg $ torn_arg $ psan_arg
-          $ psan_json_arg $ names_arg)
+          $ psan_json_arg $ crash_image_arg $ crash_at_arg $ names_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -14,11 +14,15 @@ let ok r = r.findings = []
 let header_size = 4096
 let magic = "CORUNDUM-POOL-01"
 
-(* Slot header field offsets (mirroring Journal_impl). *)
+(* Slot header field offsets (mirroring Journal_impl).  [hdr_count] is
+   advisory: the durable tail of a slot's log is its terminator word, and
+   fsck cross-checks the advisory count against the walked tail. *)
 let hdr_phase = 0
 let hdr_count = 8
 let hdr_drops = 16
 let hdr_spill = 24
+let hdr_epoch = 32
+let hdr_size = 64
 
 type layout = {
   nslots : int;
@@ -79,11 +83,13 @@ let check_device dev =
         let base = header_size + (i * slot_size) in
         let where = Printf.sprintf "journal slot %d" i in
         let phase = u64 (base + hdr_phase)
-        and count = u64 (base + hdr_count)
-        and drops = u64 (base + hdr_drops) in
+        and advisory = u64 (base + hdr_count)
+        and drops = u64 (base + hdr_drops)
+        and epoch = u64 (base + hdr_epoch) in
+        let salt = Pjournal.Log_entry.salt ~slot_base:base ~epoch in
         if phase <> 0 && phase <> 1 then note where "bad phase %d" phase;
-        if count < 0 || count * 16 > 64 * slot_size then
-          note where "implausible entry count %d" count
+        if advisory < 0 || advisory * 16 > 64 * slot_size then
+          note where "implausible entry count %d" advisory
         else begin
           (* the spill chain must point at live heap blocks *)
           (match Pjournal.Log_entry.spill_chain dev ~slot_base:base with
@@ -96,32 +102,45 @@ let check_device dev =
                     note where "spill region misaligned")
                 spills
           | exception Invalid_argument m -> note where "corrupt spill chain: %s" m);
-          (* walk the undo entries (spill-chain aware, checksum-verified) *)
+          (* walk the undo entries to the tail terminator (spill-chain
+             aware, checksum-verified) and cross-check the advisory count *)
           (try
-             Pjournal.Log_entry.walk dev ~slot_base:base ~slot_size ~count
-               (fun e ->
-                 incr entries_checked;
-                 match e with
-                 | Pjournal.Log_entry.Data { off; len; _ } ->
-                     if len <= 0 || off < 0 || off + len > size then
-                       failwith "data entry targets outside the pool"
-                 | Pjournal.Log_entry.Alloc { off; order } ->
-                     if off < heap_base || off >= heap_base + heap_len then
-                       failwith "alloc entry outside the heap";
-                     if order < 0 || order > 40 then failwith "alloc order bogus"
-                 | Pjournal.Log_entry.Drop { off } ->
-                     if off < heap_base || off >= heap_base + heap_len then
-                       failwith "drop entry outside the heap")
-           with
-          | Failure m -> note where "%s" m
-          | Invalid_argument m -> note where "torn entry: %s" m)
+             let visited, _cursor, reason =
+               Pjournal.Log_entry.walk_to_tail dev ~slot_base:base ~slot_size
+                 ~salt (fun e ->
+                   incr entries_checked;
+                   match e with
+                   | Pjournal.Log_entry.Data { off; len; _ } ->
+                       if len <= 0 || off < 0 || off + len > size then
+                         failwith "data entry targets outside the pool"
+                   | Pjournal.Log_entry.Alloc { off; order } ->
+                       if off < heap_base || off >= heap_base + heap_len then
+                         failwith "alloc entry outside the heap";
+                       if order < 0 || order > 40 then failwith "alloc order bogus"
+                   | Pjournal.Log_entry.Drop { off } ->
+                       if off < heap_base || off >= heap_base + heap_len then
+                         failwith "drop entry outside the heap")
+             in
+             (match reason with
+             | Pjournal.Log_entry.Terminator -> ()
+             | Pjournal.Log_entry.Bad_entry m -> note where "torn log tail: %s" m
+             | Pjournal.Log_entry.Chain_end m ->
+                 note where "log chain ends without a terminator (%s)" m);
+             (* advisory = 0 with a walked tail is a normal in-flight
+                transaction (the count persists only at commit); a
+                non-zero advisory must agree with the walk *)
+             if advisory <> 0 && advisory <> visited then
+               note where
+                 "advisory entry count %d disagrees with walked tail (%d sealed entries)"
+                 advisory visited
+           with Failure m -> note where "%s" m)
         end;
         if drops < 0 || drops * 16 > slot_size then
           note where "implausible drop count %d" drops
         else
           for d = 1 to drops do
             let at = base + slot_size - (d * 16) in
-            match Pjournal.Log_entry.read dev ~at with
+            match Pjournal.Log_entry.read dev ~salt ~at with
             | Pjournal.Log_entry.Drop { off }, _ ->
                 if off < heap_base || off >= heap_base + heap_len then
                   note where "drop area entry outside the heap"
@@ -219,11 +238,12 @@ let repaired r = r.unrepairable = [] && ok r.post
 
    - a header whose layout fields are sane but whose checksum is stale is
      re-sealed;
-   - a journal slot with a corrupt suffix (first entry failing its
-     checksum, or a broken spill chain) is truncated to its verified
-     prefix — the same "treat as never written" rule recovery applies —
-     and a slot whose header fields are themselves implausible is reset
-     outright;
+   - a journal slot with a torn log tail (a word after the last sealed
+     entry failing verification) gets a fresh terminator sealed over it —
+     the same "treat as never written" rule recovery applies — and its
+     advisory entry count is reconciled with the walked tail; a slot
+     whose header fields are implausible or whose spill chain is broken
+     is reset outright (terminator rewritten, epoch bumped);
    - allocation-table bytes that claim impossible blocks (bogus order,
      misalignment, heap overflow, phantom heads inside a live extent) are
      quarantined: cleared, so the extent returns to the free space that
@@ -270,12 +290,17 @@ let repair dev =
         D.persist dev (base + off) 8
       in
       let reset_slot base why =
-        (* counts to zero first, then the chain, then the phase — the same
-           ordering as a runtime truncate *)
-        write_field base hdr_count 0;
-        write_field base hdr_drops 0;
-        write_field base hdr_spill 0;
-        write_field base hdr_phase 0;
+        (* a batched header persist, like a runtime truncate: terminator
+           back at the head of the entry area and the epoch bumped, so
+           whatever sealed bytes remain can never verify again *)
+        let epoch = D.read_u64 dev (base + hdr_epoch) in
+        D.write_u64 dev (base + hdr_phase) 0L;
+        D.write_u64 dev (base + hdr_count) 0L;
+        D.write_u64 dev (base + hdr_drops) 0L;
+        D.write_u64 dev (base + hdr_spill) 0L;
+        D.write_u64 dev (base + hdr_epoch) (Int64.add epoch 1L);
+        D.write_u64 dev (base + hdr_size) 0L;
+        D.persist dev base (hdr_size + 8);
         act (Printf.sprintf "journal slot %d" (base / slot_size)) "reset slot: %s"
           why
       in
@@ -283,40 +308,88 @@ let repair dev =
         let base = header_size + (i * slot_size) in
         let where = Printf.sprintf "journal slot %d" i in
         let phase = Int64.to_int (D.read_u64 dev (base + hdr_phase))
-        and count = Int64.to_int (D.read_u64 dev (base + hdr_count))
-        and drops = Int64.to_int (D.read_u64 dev (base + hdr_drops)) in
+        and advisory = Int64.to_int (D.read_u64 dev (base + hdr_count))
+        and drops = Int64.to_int (D.read_u64 dev (base + hdr_drops))
+        and epoch = Int64.to_int (D.read_u64 dev (base + hdr_epoch)) in
+        let salt = Pjournal.Log_entry.salt ~slot_base:base ~epoch in
         if phase <> 0 && phase <> 1 then
           reset_slot base (Printf.sprintf "bad phase %d" phase)
-        else if count < 0 || count * 16 > 64 * slot_size then
-          reset_slot base (Printf.sprintf "implausible entry count %d" count)
+        else if advisory < 0 || advisory * 16 > 64 * slot_size then
+          reset_slot base (Printf.sprintf "implausible entry count %d" advisory)
         else begin
-          let chain_ok =
+          let chain =
             match Pjournal.Log_entry.spill_chain dev ~slot_base:base with
             | spills ->
-                List.for_all
-                  (fun off ->
-                    off >= heap_base
-                    && off < heap_base + heap_len
-                    && (off - heap_base) mod 64 = 0)
-                  spills
-            | exception Invalid_argument _ -> false
+                if
+                  List.for_all
+                    (fun off ->
+                      off >= heap_base
+                      && off < heap_base + heap_len
+                      && (off - heap_base) mod 64 = 0)
+                    spills
+                then Some spills
+                else None
+            | exception Invalid_argument _ -> None
           in
-          if not chain_ok then begin
-            entries_truncated := !entries_truncated + count;
-            reset_slot base "corrupt spill chain"
-          end
-          else begin
-            let valid, reason =
-              Pjournal.Log_entry.walk_checked dev ~slot_base:base
-                ~slot_size ~count
+          match chain with
+          | None ->
+              entries_truncated := !entries_truncated + max 0 advisory;
+              reset_slot base "corrupt spill chain"
+          | Some spills ->
+            let visited, cursor, reason =
+              Pjournal.Log_entry.walk_to_tail dev ~slot_base:base ~slot_size
+                ~salt
                 (fun _ -> ())
             in
-            if valid < count then begin
-              write_field base hdr_count valid;
-              entries_truncated := !entries_truncated + (count - valid);
-              act where "truncated %d corrupt undo entries (%s)" (count - valid)
-                (Option.value ~default:"?" reason)
-            end;
+            (* can a terminator word at [cursor] stay inside its region? *)
+            let term_fits =
+              let inside rbase rlimit =
+                cursor >= rbase && cursor + 8 <= min rlimit (D.size dev)
+              in
+              inside (base + hdr_size)
+                (Pjournal.Log_entry.main_entry_limit ~slot_base:base ~slot_size)
+              || List.exists
+                   (fun off ->
+                     inside
+                       (off + Pjournal.Log_entry.spill_header)
+                       (off + Int64.to_int (D.read_u64 dev (off + 8))))
+                   spills
+            in
+            let torn =
+              match reason with
+              | Pjournal.Log_entry.Terminator -> false
+              | Pjournal.Log_entry.Bad_entry _ | Pjournal.Log_entry.Chain_end _
+                ->
+                  true
+            in
+            if torn && not term_fits then begin
+              (* only hand-damaged images reach here: the writer always
+                 reserves terminator room, so there is no prefix worth
+                 preserving that a fresh terminator could seal *)
+              entries_truncated := !entries_truncated + max visited (max 0 advisory);
+              reset_slot base "log tail cannot be sealed in place"
+            end
+            else begin
+              (match reason with
+              | Pjournal.Log_entry.Terminator -> ()
+              | Pjournal.Log_entry.Bad_entry m | Pjournal.Log_entry.Chain_end m
+                ->
+                  (* seal the verified prefix: the torn tail becomes the
+                     terminator, the same "never written" rule recovery
+                     applies *)
+                  D.write_u64 dev cursor 0L;
+                  D.persist dev cursor 8;
+                  act where "sealed torn log tail at %d (%s)" cursor m);
+              entries_truncated :=
+                !entries_truncated
+                + max
+                    (if advisory <> 0 then advisory - visited else 0)
+                    (if torn then 1 else 0);
+              if advisory <> 0 && advisory <> visited then begin
+                write_field base hdr_count visited;
+                act where "reconciled advisory entry count %d -> %d walked entries"
+                  advisory visited
+              end;
             if drops < 0 || drops * 16 > slot_size then begin
               write_field base hdr_drops 0;
               drops_truncated := !drops_truncated + max 0 drops;
@@ -327,7 +400,7 @@ let repair dev =
               (try
                  for d = 1 to drops do
                    let at = base + slot_size - (d * 16) in
-                   match Pjournal.Log_entry.read dev ~at with
+                   match Pjournal.Log_entry.read dev ~salt ~at with
                    | Pjournal.Log_entry.Drop { off }, _
                      when off >= heap_base && off < heap_base + heap_len ->
                        ()

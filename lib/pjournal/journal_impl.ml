@@ -23,18 +23,24 @@ let m_entries = Mx.counter "journal.entries"
 let m_spills = Mx.counter "journal.spills"
 let h_entry_bytes = Mx.histogram "journal.entry_bytes"
 
-(* Header field offsets within a slot: phase, undo entry count, drop
-   count, and the head of the spill chain. *)
+(* Header field offsets within a slot: phase, advisory undo entry count,
+   drop count, head of the spill chain, and the truncation epoch that
+   salts entry checksums.  Of these only [phase], [drops], [spill] and
+   [epoch] carry recovery semantics; [count] is advisory (persisted once
+   at commit, cross-checked by fsck) — the durable tail of the log is
+   defined by the terminator word, not the count. *)
 let hdr_phase = 0
 let hdr_count = 8
 let hdr_drops = 16
 let hdr_spill = 24
+let hdr_epoch = 32
 let hdr_size = 64
 let phase_normal = 0L
 let phase_committing = 1L
 let drop_slot_bytes = 16
 let tx_overhead_ns = 198
 let spill_min = 16 * 1024
+let line = 64
 
 type t = {
   dev : D.t;
@@ -43,13 +49,17 @@ type t = {
   size : int;
   alloc_hint : int; (* preferred allocator stripe (the slot's index) *)
   mutable active : bool;
-  mutable count : int; (* volatile mirror of persistent entry count *)
+  mutable count : int; (* volatile entry count (advisory once persisted) *)
   mutable cursor : int; (* absolute address of the next entry byte *)
   mutable cur_limit : int; (* absolute end of the current entry region *)
   mutable last_region : int; (* base of the chain's last region *)
-  mutable spills : int list; (* spill block offsets, oldest first *)
+  mutable spills : int list; (* spill block offsets, newest first *)
   mutable drops : int list; (* drop offsets, newest first *)
+  mutable ndrops : int; (* length of [drops], kept O(1) *)
+  mutable epoch : int; (* volatile mirror of the persistent epoch *)
+  mutable salt : Log_entry.salt; (* checksum salt for (base, epoch) *)
   dedup : (int * int, unit) Hashtbl.t; (* (off, len) ranges already logged *)
+  lines : (int, unit) Hashtbl.t; (* line indexes fully covered by the log *)
   dropped : (int, unit) Hashtbl.t;
   mutable targets : (int * int) list; (* data ranges to persist at commit *)
   mutable tx_logged : int; (* entry bytes sealed in the current transaction *)
@@ -58,9 +68,12 @@ type t = {
 let format dev ~base ~size =
   if size < hdr_size + 256 then invalid_arg "Journal_impl.format: slot too small";
   D.fill dev base hdr_size '\000';
-  D.persist dev base hdr_size
+  (* terminator: the empty log ends right after the header *)
+  D.write_u64 dev (base + hdr_size) 0L;
+  D.persist dev base (hdr_size + Log_entry.terminator_size)
 
 let attach ?(alloc_hint = 0) dev buddy ~base ~size =
+  let epoch = Int64.to_int (D.read_u64 dev (base + hdr_epoch)) in
   {
     dev;
     buddy;
@@ -74,7 +87,11 @@ let attach ?(alloc_hint = 0) dev buddy ~base ~size =
     last_region = base;
     spills = [];
     drops = [];
+    ndrops = 0;
+    epoch;
+    salt = Log_entry.salt ~slot_base:base ~epoch;
     dedup = Hashtbl.create 64;
+    lines = Hashtbl.create 64;
     dropped = Hashtbl.create 16;
     targets = [];
     tx_logged = 0;
@@ -84,7 +101,7 @@ let base t = t.base
 let size t = t.size
 let is_active t = t.active
 let entry_count t = t.count
-let drop_count t = List.length t.drops
+let drop_count t = t.ndrops
 let spill_count t = List.length t.spills
 let logged_bytes t =
   if t.last_region = t.base then t.cursor - t.base - hdr_size
@@ -106,20 +123,25 @@ let begin_tx t =
   t.last_region <- t.base;
   t.spills <- [];
   t.drops <- [];
+  t.ndrops <- 0;
   t.targets <- [];
   t.tx_logged <- 0;
   Hashtbl.reset t.dedup;
+  Hashtbl.reset t.lines;
   Hashtbl.reset t.dropped;
   D.charge_ns t.dev tx_overhead_ns
 
-(* Persist the entry just written at absolute [at] of [len] bytes, then
-   advance and persist the entry count.  The two persists are ordered
-   (entry first) so a crash can never expose a counted-but-torn entry. *)
+(* Seal the entry just written at absolute [at] of [len] bytes: write the
+   zero terminator word right after it and persist entry and terminator
+   together — a single flush+fence.  A crash mid-persist leaves either
+   the old terminator (entry never happened), a torn entry (checksum
+   fails: never happened), or the full entry plus its terminator; the
+   tail walk reads back exactly the durable prefix, so no persistent
+   counter update is needed. *)
 let seal_entry t ~kind ~at ~len =
-  D.persist t.dev at len;
+  D.write_u64 t.dev (at + len) 0L;
+  D.persist t.dev at (len + Log_entry.terminator_size);
   t.count <- t.count + 1;
-  D.write_u64 t.dev (t.base + hdr_count) (Int64.of_int t.count);
-  D.persist t.dev (t.base + hdr_count) 8;
   t.tx_logged <- t.tx_logged + len;
   if Tr.on () then begin
     Mx.incr m_entries;
@@ -132,9 +154,10 @@ let seal_entry t ~kind ~at ~len =
 
 (* Chain a fresh spill region big enough for [need] entry bytes.  The
    ordering makes every intermediate state recoverable: the region's own
-   header becomes durable before the chain points at it, and the chain
-   points at it before its allocation-table mark (an unmarked chained
-   block is freed as a no-op by recovery's idempotent sweep). *)
+   header (and a terminator, so the freshly linked region walks as empty)
+   becomes durable before the chain points at it, and the chain points at
+   it before its allocation-table mark (an unmarked chained block is
+   freed as a no-op by recovery's idempotent sweep). *)
 let add_spill t need =
   let exact = need + Log_entry.spill_header in
   let r =
@@ -153,14 +176,15 @@ let add_spill t need =
     Pr.emit (Pr.Region_reserve { dev = D.id t.dev; off; len = actual });
   D.write_u64 t.dev off 0L;
   D.write_u64 t.dev (off + 8) (Int64.of_int actual);
-  D.persist t.dev off Log_entry.spill_header;
+  D.write_u64 t.dev (off + Log_entry.spill_header) 0L;
+  D.persist t.dev off (Log_entry.spill_header + Log_entry.terminator_size);
   let link =
     if t.last_region = t.base then t.base + hdr_spill else t.last_region
   in
   D.write_u64 t.dev link (Int64.of_int off);
   D.persist t.dev link 8;
   Palloc.Buddy.commit t.buddy r;
-  t.spills <- t.spills @ [ off ];
+  t.spills <- off :: t.spills;
   t.last_region <- off;
   t.cursor <- off + Log_entry.spill_header;
   t.cur_limit <- off + actual;
@@ -173,26 +197,45 @@ let add_spill t need =
   end
 
 let ensure_room t need =
-  if t.cursor + need > t.cur_limit then begin
+  (* +terminator: every entry is sealed together with the zero word that
+     follows it, so room for that word must exist in the same region *)
+  if t.cursor + need + Log_entry.terminator_size > t.cur_limit then begin
     (* mark the continuation so walkers stop parsing this region here *)
     if t.cursor + 8 <= t.cur_limit then Log_entry.write_jump t.dev ~at:t.cursor;
-    add_spill t need
+    add_spill t (need + Log_entry.terminator_size)
   end
+
+(* Line-granularity dedup bookkeeping: a 64-byte line is marked once some
+   single logged range covers it entirely; a later range whose every line
+   is marked needs no new entry (its undo bytes and its commit flush are
+   both already guaranteed by the earlier entries). *)
+let mark_covered_lines t ~off ~len =
+  let first = (off + line - 1) / line and last = ((off + len) / line) - 1 in
+  for l = first to last do
+    Hashtbl.replace t.lines l ()
+  done
+
+let lines_covered t ~off ~len =
+  let last = (off + len - 1) / line in
+  let rec all l = l > last || (Hashtbl.mem t.lines l && all (l + 1)) in
+  all (off / line)
 
 let append_data t ~off ~len =
   let need = Log_entry.data_entry_size len in
   ensure_room t need;
   let at = t.cursor in
-  Log_entry.write_data t.dev ~at ~off ~len;
+  Log_entry.write_data t.dev ~salt:t.salt ~at ~off ~len;
   t.cursor <- t.cursor + need;
   seal_entry t ~kind:"data" ~at ~len:need;
+  mark_covered_lines t ~off ~len;
   t.targets <- (off, len) :: t.targets;
   if Pr.on () then Pr.emit (Pr.Log { dev = D.id t.dev; off; len })
 
 let data_log t ~off ~len =
   require_active t;
   if len <= 0 then invalid_arg "Journal_impl.data_log: non-positive length";
-  if not (Hashtbl.mem t.dedup (off, len)) then begin
+  if not (Hashtbl.mem t.dedup (off, len)) && not (lines_covered t ~off ~len)
+  then begin
     append_data t ~off ~len;
     Hashtbl.add t.dedup (off, len) ()
   end
@@ -214,7 +257,7 @@ let alloc t bytes =
      let need = Log_entry.alloc_entry_size in
      ensure_room t need;
      let at = t.cursor in
-     Log_entry.write_alloc t.dev ~at ~off
+     Log_entry.write_alloc t.dev ~salt:t.salt ~at ~off
        ~order:(r : Palloc.Buddy.reservation).r_order;
      t.cursor <- t.cursor + need;
      seal_entry t ~kind:"alloc" ~at ~len:need
@@ -240,73 +283,143 @@ let free t off =
   (match Palloc.Buddy.block_size t.buddy off with
   | Some _ -> ()
   | None -> raise (Palloc.Buddy.Invalid_free off));
-  if List.length t.drops >= drop_capacity t then raise Journal_full;
+  if t.ndrops >= drop_capacity t then raise Journal_full;
   (* Volatile append into the drop area; durable only at commit. *)
-  let at = t.base + t.size - ((List.length t.drops + 1) * drop_slot_bytes) in
-  Log_entry.write_drop t.dev ~at ~off;
+  let at = t.base + t.size - ((t.ndrops + 1) * drop_slot_bytes) in
+  Log_entry.write_drop t.dev ~salt:t.salt ~at ~off;
   t.drops <- off :: t.drops;
+  t.ndrops <- t.ndrops + 1;
   Hashtbl.add t.dropped off ()
 
 let write_phase t phase =
   D.write_u64 t.dev (t.base + hdr_phase) phase;
   D.persist t.dev (t.base + hdr_phase) 8
 
-(* Truncate the slot.  Counts go durably to zero first (so a crash cannot
-   leave a count that overruns a released spill chain), then the spill
-   regions are released and unchained, then the phase resets. *)
-let truncate t =
-  D.write_u64 t.dev (t.base + hdr_count) 0L;
-  D.write_u64 t.dev (t.base + hdr_drops) 0L;
-  D.persist t.dev (t.base + hdr_count) 16;
+(* Truncate the slot: terminator back at the head of the entry area,
+   advisory counts zeroed, spill head unchained, phase reset, and —
+   crucially — the epoch bumped, so any sealed entry bytes left beyond
+   the terminator (in the slot or in a recycled spill region) can never
+   again verify against this slot's salt.  Spill regions are released
+   first; their contents are not touched until a later transaction
+   reuses them, by which time this header persist is durable, so no
+   crash can walk a freed chain.
+
+   From phase [Normal] (rollback, abort, empty commit) everything goes
+   in ONE batched persist: per-u64 tearing can only leave the old log
+   intact (rolled back again, idempotently) or invalidated, and the
+   phase word is 0 on both sides.  From phase [Committing] the deferred
+   frees were already applied, so the log must be durably invalidated
+   {e before} the phase returns to 0 — otherwise a torn truncate could
+   present phase=0 beside a still-walkable log and recovery would roll
+   back a committed transaction whose frees already happened, leaving
+   the data structure pointing at deallocated blocks.  That path pays a
+   second ordered persist for the phase word. *)
+let truncate_common t ~from_committing =
   if t.spills <> [] then begin
     List.iter (fun off -> Palloc.Buddy.dealloc_if_live t.buddy off) t.spills;
     if Pr.on () then
       List.iter
         (fun off -> Pr.emit (Pr.Region_release { dev = D.id t.dev; off }))
-        t.spills;
-    D.write_u64 t.dev (t.base + hdr_spill) 0L;
-    D.persist t.dev (t.base + hdr_spill) 8
+        t.spills
   end;
-  write_phase t phase_normal;
+  t.epoch <- t.epoch + 1;
+  D.write_u64 t.dev (t.base + hdr_count) 0L;
+  D.write_u64 t.dev (t.base + hdr_drops) 0L;
+  D.write_u64 t.dev (t.base + hdr_spill) 0L;
+  D.write_u64 t.dev (t.base + hdr_epoch) (Int64.of_int t.epoch);
+  D.write_u64 t.dev (t.base + hdr_size) 0L;
+  if from_committing then begin
+    (* log invalidation must be durable before the phase leaves
+       Committing (a crash in between re-runs the idempotent frees) *)
+    D.persist t.dev (t.base + hdr_count)
+      (hdr_size + Log_entry.terminator_size - hdr_count);
+    write_phase t phase_normal
+  end
+  else begin
+    D.write_u64 t.dev (t.base + hdr_phase) phase_normal;
+    D.persist t.dev t.base (hdr_size + Log_entry.terminator_size)
+  end;
+  t.salt <- Log_entry.salt ~slot_base:t.base ~epoch:t.epoch;
   t.count <- 0;
   t.cursor <- t.base + hdr_size;
   t.cur_limit <- Log_entry.main_entry_limit ~slot_base:t.base ~slot_size:t.size;
   t.last_region <- t.base;
   t.spills <- [];
   t.drops <- [];
+  t.ndrops <- 0;
   t.targets <- [];
   Hashtbl.reset t.dedup;
+  Hashtbl.reset t.lines;
   Hashtbl.reset t.dropped
+
+let truncate t = truncate_common t ~from_committing:false
+
+(* Flush the logged target ranges as a set of unique 64-byte lines:
+   overlapping and duplicate ranges cost one flush per dirty line, and
+   contiguous lines coalesce into a single flush call.  Runs are never
+   merged across a gap — a clean line between two dirty ones must not be
+   flushed (it would be a useless flush, and the sanitizer says so). *)
+let flush_target_lines t =
+  let lines = Hashtbl.create 64 in
+  List.iter
+    (fun (off, len) ->
+      for l = off / line to (off + len - 1) / line do
+        Hashtbl.replace lines l ()
+      done)
+    t.targets;
+  let sorted =
+    List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) lines [])
+  in
+  let flush_run first last =
+    D.flush t.dev (first * line) ((last - first + 1) * line)
+  in
+  match sorted with
+  | [] -> ()
+  | l0 :: rest ->
+      let first = ref l0 and last = ref l0 in
+      List.iter
+        (fun l ->
+          if l = !last + 1 then last := l
+          else begin
+            flush_run !first !last;
+            first := l;
+            last := l
+          end)
+        rest;
+      flush_run !first !last
 
 let commit t =
   require_active t;
   t.active <- false;
-  if t.count = 0 && t.drops = [] then ()
+  if t.count = 0 && t.ndrops = 0 then ()
   else begin
-    (* 1. Make every logged target range durable. *)
-    if not !elide_commit_flush then
-      List.iter (fun (off, len) -> D.flush t.dev off len) t.targets;
-    (* 2. Make the drop area and its count durable, then mark committing. *)
-    let ndrops = List.length t.drops in
-    if ndrops > 0 then begin
-      let area = ndrops * drop_slot_bytes in
+    (* 1. Make every logged target range durable, one flush per unique
+       dirty line (contiguous lines coalesce). *)
+    if not !elide_commit_flush then flush_target_lines t;
+    (* 2. Batch the drop area and the advisory header fields under the
+       same fence: drop entries, drop count and the advisory entry count
+       all become durable at the commit point, not before. *)
+    if t.ndrops > 0 then begin
+      let area = t.ndrops * drop_slot_bytes in
       D.flush t.dev (t.base + t.size - area) area;
-      D.write_u64 t.dev (t.base + hdr_drops) (Int64.of_int ndrops);
-      D.flush t.dev (t.base + hdr_drops) 8
+      D.write_u64 t.dev (t.base + hdr_drops) (Int64.of_int t.ndrops)
     end;
+    D.write_u64 t.dev (t.base + hdr_count) (Int64.of_int t.count);
+    D.flush t.dev (t.base + hdr_count) 16;
     if not !elide_commit_fence then D.fence t.dev;
     (* The commit point: everything this transaction stored must be
        durable now.  Emitted before [truncate], whose own persists drain
        the WPQ and would mask an elided or forgotten commit fence. *)
     if Pr.on () then
       Pr.emit (Pr.Commit_point { dev = D.id t.dev; ns = D.simulated_ns t.dev });
-    if ndrops > 0 then begin
+    if t.ndrops > 0 then begin
       write_phase t phase_committing;
       (* 3. Apply deferred frees; idempotent, so recovery may re-run them. *)
-      List.iter (fun off -> Palloc.Buddy.dealloc_if_live t.buddy off) t.drops
-    end;
-    (* 4. Truncate. *)
-    truncate t
+      List.iter (fun off -> Palloc.Buddy.dealloc_if_live t.buddy off) t.drops;
+      (* 4. Truncate, with the phase-ordering the applied frees demand. *)
+      truncate_common t ~from_committing:true
+    end
+    else truncate t
   end
 
 let abort t =
@@ -314,11 +427,13 @@ let abort t =
   t.active <- false;
   if t.count = 0 then truncate t
   else begin
-    (* Collect entries (following any spill chain), then restore data logs
-       newest-first. *)
+    (* Collect the sealed entries by walking to the tail terminator
+       (following any spill chain), then restore data logs newest-first. *)
     let entries = ref [] in
-    Log_entry.walk t.dev ~slot_base:t.base ~slot_size:t.size ~count:t.count
-      (fun e -> entries := e :: !entries);
+    let _visited, _cursor, _reason =
+      Log_entry.walk_to_tail t.dev ~slot_base:t.base ~slot_size:t.size
+        ~salt:t.salt (fun e -> entries := e :: !entries)
+    in
     (* [entries] is newest-first, which is the order undo must apply. *)
     List.iter
       (fun e ->

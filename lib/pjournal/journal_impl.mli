@@ -1,23 +1,31 @@
 (** Runtime undo journal bound to one persistent slot.
 
-    A slot is a fixed region: a 64-byte header ([phase], [count],
-    [drop_count]), an undo-entry area growing up from the header, and a
-    drop-entry area growing down from the end.  The persistent [count] is
-    advanced only after an entry is durable, so recovery never reads a torn
-    entry.  Drop entries are volatile until {!commit} persists them in one
-    batch (the paper's constant-time [DropLog]); a transaction that never
-    commits simply discards them.
+    A slot is a fixed region: a 64-byte header ([phase], advisory
+    [count], [drop_count], spill head, checksum [epoch]), an undo-entry
+    area growing up from the header, and a drop-entry area growing down
+    from the end.  The entry stream ends at a checksummed tail: every
+    entry is sealed together with the zero terminator word that follows
+    it in one persist, and recovery walks to the terminator instead of
+    trusting a counter — the entry count in the header is advisory,
+    persisted once at commit for fsck cross-checks.  Drop entries are
+    volatile until {!commit} persists them in one batch (the paper's
+    constant-time [DropLog]); a transaction that never commits simply
+    discards them.
 
     Protocols (also in DESIGN.md):
 
-    - [data_log]: save old bytes -> persist entry -> persist count ->
+    - [data_log]: save old bytes -> single persist of entry+terminator ->
       caller may now modify the target range;
-    - [alloc]: reserve (volatile) -> persist Alloc entry + count ->
+    - [alloc]: reserve (volatile) -> persist Alloc entry + terminator ->
       durably mark the allocation table;
-    - [commit]: persist all logged target ranges -> persist drop area and
-      [phase=Committing] -> apply drops -> truncate;
+    - [commit]: flush the logged target ranges (one flush per unique
+      64-byte line, contiguous lines coalesced) + drop area + advisory
+      counts, then one fence -> persist [phase=Committing] (only if there
+      are drops) -> apply drops -> truncate;
     - [abort]: restore data logs in reverse -> free logged allocations ->
-      truncate. *)
+      truncate;
+    - [truncate]: one batched persist resets the header, rewrites the
+      terminator and bumps the epoch, invalidating stale entry bytes. *)
 
 exception Journal_full
 (** The log cannot grow: the heap has no room for another spill region,
@@ -30,7 +38,8 @@ exception Not_in_transaction
 type t
 
 val format : Pmem.Device.t -> base:int -> size:int -> unit
-(** Zero a slot's header durably (pool-creation time). *)
+(** Zero a slot's header and write the empty log's terminator durably
+    (pool-creation time). *)
 
 val attach :
   ?alloc_hint:int -> Pmem.Device.t -> Palloc.Buddy.t -> base:int -> size:int -> t
@@ -52,7 +61,10 @@ val begin_tx : t -> unit
 
 val data_log : t -> off:int -> len:int -> unit
 (** Undo-log the current contents of a range.  Exact duplicate ranges
-    within one transaction are logged once. *)
+    within one transaction are logged once, and so is any range whose
+    every 64-byte line is already fully covered by a single earlier
+    entry (line-granularity dedup: the earlier entries already guarantee
+    both the undo bytes and the commit flush). *)
 
 val add_target : t -> off:int -> len:int -> unit
 (** Register a range to be persisted at commit without logging it — for

@@ -3,6 +3,10 @@ type t =
   | Alloc of { off : int; order : int }
   | Drop of { off : int }
 
+(* Kind 0 is the tail terminator: a full zero word after the last sealed
+   entry.  The writer persists it together with the entry it follows, so
+   "walk until the terminator" replaces the persistent entry counter. *)
+let kind_term = 0
 let kind_data = 1
 let kind_alloc = 2
 let kind_drop = 3
@@ -14,6 +18,7 @@ let pad8 n = (n + 7) land lnot 7
 let data_entry_size len = 24 + pad8 len
 let alloc_entry_size = 24
 let drop_entry_size = 16
+let terminator_size = 8
 
 module D = Pmem.Device
 
@@ -30,32 +35,57 @@ let pack_kind ~kind ~crc =
 let kind_of_word w = Int64.to_int (Int64.logand w 0xFFFFFFFFL)
 let crc_of_word w = Int64.to_int (Int64.shift_right_logical w 32)
 
-(* CRC of [len] device bytes at [off]; reading through the device charges
-   the loads the checksum really costs. *)
-let crc_of_range dev ~off ~len = Pmem.Crc32.bytes (D.read_bytes dev off len)
+(* The checksum is salted with the slot's identity and truncation epoch:
+   a CRC that verifies proves the entry was sealed by THIS slot's current
+   log generation.  Without the salt, a truncated-but-not-overwritten
+   entry (or a recycled spill region still holding another slot's sealed
+   entries) would be CRC-valid stale data that a tail walk could replay.
+   The salt is the CRC accumulator after folding 16 bytes
+   [epoch (LE u64) | slot_base (LE u64)], so distinct (slot, epoch) pairs
+   diverge as thoroughly as CRC-32 itself allows. *)
+type salt = int
+
+let fold_u64 acc v =
+  let acc = ref acc in
+  for i = 0 to 7 do
+    acc := Pmem.Crc32.update !acc ((v lsr (8 * i)) land 0xFF)
+  done;
+  !acc
+
+let salt ~slot_base ~epoch = fold_u64 (fold_u64 Pmem.Crc32.seed epoch) slot_base
+
+(* Salted CRC of [len] device bytes at [off]; reading through the device
+   charges the loads the checksum really costs. *)
+let crc_of_range dev ~salt ~off ~len =
+  let b = D.read_bytes dev off len in
+  let acc = ref salt in
+  for i = 0 to len - 1 do
+    acc := Pmem.Crc32.update !acc (Char.code (Bytes.unsafe_get b i))
+  done;
+  Pmem.Crc32.finish !acc
 
 let body_len_data len = 16 + len
 let body_len_alloc = 16
 let body_len_drop = 8
 
-let seal dev ~at ~kind ~body_len =
-  let crc = crc_of_range dev ~off:(at + 8) ~len:body_len in
+let seal dev ~salt ~at ~kind ~body_len =
+  let crc = crc_of_range dev ~salt ~off:(at + 8) ~len:body_len in
   D.write_u64 dev at (pack_kind ~kind ~crc)
 
-let write_data dev ~at ~off ~len =
+let write_data dev ~salt ~at ~off ~len =
   D.write_u64 dev (at + 8) (Int64.of_int off);
   D.write_u64 dev (at + 16) (Int64.of_int len);
   D.copy_within dev ~src:off ~dst:(at + 24) ~len;
-  seal dev ~at ~kind:kind_data ~body_len:(body_len_data len)
+  seal dev ~salt ~at ~kind:kind_data ~body_len:(body_len_data len)
 
-let write_alloc dev ~at ~off ~order =
+let write_alloc dev ~salt ~at ~off ~order =
   D.write_u64 dev (at + 8) (Int64.of_int off);
   D.write_u64 dev (at + 16) (Int64.of_int order);
-  seal dev ~at ~kind:kind_alloc ~body_len:body_len_alloc
+  seal dev ~salt ~at ~kind:kind_alloc ~body_len:body_len_alloc
 
-let write_drop dev ~at ~off =
+let write_drop dev ~salt ~at ~off =
   D.write_u64 dev (at + 8) (Int64.of_int off);
-  seal dev ~at ~kind:kind_drop ~body_len:body_len_drop
+  seal dev ~salt ~at ~kind:kind_drop ~body_len:body_len_drop
 
 let corrupt ~at fmt =
   Printf.ksprintf
@@ -72,28 +102,28 @@ let peek_size dev ~at =
   else if kind = kind_drop then drop_entry_size
   else corrupt ~at "bad kind %d" kind
 
-let verify dev ~at ~stored_crc ~body_len =
+let verify dev ~salt ~at ~stored_crc ~body_len =
   if at + 8 + body_len > D.size dev then corrupt ~at "entry overruns the device";
-  if crc_of_range dev ~off:(at + 8) ~len:body_len <> stored_crc then
+  if crc_of_range dev ~salt ~off:(at + 8) ~len:body_len <> stored_crc then
     corrupt ~at "checksum mismatch"
 
-let read dev ~at =
+let read dev ~salt ~at =
   let w = D.read_u64 dev at in
   let kind = kind_of_word w and stored_crc = crc_of_word w in
   let off = Int64.to_int (D.read_u64 dev (at + 8)) in
   if kind = kind_data then begin
     let len = Int64.to_int (D.read_u64 dev (at + 16)) in
     if len <= 0 || len > D.size dev then corrupt ~at "implausible length %d" len;
-    verify dev ~at ~stored_crc ~body_len:(body_len_data len);
+    verify dev ~salt ~at ~stored_crc ~body_len:(body_len_data len);
     (Data { off; len; payload = at + 24 }, data_entry_size len)
   end
   else if kind = kind_alloc then begin
-    verify dev ~at ~stored_crc ~body_len:body_len_alloc;
+    verify dev ~salt ~at ~stored_crc ~body_len:body_len_alloc;
     let order = Int64.to_int (D.read_u64 dev (at + 16)) in
     (Alloc { off; order }, alloc_entry_size)
   end
   else if kind = kind_drop then begin
-    verify dev ~at ~stored_crc ~body_len:body_len_drop;
+    verify dev ~salt ~at ~stored_crc ~body_len:body_len_drop;
     (Drop { off }, drop_entry_size)
   end
   else corrupt ~at "bad kind %d" kind
@@ -118,12 +148,19 @@ let write_jump dev ~at =
   D.write_u64 dev at (pack_kind ~kind:kind_jump ~crc:0);
   D.persist dev at 8
 
-(* The checksum-aware walk: visit entries until [count] is reached or the
-   first entry fails verification (torn or rotted metadata); return how
-   many verified.  The prefix below the first bad entry is exactly the log
-   a torn tail write never produced — recovery treats the rest as
-   never-written. *)
-let walk_checked dev ~slot_base ~slot_size ~count f =
+type stop_reason = Terminator | Bad_entry of string | Chain_end of string
+
+(* The tail walk: visit sealed entries in write order until the zero
+   terminator word, following the spill chain across region boundaries.
+   The seal protocol persists every entry together with the terminator
+   that follows it, so on a crash-consistent image the walk ends exactly
+   at the last durable seal.  [Bad_entry] (torn kind word, checksum
+   mismatch, wild chain) means a tail write never durably finished — the
+   visited prefix is the whole log; [Chain_end] means a region ran out
+   with no terminator (a stale jump word whose continuation was never
+   durably linked, or an exhausted region on a hand-damaged image) and is
+   equally a tail to stop at.  [f] only sees verified entries. *)
+let walk_to_tail dev ~slot_base ~slot_size ~salt f =
   let next_region base =
     (* region 0 is the slot itself; its chain pointer is in the header *)
     if base = slot_base then Int64.to_int (D.read_u64 dev (slot_base + 24))
@@ -137,36 +174,38 @@ let walk_checked dev ~slot_base ~slot_size ~count f =
     else base + Int64.to_int (D.read_u64 dev (base + 8))
   in
   let rec go visited hops base cursor =
-    if visited >= count then (visited, None)
+    let limit = min (region_limit base) (D.size dev) in
+    if cursor + 8 > limit then jump visited hops base cursor "region exhausted"
     else
-      let limit = region_limit base in
-      (* regions end either by exhaustion or at an explicit jump sentinel *)
-      if
-        cursor + 8 > limit
-        || kind_of_word (D.read_u64 dev cursor) = kind_jump
-      then begin
-        let nxt = next_region base in
-        if nxt <= 0 || nxt + spill_header > D.size dev then
-          (visited, Some "log chain truncated before the entry count")
-        else if hops >= 4096 then (visited, Some "spill chain is cyclic")
-        else go visited (hops + 1) nxt (region_cursor nxt)
-      end
+      let w = D.read_u64 dev cursor in
+      if w = 0L then (visited, cursor, Terminator)
       else
-        match read dev ~at:cursor with
-        | e, sz ->
-            f e;
-            go (visited + 1) hops base (cursor + sz)
-        | exception Invalid_argument m -> (visited, Some m)
+        let kind = kind_of_word w in
+        if kind = kind_term then
+          (* zero kind, nonzero checksum half: not a word this log's
+             writer ever produced — a torn terminator store *)
+          (visited, cursor, Bad_entry "torn terminator word")
+        else if kind = kind_jump then jump visited hops base cursor "jump"
+        else begin
+          match read dev ~salt ~at:cursor with
+          | e, sz ->
+              if cursor + sz + terminator_size > limit then
+                (visited, cursor, Bad_entry "entry overruns its region")
+              else begin
+                f e;
+                go (visited + 1) hops base (cursor + sz)
+              end
+          | exception Invalid_argument m -> (visited, cursor, Bad_entry m)
+        end
+  and jump visited hops base cursor why =
+    let nxt = next_region base in
+    if nxt = 0 then (visited, cursor, Chain_end why)
+    else if nxt < 0 || nxt + spill_header > D.size dev then
+      (visited, cursor, Bad_entry (Printf.sprintf "wild spill link to %d" nxt))
+    else if hops >= 4096 then (visited, cursor, Bad_entry "spill chain is cyclic")
+    else go visited (hops + 1) nxt (region_cursor nxt)
   in
   go 0 0 slot_base (region_cursor slot_base)
-
-let walk dev ~slot_base ~slot_size ~count f =
-  match walk_checked dev ~slot_base ~slot_size ~count f with
-  | _, None -> ()
-  | visited, Some reason ->
-      invalid_arg
-        (Printf.sprintf "Log_entry.walk: %s (after %d of %d entries)" reason
-           visited count)
 
 let spill_chain dev ~slot_base =
   (* Bounds- and cycle-guarded: this runs on corrupt images too. *)

@@ -1,17 +1,23 @@
 (** Wire format of journal entries.
 
-    Entries live in a journal slot's entry area and are valid iff their
-    index is below the slot's persistent entry count; the count is only
-    advanced after an entry is durably written, so a torn entry is never
-    observed by recovery.  As defense in depth against media faults the
-    ordering cannot mask (8-byte-granularity torn writes, bit rot), every
-    entry also carries a CRC-32 of its body packed into the high half of
-    its kind word; {!read} verifies it, and {!walk_checked} lets recovery
-    treat the suffix after the first bad entry as never written.
+    Entries live in a journal slot's entry area; the stream of sealed
+    entries ends at a {e terminator} — a full zero word persisted
+    together with the entry it follows (a single ordered persist per
+    entry).  Validity is checksum-defined: every entry carries a salted
+    CRC-32 of its body packed into the high half of its kind word, so a
+    torn tail write fails verification and {!walk_to_tail} treats it and
+    everything after as never written.  The slot-header entry count is
+    advisory only (persisted once at commit, for fsck cross-checks).
+
+    The checksum salt binds an entry to its slot and truncation epoch
+    ({!salt}): entries left behind by a truncated transaction — or by
+    another slot in a recycled spill region — fail verification instead
+    of surviving as plausible stale tails.
 
     Layout (all fields little-endian u64; word 0 is
-    [kind (low 32 bits) | body CRC-32 (high 32 bits)]):
+    [kind (low 32 bits) | salted body CRC-32 (high 32 bits)]):
 
+    - terminator: [0] (the whole word is zero)
     - [Data]:  [kind=1+crc | target offset | length | saved bytes, padded to 8]
     - [Alloc]: [kind=2+crc | block offset  | order]
     - [Drop]:  [kind=3+crc | block offset]
@@ -29,6 +35,9 @@ type t =
   | Drop of { off : int }
       (** Deferred free: block at [off] must be freed at commit. *)
 
+val kind_term : int
+(** Tail terminator: a full zero word ends the entry stream. *)
+
 val kind_data : int
 val kind_alloc : int
 val kind_drop : int
@@ -42,22 +51,36 @@ val data_entry_size : int -> int
 val alloc_entry_size : int
 val drop_entry_size : int
 
-val write_data : Pmem.Device.t -> at:int -> off:int -> len:int -> unit
+val terminator_size : int
+(** Bytes of the tail terminator word (8); the writer reserves this much
+    after every entry so the terminator never crosses a region limit. *)
+
+type salt
+(** Checksum salt: the CRC accumulator pre-folded with
+    [(epoch, slot_base)].  Sealing and verification must use the same
+    salt; entries sealed under another slot or an earlier epoch fail. *)
+
+val salt : slot_base:int -> epoch:int -> salt
+
+val write_data : Pmem.Device.t -> salt:salt -> at:int -> off:int -> len:int -> unit
 (** Write a [Data] entry at [at]: copy the current contents of
     [off, off+len) into its payload, then seal the kind word with the
-    body checksum.  Does not persist. *)
+    salted body checksum.  Does not persist. *)
 
-val write_alloc : Pmem.Device.t -> at:int -> off:int -> order:int -> unit
-val write_drop : Pmem.Device.t -> at:int -> off:int -> unit
+val write_alloc :
+  Pmem.Device.t -> salt:salt -> at:int -> off:int -> order:int -> unit
+
+val write_drop : Pmem.Device.t -> salt:salt -> at:int -> off:int -> unit
 
 val write_jump : Pmem.Device.t -> at:int -> unit
 (** Durably mark that the log continues in the next region (the writer
     places one whenever at least 8 bytes remain before spilling). *)
 
-val read : Pmem.Device.t -> at:int -> t * int
+val read : Pmem.Device.t -> salt:salt -> at:int -> t * int
 (** Decode and checksum-verify the entry at [at]; also return its total
     size.  Raises [Invalid_argument] on a corrupt kind tag, implausible
-    length, or checksum mismatch. *)
+    length, or checksum mismatch (including a stale entry sealed under a
+    different slot or epoch). *)
 
 val peek_size : Pmem.Device.t -> at:int -> int
 (** Total size of the entry at [at] without decoding or verifying it. *)
@@ -69,24 +92,31 @@ val main_entry_limit : slot_base:int -> slot_size:int -> int
 (** Absolute end of the slot's own entry region; the tail quarter of the
     slot is reserved for drop entries. *)
 
-val walk :
-  Pmem.Device.t -> slot_base:int -> slot_size:int -> count:int -> (t -> unit) -> unit
-(** Visit [count] entries of a slot's undo log in write order, following
-    the spill chain (slot header word +24) across region boundaries.
-    Raises [Invalid_argument] on a torn or corrupt log. *)
+type stop_reason =
+  | Terminator  (** clean tail: the zero terminator word was found *)
+  | Bad_entry of string
+      (** torn tail: a word failed verification (checksum mismatch, torn
+          terminator, bad kind, wild or cyclic chain) — the write that
+          produced it never durably finished *)
+  | Chain_end of string
+      (** a region ran out with no terminator and no continuation (a
+          stale jump whose link was never durably chained, or an
+          exhausted region on a damaged image) *)
 
-val walk_checked :
+val walk_to_tail :
   Pmem.Device.t ->
   slot_base:int ->
   slot_size:int ->
-  count:int ->
+  salt:salt ->
   (t -> unit) ->
-  int * string option
-(** Like {!walk} but stops at the first entry that fails verification (or
-    at a broken spill chain) instead of raising; returns how many entries
-    verified and, when short of [count], why the walk stopped.  [f] is
-    only called on verified entries, so the visited prefix is exactly the
-    log a torn tail write never extended. *)
+  int * int * stop_reason
+(** Visit the sealed entries of a slot's undo log in write order,
+    following the spill chain (slot header word +24) across region
+    boundaries, stopping at the tail.  Returns [(visited, stop_cursor,
+    reason)]: how many entries verified, the absolute address the walk
+    stopped at, and why.  [f] is only called on verified entries, so the
+    visited prefix is exactly the log a torn tail write never extended.
+    Never raises on corrupt images (corruption is a [Bad_entry] stop). *)
 
 val spill_chain : Pmem.Device.t -> slot_base:int -> int list
 (** Offsets of the slot's spill regions, in chain order.  Raises

@@ -37,6 +37,7 @@ let add_stats a b =
 
 let drop_slot_bytes = 16
 let phase_committing = 1L
+let hdr_size = 64
 
 (* Revert an allocation-table byte if it is still set (idempotent). *)
 let clear_if_live table off =
@@ -56,41 +57,42 @@ let spill_chain_or_empty dev ~slot_base =
   | chain -> chain
   | exception Invalid_argument _ -> []
 
-(* Counts go to zero first, then any spill chain is released (idempotent
-   single-byte table clears) and unchained, then the phase resets — the
-   same ordering as the runtime truncate, so re-running after a crash
-   mid-recovery always converges. *)
-let truncate dev table ~base =
-  D.write_u64 dev (base + 8) 0L;
-  D.write_u64 dev (base + 16) 0L;
-  D.persist dev (base + 8) 16;
+(* Mirror of the runtime truncate: release the spill chain (idempotent
+   single-byte table clears), then rewrite the terminator, zero the
+   header fields and bump the epoch — after which no stale entry bytes
+   can verify against this slot's salt.  From phase [Committing]
+   ([ordered]), the log invalidation must be durable before the phase
+   word returns to 0: the deferred frees were already applied, and a
+   torn truncate showing phase=0 beside a still-walkable log would make
+   a re-run roll back the committed transaction.  Elsewhere one batched
+   persist suffices (the phase word is 0 on both sides).  Re-running
+   after a crash mid-recovery always converges. *)
+let truncate ?(ordered = false) dev table ~base =
   (match spill_chain_or_empty dev ~slot_base:base with
   | [] -> ()
   | spills -> List.iter (fun off -> ignore (clear_if_live table off)) spills);
-  if D.read_u64 dev (base + 24) <> 0L then begin
-    D.write_u64 dev (base + 24) 0L;
-    D.persist dev (base + 24) 8
-  end;
-  D.write_u64 dev base 0L;
-  D.persist dev base 8
-
-(* Collect the verified prefix of the undo log.  A torn or rotted entry
-   (checksum mismatch) ends the prefix: the seal ordering persists every
-   entry before counting it, so a bad entry can only be the tail write
-   that never durably finished — treat it and everything after as never
-   written. *)
-let read_undo_entries dev ~base ~size ~count =
-  let entries = ref [] in
-  let valid, _reason =
-    Log_entry.walk_checked dev ~slot_base:base ~slot_size:size ~count (fun e ->
-        entries := e :: !entries)
-  in
-  (!entries (* newest first *), count - valid)
+  let epoch = D.read_u64 dev (base + 32) in
+  D.write_u64 dev (base + 8) 0L (* advisory entry count *);
+  D.write_u64 dev (base + 16) 0L (* drop count *);
+  D.write_u64 dev (base + 24) 0L (* spill head *);
+  D.write_u64 dev (base + 32) (Int64.add epoch 1L);
+  D.write_u64 dev (base + hdr_size) 0L (* terminator *);
+  if ordered then begin
+    D.persist dev (base + 8) (hdr_size + Log_entry.terminator_size - 8);
+    D.write_u64 dev (base + 0) 0L (* phase *);
+    D.persist dev (base + 0) 8
+  end
+  else begin
+    D.write_u64 dev (base + 0) 0L (* phase *);
+    D.persist dev base (hdr_size + Log_entry.terminator_size)
+  end
 
 let recover_slot dev table ~base ~size =
   let phase = D.read_u64 dev base in
-  let count = Int64.to_int (D.read_u64 dev (base + 8)) in
+  let advisory = Int64.to_int (D.read_u64 dev (base + 8)) in
   let ndrops = Int64.to_int (D.read_u64 dev (base + 16)) in
+  let epoch = Int64.to_int (D.read_u64 dev (base + 32)) in
+  let salt = Log_entry.salt ~slot_base:base ~epoch in
   if phase = phase_committing then begin
     (* The transaction durably committed; finish its deferred frees.  A
        drop entry that fails verification is skipped (frees are
@@ -98,12 +100,12 @@ let recover_slot dev table ~base ~size =
     let applied = ref 0 and skipped = ref 0 in
     for i = 1 to ndrops do
       let at = base + size - (i * drop_slot_bytes) in
-      match Log_entry.read dev ~at with
+      match Log_entry.read dev ~salt ~at with
       | Log_entry.Drop { off }, _ -> if clear_if_live table off then incr applied
       | (Log_entry.Data _ | Log_entry.Alloc _), _ -> incr skipped
       | exception Invalid_argument _ -> incr skipped
     done;
-    truncate dev table ~base;
+    truncate ~ordered:true dev table ~base;
     {
       empty_stats with
       slots_scanned = 1;
@@ -112,47 +114,60 @@ let recover_slot dev table ~base ~size =
       drops_skipped = !skipped;
     }
   end
-  else if count > 0 then begin
-    (* In-flight transaction: undo newest-first. *)
-    let entries, skipped = read_undo_entries dev ~base ~size ~count in
-    let restored = ref 0 and reverted = ref 0 in
-    List.iter
-      (fun e ->
-        match e with
-        | Log_entry.Data { off; len; payload } ->
-            D.copy_within dev ~src:payload ~dst:off ~len;
-            D.flush dev off len;
-            incr restored
-        | Log_entry.Alloc _ | Log_entry.Drop _ -> ())
-      entries;
-    D.fence dev;
-    List.iter
-      (fun e ->
-        match e with
-        | Log_entry.Alloc { off; order = _ } ->
-            if clear_if_live table off then incr reverted
-        | Log_entry.Data _ | Log_entry.Drop _ -> ())
-      entries;
-    truncate dev table ~base;
-    {
-      empty_stats with
-      slots_scanned = 1;
-      rolled_back = 1;
-      data_restored = !restored;
-      allocs_reverted = !reverted;
-      entries_skipped = skipped;
-    }
-  end
   else begin
-    (* Idle — but a crash between a truncate's count reset and its spill
-       release leaves a chained slot, so scrub residual fields and free
-       any orphaned spill regions. *)
-    if
-      phase <> 0L || ndrops <> 0
-      || spill_chain_or_empty dev ~slot_base:base <> []
-      || D.read_u64 dev (base + 24) <> 0L
-    then truncate dev table ~base;
-    { empty_stats with slots_scanned = 1 }
+    (* Walk the sealed entries to the tail terminator.  A [Bad_entry] or
+       [Chain_end] stop is the torn tail write that never durably
+       finished — the visited prefix is the whole durable log. *)
+    let entries = ref [] in
+    let visited, _cursor, reason =
+      Log_entry.walk_to_tail dev ~slot_base:base ~slot_size:size ~salt (fun e ->
+          entries := e :: !entries)
+    in
+    let torn = match reason with Log_entry.Terminator -> false | _ -> true in
+    if visited > 0 then begin
+      (* In-flight transaction: undo newest-first. *)
+      let restored = ref 0 and reverted = ref 0 in
+      List.iter
+        (fun e ->
+          match e with
+          | Log_entry.Data { off; len; payload } ->
+              D.copy_within dev ~src:payload ~dst:off ~len;
+              D.flush dev off len;
+              incr restored
+          | Log_entry.Alloc _ | Log_entry.Drop _ -> ())
+        !entries;
+      D.fence dev;
+      List.iter
+        (fun e ->
+          match e with
+          | Log_entry.Alloc { off; order = _ } ->
+              if clear_if_live table off then incr reverted
+          | Log_entry.Data _ | Log_entry.Drop _ -> ())
+        !entries;
+      truncate dev table ~base;
+      {
+        empty_stats with
+        slots_scanned = 1;
+        rolled_back = 1;
+        data_restored = !restored;
+        allocs_reverted = !reverted;
+        entries_skipped = (if torn then 1 else 0);
+      }
+    end
+    else begin
+      (* No durable entries.  Scrub any residue — a torn tail, a stale
+         phase/advisory/drop field, or an orphaned spill chain left by a
+         crash mid-seal or mid-truncate. *)
+      if
+        torn || phase <> 0L || advisory <> 0 || ndrops <> 0
+        || spill_chain_or_empty dev ~slot_base:base <> []
+      then truncate dev table ~base;
+      {
+        empty_stats with
+        slots_scanned = 1;
+        entries_skipped = (if torn then 1 else 0);
+      }
+    end
   end
 
 let recover dev table ~journal_base ~slot_size ~nslots =

@@ -6,19 +6,25 @@
 
     A slot in phase [Committing] had durably decided to commit: its drop
     entries are re-applied (idempotent) and the slot is truncated.  Any
-    other slot with a non-zero entry count was mid-transaction: data
-    entries are restored newest-first, logged allocations are reverted,
-    drops are discarded.  Recovery itself is idempotent, so a crash during
-    recovery is handled by running it again.
+    other slot is walked to its checksummed tail
+    ({!Log_entry.walk_to_tail}); if any sealed entries are found the
+    transaction was in flight: data entries are restored newest-first,
+    logged allocations are reverted, drops are discarded.  The header
+    entry count is advisory and never trusted.  Recovery itself is
+    idempotent, so a crash during recovery is handled by running it
+    again.
 
-    Media faults: every entry carries a checksum ({!Log_entry}).  An undo
-    entry that fails verification ends the valid prefix — it and every
-    later entry are treated as never written (the seal ordering persists
-    an entry before counting it, so only the torn tail write can be bad) —
-    and is counted in [entries_skipped].  A corrupt drop entry is skipped
-    individually (frees are idempotent and independent).  Wild or cyclic
-    spill chains are dropped rather than followed; the repairing fsck
-    ({!Corundum.Pool_check}) reclaims what such wreckage leaks. *)
+    Media faults: every entry carries a salted checksum ({!Log_entry}).
+    A tail word that fails verification ends the valid prefix — it and
+    anything after are treated as never written (only the tail write,
+    sealed entry plus terminator in one persist, can be torn) — and
+    [entries_skipped] records that a torn tail was discarded (1 per
+    slot; without a trusted persistent counter the number of lost
+    entries is unknowable, and by the seal ordering it is at most 1).  A
+    corrupt drop entry is skipped individually (frees are idempotent and
+    independent).  Wild or cyclic spill chains are dropped rather than
+    followed; the repairing fsck ({!Corundum.Pool_check}) reclaims what
+    such wreckage leaks. *)
 
 type stats = {
   slots_scanned : int;
@@ -27,7 +33,7 @@ type stats = {
   data_restored : int;  (** data undo entries applied *)
   allocs_reverted : int;  (** allocations rolled back *)
   drops_applied : int;  (** deferred frees re-applied *)
-  entries_skipped : int;  (** undo entries discarded as torn/corrupt *)
+  entries_skipped : int;  (** slots whose torn tail write was discarded *)
   drops_skipped : int;  (** drop entries discarded as torn/corrupt *)
 }
 

@@ -175,6 +175,152 @@ let test_dedup () =
   check_int "different range logged" (n0 + 2) (J.entry_count j);
   J.abort j
 
+let test_line_dedup () =
+  (* Once a 64-byte line is fully covered by a logged range, later ranges
+     that fall entirely within covered lines are elided — the existing
+     undo already restores them. *)
+  let { dev; buddy = _; j } = mk () in
+  J.begin_tx j;
+  let x = J.alloc j 128 in
+  D.fill dev x 128 '\x00';
+  D.persist dev x 128;
+  J.commit j;
+  J.begin_tx j;
+  let n0 = J.entry_count j in
+  J.data_log j ~off:x ~len:64;
+  check_int "line logged" (n0 + 1) (J.entry_count j);
+  let b1 = J.tx_logged_bytes j in
+  (* Sub-ranges of the covered line add no entries and no bytes. *)
+  J.data_log j ~off:x ~len:8;
+  J.data_log j ~off:(x + 16) ~len:8;
+  J.data_log j ~off:(x + 40) ~len:24;
+  check_int "sub-ranges of a logged line elided" (n0 + 1) (J.entry_count j);
+  check_int "no extra bytes logged" b1 (J.tx_logged_bytes j);
+  (* A range that touches an uncovered line still logs. *)
+  J.data_log j ~off:(x + 56) ~len:16;
+  check_int "straddling range logged" (n0 + 2) (J.entry_count j);
+  (* Undo is still complete under elision. *)
+  D.fill dev x 72 '\xCC';
+  J.abort j;
+  for w = 0 to 8 do
+    check_i64 "abort restored elided range" 0L (D.read_u64 dev (x + (w * 8)))
+  done
+
+let test_fence_budget () =
+  (* Acceptance known answer: a transaction that logs and updates N
+     distinct cells costs exactly N + 2 fences — one per sealed entry
+     (entry + terminator under a single persist), one coalesced commit
+     fence, one for the truncate that retires the log. *)
+  let { dev; buddy = _; j } = mk () in
+  let n = 8 in
+  J.begin_tx j;
+  let cells = Array.init n (fun _ -> J.alloc j 64) in
+  Array.iter
+    (fun c ->
+      D.write_u64 dev c 1L;
+      D.persist dev c 8)
+    cells;
+  J.commit j;
+  let f0 = (D.stats dev).D.fences in
+  J.begin_tx j;
+  Array.iter
+    (fun c ->
+      J.data_log j ~off:c ~len:8;
+      D.write_u64 dev c 2L)
+    cells;
+  J.commit j;
+  let df = (D.stats dev).D.fences - f0 in
+  if df > n + 2 then
+    Alcotest.failf "transaction cost %d fences, budget is N+2 = %d" df (n + 2);
+  check_int "exactly N+2 fences" (n + 2) df;
+  Array.iter (fun c -> check_i64 "committed" 2L (D.read_u64 dev c)) cells
+
+let test_commit_flushes_unique_lines () =
+  (* Acceptance known answer: a commit whose logged ranges duplicate and
+     overlap the same 64-byte lines writes back each dirty line exactly
+     once — the same commit cost as logging each line a single time. *)
+  let { dev; buddy = _; j } = mk () in
+  J.begin_tx j;
+  let x = J.alloc j 64 in
+  let y = J.alloc j 64 in
+  D.write_u64 dev x 1L;
+  D.write_u64 dev y 1L;
+  D.persist dev x 8;
+  D.persist dev y 8;
+  J.commit j;
+  (* Reference commit: each line logged once. *)
+  J.begin_tx j;
+  J.data_log j ~off:x ~len:64;
+  J.data_log j ~off:y ~len:64;
+  D.write_u64 dev x 2L;
+  D.write_u64 dev y 2L;
+  let s0 = D.stats dev in
+  J.commit j;
+  let s1 = D.stats dev in
+  let ref_lines = s1.D.flushes - s0.D.flushes in
+  let ref_calls = s1.D.flush_calls - s0.D.flush_calls in
+  (* Same two dirty lines, logged as duplicate / overlapping ranges. *)
+  J.begin_tx j;
+  J.data_log_nodedup j ~off:x ~len:64;
+  J.data_log_nodedup j ~off:x ~len:64;
+  J.data_log_nodedup j ~off:(x + 8) ~len:16;
+  J.data_log_nodedup j ~off:y ~len:64;
+  J.data_log_nodedup j ~off:(y + 32) ~len:32;
+  D.write_u64 dev x 3L;
+  D.write_u64 dev y 3L;
+  let s2 = D.stats dev in
+  J.commit j;
+  let s3 = D.stats dev in
+  check_int "duplicate ranges flush each dirty line once" ref_lines
+    (s3.D.flushes - s2.D.flushes);
+  check_int "no extra flush instructions either" ref_calls
+    (s3.D.flush_calls - s2.D.flush_calls);
+  check_i64 "committed x" 3L (D.read_u64 dev x);
+  check_i64 "committed y" 3L (D.read_u64 dev y)
+
+let test_many_spills_and_drops () =
+  (* Spill and drop bookkeeping is O(1) per operation (spills are consed
+     newest-first, the drop count is a counter, capacity checks no longer
+     rescan the lists).  Behavior under a long drop list and a multi-hop
+     spill chain is unchanged. *)
+  let { dev; buddy; j } = mk () in
+  let n = 200 in
+  J.begin_tx j;
+  let blocks = Array.init n (fun _ -> J.alloc j 64) in
+  J.commit j;
+  let live0 = Palloc.Heap_walk.live_count buddy in
+  J.begin_tx j;
+  Array.iter (fun b -> J.free j b) blocks;
+  check_int "all drops recorded" n (J.drop_count j);
+  J.commit j;
+  check_int "all blocks reclaimed" (live0 - n)
+    (Palloc.Heap_walk.live_count buddy);
+  assert_intact buddy;
+  (* Chain several spill regions on a single transaction, then abort. *)
+  let len = 2048 in
+  J.begin_tx j;
+  let x = J.alloc j len in
+  for w = 0 to (len / 8) - 1 do
+    D.write_u64 dev (x + (w * 8)) (Int64.of_int w)
+  done;
+  D.persist dev x len;
+  J.commit j;
+  J.begin_tx j;
+  for _ = 1 to 30 do
+    J.data_log_nodedup j ~off:x ~len
+  done;
+  let spills = J.spill_count j in
+  if spills < 2 then
+    Alcotest.failf "expected a multi-hop spill chain, got %d regions" spills;
+  D.fill dev x len '\xAB';
+  J.abort j;
+  check_i64 "spilled undo restored first word" 0L (D.read_u64 dev x);
+  check_i64 "spilled undo restored last word"
+    (Int64.of_int ((len / 8) - 1))
+    (D.read_u64 dev (x + len - 8));
+  check_int "spill regions reclaimed" 1 (Palloc.Heap_walk.live_count buddy);
+  assert_intact buddy
+
 let test_txnop_is_free () =
   let { dev; buddy = _; j } = mk () in
   let p0 = D.persist_points dev in
@@ -496,6 +642,11 @@ let () =
             test_unlogged_write_lost_without_commit;
           Alcotest.test_case "txnop is PM-free" `Quick test_txnop_is_free;
           Alcotest.test_case "dedup" `Quick test_dedup;
+          Alcotest.test_case "line-granularity dedup" `Quick test_line_dedup;
+          Alcotest.test_case "N-entry tx costs N+2 fences" `Quick
+            test_fence_budget;
+          Alcotest.test_case "commit flushes unique lines once" `Quick
+            test_commit_flushes_unique_lines;
         ] );
       ( "alloc/free",
         [
@@ -521,6 +672,8 @@ let () =
       ( "spill",
         [
           Alcotest.test_case "overflow + abort" `Quick test_spill_overflow;
+          Alcotest.test_case "many spills and drops" `Quick
+            test_many_spills_and_drops;
           Alcotest.test_case "exhaustive crash sweep" `Slow
             test_spill_crash_sweep;
         ] );

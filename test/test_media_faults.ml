@@ -50,8 +50,9 @@ let test_entry_roundtrip_and_detection () =
   D.write_u64 dev 1024 0x1111222233334444L;
   D.write_u64 dev 1032 0x5555666677778888L;
   let at = 64 in
-  LE.write_data dev ~at ~off:1024 ~len:16;
-  (match LE.read dev ~at with
+  let salt = LE.salt ~slot_base:0 ~epoch:0 in
+  LE.write_data dev ~salt ~at ~off:1024 ~len:16;
+  (match LE.read dev ~salt ~at with
   | LE.Data { off; len; _ }, size ->
       check_int "off" 1024 off;
       check_int "len" 16 len;
@@ -62,13 +63,21 @@ let test_entry_roundtrip_and_detection () =
   for i = at to at + entry_size - 1 do
     let orig = D.read_u8 dev i in
     D.write_u8 dev i (orig lxor 1);
-    (match LE.read dev ~at with
+    (match LE.read dev ~salt ~at with
     | _ -> Alcotest.failf "flip at byte %d accepted" i
     | exception Invalid_argument _ -> ());
     D.write_u8 dev i orig
   done;
   (* intact again after restoring *)
-  ignore (LE.read dev ~at)
+  ignore (LE.read dev ~salt ~at);
+  (* the checksum is salted: another slot or another epoch rejects the
+     same bytes (stale entries in recycled regions can never replay) *)
+  (match LE.read dev ~salt:(LE.salt ~slot_base:64 ~epoch:0) ~at with
+  | _ -> Alcotest.fail "entry verified under a foreign slot's salt"
+  | exception Invalid_argument _ -> ());
+  (match LE.read dev ~salt:(LE.salt ~slot_base:0 ~epoch:1) ~at with
+  | _ -> Alcotest.fail "entry verified under a later epoch's salt"
+  | exception Invalid_argument _ -> ())
 
 (* --- torn writes at the device level ---------------------------------- *)
 
@@ -159,7 +168,9 @@ let test_torn_entry_recovery () =
   let stats = recover dev in
   check_int "rolled back" 1 stats.R.rolled_back;
   check_int "first entry applied" 1 stats.R.data_restored;
-  check_int "corrupt suffix skipped" 2 stats.R.entries_skipped;
+  (* the tail walk stops at the first bad word; one torn-tail discard is
+     recorded (the count of entries beyond it is advisory at best) *)
+  check_int "torn tail discarded" 1 stats.R.entries_skipped;
   check_i64 "entry 1 (valid prefix) undone" 11L (D.read_u64 dev x1);
   check_i64 "entry 2 (torn) not applied" 220L (D.read_u64 dev x2);
   check_i64 "entry 3 (after tear) not applied" 330L (D.read_u64 dev x3);
@@ -295,6 +306,88 @@ let test_read_only_open () =
   S.close ();
   Sys.remove path
 
+(* --- hand-built damaged images on the checksummed-tail format --------- *)
+
+(* Each image damages journal slot 0 of a freshly built pool (slot base
+   4096, entry area at 4096+64) in a way the new format must tolerate:
+   a torn terminator word, a torn final entry behind a valid prefix, and
+   a stale advisory entry count.  Recovery must leave committed data
+   intact, and the repairing fsck must restore a clean image. *)
+let slot0 = 4096
+
+let pool_layout dev =
+  let u64 off = Int64.to_int (D.read_u64 dev off) in
+  (u64 72 (* table_base *), u64 80 (* heap_base *), u64 64 (* heap_len *))
+
+let recover_slot0 dev =
+  let table_base, heap_base, heap_len = pool_layout dev in
+  let table = T.attach dev ~table_base ~heap_base ~heap_len in
+  R.recover_slot dev table ~base:slot0 ~size:slot_size
+
+let slot0_salt dev =
+  LE.salt ~slot_base:slot0
+    ~epoch:(Int64.to_int (D.read_u64 dev (slot0 + 32)))
+
+let damage_torn_terminator dev =
+  (* a zero-kind word with a nonzero checksum half: the torn remains of a
+     terminator store that never durably finished *)
+  D.write_u64 dev (slot0 + 64) (Int64.shift_left 0xABCDL 32);
+  D.persist dev (slot0 + 64) 8
+
+let damage_torn_final_entry dev =
+  (* two sealed entries + terminator, then rot in the second's payload:
+     the walk must keep entry 1 and treat the tail as never written *)
+  let salt = slot0_salt dev in
+  let _, heap_base, _ = pool_layout dev in
+  let at1 = slot0 + 64 in
+  let at2 = at1 + LE.data_entry_size 8 in
+  LE.write_data dev ~salt ~at:at1 ~off:heap_base ~len:8;
+  LE.write_data dev ~salt ~at:at2 ~off:(heap_base + 8) ~len:8;
+  D.write_u64 dev (at2 + LE.data_entry_size 8) 0L;
+  D.persist dev at1 (2 * LE.data_entry_size 8 + 8);
+  let b = D.read_u8 dev (at2 + 24) in
+  D.write_u8 dev (at2 + 24) (b lxor 0x40);
+  D.persist dev (at2 + 24) 1
+
+let damage_stale_advisory dev =
+  (* an advisory count with no sealed entries behind it (the terminator
+     still sits right after the header) *)
+  D.write_u64 dev (slot0 + 8) 7L;
+  D.persist dev (slot0 + 8) 8
+
+let test_hand_built_damaged_images () =
+  List.iter
+    (fun (name, damage, want_restored) ->
+      (* recovery path *)
+      let _p, dev, check_data = build_pool () in
+      damage dev;
+      let stats = recover_slot0 dev in
+      check_int (name ^ ": torn tail discarded")
+        (if name = "stale advisory" then 0 else 1)
+        stats.R.entries_skipped;
+      check_int (name ^ ": data restored") want_restored stats.R.data_restored;
+      check_data ();
+      check_bool (name ^ ": fsck clean after recovery") true
+        (Pool_check.ok (Pool_check.check_device dev));
+      (* repair path, from the same damaged state *)
+      let _p, dev, check_data = build_pool () in
+      damage dev;
+      check_bool (name ^ ": damage detected") false
+        (Pool_check.ok (Pool_check.check_device dev));
+      let r = Pool_check.repair dev in
+      check_bool (name ^ ": repaired") true (Pool_check.repaired r);
+      check_bool (name ^ ": repair acted") true (r.Pool_check.actions <> []);
+      check_data ();
+      (* and recovery after repair is a clean idle scan *)
+      let stats = recover_slot0 dev in
+      check_int (name ^ ": nothing left to skip") 0 stats.R.entries_skipped;
+      check_data ())
+    [
+      ("torn terminator", damage_torn_terminator, 0);
+      ("torn final entry", damage_torn_final_entry, 1);
+      ("stale advisory", damage_stale_advisory, 0);
+    ]
+
 (* --- torn sweep stays silent-corruption free -------------------------- *)
 
 let test_torn_sweep_clean () =
@@ -339,6 +432,8 @@ let () =
           Alcotest.test_case "repair restores consistency" `Quick
             test_repair_restores_consistency;
           Alcotest.test_case "read-only open" `Quick test_read_only_open;
+          Alcotest.test_case "hand-built damaged images" `Quick
+            test_hand_built_damaged_images;
         ] );
       ( "sweep",
         [ Alcotest.test_case "torn sweep clean" `Quick test_torn_sweep_clean ] );

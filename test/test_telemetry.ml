@@ -192,10 +192,11 @@ let test_no_subscriber_zero_events () =
 (* --- flush/fence attribution known answer ----------------------------- *)
 
 (* One warm committed 8-byte Pbox.set under the Corundum engine costs
-   exactly:
-     seal_entry:  persist(entry) + persist(count)      = 2 flushes, 2 fences
-     commit:      flush(target) ... fence              = 1 flush,   1 fence
-     truncate:    persist(counts=0) + persist(phase)   = 2 flushes, 2 fences
+   exactly (checksummed-tail protocol: one persist per log entry):
+     seal_entry:  persist(entry + terminator)          = 1 flush,  1 fence
+     commit:      flush(target line) + flush(advisory
+                  count) ... fence                     = 2 flushes, 1 fence
+     truncate:    persist(header + terminator)         = 1 flush,  1 fence
    The first set in a pool pays the same (dedup tables are per-tx), so a
    warm-up only isolates the root-creation traffic. *)
 let test_pbox_update_flush_fence_counts () =
@@ -209,9 +210,9 @@ let test_pbox_update_flush_fence_counts () =
   let s0 = D.stats dev in
   P.transaction (fun j -> Pbox.set root 2 j);
   let s1 = D.stats dev in
-  check_int "flush calls for one committed update" 5
+  check_int "flush calls for one committed update" 4
     (s1.D.flush_calls - s0.D.flush_calls);
-  check_int "fences for one committed update" 5 (s1.D.fences - s0.D.fences);
+  check_int "fences for one committed update" 3 (s1.D.fences - s0.D.fences);
   check_int "entry bytes logged by one update" 32
     ((Pool_impl.stats (P.impl ())).Pool_impl.logged_bytes - lb0)
 
@@ -233,8 +234,8 @@ let test_tx_span_attribution () =
   let args = (List.hd tx_events).Tr.args in
   let arg k = List.assoc k args in
   check_bool "committed" true (arg "outcome" = "commit");
-  check_int "flushes attributed" 5 (int_of_string (arg "flushes"));
-  check_int "fences attributed" 5 (int_of_string (arg "fences"));
+  check_int "flushes attributed" 4 (int_of_string (arg "flushes"));
+  check_int "fences attributed" 3 (int_of_string (arg "fences"));
   check_int "logged bytes attributed" 32 (int_of_string (arg "logged_bytes"));
   check_int "tx.count metric" 1
     (Option.value ~default:(-1) (Mx.find_counter "tx.count"))
