@@ -171,10 +171,11 @@ let bench_ablation_flush per_store =
                if per_store then Pmem.Device.persist dev (off + (i * 8)) 8
              done)))
 
-(* Allocation-table persistence: one persist per mark (the shipped
+(* Allocation-table persistence: one persist per mark (the pre-coalescing
    design: each alloc individually crash-atomic) vs. marking a batch and
-   persisting once at the end (only sound if commit flushes the marks;
-   quantifies what that design change would buy). *)
+   persisting once at the end (the shipped design: marks stay dirty until
+   the commit fence flushes their collected lines; this ablation
+   quantifies what the change bought). *)
 let bench_ablation_table batched =
   let state =
     lazy
@@ -205,9 +206,36 @@ let bench_ablation_table batched =
          end
          else
            for _ = 1 to 16 do
-             Palloc.Alloc_table.mark table ~idx:!idx ~order:0;
+             Palloc.Alloc_table.mark_durable table ~idx:!idx ~order:0;
              idx := (!idx + 1) mod nblocks
            done))
+
+(* Allocator churn: direct buddy alloc/free of mixed orders in a ring,
+   so every run pops, pushes, splits and merges the segregated free
+   lists at a steady state — the structures the O(1) rewrite replaced
+   (per-order ordered sets with O(log n) min/remove).  Latency-free
+   device: the wall clock measures the volatile bookkeeping itself. *)
+let bench_alloc_churn =
+  let ring_len = 256 in
+  let state =
+    lazy
+      (let dev = Pmem.Device.create ~size:(8 * 1024 * 1024) () in
+       let heap_base = 256 * 1024 in
+       let buddy =
+         Palloc.Buddy.create ~stripes:1 dev ~table_base:0 ~heap_base
+           ~heap_len:((8 * 1024 * 1024) - heap_base)
+       in
+       let ring = Array.make ring_len (-1) in
+       let i = ref 0 in
+       (buddy, ring, i))
+  in
+  Test.make ~name:"alloc:churn-mixed-orders"
+    (Staged.stage (fun () ->
+         let buddy, ring, i = Lazy.force state in
+         let slot = !i mod ring_len in
+         if ring.(slot) >= 0 then Palloc.Buddy.dealloc buddy ring.(slot);
+         ring.(slot) <- Palloc.Buddy.alloc buddy (64 lsl (!i mod 4));
+         incr i))
 
 (* Index-structure ablation: AVL (deep, narrow, 8-byte logs) vs B+tree
    (shallow, wide, value moves) on the same keys — the classic PM
@@ -281,6 +309,7 @@ let tests =
        bench_ablation_flush false;
        bench_ablation_table true;
        bench_ablation_table false;
+       bench_alloc_churn;
      ]
     @ bench_fig1_all
     @ [
@@ -431,8 +460,11 @@ let num_field line key =
       done;
       float_of_string_opt (String.sub line start (!stop - start))
 
-(* (engine, op) -> fences_per_op rows of a bench JSON file. *)
-let parse_fence_rows path =
+(* (engine, op) -> (flushes_per_op, fences_per_op) rows of a bench JSON
+   file.  Both persist primitives are gated: the fence count alone would
+   not catch a regression that reintroduces per-mark table flushes under
+   the same single commit fence. *)
+let parse_persist_rows path =
   let ic = open_in path in
   let rows = ref [] and engine = ref "" in
   (try
@@ -441,45 +473,118 @@ let parse_fence_rows path =
        (match str_field line "engine" with
        | Some e -> engine := e
        | None -> ());
-       match (str_field line "op", num_field line "fences_per_op") with
-       | Some op, Some f -> rows := ((!engine, op), f) :: !rows
+       match
+         ( str_field line "op",
+           num_field line "flushes_per_op",
+           num_field line "fences_per_op" )
+       with
+       | Some op, Some fl, Some fe -> rows := ((!engine, op), (fl, fe)) :: !rows
        | _ -> ()
      done
    with End_of_file -> close_in ic);
   List.rev !rows
 
 let compare_against_baseline ~current ~baseline =
-  let base = parse_fence_rows baseline in
-  let cur = parse_fence_rows current in
+  let base = parse_persist_rows baseline in
+  let cur = parse_persist_rows current in
   if cur = [] then begin
     Printf.eprintf "no rows parsed from %s\n" current;
     exit 1
   end;
   let failed = ref false in
   List.iter
-    (fun ((engine, op), fences) ->
+    (fun ((engine, op), (flushes, fences)) ->
       match List.assoc_opt (engine, op) base with
-      | None -> Printf.printf "NEW    %-12s %-12s %.4f fences/op\n" engine op fences
-      | Some b ->
-          let limit = (b *. 1.10) +. 0.01 in
-          if fences > limit then begin
-            failed := true;
-            Printf.printf "REGRESS %-12s %-12s %.4f fences/op (baseline %.4f)\n"
-              engine op fences b
-          end
-          else
-            Printf.printf "OK     %-12s %-12s %.4f fences/op (baseline %.4f)\n"
-              engine op fences b)
+      | None ->
+          Printf.printf "NEW    %-12s %-12s %.4f flushes/op %.4f fences/op\n"
+            engine op flushes fences
+      | Some (bfl, bfe) ->
+          let regressed metric v b =
+            let limit = (b *. 1.10) +. 0.01 in
+            if v > limit then begin
+              failed := true;
+              Printf.printf "REGRESS %-12s %-12s %.4f %s/op (baseline %.4f)\n"
+                engine op v metric b;
+              true
+            end
+            else false
+          in
+          let r1 = regressed "flushes" flushes bfl in
+          let r2 = regressed "fences" fences bfe in
+          if not (r1 || r2) then
+            Printf.printf
+              "OK     %-12s %-12s %.4f flushes/op %.4f fences/op (baseline \
+               %.4f/%.4f)\n"
+              engine op flushes fences bfl bfe)
     cur;
   if !failed then begin
-    prerr_endline "fence-per-op regression against BENCH baseline";
+    prerr_endline "persist-per-op regression against BENCH baseline";
     exit 1
   end
+
+(* --- alloc-scale: multi-domain allocator scalability -------------------- *)
+
+(* One domain per journal slot, one journal slot per allocator stripe:
+   each domain churns a private ring of mixed-order blocks through its
+   own transactions, so a healthy run satisfies almost every reservation
+   from the preferred stripe.  The per-stripe [steals] and [contended]
+   counters are the scalability telemetry: they stay near zero until the
+   heap is too small (cross-stripe steals) or domains outnumber stripes
+   (lock contention). *)
+let run_alloc_scale ~domains ~txs ~metrics_out =
+  let config =
+    {
+      Pool_impl.size = 32 * 1024 * 1024;
+      nslots = domains;
+      slot_size = 128 * 1024;
+    }
+  in
+  let module P = Pool.Make () in
+  P.create ~config ~latency:Pmem.Latency.zero ();
+  ignore (P.root ~ty:Ptype.int ~init:(fun _ -> 0) ());
+  (* metrics sites ride the trace gate; Null sink = counters only *)
+  Ptelemetry.Trace.install_null ();
+  let worker d () =
+    let ring = Array.make 64 (-1) in
+    for i = 1 to txs do
+      P.transaction (fun j ->
+          let tx = Journal.tx j in
+          let slot = i mod Array.length ring in
+          if ring.(slot) >= 0 then Pool_impl.tx_free tx ring.(slot);
+          ring.(slot) <- Pool_impl.tx_alloc tx (64 lsl ((i + d) mod 4)))
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  let dt = Unix.gettimeofday () -. t0 in
+  Ptelemetry.Trace.uninstall ();
+  let stats = Palloc.Buddy.stripe_stats (Pool_impl.buddy (P.impl ())) in
+  Printf.printf "alloc-scale: %d domains x %d txs in %.3f s (%.0f tx/s)\n\n"
+    domains txs dt
+    (float_of_int (domains * txs) /. dt);
+  Printf.printf "%-7s %9s %12s %7s %7s %10s\n" "stripe" "span KiB" "free bytes"
+    "depth" "steals" "contended";
+  Array.iteri
+    (fun n s ->
+      Printf.printf "%-7d %9d %12d %7d %7d %10d\n" n
+        ((s.Palloc.Buddy.ss_hi - s.Palloc.Buddy.ss_lo) / 1024)
+        s.Palloc.Buddy.ss_free_bytes
+        (Array.fold_left ( + ) 0 s.Palloc.Buddy.ss_depths)
+        s.Palloc.Buddy.ss_steals s.Palloc.Buddy.ss_contended)
+    stats;
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+      write_file path
+        (Ptelemetry.Json.to_string (Ptelemetry.Metrics.dump_json ()));
+      Printf.printf "\nwrote %s\n" path
 
 let usage () =
   prerr_endline
     "usage: bench [--trace FILE] [--metrics FILE] [--psan] [--psan-json FILE]\n\
-    \       bench --json FILE [--baseline FILE]";
+    \       bench --json FILE [--baseline FILE]\n\
+    \       bench alloc-scale [--domains N] [--txs N] [--metrics FILE]";
   exit 2
 
 let () =
@@ -513,6 +618,24 @@ let () =
   in
   match List.tl (Array.to_list Sys.argv) with
   | [] -> () (* plain run: the bechamel benchmark below *)
+  | "alloc-scale" :: rest ->
+      let domains = ref 4 and txs = ref 2000 and metrics_out = ref None in
+      let rec parse_scale = function
+        | [] -> ()
+        | "--domains" :: n :: rest ->
+            domains := int_of_string n;
+            parse_scale rest
+        | "--txs" :: n :: rest ->
+            txs := int_of_string n;
+            parse_scale rest
+        | "--metrics" :: f :: rest ->
+            metrics_out := Some f;
+            parse_scale rest
+        | _ -> usage ()
+      in
+      parse_scale rest;
+      if !domains < 1 || !txs < 1 then usage ();
+      run_alloc_scale ~domains:!domains ~txs:!txs ~metrics_out:!metrics_out
   | args ->
       parse args;
       if !trace <> None || !metrics <> None || !psan || !psan_json <> None then

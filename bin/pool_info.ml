@@ -52,6 +52,85 @@ let run_fsck repair path =
     if not (Corundum.Pool_check.ok r) then exit 1
   end
 
+(* [heap]: attach the allocator read-only over the image and report the
+   heap's occupancy — whole-heap fragmentation plus the per-stripe view
+   (free bytes and per-order free-list depths) that the multi-domain
+   allocator design is judged by.  The steal/contention counters are
+   runtime telemetry and always 0 on a cold attach, so they are omitted
+   here; [bench alloc-scale] reports them live. *)
+let run_heap metrics_out path =
+  let dev = load path in
+  let info = Corundum.Pool_inspect.inspect_device dev in
+  if not info.Corundum.Pool_inspect.magic_ok then begin
+    Printf.eprintf "error: %s: not a Corundum pool image\n" path;
+    exit 1
+  end;
+  let buddy =
+    Palloc.Buddy.attach ~stripes:info.Corundum.Pool_inspect.nslots dev
+      ~table_base:info.Corundum.Pool_inspect.table_base
+      ~heap_base:info.Corundum.Pool_inspect.heap_base
+      ~heap_len:info.Corundum.Pool_inspect.heap_len
+  in
+  let rep = Palloc.Heap_walk.report buddy in
+  let stripes = Palloc.Buddy.stripe_stats buddy in
+  Printf.printf "heap: %d live blocks, %d bytes used, %d free\n"
+    rep.Palloc.Heap_walk.blocks rep.Palloc.Heap_walk.bytes_used
+    rep.Palloc.Heap_walk.bytes_free;
+  Printf.printf "  largest free block : %d bytes\n"
+    rep.Palloc.Heap_walk.largest_free;
+  Printf.printf "  fragmentation      : %.3f (1 - largest/free)\n\n"
+    rep.Palloc.Heap_walk.fragmentation;
+  Printf.printf "%-7s %10s %12s  %s\n" "stripe" "span KiB" "free bytes"
+    "free-list depths (order:count)";
+  Array.iteri
+    (fun n s ->
+      let depths = Buffer.create 32 in
+      Array.iteri
+        (fun o d ->
+          if d > 0 then Buffer.add_string depths (Printf.sprintf "%d:%d " o d))
+        s.Palloc.Buddy.ss_depths;
+      Printf.printf "%-7d %10d %12d  %s\n" n
+        ((s.Palloc.Buddy.ss_hi - s.Palloc.Buddy.ss_lo) / 1024)
+        s.Palloc.Buddy.ss_free_bytes
+        (if Buffer.length depths = 0 then "(empty)" else Buffer.contents depths))
+    stripes;
+  match metrics_out with
+  | None -> ()
+  | Some out ->
+      let open Ptelemetry.Json in
+      let stripe_json s =
+        Obj
+          [
+            ("lo", Num (float_of_int s.Palloc.Buddy.ss_lo));
+            ("hi", Num (float_of_int s.Palloc.Buddy.ss_hi));
+            ("free_bytes", Num (float_of_int s.Palloc.Buddy.ss_free_bytes));
+            ( "depths",
+              List
+                (Array.to_list
+                   (Array.map (fun d -> Num (float_of_int d))
+                      s.Palloc.Buddy.ss_depths)) );
+          ]
+      in
+      let json =
+        Obj
+          [
+            ("schema", Str "corundum-heap-v1");
+            ("live_blocks", Num (float_of_int rep.Palloc.Heap_walk.blocks));
+            ("bytes_used", Num (float_of_int rep.Palloc.Heap_walk.bytes_used));
+            ("bytes_free", Num (float_of_int rep.Palloc.Heap_walk.bytes_free));
+            ( "largest_free",
+              Num (float_of_int rep.Palloc.Heap_walk.largest_free) );
+            ("fragmentation", Num rep.Palloc.Heap_walk.fragmentation);
+            ( "stripes",
+              List (Array.to_list (Array.map stripe_json stripes)) );
+          ]
+      in
+      let oc = open_out out in
+      output_string oc (to_string json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote %s\n" out
+
 (* [top]: open the image in memory (the file is never written back),
    run a short probe workload with telemetry subscribed, and print the
    metrics registry — flushes/tx, fences/tx, logged bytes/tx and the
@@ -126,10 +205,26 @@ let top_cmd =
           the telemetry metrics registry.  The image file is not modified.")
     Term.(const run_top $ probes_arg $ path_arg)
 
+let heap_metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ]
+        ~doc:"Also write the heap statistics as JSON to $(docv)."
+        ~docv:"FILE")
+
+let heap_cmd =
+  Cmd.v
+    (Cmd.info "heap"
+       ~doc:
+         "Report heap occupancy: whole-heap fragmentation plus per-stripe \
+          free bytes and per-order free-list depths.  Read-only.")
+    Term.(const run_heap $ heap_metrics_arg $ path_arg)
+
 let cmd =
   Cmd.group ~default:info_term
     (Cmd.info "pool_info" ~doc:"Inspect and check a Corundum pool image")
-    [ info_cmd; fsck_cmd; top_cmd ]
+    [ info_cmd; fsck_cmd; top_cmd; heap_cmd ]
 
 (* Back-compat: [pool_info POOL] (no subcommand) still means [info POOL] —
    a command group would otherwise read the image path as a command name. *)
@@ -140,7 +235,7 @@ let () =
       Array.length argv > 1
       && not
            (List.mem argv.(1)
-              [ "info"; "fsck"; "top"; "--help"; "-h"; "--version" ])
+              [ "info"; "fsck"; "top"; "heap"; "--help"; "-h"; "--version" ])
     then
       Array.append
         [| argv.(0); "info" |]

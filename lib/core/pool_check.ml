@@ -117,7 +117,7 @@ let check_device dev =
                        if off < heap_base || off >= heap_base + heap_len then
                          failwith "alloc entry outside the heap";
                        if order < 0 || order > 40 then failwith "alloc order bogus"
-                   | Pjournal.Log_entry.Drop { off } ->
+                   | Pjournal.Log_entry.Drop { off; order = _ } ->
                        if off < heap_base || off >= heap_base + heap_len then
                          failwith "drop entry outside the heap")
              in
@@ -141,7 +141,7 @@ let check_device dev =
           for d = 1 to drops do
             let at = base + slot_size - (d * 16) in
             match Pjournal.Log_entry.read dev ~salt ~at with
-            | Pjournal.Log_entry.Drop { off }, _ ->
+            | Pjournal.Log_entry.Drop { off; order = _ }, _ ->
                 if off < heap_base || off >= heap_base + heap_len then
                   note where "drop area entry outside the heap"
             | _ -> note where "non-drop entry in drop area"
@@ -401,7 +401,7 @@ let repair dev =
                  for d = 1 to drops do
                    let at = base + slot_size - (d * 16) in
                    match Pjournal.Log_entry.read dev ~salt ~at with
-                   | Pjournal.Log_entry.Drop { off }, _
+                   | Pjournal.Log_entry.Drop { off; order = _ }, _
                      when off >= heap_base && off < heap_base + heap_len ->
                        ()
                    | _ ->

@@ -28,12 +28,25 @@ type info = {
 let magic = "CORUNDUM-POOL-01"
 let header_size = 4096
 
-let read_slot dev ~base =
+(* A slot is classified the way recovery sees it: walk the checksummed
+   entry stream to its tail.  The advisory header count is never trusted
+   (and since commits stopped persisting it for drop-free transactions,
+   an in-flight crash image usually has count=0 beside a walkable log);
+   phase [Committing] only appears on legacy images. *)
+let read_slot dev ~base ~size =
   let phase = D.read_u64 dev base in
   let count = Int64.to_int (D.read_u64 dev (base + 8)) in
   if phase = 1L then Committing count
-  else if count > 0 then Active count
-  else Idle
+  else begin
+    let epoch = Int64.to_int (D.read_u64 dev (base + 32)) in
+    let salt = Pjournal.Log_entry.salt ~slot_base:base ~epoch in
+    let visited, _, _ =
+      Pjournal.Log_entry.walk_to_tail dev ~slot_base:base ~slot_size:size
+        ~salt
+        (fun _ -> ())
+    in
+    if visited > 0 then Active visited else Idle
+  end
 
 let inspect_device dev =
   let u64 off = Int64.to_int (D.read_u64 dev off) in
@@ -48,7 +61,7 @@ let inspect_device dev =
   let heap_base = if magic_ok then u64 80 else 0 in
   let slots =
     List.init nslots (fun i ->
-        read_slot dev ~base:(header_size + (i * slot_size)))
+        read_slot dev ~base:(header_size + (i * slot_size)) ~size:slot_size)
   in
   let live_blocks = ref 0 and live_bytes = ref 0 and largest = ref 0 in
   if magic_ok && heap_len > 0 then begin

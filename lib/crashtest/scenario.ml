@@ -495,6 +495,59 @@ let kvstore ?(ops = 5) () : (module Injector.INSTANCE) =
       Leak_check.assert_clean (P.impl ()) ~root_ty
   end)
 
+(* --- Allocator churn: every tx frees an old block and allocates a new
+   one, driving the batched mark/clear protocol (drop-area persists,
+   coalesced mark flush, deferred clear flush) through every crash
+   window the injector can reach. ------------------------------------- *)
+
+let alloc_churn ?(cells = 4) ?(rounds = 6) () : (module Injector.INSTANCE) =
+  (module struct
+    include Fresh ()
+
+    let box_ty = Pbox.ptype Ptype.int
+    let cell_ty = Pcell.ptype (Ptype.option box_ty)
+    let root_ty = Ptype.array cells cell_ty
+
+    let root () =
+      P.root ~ty:root_ty
+        ~init:(fun _ ->
+          Array.init cells (fun _ ->
+              Pcell.make ~ty:(Ptype.option box_ty) None))
+        ()
+
+    let setup () =
+      created ();
+      ignore (root ())
+
+    let run () =
+      for i = 1 to rounds do
+        P.transaction (fun j ->
+            let c = (Pbox.get (root ())).(i mod cells) in
+            (* overwriting the cell transfers ownership: the displaced
+               box is dropped (deferred free) in the same transaction
+               that allocates its replacement, so the commit carries
+               both a drop and a fresh mark — the crash-richest
+               allocator path *)
+            Pcell.set c (Some (Pbox.make ~ty:Ptype.int (i * 1000) j)) j)
+      done
+
+    let verify ~outcome =
+      ignore outcome;
+      (* Per-transaction atomicity: each cell holds either its old box or
+         its replacement, never a dangling or half-written one. *)
+      Array.iter
+        (fun c ->
+          match Pcell.get c with
+          | None -> ()
+          | Some b ->
+              let v = Pbox.get b in
+              if v < 1000 || v > rounds * 1000 || v mod 1000 <> 0 then
+                fail "alloc_churn: torn box value %d" v)
+        (Pbox.get (root ()));
+      heap_ok (P.impl ());
+      Leak_check.assert_clean (P.impl ()) ~root_ty
+  end)
+
 let all =
   [
     ("counter", fun () -> counter ());
@@ -507,4 +560,5 @@ let all =
     ("map_rotations", fun () -> map_rotations ());
     ("btree_ops", fun () -> btree_ops ());
     ("kvstore", fun () -> kvstore ());
+    ("alloc_churn", fun () -> alloc_churn ());
   ]

@@ -60,5 +60,14 @@ val kvstore : ?ops:int -> unit -> (module Injector.INSTANCE)
     the map's chain invariants hold, the size is exactly one of the three
     committed states, and the seed data is intact. *)
 
+val alloc_churn : ?cells:int -> ?rounds:int -> unit -> (module Injector.INSTANCE)
+(** Allocator-heavy churn: every transaction frees a cell's previous
+    block and allocates its replacement, so each commit carries both a
+    deferred drop and a fresh mark — the batched allocation-table
+    protocol (drop-area persist, coalesced mark flush, deferred clear
+    flush, re-mark on rollback) is crossed at every persist point the
+    injector can reach.  After any crash each cell holds either its old
+    or its new box, the heap tiles, and nothing leaks. *)
+
 val all : (string * (unit -> (module Injector.INSTANCE))) list
 (** Name/constructor pairs for every scenario above, with defaults. *)

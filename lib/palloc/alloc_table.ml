@@ -44,13 +44,19 @@ let offset_of_index t idx =
   t.heap_base + (idx lsl min_block_shift)
 
 let entry_addr t idx = t.table_base + idx
+let entry_line t idx = (t.table_base + idx) lsr 6
 
 let mark t ~idx ~order =
+  Pmem.Device.write_u8 t.dev (entry_addr t idx) (order + 1)
+
+let clear t ~idx = Pmem.Device.write_u8 t.dev (entry_addr t idx) 0
+
+let mark_durable t ~idx ~order =
   let addr = entry_addr t idx in
   Pmem.Device.write_u8 t.dev addr (order + 1);
   Pmem.Device.persist t.dev addr 1
 
-let clear t ~idx =
+let clear_durable t ~idx =
   let addr = entry_addr t idx in
   Pmem.Device.write_u8 t.dev addr 0;
   Pmem.Device.persist t.dev addr 1

@@ -37,11 +37,26 @@ val index_of_offset : t -> int -> int
 val offset_of_index : t -> int -> int
 
 val mark : t -> idx:int -> order:int -> unit
-(** Durably mark block [idx] as the allocated head of an order-[order]
-    block (write byte + persist). *)
+(** Mark block [idx] as the allocated head of an order-[order] block.
+    Dirty-only: the store stays in the cache until the caller flushes the
+    owning table line (see {!entry_line}).  Transactions collect the lines
+    touched by their marks/clears and flush them in coalesced runs under
+    the commit fence, instead of paying one persist per table byte. *)
 
 val clear : t -> idx:int -> unit
-(** Durably mark block [idx] free (idempotent; persist). *)
+(** Mark block [idx] free.  Dirty-only and idempotent; durability is the
+    caller's responsibility, as with {!mark}. *)
+
+val mark_durable : t -> idx:int -> order:int -> unit
+(** One-shot [mark] + persist, for non-transactional callers (recovery,
+    fsck repair, benchmarks) that manage no line set of their own. *)
+
+val clear_durable : t -> idx:int -> unit
+(** One-shot [clear] + persist. *)
+
+val entry_line : t -> int -> int
+(** Device line number (offset / 64) of the table byte for block [idx] —
+    the unit a transaction collects for coalesced flushing. *)
 
 val order_at : t -> idx:int -> int option
 (** [Some order] if [idx] is an allocated head, [None] if the byte is 0. *)

@@ -1,12 +1,13 @@
 exception Out_of_pmem
 exception Invalid_free of int
 
-module ISet = Set.Make (Int)
 module Tr = Ptelemetry.Trace
 module Mx = Ptelemetry.Metrics
 
 let m_allocs = Mx.counter "alloc.count"
 let m_frees = Mx.counter "free.count"
+let m_steals = Mx.counter "alloc.steals"
+let m_contended = Mx.counter "stripe.contended"
 let h_alloc_size = Mx.histogram "alloc.size"
 let h_free_size = Mx.histogram "free.size"
 
@@ -15,11 +16,33 @@ type reservation = { r_idx : int; r_order : int }
 (* A stripe is an independently locked region of the heap with its own
    volatile free lists — the paper's per-thread allocator.  Stripe
    boundaries sit on power-of-two block indices, so buddy pairs never
-   cross a stripe and merging stays local. *)
+   cross a stripe and merging stays local.
+
+   Free space is tracked in intrusive, array-backed structures sized to
+   the stripe, making every list operation O(1):
+
+   - [stacks.(o)] / [tops.(o)]: a LIFO of free block indices per order;
+     push and pop are O(1), and popping the most-recently-freed block
+     keeps the working set cache-warm.
+   - [forder]: one byte per block, [order+1] when the block currently
+     heads a free list (0 otherwise) — the buddy-membership test that
+     replaces [Set.mem].
+   - [slot]: each free block's position inside its stack, so a buddy can
+     be unlinked in O(1) by swapping the stack's last element into its
+     place.
+   - [nonempty]: a bitmask over orders with a non-empty stack; the
+     smallest adequate order is found with mask arithmetic instead of a
+     per-order scan. *)
 type stripe = {
   lock : Mutex.t;
-  mutable free : ISet.t array; (* index: order; elements: block indices *)
+  mutable stacks : int array array; (* index: order; LIFO of block indices *)
+  tops : int array; (* live depth of stacks.(order) *)
+  mutable nonempty : int; (* bitmask: order o set iff tops.(o) > 0 *)
+  forder : Bytes.t; (* (idx - lo) -> order + 1 when free head, else 0 *)
+  slot : int array; (* (idx - lo) -> position within stacks.(order) *)
   mutable free_bytes : int;
+  steals : int Atomic.t; (* reserves served here for another stripe's hint *)
+  contended : int Atomic.t; (* lock acquisitions that found it held *)
   lo : int; (* first block index (inclusive) *)
   hi : int; (* last block index (exclusive) *)
 }
@@ -29,6 +52,15 @@ type t = {
   stripes : stripe array;
   span : int; (* blocks per stripe (power of two); last stripe may be larger *)
   max_order : int; (* largest order any stripe can hand out *)
+}
+
+type stripe_stats = {
+  ss_lo : int; (* heap byte offset of the stripe's first block *)
+  ss_hi : int; (* heap byte offset one past the stripe's last block *)
+  ss_free_bytes : int;
+  ss_depths : int array; (* free-list depth per order *)
+  ss_steals : int;
+  ss_contended : int;
 }
 
 let min_block = Alloc_table.min_block
@@ -56,7 +88,11 @@ let free_bytes t =
 let used_bytes t = capacity t - free_bytes t
 
 let locked s f =
-  Mutex.lock s.lock;
+  if not (Mutex.try_lock s.lock) then begin
+    Atomic.incr s.contended;
+    Mx.incr m_contended;
+    Mutex.lock s.lock
+  end;
   Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
 
 let dev t = Alloc_table.device t.table
@@ -64,13 +100,60 @@ let dev t = Alloc_table.device t.table
 let stripe_of t idx =
   min (idx / t.span) (Array.length t.stripes - 1)
 
+(* {2 O(1) free-list primitives (stripe lock held)} *)
+
 let add_free s order idx =
-  s.free.(order) <- ISet.add idx s.free.(order);
+  let top = s.tops.(order) in
+  let st = s.stacks.(order) in
+  let st =
+    if top = Array.length st then begin
+      let st' = Array.make (max 16 (2 * top)) 0 in
+      Array.blit st 0 st' 0 top;
+      s.stacks.(order) <- st';
+      st'
+    end
+    else st
+  in
+  st.(top) <- idx;
+  s.tops.(order) <- top + 1;
+  s.slot.(idx - s.lo) <- top;
+  Bytes.unsafe_set s.forder (idx - s.lo) (Char.unsafe_chr (order + 1));
+  s.nonempty <- s.nonempty lor (1 lsl order);
   s.free_bytes <- s.free_bytes + size_of_order order
 
+(* Pop the most recently freed block of [order]; caller ensures nonempty. *)
+let pop_free s order =
+  let top = s.tops.(order) - 1 in
+  let idx = s.stacks.(order).(top) in
+  s.tops.(order) <- top;
+  if top = 0 then s.nonempty <- s.nonempty land lnot (1 lsl order);
+  Bytes.unsafe_set s.forder (idx - s.lo) '\000';
+  s.free_bytes <- s.free_bytes - size_of_order order;
+  idx
+
+(* Unlink a specific free block (the buddy during a merge): swap the
+   stack's last element into its slot and shrink. *)
 let remove_free s order idx =
-  s.free.(order) <- ISet.remove idx s.free.(order);
+  let top = s.tops.(order) - 1 in
+  let st = s.stacks.(order) in
+  let p = s.slot.(idx - s.lo) in
+  if p <> top then begin
+    let moved = st.(top) in
+    st.(p) <- moved;
+    s.slot.(moved - s.lo) <- p
+  end;
+  s.tops.(order) <- top;
+  if top = 0 then s.nonempty <- s.nonempty land lnot (1 lsl order);
+  Bytes.unsafe_set s.forder (idx - s.lo) '\000';
   s.free_bytes <- s.free_bytes - size_of_order order
+
+let is_free_at s idx order =
+  Bytes.unsafe_get s.forder (idx - s.lo) = Char.unsafe_chr (order + 1)
+
+(* Smallest order >= [k] with a non-empty list, or -1. *)
+let find_order s k =
+  let mask = s.nonempty land ((-1) lsl k) in
+  if mask = 0 then -1 else log2_floor (mask land -mask)
 
 (* Carve the free index range [lo, hi) into maximal aligned blocks no
    larger than the global max order. *)
@@ -95,7 +178,7 @@ let rec insert_merged t s idx order =
     order < t.max_order
     && buddy >= s.lo
     && buddy + (1 lsl order) <= s.hi
-    && ISet.mem buddy s.free.(order)
+    && is_free_at s buddy order
   then begin
     remove_free s order buddy;
     Pmem.Device.charge_alloc_steps (dev t) 1;
@@ -103,13 +186,18 @@ let rec insert_merged t s idx order =
   end
   else add_free s order idx
 
+let reset_stripe max_order s =
+  s.stacks <- Array.make (max_order + 1) [||];
+  Array.fill s.tops 0 (max_order + 1) 0;
+  s.nonempty <- 0;
+  Bytes.fill s.forder 0 (Bytes.length s.forder) '\000';
+  s.free_bytes <- 0
+
+(* One pass over the table: free gaps between allocated heads are carved
+   into the owning stripes.  [iter_allocated] already skips allocation
+   interiors, so the rebuild is a single linear scan. *)
 let rebuild_locked t =
-  Array.iter
-    (fun s ->
-      s.free <- Array.make (t.max_order + 1) ISet.empty;
-      s.free_bytes <- 0)
-    t.stripes;
-  (* walk the table once, carving free gaps into the owning stripes *)
+  Array.iter (reset_stripe t.max_order) t.stripes;
   let nblocks = Alloc_table.nblocks t.table in
   let carve_range lo hi =
     (* split the range at stripe boundaries *)
@@ -151,8 +239,14 @@ let make dev ~table_base ~heap_base ~heap_len ~stripes ~fresh =
     let hi = if i = nstripes - 1 then nblocks else (i + 1) * span in
     {
       lock = Mutex.create ();
-      free = Array.make (max_order + 1) ISet.empty;
+      stacks = Array.make (max_order + 1) [||];
+      tops = Array.make (max_order + 1) 0;
+      nonempty = 0;
+      forder = Bytes.make (hi - lo) '\000';
+      slot = Array.make (hi - lo) 0;
       free_bytes = 0;
+      steals = Atomic.make 0;
+      contended = Atomic.make 0;
       lo;
       hi;
     }
@@ -179,16 +273,10 @@ let rebuild t = rebuild_locked t
 (* Reserve within one stripe; returns None when it cannot satisfy. *)
 let reserve_in t s order =
   locked s (fun () ->
-      let rec find j =
-        if j > t.max_order then None
-        else if ISet.is_empty s.free.(j) then find (j + 1)
-        else Some j
-      in
-      match find order with
-      | None -> None
-      | Some j ->
-          let idx = ISet.min_elt s.free.(j) in
-          remove_free s j idx;
+      match find_order s order with
+      | -1 -> None
+      | j ->
+          let idx = pop_free s j in
           (* Split down to the requested order, releasing upper halves. *)
           let rec split k =
             if k > order then begin
@@ -211,10 +299,17 @@ let reserve ?(hint = 0) t size =
   let n = Array.length t.stripes in
   let rec try_stripe i =
     if i >= n then raise Out_of_pmem
-    else
-      match reserve_in t t.stripes.((hint + i) mod n) order with
-      | Some r -> r
+    else begin
+      let s = t.stripes.((hint + i) mod n) in
+      match reserve_in t s order with
+      | Some r ->
+          if i > 0 then begin
+            Atomic.incr s.steals;
+            Mx.incr m_steals
+          end;
+          r
       | None -> try_stripe (i + 1)
+    end
   in
   try_stripe 0
 
@@ -222,11 +317,15 @@ let cancel t r =
   let s = t.stripes.(stripe_of t r.r_idx) in
   locked s (fun () -> insert_merged t s r.r_idx r.r_order)
 
+type op = Alloc | Free
+
 (* One instant event per committed allocation / completed free; metric
    sizes are the rounded block sizes the heap actually loses or regains. *)
-let note t name ~off ~bytes =
-  let counter, histo =
-    if name = "alloc" then (m_allocs, h_alloc_size) else (m_frees, h_free_size)
+let note t op ~off ~bytes =
+  let counter, histo, name =
+    match op with
+    | Alloc -> (m_allocs, h_alloc_size, "alloc")
+    | Free -> (m_frees, h_free_size, "free")
   in
   Mx.incr counter;
   Mx.observe histo bytes;
@@ -238,35 +337,48 @@ let note t name ~off ~bytes =
 let commit t r =
   Alloc_table.mark t.table ~idx:r.r_idx ~order:r.r_order;
   if Tr.on () then
-    note t "alloc"
+    note t Alloc
       ~off:(Alloc_table.offset_of_index t.table r.r_idx)
       ~bytes:(size_of_order r.r_order)
+
+let commit_durable t r =
+  Alloc_table.mark_durable t.table ~idx:r.r_idx ~order:r.r_order;
+  if Tr.on () then
+    note t Alloc
+      ~off:(Alloc_table.offset_of_index t.table r.r_idx)
+      ~bytes:(size_of_order r.r_order)
+
 let offset_of_reservation t r = Alloc_table.offset_of_index t.table r.r_idx
+let mark_line t r = Alloc_table.entry_line t.table r.r_idx
+
+let line_of_offset t off =
+  Alloc_table.entry_line t.table (Alloc_table.index_of_offset t.table off)
 
 let alloc ?hint t size =
   let r = reserve ?hint t size in
-  commit t r;
+  commit_durable t r;
   offset_of_reservation t r
 
-let dealloc t off =
+(* The shared body of every free path.  [missing_ok] distinguishes the
+   strict one-shot free (wild/double frees raise) from the idempotent
+   recovery form; [durable] selects a one-shot persisted table clear or a
+   dirty-only clear whose line the caller batches (the journal's deferred
+   drops). *)
+let release t off ~missing_ok ~durable =
   let idx = Alloc_table.index_of_offset t.table off in
   match Alloc_table.order_at t.table ~idx with
-  | None -> raise (Invalid_free off)
+  | None -> if not missing_ok then raise (Invalid_free off)
   | Some order ->
-      Alloc_table.clear t.table ~idx;
+      if durable then Alloc_table.clear_durable t.table ~idx
+      else Alloc_table.clear t.table ~idx;
       let s = t.stripes.(stripe_of t idx) in
       locked s (fun () -> insert_merged t s idx order);
-      if Tr.on () then note t "free" ~off ~bytes:(size_of_order order)
+      if Tr.on () then note t Free ~off ~bytes:(size_of_order order)
 
-let dealloc_if_live t off =
-  let idx = Alloc_table.index_of_offset t.table off in
-  match Alloc_table.order_at t.table ~idx with
-  | None -> ()
-  | Some order ->
-      Alloc_table.clear t.table ~idx;
-      let s = t.stripes.(stripe_of t idx) in
-      locked s (fun () -> insert_merged t s idx order);
-      if Tr.on () then note t "free" ~off ~bytes:(size_of_order order)
+let dealloc ?(durable = true) t off = release t off ~missing_ok:false ~durable
+
+let dealloc_if_live ?(durable = true) t off =
+  release t off ~missing_ok:true ~durable
 
 let block_size t off =
   let idx = Alloc_table.index_of_offset t.table off in
@@ -278,7 +390,26 @@ let fold_free t ~init ~f =
       locked s (fun () ->
           let acc = ref acc in
           Array.iteri
-            (fun order set -> ISet.iter (fun idx -> acc := f !acc ~idx ~order) set)
-            s.free;
+            (fun order st ->
+              for p = 0 to s.tops.(order) - 1 do
+                acc := f !acc ~idx:st.(p) ~order
+              done)
+            s.stacks;
           !acc))
     init t.stripes
+
+let stripe_stats t =
+  Array.map
+    (fun s ->
+      locked s (fun () ->
+          {
+            ss_lo = Alloc_table.offset_of_index t.table s.lo;
+            ss_hi =
+              Alloc_table.heap_base t.table
+              + (s.hi lsl Alloc_table.min_block_shift);
+            ss_free_bytes = s.free_bytes;
+            ss_depths = Array.copy s.tops;
+            ss_steals = Atomic.get s.steals;
+            ss_contended = Atomic.get s.contended;
+          }))
+    t.stripes

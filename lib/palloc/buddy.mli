@@ -1,16 +1,29 @@
 (** Crash-consistent buddy allocator over a {!Pmem.Device} heap region.
 
     Durable state is the {!Alloc_table}; free space is tracked in volatile
-    per-order free sets rebuilt from the table at {!attach} time, so the
-    allocator itself never needs multi-word atomic updates.
+    per-stripe free lists rebuilt from the table at {!attach} time, so the
+    allocator itself never needs multi-word atomic updates.  The volatile
+    side is O(1) per operation: intrusive array-backed LIFO stacks per
+    order, a per-block free-order byte for buddy-membership tests, and a
+    non-empty-order bitmask, so reserve/insert/merge never scan and
+    {!rebuild} is a single table walk.
 
     Transactional allocation uses a three-step protocol driven by the
     journal layer:
 
     + {!reserve} removes a block from the volatile free lists (no durable
       effect — a crash here loses nothing);
-    + the journal durably records the allocation intent;
-    + {!commit} durably marks the table byte.
+    + the journal durably records the allocation intent (seals the undo
+      entry);
+    + {!commit} marks the table byte {e dirty-only}; the journal collects
+      the mark's 64-byte table line (see {!mark_line}) and flushes all
+      collected lines in coalesced runs under its commit fence.
+
+    The mark-after-seal order is the safety invariant: a mark can only
+    become durable after its undo entry is sealed, so recovery frees any
+    block whose mark persisted without a committed transaction, and a mark
+    that failed to persist is indistinguishable from a rolled-back
+    reservation.
 
     If the transaction aborts, {!cancel} (before commit) or a journal-driven
     {!dealloc} (after commit) undoes the allocation.  Frees inside a
@@ -63,20 +76,36 @@ val cancel : t -> reservation -> unit
 (** Return an uncommitted reservation to the free lists. *)
 
 val commit : t -> reservation -> unit
-(** Durably mark the reservation allocated in the table. *)
+(** Mark the reservation allocated in the table, dirty-only.  The caller
+    owns durability: collect {!mark_line} and flush it (batched) before
+    the transaction's commit fence. *)
+
+val commit_durable : t -> reservation -> unit
+(** [commit] + persist of the table byte, for non-transactional callers. *)
 
 val offset_of_reservation : t -> reservation -> int
+
+val mark_line : t -> reservation -> int
+(** Device line number of the table byte {!commit} dirties — the unit the
+    journal collects for coalesced flushing. *)
+
+val line_of_offset : t -> int -> int
+(** Device line number of the table byte for the block headed at a heap
+    offset (the clear line of a deferred free). *)
 
 (** {1 One-shot interface (non-transactional callers and recovery)} *)
 
 val alloc : ?hint:int -> t -> int -> int
-(** [reserve] + [commit]; returns the block's byte offset. *)
+(** [reserve] + [commit_durable]; returns the block's byte offset. *)
 
-val dealloc : t -> int -> unit
-(** Durably free the block headed at the given offset and merge buddies in
-    the volatile lists.  Raises {!Invalid_free}. *)
+val dealloc : ?durable:bool -> t -> int -> unit
+(** Free the block headed at the given offset and merge buddies in the
+    volatile lists.  With [durable] (default [true]) the table clear is
+    persisted immediately; [~durable:false] leaves it dirty for a caller
+    that batches table lines (see {!line_of_offset}).  Raises
+    {!Invalid_free}. *)
 
-val dealloc_if_live : t -> int -> unit
+val dealloc_if_live : ?durable:bool -> t -> int -> unit
 (** Like {!dealloc} but a no-op when the block is already free — the
     idempotent form used when re-applying drop logs during recovery. *)
 
@@ -94,3 +123,18 @@ val free_bytes : t -> int
 val used_bytes : t -> int
 val fold_free : t -> init:'a -> f:('a -> idx:int -> order:int -> 'a) -> 'a
 (** Fold over every block in the volatile free lists (test support). *)
+
+type stripe_stats = {
+  ss_lo : int;  (** heap byte offset of the stripe's first block *)
+  ss_hi : int;  (** heap byte offset one past the stripe's last block *)
+  ss_free_bytes : int;
+  ss_depths : int array;  (** free-list depth per order *)
+  ss_steals : int;
+      (** reservations this stripe served for another stripe's hint *)
+  ss_contended : int;  (** lock acquisitions that found the stripe busy *)
+}
+
+val stripe_stats : t -> stripe_stats array
+(** Per-stripe snapshot for [pool_info heap] and the alloc-scale bench;
+    steal/contention totals are also exported as the [alloc.steals] and
+    [stripe.contended] telemetry counters. *)

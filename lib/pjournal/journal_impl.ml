@@ -36,7 +36,6 @@ let hdr_spill = 24
 let hdr_epoch = 32
 let hdr_size = 64
 let phase_normal = 0L
-let phase_committing = 1L
 let drop_slot_bytes = 16
 let tx_overhead_ns = 198
 let spill_min = 16 * 1024
@@ -63,6 +62,9 @@ type t = {
   dropped : (int, unit) Hashtbl.t;
   mutable targets : (int * int) list; (* data ranges to persist at commit *)
   mutable tx_logged : int; (* entry bytes sealed in the current transaction *)
+  marks : (int, unit) Hashtbl.t;
+      (* alloc-table lines dirtied by this tx's allocation marks; flushed
+         as coalesced runs under the commit fence (mark-after-seal) *)
 }
 
 let format dev ~base ~size =
@@ -95,6 +97,7 @@ let attach ?(alloc_hint = 0) dev buddy ~base ~size =
     dropped = Hashtbl.create 16;
     targets = [];
     tx_logged = 0;
+    marks = Hashtbl.create 16;
   }
 
 let base t = t.base
@@ -129,6 +132,7 @@ let begin_tx t =
   Hashtbl.reset t.dedup;
   Hashtbl.reset t.lines;
   Hashtbl.reset t.dropped;
+  Hashtbl.reset t.marks;
   D.charge_ns t.dev tx_overhead_ns
 
 (* Seal the entry just written at absolute [at] of [len] bytes: write the
@@ -266,7 +270,11 @@ let alloc t bytes =
   | exception e ->
       Palloc.Buddy.cancel t.buddy r;
       raise e);
+  (* Mark-after-seal: the dirty table mark follows the sealed undo entry
+     and only reaches media in the batched mark flush under the commit
+     fence, so a durable mark always has a durable entry to revert it. *)
   Palloc.Buddy.commit t.buddy r;
+  Hashtbl.replace t.marks (Palloc.Buddy.mark_line t.buddy r) ();
   if Pr.on () then
     Pr.emit
       (Pr.Alloc
@@ -280,98 +288,31 @@ let alloc t bytes =
 let free t off =
   require_active t;
   if Hashtbl.mem t.dropped off then raise (Palloc.Buddy.Invalid_free off);
-  (match Palloc.Buddy.block_size t.buddy off with
-  | Some _ -> ()
-  | None -> raise (Palloc.Buddy.Invalid_free off));
+  let order =
+    match Palloc.Buddy.block_size t.buddy off with
+    | Some size -> Palloc.Buddy.order_of_size size
+    | None -> raise (Palloc.Buddy.Invalid_free off)
+  in
   if t.ndrops >= drop_capacity t then raise Journal_full;
-  (* Volatile append into the drop area; durable only at commit. *)
+  (* Volatile append into the drop area; durable only at commit.  The
+     block's order rides in the slot so recovery can re-mark the table
+     byte if a crash interrupts the batched clear flush. *)
   let at = t.base + t.size - ((t.ndrops + 1) * drop_slot_bytes) in
-  Log_entry.write_drop t.dev ~salt:t.salt ~at ~off;
+  Log_entry.write_drop t.dev ~salt:t.salt ~at ~off ~order;
   t.drops <- off :: t.drops;
   t.ndrops <- t.ndrops + 1;
   Hashtbl.add t.dropped off ()
 
-let write_phase t phase =
-  D.write_u64 t.dev (t.base + hdr_phase) phase;
-  D.persist t.dev (t.base + hdr_phase) 8
-
-(* Truncate the slot: terminator back at the head of the entry area,
-   advisory counts zeroed, spill head unchained, phase reset, and —
-   crucially — the epoch bumped, so any sealed entry bytes left beyond
-   the terminator (in the slot or in a recycled spill region) can never
-   again verify against this slot's salt.  Spill regions are released
-   first; their contents are not touched until a later transaction
-   reuses them, by which time this header persist is durable, so no
-   crash can walk a freed chain.
-
-   From phase [Normal] (rollback, abort, empty commit) everything goes
-   in ONE batched persist: per-u64 tearing can only leave the old log
-   intact (rolled back again, idempotently) or invalidated, and the
-   phase word is 0 on both sides.  From phase [Committing] the deferred
-   frees were already applied, so the log must be durably invalidated
-   {e before} the phase returns to 0 — otherwise a torn truncate could
-   present phase=0 beside a still-walkable log and recovery would roll
-   back a committed transaction whose frees already happened, leaving
-   the data structure pointing at deallocated blocks.  That path pays a
-   second ordered persist for the phase word. *)
-let truncate_common t ~from_committing =
-  if t.spills <> [] then begin
-    List.iter (fun off -> Palloc.Buddy.dealloc_if_live t.buddy off) t.spills;
-    if Pr.on () then
-      List.iter
-        (fun off -> Pr.emit (Pr.Region_release { dev = D.id t.dev; off }))
-        t.spills
-  end;
-  t.epoch <- t.epoch + 1;
-  D.write_u64 t.dev (t.base + hdr_count) 0L;
-  D.write_u64 t.dev (t.base + hdr_drops) 0L;
-  D.write_u64 t.dev (t.base + hdr_spill) 0L;
-  D.write_u64 t.dev (t.base + hdr_epoch) (Int64.of_int t.epoch);
-  D.write_u64 t.dev (t.base + hdr_size) 0L;
-  if from_committing then begin
-    (* log invalidation must be durable before the phase leaves
-       Committing (a crash in between re-runs the idempotent frees) *)
-    D.persist t.dev (t.base + hdr_count)
-      (hdr_size + Log_entry.terminator_size - hdr_count);
-    write_phase t phase_normal
-  end
-  else begin
-    D.write_u64 t.dev (t.base + hdr_phase) phase_normal;
-    D.persist t.dev t.base (hdr_size + Log_entry.terminator_size)
-  end;
-  t.salt <- Log_entry.salt ~slot_base:t.base ~epoch:t.epoch;
-  t.count <- 0;
-  t.cursor <- t.base + hdr_size;
-  t.cur_limit <- Log_entry.main_entry_limit ~slot_base:t.base ~slot_size:t.size;
-  t.last_region <- t.base;
-  t.spills <- [];
-  t.drops <- [];
-  t.ndrops <- 0;
-  t.targets <- [];
-  Hashtbl.reset t.dedup;
-  Hashtbl.reset t.lines;
-  Hashtbl.reset t.dropped
-
-let truncate t = truncate_common t ~from_committing:false
-
-(* Flush the logged target ranges as a set of unique 64-byte lines:
-   overlapping and duplicate ranges cost one flush per dirty line, and
-   contiguous lines coalesce into a single flush call.  Runs are never
-   merged across a gap — a clean line between two dirty ones must not be
-   flushed (it would be a useless flush, and the sanitizer says so). *)
-let flush_target_lines t =
-  let lines = Hashtbl.create 64 in
-  List.iter
-    (fun (off, len) ->
-      for l = off / line to (off + len - 1) / line do
-        Hashtbl.replace lines l ()
-      done)
-    t.targets;
+(* Flush a set of 64-byte line indexes: one flush call per contiguous
+   run.  Runs are never merged across a gap — a clean line between two
+   dirty ones must not be flushed (it would be a useless flush, and the
+   sanitizer says so). *)
+let flush_lines dev lines =
   let sorted =
     List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) lines [])
   in
   let flush_run first last =
-    D.flush t.dev (first * line) ((last - first + 1) * line)
+    D.flush dev (first * line) ((last - first + 1) * line)
   in
   match sorted with
   | [] -> ()
@@ -388,6 +329,79 @@ let flush_target_lines t =
         rest;
       flush_run !first !last
 
+(* Truncate the slot: terminator back at the head of the entry area,
+   advisory counts zeroed, spill head unchained, phase reset, and —
+   crucially — the epoch bumped, so any sealed entry bytes left beyond
+   the terminator (in the slot or in a recycled spill region) can never
+   again verify against this slot's salt.
+
+   [pending] carries the alloc-table lines dirtied by clears the caller
+   just applied (deferred frees at commit, allocation reverts at abort);
+   spill-region releases add their own clear lines to it.  The whole set
+   is flushed as coalesced runs and fenced {e before} the header persist:
+   a durable table clear with the log already invalidated would be
+   unrecoverable, whereas clears that miss the fence are re-derived from
+   the still-walkable log (drop slots carry their order for re-marking;
+   alloc entries free idempotently).
+
+   The header persist itself is ONE batched flush+fence: per-u64 tearing
+   can only leave the old log intact (rolled back again, idempotently —
+   rolling back a committed-but-unacknowledged transaction is already a
+   legal outcome of a crash between the commit fence and the truncate)
+   or invalidated, and the phase word is 0 on both sides. *)
+let truncate_pending t pending =
+  if t.spills <> [] then begin
+    List.iter
+      (fun off ->
+        Hashtbl.replace pending (Palloc.Buddy.line_of_offset t.buddy off) ();
+        Palloc.Buddy.dealloc_if_live ~durable:false t.buddy off)
+      t.spills;
+    if Pr.on () then
+      List.iter
+        (fun off -> Pr.emit (Pr.Region_release { dev = D.id t.dev; off }))
+        t.spills
+  end;
+  if Hashtbl.length pending > 0 then begin
+    flush_lines t.dev pending;
+    D.fence t.dev
+  end;
+  t.epoch <- t.epoch + 1;
+  D.write_u64 t.dev (t.base + hdr_count) 0L;
+  D.write_u64 t.dev (t.base + hdr_drops) 0L;
+  D.write_u64 t.dev (t.base + hdr_spill) 0L;
+  D.write_u64 t.dev (t.base + hdr_epoch) (Int64.of_int t.epoch);
+  D.write_u64 t.dev (t.base + hdr_size) 0L;
+  D.write_u64 t.dev (t.base + hdr_phase) phase_normal;
+  D.persist t.dev t.base (hdr_size + Log_entry.terminator_size);
+  t.salt <- Log_entry.salt ~slot_base:t.base ~epoch:t.epoch;
+  t.count <- 0;
+  t.cursor <- t.base + hdr_size;
+  t.cur_limit <- Log_entry.main_entry_limit ~slot_base:t.base ~slot_size:t.size;
+  t.last_region <- t.base;
+  t.spills <- [];
+  t.drops <- [];
+  t.ndrops <- 0;
+  t.targets <- [];
+  Hashtbl.reset t.dedup;
+  Hashtbl.reset t.lines;
+  Hashtbl.reset t.dropped;
+  Hashtbl.reset t.marks
+
+let truncate t = truncate_pending t (Hashtbl.create 1)
+
+(* Flush the logged target ranges as a set of unique 64-byte lines:
+   overlapping and duplicate ranges cost one flush per dirty line, and
+   contiguous lines coalesce into a single flush call. *)
+let flush_target_lines t =
+  let lines = Hashtbl.create 64 in
+  List.iter
+    (fun (off, len) ->
+      for l = off / line to (off + len - 1) / line do
+        Hashtbl.replace lines l ()
+      done)
+    t.targets;
+  flush_lines t.dev lines
+
 let commit t =
   require_active t;
   t.active <- false;
@@ -396,30 +410,45 @@ let commit t =
     (* 1. Make every logged target range durable, one flush per unique
        dirty line (contiguous lines coalesce). *)
     if not !elide_commit_flush then flush_target_lines t;
+    (* 1b. The transaction's batched allocation-table marks, flushed as
+       coalesced runs under the same fence.  This is journal protocol,
+       not user data, so it is never elided: every mark's undo entry was
+       sealed before the mark was written (mark-after-seal), so the
+       marks may only become durable here, under the commit fence. *)
+    flush_lines t.dev t.marks;
     (* 2. Batch the drop area and the advisory header fields under the
        same fence: drop entries, drop count and the advisory entry count
-       all become durable at the commit point, not before. *)
+       all become durable at the commit point, not before.  A
+       transaction without deferred frees skips the advisory write
+       entirely — fsck treats advisory 0 beside a walked tail as a
+       normal in-flight transaction. *)
     if t.ndrops > 0 then begin
       let area = t.ndrops * drop_slot_bytes in
       D.flush t.dev (t.base + t.size - area) area;
-      D.write_u64 t.dev (t.base + hdr_drops) (Int64.of_int t.ndrops)
+      D.write_u64 t.dev (t.base + hdr_drops) (Int64.of_int t.ndrops);
+      D.write_u64 t.dev (t.base + hdr_count) (Int64.of_int t.count);
+      D.flush t.dev (t.base + hdr_count) 16
     end;
-    D.write_u64 t.dev (t.base + hdr_count) (Int64.of_int t.count);
-    D.flush t.dev (t.base + hdr_count) 16;
     if not !elide_commit_fence then D.fence t.dev;
     (* The commit point: everything this transaction stored must be
        durable now.  Emitted before [truncate], whose own persists drain
        the WPQ and would mask an elided or forgotten commit fence. *)
     if Pr.on () then
       Pr.emit (Pr.Commit_point { dev = D.id t.dev; ns = D.simulated_ns t.dev });
-    if t.ndrops > 0 then begin
-      write_phase t phase_committing;
-      (* 3. Apply deferred frees; idempotent, so recovery may re-run them. *)
-      List.iter (fun off -> Palloc.Buddy.dealloc_if_live t.buddy off) t.drops;
-      (* 4. Truncate, with the phase-ordering the applied frees demand. *)
-      truncate_common t ~from_committing:true
-    end
-    else truncate t
+    (* 3. Apply deferred frees as dirty table clears; their lines become
+       durable in one batched flush+fence inside the truncate, strictly
+       before the log is invalidated.  Idempotent: recovery re-marks
+       from the drop slots (which became durable at the commit fence)
+       if the clear flush is interrupted. *)
+    let pending = Hashtbl.create (max 8 t.ndrops) in
+    List.iter
+      (fun off ->
+        Hashtbl.replace pending (Palloc.Buddy.line_of_offset t.buddy off) ();
+        Palloc.Buddy.dealloc_if_live ~durable:false t.buddy off)
+      t.drops;
+    (* 4. Truncate: clear flush + fence (when needed), then one batched
+       header persist retires the log. *)
+    truncate_pending t pending
   end
 
 let abort t =
@@ -444,12 +473,18 @@ let abort t =
         | Log_entry.Alloc _ | Log_entry.Drop _ -> ())
       !entries;
     D.fence t.dev;
+    (* Allocation reverts are dirty clears, made durable in the batched
+       clear flush inside the truncate (same ordering as commit's
+       deferred frees: clears strictly before log invalidation). *)
+    let pending = Hashtbl.create 8 in
     List.iter
       (fun e ->
         match e with
         | Log_entry.Alloc { off; order = _ } ->
-            Palloc.Buddy.dealloc_if_live t.buddy off
+            Hashtbl.replace pending
+              (Palloc.Buddy.line_of_offset t.buddy off) ();
+            Palloc.Buddy.dealloc_if_live ~durable:false t.buddy off
         | Log_entry.Data _ | Log_entry.Drop _ -> ())
       !entries;
-    truncate t
+    truncate_pending t pending
   end

@@ -17,15 +17,26 @@
     - [data_log]: save old bytes -> single persist of entry+terminator ->
       caller may now modify the target range;
     - [alloc]: reserve (volatile) -> persist Alloc entry + terminator ->
-      durably mark the allocation table;
+      dirty-only allocation-table mark, its 64-byte line collected for
+      the commit-time batch (mark-after-seal: a mark can only become
+      durable under the commit fence, after its undo entry is sealed);
     - [commit]: flush the logged target ranges (one flush per unique
-      64-byte line, contiguous lines coalesced) + drop area + advisory
-      counts, then one fence -> persist [phase=Committing] (only if there
-      are drops) -> apply drops -> truncate;
-    - [abort]: restore data logs in reverse -> free logged allocations ->
-      truncate;
-    - [truncate]: one batched persist resets the header, rewrites the
-      terminator and bumps the epoch, invalidating stale entry bytes. *)
+      64-byte line, contiguous lines coalesced) + the batched table mark
+      lines + drop area and advisory counts (only if there are drops),
+      then ONE fence — the commit point -> apply drops as dirty table
+      clears -> truncate;
+    - [abort]: restore data logs in reverse -> revert logged allocations
+      as dirty table clears -> truncate;
+    - [truncate]: flush the batched clear lines + fence (only when
+      clears are pending — their durability must strictly precede log
+      invalidation), then one batched persist resets the header,
+      rewrites the terminator and bumps the epoch, invalidating stale
+      entry bytes.
+
+    Steady-state persist cost: a data-only transaction pays one persist
+    per sealed entry plus 2 fences (commit, truncate); allocations add
+    one coalesced mark flush under the commit fence; deferred frees add
+    the drop-area/advisory flushes and the clear flush + fence. *)
 
 exception Journal_full
 (** The log cannot grow: the heap has no room for another spill region,

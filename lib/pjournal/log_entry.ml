@@ -1,7 +1,7 @@
 type t =
   | Data of { off : int; len : int; payload : int }
   | Alloc of { off : int; order : int }
-  | Drop of { off : int }
+  | Drop of { off : int; order : int }
 
 (* Kind 0 is the tail terminator: a full zero word after the last sealed
    entry.  The writer persists it together with the entry it follows, so
@@ -83,8 +83,18 @@ let write_alloc dev ~salt ~at ~off ~order =
   D.write_u64 dev (at + 16) (Int64.of_int order);
   seal dev ~salt ~at ~kind:kind_alloc ~body_len:body_len_alloc
 
-let write_drop dev ~salt ~at ~off =
-  D.write_u64 dev (at + 8) (Int64.of_int off);
+(* A drop slot packs the block's order into the top byte of its offset
+   word (device offsets are far below 2^56), so recovery can re-mark a
+   prematurely cleared table byte without growing the 16-byte slot; the
+   CRC covers the packed word, so the order is integrity-checked too.
+   Images written before orders were recorded decode as order 0 — only
+   ever consumed by the legacy roll-forward path, which ignores it. *)
+let drop_order_shift = 56
+let drop_off_mask = (1 lsl drop_order_shift) - 1
+
+let write_drop dev ~salt ~at ~off ~order =
+  D.write_u64 dev (at + 8)
+    (Int64.of_int (off lor (order lsl drop_order_shift)));
   seal dev ~salt ~at ~kind:kind_drop ~body_len:body_len_drop
 
 let corrupt ~at fmt =
@@ -124,7 +134,9 @@ let read dev ~salt ~at =
   end
   else if kind = kind_drop then begin
     verify dev ~salt ~at ~stored_crc ~body_len:body_len_drop;
-    (Drop { off }, drop_entry_size)
+    ( Drop
+        { off = off land drop_off_mask; order = off lsr drop_order_shift },
+      drop_entry_size )
   end
   else corrupt ~at "bad kind %d" kind
 

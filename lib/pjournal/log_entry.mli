@@ -20,7 +20,7 @@
     - terminator: [0] (the whole word is zero)
     - [Data]:  [kind=1+crc | target offset | length | saved bytes, padded to 8]
     - [Alloc]: [kind=2+crc | block offset  | order]
-    - [Drop]:  [kind=3+crc | block offset]
+    - [Drop]:  [kind=3+crc | block offset, order packed in the top byte]
 
     The CRC covers the body — everything after the kind word except a
     [Data] entry's padding.
@@ -32,8 +32,11 @@ type t =
           copied back to [off] on abort. *)
   | Alloc of { off : int; order : int }
       (** Allocation intent: block at [off] must be freed on abort. *)
-  | Drop of { off : int }
-      (** Deferred free: block at [off] must be freed at commit. *)
+  | Drop of { off : int; order : int }
+      (** Deferred free: the order-[order] block at [off] must be freed at
+          commit.  The order lets recovery re-mark the block's table byte
+          when a crash interrupted the batched clear flush (images from
+          before orders were recorded decode as order 0). *)
 
 val kind_term : int
 (** Tail terminator: a full zero word ends the entry stream. *)
@@ -70,7 +73,8 @@ val write_data : Pmem.Device.t -> salt:salt -> at:int -> off:int -> len:int -> u
 val write_alloc :
   Pmem.Device.t -> salt:salt -> at:int -> off:int -> order:int -> unit
 
-val write_drop : Pmem.Device.t -> salt:salt -> at:int -> off:int -> unit
+val write_drop :
+  Pmem.Device.t -> salt:salt -> at:int -> off:int -> order:int -> unit
 
 val write_jump : Pmem.Device.t -> at:int -> unit
 (** Durably mark that the log continues in the next region (the writer

@@ -7,6 +7,7 @@ type stats = {
   data_restored : int;
   allocs_reverted : int;
   drops_applied : int;
+  drops_remarked : int;
   entries_skipped : int;
   drops_skipped : int;
 }
@@ -19,6 +20,7 @@ let empty_stats =
     data_restored = 0;
     allocs_reverted = 0;
     drops_applied = 0;
+    drops_remarked = 0;
     entries_skipped = 0;
     drops_skipped = 0;
   }
@@ -31,6 +33,7 @@ let add_stats a b =
     data_restored = a.data_restored + b.data_restored;
     allocs_reverted = a.allocs_reverted + b.allocs_reverted;
     drops_applied = a.drops_applied + b.drops_applied;
+    drops_remarked = a.drops_remarked + b.drops_remarked;
     entries_skipped = a.entries_skipped + b.entries_skipped;
     drops_skipped = a.drops_skipped + b.drops_skipped;
   }
@@ -39,16 +42,74 @@ let drop_slot_bytes = 16
 let phase_committing = 1L
 let hdr_size = 64
 
-(* Revert an allocation-table byte if it is still set (idempotent). *)
+(* Revert an allocation-table byte if it is still set (idempotent).
+   Recovery manages no batched line set, so the clear is persisted
+   one-shot. *)
 let clear_if_live table off =
   match Palloc.Alloc_table.index_of_offset table off with
   | exception Invalid_argument _ -> false (* wild offset on a corrupt image *)
   | idx -> (
       match Palloc.Alloc_table.order_at table ~idx with
       | Some _ ->
-          Palloc.Alloc_table.clear table ~idx;
+          Palloc.Alloc_table.clear_durable table ~idx;
           true
       | None -> false)
+
+(* Scan the drop area for salt-valid slots.  Slots are consed downward
+   from the slot end and each carries the current epoch's checksum, so
+   the scan stops at the first word that is not a verifying [Drop].  The
+   header drop count is deliberately not trusted: a torn truncate can
+   zero it (8-byte store granularity) while salt-valid slots remain, and
+   the epoch bump that would invalidate those slots rides in the same
+   line and may equally not have landed. *)
+let scan_drops dev table ~base ~size ~salt =
+  let capacity = size / 4 / drop_slot_bytes in
+  let rec go i acc =
+    if i > capacity then List.rev acc
+    else
+      let at = base + size - (i * drop_slot_bytes) in
+      match Log_entry.read dev ~salt ~at with
+      | Log_entry.Drop { off; order }, _ -> (
+          match Palloc.Alloc_table.index_of_offset table off with
+          | exception Invalid_argument _ -> List.rev acc
+          | idx -> go (i + 1) ((idx, order) :: acc))
+      | (Log_entry.Data _ | Log_entry.Alloc _), _ -> List.rev acc
+      | exception Invalid_argument _ -> List.rev acc
+  in
+  go 1 []
+
+(* Roll BACK deferred frees whose batched clear flush partially landed.
+   Drop slots become durable at the commit fence, strictly before any
+   table clear can, so a salt-valid slot whose table byte is 0 names a
+   block the transaction held live at commit; rolling the transaction
+   back must re-mark it.  Runs before allocation reverts, so a block
+   allocated and freed in the same transaction nets out free.
+   Idempotent: only bytes currently 0 are rewritten.
+
+   [rollback] is the caller's verdict on the transaction.  With sealed
+   entries still walkable the transaction is being rolled back, so every
+   cleared drop is re-marked.  With no walkable entries the table bytes
+   themselves are the evidence: a mix of live and cleared bytes can only
+   be the interrupted clear flush of a free-only transaction (a
+   transaction {e with} entries reaches its truncate — the only thing
+   that invalidates the log — strictly after the clear fence), so the
+   cleared minority is re-marked; all-cleared means the frees fully
+   applied and the committed outcome is kept — re-marking then could
+   resurrect the frees of a committed transaction whose truncate tore. *)
+let remark_drops table slots ~rollback =
+  let cleared =
+    List.filter
+      (fun (idx, _) -> Palloc.Alloc_table.order_at table ~idx = None)
+      slots
+  in
+  let any_live = List.length cleared < List.length slots in
+  if cleared = [] || not (rollback || any_live) then 0
+  else begin
+    List.iter
+      (fun (idx, order) -> Palloc.Alloc_table.mark_durable table ~idx ~order)
+      cleared;
+    List.length cleared
+  end
 
 (* A corrupt image can carry a wild or cyclic spill chain; treat it as
    empty — the repairing fsck is the tool that reclaims such wreckage. *)
@@ -101,7 +162,8 @@ let recover_slot dev table ~base ~size =
     for i = 1 to ndrops do
       let at = base + size - (i * drop_slot_bytes) in
       match Log_entry.read dev ~salt ~at with
-      | Log_entry.Drop { off }, _ -> if clear_if_live table off then incr applied
+      | Log_entry.Drop { off; order = _ }, _ ->
+          if clear_if_live table off then incr applied
       | (Log_entry.Data _ | Log_entry.Alloc _), _ -> incr skipped
       | exception Invalid_argument _ -> incr skipped
     done;
@@ -125,7 +187,17 @@ let recover_slot dev table ~base ~size =
     in
     let torn = match reason with Log_entry.Terminator -> false | _ -> true in
     if visited > 0 then begin
-      (* In-flight transaction: undo newest-first. *)
+      (* In-flight transaction: undo newest-first.  First roll back any
+         deferred frees whose batched clear flush partially landed
+         (possible only after the commit fence made the drop slots
+         durable), so a block allocated and freed in the same
+         transaction is live again before the allocation revert frees
+         it. *)
+      let remarked =
+        remark_drops table
+          (scan_drops dev table ~base ~size ~salt)
+          ~rollback:true
+      in
       let restored = ref 0 and reverted = ref 0 in
       List.iter
         (fun e ->
@@ -151,20 +223,30 @@ let recover_slot dev table ~base ~size =
         rolled_back = 1;
         data_restored = !restored;
         allocs_reverted = !reverted;
+        drops_remarked = remarked;
         entries_skipped = (if torn then 1 else 0);
       }
     end
     else begin
       (* No durable entries.  Scrub any residue — a torn tail, a stale
-         phase/advisory/drop field, or an orphaned spill chain left by a
-         crash mid-seal or mid-truncate. *)
+         phase/advisory/drop field, salt-valid drop slots, or an
+         orphaned spill chain left by a crash mid-seal or mid-truncate.
+         A free-only transaction seals no entries at all, so an
+         interrupted clear flush lands in this branch too:
+         [remark_drops ~rollback:false] rolls its partial clears back
+         and keeps fully-applied ones, and the truncate's epoch bump
+         then invalidates the surviving slots. *)
+      let drops = scan_drops dev table ~base ~size ~salt in
+      let remarked = remark_drops table drops ~rollback:false in
       if
-        torn || phase <> 0L || advisory <> 0 || ndrops <> 0
+        torn || phase <> 0L || advisory <> 0 || ndrops <> 0 || drops <> []
         || spill_chain_or_empty dev ~slot_base:base <> []
       then truncate dev table ~base;
       {
         empty_stats with
         slots_scanned = 1;
+        rolled_back = (if remarked > 0 then 1 else 0);
+        drops_remarked = remarked;
         entries_skipped = (if torn then 1 else 0);
       }
     end

@@ -4,15 +4,23 @@
     restart) and {e before} the buddy allocator rebuilds its volatile free
     lists, since recovery edits allocation-table bytes directly.
 
-    A slot in phase [Committing] had durably decided to commit: its drop
-    entries are re-applied (idempotent) and the slot is truncated.  Any
-    other slot is walked to its checksummed tail
+    Each slot is walked to its checksummed tail
     ({!Log_entry.walk_to_tail}); if any sealed entries are found the
     transaction was in flight: data entries are restored newest-first,
-    logged allocations are reverted, drops are discarded.  The header
-    entry count is advisory and never trusted.  Recovery itself is
-    idempotent, so a crash during recovery is handled by running it
-    again.
+    logged allocations are reverted, and the rollback {e re-marks} any
+    drop-record offsets whose table bytes an interrupted batched clear
+    already zeroed (the drop records are durable strictly before any
+    clear, and each carries the block's order).  A slot with no walkable
+    entries but cleared drop-record offsets re-marks only a {e partial}
+    clear — that can only be an interrupted free-only truncate, whose
+    commit was never acknowledged; an {e all-cleared} drop area belongs
+    to a committed transaction whose truncate tore and keeps its
+    outcome.  The header entry and drop counts are advisory and never
+    trusted — the drop area is scanned until the first non-verifying
+    record.  A legacy slot in phase [Committing] (older images only)
+    had durably decided to commit: its drops are re-applied (idempotent)
+    and the slot is truncated.  Recovery itself is idempotent, so a
+    crash during recovery is handled by running it again.
 
     Media faults: every entry carries a salted checksum ({!Log_entry}).
     A tail word that fails verification ends the valid prefix — it and
@@ -33,6 +41,9 @@ type stats = {
   data_restored : int;  (** data undo entries applied *)
   allocs_reverted : int;  (** allocations rolled back *)
   drops_applied : int;  (** deferred frees re-applied *)
+  drops_remarked : int;
+      (** deferred frees rolled back — table bytes re-marked after an
+          interrupted batched clear flush *)
   entries_skipped : int;  (** slots whose torn tail write was discarded *)
   drops_skipped : int;  (** drop entries discarded as torn/corrupt *)
 }

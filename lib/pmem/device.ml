@@ -356,13 +356,22 @@ let flush t off len =
     end
   end
 
+(* WPQ entries in ascending line order.  Draining through a sorted list
+   (rather than [Hashtbl.iter], whose order depends on hashing history)
+   makes fence semantics and — more importantly — the RNG consumption of
+   [power_cycle] deterministic for a given seed, so torn-write injection
+   sweeps are bit-reproducible across runs. *)
+let wpq_sorted t =
+  let entries = Hashtbl.fold (fun l snap acc -> (l, snap) :: acc) t.wpq [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) entries
+
 let fence t =
   check_alive t;
   Mutex.lock t.lock;
   persist_point_locked t;
   Atomic.incr t.fences;
   let drained = ref 0 in
-  let drain l snap =
+  let drain (l, snap) =
     Atomic.incr t.fence_lines;
     incr drained;
     Bytes.blit snap 0 t.durable (l lsl line_shift) (Bytes.length snap);
@@ -371,7 +380,7 @@ let fence t =
     | c when c = st_flushed_dirty -> Bytes.unsafe_set t.state l st_dirty
     | _ -> ()
   in
-  Hashtbl.iter drain t.wpq;
+  List.iter drain (wpq_sorted t);
   Hashtbl.reset t.wpq;
   Mutex.unlock t.lock;
   if Pr.on () then Pr.emit (Pr.Fence { dev = t.id; ns = simulated_ns t });
@@ -398,7 +407,7 @@ let power_cycle t =
      set, a line's write-back can additionally be interrupted mid-line:
      media guarantees 8-byte atomicity only, so each u64 word of the line
      independently lands new or stays old. *)
-  let maybe_drain l snap =
+  let maybe_drain (l, snap) =
     let off = l lsl line_shift in
     let len = Bytes.length snap in
     if t.torn_write_prob > 0.0 && Random.State.float t.rng 1.0 < t.torn_write_prob
@@ -413,7 +422,7 @@ let power_cycle t =
     end
     else if Random.State.bool t.rng then Bytes.blit snap 0 t.durable off len
   in
-  Hashtbl.iter maybe_drain t.wpq;
+  List.iter maybe_drain (wpq_sorted t);
   Hashtbl.reset t.wpq;
   Bytes.blit t.durable 0 t.view 0 t.size;
   Bytes.fill t.state 0 t.nlines st_clean;

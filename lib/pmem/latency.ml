@@ -21,7 +21,18 @@ type t = {
    word, and the count's share of the paper's DataLog figure moved into
    the commit-time advisory write.  TxNop is pure volatile bookkeeping
    in the paper (pre-allocated journals); we charge the fixed
-   transaction entry/exit cost in the journal layer instead. *)
+   transaction entry/exit cost in the journal layer instead.
+
+   Steady-state per-transaction persist budget (corundum engine), after
+   coalescing the allocation-table lines into the commit fence and
+   skipping the advisory drop count when a transaction frees nothing:
+   update = 3 flushes / 3 fences (seal, commit targets, truncate);
+   alloc+write = 4 / 3 (one extra mark-line flush rides the commit
+   fence); free = 4 / 3 (drop-area flush rides the commit fence, the
+   clear-line flush rides the truncate fence).  Table marks and clears
+   are dirty-only at mutation time — they only become durable under a
+   commit or truncate fence — so the allocator adds flushes, never
+   fences, to a transaction. *)
 
 let optane =
   {

@@ -129,6 +129,12 @@ let () =
           Alcotest.test_case "vec ops x3 survival samples" `Slow
             (sweep_clean ~survival_samples:3 "vec_ops_samples" (fun () ->
                  Crashtest.Scenario.vec_ops ()));
+          Alcotest.test_case "alloc churn (exhaustive)" `Slow
+            (sweep_clean "alloc_churn" (fun () ->
+                 Crashtest.Scenario.alloc_churn ()));
+          Alcotest.test_case "alloc churn x2 survival samples" `Slow
+            (sweep_clean ~survival_samples:2 "alloc_churn_samples" (fun () ->
+                 Crashtest.Scenario.alloc_churn ()));
         ] );
       ( "properties",
         [

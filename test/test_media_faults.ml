@@ -388,6 +388,46 @@ let test_hand_built_damaged_images () =
       ("stale advisory", damage_stale_advisory, 0);
     ]
 
+(* --- marked-but-unlogged table line ------------------------------------ *)
+
+(* The mark-after-seal invariant guarantees a durable table mark always
+   has a durable undo entry behind it (marks are dirty-only until the
+   commit fence, and the entry sealed strictly earlier).  Hand-build the
+   forbidden state anyway — a durable mark with no sealed entry, the
+   image a buggy or legacy writer could leave — and check the failure
+   mode is graceful: recovery finds nothing to roll back and invents no
+   work, the buddy rebuild still tiles the heap around the orphan block,
+   committed data survives, and the damage is bounded to a {e
+   detectable} leak (one more allocator-live block than before) rather
+   than corruption. *)
+let test_marked_unlogged_line () =
+  let _p, dev, check_data = build_pool () in
+  let table_base, heap_base, heap_len = pool_layout dev in
+  let stripes = pool_config.Pool_impl.nslots in
+  let buddy = B.attach ~stripes dev ~table_base ~heap_base ~heap_len in
+  let live0 = Palloc.Heap_walk.live_count buddy in
+  (* a direct allocator mark, outside any transaction: durable table
+     byte, no journal entry anywhere *)
+  ignore (B.alloc buddy 64);
+  D.power_cycle dev;
+  let table = T.attach dev ~table_base ~heap_base ~heap_len in
+  let stats =
+    R.recover dev table ~journal_base:slot0 ~slot_size
+      ~nslots:pool_config.Pool_impl.nslots
+  in
+  check_int "nothing rolled back" 0 stats.R.rolled_back;
+  check_int "nothing reverted" 0 stats.R.allocs_reverted;
+  check_int "nothing re-marked" 0 stats.R.drops_remarked;
+  let buddy2 = B.attach ~stripes dev ~table_base ~heap_base ~heap_len in
+  (match Palloc.Heap_walk.check buddy2 with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "heap no longer tiles: %s" m);
+  check_int "orphan visible as a leak" (live0 + 1)
+    (Palloc.Heap_walk.live_count buddy2);
+  check_data ();
+  check_bool "fsck: leak is not corruption" true
+    (Pool_check.ok (Pool_check.check_device dev))
+
 (* --- torn sweep stays silent-corruption free -------------------------- *)
 
 let test_torn_sweep_clean () =
@@ -401,7 +441,7 @@ let test_torn_sweep_clean () =
       if not (Crashtest.Injector.is_clean r) then
         Alcotest.failf "%s: %s" name
           (Format.asprintf "%a" Crashtest.Injector.pp_result r))
-    [ "transfer"; "kvstore" ]
+    [ "transfer"; "kvstore"; "alloc_churn" ]
 
 let () =
   Alcotest.run "corundum media faults"
@@ -434,6 +474,8 @@ let () =
           Alcotest.test_case "read-only open" `Quick test_read_only_open;
           Alcotest.test_case "hand-built damaged images" `Quick
             test_hand_built_damaged_images;
+          Alcotest.test_case "marked-but-unlogged line" `Quick
+            test_marked_unlogged_line;
         ] );
       ( "sweep",
         [ Alcotest.test_case "torn sweep clean" `Quick test_torn_sweep_clean ] );

@@ -192,10 +192,10 @@ let test_no_subscriber_zero_events () =
 (* --- flush/fence attribution known answer ----------------------------- *)
 
 (* One warm committed 8-byte Pbox.set under the Corundum engine costs
-   exactly (checksummed-tail protocol: one persist per log entry):
+   exactly (checksummed-tail protocol + coalesced allocator persists):
      seal_entry:  persist(entry + terminator)          = 1 flush,  1 fence
-     commit:      flush(target line) + flush(advisory
-                  count) ... fence                     = 2 flushes, 1 fence
+     commit:      flush(target line) ... fence         = 1 flush,  1 fence
+                  (no drops: the advisory-count persist is skipped)
      truncate:    persist(header + terminator)         = 1 flush,  1 fence
    The first set in a pool pays the same (dedup tables are per-tx), so a
    warm-up only isolates the root-creation traffic. *)
@@ -210,7 +210,7 @@ let test_pbox_update_flush_fence_counts () =
   let s0 = D.stats dev in
   P.transaction (fun j -> Pbox.set root 2 j);
   let s1 = D.stats dev in
-  check_int "flush calls for one committed update" 4
+  check_int "flush calls for one committed update" 3
     (s1.D.flush_calls - s0.D.flush_calls);
   check_int "fences for one committed update" 3 (s1.D.fences - s0.D.fences);
   check_int "entry bytes logged by one update" 32
@@ -234,7 +234,7 @@ let test_tx_span_attribution () =
   let args = (List.hd tx_events).Tr.args in
   let arg k = List.assoc k args in
   check_bool "committed" true (arg "outcome" = "commit");
-  check_int "flushes attributed" 4 (int_of_string (arg "flushes"));
+  check_int "flushes attributed" 3 (int_of_string (arg "flushes"));
   check_int "fences attributed" 3 (int_of_string (arg "fences"));
   check_int "logged bytes attributed" 32 (int_of_string (arg "logged_bytes"));
   check_int "tx.count metric" 1
