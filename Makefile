@@ -1,6 +1,6 @@
 # Corundum-OCaml — top-level targets (the artifact's run.sh/results.sh).
 
-.PHONY: all build test eval tables micro perf scale crash bench doc clean
+.PHONY: all build test eval tables micro perf scale crash pmodel bench doc clean
 
 all: build
 
@@ -27,6 +27,12 @@ scale:
 
 crash:
 	dune exec bin/crash_sweep.exe -- --samples 2
+
+# Exhaustive crash-state model check + seeded-bug controls + trace conformance.
+pmodel:
+	dune exec bin/pmodel_check.exe -- check --baseline PMODEL_baseline.json
+	dune exec bin/pmodel_check.exe -- controls
+	dune exec bin/pmodel_check.exe -- conform transfer kvstore
 
 bench:
 	dune exec bench/main.exe

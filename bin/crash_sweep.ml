@@ -44,7 +44,46 @@ let write_crash_image path countdown =
       Printf.printf "wrote pre-recovery crash image %s (crash at persist %d)\n"
         path countdown
 
-let run_sweep limit samples torn psan psan_json names =
+(* Replay one failing branch from the repro line a sweep printed:
+   "scenario=NAME point=K sample=S torn=P [rpoint=M]". *)
+let run_repro spec_str =
+  let module I = Crashtest.Injector in
+  let scenario =
+    List.find_map
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | Some i when String.sub tok 0 i = "scenario" ->
+            Some (String.sub tok (i + 1) (String.length tok - i - 1))
+        | _ -> None)
+      (String.split_on_char ' ' (String.trim spec_str))
+  in
+  match scenario with
+  | None ->
+      Printf.eprintf "crash_sweep: --repro needs a scenario=NAME field\n";
+      exit 2
+  | Some name -> (
+      match
+        (List.assoc_opt name Crashtest.Scenario.all, I.spec_of_string spec_str)
+      with
+      | None, _ ->
+          Printf.eprintf "crash_sweep: unknown scenario %S; known: %s\n" name
+            (String.concat ", " (List.map fst Crashtest.Scenario.all));
+          exit 2
+      | _, Error e ->
+          Printf.eprintf "crash_sweep: bad repro spec: %s\n" e;
+          exit 2
+      | Some make, Ok spec -> (
+          match I.replay make spec with
+          | Ok () ->
+              Printf.printf "%s %s: verified clean\n" name
+                (Format.asprintf "%a" I.pp_spec spec)
+          | Error msgs ->
+              Printf.printf "%s %s: FAILED\n" name
+                (Format.asprintf "%a" I.pp_spec spec);
+              List.iter (fun m -> Printf.printf "  %s\n" m) msgs;
+              exit 1))
+
+let run_sweep limit samples torn recovery psan psan_json names =
   if not (torn >= 0.0 && torn <= 1.0) then begin
     Printf.eprintf "crash_sweep: --torn must be a probability in [0, 1]\n";
     exit 2
@@ -67,10 +106,16 @@ let run_sweep limit samples torn psan psan_json names =
     (fun (name, make) ->
       let r =
         Crashtest.Injector.sweep ?limit ~survival_samples:samples
-          ~torn_prob:torn make
+          ~torn_prob:torn ~recovery_crashes:recovery make
       in
       Printf.printf "%-14s %s\n" name
         (Format.asprintf "%a" Crashtest.Injector.pp_result r);
+      (* every failure is one command to replay deterministically *)
+      List.iter
+        (fun (spec, _) ->
+          Printf.printf "  repro: crash_sweep --repro 'scenario=%s %s'\n" name
+            (Crashtest.Injector.spec_to_string spec))
+        r.Crashtest.Injector.failures;
       if not (Crashtest.Injector.is_clean r) then failed := true)
     scenarios;
   if psan_on then begin
@@ -87,10 +132,12 @@ let run_sweep limit samples torn psan psan_json names =
   end;
   if !failed then exit 1
 
-let run limit samples torn psan psan_json crash_image crash_at names =
-  match crash_image with
-  | Some path -> write_crash_image path crash_at
-  | None -> run_sweep limit samples torn psan psan_json names
+let run limit samples torn recovery psan psan_json crash_image crash_at repro
+    names =
+  match (repro, crash_image) with
+  | Some spec, _ -> run_repro spec
+  | None, Some path -> write_crash_image path crash_at
+  | None, None -> run_sweep limit samples torn recovery psan psan_json names
 
 open Cmdliner
 
@@ -116,6 +163,24 @@ let torn_arg =
 
 let names_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"SCENARIO" ~doc:"Scenario names.")
+
+let recovery_arg =
+  Arg.(
+    value & flag
+    & info [ "recovery" ]
+        ~doc:
+          "Also crash the recovery of every injected crash at each of its \
+           own persist points, re-run recovery from the nested crash, and \
+           verify (recovery restartability).")
+
+let repro_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "repro" ] ~docv:"SPEC"
+        ~doc:
+          "Replay exactly one failing branch from the repro line a sweep \
+           printed: 'scenario=NAME point=K sample=S torn=P [rpoint=M]'.")
 
 let psan_arg =
   Arg.(
@@ -156,7 +221,8 @@ let crash_at_arg =
 let cmd =
   Cmd.v
     (Cmd.info "crash_sweep" ~doc:"Failure-injection sweep over all scenarios")
-    Term.(const run $ limit_arg $ samples_arg $ torn_arg $ psan_arg
-          $ psan_json_arg $ crash_image_arg $ crash_at_arg $ names_arg)
+    Term.(const run $ limit_arg $ samples_arg $ torn_arg $ recovery_arg
+          $ psan_arg $ psan_json_arg $ crash_image_arg $ crash_at_arg
+          $ repro_arg $ names_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,332 @@
+(* Exhaustive crash-state model checking of the journal/recovery
+   protocol, plus trace-driven conformance of the real implementation
+   against the model.
+
+     pmodel_check check                 # full space, zero violations expected
+     pmodel_check check --json stats.json --baseline PMODEL_baseline.json
+     pmodel_check controls              # every seeded bug must be caught
+     pmodel_check conform transfer kvstore
+     pmodel_check replay 'correct:1:0:12:7:3'
+
+   [check] exits non-zero on any counterexample, and (with --baseline)
+   when the explored crash-branch count drops below the committed
+   baseline — a shrinking space means the checker lost coverage. *)
+
+module Ms = Pmodel.Mstate
+module Mc = Pmodel.Mcheck
+module Mv = Pmodel.Mvariant
+module J = Ptelemetry.Json
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc
+
+let stats_json variant (s : Mc.stats) ~violations =
+  J.Obj
+    (("schema", J.Str "corundum-pmodel-v1")
+     :: ("variant", J.Str (Mv.name variant))
+     :: ("violations", J.Num (float_of_int violations))
+     :: List.map
+          (fun (k, v) -> (k, J.Num (float_of_int v)))
+          (Mc.stats_fields s))
+
+let print_stats (s : Mc.stats) =
+  Printf.printf
+    "%d programs, %d crash points, %d crash branches (%d distinct states), \
+     %d recovery runs, %d nested recovery points (%d branches)\n"
+    s.Mc.programs s.Mc.crash_points s.Mc.crash_branches s.Mc.distinct_states
+    s.Mc.recovery_runs s.Mc.nested_points s.Mc.nested_branches
+
+let run_check variant_name no_nested json baseline =
+  match Mv.of_name variant_name with
+  | None ->
+      Printf.eprintf "pmodel_check: unknown variant %S; known: %s\n"
+        variant_name
+        (String.concat ", " (List.map Mv.name Mv.all));
+      exit 2
+  | Some variant -> (
+      let t0 = Unix.gettimeofday () in
+      let r = Mc.run ~nested:(not no_nested) variant in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "variant %s: %s\n" (Mv.name variant) (Mv.describe variant);
+      print_stats r.Mc.stats;
+      Printf.printf "%.2fs\n" dt;
+      (match json with
+      | None -> ()
+      | Some path ->
+          write_json path
+            (stats_json variant r.Mc.stats
+               ~violations:(match r.Mc.cex with None -> 0 | Some _ -> 1)));
+      (match baseline with
+      | None -> ()
+      | Some path -> (
+          match J.mem "crash_branches" (J.of_string (In_channel.with_open_text path In_channel.input_all)) with
+          | Some v when J.num v <> None ->
+              let base = int_of_float (Option.get (J.num v)) in
+              if r.Mc.stats.Mc.crash_branches < base then begin
+                Printf.eprintf
+                  "pmodel_check: crash-branch count regressed: %d < baseline \
+                   %d (checker lost coverage)\n"
+                  r.Mc.stats.Mc.crash_branches base;
+                exit 1
+              end
+              else
+                Printf.printf "baseline ok: %d crash branches >= %d\n"
+                  r.Mc.stats.Mc.crash_branches base
+          | _ ->
+              Printf.eprintf "pmodel_check: %s: no crash_branches field\n" path;
+              exit 2));
+      match r.Mc.cex with
+      | None -> Printf.printf "no violations\n"
+      | Some c ->
+          Format.printf "%a" Mc.pp_cex c;
+          exit 1)
+
+(* Positive controls: every deliberately broken protocol variant must
+   yield a counterexample, or the checker itself has gone blind. *)
+let run_controls json =
+  let results =
+    List.map
+      (fun v ->
+        let r = Mc.run ~nested:false v in
+        (v, r))
+      Mv.broken
+  in
+  let missed = ref 0 in
+  List.iter
+    (fun (v, (r : Mc.report)) ->
+      match r.Mc.cex with
+      | Some c ->
+          Printf.printf "%-22s caught: %s  (replay '%s')\n" (Mv.name v)
+            c.Mc.invariant (Mc.repro_string c)
+      | None ->
+          incr missed;
+          Printf.printf "%-22s MISSED: no counterexample for a seeded bug\n"
+            (Mv.name v))
+    results;
+  (match json with
+  | None -> ()
+  | Some path ->
+      write_json path
+        (J.Obj
+           [
+             ("schema", J.Str "corundum-pmodel-controls-v1");
+             ( "controls",
+               J.List
+                 (List.map
+                    (fun (v, (r : Mc.report)) ->
+                      J.Obj
+                        [
+                          ("variant", J.Str (Mv.name v));
+                          ("caught", J.Bool (r.Mc.cex <> None));
+                          ( "invariant",
+                            match r.Mc.cex with
+                            | Some c -> J.Str c.Mc.invariant
+                            | None -> J.Null );
+                        ])
+                    results) );
+           ]));
+  if !missed > 0 then exit 1
+
+let run_replay spec =
+  match Mc.replay spec with
+  | Error e ->
+      Printf.eprintf "pmodel_check: %s\n" e;
+      exit 2
+  | Ok None -> Printf.printf "branch recovers to a legal state\n"
+  | Ok (Some c) ->
+      Format.printf "%a" Mc.pp_cex c;
+      exit 1
+
+(* Conformance: run real scenarios with the probe bus captured and
+   validate the event stream against the model's protocol order.  Each
+   scenario gets a clean leg and several crashed legs (crash
+   mid-[run], then reopen) so recovery's events are judged too. *)
+let conform_leg make leg =
+  let module D = Pmem.Device in
+  Pmodel.Mconform.capture (fun () ->
+      let module I = (val make () : Crashtest.Injector.INSTANCE) in
+      I.setup ();
+      match leg with
+      | `Clean -> I.run ()
+      | `Crash k -> (
+          D.set_crash_countdown (I.device ()) k;
+          match I.run () with
+          | () -> D.set_crash_countdown (I.device ()) 0
+          | exception D.Crashed ->
+              D.reseed (I.device ()) (0xC0 + k);
+              I.reopen ()))
+
+let run_conform json names =
+  let names = match names with [] -> [ "transfer"; "kvstore" ] | ns -> ns in
+  let failed = ref false in
+  let results =
+    List.map
+      (fun name ->
+        match List.assoc_opt name Crashtest.Scenario.all with
+        | None ->
+            Printf.eprintf "pmodel_check: unknown scenario %S; known: %s\n"
+              name
+              (String.concat ", " (List.map fst Crashtest.Scenario.all));
+            exit 2
+        | Some make ->
+            let points = Crashtest.Injector.points_of_dry_run make in
+            let legs =
+              `Clean
+              :: List.map
+                   (fun k -> `Crash k)
+                   (List.sort_uniq compare
+                      [ 1; points / 3; points / 2; 2 * points / 3; points - 1 ]
+                   |> List.filter (fun k -> k >= 1))
+            in
+            let verdicts =
+              List.map
+                (fun leg ->
+                  let events, () = conform_leg make leg in
+                  let v = Pmodel.Mconform.validate events in
+                  let leg_name =
+                    match leg with
+                    | `Clean -> "clean"
+                    | `Crash k -> Printf.sprintf "crash@%d" k
+                  in
+                  Printf.printf "%-14s %-9s %s" name leg_name
+                    (Format.asprintf "%a" Pmodel.Mconform.pp_verdict v);
+                  if not (Pmodel.Mconform.ok v) then failed := true;
+                  (leg_name, v))
+                legs
+            in
+            (name, verdicts))
+      names
+  in
+  (match json with
+  | None -> ()
+  | Some path ->
+      write_json path
+        (J.Obj
+           [
+             ("schema", J.Str "corundum-conform-v1");
+             ( "scenarios",
+               J.List
+                 (List.map
+                    (fun (name, verdicts) ->
+                      J.Obj
+                        [
+                          ("scenario", J.Str name);
+                          ( "legs",
+                            J.List
+                              (List.map
+                                 (fun (leg, v) ->
+                                   J.Obj
+                                     [
+                                       ("leg", J.Str leg);
+                                       ( "events",
+                                         J.Num (float_of_int v.Pmodel.Mconform.events) );
+                                       ( "txs",
+                                         J.Num (float_of_int v.Pmodel.Mconform.txs) );
+                                       ( "truncates",
+                                         J.Num
+                                           (float_of_int v.Pmodel.Mconform.truncates) );
+                                       ( "drop_applies",
+                                         J.Num
+                                           (float_of_int
+                                              v.Pmodel.Mconform.drop_applies) );
+                                       ( "violations",
+                                         J.List
+                                           (List.map
+                                              (fun (i, m) ->
+                                                J.Obj
+                                                  [
+                                                    ("event", J.Num (float_of_int i));
+                                                    ("message", J.Str m);
+                                                  ])
+                                              v.Pmodel.Mconform.violations) );
+                                     ])
+                                 verdicts) );
+                        ])
+                    results) );
+           ]));
+  if !failed then exit 1
+
+open Cmdliner
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write machine-readable results to $(docv).")
+
+let variant_arg =
+  Arg.(
+    value & opt string "correct"
+    & info [ "variant" ] ~docv:"NAME"
+        ~doc:
+          "Protocol variant to check: correct, term-before-body, \
+           truncate-before-clears, trust-advisory.")
+
+let no_nested_arg =
+  Arg.(
+    value & flag
+    & info [ "no-nested" ]
+        ~doc:"Skip crashing recovery at its own persist points (faster).")
+
+let baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:
+          "Fail if the explored crash-branch count drops below the \
+           crash_branches field of this committed stats file.")
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Enumerate every crash point of every modeled program, every \
+          torn-word outcome, run modeled recovery, and assert durable \
+          linearizability.")
+    Term.(const run_check $ variant_arg $ no_nested_arg $ json_arg $ baseline_arg)
+
+let controls_cmd =
+  Cmd.v
+    (Cmd.info "controls"
+       ~doc:
+         "Check the deliberately broken protocol variants: each must \
+          produce a counterexample.")
+    Term.(const run_controls $ json_arg)
+
+let spec_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SPEC"
+        ~doc:"Repro spec (VARIANT:NSLOTS:SPLIT:PROG:POINT:MASK[:RPOINT:RMASK]).")
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay one crash branch from its repro spec.")
+    Term.(const run_replay $ spec_arg)
+
+let scenarios_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"SCENARIO" ~doc:"Scenario names (default: transfer kvstore).")
+
+let conform_cmd =
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Capture probe events from real scenarios (including crashed-and-\
+          recovered legs) and validate the implementation's protocol order \
+          against the model.")
+    Term.(const run_conform $ json_arg $ scenarios_arg)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "pmodel_check"
+       ~doc:"Crash-state model checker for the journal/recovery protocol")
+    [ check_cmd; controls_cmd; conform_cmd; replay_cmd ]
+
+let () = exit (Cmd.eval cmd)

@@ -38,18 +38,78 @@ let run_info check path =
     if not (Corundum.Pool_check.ok r) then exit 1
   end
 
-let run_fsck repair path =
+(* fsck exit codes: 0 = clean, 1 = corrupt but repairable (run with
+   --repair), 2 = unrepairable damage.  Without --repair the
+   classification comes from a dry-run repair on the in-memory image —
+   the file is never written back. *)
+let fsck_verdict_json ~path ~verdict (r : Corundum.Pool_check.report)
+    (unrepairable : Corundum.Pool_check.finding list) =
+  let open Ptelemetry.Json in
+  let finding_json (f : Corundum.Pool_check.finding) =
+    Obj
+      [
+        ("where", Str f.Corundum.Pool_check.where);
+        ("problem", Str f.Corundum.Pool_check.problem);
+      ]
+  in
+  Obj
+    [
+      ("schema", Str "corundum-fsck-v1");
+      ("pool", Str path);
+      ("ok", Bool (verdict = "clean" || verdict = "repaired"));
+      ("verdict", Str verdict);
+      ("findings", List (List.map finding_json r.Corundum.Pool_check.findings));
+      ( "slots_checked",
+        Num (float_of_int r.Corundum.Pool_check.slots_checked) );
+      ( "entries_checked",
+        Num (float_of_int r.Corundum.Pool_check.entries_checked) );
+      ( "blocks_checked",
+        Num (float_of_int r.Corundum.Pool_check.blocks_checked) );
+      ("unrepairable", List (List.map finding_json unrepairable));
+    ]
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Ptelemetry.Json.to_string json);
+  output_char oc '\n';
+  close_out oc
+
+let run_fsck repair json path =
   let dev = load path in
+  let finish ~verdict ~code r unrepairable =
+    (match json with
+    | None -> ()
+    | Some out -> write_json out (fsck_verdict_json ~path ~verdict r unrepairable));
+    if code <> 0 then exit code
+  in
   if repair then begin
     let r = Corundum.Pool_check.repair dev in
     Format.printf "%a" Corundum.Pool_check.pp_repair r;
     if r.Corundum.Pool_check.actions <> [] then Pmem.Device.save dev;
-    if not (Corundum.Pool_check.repaired r) then exit 1
+    if Corundum.Pool_check.repaired r then
+      finish ~verdict:"repaired" ~code:0 r.Corundum.Pool_check.post []
+    else
+      finish ~verdict:"unrepairable" ~code:2 r.Corundum.Pool_check.post
+        r.Corundum.Pool_check.unrepairable
   end
   else begin
     let r = Corundum.Pool_check.check_device dev in
     Format.printf "%a" Corundum.Pool_check.pp r;
-    if not (Corundum.Pool_check.ok r) then exit 1
+    if Corundum.Pool_check.ok r then finish ~verdict:"clean" ~code:0 r []
+    else begin
+      (* classify: would --repair fix it?  Dry run on the in-memory
+         image only; nothing is saved. *)
+      let rr = Corundum.Pool_check.repair dev in
+      if Corundum.Pool_check.repaired rr then begin
+        Format.printf "verdict: repairable (rerun with --repair)@.";
+        finish ~verdict:"repairable" ~code:1 r []
+      end
+      else begin
+        Format.printf "verdict: unrepairable@.";
+        finish ~verdict:"unrepairable" ~code:2 r
+          rr.Corundum.Pool_check.unrepairable
+      end
+    end
   end
 
 (* [heap]: attach the allocator read-only over the image and report the
@@ -185,11 +245,25 @@ let info_cmd =
     (Cmd.info "info" ~doc:"Print layout, root and occupancy (the default).")
     info_term
 
+let fsck_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ]
+        ~doc:
+          "Write a machine-readable verdict (schema corundum-fsck-v1) to \
+           $(docv): clean / repairable / unrepairable / repaired, with the \
+           findings."
+        ~docv:"FILE")
+
 let fsck_cmd =
   Cmd.v
     (Cmd.info "fsck"
-       ~doc:"Check a pool image for corruption; with --repair, fix it.")
-    Term.(const run_fsck $ repair_arg $ path_arg)
+       ~doc:
+         "Check a pool image for corruption; with --repair, fix it.  Exits \
+          0 when clean, 1 when corrupt but repairable, 2 on unrepairable \
+          damage.")
+    Term.(const run_fsck $ repair_arg $ fsck_json_arg $ path_arg)
 
 let probes_arg =
   Arg.(

@@ -158,8 +158,20 @@ let build ?(read_only = false) dev ~buddy ~nslots ~slot_size ~table_base
           ~base:(header_size + (i * slot_size))
           ~size:slot_size)
   in
-  if Pr.on () then
+  if Pr.on () then begin
     Pr.emit (Pr.Pool_attach { dev = D.id dev; heap_base; heap_len });
+    Pr.emit
+      (Pr.Pool_layout
+         {
+           dev = D.id dev;
+           journal_base = header_size;
+           slot_size;
+           nslots;
+           table_base;
+           heap_base;
+           heap_len;
+         })
+  end;
   {
     dev;
     buddy;

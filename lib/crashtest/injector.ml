@@ -8,11 +8,61 @@ module type INSTANCE = sig
   val verify : outcome:[ `Crashed of int | `Completed ] -> unit
 end
 
+(* One fully-determined crash branch: everything needed to replay it. *)
+type spec = {
+  point : int;  (* primary crash: countdown during [run] *)
+  sample : int;  (* WPQ survival-subset sample index *)
+  torn_prob : float;
+  recovery_point : int option;
+      (* nested crash: countdown during the [reopen] that recovers the
+         primary crash; recovery is then re-run to completion *)
+}
+
+let spec_to_string s =
+  let base =
+    Printf.sprintf "point=%d sample=%d torn=%g" s.point s.sample s.torn_prob
+  in
+  match s.recovery_point with
+  | Some m -> Printf.sprintf "%s rpoint=%d" base m
+  | None -> base
+
+(* Parse "key=value" pairs (whitespace-separated).  Unknown keys are
+   ignored so callers can carry extra fields (crash_sweep prefixes
+   "scenario=NAME") in the same line. *)
+let spec_of_string str =
+  let point = ref None
+  and sample = ref 1
+  and torn = ref 0.0
+  and rpoint = ref None in
+  let err = ref None in
+  List.iter
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | None -> ()
+      | Some i -> (
+          let k = String.sub tok 0 i
+          and v = String.sub tok (i + 1) (String.length tok - i - 1) in
+          try
+            match k with
+            | "point" -> point := Some (int_of_string v)
+            | "sample" -> sample := int_of_string v
+            | "torn" -> torn := float_of_string v
+            | "rpoint" -> rpoint := Some (int_of_string v)
+            | _ -> ()
+          with _ -> err := Some (Printf.sprintf "bad value in %S" tok)))
+    (String.split_on_char ' ' (String.trim str));
+  match (!err, !point) with
+  | Some e, _ -> Error e
+  | None, None -> Error "missing point=N"
+  | None, Some point ->
+      Ok { point; sample = !sample; torn_prob = !torn; recovery_point = !rpoint }
+
 type result = {
   points : int;
   crashes_injected : int;
+  recovery_crashes : int;
   torn_lines : int;
-  failures : (int * string) list;
+  failures : (spec * string) list;
 }
 
 let points_of_dry_run make =
@@ -32,69 +82,154 @@ let chosen_points ~points ~limit =
         (List.init l (fun i -> 1 + (i * (points - 1) / (max 1 (l - 1)))))
   | _ -> List.init points (fun i -> i + 1)
 
-let sweep ?limit ?(survival_samples = 1) ?(torn_prob = 0.0) ?(fsck = true) make
-    =
+(* Deterministic reseed salts; replay must derive the same values. *)
+let primary_seed spec = 0x5EED + (spec.point * 131) + spec.sample
+let nested_seed spec m = primary_seed spec + (m * 7919)
+
+(* Verify + structural fsck of a recovered instance; failures are
+   recorded against [spec]. *)
+let verify_recovered ~fsck (module I : INSTANCE) spec failures =
+  (match I.verify ~outcome:(`Crashed spec.point) with
+  | () -> ()
+  | exception e -> failures := (spec, Printexc.to_string e) :: !failures);
+  (* recovery must leave a structurally consistent image: a pool that
+     verifies but fails fsck has corruption waiting to bite *)
+  if fsck then begin
+    let report = Corundum.Pool_check.check_device (I.device ()) in
+    if not (Corundum.Pool_check.ok report) then
+      failures :=
+        (spec, Format.asprintf "post-recovery fsck: %a" Corundum.Pool_check.pp report)
+        :: !failures
+  end
+
+(* Run one branch on a fresh instance.  Returns [`No_crash] when the
+   schedule outlived the run, [`Recovery_done] when [spec.recovery_point]
+   exceeded recovery's own persist points (so the nested sweep for this
+   primary point is exhausted), and [`Injected] otherwise. *)
+let run_branch ~fsck make spec failures torn =
+  let module I = (val make () : INSTANCE) in
+  I.setup ();
+  let dev = I.device () in
+  if spec.torn_prob > 0.0 then D.set_torn_write_prob dev spec.torn_prob;
+  D.set_crash_countdown dev spec.point;
+  match I.run () with
+  | () ->
+      (* The schedule outlived the run (nondeterministic scenarios). *)
+      D.set_crash_countdown dev 0;
+      `No_crash
+  | exception D.Crashed -> begin
+      (* sample a different subset of surviving WPQ lines each time *)
+      D.reseed dev (primary_seed spec);
+      match spec.recovery_point with
+      | None ->
+          I.reopen ();
+          torn := !torn + (D.stats dev).D.torn_lines;
+          verify_recovered ~fsck (module I) spec failures;
+          `Injected
+      | Some m -> (
+          (* crash recovery itself at its [m]-th persist point, then
+             recover from THAT crash — recovery must be restartable *)
+          D.set_crash_countdown dev m;
+          match I.reopen () with
+          | () ->
+              D.set_crash_countdown dev 0;
+              `Recovery_done
+          | exception D.Crashed ->
+              D.reseed dev (nested_seed spec m);
+              D.set_crash_countdown dev 0;
+              (match I.reopen () with
+              | () ->
+                  torn := !torn + (D.stats dev).D.torn_lines;
+                  verify_recovered ~fsck (module I) spec failures
+              | exception e ->
+                  failures :=
+                    ( spec,
+                      Printf.sprintf "recovery not restartable after nested crash: %s"
+                        (Printexc.to_string e) )
+                    :: !failures);
+              `Injected)
+    end
+  | exception e ->
+      failures :=
+        ( spec,
+          Printf.sprintf "scenario failed before crash: %s" (Printexc.to_string e) )
+        :: !failures;
+      `No_crash
+
+(* Safety net: recovery persist points are few; if the nested loop runs
+   past this, the countdown is not being honored. *)
+let max_recovery_points = 10_000
+
+let sweep ?limit ?(survival_samples = 1) ?(torn_prob = 0.0) ?(fsck = true)
+    ?(recovery_crashes = false) make =
   let points = points_of_dry_run make in
   let failures = ref [] in
   let injected = ref 0 in
+  let rec_injected = ref 0 in
   let torn = ref 0 in
-  let try_point k sample =
-    let module I = (val make () : INSTANCE) in
-    I.setup ();
-    let dev = I.device () in
-    if torn_prob > 0.0 then D.set_torn_write_prob dev torn_prob;
-    D.set_crash_countdown dev k;
-    match I.run () with
-    | () ->
-        (* The schedule outlived the run (nondeterministic scenarios). *)
-        D.set_crash_countdown dev 0
-    | exception D.Crashed -> begin
-        incr injected;
-        (* sample a different subset of surviving WPQ lines each time *)
-        D.reseed dev (0x5EED + (k * 131) + sample);
-        I.reopen ();
-        torn := !torn + (D.stats dev).D.torn_lines;
-        (match I.verify ~outcome:(`Crashed k) with
-        | () -> ()
-        | exception e ->
-            failures := (k, Printexc.to_string e) :: !failures);
-        (* recovery must leave a structurally consistent image: a pool
-           that verifies but fails fsck has corruption waiting to bite *)
-        if fsck then begin
-          let report = Corundum.Pool_check.check_device (I.device ()) in
-          if not (Corundum.Pool_check.ok report) then
-            failures :=
-              ( k,
-                Format.asprintf "post-recovery fsck: %a" Corundum.Pool_check.pp
-                  report )
-              :: !failures
-        end
-      end
-    | exception e ->
-        failures :=
-          (k, Printf.sprintf "scenario failed before crash: %s" (Printexc.to_string e))
-          :: !failures
-  in
   List.iter
     (fun k ->
       for sample = 1 to max 1 survival_samples do
-        try_point k sample
+        let spec = { point = k; sample; torn_prob; recovery_point = None } in
+        (match run_branch ~fsck make spec failures torn with
+        | `Injected -> incr injected
+        | `No_crash | `Recovery_done -> ());
+        if recovery_crashes then begin
+          (* sweep the recovery of THIS crash point: crash it at each of
+             its own persist points until the countdown outlives it *)
+          let m = ref 1 and stop = ref false in
+          while (not !stop) && !m <= max_recovery_points do
+            let spec = { spec with recovery_point = Some !m } in
+            (match run_branch ~fsck make spec failures torn with
+            | `Injected -> incr rec_injected
+            | `No_crash | `Recovery_done -> stop := true);
+            incr m
+          done;
+          if !m > max_recovery_points then
+            failures :=
+              ( { spec with recovery_point = Some !m },
+                "recovery crash countdown never exhausted" )
+              :: !failures
+        end
       done)
     (chosen_points ~points ~limit);
   {
     points;
     crashes_injected = !injected;
+    recovery_crashes = !rec_injected;
     torn_lines = !torn;
     failures = List.rev !failures;
   }
 
+(* Replay exactly one branch from its spec (same seed derivation as
+   {!sweep}); [Ok ()] if it verifies, the failure messages otherwise. *)
+let replay ?(fsck = true) make spec =
+  let failures = ref [] and torn = ref 0 in
+  match run_branch ~fsck make spec failures torn with
+  | `No_crash -> Error [ "crash point out of range: the run completed" ]
+  | `Recovery_done ->
+      Error [ "recovery crash point out of range: recovery completed" ]
+  | `Injected -> (
+      match !failures with
+      | [] -> Ok ()
+      | fs -> Error (List.map snd fs))
+
 let is_clean r = r.failures = []
+
+let pp_spec ppf s =
+  Format.fprintf ppf "crash@%d" s.point;
+  (match s.recovery_point with
+  | Some m -> Format.fprintf ppf "/recovery@%d" m
+  | None -> ());
+  if s.sample <> 1 then Format.fprintf ppf " sample %d" s.sample;
+  if s.torn_prob > 0.0 then Format.fprintf ppf " torn %g" s.torn_prob
 
 let pp_result ppf r =
   Format.fprintf ppf
-    "%d persist points, %d crashes injected, %d torn lines, %d failures"
-    r.points r.crashes_injected r.torn_lines
+    "%d persist points, %d crashes injected (%d nested in recovery), %d torn \
+     lines, %d failures"
+    r.points r.crashes_injected r.recovery_crashes r.torn_lines
     (List.length r.failures);
   List.iter
-    (fun (k, msg) -> Format.fprintf ppf "@.  crash@%d: %s" k msg)
+    (fun (s, msg) -> Format.fprintf ppf "@.  %a: %s" pp_spec s msg)
     r.failures

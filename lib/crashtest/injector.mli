@@ -19,6 +19,7 @@ module type INSTANCE = sig
   (** The work under test; may be interrupted by {!Pmem.Device.Crashed}. *)
 
   val device : unit -> Pmem.Device.t
+
   val reopen : unit -> unit
   (** Power-cycle and recover. *)
 
@@ -26,18 +27,43 @@ module type INSTANCE = sig
   (** Raise (any exception) to signal a violated invariant. *)
 end
 
+type spec = {
+  point : int;  (** primary crash: persist-point countdown during [run] *)
+  sample : int;  (** survival-subset sample index (seeds the media RNG) *)
+  torn_prob : float;
+  recovery_point : int option;
+      (** crash recovery itself at this persist point of the [reopen]
+          that handles the primary crash, then recover from that crash *)
+}
+(** One fully-determined crash branch.  A failure's spec plus the
+    scenario name is a complete deterministic repro. *)
+
+val spec_to_string : spec -> string
+(** ["point=N sample=S torn=P [rpoint=M]"] — the repro line format. *)
+
+val spec_of_string : string -> (spec, string) Stdlib.result
+(** Parse {!spec_to_string} output.  Unknown [key=value] tokens are
+    ignored, so a line may carry extra fields (e.g. [scenario=NAME]). *)
+
 type result = {
   points : int;  (** persist points in the scenario's [run] *)
   crashes_injected : int;
+  recovery_crashes : int;
+      (** nested crashes injected inside recovery itself *)
   torn_lines : int;  (** cache lines that landed word-torn at the crash *)
-  failures : (int * string) list;  (** crash point, violation description *)
+  failures : (spec * string) list;  (** failing branch, violation *)
 }
+
+val points_of_dry_run : (unit -> (module INSTANCE)) -> int
+(** Instantiate the scenario once without a crash and count the persist
+    points its [run] executes (also verifies the crash-free outcome). *)
 
 val sweep :
   ?limit:int ->
   ?survival_samples:int ->
   ?torn_prob:float ->
   ?fsck:bool ->
+  ?recovery_crashes:bool ->
   (unit -> (module INSTANCE)) ->
   result
 (** Run the full sweep.  [limit] caps the number of injected crashes (the
@@ -54,11 +80,26 @@ val sweep :
     invariant-respecting state — the journal's sealed-entry ordering and
     checksums are exactly what makes that true.
 
+    [recovery_crashes] (default false) additionally crashes the
+    {e recovery} of every injected crash at each of {e its} persist
+    points, re-runs recovery from the nested crash state, and verifies —
+    exercising the restartability recovery claims ("handled by running
+    it again").
+
     After every recovery the image is additionally checked with
     {!Corundum.Pool_check.check_device} (disable with [~fsck:false]): a
     pool that satisfies the scenario's invariants but is structurally
     corrupt is silent corruption waiting to surface, and counts as a
     failure. *)
 
+val replay :
+  ?fsck:bool ->
+  (unit -> (module INSTANCE)) ->
+  spec ->
+  (unit, string list) Stdlib.result
+(** Re-run exactly one crash branch, with the same seed derivation the
+    sweep used; [Error] carries the verification failures. *)
+
+val pp_spec : Format.formatter -> spec -> unit
 val pp_result : Format.formatter -> result -> unit
 val is_clean : result -> bool

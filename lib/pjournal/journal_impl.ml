@@ -338,41 +338,51 @@ let flush_lines dev lines =
    [pending] carries the alloc-table lines dirtied by clears the caller
    just applied (deferred frees at commit, allocation reverts at abort);
    spill-region releases add their own clear lines to it.  The whole set
-   is flushed as coalesced runs and fenced {e before} the header persist:
-   a durable table clear with the log already invalidated would be
-   unrecoverable, whereas clears that miss the fence are re-derived from
-   the still-walkable log (drop slots carry their order for re-marking;
-   alloc entries free idempotently).
+   is flushed as coalesced runs and fenced {e before} the header persist
+   (I-CLEARS-BEFORE-INVALIDATE): a durable table clear with the log
+   already invalidated would be unrecoverable, whereas clears that miss
+   the fence are re-derived from the still-walkable log (drop slots
+   carry their order for re-marking; alloc entries free idempotently).
 
    The header persist itself is ONE batched flush+fence: per-u64 tearing
    can only leave the old log intact (rolled back again, idempotently —
    rolling back a committed-but-unacknowledged transaction is already a
    legal outcome of a crash between the commit fence and the truncate)
    or invalidated, and the phase word is 0 on both sides. *)
-let truncate_pending t pending =
-  if t.spills <> [] then begin
-    List.iter
-      (fun off ->
-        Hashtbl.replace pending (Palloc.Buddy.line_of_offset t.buddy off) ();
-        Palloc.Buddy.dealloc_if_live ~durable:false t.buddy off)
-      t.spills;
-    if Pr.on () then
+let exec_truncate_phase t pending = function
+  | Protocol.Release_spills ->
       List.iter
-        (fun off -> Pr.emit (Pr.Region_release { dev = D.id t.dev; off }))
-        t.spills
-  end;
-  if Hashtbl.length pending > 0 then begin
-    flush_lines t.dev pending;
-    D.fence t.dev
-  end;
-  t.epoch <- t.epoch + 1;
-  D.write_u64 t.dev (t.base + hdr_count) 0L;
-  D.write_u64 t.dev (t.base + hdr_drops) 0L;
-  D.write_u64 t.dev (t.base + hdr_spill) 0L;
-  D.write_u64 t.dev (t.base + hdr_epoch) (Int64.of_int t.epoch);
-  D.write_u64 t.dev (t.base + hdr_size) 0L;
-  D.write_u64 t.dev (t.base + hdr_phase) phase_normal;
-  D.persist t.dev t.base (hdr_size + Log_entry.terminator_size);
+        (fun off ->
+          Hashtbl.replace pending (Palloc.Buddy.line_of_offset t.buddy off) ();
+          Palloc.Buddy.dealloc_if_live ~durable:false t.buddy off)
+        t.spills;
+      if Pr.on () then
+        List.iter
+          (fun off -> Pr.emit (Pr.Region_release { dev = D.id t.dev; off }))
+          t.spills
+  | Protocol.Persist_clears ->
+      flush_lines t.dev pending;
+      D.fence t.dev
+  | Protocol.Reset_header ->
+      t.epoch <- t.epoch + 1;
+      D.write_u64 t.dev (t.base + hdr_count) 0L;
+      D.write_u64 t.dev (t.base + hdr_drops) 0L;
+      D.write_u64 t.dev (t.base + hdr_spill) 0L;
+      D.write_u64 t.dev (t.base + hdr_epoch) (Int64.of_int t.epoch);
+      D.write_u64 t.dev (t.base + hdr_size) 0L;
+      D.write_u64 t.dev (t.base + hdr_phase) phase_normal;
+      D.persist t.dev t.base (hdr_size + Log_entry.terminator_size);
+      if Pr.on () then
+        Pr.emit
+          (Pr.Journal_truncate
+             { dev = D.id t.dev; slot_base = t.base; epoch = t.epoch })
+  | _ -> assert false (* not a truncate phase *)
+
+let truncate_pending t pending =
+  List.iter
+    (exec_truncate_phase t pending)
+    (Protocol.truncate_plan ~spills:(t.spills <> [])
+       ~clears:(Hashtbl.length pending > 0));
   t.salt <- Log_entry.salt ~slot_base:t.base ~epoch:t.epoch;
   t.count <- 0;
   t.cursor <- t.base + hdr_size;
@@ -402,54 +412,99 @@ let flush_target_lines t =
     t.targets;
   flush_lines t.dev lines
 
-let commit t =
-  require_active t;
-  t.active <- false;
-  if t.count = 0 && t.ndrops = 0 then ()
-  else begin
-    (* 1. Make every logged target range durable, one flush per unique
-       dirty line (contiguous lines coalesce). *)
-    if not !elide_commit_flush then flush_target_lines t;
-    (* 1b. The transaction's batched allocation-table marks, flushed as
-       coalesced runs under the same fence.  This is journal protocol,
-       not user data, so it is never elided: every mark's undo entry was
-       sealed before the mark was written (mark-after-seal), so the
-       marks may only become durable here, under the commit fence. *)
-    flush_lines t.dev t.marks;
-    (* 2. Batch the drop area and the advisory header fields under the
-       same fence: drop entries, drop count and the advisory entry count
-       all become durable at the commit point, not before.  A
-       transaction without deferred frees skips the advisory write
-       entirely — fsck treats advisory 0 beside a walked tail as a
-       normal in-flight transaction. *)
-    if t.ndrops > 0 then begin
+(* One commit phase of {!Protocol.commit_plan}, interpreted against the
+   device.  [pending] accumulates the table-clear lines that the
+   trailing truncate persists. *)
+let exec_commit_phase t pending = function
+  | Protocol.Flush_targets ->
+      (* Make every logged target range durable, one flush per unique
+         dirty line (contiguous lines coalesce). *)
+      if not !elide_commit_flush then flush_target_lines t
+  | Protocol.Flush_marks ->
+      (* The transaction's batched allocation-table marks, flushed as
+         coalesced runs under the same fence.  This is journal protocol,
+         not user data, so it is never elided: every mark's undo entry
+         was sealed before the mark was written (mark-after-seal), so
+         the marks may only become durable here, under the commit
+         fence. *)
+      flush_lines t.dev t.marks
+  | Protocol.Persist_drop_area ->
+      (* Batch the drop area and the advisory header fields under the
+         same fence: drop entries, drop count and the advisory entry
+         count all become durable at the commit point, not before.  A
+         transaction without deferred frees skips the advisory write
+         entirely — fsck treats advisory 0 beside a walked tail as a
+         normal in-flight transaction. *)
       let area = t.ndrops * drop_slot_bytes in
       D.flush t.dev (t.base + t.size - area) area;
       D.write_u64 t.dev (t.base + hdr_drops) (Int64.of_int t.ndrops);
       D.write_u64 t.dev (t.base + hdr_count) (Int64.of_int t.count);
       D.flush t.dev (t.base + hdr_count) 16
-    end;
-    if not !elide_commit_fence then D.fence t.dev;
-    (* The commit point: everything this transaction stored must be
-       durable now.  Emitted before [truncate], whose own persists drain
-       the WPQ and would mask an elided or forgotten commit fence. *)
-    if Pr.on () then
-      Pr.emit (Pr.Commit_point { dev = D.id t.dev; ns = D.simulated_ns t.dev });
-    (* 3. Apply deferred frees as dirty table clears; their lines become
-       durable in one batched flush+fence inside the truncate, strictly
-       before the log is invalidated.  Idempotent: recovery re-marks
-       from the drop slots (which became durable at the commit fence)
-       if the clear flush is interrupted. *)
+  | Protocol.Commit_fence ->
+      if not !elide_commit_fence then D.fence t.dev;
+      (* The commit point: everything this transaction stored must be
+         durable now.  Emitted before the truncate, whose own persists
+         drain the WPQ and would mask an elided or forgotten commit
+         fence. *)
+      if Pr.on () then
+        Pr.emit
+          (Pr.Commit_point { dev = D.id t.dev; ns = D.simulated_ns t.dev })
+  | Protocol.Apply_drops ->
+      (* Apply deferred frees as dirty table clears; their lines become
+         durable in one batched flush+fence inside the truncate,
+         strictly before the log is invalidated.  Idempotent: recovery
+         re-marks from the drop slots (which became durable at the
+         commit fence) if the clear flush is interrupted. *)
+      List.iter
+        (fun off ->
+          Hashtbl.replace pending (Palloc.Buddy.line_of_offset t.buddy off) ();
+          Palloc.Buddy.dealloc_if_live ~durable:false t.buddy off;
+          if Pr.on () then Pr.emit (Pr.Drop_apply { dev = D.id t.dev; off }))
+        t.drops
+  | _ -> assert false (* not a commit phase *)
+
+let commit t =
+  require_active t;
+  t.active <- false;
+  if t.count = 0 && t.ndrops = 0 then ()
+  else begin
     let pending = Hashtbl.create (max 8 t.ndrops) in
     List.iter
-      (fun off ->
-        Hashtbl.replace pending (Palloc.Buddy.line_of_offset t.buddy off) ();
-        Palloc.Buddy.dealloc_if_live ~durable:false t.buddy off)
-      t.drops;
-    (* 4. Truncate: clear flush + fence (when needed), then one batched
+      (exec_commit_phase t pending)
+      (Protocol.commit_plan ~ndrops:t.ndrops);
+    (* Truncate: clear flush + fence (when needed), then one batched
        header persist retires the log. *)
     truncate_pending t pending
   end
+
+(* One abort phase of {!Protocol.abort_plan}.  [entries] is the walked
+   durable log, newest-first — the order undo must apply. *)
+let exec_abort_phase t entries pending = function
+  | Protocol.Restore_data ->
+      List.iter
+        (fun e ->
+          match e with
+          | Log_entry.Data { off; len; payload } ->
+              D.copy_within t.dev ~src:payload ~dst:off ~len;
+              D.flush t.dev off len
+          | Log_entry.Alloc _ | Log_entry.Drop _ -> ())
+        entries
+  | Protocol.Restore_fence -> D.fence t.dev
+  | Protocol.Revert_allocs ->
+      (* Allocation reverts are dirty clears, made durable in the
+         batched clear flush inside the truncate (same ordering as
+         commit's deferred frees: clears strictly before log
+         invalidation). *)
+      List.iter
+        (fun e ->
+          match e with
+          | Log_entry.Alloc { off; order = _ } ->
+              Hashtbl.replace pending
+                (Palloc.Buddy.line_of_offset t.buddy off) ();
+              Palloc.Buddy.dealloc_if_live ~durable:false t.buddy off
+          | Log_entry.Data _ | Log_entry.Drop _ -> ())
+        entries
+  | _ -> assert false (* not an abort phase *)
 
 let abort t =
   require_active t;
@@ -457,34 +512,15 @@ let abort t =
   if t.count = 0 then truncate t
   else begin
     (* Collect the sealed entries by walking to the tail terminator
-       (following any spill chain), then restore data logs newest-first. *)
+       (following any spill chain). *)
     let entries = ref [] in
     let _visited, _cursor, _reason =
       Log_entry.walk_to_tail t.dev ~slot_base:t.base ~slot_size:t.size
         ~salt:t.salt (fun e -> entries := e :: !entries)
     in
-    (* [entries] is newest-first, which is the order undo must apply. *)
-    List.iter
-      (fun e ->
-        match e with
-        | Log_entry.Data { off; len; payload } ->
-            D.copy_within t.dev ~src:payload ~dst:off ~len;
-            D.flush t.dev off len
-        | Log_entry.Alloc _ | Log_entry.Drop _ -> ())
-      !entries;
-    D.fence t.dev;
-    (* Allocation reverts are dirty clears, made durable in the batched
-       clear flush inside the truncate (same ordering as commit's
-       deferred frees: clears strictly before log invalidation). *)
     let pending = Hashtbl.create 8 in
     List.iter
-      (fun e ->
-        match e with
-        | Log_entry.Alloc { off; order = _ } ->
-            Hashtbl.replace pending
-              (Palloc.Buddy.line_of_offset t.buddy off) ();
-            Palloc.Buddy.dealloc_if_live ~durable:false t.buddy off
-        | Log_entry.Data _ | Log_entry.Drop _ -> ())
-      !entries;
+      (exec_abort_phase t !entries pending)
+      (Protocol.abort_plan ~entries:(List.length !entries));
     truncate_pending t pending
   end

@@ -1,0 +1,67 @@
+(* The journal's commit/abort/truncate protocol as data.
+
+   Each phase is one persist-granular step of the protocol; the plan
+   functions return the exact ordered phase list the implementation
+   executes ({!Journal_impl}) and the model checker enumerates crashes
+   over ({!Pmodel}).  Keeping the ordering here — in one place, as a
+   value — is what lets the checker certify the same instruction stream
+   the implementation runs, and what makes a future reordering (group
+   commit, fence elision) a one-line change that the checker judges
+   before any pool does. *)
+
+type phase =
+  (* commit *)
+  | Flush_targets
+      (* every logged target range flushed, one flush per dirty line *)
+  | Flush_marks (* the tx's batched alloc-table marks (mark-after-seal) *)
+  | Persist_drop_area
+      (* drop records + advisory count/drops header fields flushed *)
+  | Commit_fence (* THE commit point: one fence makes all of it durable *)
+  | Apply_drops (* deferred frees become dirty table clears *)
+  (* abort *)
+  | Restore_data (* logged pre-images copied back, flushed per entry *)
+  | Restore_fence (* one fence covers every restore flush *)
+  | Revert_allocs (* this tx's allocations become dirty table clears *)
+  (* truncate *)
+  | Release_spills (* spill chain blocks freed (dirty table clears) *)
+  | Persist_clears (* batched clear flush + fence, BEFORE invalidation *)
+  | Reset_header
+      (* one batched header persist: counts zeroed, epoch bumped,
+         terminator reset — the log is retired *)
+
+let name = function
+  | Flush_targets -> "flush-targets"
+  | Flush_marks -> "flush-marks"
+  | Persist_drop_area -> "persist-drop-area"
+  | Commit_fence -> "commit-fence"
+  | Apply_drops -> "apply-drops"
+  | Restore_data -> "restore-data"
+  | Restore_fence -> "restore-fence"
+  | Revert_allocs -> "revert-allocs"
+  | Release_spills -> "release-spills"
+  | Persist_clears -> "persist-clears"
+  | Reset_header -> "reset-header"
+
+(* Commit: targets, marks and the drop area all become durable under the
+   single commit fence; only then do the deferred frees apply.  The
+   trailing truncate phases are appended by the caller via
+   {!truncate_plan} (they depend on what the commit accumulated). *)
+let commit_plan ~ndrops =
+  [ Flush_targets; Flush_marks ]
+  @ (if ndrops > 0 then [ Persist_drop_area ] else [])
+  @ [ Commit_fence; Apply_drops ]
+
+(* Abort: restore pre-images newest-first under one fence, then revert
+   allocations.  An empty log skips straight to the truncate. *)
+let abort_plan ~entries =
+  if entries = 0 then [] else [ Restore_data; Restore_fence; Revert_allocs ]
+
+(* Truncate: pending table clears are persisted strictly BEFORE the
+   header persist invalidates the log — a durable clear beside a dead
+   log would be unrecoverable, while a missed clear is re-derived from
+   the still-walkable log.  Releasing spills itself produces clears, so
+   [Release_spills] always implies [Persist_clears]. *)
+let truncate_plan ~spills ~clears =
+  (if spills then [ Release_spills ] else [])
+  @ (if clears || spills then [ Persist_clears ] else [])
+  @ [ Reset_header ]

@@ -1,0 +1,42 @@
+(** The journal protocol as a typed instruction stream.
+
+    The commit, abort and truncate paths of {!Journal_impl} are each an
+    ordered list of persist-granular {!phase}s; the plan functions below
+    are the single source of that ordering.  {!Journal_impl} interprets
+    the plans against the real device, and the model checker
+    ([lib/pmodel]) expands the very same plans into its small-step
+    schedule — so the state space the checker certifies is the
+    instruction stream the implementation executes. *)
+
+type phase =
+  | Flush_targets  (** logged target ranges flushed (coalesced lines) *)
+  | Flush_marks  (** batched alloc-table marks flushed (mark-after-seal) *)
+  | Persist_drop_area
+      (** drop records + advisory count/drop header fields flushed *)
+  | Commit_fence  (** the commit point: one fence makes it all durable *)
+  | Apply_drops  (** deferred frees applied as dirty table clears *)
+  | Restore_data  (** abort: pre-images copied back, flushed per entry *)
+  | Restore_fence  (** abort: one fence covers every restore flush *)
+  | Revert_allocs  (** abort: allocations become dirty table clears *)
+  | Release_spills  (** truncate: spill chain freed (dirty clears) *)
+  | Persist_clears  (** truncate: clear flush + fence before invalidation *)
+  | Reset_header
+      (** truncate: one batched header persist retires the log (counts
+          zeroed, epoch bumped, terminator reset) *)
+
+val name : phase -> string
+
+val commit_plan : ndrops:int -> phase list
+(** Phases of a commit, excluding the trailing truncate (append
+    {!truncate_plan} for the full stream). *)
+
+val abort_plan : entries:int -> phase list
+(** Phases of an abort before its truncate; [[]] when no entries were
+    sealed. *)
+
+val truncate_plan : spills:bool -> clears:bool -> phase list
+(** Phases of a truncate: spill release and pending-clear persist only
+    when present, then the header reset.  Releasing spills dirties table
+    clears of its own, so [spills] implies {!Persist_clears}.  The clear
+    persist is ordered strictly before {!Reset_header} — see
+    I-CLEARS-BEFORE-INVALIDATE in [doc/pmodel.mld]. *)

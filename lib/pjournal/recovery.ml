@@ -1,4 +1,5 @@
 module D = Pmem.Device
+module Pr = Ptelemetry.Probe
 
 type stats = {
   slots_scanned : int;
@@ -138,15 +139,23 @@ let truncate ?(ordered = false) dev table ~base =
   D.write_u64 dev (base + 24) 0L (* spill head *);
   D.write_u64 dev (base + 32) (Int64.add epoch 1L);
   D.write_u64 dev (base + hdr_size) 0L (* terminator *);
-  if ordered then begin
-    D.persist dev (base + 8) (hdr_size + Log_entry.terminator_size - 8);
-    D.write_u64 dev (base + 0) 0L (* phase *);
-    D.persist dev (base + 0) 8
-  end
-  else begin
-    D.write_u64 dev (base + 0) 0L (* phase *);
-    D.persist dev base (hdr_size + Log_entry.terminator_size)
-  end
+  (if ordered then begin
+     D.persist dev (base + 8) (hdr_size + Log_entry.terminator_size - 8);
+     D.write_u64 dev (base + 0) 0L (* phase *);
+     D.persist dev (base + 0) 8
+   end
+   else begin
+     D.write_u64 dev (base + 0) 0L (* phase *);
+     D.persist dev base (hdr_size + Log_entry.terminator_size)
+   end);
+  if Pr.on () then
+    Pr.emit
+      (Pr.Journal_truncate
+         {
+           dev = D.id dev;
+           slot_base = base;
+           epoch = Int64.to_int (Int64.add epoch 1L);
+         })
 
 let recover_slot dev table ~base ~size =
   let phase = D.read_u64 dev base in

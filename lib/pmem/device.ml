@@ -427,7 +427,10 @@ let power_cycle t =
   Bytes.blit t.durable 0 t.view 0 t.size;
   Bytes.fill t.state 0 t.nlines st_clean;
   t.crashed <- false;
-  t.crash_countdown <- 0;
+  (* The crash countdown is a harness injection knob, not device state:
+     it survives the power cycle so a test can arm a crash that fires
+     inside the recovery the cycle triggers.  (After a fired crash it is
+     already 0, so ordinary crash-and-reopen sequences are unaffected.) *)
   Mutex.unlock t.lock;
   if Pr.on () then Pr.emit (Pr.Power_cycle { dev = t.id })
 

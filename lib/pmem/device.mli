@@ -84,7 +84,9 @@ val set_crash_countdown : t -> int -> unit
 (** [set_crash_countdown t n] schedules {!Crashed} to be raised at the
     [n]-th subsequent persist point (a {!flush} or {!fence} call); [n <= 0]
     disables the schedule.  Crashing {e at} a persist point means the
-    point's effect does not happen. *)
+    point's effect does not happen.  An armed countdown survives
+    {!power_cycle}, so a crash can be scheduled to fire inside the
+    recovery that follows a power cycle (nested recovery crashes). *)
 
 val persist_points : t -> int
 (** Number of persist points executed so far; drives exhaustive crash

@@ -1,0 +1,44 @@
+(* Protocol variants: the correct protocol plus deliberately broken
+   mutations, each known-unsafe, used as positive controls — the checker
+   must produce a counterexample for every broken variant, mirroring the
+   [Fault_profile] pattern psan's positive controls use. *)
+
+type t =
+  | Correct
+  | Term_before_body
+      (* the seal's flush covers the entry header and terminator but not
+         the body words — the persist-ordering bug the sealed-CRC is
+         there to catch: a durable header whose body never lands leaves
+         the walk blind to the entry, so its target stores cannot be
+         rolled back *)
+  | Truncate_before_clears
+      (* the truncate's header persist (log invalidation) runs BEFORE
+         the batched table-clear persist, violating
+         I-CLEARS-BEFORE-INVALIDATE: a crash in between leaves clears
+         that can no longer be re-derived from the (now dead) log *)
+  | Trust_advisory
+      (* recovery believes the advisory header count instead of walking
+         to the terminator: a transaction without deferred frees never
+         persists the count, so its durable entries are ignored and its
+         partially-landed target stores survive recovery *)
+
+let all = [ Correct; Term_before_body; Truncate_before_clears; Trust_advisory ]
+let broken = [ Term_before_body; Truncate_before_clears; Trust_advisory ]
+
+let name = function
+  | Correct -> "correct"
+  | Term_before_body -> "term-before-body"
+  | Truncate_before_clears -> "truncate-before-clears"
+  | Trust_advisory -> "trust-advisory"
+
+let of_name s =
+  List.find_opt (fun v -> name v = s) all
+
+let describe = function
+  | Correct -> "the shipped protocol (expected: zero violations)"
+  | Term_before_body ->
+      "seal persists header+terminator without the entry body"
+  | Truncate_before_clears ->
+      "truncate invalidates the log before persisting table clears"
+  | Trust_advisory ->
+      "recovery trusts the advisory count instead of the tail walk"

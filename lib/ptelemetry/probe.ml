@@ -15,6 +15,17 @@ type event =
   | Region_release of { dev : int; off : int }
   | Exempt_push of { dev : int }
   | Exempt_pop of { dev : int }
+  | Pool_layout of {
+      dev : int;
+      journal_base : int;
+      slot_size : int;
+      nslots : int;
+      table_base : int;
+      heap_base : int;
+      heap_len : int;
+    }
+  | Journal_truncate of { dev : int; slot_base : int; epoch : int }
+  | Drop_apply of { dev : int; off : int }
 
 (* [active] mirrors [handler <> None] so the hot-path guard is one
    atomic load, as in {!Trace}.  The handler itself is responsible for

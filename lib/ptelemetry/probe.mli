@@ -60,6 +60,28 @@ type event =
       (** Begin a privileged window (recovery): heap stores are the
           recovery protocol restoring logged state, not user code. *)
   | Exempt_pop of { dev : int }
+  | Pool_layout of {
+      dev : int;
+      journal_base : int;
+      slot_size : int;
+      nslots : int;
+      table_base : int;
+      heap_base : int;
+      heap_len : int;
+    }
+      (** Full media geometry of the pool on [dev], emitted at attach
+          alongside {!Pool_attach}.  Lets a subscriber classify every
+          byte range as header / journal slot (and which) / allocation
+          table / heap — the conformance checker ({!Pmodel.Mconform})
+          needs the finer split that [Pool_attach] does not carry. *)
+  | Journal_truncate of { dev : int; slot_base : int; epoch : int }
+      (** The journal slot at [slot_base] retired its log: terminator
+          reset, header fields zeroed and the epoch bumped to [epoch] —
+          after this no stale entry can verify against the slot's salt. *)
+  | Drop_apply of { dev : int; off : int }
+      (** A deferred free (drop record) was applied as an
+          allocation-table clear for the block at [off] — only legal
+          after the commit point made the drop records durable. *)
 
 val install : (event -> unit) -> unit
 (** Subscribe [f]; replaces any current subscriber. *)

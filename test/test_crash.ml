@@ -14,6 +14,19 @@ let sweep_clean ?limit ?survival_samples name make () =
     Alcotest.failf "%s: %s" name
       (Format.asprintf "%a" Crashtest.Injector.pp_result r)
 
+(* Recovery restartability: crash recovery itself at each of its persist
+   points, recover from the nested crash state, and verify — the journal
+   claims interrupted recovery is "handled by running it again". *)
+let sweep_recovery_crashes name make () =
+  let r = Crashtest.Injector.sweep ~limit:6 ~recovery_crashes:true make in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: nested crashes fired inside recovery" name)
+    true
+    (r.Crashtest.Injector.recovery_crashes > 0);
+  if not (Crashtest.Injector.is_clean r) then
+    Alcotest.failf "%s: %s" name
+      (Format.asprintf "%a" Crashtest.Injector.pp_result r)
+
 (* Property: a random sequence of single-op transactions on a persistent
    vector, crashed at a random persist point, recovers to exactly one of
    the committed states (a prefix of the history), with an intact,
@@ -134,6 +147,12 @@ let () =
                  Crashtest.Scenario.alloc_churn ()));
           Alcotest.test_case "alloc churn x2 survival samples" `Slow
             (sweep_clean ~survival_samples:2 "alloc_churn_samples" (fun () ->
+                 Crashtest.Scenario.alloc_churn ()));
+          Alcotest.test_case "counter recovery crashes (nested)" `Slow
+            (sweep_recovery_crashes "counter" (fun () ->
+                 Crashtest.Scenario.counter ()));
+          Alcotest.test_case "alloc churn recovery crashes (nested)" `Slow
+            (sweep_recovery_crashes "alloc_churn" (fun () ->
                  Crashtest.Scenario.alloc_churn ()));
         ] );
       ( "properties",
