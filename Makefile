@@ -1,6 +1,6 @@
 # Corundum-OCaml — top-level targets (the artifact's run.sh/results.sh).
 
-.PHONY: all build test eval tables micro perf scale crash pmodel bench doc clean
+.PHONY: all build test eval tables micro perf scale crash pmodel bench waste recovery-latency doc clean
 
 all: build
 
@@ -36,6 +36,13 @@ pmodel:
 
 bench:
 	dune exec bench/main.exe
+
+# Per-engine persist waste vs the minimal schedule, gated on the baseline.
+waste:
+	dune exec bench/main.exe -- --waste --waste-json pprof.waste.json --waste-baseline PPROF_baseline.json
+
+recovery-latency:
+	dune exec bench/main.exe -- recovery-latency --sweep
 
 doc:
 	dune build @doc

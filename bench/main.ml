@@ -522,6 +522,225 @@ let compare_against_baseline ~current ~baseline =
     exit 1
   end
 
+(* --- persist-waste profile (ROADMAP item 3) ----------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* The waste gate is one-directional: waste per op may only go down (a
+   small epsilon absorbs float formatting).  Engines or ops absent from
+   the baseline are reported but never fail — adding an engine must not
+   require regenerating the baseline in the same change. *)
+let compare_waste_baseline ~current ~baseline =
+  let module J = Ptelemetry.Json in
+  let rows doc =
+    match J.mem "engines" doc with
+    | Some (J.Obj engines) ->
+        List.concat_map
+          (fun (engine, ops) ->
+            match ops with
+            | J.List ops ->
+                List.filter_map
+                  (fun op ->
+                    match
+                      ( Option.bind (J.mem "op" op) J.str,
+                        Option.bind (J.mem "waste_flushes_per_op" op) J.num,
+                        Option.bind (J.mem "waste_fences_per_op" op) J.num )
+                    with
+                    | Some name, Some wf, Some wfe ->
+                        Some ((engine, name), (wf, wfe))
+                    | _ -> None)
+                  ops
+            | _ -> [])
+          engines
+    | _ -> []
+  in
+  let base = rows (J.of_string (read_file baseline)) in
+  let cur = rows (J.of_string (read_file current)) in
+  if cur = [] then begin
+    Printf.eprintf "no waste rows parsed from %s\n" current;
+    exit 1
+  end;
+  let failed = ref false in
+  List.iter
+    (fun ((engine, op), (wf, wfe)) ->
+      match List.assoc_opt (engine, op) base with
+      | None ->
+          Printf.printf "NEW    %-12s %-12s %.4ff %.4fF waste/op\n" engine op
+            wf wfe
+      | Some (bf, bfe) ->
+          if wf > bf +. 0.01 || wfe > bfe +. 0.01 then begin
+            failed := true;
+            Printf.printf
+              "REGRESS %-12s %-12s %.4ff %.4fF waste/op (baseline %.4f/%.4f)\n"
+              engine op wf wfe bf bfe
+          end
+          else
+            Printf.printf
+              "OK     %-12s %-12s %.4ff %.4fF waste/op (baseline %.4f/%.4f)\n"
+              engine op wf wfe bf bfe)
+    cur;
+  if !failed then begin
+    prerr_endline "persist-waste regression against PPROF baseline";
+    exit 1
+  end
+
+let run_waste ~waste_json ~waste_baseline ~waste_trace ~waste_capture =
+  let measured =
+    List.map
+      (fun (name, eng) -> (name, Engines.Waste.measure_capture eng))
+      Engines.Registry.all
+  in
+  let columns = List.map (fun (name, (_, rows)) -> (name, rows)) measured in
+  print_string (Engines.Waste.table columns);
+  (match waste_capture with
+  | None -> ()
+  | Some path ->
+      (* Save the corundum run's whole probe stream (pool creation and
+         root transaction included, so it is self-contained) as a
+         replayable corundum-probe-v1 capture for pprof_cli
+         report/diff/replay. *)
+      let stream =
+        match List.assoc_opt "corundum" measured with
+        | Some (stream, _) -> stream
+        | None -> fst (snd (List.hd measured))
+      in
+      Pprof.save_events path stream;
+      Printf.printf "wrote %s\n" path);
+  (match waste_json with
+  | None -> ()
+  | Some path ->
+      write_file path
+        (Ptelemetry.Json.to_string (Engines.Waste.waste_json columns));
+      Printf.printf "wrote %s\n" path);
+  (match waste_trace with
+  | None -> ()
+  | Some path ->
+      (* Render the corundum engine's windows as a Chrome trace with the
+         waste findings overlaid as [pprof] instants at the simulated
+         timestamps of the excess persists. *)
+      let rows =
+        match List.assoc_opt "corundum" columns with
+        | Some rows -> rows
+        | None -> snd (List.hd columns)
+      in
+      Ptelemetry.Trace.install_ring ~capacity:(1 lsl 16) ();
+      List.iter
+        (fun (w : Engines.Waste.op_waste) ->
+          Pprof.emit_probe_events w.Engines.Waste.events;
+          Pprof.emit_overlay w.Engines.Waste.report)
+        rows;
+      Ptelemetry.Trace.save_chrome path;
+      Ptelemetry.Trace.uninstall ();
+      Printf.printf "wrote %s\n" path);
+  match (waste_json, waste_baseline) with
+  | Some current, Some b -> compare_waste_baseline ~current ~baseline:b
+  | None, Some _ ->
+      prerr_endline "--waste-baseline requires --waste-json FILE";
+      exit 2
+  | _ -> ()
+
+(* --- recovery latency --------------------------------------------------- *)
+
+(* One crash/recover cycle on a fresh pool of the given size: populate,
+   crash mid-transaction at a persist point, power-cycle, re-attach.
+   Returns the simulated ns the attach (journal recovery + allocation
+   table scan) cost.  The per-phase breakdown rides the metrics
+   histograms [recovery.phase.*_ns], which the Null trace sink enables
+   without retaining events. *)
+let recovery_cycle ~size =
+  let slot_size = max (64 * 1024) (min (1024 * 1024) (size / 32)) in
+  let config = { Pool_impl.size; nslots = 4; slot_size } in
+  let pool = Pool_impl.create ~config ~latency:Pmem.Latency.optane () in
+  let dev = Pool_impl.device pool in
+  let scratch = Pool_impl.transaction pool (fun tx -> Pool_impl.tx_alloc tx 256) in
+  for i = 1 to 32 do
+    Pool_impl.transaction pool (fun tx ->
+        Pool_impl.tx_log tx ~off:scratch ~len:64;
+        Pmem.Device.write_u64 dev scratch (Int64.of_int i);
+        if i mod 4 = 0 then begin
+          let b = Pool_impl.tx_alloc tx 64 in
+          Pmem.Device.write_u64 dev b (Int64.of_int i);
+          Pool_impl.tx_add_target tx ~off:b ~len:8
+        end)
+  done;
+  (* Crash inside the next commit, after the per-entry seal fences have
+     made two undo entries durable but before the truncate retires the
+     log — recovery must walk and roll the transaction back. *)
+  Pmem.Device.set_crash_countdown dev 6;
+  (try
+     Pool_impl.transaction pool (fun tx ->
+         Pool_impl.tx_log tx ~off:scratch ~len:64;
+         Pool_impl.tx_log tx ~off:(scratch + 128) ~len:64;
+         Pmem.Device.write_u64 dev scratch 999L;
+         Pmem.Device.write_u64 dev (scratch + 128) 999L)
+   with Pmem.Device.Crashed -> ());
+  Pmem.Device.set_crash_countdown dev 0;
+  Pmem.Device.power_cycle dev;
+  let t0 = Pmem.Device.simulated_ns dev in
+  let pool2 = Pool_impl.attach dev in
+  let t1 = Pmem.Device.simulated_ns dev in
+  let stats = Pool_impl.recovery_stats pool2 in
+  ((t1 -. t0), stats)
+
+let pctl sorted q =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n -> sorted.(int_of_float (float_of_int (n - 1) *. q))
+
+let run_recovery_latency ~sizes ~repeats ~metrics_out ~max_p99 =
+  (* Metrics sites ride the trace gate; Null sink = histograms only.
+     With [repeats <= Metrics.exact_threshold] the reported percentiles
+     are exact nearest-rank values, not bucket floors. *)
+  Ptelemetry.Metrics.reset ();
+  Ptelemetry.Trace.install_null ();
+  let failed = ref false in
+  List.iter
+    (fun size ->
+      let totals = Array.make repeats 0.0 in
+      let phase_acc = ref [] in
+      for r = 0 to repeats - 1 do
+        let total, stats = recovery_cycle ~size in
+        totals.(r) <- total;
+        List.iter
+          (fun (name, dur) ->
+            phase_acc :=
+              (match List.assoc_opt name !phase_acc with
+              | Some d ->
+                  (name, d +. dur) :: List.remove_assoc name !phase_acc
+              | None -> !phase_acc @ [ (name, dur) ]))
+          stats.Pjournal.Recovery.phase_ns
+      done;
+      Array.sort compare totals;
+      let p50 = pctl totals 0.5 and p99 = pctl totals 0.99 in
+      Printf.printf
+        "recovery-latency: pool %d MiB, %d cycles: attach p50=%.0f ns \
+         p99=%.0f ns\n"
+        (size / 1024 / 1024) repeats p50 p99;
+      let per = float_of_int repeats in
+      List.iter
+        (fun (name, dur) ->
+          Printf.printf "  phase %-10s mean %10.0f ns/cycle\n" name (dur /. per))
+        !phase_acc;
+      match max_p99 with
+      | Some bound when p99 > bound ->
+          failed := true;
+          Printf.printf "  FAIL: p99 %.0f ns exceeds bound %.0f ns\n" p99 bound
+      | _ -> ())
+    sizes;
+  Ptelemetry.Trace.uninstall ();
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+      write_file path
+        (Ptelemetry.Json.to_string (Ptelemetry.Metrics.dump_json ()));
+      Printf.printf "wrote %s\n" path);
+  if !failed then exit 1
+
 (* --- alloc-scale: multi-domain allocator scalability -------------------- *)
 
 (* One domain per journal slot, one journal slot per allocator stripe:
@@ -584,6 +803,10 @@ let usage () =
   prerr_endline
     "usage: bench [--trace FILE] [--metrics FILE] [--psan] [--psan-json FILE]\n\
     \       bench --json FILE [--baseline FILE]\n\
+    \       bench --waste [--waste-json FILE] [--waste-baseline FILE]\n\
+    \             [--waste-trace FILE] [--waste-capture FILE]\n\
+    \       bench recovery-latency [--pool-size BYTES | --sweep]\n\
+    \             [--repeats N] [--metrics FILE] [--max-p99-ns NS]\n\
     \       bench alloc-scale [--domains N] [--txs N] [--metrics FILE]";
   exit 2
 
@@ -593,7 +816,12 @@ let () =
   and psan = ref false
   and psan_json = ref None
   and json = ref None
-  and baseline = ref None in
+  and baseline = ref None
+  and waste = ref false
+  and waste_json = ref None
+  and waste_baseline = ref None
+  and waste_trace = ref None
+  and waste_capture = ref None in
   let rec parse = function
     | [] -> ()
     | "--trace" :: f :: rest ->
@@ -614,10 +842,59 @@ let () =
     | "--baseline" :: f :: rest ->
         baseline := Some f;
         parse rest
+    | "--waste" :: rest ->
+        waste := true;
+        parse rest
+    | "--waste-json" :: f :: rest ->
+        waste := true;
+        waste_json := Some f;
+        parse rest
+    | "--waste-baseline" :: f :: rest ->
+        waste := true;
+        waste_baseline := Some f;
+        parse rest
+    | "--waste-trace" :: f :: rest ->
+        waste := true;
+        waste_trace := Some f;
+        parse rest
+    | "--waste-capture" :: f :: rest ->
+        waste := true;
+        waste_capture := Some f;
+        parse rest
     | _ -> usage ()
   in
   match List.tl (Array.to_list Sys.argv) with
   | [] -> () (* plain run: the bechamel benchmark below *)
+  | "recovery-latency" :: rest ->
+      let sizes = ref [ 16 * 1024 * 1024 ]
+      and repeats = ref 8
+      and metrics_out = ref None
+      and max_p99 = ref None in
+      let rec parse_rl = function
+        | [] -> ()
+        | "--pool-size" :: n :: rest ->
+            sizes := [ int_of_string n ];
+            parse_rl rest
+        | "--sweep" :: rest ->
+            sizes :=
+              [ 4 * 1024 * 1024; 16 * 1024 * 1024; 64 * 1024 * 1024 ];
+            parse_rl rest
+        | "--repeats" :: n :: rest ->
+            repeats := int_of_string n;
+            parse_rl rest
+        | "--metrics" :: f :: rest ->
+            metrics_out := Some f;
+            parse_rl rest
+        | "--max-p99-ns" :: n :: rest ->
+            max_p99 := Some (float_of_string n);
+            parse_rl rest
+        | _ -> usage ()
+      in
+      parse_rl rest;
+      if !repeats < 1 || List.exists (fun s -> s < 1024 * 1024) !sizes then
+        usage ();
+      run_recovery_latency ~sizes:!sizes ~repeats:!repeats
+        ~metrics_out:!metrics_out ~max_p99:!max_p99
   | "alloc-scale" :: rest ->
       let domains = ref 4 and txs = ref 2000 and metrics_out = ref None in
       let rec parse_scale = function
@@ -641,6 +918,9 @@ let () =
       if !trace <> None || !metrics <> None || !psan || !psan_json <> None then
         run_instrumented ~trace:!trace ~metrics:!metrics ~psan:!psan
           ~psan_json:!psan_json;
+      if !waste then
+        run_waste ~waste_json:!waste_json ~waste_baseline:!waste_baseline
+          ~waste_trace:!waste_trace ~waste_capture:!waste_capture;
       (match !json with
       | None -> ()
       | Some path ->

@@ -211,6 +211,15 @@ let psan_arg =
           "Run the persistency sanitizer over the whole run and print its \
            report; exit non-zero on any violation (warnings allowed).")
 
+let waste_arg =
+  Arg.(
+    value & flag
+    & info [ "waste" ]
+        ~doc:
+          "Print the per-engine persist-waste table: actual vs minimal \
+           flush/fence schedule on the attribution windows, with the excess \
+           classified into elision classes (E1-E4).")
+
 let psan_json_arg =
   Arg.(
     value
@@ -225,11 +234,22 @@ let write_file path s =
   output_char oc '\n';
   close_out oc
 
-let main n size csv only trace metrics attr psan psan_json =
+let main n size csv only trace metrics attr waste psan psan_json =
   let csv = match csv with Some "none" -> None | x -> x in
   (match csv with
   | Some p -> ( try Unix.mkdir (Filename.dirname p) 0o755 with _ -> ())
   | None -> ());
+  (* The waste capture owns the single-subscriber probe bus for its
+     measurement windows; run it before psan takes the bus. *)
+  if waste then begin
+    let columns =
+      List.map
+        (fun (name, e) -> (name, Engines.Waste.measure e))
+        (select only)
+    in
+    print_string (Engines.Waste.table columns);
+    print_newline ()
+  end;
   let psan_on = psan || psan_json <> None in
   if psan_on then Psan.enable ();
   Option.iter (fun _ -> Ptelemetry.Trace.install_ring ~capacity:(1 lsl 18) ())
@@ -268,6 +288,6 @@ let cmd =
     (Cmd.info "perf"
        ~doc:"Reproduce Figure 1 (engine comparison on BST/KVStore/B+Tree)")
     Term.(const main $ n_arg $ size_arg $ csv_arg $ only_arg $ trace_arg
-          $ metrics_arg $ attr_arg $ psan_arg $ psan_json_arg)
+          $ metrics_arg $ attr_arg $ waste_arg $ psan_arg $ psan_json_arg)
 
 let () = exit (Cmd.eval cmd)

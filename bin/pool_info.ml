@@ -27,10 +27,108 @@ let load ?latency path =
       Printf.eprintf "error: %s: truncated or not a pmem image\n" path;
       exit 1
 
-let run_info check path =
-  let dev = load path in
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Ptelemetry.Json.to_string json);
+  output_char oc '\n';
+  close_out oc
+
+(* [info --json]: layout plus attach-time recovery observability.  The
+   attach runs on the in-memory image (Device.load never writes back)
+   with the null trace subscriber installed so the recovery path takes
+   its timed branches; the per-phase simulated-ns ledger (walk,
+   rollback, drop_apply, remark, truncate, table_scan) comes back in
+   Recovery.stats.phase_ns. *)
+let info_json ~path (i : Corundum.Pool_inspect.info)
+    (recovery : (Pjournal.Recovery.stats, string) result) =
+  let open Ptelemetry.Json in
+  let n v = Num (float_of_int v) in
+  let slot_json = function
+    | Corundum.Pool_inspect.Idle -> Obj [ ("state", Str "idle") ]
+    | Corundum.Pool_inspect.Active e ->
+        Obj [ ("state", Str "active"); ("entries", n e) ]
+    | Corundum.Pool_inspect.Committing e ->
+        Obj [ ("state", Str "committing"); ("entries", n e) ]
+  in
+  let recovery_json =
+    match recovery with
+    | Error msg -> Obj [ ("ok", Bool false); ("error", Str msg) ]
+    | Ok (s : Pjournal.Recovery.stats) ->
+        Obj
+          [
+            ("ok", Bool true);
+            ("slots_scanned", n s.Pjournal.Recovery.slots_scanned);
+            ("rolled_back", n s.Pjournal.Recovery.rolled_back);
+            ("completed", n s.Pjournal.Recovery.completed);
+            ("data_restored", n s.Pjournal.Recovery.data_restored);
+            ("allocs_reverted", n s.Pjournal.Recovery.allocs_reverted);
+            ("drops_applied", n s.Pjournal.Recovery.drops_applied);
+            ("drops_remarked", n s.Pjournal.Recovery.drops_remarked);
+            ("entries_skipped", n s.Pjournal.Recovery.entries_skipped);
+            ("drops_skipped", n s.Pjournal.Recovery.drops_skipped);
+            ( "phase_ns",
+              Obj
+                (List.map
+                   (fun (name, ns) -> (name, Num ns))
+                   s.Pjournal.Recovery.phase_ns) );
+          ]
+  in
+  Obj
+    [
+      ("schema", Str "corundum-info-v1");
+      ("pool", Str path);
+      ("magic_ok", Bool i.Corundum.Pool_inspect.magic_ok);
+      ("version", n i.Corundum.Pool_inspect.version);
+      ("generation", n i.Corundum.Pool_inspect.generation);
+      ("root_off", n i.Corundum.Pool_inspect.root_off);
+      ("nslots", n i.Corundum.Pool_inspect.nslots);
+      ("slot_size", n i.Corundum.Pool_inspect.slot_size);
+      ("journal_base", n i.Corundum.Pool_inspect.journal_base);
+      ("table_base", n i.Corundum.Pool_inspect.table_base);
+      ("heap_base", n i.Corundum.Pool_inspect.heap_base);
+      ("heap_len", n i.Corundum.Pool_inspect.heap_len);
+      ("device_size", n i.Corundum.Pool_inspect.device_size);
+      ("slots", List (List.map slot_json i.Corundum.Pool_inspect.slots));
+      ("live_blocks", n i.Corundum.Pool_inspect.live_blocks);
+      ("live_bytes", n i.Corundum.Pool_inspect.live_bytes);
+      ("largest_block", n i.Corundum.Pool_inspect.largest_block);
+      ("lifetime_tx", n i.Corundum.Pool_inspect.lifetime_tx);
+      ("lifetime_aborts", n i.Corundum.Pool_inspect.lifetime_aborts);
+      ("recovery", recovery_json);
+    ]
+
+let run_info check json path =
+  (* Optane latencies so the recovery phase_ns in --json is meaningful;
+     the plain layout print doesn't read the clock. *)
+  let dev = load ~latency:Pmem.Latency.optane path in
   let info = Corundum.Pool_inspect.inspect_device dev in
   Format.printf "%a" Corundum.Pool_inspect.pp info;
+  (match json with
+  | None -> ()
+  | Some out ->
+      let recovery =
+        if not info.Corundum.Pool_inspect.magic_ok then
+          Error "not a Corundum pool image"
+        else begin
+          Ptelemetry.Trace.install_null ();
+          let r =
+            match Corundum.Pool_impl.attach dev with
+            | pool -> Ok (Corundum.Pool_impl.recovery_stats pool)
+            | exception Corundum.Pool_impl.Recovery_needed msg -> Error msg
+          in
+          Ptelemetry.Trace.uninstall ();
+          r
+        end
+      in
+      write_json out (info_json ~path info recovery);
+      (match recovery with
+      | Ok s ->
+          Printf.printf "wrote %s (recovery:" out;
+          List.iter
+            (fun (name, ns) -> Printf.printf " %s=%.0fns" name ns)
+            s.Pjournal.Recovery.phase_ns;
+          Printf.printf ")\n"
+      | Error _ -> Printf.printf "wrote %s\n" out));
   if not info.Corundum.Pool_inspect.magic_ok then exit 1;
   if check then begin
     let r = Corundum.Pool_check.check_device dev in
@@ -67,12 +165,6 @@ let fsck_verdict_json ~path ~verdict (r : Corundum.Pool_check.report)
         Num (float_of_int r.Corundum.Pool_check.blocks_checked) );
       ("unrepairable", List (List.map finding_json unrepairable));
     ]
-
-let write_json path json =
-  let oc = open_out path in
-  output_string oc (Ptelemetry.Json.to_string json);
-  output_char oc '\n';
-  close_out oc
 
 let run_fsck repair json path =
   let dev = load path in
@@ -238,7 +330,19 @@ let repair_arg =
            quarantine impossible allocation-table entries, re-seal the \
            header checksum.  Exits non-zero on unrepairable damage.")
 
-let info_term = Term.(const run_info $ check_arg $ path_arg)
+let info_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ]
+        ~doc:
+          "Write layout and attach-time recovery statistics (schema \
+           corundum-info-v1) to $(docv), including the per-phase \
+           simulated-ns recovery timings.  The attach runs on the \
+           in-memory copy; the image file is not modified."
+        ~docv:"FILE")
+
+let info_term = Term.(const run_info $ check_arg $ info_json_arg $ path_arg)
 
 let info_cmd =
   Cmd.v

@@ -7,7 +7,13 @@
    With --stats, also print a summary of each valid file: event counts
    per phase and per category, and simulated-duration percentiles for
    every distinct complete-span (X) name — a quick profile of where a
-   traced run spent its simulated time, with no external tooling. *)
+   traced run spent its simulated time, with no external tooling.
+
+   With --diff A B, compare two capture documents instead: counter
+   deltas and histogram count/p50/p99 shifts for metrics dumps, waste
+   deltas for corundum-waste-v1 / corundum-pprof-v1 files.  Exits 1
+   only when a comparable waste row grew (counter and histogram drift
+   is informational). *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -89,12 +95,38 @@ let print_stats path =
       spans
   end
 
+let run_diff a_path b_path =
+  let doc path =
+    match Ptelemetry.Json.of_string (read_file path) with
+    | doc -> doc
+    | exception (Failure msg | Sys_error msg) ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit 2
+  in
+  let entries = Ptelemetry.Capture_diff.diff (doc a_path) (doc b_path) in
+  Printf.printf "diff %s -> %s\n" a_path b_path;
+  print_string (Ptelemetry.Capture_diff.render entries);
+  if Ptelemetry.Capture_diff.waste_regressed entries then begin
+    prerr_endline "waste regressed between captures";
+    exit 1
+  end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (match args with
+  | [ "--diff"; a; b ] ->
+      run_diff a b;
+      exit 0
+  | "--diff" :: _ ->
+      prerr_endline "usage: trace_check --diff A.json B.json";
+      exit 2
+  | _ -> ());
   let stats = List.mem "--stats" args in
   let paths = List.filter (fun a -> a <> "--stats") args in
   if paths = [] then begin
-    prerr_endline "usage: trace_check [--stats] FILE.json ...";
+    prerr_endline
+      "usage: trace_check [--stats] FILE.json ...\n\
+      \       trace_check --diff A.json B.json";
     exit 2
   end;
   let bad = ref false in

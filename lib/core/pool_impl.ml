@@ -18,6 +18,8 @@ let m_aborts = Mx.counter "tx.aborts"
 let m_recoveries = Mx.counter "recovery.count"
 let m_rolled_back = Mx.counter "recovery.rolled_back"
 let m_completed = Mx.counter "recovery.completed"
+let h_recovery_latency = Mx.histogram "recovery.latency_ns"
+let h_recovery_phase name = Mx.histogram ("recovery.phase." ^ name ^ "_ns")
 let h_tx_latency = Mx.histogram "tx.latency_ns"
 let h_tx_logged = Mx.histogram "tx.logged_bytes"
 let h_tx_flushes = Mx.histogram "tx.flushes"
@@ -277,6 +279,10 @@ let attach ?(mode = Read_write) dev =
           Mx.incr m_recoveries;
           Mx.incr ~by:r.R.rolled_back m_rolled_back;
           Mx.incr ~by:r.R.completed m_completed;
+          List.iter
+            (fun (name, dur) ->
+              Mx.observe (h_recovery_phase name) (int_of_float dur))
+            r.R.phase_ns;
           Tr.emit
             ~args:
               [
@@ -291,7 +297,42 @@ let attach ?(mode = Read_write) dev =
         end;
         r
   in
+  (* The buddy attach rescans the whole allocation table to rebuild its
+     volatile free lists — the O(pool size) component of recovery
+     latency, timed as its own phase. *)
+  let ts0 = D.simulated_ns dev in
   let buddy = B.attach ~stripes:nslots dev ~table_base ~heap_base ~heap_len in
+  let recovery =
+    if mode <> Read_write then recovery
+    else begin
+      let ts1 = D.simulated_ns dev in
+      if Pr.on () then
+        Pr.emit
+          (Pr.Recovery_phase
+             {
+               dev = D.id dev;
+               phase = "table_scan";
+               ns = ts1;
+               dur_ns = ts1 -. ts0;
+             });
+      if Tr.on () then begin
+        Mx.observe (h_recovery_phase "table_scan") (int_of_float (ts1 -. ts0));
+        (* Total open-time recovery latency: journal recovery (walk,
+           rollback, drops, remark, truncate across all slots) plus the
+           table rescan. *)
+        let journal_ns =
+          List.fold_left (fun a (_, d) -> a +. d) 0.0 recovery.R.phase_ns
+        in
+        Mx.observe h_recovery_latency
+          (int_of_float (journal_ns +. (ts1 -. ts0)))
+      end;
+      {
+        recovery with
+        R.phase_ns =
+          R.add_phase "table_scan" (ts1 -. ts0) recovery.R.phase_ns;
+      }
+    end
+  in
   if mode = Read_write then bump_generation dev;
   build ~read_only:(mode = Read_only) dev ~buddy ~nslots ~slot_size ~table_base
     ~heap_base ~heap_len ~recovery

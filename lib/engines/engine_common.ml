@@ -23,28 +23,36 @@ let set_root tx off = P.tx_set_root tx ~off ~ty_hash:0
 let line_log tx off = P.tx_log tx ~off:(off land lnot 63) ~len:64
 
 (* Deliberately-buggy engine variants: positive controls for the
-   sanitizer, each eliding exactly one leg of the persistence protocol.
-   Psan must flag them (V1/V2/V3 respectively) and the crash-injection
-   sweep must observe the corruption they cause — the correlation that
-   validates the sanitizer's verdicts against real crash outcomes. *)
+   verification tooling.  The [Missing_*] profiles each elide one leg of
+   the persistence protocol — Psan must flag them (V1/V2/V3) and the
+   crash-injection sweep must observe the corruption they cause.  The
+   [Double_*] profiles are the dual defect for the waste profiler: each
+   repeats a persist primitive, staying crash-safe while burning
+   flushes/fences the minimal schedule does not need — pprof must report
+   the excess with a stable elision class (E2 / E1 respectively). *)
 module Fault_profile = struct
   type t =
     | Clean  (** the shipped protocol, no elision *)
     | Missing_log  (** in-place stores never undo-logged (V1) *)
     | Missing_flush  (** commit skips the data flushes (V2) *)
     | Missing_fence  (** commit skips its ordering fence (V3) *)
+    | Double_flush  (** commit re-flushes already-queued data (E2 waste) *)
+    | Double_fence  (** commit fences thrice, two draining nothing (E1) *)
 
   let current = ref Clean
 
   let set p =
     current := p;
+    let elide ~flush ~fence = Pjournal.Journal_impl.set_fault_elision ~flush ~fence in
+    let dup ~flush ~fence = Pjournal.Journal_impl.set_fault_duplication ~flush ~fence in
+    elide ~flush:false ~fence:false;
+    dup ~flush:false ~fence:false;
     match p with
-    | Clean | Missing_log ->
-        Pjournal.Journal_impl.set_fault_elision ~flush:false ~fence:false
-    | Missing_flush ->
-        Pjournal.Journal_impl.set_fault_elision ~flush:true ~fence:false
-    | Missing_fence ->
-        Pjournal.Journal_impl.set_fault_elision ~flush:false ~fence:true
+    | Clean | Missing_log -> ()
+    | Missing_flush -> elide ~flush:true ~fence:false
+    | Missing_fence -> elide ~flush:false ~fence:true
+    | Double_flush -> dup ~flush:true ~fence:false
+    | Double_fence -> dup ~flush:false ~fence:true
 
   let get () = !current
 
@@ -53,6 +61,11 @@ module Fault_profile = struct
     | Missing_log -> "missing-log"
     | Missing_flush -> "missing-flush"
     | Missing_fence -> "missing-fence"
+    | Double_flush -> "double-flush"
+    | Double_fence -> "double-fence"
 
+  (* [all] stays the unsafe set the crash sweep iterates; the wasteful
+     profiles are safe by construction and only interest the profiler. *)
   let all = [ Clean; Missing_log; Missing_flush; Missing_fence ]
+  let wasteful = [ Double_flush; Double_fence ]
 end

@@ -24,22 +24,42 @@ val line_log : Corundum.Pool_impl.tx -> int -> unit
     allocation boundary. *)
 
 (** Deliberately-buggy engine variants — positive controls for the
-    persistency sanitizer.  Each profile elides exactly one leg of the
-    persistence protocol: [Missing_log] makes {!Corundum_engine} skip
-    undo logging for in-place stores (psan V1), [Missing_flush] and
-    [Missing_fence] elide the commit-time data flushes / commit fence
-    in the journal (psan V2 / V3).  The knob is global; always reset to
-    [Clean] after use. *)
+    verification tooling.  The [Missing_*] profiles each elide exactly
+    one leg of the persistence protocol: [Missing_log] makes
+    {!Corundum_engine} skip undo logging for in-place stores (psan V1),
+    [Missing_flush] and [Missing_fence] elide the commit-time data
+    flushes / commit fence in the journal (psan V2 / V3).  The
+    [Double_*] profiles are the dual, {e wasteful} defect for the
+    persist-waste profiler: [Double_flush] re-runs the commit-time data
+    flushes after the lines already reached the write-pending queue
+    (pure E2 waste, psan W1), [Double_fence] issues two extra commit
+    fences that drain an empty queue (E1 waste, psan W2).  Both stay
+    crash-consistent.  The knob is global; always reset to [Clean]
+    after use. *)
 module Fault_profile : sig
-  type t = Clean | Missing_log | Missing_flush | Missing_fence
+  type t =
+    | Clean
+    | Missing_log
+    | Missing_flush
+    | Missing_fence
+    | Double_flush
+    | Double_fence
 
   val set : t -> unit
-  (** Select the profile and program the journal's elision switches. *)
+  (** Select the profile and program the journal's elision and
+      duplication switches (each [set] clears both first). *)
 
   val get : unit -> t
 
   val name : t -> string
-  (** ["clean"], ["missing-log"], ["missing-flush"], ["missing-fence"]. *)
+  (** ["clean"], ["missing-log"], ["missing-flush"], ["missing-fence"],
+      ["double-flush"], ["double-fence"]. *)
 
   val all : t list
+  (** The unsafe profiles the crash-injection sweep iterates (the
+      wasteful ones are safe by construction and excluded). *)
+
+  val wasteful : t list
+  (** [[Double_flush; Double_fence]] — the profiler's positive
+      controls. *)
 end

@@ -1,0 +1,54 @@
+(** Per-engine persist-waste measurement: {!Attribution}'s canonical
+    operation windows, profiled through {!Pprof} instead of raw counter
+    deltas.
+
+    Where {!Attribution.measure} reports what each operation {e cost},
+    this module reports how much of that cost the minimal crash-safe
+    schedule actually {e required} — the [actual / minimum / waste]
+    triple per engine and operation, with every excess persist carrying
+    a stable elision class (E1–E4).  The windows are byte-identical to
+    attribution's (same pool size, same 64 single-op transactions per
+    window: root update, 64-byte alloc+initialise, free), so the two
+    tables line up row for row.
+
+    Capturing installs the probe subscriber for the duration
+    ({!Pprof.Capture}), so don't call this with {!Psan} enabled; replay
+    the captured [events] into psan afterwards if both views are
+    wanted. *)
+
+type op_waste = {
+  op : string;  (** window label: ["update"], ["alloc+write"], ["free"] *)
+  ops : int;  (** transactions in the window *)
+  events : Ptelemetry.Probe.event list;  (** the window's captured stream *)
+  report : Pprof.report;  (** analysis of exactly this window *)
+}
+
+val measure_capture :
+  ?size:int ->
+  ?ops:int ->
+  Engine_sig.engine ->
+  Ptelemetry.Probe.event list * op_waste list
+(** Like {!measure}, additionally returning the {e whole} captured
+    stream in order — pool creation and root transaction included — so
+    it can be saved as a self-contained [corundum-probe-v1] capture
+    and re-analyzed offline ([pprof_cli report/replay]). *)
+
+val measure : ?size:int -> ?ops:int -> Engine_sig.engine -> op_waste list
+(** [measure e] runs the attribution windows on a fresh pool (default
+    16 MiB, 64 ops/window) under a probe capture and analyzes each
+    window against the minimal schedule.  Pool creation and the
+    root-allocation transaction feed the analyzer as prelude (shadow
+    state only, not counted), as does each earlier window for the
+    later ones. *)
+
+val table : (string * op_waste list) list -> string
+(** Render engine columns into a per-operation text table of actual,
+    minimal and wasted flushes/fences per op, with a by-class summary
+    of the waste. *)
+
+val waste_json : (string * op_waste list) list -> Ptelemetry.Json.t
+(** [{"schema": "corundum-waste-v1", "engines": {name: [{op, ops,
+    actual_flushes, min_flushes, waste_flushes, actual_fences,
+    min_fences, waste_fences, waste_flushes_per_op,
+    waste_fences_per_op, by_class: {E1: [f, F], …}}, …]}}] — the shape
+    the bench baseline gate compares. *)

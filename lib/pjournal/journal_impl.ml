@@ -19,6 +19,20 @@ let set_fault_elision ~flush ~fence =
   elide_commit_flush := flush;
   elide_commit_fence := fence
 
+(* The profiler's positive controls: the opposite defect.  Instead of
+   eliding a persist these repeat one — crash-safe but wasteful, the
+   kind of overcaution pprof exists to expose.  [flush] runs the step-1
+   target flushes a second time (every line is already in the WPQ, so
+   the repeat is pure write-back waste); [fence] issues two extra
+   commit fences after the real one (both drain an empty WPQ — two in a
+   row so the sanitizer's W2 redundant-fence check fires too). *)
+let dup_commit_flush = ref false
+let dup_commit_fence = ref false
+
+let set_fault_duplication ~flush ~fence =
+  dup_commit_flush := flush;
+  dup_commit_fence := fence
+
 let m_entries = Mx.counter "journal.entries"
 let m_spills = Mx.counter "journal.spills"
 let h_entry_bytes = Mx.histogram "journal.entry_bytes"
@@ -419,7 +433,10 @@ let exec_commit_phase t pending = function
   | Protocol.Flush_targets ->
       (* Make every logged target range durable, one flush per unique
          dirty line (contiguous lines coalesce). *)
-      if not !elide_commit_flush then flush_target_lines t
+      if not !elide_commit_flush then begin
+        flush_target_lines t;
+        if !dup_commit_flush then flush_target_lines t
+      end
   | Protocol.Flush_marks ->
       (* The transaction's batched allocation-table marks, flushed as
          coalesced runs under the same fence.  This is journal protocol,
@@ -441,7 +458,13 @@ let exec_commit_phase t pending = function
       D.write_u64 t.dev (t.base + hdr_count) (Int64.of_int t.count);
       D.flush t.dev (t.base + hdr_count) 16
   | Protocol.Commit_fence ->
-      if not !elide_commit_fence then D.fence t.dev;
+      if not !elide_commit_fence then begin
+        D.fence t.dev;
+        if !dup_commit_fence then begin
+          D.fence t.dev;
+          D.fence t.dev
+        end
+      end;
       (* The commit point: everything this transaction stored must be
          durable now.  Emitted before the truncate, whose own persists
          drain the WPQ and would mask an elided or forgotten commit

@@ -131,3 +131,14 @@ val set_fault_elision : flush:bool -> fence:bool -> unit
     bookkeeping persists are never elided.  Both default to [false];
     set through {!Engines.Engine_common.Fault_profile}, and reset with
     [set_fault_elision ~flush:false ~fence:false]. *)
+
+val set_fault_duplication : flush:bool -> fence:bool -> unit
+(** Globally {e duplicate} persist primitives at {!commit} — the
+    profiler's positive controls, dual to {!set_fault_elision}: still
+    crash-safe, deliberately wasteful.  [flush] re-runs the step-1
+    target flushes after they already reached the write-pending queue
+    (pure E2 write-back waste); [fence] issues two extra commit fences
+    after the real one, both draining an empty queue (E1 waste; two in
+    a row so {!Psan}'s W2 redundant-fence warning fires as well).  Both
+    default to [false]; set through
+    {!Engines.Engine_common.Fault_profile}. *)

@@ -11,6 +11,7 @@ type stats = {
   drops_remarked : int;
   entries_skipped : int;
   drops_skipped : int;
+  phase_ns : (string * float) list;
 }
 
 let empty_stats =
@@ -24,7 +25,13 @@ let empty_stats =
     drops_remarked = 0;
     entries_skipped = 0;
     drops_skipped = 0;
+    phase_ns = [];
   }
+
+let add_phase name dur phases =
+  match List.assoc_opt name phases with
+  | Some d -> (name, d +. dur) :: List.remove_assoc name phases
+  | None -> phases @ [ (name, dur) ]
 
 let add_stats a b =
   {
@@ -37,7 +44,26 @@ let add_stats a b =
     drops_remarked = a.drops_remarked + b.drops_remarked;
     entries_skipped = a.entries_skipped + b.entries_skipped;
     drops_skipped = a.drops_skipped + b.drops_skipped;
+    phase_ns =
+      List.fold_left
+        (fun acc (name, dur) -> add_phase name dur acc)
+        a.phase_ns b.phase_ns;
   }
+
+(* Time one recovery phase on the simulated clock.  [simulated_ns] is a
+   pure fold over the device's persist counters, so the timers cannot
+   perturb the very latency they measure; the probe emission rides the
+   recovery exempt window and is gated like every other site. *)
+let timed dev phases name f =
+  let t0 = D.simulated_ns dev in
+  let r = f () in
+  let t1 = D.simulated_ns dev in
+  phases := add_phase name (t1 -. t0) !phases;
+  if Pr.on () then
+    Pr.emit
+      (Pr.Recovery_phase
+         { dev = D.id dev; phase = name; ns = t1; dur_ns = t1 -. t0 });
+  r
 
 let drop_slot_bytes = 16
 let phase_committing = 1L
@@ -163,27 +189,32 @@ let recover_slot dev table ~base ~size =
   let ndrops = Int64.to_int (D.read_u64 dev (base + 16)) in
   let epoch = Int64.to_int (D.read_u64 dev (base + 32)) in
   let salt = Log_entry.salt ~slot_base:base ~epoch in
+  let phases = ref [] in
+  let finish stats = { stats with phase_ns = !phases } in
   if phase = phase_committing then begin
     (* The transaction durably committed; finish its deferred frees.  A
        drop entry that fails verification is skipped (frees are
        idempotent and independent); the leak is visible to fsck. *)
     let applied = ref 0 and skipped = ref 0 in
-    for i = 1 to ndrops do
-      let at = base + size - (i * drop_slot_bytes) in
-      match Log_entry.read dev ~salt ~at with
-      | Log_entry.Drop { off; order = _ }, _ ->
-          if clear_if_live table off then incr applied
-      | (Log_entry.Data _ | Log_entry.Alloc _), _ -> incr skipped
-      | exception Invalid_argument _ -> incr skipped
-    done;
-    truncate ~ordered:true dev table ~base;
-    {
-      empty_stats with
-      slots_scanned = 1;
-      completed = 1;
-      drops_applied = !applied;
-      drops_skipped = !skipped;
-    }
+    timed dev phases "drop_apply" (fun () ->
+        for i = 1 to ndrops do
+          let at = base + size - (i * drop_slot_bytes) in
+          match Log_entry.read dev ~salt ~at with
+          | Log_entry.Drop { off; order = _ }, _ ->
+              if clear_if_live table off then incr applied
+          | (Log_entry.Data _ | Log_entry.Alloc _), _ -> incr skipped
+          | exception Invalid_argument _ -> incr skipped
+        done);
+    timed dev phases "truncate" (fun () ->
+        truncate ~ordered:true dev table ~base);
+    finish
+      {
+        empty_stats with
+        slots_scanned = 1;
+        completed = 1;
+        drops_applied = !applied;
+        drops_skipped = !skipped;
+      }
   end
   else begin
     (* Walk the sealed entries to the tail terminator.  A [Bad_entry] or
@@ -191,8 +222,9 @@ let recover_slot dev table ~base ~size =
        finished — the visited prefix is the whole durable log. *)
     let entries = ref [] in
     let visited, _cursor, reason =
-      Log_entry.walk_to_tail dev ~slot_base:base ~slot_size:size ~salt (fun e ->
-          entries := e :: !entries)
+      timed dev phases "walk" (fun () ->
+          Log_entry.walk_to_tail dev ~slot_base:base ~slot_size:size ~salt
+            (fun e -> entries := e :: !entries))
     in
     let torn = match reason with Log_entry.Terminator -> false | _ -> true in
     if visited > 0 then begin
@@ -203,38 +235,41 @@ let recover_slot dev table ~base ~size =
          transaction is live again before the allocation revert frees
          it. *)
       let remarked =
-        remark_drops table
-          (scan_drops dev table ~base ~size ~salt)
-          ~rollback:true
+        timed dev phases "remark" (fun () ->
+            remark_drops table
+              (scan_drops dev table ~base ~size ~salt)
+              ~rollback:true)
       in
       let restored = ref 0 and reverted = ref 0 in
-      List.iter
-        (fun e ->
-          match e with
-          | Log_entry.Data { off; len; payload } ->
-              D.copy_within dev ~src:payload ~dst:off ~len;
-              D.flush dev off len;
-              incr restored
-          | Log_entry.Alloc _ | Log_entry.Drop _ -> ())
-        !entries;
-      D.fence dev;
-      List.iter
-        (fun e ->
-          match e with
-          | Log_entry.Alloc { off; order = _ } ->
-              if clear_if_live table off then incr reverted
-          | Log_entry.Data _ | Log_entry.Drop _ -> ())
-        !entries;
-      truncate dev table ~base;
-      {
-        empty_stats with
-        slots_scanned = 1;
-        rolled_back = 1;
-        data_restored = !restored;
-        allocs_reverted = !reverted;
-        drops_remarked = remarked;
-        entries_skipped = (if torn then 1 else 0);
-      }
+      timed dev phases "rollback" (fun () ->
+          List.iter
+            (fun e ->
+              match e with
+              | Log_entry.Data { off; len; payload } ->
+                  D.copy_within dev ~src:payload ~dst:off ~len;
+                  D.flush dev off len;
+                  incr restored
+              | Log_entry.Alloc _ | Log_entry.Drop _ -> ())
+            !entries;
+          D.fence dev;
+          List.iter
+            (fun e ->
+              match e with
+              | Log_entry.Alloc { off; order = _ } ->
+                  if clear_if_live table off then incr reverted
+              | Log_entry.Data _ | Log_entry.Drop _ -> ())
+            !entries);
+      timed dev phases "truncate" (fun () -> truncate dev table ~base);
+      finish
+        {
+          empty_stats with
+          slots_scanned = 1;
+          rolled_back = 1;
+          data_restored = !restored;
+          allocs_reverted = !reverted;
+          drops_remarked = remarked;
+          entries_skipped = (if torn then 1 else 0);
+        }
     end
     else begin
       (* No durable entries.  Scrub any residue — a torn tail, a stale
@@ -246,18 +281,22 @@ let recover_slot dev table ~base ~size =
          and keeps fully-applied ones, and the truncate's epoch bump
          then invalidates the surviving slots. *)
       let drops = scan_drops dev table ~base ~size ~salt in
-      let remarked = remark_drops table drops ~rollback:false in
+      let remarked =
+        timed dev phases "remark" (fun () ->
+            remark_drops table drops ~rollback:false)
+      in
       if
         torn || phase <> 0L || advisory <> 0 || ndrops <> 0 || drops <> []
         || spill_chain_or_empty dev ~slot_base:base <> []
-      then truncate dev table ~base;
-      {
-        empty_stats with
-        slots_scanned = 1;
-        rolled_back = (if remarked > 0 then 1 else 0);
-        drops_remarked = remarked;
-        entries_skipped = (if torn then 1 else 0);
-      }
+      then timed dev phases "truncate" (fun () -> truncate dev table ~base);
+      finish
+        {
+          empty_stats with
+          slots_scanned = 1;
+          rolled_back = (if remarked > 0 then 1 else 0);
+          drops_remarked = remarked;
+          entries_skipped = (if torn then 1 else 0);
+        }
     end
   end
 

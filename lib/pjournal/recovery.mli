@@ -46,10 +46,24 @@ type stats = {
           interrupted batched clear flush *)
   entries_skipped : int;  (** slots whose torn tail write was discarded *)
   drops_skipped : int;  (** drop entries discarded as torn/corrupt *)
+  phase_ns : (string * float) list;
+      (** simulated nanoseconds per recovery phase ([walk], [rollback],
+          [drop_apply], [remark], [truncate]), summed across slots.
+          Measured on the simulated clock (a pure counter fold), so the
+          timers cannot perturb the latency they report; each phase is
+          also published as a {!Ptelemetry.Probe.Recovery_phase} event
+          when a probe subscriber is installed. *)
 }
 
 val empty_stats : stats
 val add_stats : stats -> stats -> stats
+
+val add_phase :
+  string -> float -> (string * float) list -> (string * float) list
+(** [add_phase name dur phases] sums [dur] into the entry for [name]
+    (appending a new entry if absent) — the merge {!add_stats} uses,
+    exported so pool attach can fold its table-scan phase into the same
+    ledger. *)
 
 val recover_slot :
   Pmem.Device.t -> Palloc.Alloc_table.t -> base:int -> size:int -> stats

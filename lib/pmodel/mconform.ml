@@ -146,7 +146,7 @@ let validate (events : Pr.event list) : verdict =
         | Pr.Region_reserve { dev; _ } | Pr.Region_release { dev; _ }
         | Pr.Exempt_push { dev } | Pr.Exempt_pop { dev }
         | Pr.Pool_layout { dev; _ } | Pr.Journal_truncate { dev; _ }
-        | Pr.Drop_apply { dev; _ } ->
+        | Pr.Drop_apply { dev; _ } | Pr.Recovery_phase { dev; _ } ->
             dev
       in
       let ds = dstate dev in
@@ -155,7 +155,7 @@ let validate (events : Pr.event list) : verdict =
       | Pr.Pool_layout { journal_base; slot_size; nslots; table_base; heap_base; heap_len; _ } ->
           ds.geom <-
             Some { journal_base; slot_size; nslots; table_base; heap_base; heap_len }
-      | Pr.Pool_attach _ | Pr.Store _ -> ()
+      | Pr.Pool_attach _ | Pr.Store _ | Pr.Recovery_phase _ -> ()
       | Pr.Flush _ -> ()
       | Pr.Fence _ -> ()
       | Pr.Power_cycle _ ->

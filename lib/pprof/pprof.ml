@@ -1,0 +1,996 @@
+module Pr = Ptelemetry.Probe
+module Tr = Ptelemetry.Trace
+module Json = Ptelemetry.Json
+
+let line = 64
+
+(* {1 Capture} *)
+
+module Capture = struct
+  let buf : Pr.event list ref = ref [] (* newest first *)
+  let running = ref false
+
+  let start () =
+    buf := [];
+    running := true;
+    Pr.install (fun e -> buf := e :: !buf)
+
+  let cut () =
+    let evs = List.rev !buf in
+    buf := [];
+    evs
+
+  let stop () =
+    let evs = cut () in
+    if !running then begin
+      running := false;
+      Pr.uninstall ()
+    end;
+    evs
+
+  let active () = !running
+end
+
+let replay events = List.iter Pr.emit events
+
+(* {1 Elision classes} *)
+
+type elision = E1 | E2 | E3 | E4
+
+let class_name = function E1 -> "E1" | E2 -> "E2" | E3 -> "E3" | E4 -> "E4"
+
+let class_doc = function
+  | E1 -> "fence collapsible across independent lines"
+  | E2 -> "flush of a line re-dirtied before its governing fence"
+  | E3 -> "deferrable advisory update"
+  | E4 -> "coalescable adjacent-line flush"
+
+type finding = {
+  cls : elision;
+  kind : [ `Flush | `Fence ];
+  dev : int;
+  off : int;
+  len : int;
+  ns : float;
+  tx : int;
+  site : string;
+  count : int;
+  detail : string;
+}
+
+type report = {
+  label : string;
+  events : int;
+  txs : int;
+  unanalyzed : int;
+  actual_flushes : int;
+  actual_fences : int;
+  min_flushes : int;
+  min_fences : int;
+  bg_flushes : int;
+  bg_fences : int;
+  recovery_flushes : int;
+  recovery_fences : int;
+  findings : finding list;
+  recovery_phases : (string * float) list;
+}
+
+(* {1 Shadow analyzer}
+
+   The shadow machine mirrors the device's persist semantics per
+   64-byte line: a store dirties a line, a flush moves it to the
+   write-pending queue, a fence drains the queue.  On top of it, each
+   open transaction accumulates the line sets the protocol's ordering
+   barriers require durable, split by region (journal/spill vs
+   data/mark vs post-commit clears vs header reset), from which the
+   minimal schedule falls out as contiguous-run counts per barrier. *)
+
+type lstate = Dirty | Wpq | Wpq_dirty
+
+type geom = {
+  journal_base : int;
+  slot_size : int;
+  table_base : int;
+  heap_base : int;
+}
+
+type region = Header | Journal | Journal_adv | Table | Heap | Spill
+
+let site_of_region = function
+  | Header -> "header"
+  | Journal -> "journal"
+  | Journal_adv -> "journal-advisory"
+  | Table -> "table"
+  | Heap -> "heap"
+  | Spill -> "spill"
+
+(* One flush call awaiting its governing fence (for E2-superseded and
+   E4-coalescing attribution). *)
+type frec = { fr_off : int; fr_len : int; fr_ns : float; fr_newly : int list }
+
+type txstate = {
+  tx_id : int;
+  mutable commit_seen : bool;
+  mutable poisoned : bool;
+  pre_log : (int, unit) Hashtbl.t; (* journal/spill lines, required *)
+  pre_other : (int, unit) Hashtbl.t; (* data/mark/header lines, required *)
+  pre_adv : (int, unit) Hashtbl.t; (* advisory-only candidates *)
+  post_journal : (int, unit) Hashtbl.t; (* header-reset lines, required *)
+  post_table : (int, unit) Hashtbl.t; (* table-clear lines, required *)
+  post_adv : (int, unit) Hashtbl.t;
+  mutable a_fl : int;
+  mutable a_fe : int;
+  mutable classified_fl : int; (* flush waste already explained *)
+  mutable empty_fences : int; (* fence waste already explained *)
+  mutable tfind : finding list; (* newest first; dropped if unanalyzed *)
+  mutable last_ns : float;
+}
+
+type dstate = {
+  ddev : int;
+  mutable geom : geom option;
+  lines : (int, lstate) Hashtbl.t;
+  mutable wpq : int; (* lines currently pending (Wpq or Wpq_dirty) *)
+  spills : (int, int) Hashtbl.t; (* live spill regions: off -> len *)
+  mutable pending : frec list; (* since the last fence, newest first *)
+  mutable tx : txstate option;
+  mutable tx_overlap : int; (* extra Tx_begins the stream can't attribute *)
+  mutable exempt : int;
+}
+
+type acc = {
+  mutable n_txs : int;
+  mutable n_unanalyzed : int;
+  mutable t_a_fl : int;
+  mutable t_a_fe : int;
+  mutable t_m_fl : int;
+  mutable t_m_fe : int;
+  mutable t_bg_fl : int;
+  mutable t_bg_fe : int;
+  mutable t_rv_fl : int;
+  mutable t_rv_fe : int;
+  mutable all_findings : finding list; (* newest first *)
+  mutable next_tx : int;
+  mutable phases : (string * float) list;
+}
+
+let runs_of_sorted = function
+  | [] -> 0
+  | l0 :: rest ->
+      fst
+        (List.fold_left
+           (fun (r, last) l -> if l <= last + 1 then (r, l) else (r + 1, l))
+           (1, l0) rest)
+
+let runs_of_tbl tbl =
+  runs_of_sorted
+    (List.sort_uniq compare (Hashtbl.fold (fun l () a -> l :: a) tbl []))
+
+let runs_of_list ls = runs_of_sorted (List.sort_uniq compare ls)
+
+let classify g d off len =
+  if off < g.journal_base then Header
+  else if off < g.table_base then begin
+    let rel = (off - g.journal_base) mod g.slot_size in
+    (* The slot header line mixes advisory words (entry/drop counts at
+       +8/+16) with required ones (phase, spill link, epoch), so
+       advisory status is byte-range, not line, granular. *)
+    if rel >= 8 && rel + len <= 24 then Journal_adv else Journal
+  end
+  else if off < g.heap_base then Table
+  else if
+    Hashtbl.fold
+      (fun o l acc -> acc || (off >= o && off < o + l))
+      d.spills false
+  then Spill
+  else Heap
+
+let fresh_tx id =
+  {
+    tx_id = id;
+    commit_seen = false;
+    poisoned = false;
+    pre_log = Hashtbl.create 16;
+    pre_other = Hashtbl.create 16;
+    pre_adv = Hashtbl.create 4;
+    post_journal = Hashtbl.create 8;
+    post_table = Hashtbl.create 8;
+    post_adv = Hashtbl.create 4;
+    a_fl = 0;
+    a_fe = 0;
+    classified_fl = 0;
+    empty_fences = 0;
+    tfind = [];
+    last_ns = 0.0;
+  }
+
+let analyze ?(label = "trace") ?(prelude = []) events =
+  let devs : (int, dstate) Hashtbl.t = Hashtbl.create 4 in
+  let dstate dev =
+    match Hashtbl.find_opt devs dev with
+    | Some d -> d
+    | None ->
+        let d =
+          {
+            ddev = dev;
+            geom = None;
+            lines = Hashtbl.create 256;
+            wpq = 0;
+            spills = Hashtbl.create 4;
+            pending = [];
+            tx = None;
+            tx_overlap = 0;
+            exempt = 0;
+          }
+        in
+        Hashtbl.add devs dev d;
+        d
+  in
+  let acc =
+    {
+      n_txs = 0;
+      n_unanalyzed = 0;
+      t_a_fl = 0;
+      t_a_fe = 0;
+      t_m_fl = 0;
+      t_m_fe = 0;
+      t_bg_fl = 0;
+      t_bg_fe = 0;
+      t_rv_fl = 0;
+      t_rv_fe = 0;
+      all_findings = [];
+      next_tx = 0;
+      phases = [];
+    }
+  in
+  let live = ref false in
+  let on_store d off len =
+    for l = off / line to (off + len - 1) / line do
+      match Hashtbl.find_opt d.lines l with
+      | Some Wpq -> Hashtbl.replace d.lines l Wpq_dirty
+      | Some (Dirty | Wpq_dirty) -> ()
+      | None -> Hashtbl.replace d.lines l Dirty
+    done;
+    if d.exempt = 0 then
+      match d.tx with
+      | Some tx when not tx.poisoned -> (
+          match d.geom with
+          | None -> tx.poisoned <- true
+          | Some g ->
+              let first = off / line and last = (off + len - 1) / line in
+              let add tbl =
+                for l = first to last do
+                  Hashtbl.replace tbl l ()
+                done
+              in
+              if not tx.commit_seen then
+                match classify g d off len with
+                | Journal | Spill -> add tx.pre_log
+                | Journal_adv -> add tx.pre_adv
+                | Table | Heap | Header -> add tx.pre_other
+              else
+                match classify g d off len with
+                | Table -> add tx.post_table
+                | Journal_adv -> add tx.post_adv
+                | Journal | Spill | Header | Heap -> add tx.post_journal)
+      | _ -> ()
+  in
+  let on_flush d off len ns =
+    let newly = ref [] in
+    for l = (off + len - 1) / line downto off / line do
+      match Hashtbl.find_opt d.lines l with
+      | Some Dirty ->
+          Hashtbl.replace d.lines l Wpq;
+          d.wpq <- d.wpq + 1;
+          newly := l :: !newly
+      | Some Wpq_dirty ->
+          Hashtbl.replace d.lines l Wpq;
+          newly := l :: !newly
+      | Some Wpq | None -> ()
+    done;
+    let newly = !newly in
+    if !live then begin
+      if d.exempt > 0 then acc.t_rv_fl <- acc.t_rv_fl + 1
+      else
+        match d.tx with
+        | None -> acc.t_bg_fl <- acc.t_bg_fl + 1
+        | Some tx ->
+            tx.a_fl <- tx.a_fl + 1;
+            tx.last_ns <- ns;
+            if not tx.poisoned then begin
+              match d.geom with
+              | None -> tx.poisoned <- true
+              | Some g ->
+                  let req l =
+                    if tx.commit_seen then
+                      Hashtbl.mem tx.post_table l
+                      || Hashtbl.mem tx.post_journal l
+                    else
+                      Hashtbl.mem tx.pre_log l || Hashtbl.mem tx.pre_other l
+                  in
+                  let adv l =
+                    if tx.commit_seen then Hashtbl.mem tx.post_adv l
+                    else Hashtbl.mem tx.pre_adv l
+                  in
+                  let site = site_of_region (classify g d off len) in
+                  let mk cls count detail =
+                    tx.tfind <-
+                      {
+                        cls;
+                        kind = `Flush;
+                        dev = d.ddev;
+                        off;
+                        len;
+                        ns;
+                        tx = tx.tx_id;
+                        site;
+                        count;
+                        detail;
+                      }
+                      :: tx.tfind
+                  in
+                  if newly = [] then begin
+                    tx.classified_fl <- tx.classified_fl + 1;
+                    mk E2 1 "write-back of a range with no newly-dirty line"
+                  end
+                  else if List.for_all (fun l -> adv l && not (req l)) newly
+                  then begin
+                    tx.classified_fl <- tx.classified_fl + 1;
+                    mk E3 1
+                      "advisory bytes only (never trusted by recovery); \
+                       deferrable"
+                  end
+                  else
+                    d.pending <-
+                      { fr_off = off; fr_len = len; fr_ns = ns; fr_newly = newly }
+                      :: d.pending
+            end
+    end
+  in
+  let on_fence d ns =
+    let empty = d.wpq = 0 in
+    (if !live then
+       if d.exempt > 0 then acc.t_rv_fe <- acc.t_rv_fe + 1
+       else
+         match d.tx with
+         | None -> acc.t_bg_fe <- acc.t_bg_fe + 1
+         | Some tx ->
+             tx.a_fe <- tx.a_fe + 1;
+             tx.last_ns <- ns;
+             if not tx.poisoned then begin
+               let site_of fr =
+                 match d.geom with
+                 | Some g -> site_of_region (classify g d fr.fr_off fr.fr_len)
+                 | None -> "unknown"
+               in
+               let pend = List.rev d.pending in
+               let superseded, effective =
+                 List.partition
+                   (fun fr ->
+                     fr.fr_newly <> []
+                     && List.for_all
+                          (fun l ->
+                            Hashtbl.find_opt d.lines l = Some Wpq_dirty)
+                          fr.fr_newly)
+                   pend
+               in
+               List.iter
+                 (fun fr ->
+                   tx.classified_fl <- tx.classified_fl + 1;
+                   tx.tfind <-
+                     {
+                       cls = E2;
+                       kind = `Flush;
+                       dev = d.ddev;
+                       off = fr.fr_off;
+                       len = fr.fr_len;
+                       ns = fr.fr_ns;
+                       tx = tx.tx_id;
+                       site = site_of fr;
+                       count = 1;
+                       detail =
+                         "every line written back was re-dirtied before the \
+                          governing fence";
+                     }
+                     :: tx.tfind)
+                 superseded;
+               let k = List.length effective in
+               (if k > 1 then
+                  let r =
+                    runs_of_list
+                      (List.concat_map (fun fr -> fr.fr_newly) effective)
+                  in
+                  if k > r then begin
+                    tx.classified_fl <- tx.classified_fl + (k - r);
+                    tx.tfind <-
+                      {
+                        cls = E4;
+                        kind = `Flush;
+                        dev = d.ddev;
+                        off =
+                          (match effective with
+                          | fr :: _ -> fr.fr_off
+                          | [] -> 0);
+                        len = 0;
+                        ns;
+                        tx = tx.tx_id;
+                        site = "fence-group";
+                        count = k - r;
+                        detail =
+                          Printf.sprintf
+                            "%d flush calls cover %d contiguous run(s) under \
+                             this fence"
+                            k r;
+                      }
+                      :: tx.tfind
+                  end);
+               if empty then begin
+                 tx.empty_fences <- tx.empty_fences + 1;
+                 tx.tfind <-
+                   {
+                     cls = E1;
+                     kind = `Fence;
+                     dev = d.ddev;
+                     off = 0;
+                     len = 0;
+                     ns;
+                     tx = tx.tx_id;
+                     site = "fence";
+                     count = 1;
+                     detail = "fence drained nothing";
+                   }
+                   :: tx.tfind
+               end
+             end);
+    d.pending <- [];
+    let entries = Hashtbl.fold (fun l st a -> (l, st) :: a) d.lines [] in
+    List.iter
+      (fun (l, st) ->
+        match st with
+        | Wpq -> Hashtbl.remove d.lines l
+        | Wpq_dirty -> Hashtbl.replace d.lines l Dirty
+        | Dirty -> ())
+      entries;
+    d.wpq <- 0
+  in
+  let finish_tx d tx ~committed =
+    d.tx <- None;
+    if !live then begin
+      let a_fl = tx.a_fl and a_fe = tx.a_fe in
+      let analyzed =
+        committed && not tx.poisoned
+        && (tx.commit_seen || (a_fl = 0 && a_fe = 0))
+      in
+      acc.t_a_fl <- acc.t_a_fl + a_fl;
+      acc.t_a_fe <- acc.t_a_fe + a_fe;
+      if analyzed then begin
+        acc.n_txs <- acc.n_txs + 1;
+        let g1 = runs_of_tbl tx.pre_log and g2 = runs_of_tbl tx.pre_other in
+        let g3 = runs_of_tbl tx.post_table
+        and g4 = runs_of_tbl tx.post_journal in
+        let seal = if g1 > 0 && g2 > 0 then 1 else 0 in
+        let commitf = if g1 > 0 || g2 > 0 then 1 else 0 in
+        let clears = if g3 > 0 && g4 > 0 then 1 else 0 in
+        let trunc = if g3 > 0 || g4 > 0 then 1 else 0 in
+        (* A buggy (flush/fence-eliding) trace can undershoot the
+           minimum; waste is never negative. *)
+        let m_fl = min (g1 + g2 + g3 + g4) a_fl in
+        let m_fe = min (seal + commitf + clears + trunc) a_fe in
+        acc.t_m_fl <- acc.t_m_fl + m_fl;
+        acc.t_m_fe <- acc.t_m_fe + m_fe;
+        let rem_fl = a_fl - m_fl - tx.classified_fl in
+        if rem_fl > 0 then
+          tx.tfind <-
+            {
+              cls = E1;
+              kind = `Flush;
+              dev = d.ddev;
+              off = 0;
+              len = 0;
+              ns = tx.last_ns;
+              tx = tx.tx_id;
+              site = "journal";
+              count = rem_fl;
+              detail = "line(s) re-flushed under a collapsible fence";
+            }
+            :: tx.tfind;
+        let rem_fe = a_fe - m_fe - tx.empty_fences in
+        if rem_fe > 0 then
+          tx.tfind <-
+            {
+              cls = E1;
+              kind = `Fence;
+              dev = d.ddev;
+              off = 0;
+              len = 0;
+              ns = tx.last_ns;
+              tx = tx.tx_id;
+              site = "fence";
+              count = rem_fe;
+              detail =
+                "per-entry seal fences collapsible into one (independent \
+                 lines)";
+            }
+            :: tx.tfind;
+        acc.all_findings <- tx.tfind @ acc.all_findings
+      end
+      else begin
+        acc.n_unanalyzed <- acc.n_unanalyzed + 1;
+        acc.t_m_fl <- acc.t_m_fl + a_fl;
+        acc.t_m_fe <- acc.t_m_fe + a_fe
+      end
+    end
+  in
+  let on_event ev =
+    match ev with
+    | Pr.Store { dev; off; len; ns = _ } -> on_store (dstate dev) off len
+    | Pr.Flush { dev; off; len; ns } -> on_flush (dstate dev) off len ns
+    | Pr.Fence { dev; ns } -> on_fence (dstate dev) ns
+    | Pr.Power_cycle { dev } ->
+        let d = dstate dev in
+        Hashtbl.reset d.lines;
+        d.wpq <- 0;
+        d.pending <- []
+    | Pr.Pool_layout
+        { dev; journal_base; slot_size; nslots = _; table_base; heap_base;
+          heap_len = _ } ->
+        (dstate dev).geom <-
+          Some { journal_base; slot_size; table_base; heap_base }
+    | Pr.Tx_begin { dev; ns = _ } -> (
+        let d = dstate dev in
+        match d.tx with
+        | None -> d.tx <- Some (fresh_tx (acc.next_tx <- acc.next_tx + 1; acc.next_tx))
+        | Some tx ->
+            (* Two transactions on one device: the stream carries no
+               domain id, so neither can be attributed.  Poison. *)
+            tx.poisoned <- true;
+            d.tx_overlap <- d.tx_overlap + 1)
+    | Pr.Tx_end { dev; outcome; ns = _ } -> (
+        let d = dstate dev in
+        if d.tx_overlap > 0 then d.tx_overlap <- d.tx_overlap - 1
+        else
+          match d.tx with
+          | Some tx -> finish_tx d tx ~committed:(outcome = Pr.Commit)
+          | None -> ())
+    | Pr.Commit_point { dev; ns = _ } -> (
+        match (dstate dev).tx with
+        | Some tx -> tx.commit_seen <- true
+        | None -> ())
+    | Pr.Region_reserve { dev; off; len } ->
+        Hashtbl.replace (dstate dev).spills off len
+    | Pr.Region_release { dev; off } -> Hashtbl.remove (dstate dev).spills off
+    | Pr.Exempt_push { dev } ->
+        let d = dstate dev in
+        d.exempt <- d.exempt + 1
+    | Pr.Exempt_pop { dev } ->
+        let d = dstate dev in
+        d.exempt <- max 0 (d.exempt - 1)
+    | Pr.Recovery_phase { dev = _; phase; ns = _; dur_ns } ->
+        if !live then
+          acc.phases <-
+            (match List.assoc_opt phase acc.phases with
+            | Some prev ->
+                (phase, prev +. dur_ns) :: List.remove_assoc phase acc.phases
+            | None -> acc.phases @ [ (phase, dur_ns) ])
+    | Pr.Pool_attach _ | Pr.Log _ | Pr.Alloc _ | Pr.Journal_truncate _
+    | Pr.Drop_apply _ ->
+        ()
+  in
+  List.iter on_event prelude;
+  (* A transaction spanning the prelude boundary has uncounted persists;
+     score it conservatively. *)
+  Hashtbl.iter
+    (fun _ d -> match d.tx with Some tx -> tx.poisoned <- true | None -> ())
+    devs;
+  live := true;
+  List.iter on_event events;
+  Hashtbl.iter
+    (fun _ d ->
+      match d.tx with Some tx -> finish_tx d tx ~committed:false | None -> ())
+    devs;
+  {
+    label;
+    events = List.length events;
+    txs = acc.n_txs;
+    unanalyzed = acc.n_unanalyzed;
+    actual_flushes = acc.t_a_fl;
+    actual_fences = acc.t_a_fe;
+    min_flushes = acc.t_m_fl;
+    min_fences = acc.t_m_fe;
+    bg_flushes = acc.t_bg_fl;
+    bg_fences = acc.t_bg_fe;
+    recovery_flushes = acc.t_rv_fl;
+    recovery_fences = acc.t_rv_fe;
+    findings = List.rev acc.all_findings;
+    recovery_phases = acc.phases;
+  }
+
+let waste_flushes r = r.actual_flushes - r.min_flushes
+let waste_fences r = r.actual_fences - r.min_fences
+
+let sum_by key r =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun f ->
+      let k = key f in
+      let fl, fe =
+        match Hashtbl.find_opt tbl k with
+        | Some v -> v
+        | None ->
+            order := k :: !order;
+            (0, 0)
+      in
+      let fl, fe =
+        match f.kind with
+        | `Flush -> (fl + f.count, fe)
+        | `Fence -> (fl, fe + f.count)
+      in
+      Hashtbl.replace tbl k (fl, fe))
+    r.findings;
+  List.rev_map (fun k -> let fl, fe = Hashtbl.find tbl k in (k, fl, fe)) !order
+
+let waste_by_class r = sum_by (fun f -> f.cls) r
+let waste_by_site r = sum_by (fun f -> f.site) r
+
+(* {1 Rendering} *)
+
+let kind_name = function `Flush -> "flush" | `Fence -> "fence"
+
+let report_text r =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "pprof report: %s\n" r.label;
+  pf "  events=%d txs=%d unanalyzed=%d\n" r.events r.txs r.unanalyzed;
+  pf "  flushes: actual=%d minimum=%d waste=%d\n" r.actual_flushes
+    r.min_flushes (waste_flushes r);
+  pf "  fences:  actual=%d minimum=%d waste=%d\n" r.actual_fences r.min_fences
+    (waste_fences r);
+  if r.bg_flushes + r.bg_fences > 0 then
+    pf "  out-of-tx (min=actual): flushes=%d fences=%d\n" r.bg_flushes
+      r.bg_fences;
+  if r.recovery_flushes + r.recovery_fences > 0 then
+    pf "  recovery (min=actual): flushes=%d fences=%d\n" r.recovery_flushes
+      r.recovery_fences;
+  (match waste_by_class r with
+  | [] -> ()
+  | classes ->
+      pf "  waste by elision class:\n";
+      List.iter
+        (fun (cls, fl, fe) ->
+          pf "    %s (%s): flushes=%d fences=%d\n" (class_name cls)
+            (class_doc cls) fl fe)
+        classes);
+  (match r.recovery_phases with
+  | [] -> ()
+  | phases ->
+      pf "  recovery phases (ns):";
+      List.iter (fun (name, ns) -> pf " %s=%.0f" name ns) phases;
+      pf "\n");
+  let shown = ref 0 in
+  List.iter
+    (fun f ->
+      if !shown < 40 then begin
+        incr shown;
+        pf "  [%s] %s dev=%d off=%d len=%d tx=%d site=%s x%d — %s\n"
+          (class_name f.cls) (kind_name f.kind) f.dev f.off f.len f.tx f.site
+          f.count f.detail
+      end)
+    r.findings;
+  let total = List.length r.findings in
+  if total > !shown then pf "  … %d more finding(s)\n" (total - !shown);
+  Buffer.contents b
+
+let num i = Json.Num (float_of_int i)
+
+let finding_json f =
+  Json.Obj
+    [
+      ("class", Json.Str (class_name f.cls));
+      ("kind", Json.Str (kind_name f.kind));
+      ("dev", num f.dev);
+      ("off", num f.off);
+      ("len", num f.len);
+      ("ns", Json.Num f.ns);
+      ("tx", num f.tx);
+      ("site", Json.Str f.site);
+      ("count", num f.count);
+      ("detail", Json.Str f.detail);
+    ]
+
+let report_json r =
+  Json.Obj
+    [
+      ("schema", Json.Str "corundum-pprof-v1");
+      ("label", Json.Str r.label);
+      ("events", num r.events);
+      ("txs", num r.txs);
+      ("unanalyzed", num r.unanalyzed);
+      ( "flushes",
+        Json.Obj
+          [
+            ("actual", num r.actual_flushes);
+            ("min", num r.min_flushes);
+            ("waste", num (waste_flushes r));
+          ] );
+      ( "fences",
+        Json.Obj
+          [
+            ("actual", num r.actual_fences);
+            ("min", num r.min_fences);
+            ("waste", num (waste_fences r));
+          ] );
+      ( "background",
+        Json.Obj [ ("flushes", num r.bg_flushes); ("fences", num r.bg_fences) ]
+      );
+      ( "recovery",
+        Json.Obj
+          [
+            ("flushes", num r.recovery_flushes);
+            ("fences", num r.recovery_fences);
+            ( "phases",
+              Json.Obj
+                (List.map
+                   (fun (name, ns) -> (name, Json.Num ns))
+                   r.recovery_phases) );
+          ] );
+      ( "by_class",
+        Json.Obj
+          (List.map
+             (fun (cls, fl, fe) ->
+               ( class_name cls,
+                 Json.Obj [ ("flushes", num fl); ("fences", num fe) ] ))
+             (waste_by_class r)) );
+      ("findings", Json.List (List.map finding_json r.findings));
+    ]
+
+let diff_text a b =
+  let buf = Buffer.create 256 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "pprof diff: %s -> %s\n" a.label b.label;
+  let row name va vb =
+    pf "  %-16s %8d -> %8d  (%+d)\n" name va vb (vb - va)
+  in
+  row "txs" a.txs b.txs;
+  row "actual flushes" a.actual_flushes b.actual_flushes;
+  row "actual fences" a.actual_fences b.actual_fences;
+  row "min flushes" a.min_flushes b.min_flushes;
+  row "min fences" a.min_fences b.min_fences;
+  row "waste flushes" (waste_flushes a) (waste_flushes b);
+  row "waste fences" (waste_fences a) (waste_fences b);
+  Buffer.contents buf
+
+(* {1 Serialization} *)
+
+let schema = "corundum-probe-v1"
+
+let outcome_name = function
+  | Pr.Commit -> "commit"
+  | Pr.Abort -> "abort"
+  | Pr.Crash -> "crash"
+
+let outcome_of_name = function
+  | "commit" -> Pr.Commit
+  | "abort" -> Pr.Abort
+  | "crash" -> Pr.Crash
+  | s -> failwith ("Pprof: unknown tx outcome " ^ s)
+
+let event_to_json ev =
+  let i n v = (n, num v) in
+  let f n v = (n, Json.Num v) in
+  let t name fields = Json.Obj (("t", Json.Str name) :: fields) in
+  match ev with
+  | Pr.Store { dev; off; len; ns } ->
+      t "store" [ i "dev" dev; i "off" off; i "len" len; f "ns" ns ]
+  | Pr.Flush { dev; off; len; ns } ->
+      t "flush" [ i "dev" dev; i "off" off; i "len" len; f "ns" ns ]
+  | Pr.Fence { dev; ns } -> t "fence" [ i "dev" dev; f "ns" ns ]
+  | Pr.Power_cycle { dev } -> t "power_cycle" [ i "dev" dev ]
+  | Pr.Pool_attach { dev; heap_base; heap_len } ->
+      t "pool_attach" [ i "dev" dev; i "heap_base" heap_base; i "heap_len" heap_len ]
+  | Pr.Tx_begin { dev; ns } -> t "tx_begin" [ i "dev" dev; f "ns" ns ]
+  | Pr.Tx_end { dev; outcome; ns } ->
+      t "tx_end"
+        [ i "dev" dev; ("outcome", Json.Str (outcome_name outcome)); f "ns" ns ]
+  | Pr.Log { dev; off; len } -> t "log" [ i "dev" dev; i "off" off; i "len" len ]
+  | Pr.Alloc { dev; off; len } ->
+      t "alloc" [ i "dev" dev; i "off" off; i "len" len ]
+  | Pr.Commit_point { dev; ns } -> t "commit_point" [ i "dev" dev; f "ns" ns ]
+  | Pr.Region_reserve { dev; off; len } ->
+      t "region_reserve" [ i "dev" dev; i "off" off; i "len" len ]
+  | Pr.Region_release { dev; off } ->
+      t "region_release" [ i "dev" dev; i "off" off ]
+  | Pr.Exempt_push { dev } -> t "exempt_push" [ i "dev" dev ]
+  | Pr.Exempt_pop { dev } -> t "exempt_pop" [ i "dev" dev ]
+  | Pr.Pool_layout
+      { dev; journal_base; slot_size; nslots; table_base; heap_base; heap_len }
+    ->
+      t "pool_layout"
+        [
+          i "dev" dev;
+          i "journal_base" journal_base;
+          i "slot_size" slot_size;
+          i "nslots" nslots;
+          i "table_base" table_base;
+          i "heap_base" heap_base;
+          i "heap_len" heap_len;
+        ]
+  | Pr.Journal_truncate { dev; slot_base; epoch } ->
+      t "journal_truncate" [ i "dev" dev; i "slot_base" slot_base; i "epoch" epoch ]
+  | Pr.Drop_apply { dev; off } -> t "drop_apply" [ i "dev" dev; i "off" off ]
+  | Pr.Recovery_phase { dev; phase; ns; dur_ns } ->
+      t "recovery_phase"
+        [ i "dev" dev; ("phase", Json.Str phase); f "ns" ns; f "dur_ns" dur_ns ]
+
+let events_to_json events =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("events", Json.List (List.map event_to_json events));
+    ]
+
+let event_of_json j =
+  let geti n =
+    match Json.mem n j with
+    | Some (Json.Num v) -> int_of_float v
+    | _ -> failwith ("Pprof: probe event missing field " ^ n)
+  in
+  let getf n =
+    match Json.mem n j with
+    | Some (Json.Num v) -> v
+    | _ -> failwith ("Pprof: probe event missing field " ^ n)
+  in
+  let gets n =
+    match Json.mem n j with
+    | Some (Json.Str s) -> s
+    | _ -> failwith ("Pprof: probe event missing field " ^ n)
+  in
+  match Json.mem "t" j with
+  | Some (Json.Str tag) -> (
+      match tag with
+      | "store" ->
+          Pr.Store
+            { dev = geti "dev"; off = geti "off"; len = geti "len"; ns = getf "ns" }
+      | "flush" ->
+          Pr.Flush
+            { dev = geti "dev"; off = geti "off"; len = geti "len"; ns = getf "ns" }
+      | "fence" -> Pr.Fence { dev = geti "dev"; ns = getf "ns" }
+      | "power_cycle" -> Pr.Power_cycle { dev = geti "dev" }
+      | "pool_attach" ->
+          Pr.Pool_attach
+            {
+              dev = geti "dev";
+              heap_base = geti "heap_base";
+              heap_len = geti "heap_len";
+            }
+      | "tx_begin" -> Pr.Tx_begin { dev = geti "dev"; ns = getf "ns" }
+      | "tx_end" ->
+          Pr.Tx_end
+            {
+              dev = geti "dev";
+              outcome = outcome_of_name (gets "outcome");
+              ns = getf "ns";
+            }
+      | "log" ->
+          Pr.Log { dev = geti "dev"; off = geti "off"; len = geti "len" }
+      | "alloc" ->
+          Pr.Alloc { dev = geti "dev"; off = geti "off"; len = geti "len" }
+      | "commit_point" -> Pr.Commit_point { dev = geti "dev"; ns = getf "ns" }
+      | "region_reserve" ->
+          Pr.Region_reserve
+            { dev = geti "dev"; off = geti "off"; len = geti "len" }
+      | "region_release" ->
+          Pr.Region_release { dev = geti "dev"; off = geti "off" }
+      | "exempt_push" -> Pr.Exempt_push { dev = geti "dev" }
+      | "exempt_pop" -> Pr.Exempt_pop { dev = geti "dev" }
+      | "pool_layout" ->
+          Pr.Pool_layout
+            {
+              dev = geti "dev";
+              journal_base = geti "journal_base";
+              slot_size = geti "slot_size";
+              nslots = geti "nslots";
+              table_base = geti "table_base";
+              heap_base = geti "heap_base";
+              heap_len = geti "heap_len";
+            }
+      | "journal_truncate" ->
+          Pr.Journal_truncate
+            { dev = geti "dev"; slot_base = geti "slot_base"; epoch = geti "epoch" }
+      | "drop_apply" -> Pr.Drop_apply { dev = geti "dev"; off = geti "off" }
+      | "recovery_phase" ->
+          Pr.Recovery_phase
+            {
+              dev = geti "dev";
+              phase = gets "phase";
+              ns = getf "ns";
+              dur_ns = getf "dur_ns";
+            }
+      | tag -> failwith ("Pprof: unknown probe event tag " ^ tag))
+  | _ -> failwith "Pprof: probe event without a tag"
+
+let events_of_json j =
+  (match Json.mem "schema" j with
+  | Some (Json.Str s) when s = schema -> ()
+  | _ -> failwith ("Pprof: expected schema " ^ schema));
+  match Json.mem "events" j with
+  | Some (Json.List evs) -> List.map event_of_json evs
+  | _ -> failwith "Pprof: capture without an events list"
+
+let save_events path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (events_to_json events)))
+
+let load_events path =
+  let ic = open_in path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  events_of_json (Json.of_string s)
+
+(* {1 Chrome-trace annotation} *)
+
+let emit_overlay r =
+  if Tr.on () then
+    List.iter
+      (fun f ->
+        Tr.emit
+          ~args:
+            [
+              ("class", class_name f.cls);
+              ("kind", kind_name f.kind);
+              ("site", f.site);
+              ("tx", string_of_int f.tx);
+              ("count", string_of_int f.count);
+              ("detail", f.detail);
+            ]
+          ~cat:"pprof"
+          ~name:("waste." ^ class_name f.cls)
+          ~ph:Tr.I ~ts_ns:f.ns ())
+      r.findings
+
+let emit_probe_events events =
+  if Tr.on () then
+    List.iter
+      (fun ev ->
+        let inst ?(args = []) name ns =
+          Tr.emit ~args ~cat:"probe" ~name ~ph:Tr.I ~ts_ns:ns ()
+        in
+        match ev with
+        | Pr.Flush { dev; off; len; ns } ->
+            inst
+              ~args:
+                [
+                  ("dev", string_of_int dev);
+                  ("off", string_of_int off);
+                  ("len", string_of_int len);
+                ]
+              "flush" ns
+        | Pr.Fence { dev; ns } -> inst ~args:[ ("dev", string_of_int dev) ] "fence" ns
+        | Pr.Tx_begin { dev; ns } ->
+            inst ~args:[ ("dev", string_of_int dev) ] "tx_begin" ns
+        | Pr.Tx_end { dev; outcome; ns } ->
+            inst
+              ~args:
+                [
+                  ("dev", string_of_int dev);
+                  ("outcome", outcome_name outcome);
+                ]
+              "tx_end" ns
+        | Pr.Commit_point { dev; ns } ->
+            inst ~args:[ ("dev", string_of_int dev) ] "commit_point" ns
+        | Pr.Recovery_phase { dev; phase; ns; dur_ns } ->
+            inst
+              ~args:
+                [
+                  ("dev", string_of_int dev);
+                  ("phase", phase);
+                  ("dur_ns", Printf.sprintf "%.0f" dur_ns);
+                ]
+              "recovery_phase" ns
+        | _ -> ())
+      events

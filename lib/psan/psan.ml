@@ -304,7 +304,8 @@ let on_event ev =
       | Pr.Exempt_pop { dev } ->
           let ds = dev_state dev in
           ds.exempt_depth <- max 0 (ds.exempt_depth - 1)
-      | Pr.Pool_layout _ | Pr.Journal_truncate _ | Pr.Drop_apply _ ->
+      | Pr.Pool_layout _ | Pr.Journal_truncate _ | Pr.Drop_apply _
+      | Pr.Recovery_phase _ ->
           (* Geometry and protocol-progress events for the conformance
              checker; the sanitizer's rules key off the coarser events. *)
           ())

@@ -1,0 +1,171 @@
+(* Diff two telemetry capture documents: metrics dumps
+   ({!Metrics.dump_json}), persist-waste tables (corundum-waste-v1) and
+   pprof reports (corundum-pprof-v1).  Pure — takes parsed JSON, returns
+   rendered text — so the same code serves [trace_check --diff] and the
+   canned-capture tests. *)
+
+module J = Json
+
+type entry =
+  | Counter of { name : string; a : float; b : float }
+  | Histo of {
+      name : string;
+      a_count : float;
+      b_count : float;
+      a_p50 : float option;
+      b_p50 : float option;
+      a_p99 : float option;
+      b_p99 : float option;
+    }
+  | Waste of {
+      engine : string;
+      op : string;
+      a_fl : float;
+      b_fl : float;
+      a_fe : float;
+      b_fe : float;
+    }
+
+let num k o = Option.bind (J.mem k o) J.num
+
+(* Union of keys, A's order first, then B-only keys in B's order. *)
+let key_union a b =
+  let a_keys = List.map fst a in
+  a_keys @ List.filter (fun k -> not (List.mem k a_keys)) (List.map fst b)
+
+let diff_counters a b =
+  match (J.mem "counters" a, J.mem "counters" b) with
+  | Some (J.Obj ca), Some (J.Obj cb) ->
+      List.filter_map
+        (fun name ->
+          let va = Option.bind (List.assoc_opt name ca) J.num
+          and vb = Option.bind (List.assoc_opt name cb) J.num in
+          match (va, vb) with
+          | Some va, Some vb when va <> vb ->
+              Some (Counter { name; a = va; b = vb })
+          | None, Some vb when vb <> 0.0 ->
+              Some (Counter { name; a = 0.0; b = vb })
+          | Some va, None when va <> 0.0 ->
+              Some (Counter { name; a = va; b = 0.0 })
+          | _ -> None)
+        (key_union ca cb)
+  | _ -> []
+
+let diff_histograms a b =
+  match (J.mem "histograms" a, J.mem "histograms" b) with
+  | Some (J.Obj ha), Some (J.Obj hb) ->
+      List.filter_map
+        (fun name ->
+          let ga = List.assoc_opt name ha and gb = List.assoc_opt name hb in
+          let f k g = Option.bind g (num k) in
+          let a_count = Option.value ~default:0.0 (f "count" ga)
+          and b_count = Option.value ~default:0.0 (f "count" gb) in
+          let a_p50 = f "p50" ga and b_p50 = f "p50" gb in
+          let a_p99 = f "p99" ga and b_p99 = f "p99" gb in
+          if a_count = b_count && a_p50 = b_p50 && a_p99 = b_p99 then None
+          else
+            Some (Histo { name; a_count; b_count; a_p50; b_p50; a_p99; b_p99 }))
+        (key_union ha hb)
+  | _ -> []
+
+(* corundum-waste-v1: {"engines": {name: [{op, waste_flushes_per_op,
+   waste_fences_per_op, ...}]}}. *)
+let waste_rows doc =
+  match J.mem "engines" doc with
+  | Some (J.Obj engines) ->
+      List.concat_map
+        (fun (engine, ops) ->
+          match ops with
+          | J.List ops ->
+              List.filter_map
+                (fun o ->
+                  match
+                    ( Option.bind (J.mem "op" o) J.str,
+                      num "waste_flushes_per_op" o,
+                      num "waste_fences_per_op" o )
+                  with
+                  | Some op, Some fl, Some fe -> Some ((engine, op), (fl, fe))
+                  | _ -> None)
+                ops
+          | _ -> [])
+        engines
+  | _ -> []
+
+(* corundum-pprof-v1: one report = one waste row. *)
+let pprof_row doc =
+  match
+    ( num "actual_flushes" doc,
+      num "min_flushes" doc,
+      num "actual_fences" doc,
+      num "min_fences" doc )
+  with
+  | Some af, Some mf, Some afe, Some mfe ->
+      let label =
+        Option.value ~default:"trace" (Option.bind (J.mem "label" doc) J.str)
+      in
+      [ ((label, "total"), (af -. mf, afe -. mfe)) ]
+  | _ -> []
+
+let diff_waste a b =
+  let rows doc =
+    match Option.bind (J.mem "schema" doc) J.str with
+    | Some "corundum-waste-v1" -> waste_rows doc
+    | Some "corundum-pprof-v1" -> pprof_row doc
+    | _ -> []
+  in
+  let ra = rows a and rb = rows b in
+  List.filter_map
+    (fun key ->
+      let va = List.assoc_opt key ra and vb = List.assoc_opt key rb in
+      match (va, vb) with
+      | Some (a_fl, a_fe), Some (b_fl, b_fe) ->
+          if a_fl = b_fl && a_fe = b_fe then None
+          else
+            Some
+              (Waste { engine = fst key; op = snd key; a_fl; b_fl; a_fe; b_fe })
+      | _ -> None)
+    (key_union ra rb)
+
+let diff a b = diff_counters a b @ diff_histograms a b @ diff_waste a b
+
+let render_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let render entries =
+  let buf = Buffer.create 512 in
+  let opt = function None -> "-" | Some v -> render_float v in
+  List.iter
+    (fun e ->
+      match e with
+      | Counter { name; a; b } ->
+          Buffer.add_string buf
+            (Printf.sprintf "counter   %-32s %12s -> %-12s (%+g)\n" name
+               (render_float a) (render_float b) (b -. a))
+      | Histo { name; a_count; b_count; a_p50; b_p50; a_p99; b_p99 } ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "histogram %-32s count %s -> %s  p50 %s -> %s  p99 %s -> %s\n"
+               name (render_float a_count) (render_float b_count) (opt a_p50)
+               (opt b_p50) (opt a_p99) (opt b_p99))
+      | Waste { engine; op; a_fl; b_fl; a_fe; b_fe } ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "waste     %-20s %-12s %s -> %s flushes, %s -> %s fences\n"
+               engine op (render_float a_fl) (render_float b_fl)
+               (render_float a_fe) (render_float b_fe)))
+    entries;
+  if entries = [] then Buffer.add_string buf "no differences\n";
+  Buffer.contents buf
+
+(* Did any comparable waste row grow?  Drives [trace_check --diff]'s
+   exit code: counter/histogram drift is informational, waste growing
+   is a regression. *)
+let waste_regressed entries =
+  List.exists
+    (function
+      | Waste { a_fl; b_fl; a_fe; b_fe; _ } ->
+          b_fl > a_fl +. 0.01 || b_fe > a_fe +. 0.01
+      | _ -> false)
+    entries

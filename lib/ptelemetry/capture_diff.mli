@@ -1,0 +1,41 @@
+(** Diff two telemetry capture documents.
+
+    Understands three shapes and diffs whichever both documents carry:
+    metrics dumps ({!Metrics.dump_json} — counter deltas and histogram
+    count/p50/p99 shifts), persist-waste tables ([corundum-waste-v1] —
+    per-engine/op waste deltas) and pprof reports ([corundum-pprof-v1]
+    — the report's total [actual - minimum] as one waste row).  Pure
+    functions over parsed JSON, shared by [trace_check --diff] and the
+    canned-capture tests. *)
+
+type entry =
+  | Counter of { name : string; a : float; b : float }
+  | Histo of {
+      name : string;
+      a_count : float;
+      b_count : float;
+      a_p50 : float option;  (** [None] when the capture predates p50 *)
+      b_p50 : float option;
+      a_p99 : float option;
+      b_p99 : float option;
+    }
+  | Waste of {
+      engine : string;
+      op : string;
+      a_fl : float;  (** waste flushes (per op for waste-v1 tables) *)
+      b_fl : float;
+      a_fe : float;
+      b_fe : float;
+    }
+
+val diff : Json.t -> Json.t -> entry list
+(** Changed entries only, A's key order first.  A key present on one
+    side only is treated as 0 (counters) or skipped (waste rows need
+    both sides to compare). *)
+
+val render : entry list -> string
+(** One line per entry; ["no differences\n"] when empty. *)
+
+val waste_regressed : entry list -> bool
+(** Whether any waste row grew from A to B (beyond a 0.01 epsilon) —
+    the one-directional gate [trace_check --diff] exits non-zero on. *)

@@ -1,5 +1,12 @@
 let nbuckets = 63
 
+(* Raw samples are retained verbatim up to this count, giving exact
+   percentiles for the small populations the recovery/bench reports care
+   about (a handful of attach cycles, not millions of hot-path samples).
+   Past the threshold the raws are discarded and quantiles fall back to
+   the log2-bucket floor estimate. *)
+let exact_threshold = 128
+
 type counter = { cname : string; value : int Atomic.t }
 
 type histogram = {
@@ -10,6 +17,7 @@ type histogram = {
   mutable sum : int;
   mutable hmin : int;
   mutable hmax : int;
+  mutable raw : int list; (* newest first; [] once count > exact_threshold *)
 }
 
 type metric = C of counter | H of histogram
@@ -49,6 +57,7 @@ let histogram name =
             sum = 0;
             hmin = 0;
             hmax = 0;
+            raw = [];
           }
         in
         Hashtbl.add registry name (H h);
@@ -77,6 +86,8 @@ let observe h v =
   if v > h.hmax then h.hmax <- v;
   h.count <- h.count + 1;
   h.sum <- h.sum + max 0 v;
+  (if h.count <= exact_threshold then h.raw <- max 0 v :: h.raw
+   else h.raw <- []);
   Mutex.unlock h.lock
 
 type histo_snapshot = {
@@ -85,6 +96,7 @@ type histo_snapshot = {
   min : int;
   max : int;
   buckets : (int * int) list;
+  samples : int list option;
 }
 
 let snapshot h =
@@ -93,9 +105,14 @@ let snapshot h =
   for i = nbuckets - 1 downto 0 do
     if h.buckets.(i) > 0 then buckets := (i, h.buckets.(i)) :: !buckets
   done;
+  let samples =
+    if h.count > 0 && h.count <= exact_threshold then
+      Some (List.sort compare h.raw)
+    else None
+  in
   let s =
     { count = h.count; sum = h.sum; min = h.hmin; max = h.hmax;
-      buckets = !buckets }
+      buckets = !buckets; samples }
   in
   Mutex.unlock h.lock;
   s
@@ -115,15 +132,21 @@ let find_histogram name =
 let mean (s : histo_snapshot) =
   if s.count = 0 then 0.0 else float_of_int s.sum /. float_of_int s.count
 
+let exact (s : histo_snapshot) = s.count = 0 || s.samples <> None
+
 let quantile (s : histo_snapshot) q =
   if s.count = 0 then 0
   else begin
     let rank = int_of_float (Float.of_int (s.count - 1) *. q) in
-    let rec go seen = function
-      | [] -> s.max
-      | (i, n) :: rest -> if seen + n > rank then bucket_lo i else go (seen + n) rest
-    in
-    go 0 s.buckets
+    match s.samples with
+    | Some sorted -> List.nth sorted rank
+    | None ->
+        let rec go seen = function
+          | [] -> s.max
+          | (i, n) :: rest ->
+              if seen + n > rank then bucket_lo i else go (seen + n) rest
+        in
+        go 0 s.buckets
   end
 
 let sorted_metrics () =
@@ -140,10 +163,12 @@ let dump_text () =
       | C c -> Buffer.add_string buf (Printf.sprintf "%s %d\n" name (counter_value c))
       | H h ->
           let s = snapshot h in
+          let approx = if exact s then "=" else "~" in
           Buffer.add_string buf
-            (Printf.sprintf "%s count=%d sum=%d mean=%.1f p50~%d p99~%d max=%d\n"
-               name s.count s.sum (mean s) (quantile s 0.5) (quantile s 0.99)
-               s.max))
+            (Printf.sprintf
+               "%s count=%d sum=%d mean=%.1f p50%s%d p99%s%d max=%d\n"
+               name s.count s.sum (mean s) approx (quantile s 0.5) approx
+               (quantile s 0.99) s.max))
     (sorted_metrics ());
   Buffer.contents buf
 
@@ -171,6 +196,9 @@ let dump_json () =
                   ("min", Json.Num (float_of_int s.min));
                   ("max", Json.Num (float_of_int s.max));
                   ("mean", Json.Num (mean s));
+                  ("p50", Json.Num (float_of_int (quantile s 0.5)));
+                  ("p99", Json.Num (float_of_int (quantile s 0.99)));
+                  ("exact", Json.Bool (exact s));
                   ("buckets", Json.List buckets);
                 ] )
             :: !histos)
@@ -178,6 +206,8 @@ let dump_json () =
   Json.Obj
     [ ("counters", Json.Obj (List.rev !counters));
       ("histograms", Json.Obj (List.rev !histos)) ]
+
+let to_json = dump_json
 
 let reset () =
   List.iter
@@ -191,5 +221,6 @@ let reset () =
           h.sum <- 0;
           h.hmin <- 0;
           h.hmax <- 0;
+          h.raw <- [];
           Mutex.unlock h.lock)
     (sorted_metrics ())

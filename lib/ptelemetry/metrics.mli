@@ -41,9 +41,24 @@ type histo_snapshot = {
   max : int;
   buckets : (int * int) list;
       (** (bucket index, samples) for non-empty buckets, ascending. *)
+  samples : int list option;
+      (** every sample, sorted ascending, while [count <=
+          exact_threshold]; [None] once the population outgrows the
+          retention window (quantiles then fall back to bucket floors). *)
 }
 
 val find_histogram : string -> histo_snapshot option
+
+val exact_threshold : int
+(** Raw samples are retained until a histogram exceeds this count
+    (128); within it, {!quantile} is exact rather than a bucket-floor
+    estimate.  Sized for the populations the recovery-latency and bench
+    reports aggregate (tens of attach cycles), not hot-path volumes. *)
+
+val exact : histo_snapshot -> bool
+(** Whether {!quantile} on this snapshot returns exact nearest-rank
+    values (raw samples retained) rather than log2-bucket floors.
+    An empty histogram reports exact. *)
 
 val bucket_of : int -> int
 (** The log2 bucket a sample lands in: bucket 0 holds values [<= 0],
@@ -55,19 +70,27 @@ val bucket_lo : int -> int
 
 val mean : histo_snapshot -> float
 val quantile : histo_snapshot -> float -> int
-(** [quantile s q] estimates the [q]-quantile ([0 <= q <= 1]) as the
-    lower bound of the bucket holding that rank — a floor estimate,
-    exact to within one power of two. *)
+(** [quantile s q] is the [q]-quantile ([0 <= q <= 1]): the exact
+    nearest-rank sample while the raw population is retained
+    ([count <= exact_threshold]), otherwise the lower bound of the
+    bucket holding that rank — a floor estimate, exact to within one
+    power of two.  {!exact} tells which path applies. *)
 
 (** {1 Dumps} *)
 
 val dump_text : unit -> string
 (** One metric per line: [name value] for counters, [name
-    count=… sum=… mean=… p50~… p99~… max=…] for histograms. *)
+    count=… sum=… mean=… p50…  p99… max=…] for histograms ([p50=] when
+    the quantile is exact, [p50~] when bucket-estimated). *)
 
 val dump_json : unit -> Json.t
 (** [{"counters": {name: value}, "histograms": {name: {count, sum, min,
-    max, mean, buckets: [[lo, n], …]}}}]. *)
+    max, mean, p50, p99, exact, buckets: [[lo, n], …]}}}].  [p50]/[p99]
+    follow {!quantile}; [exact] says whether they are nearest-rank
+    values or bucket floors. *)
+
+val to_json : unit -> Json.t
+(** Alias of {!dump_json}. *)
 
 val reset : unit -> unit
 (** Zero every registered metric (names stay registered). *)

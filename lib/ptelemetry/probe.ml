@@ -26,6 +26,7 @@ type event =
     }
   | Journal_truncate of { dev : int; slot_base : int; epoch : int }
   | Drop_apply of { dev : int; off : int }
+  | Recovery_phase of { dev : int; phase : string; ns : float; dur_ns : float }
 
 (* [active] mirrors [handler <> None] so the hot-path guard is one
    atomic load, as in {!Trace}.  The handler itself is responsible for

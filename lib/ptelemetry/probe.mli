@@ -82,6 +82,13 @@ type event =
       (** A deferred free (drop record) was applied as an
           allocation-table clear for the block at [off] — only legal
           after the commit point made the drop records durable. *)
+  | Recovery_phase of { dev : int; phase : string; ns : float; dur_ns : float }
+      (** One recovery phase ([walk], [rollback], [drop_apply],
+          [remark], [truncate], [table_scan], [fsck]) finished at
+          simulated time [ns] having taken [dur_ns] simulated
+          nanoseconds.  Emitted inside the recovery exempt window; lets
+          an observer break recovery latency down without touching the
+          device. *)
 
 val install : (event -> unit) -> unit
 (** Subscribe [f]; replaces any current subscriber. *)

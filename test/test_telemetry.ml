@@ -48,8 +48,31 @@ let test_histogram_buckets () =
     "buckets are (index, count)"
     [ (0, 1); (1, 1); (2, 2); (3, 2); (4, 1) ]
     s.Mx.buckets;
-  check_int "p50 floor estimate" 2 (Mx.quantile s 0.5);
-  check_int "p99 floor estimate" 4 (Mx.quantile s 0.99)
+  (* Seven samples is well under the retention threshold, so quantiles
+     are exact nearest-rank values, not bucket floors. *)
+  check_bool "small histogram is exact" true (Mx.exact s);
+  check_bool "samples retained sorted" true
+    (s.Mx.samples = Some [ 0; 1; 2; 3; 4; 7; 8 ]);
+  check_int "p50 exact" 3 (Mx.quantile s 0.5);
+  check_int "p99 exact" 7 (Mx.quantile s 0.99)
+
+(* Past [exact_threshold] raw retention stops and quantiles degrade to
+   the log2-bucket floor estimate — the other half of the contract. *)
+let test_histogram_bucket_fallback () =
+  fresh ();
+  let h = Mx.histogram "test.h.big" in
+  for v = 0 to 199 do
+    Mx.observe h v
+  done;
+  let s = Option.get (Mx.find_histogram "test.h.big") in
+  check_bool "threshold is in the tested range" true
+    (Mx.exact_threshold < 200);
+  check_bool "large histogram is estimated" false (Mx.exact s);
+  check_bool "raw samples discarded" true (s.Mx.samples = None);
+  check_int "count" 200 s.Mx.count;
+  (* ranks 99 and 197 land in buckets [64,128) and [128,256). *)
+  check_int "p50 floor estimate" 64 (Mx.quantile s 0.5);
+  check_int "p99 floor estimate" 128 (Mx.quantile s 0.99)
 
 let test_counters_and_dump () =
   fresh ();
@@ -277,6 +300,8 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram bucket fallback" `Quick
+            test_histogram_bucket_fallback;
           Alcotest.test_case "counters and dumps" `Quick
             test_counters_and_dump;
         ] );
