@@ -1,6 +1,6 @@
 # Corundum-OCaml — top-level targets (the artifact's run.sh/results.sh).
 
-.PHONY: all build test eval tables micro perf scale crash pmodel bench waste recovery-latency doc clean
+.PHONY: all build test eval tables micro perf scale crash pmodel bench waste recovery-latency openloop doc clean
 
 all: build
 
@@ -43,6 +43,10 @@ waste:
 
 recovery-latency:
 	dune exec bench/main.exe -- recovery-latency --sweep
+
+# Open-loop multi-domain latency harness, gated on the committed baseline.
+openloop:
+	dune exec bench/main.exe -- openloop --domains 2 --ops 5000 --json openloop.now.json --baseline OPENLOOP_baseline.json
 
 doc:
 	dune build @doc

@@ -799,6 +799,205 @@ let run_alloc_scale ~domains ~txs ~metrics_out =
         (Ptelemetry.Json.to_string (Ptelemetry.Metrics.dump_json ()));
       Printf.printf "\nwrote %s\n" path
 
+(* --- openloop: open-loop latency under multi-domain load ---------------- *)
+
+(* N domains, each driving a private kvstore engine under an open-loop
+   arrival schedule (Loadgen): arrivals are scheduled in simulated time
+   independent of completions, so queueing delay lands in response time
+   instead of silently stretching the schedule (no coordinated
+   omission).  Domains are fully independent — private pool, private
+   device, private rng streams — so the merged report is a
+   deterministic function of the spec, whatever the host scheduling:
+   that is what lets OPENLOOP_baseline.json be a tight CI gate. *)
+
+let openloop_domain_report ~spec =
+  let module E = Engines.Corundum_engine in
+  let module KV = Workloads.Kvstore.Make (E) in
+  let eng = E.create ~latency:Pmem.Latency.optane ~size:(16 * 1024 * 1024) () in
+  let kv = KV.create eng in
+  let dev = Pool_impl.device (E.pool eng) in
+  fun ~progress ->
+    Loadgen.run ~progress ~progress_every:256 spec ~service:(fun op ->
+        let t0 = Pmem.Device.simulated_ns dev in
+        let key = Int64.of_int (Loadgen.op_key op) in
+        (match op with
+        | Loadgen.Read _ -> ignore (KV.get kv key)
+        | Loadgen.Update _ | Loadgen.Insert _ -> KV.put kv key key
+        | Loadgen.Delete _ -> ignore (KV.del kv key));
+        Pmem.Device.simulated_ns dev -. t0)
+
+let openloop_row label (r : Loadgen.report) =
+  let q h p = Ptelemetry.Hdr.quantile (Ptelemetry.Hdr.snapshot h) p in
+  Printf.printf "%-8s %8d %12.0f %9d %9d %9d %9d %9d\n" label r.Loadgen.ops
+    (Loadgen.throughput r) (q r.Loadgen.response 0.5) (q r.Loadgen.response 0.99)
+    (q r.Loadgen.response 0.999) (q r.Loadgen.service 0.5)
+    (q r.Loadgen.service 0.99)
+
+(* Compare the merged report's headline numbers against a committed
+   baseline.  The run is deterministic in simulated time, but the gate
+   still allows 10% so a legitimate cost-model retune upstream doesn't
+   demand a lockstep baseline refresh. *)
+let compare_openloop_baseline ~current ~baseline =
+  let module J = Ptelemetry.Json in
+  let doc path = J.of_string (read_file path) in
+  let a = doc baseline and b = doc current in
+  let probe doc ks =
+    List.fold_left (fun acc k -> Option.bind acc (J.mem k)) (Some doc) ks
+    |> Fun.flip Option.bind J.num
+  in
+  let keys =
+    [
+      [ "merged"; "throughput_ops_per_s" ];
+      [ "merged"; "response"; "p50" ];
+      [ "merged"; "response"; "p99" ];
+      [ "merged"; "response"; "p999" ];
+      [ "merged"; "service"; "p50" ];
+      [ "merged"; "service"; "p99" ];
+    ]
+  in
+  let failed = ref false in
+  List.iter
+    (fun ks ->
+      let name = String.concat "." ks in
+      match (probe a ks, probe b ks) with
+      | Some base, Some cur ->
+          let tol = 0.10 *. Float.max (Float.abs base) 1.0 in
+          if Float.abs (cur -. base) > tol then begin
+            failed := true;
+            Printf.printf "REGRESS %-32s %.0f (baseline %.0f)\n" name cur base
+          end
+          else Printf.printf "OK      %-32s %.0f (baseline %.0f)\n" name cur base
+      | _ ->
+          failed := true;
+          Printf.printf "REGRESS %-32s missing on one side\n" name)
+    keys;
+  if !failed then begin
+    prerr_endline "openloop regression against OPENLOOP baseline";
+    exit 1
+  end
+
+let run_openloop ~domains ~rate ~poisson ~ops ~keyspace ~theta ~seed ~json
+    ~baseline ~metrics_out ~trace_out ~quiet =
+  let arrivals =
+    if poisson then Loadgen.Arrival.Poisson rate else Loadgen.Arrival.Fixed rate
+  in
+  let spec_for d =
+    {
+      Loadgen.default_spec with
+      arrivals;
+      ops;
+      keyspace;
+      theta;
+      (* Distinct but reproducible per-domain streams. *)
+      seed = seed + (d * 1_000_003);
+    }
+  in
+  (* Telemetry on for the whole run: a per-domain sharded trace ring
+     (which also opens the metrics gate) so the exported artifacts
+     exercise the multicore registry and the tid-merged Chrome trace. *)
+  Ptelemetry.Metrics.reset ();
+  if trace_out <> None then
+    Ptelemetry.Trace.install_ring ~capacity:(1 lsl 16) ~shards:domains ()
+  else if metrics_out <> None then Ptelemetry.Trace.install_null ();
+  let total = domains * ops in
+  let done_ops = Atomic.make 0 in
+  let live = Atomic.make domains in
+  let worker d =
+    (* Trap everything: a worker that died silently would leave [live]
+       stuck and the wait loop below spinning forever — surface the
+       exception at join instead. *)
+    let r =
+      try
+        let run = openloop_domain_report ~spec:(spec_for d) in
+        let prev = ref 0 in
+        let progress ~done_ops:n _ =
+          ignore (Atomic.fetch_and_add done_ops (n - !prev));
+          prev := n
+        in
+        Ok (run ~progress)
+      with e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    Atomic.decr live;
+    r
+  in
+  let t0 = Unix.gettimeofday () in
+  let handles = List.init domains (fun d -> Domain.spawn (fun () -> worker d)) in
+  let show_progress = (not quiet) && Unix.isatty Unix.stderr in
+  while Atomic.get live > 0 do
+    if show_progress then
+      Printf.eprintf "\ropenloop: %d domains  %*d/%d ops" domains
+        (String.length (string_of_int total))
+        (Atomic.get done_ops) total;
+    Unix.sleepf 0.05
+  done;
+  let reports =
+    List.map
+      (fun h ->
+        match Domain.join h with
+        | Ok r -> r
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+      handles
+  in
+  if show_progress then Printf.eprintf "\r%s\r" (String.make 60 ' ');
+  let dt = Unix.gettimeofday () -. t0 in
+  Ptelemetry.Trace.uninstall ();
+  let merged = Loadgen.merge_reports reports in
+  Printf.printf
+    "openloop: %d domains x %d ops, %s %.0f ops/s (zipf %.2f, %d keys), %.3f \
+     s wall\n\n"
+    domains ops
+    (if poisson then "poisson" else "fixed")
+    rate theta keyspace dt;
+  Printf.printf "%-8s %8s %12s %9s %9s %9s %9s %9s\n" "domain" "ops"
+    "thr ops/s" "resp p50" "p99" "p99.9" "svc p50" "p99";
+  List.iteri (fun d r -> openloop_row (string_of_int d) r) reports;
+  openloop_row "merged" merged;
+  Printf.printf "\nmax backlog %.0f ns  busy %.0f ns over %.0f ns span\n"
+    merged.Loadgen.max_backlog_ns merged.Loadgen.busy_ns
+    (merged.Loadgen.last_end_ns -. merged.Loadgen.first_arrival_ns);
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      Ptelemetry.Trace.save_chrome path;
+      Printf.printf "wrote %s (%d events, %d dropped)\n" path
+        (List.length (Ptelemetry.Trace.events ()))
+        (Ptelemetry.Trace.dropped ()));
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+      write_file path
+        (Ptelemetry.Json.to_string (Ptelemetry.Metrics.dump_json ()));
+      Printf.printf "wrote %s\n" path);
+  (match json with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Ptelemetry.Json.Obj
+          [
+            ("schema", Ptelemetry.Json.Str "corundum-openloop-v1");
+            ("domains", Ptelemetry.Json.Num (float_of_int domains));
+            ("rate_ops_per_s", Ptelemetry.Json.Num rate);
+            ( "arrivals",
+              Ptelemetry.Json.Str (if poisson then "poisson" else "fixed") );
+            ("ops_per_domain", Ptelemetry.Json.Num (float_of_int ops));
+            ("merged", Loadgen.report_json ~label:"merged" merged);
+            ( "per_domain",
+              Ptelemetry.Json.List
+                (List.mapi
+                   (fun d r ->
+                     Loadgen.report_json ~label:(Printf.sprintf "domain-%d" d) r)
+                   reports) );
+          ]
+      in
+      write_file path (Ptelemetry.Json.to_string doc);
+      Printf.printf "wrote %s\n" path);
+  match (json, baseline) with
+  | Some current, Some b -> compare_openloop_baseline ~current ~baseline:b
+  | None, Some _ ->
+      prerr_endline "--baseline requires --json FILE for the current run";
+      exit 2
+  | _ -> ()
+
 let usage () =
   prerr_endline
     "usage: bench [--trace FILE] [--metrics FILE] [--psan] [--psan-json FILE]\n\
@@ -807,7 +1006,11 @@ let usage () =
     \             [--waste-trace FILE] [--waste-capture FILE]\n\
     \       bench recovery-latency [--pool-size BYTES | --sweep]\n\
     \             [--repeats N] [--metrics FILE] [--max-p99-ns NS]\n\
-    \       bench alloc-scale [--domains N] [--txs N] [--metrics FILE]";
+    \       bench alloc-scale [--domains N] [--txs N] [--metrics FILE]\n\
+    \       bench openloop [--domains N] [--rate OPS_PER_S] [--poisson]\n\
+    \             [--ops N] [--keys N] [--theta T] [--seed S] [--quiet]\n\
+    \             [--json FILE [--baseline FILE]] [--metrics FILE]\n\
+    \             [--trace FILE]";
   exit 2
 
 let () =
@@ -913,6 +1116,65 @@ let () =
       parse_scale rest;
       if !domains < 1 || !txs < 1 then usage ();
       run_alloc_scale ~domains:!domains ~txs:!txs ~metrics_out:!metrics_out
+  | "openloop" :: rest ->
+      let domains = ref 4
+      and rate = ref 1e6
+      and poisson = ref false
+      and ops = ref 10_000
+      and keyspace = ref 1024
+      and theta = ref 0.99
+      and seed = ref 42
+      and json = ref None
+      and baseline = ref None
+      and metrics_out = ref None
+      and trace_out = ref None
+      and quiet = ref false in
+      let rec parse_ol = function
+        | [] -> ()
+        | "--domains" :: n :: rest ->
+            domains := int_of_string n;
+            parse_ol rest
+        | "--rate" :: r :: rest ->
+            rate := float_of_string r;
+            parse_ol rest
+        | "--poisson" :: rest ->
+            poisson := true;
+            parse_ol rest
+        | "--ops" :: n :: rest ->
+            ops := int_of_string n;
+            parse_ol rest
+        | "--keys" :: n :: rest ->
+            keyspace := int_of_string n;
+            parse_ol rest
+        | "--theta" :: t :: rest ->
+            theta := float_of_string t;
+            parse_ol rest
+        | "--seed" :: s :: rest ->
+            seed := int_of_string s;
+            parse_ol rest
+        | "--json" :: f :: rest ->
+            json := Some f;
+            parse_ol rest
+        | "--baseline" :: f :: rest ->
+            baseline := Some f;
+            parse_ol rest
+        | "--metrics" :: f :: rest ->
+            metrics_out := Some f;
+            parse_ol rest
+        | "--trace" :: f :: rest ->
+            trace_out := Some f;
+            parse_ol rest
+        | "--quiet" :: rest ->
+            quiet := true;
+            parse_ol rest
+        | _ -> usage ()
+      in
+      parse_ol rest;
+      if !domains < 1 || !ops < 1 || !keyspace < 1 || !rate <= 0.0 then usage ();
+      run_openloop ~domains:!domains ~rate:!rate ~poisson:!poisson ~ops:!ops
+        ~keyspace:!keyspace ~theta:!theta ~seed:!seed ~json:!json
+        ~baseline:!baseline ~metrics_out:!metrics_out ~trace_out:!trace_out
+        ~quiet:!quiet
   | args ->
       parse args;
       if !trace <> None || !metrics <> None || !psan || !psan_json <> None then

@@ -283,6 +283,86 @@ let run_heap metrics_out path =
       close_out oc;
       Printf.printf "\nwrote %s\n" out
 
+(* [leak]: reachability audit of a pool image — every block the
+   allocator holds live must be reachable from the root through the
+   Ptype reference graph (the paper's No-Acyclic-Leaks goal, checked
+   observationally).  Walking the graph needs the root's Ptype, which
+   the image does not record, so the caller names one of the known
+   application schemas with --root; the types are reconstructed here
+   under a local phantom brand (Ptype constructors are brand-
+   polymorphic, and Leak_check.analyze accepts any brand). *)
+module Leak_roots = struct
+  open Corundum
+
+  type brand
+
+  (* examples/bank.ml: eight int accounts. *)
+  let bank_ty = Ptype.array 8 Ptype.int
+
+  (* examples/kvstore_cli.ml: 64 buckets of (key, value, next) chains. *)
+  type kv_entry = {
+    key : brand Pstring.t;
+    value : brand Pstring.t;
+    next : (kv_link, brand) Prefcell.t;
+  }
+
+  and kv_link = (kv_entry, brand) Pbox.t option
+
+  let rec entry_ty_l : (kv_entry, brand) Ptype.t Lazy.t =
+    lazy
+      (Ptype.record3 ~name:"kv-entry"
+         ~inj:(fun key value next -> { key; value; next })
+         ~proj:(fun e -> (e.key, e.value, e.next))
+         (Pstring.ptype ()) (Pstring.ptype ())
+         (Prefcell.ptype (Ptype.option (Pbox.ptype_rec entry_ty_l))))
+
+  let kvstore_ty =
+    Ptype.array 64 (Prefcell.ptype (Ptype.option (Pbox.ptype_rec entry_ty_l)))
+end
+
+let leak_json ~path ~root (r : Crashtest.Leak_check.report) =
+  let open Ptelemetry.Json in
+  let n v = Num (float_of_int v) in
+  let offs xs = List (List.map n xs) in
+  Obj
+    [
+      ("schema", Str "corundum-leak-v1");
+      ("pool", Str path);
+      ("root", Str root);
+      ("ok", Bool (Crashtest.Leak_check.is_clean r));
+      ("live", n r.Crashtest.Leak_check.live);
+      ("reachable", n r.Crashtest.Leak_check.reachable);
+      ("leaked", offs r.Crashtest.Leak_check.leaked);
+      ("dangling", offs r.Crashtest.Leak_check.dangling);
+    ]
+
+let run_leak root json path =
+  let dev = load path in
+  let pool =
+    match Corundum.Pool_impl.attach dev with
+    | pool -> pool
+    | exception Corundum.Pool_impl.Recovery_needed msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+  in
+  let report =
+    match root with
+    | `Bank -> Crashtest.Leak_check.analyze pool ~root_ty:Leak_roots.bank_ty
+    | `Kvstore ->
+        Crashtest.Leak_check.analyze pool ~root_ty:Leak_roots.kvstore_ty
+    | `Int -> Crashtest.Leak_check.analyze pool ~root_ty:Corundum.Ptype.int
+  in
+  Format.printf "%a@." Crashtest.Leak_check.pp report;
+  (match json with
+  | None -> ()
+  | Some out ->
+      let root_name =
+        match root with `Bank -> "bank" | `Kvstore -> "kvstore" | `Int -> "int"
+      in
+      write_json out (leak_json ~path ~root:root_name report);
+      Printf.printf "wrote %s\n" out);
+  if not (Crashtest.Leak_check.is_clean report) then exit 1
+
 (* [top]: open the image in memory (the file is never written back),
    run a short probe workload with telemetry subscribed, and print the
    metrics registry — flushes/tx, fences/tx, logged bytes/tx and the
@@ -383,6 +463,43 @@ let top_cmd =
           the telemetry metrics registry.  The image file is not modified.")
     Term.(const run_top $ probes_arg $ path_arg)
 
+let leak_root_arg =
+  Arg.(
+    required
+    & opt
+        (some (enum [ ("bank", `Bank); ("kvstore", `Kvstore); ("int", `Int) ]))
+        None
+    & info [ "root" ]
+        ~doc:
+          "Root object schema of the image: $(b,bank) (examples/bank.ml), \
+           $(b,kvstore) (examples/kvstore_cli.ml) or $(b,int) (a bare \
+           persistent int root).  Needed to walk the reference graph; the \
+           image itself does not record its root's type."
+        ~docv:"SCHEMA")
+
+let leak_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ]
+        ~doc:
+          "Write a machine-readable report (schema corundum-leak-v1) to \
+           $(docv): live/reachable block counts plus leaked and dangling \
+           offsets."
+        ~docv:"FILE")
+
+let leak_cmd =
+  Cmd.v
+    (Cmd.info "leak"
+       ~doc:
+         "Reachability audit: every allocator-live block must be reachable \
+          from the root (no leaks), and every reference must point at a \
+          live block (no dangling).  Runs recovery on the in-memory copy \
+          first; the image file is not modified.  Exits 0 when clean, 1 on \
+          leaks or dangling references, 2 when the pool cannot be \
+          attached.")
+    Term.(const run_leak $ leak_root_arg $ leak_json_arg $ path_arg)
+
 let heap_metrics_arg =
   Arg.(
     value
@@ -402,7 +519,7 @@ let heap_cmd =
 let cmd =
   Cmd.group ~default:info_term
     (Cmd.info "pool_info" ~doc:"Inspect and check a Corundum pool image")
-    [ info_cmd; fsck_cmd; top_cmd; heap_cmd ]
+    [ info_cmd; fsck_cmd; top_cmd; heap_cmd; leak_cmd ]
 
 (* Back-compat: [pool_info POOL] (no subcommand) still means [info POOL] —
    a command group would otherwise read the image path as a command name. *)
@@ -413,7 +530,8 @@ let () =
       Array.length argv > 1
       && not
            (List.mem argv.(1)
-              [ "info"; "fsck"; "top"; "heap"; "--help"; "-h"; "--version" ])
+              [ "info"; "fsck"; "top"; "heap"; "leak"; "--help"; "-h";
+                "--version" ])
     then
       Array.append
         [| argv.(0); "info" |]

@@ -10,7 +10,7 @@
    traced run spent its simulated time, with no external tooling.
 
    With --diff A B, compare two capture documents instead: counter
-   deltas and histogram count/p50/p99 shifts for metrics dumps, waste
+   deltas and histogram count/p50/p99/p999 shifts for metrics dumps, waste
    deltas for corundum-waste-v1 / corundum-pprof-v1 files.  Exits 1
    only when a comparable waste row grew (counter and histogram drift
    is informational). *)
@@ -82,15 +82,15 @@ let print_stats path =
     List.sort compare (Hashtbl.fold (fun k v acc -> (k, !v) :: acc) durs [])
   in
   if spans <> [] then begin
-    Printf.printf "  %-28s %6s %10s %10s %10s %10s\n" "X-span (sim ns)" "count"
-      "p50" "p90" "p99" "max";
+    Printf.printf "  %-28s %6s %10s %10s %10s %10s %10s\n" "X-span (sim ns)"
+      "count" "p50" "p90" "p99" "p99.9" "max";
     List.iter
       (fun (name, ds) ->
         let a = Array.of_list ds in
         Array.sort compare a;
-        Printf.printf "  %-28s %6d %10.0f %10.0f %10.0f %10.0f\n" name
+        Printf.printf "  %-28s %6d %10.0f %10.0f %10.0f %10.0f %10.0f\n" name
           (Array.length a) (percentile a 50.0) (percentile a 90.0)
-          (percentile a 99.0)
+          (percentile a 99.0) (percentile a 99.9)
           a.(Array.length a - 1))
       spans
   end

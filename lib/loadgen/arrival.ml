@@ -1,0 +1,32 @@
+type kind = Fixed of float | Poisson of float
+
+type t = {
+  kind : kind;
+  rng : Rng.t;
+  mutable clock_ns : float; (* last arrival handed out *)
+  mutable n : int; (* arrivals handed out so far *)
+  start_ns : float;
+}
+
+let rate = function Fixed r | Poisson r -> r
+
+let create ?(seed = 1) ?(start_ns = 0.0) kind =
+  if rate kind <= 0.0 then invalid_arg "Arrival.create: rate must be positive";
+  { kind; rng = Rng.create seed; clock_ns = start_ns; n = 0; start_ns }
+
+let next t =
+  let gap_ns = 1e9 /. rate t.kind in
+  let ts =
+    match t.kind with
+    | Fixed _ ->
+        (* Computed from the index, not accumulated, so a long run
+           doesn't drift by repeated float addition. *)
+        t.start_ns +. (float_of_int t.n *. gap_ns)
+    | Poisson _ ->
+        (* Inverse-transform exponential; [1 - u] keeps the log away
+           from zero. *)
+        t.clock_ns +. (gap_ns *. -.log (1.0 -. Rng.float t.rng))
+  in
+  t.clock_ns <- ts;
+  t.n <- t.n + 1;
+  ts

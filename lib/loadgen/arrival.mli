@@ -1,0 +1,33 @@
+(** Arrival schedules for open-loop load generation.
+
+    An arrival schedule decides {e when} requests enter the system, in
+    simulated nanoseconds, independent of when earlier requests
+    complete — the defining property of an open-loop workload.  A
+    closed-loop driver (issue, wait, issue again) silently stretches
+    its schedule whenever the system stalls, hiding exactly the
+    latency spikes an evaluation cares about (coordinated omission);
+    these schedules never stretch. *)
+
+type kind =
+  | Fixed of float
+      (** [Fixed rate]: one arrival every [1e9 /. rate] simulated ns —
+          a deterministic, evenly spaced schedule.  [rate] is in
+          operations per simulated second. *)
+  | Poisson of float
+      (** [Poisson rate]: exponentially distributed inter-arrival gaps
+          with mean [1e9 /. rate] simulated ns — memoryless arrivals,
+          the standard open-system model.  Deterministic given the
+          seed. *)
+
+type t
+
+val create : ?seed:int -> ?start_ns:float -> kind -> t
+(** A schedule starting at [start_ns] (default 0).  [seed] (default 1)
+    feeds the Poisson draw and is ignored for [Fixed]. *)
+
+val next : t -> float
+(** The next arrival timestamp in simulated ns.  Monotone
+    non-decreasing across calls. *)
+
+val rate : kind -> float
+(** The schedule's nominal rate in ops per simulated second. *)

@@ -1,0 +1,148 @@
+module Rng = Rng
+module Arrival = Arrival
+module Zipf = Zipf
+module Hdr = Ptelemetry.Hdr
+module Json = Ptelemetry.Json
+
+type op = Read of int | Update of int | Insert of int | Delete of int
+
+let op_key = function Read k | Update k | Insert k | Delete k -> k
+
+type mix = { read : float; update : float; insert : float; delete : float }
+
+let default_mix = { read = 0.50; update = 0.30; insert = 0.15; delete = 0.05 }
+let read_only_mix = { read = 1.0; update = 0.0; insert = 0.0; delete = 0.0 }
+let update_only_mix = { read = 0.0; update = 1.0; insert = 0.0; delete = 0.0 }
+
+type spec = {
+  arrivals : Arrival.kind;
+  ops : int;
+  keyspace : int;
+  theta : float;
+  mix : mix;
+  seed : int;
+}
+
+let default_spec =
+  {
+    arrivals = Arrival.Fixed 1e6;
+    ops = 10_000;
+    keyspace = 1024;
+    theta = 0.99;
+    mix = default_mix;
+    seed = 42;
+  }
+
+type report = {
+  ops : int;
+  first_arrival_ns : float;
+  last_end_ns : float;
+  busy_ns : float;
+  max_backlog_ns : float;
+  response : Hdr.t;
+  service : Hdr.t;
+}
+
+let empty_report () =
+  {
+    ops = 0;
+    first_arrival_ns = 0.0;
+    last_end_ns = 0.0;
+    busy_ns = 0.0;
+    max_backlog_ns = 0.0;
+    response = Hdr.create ();
+    service = Hdr.create ();
+  }
+
+let throughput r =
+  let span = r.last_end_ns -. r.first_arrival_ns in
+  if span <= 0.0 then 0.0 else float_of_int r.ops /. span *. 1e9
+
+let pick_op mix keys key_rng mix_rng =
+  let total = mix.read +. mix.update +. mix.insert +. mix.delete in
+  if total <= 0.0 then invalid_arg "Loadgen: op mix has no positive weight";
+  let key = Zipf.next keys key_rng in
+  let u = Rng.float mix_rng *. total in
+  if u < mix.read then Read key
+  else if u < mix.read +. mix.update then Update key
+  else if u < mix.read +. mix.update +. mix.insert then Insert key
+  else Delete key
+
+let run ?progress ?(progress_every = 1024) (spec : spec) ~service =
+  if spec.ops <= 0 then invalid_arg "Loadgen.run: ops must be positive";
+  let root = Rng.create spec.seed in
+  (* Independent derived streams: changing the op mix must not perturb
+     which keys are drawn, and vice versa. *)
+  let key_rng = Rng.split root in
+  let mix_rng = Rng.split root in
+  let arrivals =
+    Arrival.create ~seed:(Rng.next root land 0x3FFFFFFF) spec.arrivals
+  in
+  let keys = Zipf.create ~theta:spec.theta spec.keyspace in
+  let r = ref (empty_report ()) in
+  let prev_end = ref 0.0 in
+  for k = 0 to spec.ops - 1 do
+    let arrival = Arrival.next arrivals in
+    if k = 0 then r := { !r with first_arrival_ns = arrival };
+    let op = pick_op spec.mix keys key_rng mix_rng in
+    (* Open loop: the start never precedes the arrival, and a backlog
+       (prev_end > arrival) is charged to response time, not hidden by
+       delaying the schedule. *)
+    let start = Float.max arrival !prev_end in
+    let dur = service op in
+    if dur < 0.0 then invalid_arg "Loadgen.run: negative service time";
+    let end_ = start +. dur in
+    prev_end := end_;
+    let cur = !r in
+    Hdr.record cur.response (int_of_float (Float.round (end_ -. arrival)));
+    Hdr.record cur.service (int_of_float (Float.round dur));
+    r :=
+      {
+        cur with
+        ops = cur.ops + 1;
+        last_end_ns = end_;
+        busy_ns = cur.busy_ns +. dur;
+        max_backlog_ns = Float.max cur.max_backlog_ns (start -. arrival);
+      };
+    match progress with
+    | Some f when (k + 1) mod progress_every = 0 || k + 1 = spec.ops ->
+        f ~done_ops:(k + 1) !r
+    | _ -> ()
+  done;
+  !r
+
+let merge_reports = function
+  | [] -> empty_report ()
+  | first :: _ as rs ->
+      let response = Hdr.merge (List.map (fun r -> r.response) rs) in
+      let service = Hdr.merge (List.map (fun r -> r.service) rs) in
+      List.fold_left
+        (fun acc r ->
+          {
+            acc with
+            ops = acc.ops + r.ops;
+            first_arrival_ns = Float.min acc.first_arrival_ns r.first_arrival_ns;
+            last_end_ns = Float.max acc.last_end_ns r.last_end_ns;
+            busy_ns = acc.busy_ns +. r.busy_ns;
+            max_backlog_ns = Float.max acc.max_backlog_ns r.max_backlog_ns;
+          })
+        { (empty_report ()) with
+          response;
+          service;
+          first_arrival_ns = first.first_arrival_ns;
+        }
+        rs
+
+let report_json ?(label = "openloop") r =
+  Json.Obj
+    [
+      ("schema", Json.Str "corundum-openloop-v1");
+      ("label", Json.Str label);
+      ("ops", Json.Num (float_of_int r.ops));
+      ("duration_ns", Json.Num (r.last_end_ns -. r.first_arrival_ns));
+      ("throughput_ops_per_s", Json.Num (throughput r));
+      ("busy_ns", Json.Num r.busy_ns);
+      ("max_backlog_ns", Json.Num r.max_backlog_ns);
+      ("response", Hdr.to_json (Hdr.snapshot r.response));
+      ("service", Hdr.to_json (Hdr.snapshot r.service));
+    ]

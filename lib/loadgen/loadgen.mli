@@ -1,0 +1,94 @@
+(** Open-loop workload driver.
+
+    Runs a stream of operations against a service callback under an
+    {!Arrival} schedule, in simulated time, and separates the two
+    latencies an open-system evaluation must not conflate:
+
+    - {e service time} — how long the operation itself took once it
+      started executing;
+    - {e response time} — service time {e plus} the queueing delay
+      between the operation's scheduled arrival and when the system got
+      to it.
+
+    Operation [k] starts at [max arrival_k prev_end]: arrivals never
+    wait for completions (open loop), so when the system falls behind
+    the schedule, the backlog shows up as response time.  A closed-loop
+    driver measures only service time and silently stretches its
+    schedule under stalls — the coordinated-omission mistake this
+    module exists to avoid.
+
+    Latencies are recorded into {!Ptelemetry.Hdr} histograms, so
+    per-domain reports merge into fleet-wide percentiles with bounded
+    relative error. *)
+
+(** The library's building blocks, re-exported ([Loadgen] is the
+    library's main module, so these would otherwise be hidden). *)
+
+module Rng = Rng
+module Arrival = Arrival
+module Zipf = Zipf
+
+type op = Read of int | Update of int | Insert of int | Delete of int
+(** One keyed operation.  The driver picks keys and kinds; the service
+    callback interprets them. *)
+
+val op_key : op -> int
+
+type mix = { read : float; update : float; insert : float; delete : float }
+(** Operation-kind weights; need not sum to 1 (they are normalized). *)
+
+val default_mix : mix
+(** YCSB-workload-A-flavoured: 50% read / 30% update / 15% insert /
+    5% delete. *)
+
+val read_only_mix : mix
+val update_only_mix : mix
+
+type spec = {
+  arrivals : Arrival.kind;  (** when operations enter the system *)
+  ops : int;  (** how many operations to run *)
+  keyspace : int;  (** keys are drawn from [0, keyspace) *)
+  theta : float;  (** zipfian skew; 0 = uniform *)
+  mix : mix;
+  seed : int;  (** root seed: arrivals, keys and mix all derive *)
+}
+
+val default_spec : spec
+(** 10_000 ops, Fixed 1e6 ops/s, 1024 keys, theta 0.99, {!default_mix},
+    seed 42. *)
+
+type report = {
+  ops : int;
+  first_arrival_ns : float;
+  last_end_ns : float;
+  busy_ns : float;  (** total service time *)
+  max_backlog_ns : float;
+      (** worst queueing delay (start - arrival) seen by any op *)
+  response : Ptelemetry.Hdr.t;  (** end - arrival, per op, in sim ns *)
+  service : Ptelemetry.Hdr.t;  (** end - start, per op, in sim ns *)
+}
+
+val throughput : report -> float
+(** Achieved ops per simulated second over [first_arrival .. last_end]. *)
+
+val run :
+  ?progress:(done_ops:int -> report -> unit) ->
+  ?progress_every:int ->
+  spec ->
+  service:(op -> float) ->
+  report
+(** Drive [spec.ops] operations.  [service op] executes one operation
+    and returns its service time in simulated ns (e.g. the device's
+    [simulated_ns] delta around the engine call); it must be
+    non-negative.  [progress] (default none) is called every
+    [progress_every] ops (default 1024) with the report so far. *)
+
+val merge_reports : report list -> report
+(** Combine per-domain reports: ops/busy sum, arrival/end envelope,
+    histograms {!Ptelemetry.Hdr.merge}d.  Commutative and associative
+    up to histogram exactness, like the underlying merge. *)
+
+val report_json : ?label:string -> report -> Ptelemetry.Json.t
+(** [{"schema": "corundum-openloop-v1", "label", "ops", "duration_ns",
+    "throughput_ops_per_s", "busy_ns", "max_backlog_ns", "response":
+    <Hdr.to_json>, "service": <Hdr.to_json>}]. *)

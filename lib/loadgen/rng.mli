@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random stream (splitmix64).
+
+    Every loadgen component draws from an explicit stream so a workload
+    is a pure function of its seeds: same seed, same arrivals, same
+    keys, same op mix — on any host, under any domain interleaving.
+    Streams are not thread-safe; give each domain its own. *)
+
+type t
+
+val create : int -> t
+(** A stream seeded by [seed].  Distinct seeds give independent
+    streams (splitmix64 is the stream-splitting function of JDK's
+    [SplittableRandom]). *)
+
+val split : t -> t
+(** A fresh stream derived from (and advancing) [t] — use to hand each
+    domain or component its own independent stream from one root
+    seed. *)
+
+val next : t -> int
+(** Uniform in [0, 2^62): the raw positive-int draw. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  [bound] must be
+    positive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)

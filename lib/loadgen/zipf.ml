@@ -1,0 +1,59 @@
+(* Bounded zipfian generator, after Gray et al. "Quickly generating
+   billion-record synthetic databases" — the algorithm YCSB's
+   ZipfianGenerator implements.  [create] precomputes zeta(n, theta);
+   each draw is O(1). *)
+
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+}
+
+let zeta n theta =
+  let z = ref 0.0 in
+  for i = 1 to n do
+    z := !z +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !z
+
+let create ?(theta = 0.99) n =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 || theta >= 1.0 then
+    invalid_arg "Zipf.create: theta must be in [0, 1)";
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  { n; theta; alpha; zetan; eta }
+
+let n t = t.n
+let theta t = t.theta
+
+let rank t rng =
+  let u = Rng.float rng in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+  else
+    let r =
+      float_of_int t.n
+      *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha
+    in
+    min (t.n - 1) (int_of_float r)
+
+(* Fibonacci-hash scatter so rank 0 isn't always key 0 — hot keys land
+   all over the keyspace, as YCSB's scrambled variant arranges. *)
+let scatter = 0x9E3779B97F4A7C15L
+
+let next t rng =
+  let r = rank t rng in
+  let h =
+    Int64.to_int
+      (Int64.shift_right_logical (Int64.mul (Int64.of_int (r + 1)) scatter) 2)
+  in
+  h mod t.n

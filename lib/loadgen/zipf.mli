@@ -1,0 +1,32 @@
+(** Zipfian key selection (YCSB's bounded generator).
+
+    Draws keys in [0, n) with popularity following a zipf distribution
+    of exponent [theta]: key rank r is drawn proportionally to
+    [1 / (r+1)^theta].  This is the skewed-access pattern persistent
+    key-value evaluations use (YCSB's default theta 0.99 gives the
+    classic "hot keys dominate" shape); theta 0 degenerates to
+    uniform.
+
+    The generator itself is stateless after [create] (the zeta
+    normalizer is precomputed, O(n) once); each draw takes the caller's
+    {!Rng.t}, so domains can share one generator while drawing from
+    private streams. *)
+
+type t
+
+val create : ?theta:float -> int -> t
+(** [create ?theta n] prepares draws over [0, n).  [theta] defaults to
+    0.99 and must be in [0, 1); [n] must be positive. *)
+
+val n : t -> int
+val theta : t -> float
+
+val next : t -> Rng.t -> int
+(** One key.  Rank 0 (the hottest key) is scattered over the keyspace
+    by a fixed multiplicative hash, as in YCSB, so hot keys don't
+    cluster at one end. *)
+
+val rank : t -> Rng.t -> int
+(** Like {!next} but without the scattering hash: returns the
+    popularity rank itself (0 = most popular).  Useful for asserting
+    the distribution's shape in tests. *)

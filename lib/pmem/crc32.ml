@@ -4,18 +4,20 @@
 
 let polynomial = 0xEDB88320
 
+(* Eager, not [lazy]: the table is forced from every domain that
+   persists metadata, and concurrently forcing a shared lazy raises
+   CamlinternalLazy.Undefined under OCaml 5.  256 iterations at module
+   init is cheaper than any synchronization on the hot path. *)
 let table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then polynomial lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then polynomial lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
 
 let update crc byte =
-  let t = Lazy.force table in
-  Array.unsafe_get t ((crc lxor byte) land 0xFF) lxor (crc lsr 8)
+  Array.unsafe_get table ((crc lxor byte) land 0xFF) lxor (crc lsr 8)
 
 let seed = 0xFFFFFFFF
 let finish crc = crc lxor 0xFFFFFFFF

@@ -16,6 +16,8 @@ type entry =
       b_p50 : float option;
       a_p99 : float option;
       b_p99 : float option;
+      a_p999 : float option;
+      b_p999 : float option;
     }
   | Waste of {
       engine : string;
@@ -62,9 +64,15 @@ let diff_histograms a b =
           and b_count = Option.value ~default:0.0 (f "count" gb) in
           let a_p50 = f "p50" ga and b_p50 = f "p50" gb in
           let a_p99 = f "p99" ga and b_p99 = f "p99" gb in
-          if a_count = b_count && a_p50 = b_p50 && a_p99 = b_p99 then None
+          let a_p999 = f "p999" ga and b_p999 = f "p999" gb in
+          if a_count = b_count && a_p50 = b_p50 && a_p99 = b_p99
+             && a_p999 = b_p999
+          then None
           else
-            Some (Histo { name; a_count; b_count; a_p50; b_p50; a_p99; b_p99 }))
+            Some
+              (Histo
+                 { name; a_count; b_count; a_p50; b_p50; a_p99; b_p99;
+                   a_p999; b_p999 }))
         (key_union ha hb)
   | _ -> []
 
@@ -143,12 +151,15 @@ let render entries =
           Buffer.add_string buf
             (Printf.sprintf "counter   %-32s %12s -> %-12s (%+g)\n" name
                (render_float a) (render_float b) (b -. a))
-      | Histo { name; a_count; b_count; a_p50; b_p50; a_p99; b_p99 } ->
+      | Histo
+          { name; a_count; b_count; a_p50; b_p50; a_p99; b_p99; a_p999; b_p999 }
+        ->
           Buffer.add_string buf
             (Printf.sprintf
-               "histogram %-32s count %s -> %s  p50 %s -> %s  p99 %s -> %s\n"
+               "histogram %-32s count %s -> %s  p50 %s -> %s  p99 %s -> %s  \
+                p999 %s -> %s\n"
                name (render_float a_count) (render_float b_count) (opt a_p50)
-               (opt b_p50) (opt a_p99) (opt b_p99))
+               (opt b_p50) (opt a_p99) (opt b_p99) (opt a_p999) (opt b_p999))
       | Waste { engine; op; a_fl; b_fl; a_fe; b_fe } ->
           Buffer.add_string buf
             (Printf.sprintf

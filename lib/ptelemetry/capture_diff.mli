@@ -2,7 +2,7 @@
 
     Understands three shapes and diffs whichever both documents carry:
     metrics dumps ({!Metrics.dump_json} — counter deltas and histogram
-    count/p50/p99 shifts), persist-waste tables ([corundum-waste-v1] —
+    count/p50/p99/p999 shifts), persist-waste tables ([corundum-waste-v1] —
     per-engine/op waste deltas) and pprof reports ([corundum-pprof-v1]
     — the report's total [actual - minimum] as one waste row).  Pure
     functions over parsed JSON, shared by [trace_check --diff] and the
@@ -18,6 +18,8 @@ type entry =
       b_p50 : float option;
       a_p99 : float option;
       b_p99 : float option;
+      a_p999 : float option;  (** tail quantile, [None] on old captures *)
+      b_p999 : float option;
     }
   | Waste of {
       engine : string;

@@ -1,0 +1,160 @@
+(* Log-linear fixed-precision histogram.  See hdr.mli for the bucket
+   geometry; the implementation notes here cover only the parts the
+   interface can't show. *)
+
+let sub_bits = 6
+let sub_count = 1 lsl sub_bits (* 64: unit buckets covering 0..63 *)
+let sub_half = sub_count / 2 (* 32 linear sub-buckets per decade *)
+let max_rel_error = 1.0 /. float_of_int sub_half
+let exact_capacity = 128
+
+(* Values clamp to [0, 2^61): with 61 usable magnitude bits there are
+   61 - sub_bits + 1 = 56 decades above the unit span. *)
+let max_value = (1 lsl 61) - 1
+let ndecades = 61 - sub_bits + 1
+let nbuckets = sub_count + (ndecades * sub_half)
+
+let log2_floor n =
+  let rec go k n = if n <= 1 then k else go (k + 1) (n lsr 1) in
+  go 0 n
+
+let index_of v =
+  let v = if v < 0 then 0 else min v max_value in
+  if v < sub_count then v
+  else
+    (* decade b >= 1 covers [64 * 2^(b-1), 64 * 2^b) in slots of 2^b *)
+    let b = log2_floor v - (sub_bits - 1) in
+    sub_count + ((b - 1) * sub_half) + ((v lsr b) - sub_half)
+
+let bucket_lo i =
+  if i < sub_count then i
+  else
+    let r = i - sub_count in
+    let b = (r / sub_half) + 1 in
+    let slot = (r mod sub_half) + sub_half in
+    slot lsl b
+
+let bucket_width i = if i < sub_count then 1 else 1 lsl ((i - sub_count) / sub_half + 1)
+
+type t = {
+  counts : int array; (* length [nbuckets] *)
+  mutable count : int;
+  mutable sum : int;
+  mutable hmin : int;
+  mutable hmax : int;
+  raw : int array; (* first [min count exact_capacity] slots are live *)
+}
+
+let create () =
+  {
+    counts = Array.make nbuckets 0;
+    count = 0;
+    sum = 0;
+    hmin = 0;
+    hmax = 0;
+    raw = Array.make exact_capacity 0;
+  }
+
+let count t = t.count
+
+let record t v =
+  let v = if v < 0 then 0 else min v max_value in
+  let i = index_of v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  if t.count = 0 || v < t.hmin then t.hmin <- v;
+  if v > t.hmax then t.hmax <- v;
+  (* The raw window is written exactly once per slot and never touched
+     again past the threshold — the hot path allocates nothing. *)
+  if t.count < exact_capacity then t.raw.(t.count) <- v;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v
+
+let clear t =
+  Array.fill t.counts 0 nbuckets 0;
+  t.count <- 0;
+  t.sum <- 0;
+  t.hmin <- 0;
+  t.hmax <- 0
+
+let merge_into ~into src =
+  if src.count > 0 then begin
+    (* Raw windows concatenate while every sample still fits; once the
+       union spills, exactness is lost (the buckets carry on alone). *)
+    if into.count < exact_capacity && src.count <= exact_capacity - into.count
+    then Array.blit src.raw 0 into.raw into.count src.count;
+    Array.iteri
+      (fun i n -> if n > 0 then into.counts.(i) <- into.counts.(i) + n)
+      src.counts;
+    if into.count = 0 || src.hmin < into.hmin then into.hmin <- src.hmin;
+    if src.hmax > into.hmax then into.hmax <- src.hmax;
+    into.count <- into.count + src.count;
+    into.sum <- into.sum + src.sum
+  end
+
+let merge ts =
+  let into = create () in
+  List.iter (fun t -> merge_into ~into t) ts;
+  into
+
+type snapshot = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : (int * int) list;
+  samples : int list option;
+}
+
+let snapshot t =
+  let buckets = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if t.counts.(i) > 0 then buckets := (i, t.counts.(i)) :: !buckets
+  done;
+  let samples =
+    if t.count > 0 && t.count <= exact_capacity then
+      Some (List.sort compare (Array.to_list (Array.sub t.raw 0 t.count)))
+    else None
+  in
+  { count = t.count; sum = t.sum; min = t.hmin; max = t.hmax;
+    buckets = !buckets; samples }
+
+let exact (s : snapshot) = s.count = 0 || s.samples <> None
+
+let quantile (s : snapshot) q =
+  if s.count = 0 then 0
+  else begin
+    let rank = int_of_float (float_of_int (s.count - 1) *. q) in
+    match s.samples with
+    | Some sorted -> List.nth sorted rank
+    | None ->
+        let rec go seen = function
+          | [] -> s.max
+          | (i, n) :: rest ->
+              if seen + n > rank then bucket_lo i else go (seen + n) rest
+        in
+        go 0 s.buckets
+  end
+
+let mean (s : snapshot) =
+  if s.count = 0 then 0.0 else float_of_int s.sum /. float_of_int s.count
+
+let to_json (s : snapshot) =
+  let n v = Json.Num (float_of_int v) in
+  let buckets =
+    List.map
+      (fun (i, c) -> Json.List [ n (bucket_lo i); n c ])
+      s.buckets
+  in
+  Json.Obj
+    [
+      ("count", n s.count);
+      ("sum", n s.sum);
+      ("min", n s.min);
+      ("max", n s.max);
+      ("mean", Json.Num (mean s));
+      ("p50", n (quantile s 0.5));
+      ("p99", n (quantile s 0.99));
+      ("p999", n (quantile s 0.999));
+      ("exact", Json.Bool (exact s));
+      ("buckets", Json.List buckets);
+    ]

@@ -1,0 +1,110 @@
+(** Fixed-precision log-linear histograms (HdrHistogram-style).
+
+    The log2 buckets the registry used historically bound a quantile
+    only to within one power of two — up to 100% relative error at the
+    tail once the raw-sample window is outgrown.  This module keeps the
+    constant memory footprint but splits every power of two into
+    {!sub_half} linear sub-buckets, so any reported quantile is within
+    {!max_rel_error} (1/32 ≈ 3.1%) of the true sample at {e any}
+    population size.
+
+    Layout: values [0, 63] get a unit-width bucket each (exact);
+    thereafter the power-of-two decade [[64·2^(b-1), 64·2^b)] is covered
+    by 32 sub-buckets of width [2^b].  A sub-bucket's reported value is
+    its lower bound, so estimates err low, never high, by at most
+    [width/lo <= 1/32].
+
+    Small populations stay {e exact}: the first {!exact_capacity}
+    samples are additionally retained verbatim in a preallocated array
+    (no allocation on the record path, and the array is never touched
+    again once the population outgrows it), and quantiles over a
+    retained population are nearest-rank on the raw samples.
+
+    Histograms are {e mergeable}: {!merge_into} folds one histogram
+    into another bucket-by-bucket, preserving exactness while the
+    combined population still fits the raw window.  Merge is
+    associative and commutative up to sample order, which makes
+    per-domain recording + merge-on-report safe.
+
+    A histogram is deliberately {e unsynchronized} — one writer at a
+    time.  Concurrent writers each record into their own histogram (or
+    their own {!Metrics} shard) and merge on snapshot. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Record one sample; negative values clamp to 0.  Never allocates. *)
+
+val count : t -> int
+
+val clear : t -> unit
+
+val merge_into : into:t -> t -> unit
+(** Fold every sample of the second histogram into [into] (bucket
+    counts, sum, min/max, and raw samples while they all still fit the
+    exact window). *)
+
+val merge : t list -> t
+(** A fresh histogram holding the union of the inputs' samples. *)
+
+(** {1 Bucket geometry} *)
+
+val sub_bits : int
+(** log2 of the unit-bucket span (6: values 0–63 are exact). *)
+
+val sub_half : int
+(** Linear sub-buckets per power-of-two decade (32). *)
+
+val max_rel_error : float
+(** Worst-case relative error of a bucket-estimated quantile:
+    [1 /. float sub_half] = 0.03125. *)
+
+val nbuckets : int
+(** Total bucket-array length. *)
+
+val index_of : int -> int
+(** The bucket a value lands in (values clamp to [0, 2^61]). *)
+
+val bucket_lo : int -> int
+(** Smallest value mapping to bucket [i] — the value a quantile
+    estimate reports for that bucket. *)
+
+val bucket_width : int -> int
+(** Width of bucket [i] ([bucket_lo (i+1) - bucket_lo i]). *)
+
+val exact_capacity : int
+(** Raw samples retained per histogram (128): populations at or below
+    this report exact nearest-rank quantiles. *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  count : int;
+  sum : int;
+  min : int;  (** 0 when [count = 0] *)
+  max : int;
+  buckets : (int * int) list;
+      (** (bucket index, samples) for non-empty buckets, ascending. *)
+  samples : int list option;
+      (** all samples sorted ascending while [count <= exact_capacity] *)
+}
+
+val snapshot : t -> snapshot
+
+val exact : snapshot -> bool
+(** Whether quantiles are nearest-rank raw samples rather than
+    sub-bucket lower bounds.  Empty histograms report exact. *)
+
+val quantile : snapshot -> float -> int
+(** [quantile s q], [0 <= q <= 1]: nearest-rank over raw samples when
+    {!exact}, otherwise the lower bound of the sub-bucket holding that
+    rank — within {!max_rel_error} of the true sample. *)
+
+val mean : snapshot -> float
+
+val to_json : snapshot -> Json.t
+(** The registry's histogram schema: [{count, sum, min, max, mean, p50,
+    p99, p999, exact, buckets: [[lo, n], …]}] — what {!Metrics.dump_json}
+    emits per histogram and {!Capture_diff} reads back. *)

@@ -1,24 +1,29 @@
-let nbuckets = 63
+(* Sharded registry of counters and fixed-precision histograms.
 
-(* Raw samples are retained verbatim up to this count, giving exact
-   percentiles for the small populations the recovery/bench reports care
-   about (a handful of attach cycles, not millions of hot-path samples).
-   Past the threshold the raws are discarded and quantiles fall back to
-   the log2-bucket floor estimate. *)
-let exact_threshold = 128
+   Multicore discipline: every metric is an array of [nshards] shards
+   indexed by the calling domain's id, so concurrent domains update
+   disjoint memory.  Counter shards are plain atomics (one
+   fetch-and-add, no lock, no loop); histogram shards pair an [Hdr.t]
+   with a mutex that is uncontended unless two domains collide on the
+   same shard index.  Readers merge all shards at snapshot time —
+   updates stay O(1) and contention-free, reads pay the merge. *)
 
-type counter = { cname : string; value : int Atomic.t }
+(* 64 shards: domain ids are assigned densely from 0, so any realistic
+   domain count maps injectively; a collision only costs one shared
+   (still atomic / mutex-protected) shard. *)
+let nshards = 64
 
-type histogram = {
-  hname : string;
-  lock : Mutex.t;
-  buckets : int array; (* length [nbuckets] *)
-  mutable count : int;
-  mutable sum : int;
-  mutable hmin : int;
-  mutable hmax : int;
-  mutable raw : int list; (* newest first; [] once count > exact_threshold *)
-}
+let shard_id () = (Domain.self () :> int) land (nshards - 1)
+
+(* Compatibility re-exports: the registry's bucket geometry is Hdr's. *)
+let exact_threshold = Hdr.exact_capacity
+let bucket_of = Hdr.index_of
+let bucket_lo = Hdr.bucket_lo
+
+type counter = { cname : string; cshards : int Atomic.t array }
+
+type hshard = { hlock : Mutex.t; hdr : Hdr.t }
+type histogram = { hname : string; hshards : hshard array }
 
 type metric = C of counter | H of histogram
 
@@ -34,7 +39,9 @@ let counter name =
     | Some (C c) -> Ok c
     | Some (H _) -> Error (name ^ " is already a histogram")
     | None ->
-        let c = { cname = name; value = Atomic.make 0 } in
+        let c =
+          { cname = name; cshards = Array.init nshards (fun _ -> Atomic.make 0) }
+        in
         Hashtbl.add registry name (C c);
         Ok c
   in
@@ -51,13 +58,9 @@ let histogram name =
         let h =
           {
             hname = name;
-            lock = Mutex.create ();
-            buckets = Array.make nbuckets 0;
-            count = 0;
-            sum = 0;
-            hmin = 0;
-            hmax = 0;
-            raw = [];
+            hshards =
+              Array.init nshards (fun _ ->
+                  { hlock = Mutex.create (); hdr = Hdr.create () });
           }
         in
         Hashtbl.add registry name (H h);
@@ -66,31 +69,19 @@ let histogram name =
   Mutex.unlock registry_lock;
   match r with Ok h -> h | Error m -> invalid_arg ("Metrics.histogram: " ^ m)
 
-let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.value by)
-let counter_value c = Atomic.get c.value
+let incr ?(by = 1) c =
+  ignore (Atomic.fetch_and_add c.cshards.(shard_id ()) by)
 
-let log2_floor n =
-  let rec go k n = if n <= 1 then k else go (k + 1) (n lsr 1) in
-  go 0 n
-
-(* Bucket 0: v <= 0.  Bucket i >= 1: v in [2^(i-1), 2^i). *)
-let bucket_of v =
-  if v <= 0 then 0 else min (nbuckets - 1) (log2_floor v + 1)
-
-let bucket_lo i = if i <= 0 then 0 else 1 lsl (i - 1)
+let counter_value c =
+  Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.cshards
 
 let observe h v =
-  Mutex.lock h.lock;
-  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
-  if h.count = 0 || v < h.hmin then h.hmin <- max 0 v;
-  if v > h.hmax then h.hmax <- v;
-  h.count <- h.count + 1;
-  h.sum <- h.sum + max 0 v;
-  (if h.count <= exact_threshold then h.raw <- max 0 v :: h.raw
-   else h.raw <- []);
-  Mutex.unlock h.lock
+  let s = h.hshards.(shard_id ()) in
+  Mutex.lock s.hlock;
+  Hdr.record s.hdr v;
+  Mutex.unlock s.hlock
 
-type histo_snapshot = {
+type histo_snapshot = Hdr.snapshot = {
   count : int;
   sum : int;
   min : int;
@@ -100,22 +91,16 @@ type histo_snapshot = {
 }
 
 let snapshot h =
-  Mutex.lock h.lock;
-  let buckets = ref [] in
-  for i = nbuckets - 1 downto 0 do
-    if h.buckets.(i) > 0 then buckets := (i, h.buckets.(i)) :: !buckets
-  done;
-  let samples =
-    if h.count > 0 && h.count <= exact_threshold then
-      Some (List.sort compare h.raw)
-    else None
-  in
-  let s =
-    { count = h.count; sum = h.sum; min = h.hmin; max = h.hmax;
-      buckets = !buckets; samples }
-  in
-  Mutex.unlock h.lock;
-  s
+  (* Merge-on-snapshot: fold every shard into a scratch Hdr under its
+     own lock, so a concurrent writer never sees a torn read. *)
+  let into = Hdr.create () in
+  Array.iter
+    (fun s ->
+      Mutex.lock s.hlock;
+      Hdr.merge_into ~into s.hdr;
+      Mutex.unlock s.hlock)
+    h.hshards;
+  Hdr.snapshot into
 
 let find_metric name =
   Mutex.lock registry_lock;
@@ -129,25 +114,9 @@ let find_counter name =
 let find_histogram name =
   match find_metric name with Some (H h) -> Some (snapshot h) | _ -> None
 
-let mean (s : histo_snapshot) =
-  if s.count = 0 then 0.0 else float_of_int s.sum /. float_of_int s.count
-
-let exact (s : histo_snapshot) = s.count = 0 || s.samples <> None
-
-let quantile (s : histo_snapshot) q =
-  if s.count = 0 then 0
-  else begin
-    let rank = int_of_float (Float.of_int (s.count - 1) *. q) in
-    match s.samples with
-    | Some sorted -> List.nth sorted rank
-    | None ->
-        let rec go seen = function
-          | [] -> s.max
-          | (i, n) :: rest ->
-              if seen + n > rank then bucket_lo i else go (seen + n) rest
-        in
-        go 0 s.buckets
-  end
+let mean = Hdr.mean
+let exact = Hdr.exact
+let quantile = Hdr.quantile
 
 let sorted_metrics () =
   Mutex.lock registry_lock;
@@ -166,9 +135,10 @@ let dump_text () =
           let approx = if exact s then "=" else "~" in
           Buffer.add_string buf
             (Printf.sprintf
-               "%s count=%d sum=%d mean=%.1f p50%s%d p99%s%d max=%d\n"
+               "%s count=%d sum=%d mean=%.1f p50%s%d p99%s%d p999%s%d max=%d\n"
                name s.count s.sum (mean s) approx (quantile s 0.5) approx
-               (quantile s 0.99) s.max))
+               (quantile s 0.99) approx
+               (quantile s 0.999) s.max))
     (sorted_metrics ());
   Buffer.contents buf
 
@@ -178,30 +148,7 @@ let dump_json () =
     (fun (name, m) ->
       match m with
       | C c -> counters := (name, Json.Num (float_of_int (counter_value c))) :: !counters
-      | H h ->
-          let s = snapshot h in
-          let buckets =
-            List.map
-              (fun (i, n) ->
-                Json.List [ Json.Num (float_of_int (bucket_lo i));
-                            Json.Num (float_of_int n) ])
-              s.buckets
-          in
-          histos :=
-            ( name,
-              Json.Obj
-                [
-                  ("count", Json.Num (float_of_int s.count));
-                  ("sum", Json.Num (float_of_int s.sum));
-                  ("min", Json.Num (float_of_int s.min));
-                  ("max", Json.Num (float_of_int s.max));
-                  ("mean", Json.Num (mean s));
-                  ("p50", Json.Num (float_of_int (quantile s 0.5)));
-                  ("p99", Json.Num (float_of_int (quantile s 0.99)));
-                  ("exact", Json.Bool (exact s));
-                  ("buckets", Json.List buckets);
-                ] )
-            :: !histos)
+      | H h -> histos := (name, Hdr.to_json (snapshot h)) :: !histos)
     (sorted_metrics ());
   Json.Obj
     [ ("counters", Json.Obj (List.rev !counters));
@@ -213,14 +160,12 @@ let reset () =
   List.iter
     (fun (_, m) ->
       match m with
-      | C c -> Atomic.set c.value 0
+      | C c -> Array.iter (fun a -> Atomic.set a 0) c.cshards
       | H h ->
-          Mutex.lock h.lock;
-          Array.fill h.buckets 0 nbuckets 0;
-          h.count <- 0;
-          h.sum <- 0;
-          h.hmin <- 0;
-          h.hmax <- 0;
-          h.raw <- [];
-          Mutex.unlock h.lock)
+          Array.iter
+            (fun s ->
+              Mutex.lock s.hlock;
+              Hdr.clear s.hdr;
+              Mutex.unlock s.hlock)
+            h.hshards)
     (sorted_metrics ())

@@ -1,10 +1,27 @@
-(** Global registry of named counters and log-scale histograms.
+(** Sharded global registry of named counters and fixed-precision
+    histograms.
 
     The registry backs the per-transaction attribution the evaluation
     needs (flushes/tx, fences/tx, logged bytes/tx — the quantities
     Table 5 of the paper reasons with): instrumentation sites intern a
     metric once and bump it on the hot path, and tooling dumps the whole
     registry as stable text or JSON.
+
+    {b Multicore discipline.}  Every metric is sharded {!nshards} ways
+    by the calling domain's id.  A counter bump is one lock-free
+    fetch-and-add on the caller's own shard; a histogram observation
+    takes a per-shard mutex that is uncontended unless two domains
+    collide on a shard index.  Shards are merged on snapshot, so reads
+    see a consistent whole-registry view while writers never serialize
+    against each other — N domains recording latencies do not queue on
+    one registry lock.
+
+    {b Histogram precision.}  Histograms are {!Hdr} log-linear
+    histograms: raw samples are retained (preallocated, allocation-free)
+    up to {!exact_threshold} per shard-merge and quantiles there are
+    exact; past it, quantiles are sub-bucket lower bounds within
+    {!Hdr.max_rel_error} (≈3.1%) of the true sample at any population
+    size — not the one-power-of-two floors of the old log2 buckets.
 
     Metric names are dot-separated ([tx.flushes], [alloc.size], …); the
     dumps list them in lexicographic order so diffs between runs are
@@ -17,6 +34,9 @@
 type counter
 type histogram
 
+val nshards : int
+(** Shards per metric (64).  Domain ids index shards modulo this. *)
+
 val counter : string -> counter
 (** Intern (find or create) the counter named [s]. *)
 
@@ -25,69 +45,77 @@ val histogram : string -> histogram
     name is already registered as a counter (and vice versa). *)
 
 val incr : ?by:int -> counter -> unit
+(** One atomic fetch-and-add on the calling domain's shard. *)
+
 val observe : histogram -> int -> unit
-(** Record one sample.  Negative samples clamp to bucket 0. *)
+(** Record one sample into the calling domain's shard.  Negative
+    samples clamp to 0.  Never allocates. *)
 
 (** {1 Reading} *)
 
 val counter_value : counter -> int
+(** Sum over all shards. *)
+
 val find_counter : string -> int option
 (** Current value of a counter by name, if registered. *)
 
-type histo_snapshot = {
+type histo_snapshot = Hdr.snapshot = {
   count : int;
   sum : int;
   min : int;  (** 0 when [count = 0] *)
   max : int;
   buckets : (int * int) list;
-      (** (bucket index, samples) for non-empty buckets, ascending. *)
+      (** ({!Hdr} bucket index, samples) for non-empty buckets,
+          ascending. *)
   samples : int list option;
       (** every sample, sorted ascending, while [count <=
-          exact_threshold]; [None] once the population outgrows the
-          retention window (quantiles then fall back to bucket floors). *)
+          exact_threshold]; [None] once the merged population outgrows
+          the retention window (quantiles then fall back to log-linear
+          sub-bucket lower bounds). *)
 }
 
 val find_histogram : string -> histo_snapshot option
+(** Merged snapshot over every shard of the named histogram. *)
 
 val exact_threshold : int
-(** Raw samples are retained until a histogram exceeds this count
-    (128); within it, {!quantile} is exact rather than a bucket-floor
-    estimate.  Sized for the populations the recovery-latency and bench
-    reports aggregate (tens of attach cycles), not hot-path volumes. *)
+(** = {!Hdr.exact_capacity} (128): raw samples are retained while a
+    histogram's merged population is at or below this, and {!quantile}
+    is exact there rather than a bounded-error estimate. *)
 
 val exact : histo_snapshot -> bool
 (** Whether {!quantile} on this snapshot returns exact nearest-rank
-    values (raw samples retained) rather than log2-bucket floors.
+    values (raw samples retained) rather than sub-bucket lower bounds.
     An empty histogram reports exact. *)
 
 val bucket_of : int -> int
-(** The log2 bucket a sample lands in: bucket 0 holds values [<= 0],
-    bucket [i >= 1] holds the half-open range [[2^(i-1), 2^i)].  Capped
-    at bucket 62. *)
+(** = {!Hdr.index_of}: the log-linear bucket a sample lands in.
+    Values 0–63 get unit buckets; each power-of-two decade above is
+    split into {!Hdr.sub_half} linear sub-buckets. *)
 
 val bucket_lo : int -> int
-(** Smallest value of bucket [i] (0 for bucket 0). *)
+(** = {!Hdr.bucket_lo}: smallest value of bucket [i]. *)
 
 val mean : histo_snapshot -> float
+
 val quantile : histo_snapshot -> float -> int
 (** [quantile s q] is the [q]-quantile ([0 <= q <= 1]): the exact
     nearest-rank sample while the raw population is retained
     ([count <= exact_threshold]), otherwise the lower bound of the
-    bucket holding that rank — a floor estimate, exact to within one
-    power of two.  {!exact} tells which path applies. *)
+    sub-bucket holding that rank — within {!Hdr.max_rel_error} of the
+    true sample.  {!exact} tells which path applies. *)
 
 (** {1 Dumps} *)
 
 val dump_text : unit -> string
 (** One metric per line: [name value] for counters, [name
-    count=… sum=… mean=… p50…  p99… max=…] for histograms ([p50=] when
-    the quantile is exact, [p50~] when bucket-estimated). *)
+    count=… sum=… mean=… p50…  p99… p999… max=…] for histograms ([p50=]
+    when the quantile is exact, [p50~] when sub-bucket-estimated). *)
 
 val dump_json : unit -> Json.t
 (** [{"counters": {name: value}, "histograms": {name: {count, sum, min,
-    max, mean, p50, p99, exact, buckets: [[lo, n], …]}}}].  [p50]/[p99]
-    follow {!quantile}; [exact] says whether they are nearest-rank
-    values or bucket floors. *)
+    max, mean, p50, p99, p999, exact, buckets: [[lo, n], …]}}}].
+    Quantiles follow {!quantile}; [exact] says whether they are
+    nearest-rank values or sub-bucket lower bounds. *)
 
 val to_json : unit -> Json.t
 (** Alias of {!dump_json}. *)

@@ -1,6 +1,6 @@
 (** Event tracing for the PM stack.
 
-    A single global subscriber (a bounded in-memory ring, or a JSONL
+    A single global subscriber (bounded in-memory rings, or a JSONL
     stream) receives timestamped events from instrumentation sites in
     the device, journal, allocator and pool layers.  Timestamps are the
     device's {e simulated} nanoseconds, so traces are deterministic and
@@ -10,7 +10,14 @@
     site reduces to one atomic load and a branch — the uninstrumented
     hot path stays within noise, and {e zero} events are retained.
 
-    The ring exports Chrome [trace_event] JSON ({!to_chrome_json},
+    The ring subscriber can be {e sharded per domain}
+    ([install_ring ~shards]): each emitting domain appends to its own
+    ring under its own lock, so N domains tracing concurrently never
+    serialize on one ring mutex; {!events} merges the rings back into
+    one stream ordered by simulated time, with [tid] identifying the
+    emitting domain — one Chrome trace, one track per domain.
+
+    The rings export Chrome [trace_event] JSON ({!to_chrome_json},
     loadable in [chrome://tracing] / Perfetto) and one-event-per-line
     JSONL.  {!Trace_schema} validates both and parses them back. *)
 
@@ -31,10 +38,13 @@ type event = {
 
 (** {1 Subscription} *)
 
-val install_ring : ?capacity:int -> unit -> unit
+val install_ring : ?capacity:int -> ?shards:int -> unit -> unit
 (** Subscribe an in-memory ring keeping the most recent [capacity]
-    events (default 65536); older events are overwritten and counted in
-    {!dropped}.  Replaces any current subscriber. *)
+    events {e per shard} (default 65536); older events are overwritten
+    and counted in {!dropped}.  [shards] (default 1, rounded up to a
+    power of two) shards the ring by emitting domain id: each domain
+    appends under its own ring's lock, eliminating cross-domain
+    contention on the trace path.  Replaces any current subscriber. *)
 
 val install_jsonl : out_channel -> unit
 (** Subscribe a streaming sink: each event is written immediately as
@@ -86,14 +96,17 @@ val end_span :
 (** {1 Reading the ring} *)
 
 val events : unit -> event list
-(** Events currently retained, oldest first.  [[]] when the subscriber
-    is a JSONL stream or nothing was ever installed. *)
+(** Events currently retained, oldest first.  With a sharded ring, the
+    per-domain rings are merged into one stream ordered by simulated
+    timestamp (ties keep each ring's own emission order).  [[]] when
+    the subscriber is a JSONL stream or nothing was ever installed. *)
 
 val dropped : unit -> int
-(** Events overwritten by ring wrap-around since the last install. *)
+(** Events overwritten by ring wrap-around since the last install,
+    summed over shards. *)
 
 val clear : unit -> unit
-(** Empty the ring (keeps the subscription). *)
+(** Empty the ring(s) (keeps the subscription). *)
 
 (** {1 Export} *)
 
