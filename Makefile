@@ -47,6 +47,7 @@ recovery-latency:
 # Open-loop multi-domain latency harness, gated on the committed baseline.
 openloop:
 	dune exec bench/main.exe -- openloop --domains 2 --ops 5000 --json openloop.now.json --baseline OPENLOOP_baseline.json
+	dune exec bench/main.exe -- openloop --shared --domains 4 --ops 2000 --json openloop.shared.json --baseline OPENLOOP_baseline.json
 
 doc:
 	dune build @doc

@@ -998,6 +998,217 @@ let run_openloop ~domains ~rate ~poisson ~ops ~keyspace ~theta ~seed ~json
       exit 2
   | _ -> ()
 
+(* --- openloop --shared: N domains, ONE pool, cross-tx group commit ----- *)
+
+(* All domains drive one shared kvstore on a single pool: each worker
+   registers for a dedicated journal slot (and allocator stripe), and
+   the pool's group-commit combiner merges concurrent commits into
+   fence epochs — K simultaneous committers share one fence.  Unlike
+   the private-pool mode, the interleaving (and with it the latency
+   distribution) depends on host scheduling, so the CI gate pins only
+   what grouping can never worsen: fences-per-op and flushes-per-op
+   against a committed solo-cost ceiling.  Service times are global
+   simulated-clock deltas on the shared device, so they include the
+   clock advance of concurrently running domains — a deliberate
+   contention-inflated measure, reported but not gated. *)
+
+let run_openloop_shared ~domains ~rate ~poisson ~ops ~keyspace ~theta ~seed
+    ~linger ~json ~baseline ~psan ~quiet =
+  let module E = Engines.Corundum_engine in
+  let module KV = Workloads.Kvstore.Make (E) in
+  if psan then Psan.enable ();
+  let nslots = max 8 domains in
+  let pool =
+    Pool_impl.create
+      ~config:
+        { Pool_impl.size = 64 * 1024 * 1024; nslots; slot_size = 256 * 1024 }
+      ~latency:Pmem.Latency.optane ()
+  in
+  Pool_impl.set_group_commit ?linger pool true;
+  let eng = E.of_pool pool in
+  let dev = Pool_impl.device pool in
+  let kv = KV.create ~nbuckets:1024 eng in
+  (* Deterministic single-domain preload so reads and deletes hit. *)
+  for k = 0 to keyspace - 1 do
+    KV.put kv (Int64.of_int k) (Int64.of_int k)
+  done;
+  (* Fresh combiner after the (all-solo) preload so occupancy stats
+     describe only the contended phase. *)
+  Pool_impl.set_group_commit ?linger pool true;
+  let s0 = Pmem.Device.stats dev in
+  let arrivals =
+    if poisson then Loadgen.Arrival.Poisson rate else Loadgen.Arrival.Fixed rate
+  in
+  let spec_for d =
+    {
+      Loadgen.default_spec with
+      arrivals;
+      ops;
+      keyspace;
+      theta;
+      seed = seed + (d * 1_000_003);
+    }
+  in
+  let total = domains * ops in
+  let done_ops = Atomic.make 0 in
+  let live = Atomic.make domains in
+  let worker d =
+    let r =
+      try
+        ignore (Pool_impl.register_domain pool);
+        let prev = ref 0 in
+        let progress ~done_ops:n _ =
+          ignore (Atomic.fetch_and_add done_ops (n - !prev));
+          prev := n
+        in
+        let rep =
+          Loadgen.run ~progress ~progress_every:256 (spec_for d)
+            ~service:(fun op ->
+              let t0 = Pmem.Device.simulated_ns dev in
+              let key = Int64.of_int (Loadgen.op_key op) in
+              (match op with
+              | Loadgen.Read _ -> ignore (KV.get kv key)
+              | Loadgen.Update _ | Loadgen.Insert _ -> KV.put kv key key
+              | Loadgen.Delete _ -> ignore (KV.del kv key));
+              Pmem.Device.simulated_ns dev -. t0)
+        in
+        Pool_impl.unregister_domain pool;
+        Ok rep
+      with e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    Atomic.decr live;
+    r
+  in
+  let t0 = Unix.gettimeofday () in
+  let handles = List.init domains (fun d -> Domain.spawn (fun () -> worker d)) in
+  let show_progress = (not quiet) && Unix.isatty Unix.stderr in
+  while Atomic.get live > 0 do
+    if show_progress then
+      Printf.eprintf "\ropenloop --shared: %d domains  %*d/%d ops" domains
+        (String.length (string_of_int total))
+        (Atomic.get done_ops) total;
+    Unix.sleepf 0.05
+  done;
+  let reports =
+    List.map
+      (fun h ->
+        match Domain.join h with
+        | Ok r -> r
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+      handles
+  in
+  if show_progress then Printf.eprintf "\r%s\r" (String.make 70 ' ');
+  let dt = Unix.gettimeofday () -. t0 in
+  let s1 = Pmem.Device.stats dev in
+  let gstats =
+    match Pool_impl.group_commit_stats pool with
+    | Some g -> g
+    | None -> assert false (* enabled above *)
+  in
+  let per_op n = float_of_int n /. float_of_int total in
+  let fences_per_op = per_op (s1.Pmem.Device.fences - s0.Pmem.Device.fences) in
+  let flushes_per_op =
+    per_op (s1.Pmem.Device.flush_calls - s0.Pmem.Device.flush_calls)
+  in
+  let module G = Pjournal.Group_commit in
+  let occ_mean =
+    if gstats.G.epochs = 0 then 0.0
+    else float_of_int gstats.G.commits /. float_of_int gstats.G.epochs
+  in
+  let solo_frac =
+    if gstats.G.epochs = 0 then 0.0
+    else float_of_int gstats.G.solo_epochs /. float_of_int gstats.G.epochs
+  in
+  let merged = Loadgen.merge_reports reports in
+  Printf.printf
+    "openloop --shared: %d domains x %d ops on ONE pool (group commit), %s \
+     %.0f ops/s (zipf %.2f, %d keys), %.3f s wall\n\n"
+    domains ops
+    (if poisson then "poisson" else "fixed")
+    rate theta keyspace dt;
+  Printf.printf "%-8s %8s %12s %9s %9s %9s %9s %9s\n" "domain" "ops"
+    "thr ops/s" "resp p50" "p99" "p99.9" "svc p50" "p99";
+  List.iteri (fun d r -> openloop_row (string_of_int d) r) reports;
+  openloop_row "merged" merged;
+  Printf.printf
+    "\nfences/op %.3f  flushes/op %.3f  epochs %d  occupancy mean %.2f max %d \
+     solo %.0f%%\n"
+    fences_per_op flushes_per_op gstats.G.epochs occ_mean
+    gstats.G.max_occupancy (100.0 *. solo_frac);
+  (match json with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Ptelemetry.Json.Obj
+          [
+            ("schema", Ptelemetry.Json.Str "corundum-openloop-shared-v1");
+            ("domains", Ptelemetry.Json.Num (float_of_int domains));
+            ("rate_ops_per_s", Ptelemetry.Json.Num rate);
+            ("ops_per_domain", Ptelemetry.Json.Num (float_of_int ops));
+            ( "shared",
+              Ptelemetry.Json.Obj
+                [
+                  ("fences_per_op", Ptelemetry.Json.Num fences_per_op);
+                  ("flushes_per_op", Ptelemetry.Json.Num flushes_per_op);
+                  ("epochs", Ptelemetry.Json.Num (float_of_int gstats.G.epochs));
+                  ( "commits",
+                    Ptelemetry.Json.Num (float_of_int gstats.G.commits) );
+                  ("occupancy_mean", Ptelemetry.Json.Num occ_mean);
+                  ( "occupancy_max",
+                    Ptelemetry.Json.Num (float_of_int gstats.G.max_occupancy) );
+                  ("solo_fraction", Ptelemetry.Json.Num solo_frac);
+                ] );
+            ("merged", Loadgen.report_json ~label:"merged-shared" merged);
+          ]
+      in
+      write_file path (Ptelemetry.Json.to_string doc);
+      Printf.printf "wrote %s\n" path);
+  (match (json, baseline) with
+  | Some current, Some b ->
+      (* The only cross-host-stable invariant: grouping may only SAVE
+         persist primitives, so the per-op counts must stay at or below
+         the committed solo ceilings whatever occupancy this host's
+         scheduling produced. *)
+      let module J = Ptelemetry.Json in
+      let probe doc ks =
+        List.fold_left (fun acc k -> Option.bind acc (J.mem k)) (Some doc) ks
+        |> Fun.flip Option.bind J.num
+      in
+      let a = J.of_string (read_file b) and c = J.of_string (read_file current) in
+      let failed = ref false in
+      List.iter
+        (fun (cur_key, ceil_key) ->
+          match (probe c [ "shared"; cur_key ], probe a [ "shared"; ceil_key ]) with
+          | Some cur, Some ceil ->
+              if cur > ceil then begin
+                failed := true;
+                Printf.printf "REGRESS shared.%-16s %.3f (ceiling %.3f)\n"
+                  cur_key cur ceil
+              end
+              else
+                Printf.printf "OK      shared.%-16s %.3f (ceiling %.3f)\n"
+                  cur_key cur ceil
+          | _ ->
+              failed := true;
+              Printf.printf "REGRESS shared.%-16s missing on one side\n" cur_key)
+        [
+          ("fences_per_op", "max_fences_per_op");
+          ("flushes_per_op", "max_flushes_per_op");
+        ];
+      if !failed then begin
+        prerr_endline "openloop --shared regression against OPENLOOP baseline";
+        exit 1
+      end
+  | None, Some _ ->
+      prerr_endline "--baseline requires --json FILE for the current run";
+      exit 2
+  | _ -> ());
+  if psan then begin
+    Psan.disable ();
+    print_string (Psan.report_text ());
+    if not (Psan.clean ()) then exit 1
+  end
+
 let usage () =
   prerr_endline
     "usage: bench [--trace FILE] [--metrics FILE] [--psan] [--psan-json FILE]\n\
@@ -1010,7 +1221,10 @@ let usage () =
     \       bench openloop [--domains N] [--rate OPS_PER_S] [--poisson]\n\
     \             [--ops N] [--keys N] [--theta T] [--seed S] [--quiet]\n\
     \             [--json FILE [--baseline FILE]] [--metrics FILE]\n\
-    \             [--trace FILE]";
+    \             [--trace FILE]\n\
+    \       bench openloop --shared [--psan] [--linger SPINS] [same flags;\n\
+    \             one pool, group commit; the baseline gate pins\n\
+    \             fences/flushes per op]";
   exit 2
 
 let () =
@@ -1128,9 +1342,21 @@ let () =
       and baseline = ref None
       and metrics_out = ref None
       and trace_out = ref None
+      and shared = ref false
+      and psan = ref false
+      and linger = ref None
       and quiet = ref false in
       let rec parse_ol = function
         | [] -> ()
+        | "--shared" :: rest ->
+            shared := true;
+            parse_ol rest
+        | "--linger" :: n :: rest ->
+            linger := Some (int_of_string n);
+            parse_ol rest
+        | "--psan" :: rest ->
+            psan := true;
+            parse_ol rest
         | "--domains" :: n :: rest ->
             domains := int_of_string n;
             parse_ol rest
@@ -1171,10 +1397,16 @@ let () =
       in
       parse_ol rest;
       if !domains < 1 || !ops < 1 || !keyspace < 1 || !rate <= 0.0 then usage ();
-      run_openloop ~domains:!domains ~rate:!rate ~poisson:!poisson ~ops:!ops
-        ~keyspace:!keyspace ~theta:!theta ~seed:!seed ~json:!json
-        ~baseline:!baseline ~metrics_out:!metrics_out ~trace_out:!trace_out
-        ~quiet:!quiet
+      if !shared then
+        run_openloop_shared ~domains:!domains ~rate:!rate ~poisson:!poisson
+          ~ops:!ops ~keyspace:!keyspace ~theta:!theta ~seed:!seed
+          ~linger:!linger ~json:!json ~baseline:!baseline ~psan:!psan
+          ~quiet:!quiet
+      else
+        run_openloop ~domains:!domains ~rate:!rate ~poisson:!poisson ~ops:!ops
+          ~keyspace:!keyspace ~theta:!theta ~seed:!seed ~json:!json
+          ~baseline:!baseline ~metrics_out:!metrics_out ~trace_out:!trace_out
+          ~quiet:!quiet
   | args ->
       parse args;
       if !trace <> None || !metrics <> None || !psan || !psan_json <> None then

@@ -46,8 +46,16 @@ let write_crash_image path countdown =
 
 (* Replay one failing branch from the repro line a sweep printed:
    "scenario=NAME point=K sample=S torn=P [rpoint=M]". *)
-let run_repro spec_str =
+let run_repro psan spec_str =
   let module I = Crashtest.Injector in
+  if psan then Psan.enable ();
+  let finish_psan () =
+    if psan then begin
+      Psan.disable ();
+      print_string (Psan.report_text ());
+      if not (Psan.clean ()) then exit 1
+    end
+  in
   let scenario =
     List.find_map
       (fun tok ->
@@ -76,11 +84,13 @@ let run_repro spec_str =
           match I.replay make spec with
           | Ok () ->
               Printf.printf "%s %s: verified clean\n" name
-                (Format.asprintf "%a" I.pp_spec spec)
+                (Format.asprintf "%a" I.pp_spec spec);
+              finish_psan ()
           | Error msgs ->
               Printf.printf "%s %s: FAILED\n" name
                 (Format.asprintf "%a" I.pp_spec spec);
               List.iter (fun m -> Printf.printf "  %s\n" m) msgs;
+              finish_psan ();
               exit 1))
 
 let run_sweep limit samples torn recovery psan psan_json names =
@@ -135,7 +145,7 @@ let run_sweep limit samples torn recovery psan psan_json names =
 let run limit samples torn recovery psan psan_json crash_image crash_at repro
     names =
   match (repro, crash_image) with
-  | Some spec, _ -> run_repro spec
+  | Some spec, _ -> run_repro psan spec
   | None, Some path -> write_crash_image path crash_at
   | None, None -> run_sweep limit samples torn recovery psan psan_json names
 

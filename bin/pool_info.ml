@@ -43,12 +43,16 @@ let info_json ~path (i : Corundum.Pool_inspect.info)
     (recovery : (Pjournal.Recovery.stats, string) result) =
   let open Ptelemetry.Json in
   let n v = Num (float_of_int v) in
-  let slot_json = function
-    | Corundum.Pool_inspect.Idle -> Obj [ ("state", Str "idle") ]
-    | Corundum.Pool_inspect.Active e ->
-        Obj [ ("state", Str "active"); ("entries", n e) ]
-    | Corundum.Pool_inspect.Committing e ->
-        Obj [ ("state", Str "committing"); ("entries", n e) ]
+  let slot_json (state, epoch) =
+    let fields =
+      match state with
+      | Corundum.Pool_inspect.Idle -> [ ("state", Str "idle") ]
+      | Corundum.Pool_inspect.Active e ->
+          [ ("state", Str "active"); ("entries", n e) ]
+      | Corundum.Pool_inspect.Committing e ->
+          [ ("state", Str "committing"); ("entries", n e) ]
+    in
+    Obj (fields @ [ ("epoch", n epoch) ])
   in
   let recovery_json =
     match recovery with
@@ -88,7 +92,11 @@ let info_json ~path (i : Corundum.Pool_inspect.info)
       ("heap_base", n i.Corundum.Pool_inspect.heap_base);
       ("heap_len", n i.Corundum.Pool_inspect.heap_len);
       ("device_size", n i.Corundum.Pool_inspect.device_size);
-      ("slots", List (List.map slot_json i.Corundum.Pool_inspect.slots));
+      ( "slots",
+        List
+          (List.map slot_json
+             (List.combine i.Corundum.Pool_inspect.slots
+                i.Corundum.Pool_inspect.slot_epochs)) );
       ("live_blocks", n i.Corundum.Pool_inspect.live_blocks);
       ("live_bytes", n i.Corundum.Pool_inspect.live_bytes);
       ("largest_block", n i.Corundum.Pool_inspect.largest_block);

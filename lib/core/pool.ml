@@ -23,6 +23,9 @@ module type S = sig
   val is_read_only : unit -> bool
   val crash_and_reopen : unit -> unit
   val transaction : (journal -> 'a) -> 'a
+  val register_domain : unit -> int
+  val unregister_domain : unit -> unit
+  val set_group_commit : bool -> unit
 
   val root :
     ty:('a, brand) Ptype.t -> init:(journal -> 'a) -> unit -> ('a, brand) Pbox.t
@@ -86,6 +89,10 @@ module Make () : S = struct
 
   let transaction f =
     Pool_impl.transaction (impl ()) (fun tx -> f (Journal.unsafe_of_tx tx))
+
+  let register_domain () = Pool_impl.register_domain (impl ())
+  let unregister_domain () = Pool_impl.unregister_domain (impl ())
+  let set_group_commit enabled = Pool_impl.set_group_commit (impl ()) enabled
 
   let root ~ty ~init () =
     let p = impl () in

@@ -80,6 +80,16 @@ module type S = sig
       calls on the same domain flatten into the outermost transaction
       (paper §3.3). *)
 
+  val register_domain : unit -> int
+  (** Bind the calling domain to a dedicated journal slot (and allocator
+      stripe) of the open pool; see {!Pool_impl.register_domain}. *)
+
+  val unregister_domain : unit -> unit
+
+  val set_group_commit : bool -> unit
+  (** Enable/disable the cross-transaction group-commit epoch combiner
+      ({!Pjournal.Group_commit}) for the open pool. *)
+
   (** {1 Root object} *)
 
   val root : ty:('a, brand) Ptype.t -> init:(journal -> 'a) -> unit -> ('a, brand) Pbox.t

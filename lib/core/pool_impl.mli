@@ -144,6 +144,43 @@ val tx_validity : tx -> bool ref
 val in_transaction : t -> bool
 (** Whether the calling domain currently runs a transaction on this pool. *)
 
+(** {1 Shared-pool domain binding and group commit}
+
+    Several domains may share one pool handle.  A worker that will issue
+    many transactions registers once: it is bound to a dedicated journal
+    slot (and that slot's allocator stripe) until it unregisters, so its
+    transactions skip slot acquisition and never migrate between stripes.
+    Unregistered domains still work — they fall back to the shared
+    acquire/release slot pool.
+
+    Orthogonally, {!set_group_commit} installs a cross-transaction epoch
+    combiner ({!Pjournal.Group_commit}): commits publish their line sets
+    to the current epoch, whose leader issues one merged flush run and a
+    single fence for every member — K concurrent commits cost one fence
+    epoch instead of K fences.  A solo committer pays exactly the
+    private cost.  The combiner is volatile and rebuilt per open. *)
+
+val register_domain : t -> int
+(** Bind the calling domain to a dedicated journal slot and return its
+    index.  Idempotent.  Raises [Invalid_argument] when every slot is
+    taken — registration never blocks. *)
+
+val unregister_domain : t -> unit
+(** Release the calling domain's dedicated slot (no-op if unbound).
+    Raises [Invalid_argument] if the domain has a transaction open. *)
+
+val slot_of_domain : t -> int option
+(** The calling domain's bound slot, if registered. *)
+
+val set_group_commit : ?linger:int -> t -> bool -> unit
+(** Enable (with a fresh combiner) or disable cross-transaction group
+    commit for this pool.  [linger] is the leader's batch-until-quiet
+    spin budget (see {!Pjournal.Group_commit.create}); the default is a
+    few microseconds' worth. *)
+
+val group_commit_stats : t -> Pjournal.Group_commit.stats option
+(** Epoch/occupancy counters of the active combiner, if any. *)
+
 (** {1 Logged heap operations (journal-capability level)} *)
 
 val tx_alloc : tx -> int -> int

@@ -16,6 +16,7 @@ type info = {
   heap_len : int;
   device_size : int;
   slots : slot_state list;
+  slot_epochs : int list;
   live_blocks : int;
   live_bytes : int;
   largest_block : int;
@@ -36,16 +37,16 @@ let header_size = 4096
 let read_slot dev ~base ~size =
   let phase = D.read_u64 dev base in
   let count = Int64.to_int (D.read_u64 dev (base + 8)) in
-  if phase = 1L then Committing count
+  let epoch = Int64.to_int (D.read_u64 dev (base + 32)) in
+  if phase = 1L then (Committing count, epoch)
   else begin
-    let epoch = Int64.to_int (D.read_u64 dev (base + 32)) in
     let salt = Pjournal.Log_entry.salt ~slot_base:base ~epoch in
     let visited, _, _ =
       Pjournal.Log_entry.walk_to_tail dev ~slot_base:base ~slot_size:size
         ~salt
         (fun _ -> ())
     in
-    if visited > 0 then Active visited else Idle
+    ((if visited > 0 then Active visited else Idle), epoch)
   end
 
 let inspect_device dev =
@@ -59,10 +60,12 @@ let inspect_device dev =
   let heap_len = if magic_ok then u64 64 else 0 in
   let table_base = if magic_ok then u64 72 else 0 in
   let heap_base = if magic_ok then u64 80 else 0 in
-  let slots =
+  let slot_pairs =
     List.init nslots (fun i ->
         read_slot dev ~base:(header_size + (i * slot_size)) ~size:slot_size)
   in
+  let slots = List.map fst slot_pairs in
+  let slot_epochs = List.map snd slot_pairs in
   let live_blocks = ref 0 and live_bytes = ref 0 and largest = ref 0 in
   if magic_ok && heap_len > 0 then begin
     let table =
@@ -88,6 +91,7 @@ let inspect_device dev =
     heap_len;
     device_size = D.size dev;
     slots;
+    slot_epochs;
     live_blocks = !live_blocks;
     live_bytes = !live_bytes;
     largest_block = !largest;
@@ -113,15 +117,28 @@ let pp ppf i =
       i.live_blocks i.live_bytes i.largest_block (i.heap_len - i.live_bytes);
     fprintf ppf "  transactions  : %d committed, %d aborted (lifetime, as of last save)@."
       i.lifetime_tx i.lifetime_aborts;
+    (* Per-slot epoch/phase: on a shared pool each registered domain
+       owns one slot, so the epochs show how commits were distributed
+       across domains; an idle slot's epoch counts the logs it has
+       retired. *)
     List.iteri
-      (fun n s ->
+      (fun n (s, e) ->
         match s with
-        | Idle -> ()
+        | Idle ->
+            if e > 0 then
+              fprintf ppf "  journal %d     : idle, epoch %d (logs retired)@."
+                n e
         | Active c ->
-            fprintf ppf "  journal %d     : ACTIVE, %d undo entries (will roll back on open)@." n c
+            fprintf ppf
+              "  journal %d     : ACTIVE, %d undo entries, epoch %d (will \
+               roll back on open)@."
+              n c e
         | Committing c ->
-            fprintf ppf "  journal %d     : COMMITTING, %d entries (will complete on open)@." n c)
-      i.slots;
+            fprintf ppf
+              "  journal %d     : COMMITTING, %d entries, epoch %d (will \
+               complete on open)@."
+              n c e)
+      (List.combine i.slots i.slot_epochs);
     if List.for_all (fun s -> s = Idle) i.slots then
       fprintf ppf "  journals      : all %d slots idle (clean shutdown)@." i.nslots
   end

@@ -21,6 +21,10 @@ type info = {
   heap_len : int;
   device_size : int;
   slots : slot_state list;
+  slot_epochs : int list;
+  (** Per-slot persisted epoch counter (logs retired through the slot).
+      On a shared pool each registered domain owns one slot, so the
+      epochs show how commits were distributed across domains. *)
   live_blocks : int;
   live_bytes : int;
   largest_block : int;

@@ -548,6 +548,78 @@ let alloc_churn ?(cells = 4) ?(rounds = 6) () : (module Injector.INSTANCE) =
       Leak_check.assert_clean (P.impl ()) ~root_ty
   end)
 
+(* --- Shared-pool group commit: two domains committing through one
+   epoch combiner.  The crash countdown is global, so the sweep lands a
+   crash at every persist point of the interleaved run — including the
+   epoch leader dying between its merged flush and the group fence,
+   with other members' transactions riding on that fence.  Recovery
+   must roll each unfenced slot back independently.  The interleaving
+   (and hence the persist-point count) is nondeterministic; the
+   injector tolerates schedules that outlive a replay. ---------------- *)
+
+let group_commit ?(workers = 2) ?(increments = 3) () :
+    (module Injector.INSTANCE) =
+  (module struct
+    include Fresh ()
+
+    let cell_ty = Pcell.ptype Ptype.int
+    let root_ty = Ptype.array workers cell_ty
+
+    let root () =
+      P.root ~ty:root_ty
+        ~init:(fun _ ->
+          Array.init workers (fun _ -> Pcell.make ~ty:Ptype.int 0))
+        ()
+
+    let setup () =
+      created ();
+      ignore (root ())
+
+    let run () =
+      P.set_group_commit true;
+      let worker w () =
+        match
+          ignore (P.register_domain ());
+          let c = (Pbox.get (root ())).(w) in
+          for _ = 1 to increments do
+            P.transaction (fun j -> Pcell.set c (Pcell.get c + 1) j)
+          done
+        with
+        | () ->
+            P.unregister_domain ();
+            false
+        | exception Pmem.Device.Crashed -> true
+        | exception Pool_impl.Pool_closed ->
+            (* a crash in a sibling domain invalidates the shared handle;
+               observing the closed handle IS observing the crash *)
+            true
+      in
+      let doms = List.init workers (fun w -> Domain.spawn (worker w)) in
+      let crashed = List.map Domain.join doms in
+      (* A crash in ANY domain is the run's crash: the injector then
+         power-cycles and recovery rolls every unfenced slot back. *)
+      if List.exists Fun.id crashed then raise Pmem.Device.Crashed
+
+    let verify ~outcome =
+      Array.iteri
+        (fun w c ->
+          let v = Pcell.get c in
+          match outcome with
+          | `Completed ->
+              if v <> increments then
+                fail "group_commit: worker %d expected %d, got %d" w
+                  increments v
+          | `Crashed k ->
+              (* per-transaction atomicity, member by member: any prefix
+                 of each worker's increments is valid, independent of
+                 what happened to the other epoch members *)
+              if v < 0 || v > increments then
+                fail "group_commit: crash@%d left worker %d torn at %d" k w v)
+        (Pbox.get (root ()));
+      heap_ok (P.impl ());
+      Leak_check.assert_clean (P.impl ()) ~root_ty
+  end)
+
 let all =
   [
     ("counter", fun () -> counter ());
@@ -561,4 +633,5 @@ let all =
     ("btree_ops", fun () -> btree_ops ());
     ("kvstore", fun () -> kvstore ());
     ("alloc_churn", fun () -> alloc_churn ());
+    ("group_commit", fun () -> group_commit ());
   ]

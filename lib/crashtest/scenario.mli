@@ -69,5 +69,18 @@ val alloc_churn : ?cells:int -> ?rounds:int -> unit -> (module Injector.INSTANCE
     injector can reach.  After any crash each cell holds either its old
     or its new box, the heap tiles, and nothing leaks. *)
 
+val group_commit :
+  ?workers:int -> ?increments:int -> unit -> (module Injector.INSTANCE)
+(** [workers] domains sharing one pool, each registered to its own
+    journal slot and committing [increments] transactions through the
+    cross-transaction epoch combiner ({!Corundum.Pool_impl.set_group_commit}).
+    The global crash countdown lands on whichever domain reaches the
+    persist point — including the epoch leader dying between the merged
+    flush and the group fence with other members riding on it.  After
+    recovery each worker's counter must be a prefix of its own
+    increments, independent of the other members' fate.  The
+    interleaving is nondeterministic; replays whose schedule outlives
+    the run are reported as such by the injector, not failed. *)
+
 val all : (string * (unit -> (module Injector.INSTANCE))) list
 (** Name/constructor pairs for every scenario above, with defaults. *)

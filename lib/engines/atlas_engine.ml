@@ -35,3 +35,5 @@ let write tx off v =
 
 let root = Engine_common.root
 let set_root = Engine_common.set_root
+
+let lock = Engine_common.lock

@@ -16,6 +16,7 @@ let read tx off = Pmem.Device.read_u64 (P.device (P.tx_pool tx)) off
 let raw_write tx off v = Pmem.Device.write_u64 (P.device (P.tx_pool tx)) off v
 let root tx = P.root_off (P.tx_pool tx)
 let set_root tx off = P.tx_set_root tx ~off ~ty_hash:0
+let lock = P.tx_lock
 
 (* Cache-line-granularity logging (PMDK's TX_ADD semantics): snapshot the
    whole 64-byte line containing the store.  Blocks are 64-byte aligned

@@ -17,6 +17,7 @@ val raw_write : Corundum.Pool_impl.tx -> int -> int64 -> unit
 
 val root : Corundum.Pool_impl.tx -> int
 val set_root : Corundum.Pool_impl.tx -> int -> unit
+val lock : Corundum.Pool_impl.tx -> int -> unit
 
 val line_log : Corundum.Pool_impl.tx -> int -> unit
 (** Undo-log the whole 64-byte line containing the offset (deduplicated).

@@ -48,6 +48,13 @@ module type S = sig
   (** Offset of the workload's root block (0 when unset). *)
 
   val set_root : tx -> int -> unit
+
+  val lock : tx -> int -> unit
+  (** Acquire the pool-level volatile lock keyed by an offset, held until
+      the outermost transaction ends (reentrant within one transaction).
+      Purely volatile — no persist cost — so single-domain runs are
+      byte-for-byte unchanged; shared-pool workloads use it to keep
+      concurrent transactions off the same structure region. *)
 end
 
 type engine = (module S)

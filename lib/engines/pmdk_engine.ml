@@ -42,3 +42,5 @@ let write tx off v =
 
 let root tx = Engine_common.root tx.ptx
 let set_root tx off = Engine_common.set_root tx.ptx off
+
+let lock tx off = Engine_common.lock tx.ptx off

@@ -39,10 +39,13 @@ let h_entry_bytes = Mx.histogram "journal.entry_bytes"
 
 (* Header field offsets within a slot: phase, advisory undo entry count,
    drop count, head of the spill chain, and the truncation epoch that
-   salts entry checksums.  Of these only [phase], [drops], [spill] and
-   [epoch] carry recovery semantics; [count] is advisory (persisted once
-   at commit, cross-checked by fsck) — the durable tail of the log is
-   defined by the terminator word, not the count. *)
+   salts entry checksums.  Of these only [phase], [spill] and [epoch]
+   carry recovery semantics; [count] and [drops] are advisory and stay
+   volatile for the whole transaction (zeroed durably at truncation, so
+   a healthy image always reads 0) — the durable tail of the log is
+   defined by the terminator word and the drop area by its salted
+   checksums, never by the counts.  Legacy/hand-damaged images with
+   nonzero counts are still reconciled by fsck. *)
 let hdr_phase = 0
 let hdr_count = 8
 let hdr_drops = 16
@@ -318,30 +321,9 @@ let free t off =
   Hashtbl.add t.dropped off ()
 
 (* Flush a set of 64-byte line indexes: one flush call per contiguous
-   run.  Runs are never merged across a gap — a clean line between two
-   dirty ones must not be flushed (it would be a useless flush, and the
-   sanitizer says so). *)
-let flush_lines dev lines =
-  let sorted =
-    List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) lines [])
-  in
-  let flush_run first last =
-    D.flush dev (first * line) ((last - first + 1) * line)
-  in
-  match sorted with
-  | [] -> ()
-  | l0 :: rest ->
-      let first = ref l0 and last = ref l0 in
-      List.iter
-        (fun l ->
-          if l = !last + 1 then last := l
-          else begin
-            flush_run !first !last;
-            first := l;
-            last := l
-          end)
-        rest;
-      flush_run !first !last
+   run, never merged across a gap (see {!Group_commit.flush_lines} —
+   the same runs the epoch leader issues for a merged batch). *)
+let flush_lines = Group_commit.flush_lines
 
 (* Truncate the slot: terminator back at the head of the entry area,
    advisory counts zeroed, spill head unchained, phase reset, and —
@@ -446,17 +428,15 @@ let exec_commit_phase t pending = function
          fence. *)
       flush_lines t.dev t.marks
   | Protocol.Persist_drop_area ->
-      (* Batch the drop area and the advisory header fields under the
-         same fence: drop entries, drop count and the advisory entry
-         count all become durable at the commit point, not before.  A
-         transaction without deferred frees skips the advisory write
-         entirely — fsck treats advisory 0 beside a walked tail as a
-         normal in-flight transaction. *)
+      (* The drop records become durable at the commit point, not
+         before.  The header counts stay volatile: recovery scans the
+         drop area by salted checksum and walks the log to its
+         terminator, so persisting advisory counts here would be pure
+         write-back waste (it used to cost every freeing transaction
+         one E3 flush).  fsck treats advisory 0 beside a walked tail
+         as the normal case. *)
       let area = t.ndrops * drop_slot_bytes in
-      D.flush t.dev (t.base + t.size - area) area;
-      D.write_u64 t.dev (t.base + hdr_drops) (Int64.of_int t.ndrops);
-      D.write_u64 t.dev (t.base + hdr_count) (Int64.of_int t.count);
-      D.flush t.dev (t.base + hdr_count) 16
+      D.flush t.dev (t.base + t.size - area) area
   | Protocol.Commit_fence ->
       if not !elide_commit_fence then begin
         D.fence t.dev;
@@ -486,17 +466,65 @@ let exec_commit_phase t pending = function
         t.drops
   | _ -> assert false (* not a commit phase *)
 
-let commit t =
+(* The transaction's full commit line set — logged target ranges, the
+   batched alloc-table marks, and the drop records — as unique 64-byte
+   line indexes.  This is exactly what [commit_plan]'s three flush
+   phases would flush; under group commit the whole set is published to
+   the epoch combiner and rides in the leader's merged run. *)
+let commit_line_set t =
+  let lines = Hashtbl.create 64 in
+  List.iter
+    (fun (off, len) ->
+      for l = off / line to (off + len - 1) / line do
+        Hashtbl.replace lines l ()
+      done)
+    t.targets;
+  Hashtbl.iter (fun l () -> Hashtbl.replace lines l ()) t.marks;
+  if t.ndrops > 0 then begin
+    let area = t.ndrops * drop_slot_bytes in
+    for l = (t.base + t.size - area) / line to (t.base + t.size - 1) / line do
+      Hashtbl.replace lines l ()
+    done
+  end;
+  lines
+
+(* One group-commit phase of {!Protocol.group_commit_plan}.  The fault
+   elision/duplication knobs apply to the solo path only (the
+   sanitizer's positive controls run private pools). *)
+let exec_group_phase t gc pending = function
+  | Protocol.Merge_runs ->
+      (* Publish our line set and wait out the epoch: the leader (maybe
+         us) flushes the merged runs and issues the epoch fence inside
+         this call.  Raises [D.Crashed] if the device dies before our
+         epoch's fence — the slot rolls back independently at
+         recovery. *)
+      Group_commit.commit gc ~lines:(commit_line_set t)
+  | Protocol.Epoch_fence ->
+      (* The fence itself was issued once, by the epoch leader, inside
+         [Merge_runs]; observing epoch completion is this member's
+         commit point. *)
+      if Pr.on () then
+        Pr.emit
+          (Pr.Commit_point { dev = D.id t.dev; ns = D.simulated_ns t.dev })
+  | ph -> exec_commit_phase t pending ph
+
+let commit ?group t =
   require_active t;
   t.active <- false;
   if t.count = 0 && t.ndrops = 0 then ()
   else begin
     let pending = Hashtbl.create (max 8 t.ndrops) in
-    List.iter
-      (exec_commit_phase t pending)
-      (Protocol.commit_plan ~ndrops:t.ndrops);
+    (match group with
+    | Some gc ->
+        List.iter (exec_group_phase t gc pending) Protocol.group_commit_plan
+    | None ->
+        List.iter
+          (exec_commit_phase t pending)
+          (Protocol.commit_plan ~ndrops:t.ndrops));
     (* Truncate: clear flush + fence (when needed), then one batched
-       header persist retires the log. *)
+       header persist retires the log.  Per-member even under group
+       commit: the header persist is this transaction's durability
+       acknowledgment. *)
     truncate_pending t pending
   end
 

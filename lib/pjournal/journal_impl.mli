@@ -6,8 +6,9 @@
     from the end.  The entry stream ends at a checksummed tail: every
     entry is sealed together with the zero terminator word that follows
     it in one persist, and recovery walks to the terminator instead of
-    trusting a counter — the entry count in the header is advisory,
-    persisted once at commit for fsck cross-checks.  Drop entries are
+    trusting a counter — the header counts are advisory and stay
+    volatile until truncation zeroes them (fsck still reconciles
+    nonzero counts on legacy images).  Drop entries are
     volatile until {!commit} persists them in one batch (the paper's
     constant-time [DropLog]); a transaction that never commits simply
     discards them.
@@ -22,9 +23,11 @@
       durable under the commit fence, after its undo entry is sealed);
     - [commit]: flush the logged target ranges (one flush per unique
       64-byte line, contiguous lines coalesced) + the batched table mark
-      lines + drop area and advisory counts (only if there are drops),
-      then ONE fence — the commit point -> apply drops as dirty table
-      clears -> truncate;
+      lines + the drop records (only if there are drops; counts stay
+      volatile), then ONE fence — the commit point -> apply drops as
+      dirty table clears -> truncate.  Under group commit
+      ({!Group_commit}) the flushes and the fence are issued by the
+      epoch leader for every concurrent committer at once;
     - [abort]: restore data logs in reverse -> revert logged allocations
       as dirty table clears -> truncate;
     - [truncate]: flush the batched clear lines + fence (only when
@@ -36,7 +39,9 @@
     Steady-state persist cost: a data-only transaction pays one persist
     per sealed entry plus 2 fences (commit, truncate); allocations add
     one coalesced mark flush under the commit fence; deferred frees add
-    the drop-area/advisory flushes and the clear flush + fence. *)
+    the drop-record flush and the clear flush + fence.  Under group
+    commit with epoch occupancy k, the commit fence is shared: 1/k of a
+    fence per transaction. *)
 
 exception Journal_full
 (** The log cannot grow: the heap has no room for another spill region,
@@ -97,7 +102,18 @@ val free : t -> int -> unit
     [Palloc.Buddy.Invalid_free] if the offset was already dropped in this
     transaction or is not a live block head. *)
 
-val commit : t -> unit
+val commit : ?group:Group_commit.t -> t -> unit
+(** Commit the transaction.  Without [group], execute
+    {!Protocol.commit_plan}: flush the logged targets, table marks and
+    drop records, then one commit fence, then apply deferred frees and
+    truncate.  With [group], execute {!Protocol.group_commit_plan}
+    instead: publish the same line set to the epoch combiner, whose
+    leader flushes the merged runs of every concurrent committer and
+    issues ONE fence for the whole epoch (a solo member pays exactly
+    the private cost).  The trailing truncate is per-member either
+    way.  May raise {!Pmem.Device.Crashed} if the device dies under
+    the epoch leader. *)
+
 val abort : t -> unit
 
 (** {1 Introspection (tests and stats)} *)

@@ -14,10 +14,17 @@ type phase =
   | Flush_targets
       (* every logged target range flushed, one flush per dirty line *)
   | Flush_marks (* the tx's batched alloc-table marks (mark-after-seal) *)
-  | Persist_drop_area
-      (* drop records + advisory count/drops header fields flushed *)
+  | Persist_drop_area (* the drop records flushed (counts stay volatile) *)
   | Commit_fence (* THE commit point: one fence makes all of it durable *)
   | Apply_drops (* deferred frees become dirty table clears *)
+  (* group commit *)
+  | Merge_runs
+      (* the epoch leader flushes the merged, deduplicated union of every
+         member's commit lines (targets + marks + drop records) as
+         coalesced runs *)
+  | Epoch_fence
+      (* the single epoch fence, issued once by the leader: every
+         member's commit point at once (the WPQ drains whole) *)
   (* abort *)
   | Restore_data (* logged pre-images copied back, flushed per entry *)
   | Restore_fence (* one fence covers every restore flush *)
@@ -35,6 +42,8 @@ let name = function
   | Persist_drop_area -> "persist-drop-area"
   | Commit_fence -> "commit-fence"
   | Apply_drops -> "apply-drops"
+  | Merge_runs -> "merge-runs"
+  | Epoch_fence -> "epoch-fence"
   | Restore_data -> "restore-data"
   | Restore_fence -> "restore-fence"
   | Revert_allocs -> "revert-allocs"
@@ -50,6 +59,16 @@ let commit_plan ~ndrops =
   [ Flush_targets; Flush_marks ]
   @ (if ndrops > 0 then [ Persist_drop_area ] else [])
   @ [ Commit_fence; Apply_drops ]
+
+(* Group commit: the per-transaction flush phases collapse into the
+   leader's single merged run, and the per-transaction commit fence into
+   the one epoch fence.  Everything that [commit_plan] would flush
+   (targets, marks, drop records) rides in the merged run, so the two
+   plans make exactly the same bytes durable at the commit point — which
+   is why the checker can certify them against the same invariants.  The
+   trailing truncate stays per-member: its header persist is the
+   member's durability acknowledgment. *)
+let group_commit_plan = [ Merge_runs; Epoch_fence; Apply_drops ]
 
 (* Abort: restore pre-images newest-first under one fence, then revert
    allocations.  An empty log skips straight to the truncate. *)

@@ -12,9 +12,16 @@ type phase =
   | Flush_targets  (** logged target ranges flushed (coalesced lines) *)
   | Flush_marks  (** batched alloc-table marks flushed (mark-after-seal) *)
   | Persist_drop_area
-      (** drop records + advisory count/drop header fields flushed *)
+      (** drop records flushed (header counts stay volatile until the
+          truncate resets them — walkers never trust counts) *)
   | Commit_fence  (** the commit point: one fence makes it all durable *)
   | Apply_drops  (** deferred frees applied as dirty table clears *)
+  | Merge_runs
+      (** group commit: the epoch leader flushes the merged,
+          deduplicated union of every member's commit lines *)
+  | Epoch_fence
+      (** group commit: the single epoch fence, issued once by the
+          leader — every member's commit point at once *)
   | Restore_data  (** abort: pre-images copied back, flushed per entry *)
   | Restore_fence  (** abort: one fence covers every restore flush *)
   | Revert_allocs  (** abort: allocations become dirty table clears *)
@@ -29,6 +36,15 @@ val name : phase -> string
 val commit_plan : ndrops:int -> phase list
 (** Phases of a commit, excluding the trailing truncate (append
     {!truncate_plan} for the full stream). *)
+
+val group_commit_plan : phase list
+(** Phases of a commit through the group-commit epoch combiner
+    ({!Group_commit}): the per-transaction flush phases collapse into
+    the leader's merged {!Merge_runs}, and the per-transaction
+    {!Commit_fence} into the one {!Epoch_fence} shared by every member
+    of the epoch.  Makes exactly the same bytes durable at the commit
+    point as {!commit_plan}.  The trailing truncate stays per-member
+    (append {!truncate_plan}). *)
 
 val abort_plan : entries:int -> phase list
 (** Phases of an abort before its truncate; [[]] when no entries were

@@ -6,9 +6,12 @@
    that protocol.  It validates the ordering facts the model's safety
    argument rests on, against the event stream the live journal emits:
 
-   - C-FENCE-AT-COMMIT: a {!Ptelemetry.Probe.Commit_point} is emitted
-     immediately after a fence (the commit fence exists and nothing
-     intervenes);
+   - C-FENCE-AT-COMMIT: at a {!Ptelemetry.Probe.Commit_point}, every
+     store and flush this transaction's domain issued is covered by a
+     later fence on the device (the commit fence exists — under group
+     commit it may have been issued by the epoch leader on another
+     domain, which is exactly why the rule is "a fence after my last
+     dirty work", not "a fence immediately before my commit point");
    - C-LOG-BEFORE-COMMIT: no log coverage ([Log]/[Alloc]) is added after
      the transaction's commit point;
    - C-DROP-AFTER-COMMIT: every [Drop_apply] happens inside a
@@ -26,6 +29,14 @@
      exactly one (I-EPOCH);
    - C-GEOMETRY: log coverage and drop applications stay inside the
      heap (or a reserved spill region) of the attached pool.
+
+   Transactions are per-DOMAIN: N domains sharing one pool interleave
+   their event streams on one device, so every event carries the domain
+   that emitted it (probe handlers run synchronously on the emitting
+   thread) and the transactional state machine is keyed by
+   (device, domain).  Fences are device-global — one domain's fence
+   drains every domain's write-pending queue, the fact group commit is
+   built on.
 
    The validator is pure: it consumes a captured event list and returns
    a verdict, so the same code judges live captures and replayed
@@ -53,32 +64,38 @@ type verdict = {
 
 let ok v = v.violations = []
 
-(* Per-device validator state. *)
+(* Per-device validator state: geometry, slot epochs, spill regions and
+   the index of the latest fence (fences drain the whole device). *)
 type dstate = {
   mutable geom : geom option;
-  mutable in_tx : bool;
-  mutable saw_cp : bool;
-  mutable tr_after_cp : bool;
-  mutable exempt : int;
-  mutable last_was_fence : bool;
-  mutable drops_since_cp : int;
-  mutable since_cp : (int * Pr.event) list;  (* reversed *)
+  mutable last_fence_i : int;
   epochs : (int, int) Hashtbl.t;  (* slot_base -> last truncate epoch *)
   mutable spills : (int * int) list;  (* reserved (off, len) regions *)
 }
 
 let fresh_dstate () =
+  { geom = None; last_fence_i = -1; epochs = Hashtbl.create 4; spills = [] }
+
+(* Per-(device, domain) transactional state. *)
+type tstate = {
+  mutable in_tx : bool;
+  mutable saw_cp : bool;
+  mutable tr_after_cp : bool;
+  mutable exempt : int;
+  mutable last_dirty_i : int;  (* latest Store/Flush by this domain *)
+  mutable drops_since_cp : int;
+  mutable since_cp : (int * Pr.event) list;  (* own events only, reversed *)
+}
+
+let fresh_tstate () =
   {
-    geom = None;
     in_tx = false;
     saw_cp = false;
     tr_after_cp = false;
     exempt = 0;
-    last_was_fence = false;
+    last_dirty_i = -1;
     drops_since_cp = 0;
     since_cp = [];
-    epochs = Hashtbl.create 4;
-    spills = [];
   }
 
 let inter a alen b blen = a < b + blen && b < a + alen
@@ -90,11 +107,13 @@ let in_spill ds off len =
   List.exists (fun (so, sl) -> off >= so && off + len <= so + sl) ds.spills
 
 (* C-CLEARS-BEFORE-INVALIDATE, judged at the truncate that retires a
-   commit which applied drops: among the events since the commit point,
-   the last flush touching the allocation table must be followed by a
-   fence, and the header persist (last flush touching the slot) must
-   come after that table flush. *)
-let check_clears_order ds g ~slot_base evs =
+   commit which applied drops: among this domain's events since its
+   commit point, the last flush touching the allocation table must be
+   followed by a fence, and the header persist (last flush touching the
+   slot) must come after that table flush.  The truncate issues its own
+   clear fence, so the domain's own stream contains everything the rule
+   needs even when other domains interleave on the device. *)
+let check_clears_order g ~slot_base evs =
   let evs = List.rev evs in
   let tmax = ref (-1) and smax = ref (-1) in
   List.iter
@@ -106,7 +125,8 @@ let check_clears_order ds g ~slot_base evs =
           if inter off len slot_base g.slot_size then smax := i
       | _ -> ())
     evs;
-  if !tmax < 0 then Some "drops applied but no allocation-table flush before truncate"
+  if !tmax < 0 then
+    Some "drops applied but no allocation-table flush before truncate"
   else if !smax < !tmax then
     Some "log invalidated by a header persist that precedes the table-clear flush"
   else if
@@ -116,11 +136,9 @@ let check_clears_order ds g ~slot_base evs =
            match e with Pr.Fence _ -> i > !tmax && i < !smax | _ -> false)
          evs)
   then Some "no fence between the table-clear flush and the header persist"
-  else (
-    ignore ds;
-    None)
+  else None
 
-let validate (events : Pr.event list) : verdict =
+let validate (events : (int * Pr.event) list) : verdict =
   let devs : (int, dstate) Hashtbl.t = Hashtbl.create 4 in
   let dstate dev =
     match Hashtbl.find_opt devs dev with
@@ -130,13 +148,22 @@ let validate (events : Pr.event list) : verdict =
         Hashtbl.add devs dev d;
         d
   in
+  let doms : (int * int, tstate) Hashtbl.t = Hashtbl.create 8 in
+  let tstate dev dom =
+    match Hashtbl.find_opt doms (dev, dom) with
+    | Some t -> t
+    | None ->
+        let t = fresh_tstate () in
+        Hashtbl.add doms (dev, dom) t;
+        t
+  in
   let violations = ref [] in
   let txs = ref 0 and cps = ref 0 and trs = ref 0 and das = ref 0 in
   let bad i fmt =
     Printf.ksprintf (fun msg -> violations := (i, msg) :: !violations) fmt
   in
   List.iteri
-    (fun i ev ->
+    (fun i (dom, ev) ->
       let dev =
         match ev with
         | Pr.Store { dev; _ } | Pr.Flush { dev; _ } | Pr.Fence { dev; _ }
@@ -150,43 +177,54 @@ let validate (events : Pr.event list) : verdict =
             dev
       in
       let ds = dstate dev in
-      if ds.saw_cp then ds.since_cp <- (i, ev) :: ds.since_cp;
-      (match ev with
-      | Pr.Pool_layout { journal_base; slot_size; nslots; table_base; heap_base; heap_len; _ } ->
+      let ts = tstate dev dom in
+      if ts.saw_cp then ts.since_cp <- (i, ev) :: ts.since_cp;
+      match ev with
+      | Pr.Pool_layout
+          { journal_base; slot_size; nslots; table_base; heap_base; heap_len; _ }
+        ->
           ds.geom <-
-            Some { journal_base; slot_size; nslots; table_base; heap_base; heap_len }
-      | Pr.Pool_attach _ | Pr.Store _ | Pr.Recovery_phase _ -> ()
-      | Pr.Flush _ -> ()
-      | Pr.Fence _ -> ()
+            Some
+              { journal_base; slot_size; nslots; table_base; heap_base; heap_len }
+      | Pr.Pool_attach _ | Pr.Recovery_phase _ -> ()
+      | Pr.Store _ | Pr.Flush _ -> ts.last_dirty_i <- i
+      | Pr.Fence _ -> ds.last_fence_i <- i
       | Pr.Power_cycle _ ->
-          (* volatile context is gone with the power *)
-          ds.in_tx <- false;
-          ds.saw_cp <- false;
-          ds.tr_after_cp <- false;
-          ds.exempt <- 0;
-          ds.drops_since_cp <- 0;
-          ds.since_cp <- []
+          (* volatile context is gone with the power, on every domain *)
+          ds.last_fence_i <- -1;
+          Hashtbl.iter
+            (fun (d, _) t ->
+              if d = dev then begin
+                t.in_tx <- false;
+                t.saw_cp <- false;
+                t.tr_after_cp <- false;
+                t.exempt <- 0;
+                t.last_dirty_i <- -1;
+                t.drops_since_cp <- 0;
+                t.since_cp <- []
+              end)
+            doms
       | Pr.Tx_begin _ ->
-          if ds.in_tx then bad i "C-TRUNCATE-IN-TX: nested outermost Tx_begin";
+          if ts.in_tx then bad i "C-TRUNCATE-IN-TX: nested outermost Tx_begin";
           incr txs;
-          ds.in_tx <- true;
-          ds.saw_cp <- false;
-          ds.tr_after_cp <- false;
-          ds.drops_since_cp <- 0;
-          ds.since_cp <- []
+          ts.in_tx <- true;
+          ts.saw_cp <- false;
+          ts.tr_after_cp <- false;
+          ts.drops_since_cp <- 0;
+          ts.since_cp <- []
       | Pr.Tx_end { outcome; _ } ->
-          if not ds.in_tx then bad i "Tx_end without Tx_begin";
-          if outcome = Pr.Commit && ds.saw_cp && not ds.tr_after_cp then
+          if not ts.in_tx then bad i "Tx_end without Tx_begin";
+          if outcome = Pr.Commit && ts.saw_cp && not ts.tr_after_cp then
             bad i
               "C-COMMIT-RETIRES: transaction reached its commit point but \
                never retired its log";
-          ds.in_tx <- false;
-          ds.saw_cp <- false;
-          ds.tr_after_cp <- false;
-          ds.drops_since_cp <- 0;
-          ds.since_cp <- []
+          ts.in_tx <- false;
+          ts.saw_cp <- false;
+          ts.tr_after_cp <- false;
+          ts.drops_since_cp <- 0;
+          ts.since_cp <- []
       | Pr.Log { off; len; _ } ->
-          if ds.in_tx && ds.saw_cp then
+          if ts.in_tx && ts.saw_cp then
             bad i "C-LOG-BEFORE-COMMIT: log coverage added after the commit point";
           (* undo coverage may also name transactional pool-header fields
              (the root pointer), which live below the journal *)
@@ -198,7 +236,7 @@ let validate (events : Pr.event list) : verdict =
               bad i "C-GEOMETRY: log coverage at %#x+%d outside the heap" off len
           | _ -> ())
       | Pr.Alloc { off; len; _ } ->
-          if ds.in_tx && ds.saw_cp then
+          if ts.in_tx && ts.saw_cp then
             bad i "C-LOG-BEFORE-COMMIT: log coverage added after the commit point";
           (match ds.geom with
           | Some g when not (in_heap g off len) ->
@@ -206,21 +244,23 @@ let validate (events : Pr.event list) : verdict =
           | _ -> ())
       | Pr.Commit_point _ ->
           incr cps;
-          if not ds.in_tx then bad i "commit point outside a transaction";
-          if not ds.last_was_fence then
-            bad i "C-FENCE-AT-COMMIT: commit point not immediately after a fence";
-          ds.saw_cp <- true;
-          ds.tr_after_cp <- false;
-          ds.drops_since_cp <- 0;
-          ds.since_cp <- []
+          if not ts.in_tx then bad i "commit point outside a transaction";
+          if ds.last_fence_i <= ts.last_dirty_i then
+            bad i
+              "C-FENCE-AT-COMMIT: commit point with dirty work not covered \
+               by a fence";
+          ts.saw_cp <- true;
+          ts.tr_after_cp <- false;
+          ts.drops_since_cp <- 0;
+          ts.since_cp <- []
       | Pr.Region_reserve { off; len; _ } -> ds.spills <- (off, len) :: ds.spills
       | Pr.Region_release { off; _ } ->
           ds.spills <- List.filter (fun (o, _) -> o <> off) ds.spills
-      | Pr.Exempt_push _ -> ds.exempt <- ds.exempt + 1
-      | Pr.Exempt_pop _ -> ds.exempt <- max 0 (ds.exempt - 1)
+      | Pr.Exempt_push _ -> ts.exempt <- ts.exempt + 1
+      | Pr.Exempt_pop _ -> ts.exempt <- max 0 (ts.exempt - 1)
       | Pr.Journal_truncate { slot_base; epoch; _ } ->
           incr trs;
-          if (not ds.in_tx) && ds.exempt = 0 then
+          if (not ts.in_tx) && ts.exempt = 0 then
             bad i
               "C-TRUNCATE-IN-TX: log retired outside any transaction or \
                recovery window";
@@ -232,8 +272,8 @@ let validate (events : Pr.event list) : verdict =
                 || rel mod g.slot_size <> 0
                 || rel / g.slot_size >= g.nslots
               then bad i "C-GEOMETRY: truncate at %#x is not a slot base" slot_base
-              else if ds.saw_cp && ds.drops_since_cp > 0 then (
-                match check_clears_order ds g ~slot_base ds.since_cp with
+              else if ts.saw_cp && ts.drops_since_cp > 0 then (
+                match check_clears_order g ~slot_base ts.since_cp with
                 | Some msg -> bad i "C-CLEARS-BEFORE-INVALIDATE: %s" msg
                 | None -> ())
           | None -> ());
@@ -243,22 +283,22 @@ let validate (events : Pr.event list) : verdict =
                 epoch prev
           | _ -> ());
           Hashtbl.replace ds.epochs slot_base epoch;
-          if ds.saw_cp then ds.tr_after_cp <- true
+          if ts.saw_cp then ts.tr_after_cp <- true
       | Pr.Drop_apply { off; _ } ->
           incr das;
-          if not (ds.in_tx && ds.saw_cp) then
+          if not (ts.in_tx && ts.saw_cp) then
             bad i
               "C-DROP-AFTER-COMMIT: deferred free applied outside a \
                committed transaction's post-fence window";
-          if ds.tr_after_cp then
-            bad i "C-DROP-AFTER-COMMIT: deferred free applied after the log \
-                   was already retired";
-          ds.drops_since_cp <- ds.drops_since_cp + 1;
+          if ts.tr_after_cp then
+            bad i
+              "C-DROP-AFTER-COMMIT: deferred free applied after the log \
+               was already retired";
+          ts.drops_since_cp <- ts.drops_since_cp + 1;
           (match ds.geom with
           | Some g when not (in_heap g off 1) ->
               bad i "C-GEOMETRY: drop applied at %#x outside the heap" off
-          | _ -> ()));
-      ds.last_was_fence <- (match ev with Pr.Fence _ -> true | _ -> false))
+          | _ -> ()))
     events;
   {
     events = List.length events;
@@ -269,12 +309,26 @@ let validate (events : Pr.event list) : verdict =
     violations = List.rev !violations;
   }
 
+(* Validate an untagged single-threaded stream (hand-built test vectors,
+   replayed captures from before domain tagging). *)
+let validate_events (events : Pr.event list) : verdict =
+  validate (List.map (fun e -> (0, e)) events)
+
 (* Run [f] with a capturing subscriber installed; returns the captured
-   events alongside [f]'s result.  Replaces any current subscriber for
-   the duration. *)
+   events — each tagged with the domain that emitted it (handlers run
+   synchronously on the emitting thread) — alongside [f]'s result.
+   Thread-safe: concurrent emitters serialize on a mutex, and because a
+   probe event is emitted at its action point, the captured order
+   respects every cross-domain happens-before the pool establishes.
+   Replaces any current subscriber for the duration. *)
 let capture f =
   let acc = ref [] in
-  Pr.install (fun e -> acc := e :: !acc);
+  let m = Mutex.create () in
+  Pr.install (fun e ->
+      let dom = (Domain.self () :> int) in
+      Mutex.lock m;
+      acc := (dom, e) :: !acc;
+      Mutex.unlock m);
   let finish () = Pr.uninstall () in
   match f () with
   | v ->

@@ -22,6 +22,13 @@ type shape =
   | Interleaved
       (* exactly two transactions on disjoint blocks: tx1 runs entirely
          inside tx0's logging window, each on its own slot (two domains) *)
+  | Grouped
+      (* exactly two committing transactions on disjoint blocks, each on
+         its own slot, committing through the group-commit epoch
+         combiner: one merged flush + ONE shared fence (both commit
+         points), then each member's drops and truncate.  A crash before
+         the shared fence is the leader dying mid-epoch — both slots
+         must roll back independently. *)
 
 type program = {
   descr : string;
@@ -46,7 +53,10 @@ let describe p =
       (List.filteri (fun b _ -> p.init_live.(b)) [ "A"; "B" ])
   in
   Printf.sprintf "init[%s]%s %s" init
-    (match p.shape with Seq -> "" | Interleaved -> " interleaved")
+    (match p.shape with
+    | Seq -> ""
+    | Interleaved -> " interleaved"
+    | Grouped -> " grouped")
     (String.concat " " (List.map tx_name p.txs))
 
 (* {1 Schedule steps} *)
@@ -286,15 +296,14 @@ let commit_steps ctx buf sh ~uid =
             if sh.marks <> [] then
               push ~lbl:"flush marks" (Fl (List.sort_uniq compare sh.marks))
         | Pt.Persist_drop_area ->
+            (* drop records only — the advisory header counts stay
+               volatile (zeroed durably at truncation), exactly like the
+               implementation *)
             let ws = ref [] in
             for d = 1 to sh.ndrops do
               ws := Ms.drop_hdr_w cfg sh.s d :: Ms.drop_body_w cfg sh.s d :: !ws
             done;
-            push ~lbl:"flush drop area" (Fl (List.sort compare !ws));
-            push ~lbl:"advisory" (St (Ms.drops_w cfg sh.s, Int sh.ndrops));
-            push ~lbl:"advisory" (St (Ms.count_w cfg sh.s, Int sh.count));
-            push ~lbl:"flush advisory"
-              (Fl [ Ms.count_w cfg sh.s; Ms.drops_w cfg sh.s ])
+            push ~lbl:"flush drop area" (Fl (List.sort compare !ws))
         | Pt.Commit_fence ->
             push ~lbl:"commit fence" Fence;
             push (Mark (M_commit_point uid))
@@ -314,6 +323,63 @@ let commit_steps ctx buf sh ~uid =
     truncate_steps ctx buf sh ~clears:!clears ~retired:(Some uid)
   end;
   reset_tx_shadow cfg sh
+
+(* Group commit, from {!Pjournal.Protocol.group_commit_plan}: the epoch
+   leader's merged flush covers every member's targets, marks and drop
+   records, one shared fence is every member's commit point, then each
+   member applies its drops and truncates its own slot.  The completion
+   steps serialize what runs concurrently on the real pool, but every
+   persist still crashes word-granularly, and a crash before the shared
+   fence is exactly the leader dying mid-epoch.  The Partial_merge fault
+   variant drops the second member's words from the merged flush — the
+   combiner bug the epoch batch exists to rule out. *)
+let group_commit_steps ctx buf shs =
+  let cfg = ctx.cfg in
+  let push ?(lbl = "") act = buf := { act; lbl } :: !buf in
+  let clears = Array.make (List.length shs) [] in
+  List.iter
+    (fun ph ->
+      match ph with
+      | Pt.Merge_runs ->
+          let words (sh, _uid) =
+            let ws = ref (sh.targets @ sh.marks) in
+            for d = 1 to sh.ndrops do
+              ws := Ms.drop_hdr_w cfg sh.s d :: Ms.drop_body_w cfg sh.s d :: !ws
+            done;
+            !ws
+          in
+          let merged =
+            match ctx.variant with
+            | Mvariant.Partial_merge -> words (List.hd shs)
+            | _ -> List.concat_map words shs
+          in
+          if merged <> [] then
+            push ~lbl:"merge runs" (Fl (List.sort_uniq compare merged))
+      | Pt.Epoch_fence ->
+          push ~lbl:"epoch fence" Fence;
+          List.iter (fun (_sh, uid) -> push (Mark (M_commit_point uid))) shs
+      | Pt.Apply_drops ->
+          List.iteri
+            (fun i (sh, _uid) ->
+              List.iter
+                (fun (blk, _order) ->
+                  ctx.code.(blk) <- 0;
+                  ctx.held.(blk) <- false;
+                  push
+                    ~lbl:(Printf.sprintf "apply drop %s" (Ms.block_name blk))
+                    (St
+                       ( Ms.table_w cfg blk,
+                         tab_value cfg ctx.code (Ms.table_w cfg blk) ));
+                  clears.(i) <- Ms.table_w cfg blk :: clears.(i))
+                (List.rev sh.drops))
+            shs
+      | _ -> assert false)
+    Pt.group_commit_plan;
+  List.iteri
+    (fun i (sh, uid) ->
+      truncate_steps ctx buf sh ~clears:clears.(i) ~retired:(Some uid);
+      reset_tx_shadow cfg sh)
+    shs
 
 let abort_steps ctx buf sh =
   let cfg = ctx.cfg in
@@ -403,6 +469,23 @@ let schedule cfg variant (p : program) : step list =
           let l1, e1 = gen_tx_parts ctx sh1 ~uid:2 t1 in
           l0 @ l1 @ e1 @ e0
       | _ -> invalid_arg "Mjournal.schedule: interleaved needs two txs")
+  | Grouped -> (
+      match p.txs with
+      | [ t0; t1 ] ->
+          assert (cfg.Ms.nslots >= 2);
+          assert (t0.k = Commit && t1.k = Commit);
+          let sh0 = new_shadow cfg 0 and sh1 = new_shadow cfg 1 in
+          let log sh uid tx =
+            let buf = ref [ { act = Mark (M_start uid); lbl = "" } ] in
+            List.iter (gen_op ctx buf sh ~uid) tx.ops;
+            List.rev !buf
+          in
+          let l0 = log sh0 1 t0 in
+          let l1 = log sh1 2 t1 in
+          let buf = ref [] in
+          group_commit_steps ctx buf [ (sh0, 1); (sh1, 2) ];
+          l0 @ l1 @ List.rev !buf
+      | _ -> invalid_arg "Mjournal.schedule: grouped needs two txs")
 
 (* {1 Program enumeration} *)
 
@@ -511,5 +594,31 @@ let interleaved_programs () =
     mk [| true; true |] { ops = [ Free 0 ]; k = Commit } { ops = [ Free 1 ]; k = Commit };
   ]
 
+(* Two transactions committing through the epoch combiner, on disjoint
+   blocks (one slot each).  The pairs cover merged flushes of targets
+   only, targets + drop records, drops on both sides, mark-after-seal
+   under the shared fence, and the fresh-allocation optimization whose
+   target rides the merged run unlogged. *)
+let grouped_programs () =
+  let mk init_live ops0 ops1 =
+    let p =
+      {
+        descr = "";
+        init_live;
+        txs = [ { ops = ops0; k = Commit }; { ops = ops1; k = Commit } ];
+        shape = Grouped;
+      }
+    in
+    { p with descr = describe p }
+  in
+  [
+    mk [| true; true |] [ Set 0 ] [ Set 1 ];
+    mk [| true; true |] [ Set 0 ] [ Free 1 ];
+    mk [| true; true |] [ Free 0 ] [ Free 1 ];
+    mk [| true; false |] [ Set 0 ] [ Alloc 1 ];
+    mk [| true; false |] [ Alloc 1; Set 1 ] [ Free 0 ];
+  ]
+
 let programs cfg =
-  if cfg.Ms.nslots >= 2 then interleaved_programs () else seq_programs ()
+  if cfg.Ms.nslots >= 2 then interleaved_programs () @ grouped_programs ()
+  else seq_programs ()

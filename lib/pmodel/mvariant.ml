@@ -18,18 +18,33 @@ type t =
          that can no longer be re-derived from the (now dead) log *)
   | Trust_advisory
       (* recovery believes the advisory header count instead of walking
-         to the terminator: a transaction without deferred frees never
-         persists the count, so its durable entries are ignored and its
+         to the terminator: counts are never persisted during a
+         transaction, so its durable entries are ignored and its
          partially-landed target stores survive recovery *)
+  | Partial_merge
+      (* the group-commit leader's merged flush drops every member's
+         words but the first — the combiner bug the epoch batch exists
+         to rule out: a member retires its log believing the shared
+         fence covered it, but its target stores were never flushed *)
 
-let all = [ Correct; Term_before_body; Truncate_before_clears; Trust_advisory ]
-let broken = [ Term_before_body; Truncate_before_clears; Trust_advisory ]
+let all =
+  [
+    Correct;
+    Term_before_body;
+    Truncate_before_clears;
+    Trust_advisory;
+    Partial_merge;
+  ]
+
+let broken =
+  [ Term_before_body; Truncate_before_clears; Trust_advisory; Partial_merge ]
 
 let name = function
   | Correct -> "correct"
   | Term_before_body -> "term-before-body"
   | Truncate_before_clears -> "truncate-before-clears"
   | Trust_advisory -> "trust-advisory"
+  | Partial_merge -> "partial-merge"
 
 let of_name s =
   List.find_opt (fun v -> name v = s) all
@@ -42,3 +57,5 @@ let describe = function
       "truncate invalidates the log before persisting table clears"
   | Trust_advisory ->
       "recovery trusts the advisory count instead of the tail walk"
+  | Partial_merge ->
+      "group-commit leader flushes only the first member's lines"

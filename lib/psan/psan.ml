@@ -40,9 +40,23 @@ let line_shift = 6
 (* Shadow of one device's cache: absent lines are Clean. *)
 type line_state = Dirty | Wpq | Wpq_dirty
 
+(* A line's shadow also remembers WHO wrote it.  On a shared pool a
+   commit judges only the committing domain's own stores: a line another
+   domain dirtied between this member's epoch fence and its commit point
+   must not read as this member's missing flush.  [dirty_owners] are the
+   domains with stores not yet written back; [wpq_owners] those whose
+   stores sit in the write-pending queue.  Flushes are line-granular, so
+   a flush moves every dirty owner to the WPQ set at once; a fence
+   empties the WPQ set.  Single-domain behavior is unchanged. *)
+type line = {
+  mutable st : line_state;
+  mutable dirty_owners : int list;
+  mutable wpq_owners : int list;
+}
+
 type dev_state = {
   mutable heap : (int * int) option; (* from Pool_attach *)
-  lines : (int, line_state) Hashtbl.t; (* line number -> state *)
+  lines : (int, line) Hashtbl.t; (* line number -> shadow *)
   mutable wpq : int; (* lines currently write-pending *)
   dyn_exempt : (int, int) Hashtbl.t; (* live spill regions: off -> len *)
   mutable exempt_depth : int; (* recovery bracket nesting *)
@@ -148,18 +162,25 @@ let tx_id_of dev = Option.map (fun t -> t.tx_id) (tx_of dev)
 
 (* {1 The shadow machine} *)
 
-let mark_store ds off len =
+let add_owner d owners = if List.mem d owners then owners else d :: owners
+
+let mark_store ds ~who off len =
   let first = off lsr line_shift and last = (off + len - 1) lsr line_shift in
   for l = first to last do
     match Hashtbl.find_opt ds.lines l with
-    | None -> Hashtbl.replace ds.lines l Dirty
-    | Some Wpq -> Hashtbl.replace ds.lines l Wpq_dirty
-    | Some (Dirty | Wpq_dirty) -> ()
+    | None ->
+        Hashtbl.replace ds.lines l
+          { st = Dirty; dirty_owners = [ who ]; wpq_owners = [] }
+    | Some ln ->
+        (match ln.st with Wpq -> ln.st <- Wpq_dirty | Dirty | Wpq_dirty -> ());
+        ln.dirty_owners <- add_owner who ln.dirty_owners
   done
 
 let on_store ~dev ~off ~len ~ns =
   let ds = dev_state dev in
-  mark_store ds off len;
+  (* Probe handlers run synchronously on the emitting thread, so
+     [Domain.self] here is the storing domain. *)
+  mark_store ds ~who:(Domain.self () :> int) off len;
   if ds.exempt_depth = 0 then
     match heap_clip ds ~off ~len with
     | [] -> ()
@@ -189,14 +210,22 @@ let on_flush ~dev ~off ~len ~ns =
   let useful = ref false in
   for l = first to last do
     match Hashtbl.find_opt ds.lines l with
-    | Some Dirty ->
+    | Some ({ st = Dirty; _ } as ln) ->
         useful := true;
-        Hashtbl.replace ds.lines l Wpq;
+        ln.st <- Wpq;
+        ln.wpq_owners <-
+          List.fold_left (fun acc d -> add_owner d acc) ln.wpq_owners
+            ln.dirty_owners;
+        ln.dirty_owners <- [];
         ds.wpq <- ds.wpq + 1
-    | Some Wpq_dirty ->
+    | Some ({ st = Wpq_dirty; _ } as ln) ->
         useful := true;
-        Hashtbl.replace ds.lines l Wpq
-    | Some Wpq | None -> ()
+        ln.st <- Wpq;
+        ln.wpq_owners <-
+          List.fold_left (fun acc d -> add_owner d acc) ln.wpq_owners
+            ln.dirty_owners;
+        ln.dirty_owners <- []
+    | Some { st = Wpq; _ } | None -> ()
   done;
   if (not !useful) && ds.exempt_depth = 0 then
     record W1 ~dev ~off ~len ~tx:(tx_id_of dev) ~ns
@@ -210,15 +239,17 @@ let on_fence ~dev ~ns =
       ~detail:"consecutive fences with an empty write-pending queue";
   let pending =
     Hashtbl.fold
-      (fun l st acc ->
-        match st with Wpq | Wpq_dirty -> (l, st) :: acc | Dirty -> acc)
+      (fun l ln acc ->
+        match ln.st with Wpq | Wpq_dirty -> (l, ln) :: acc | Dirty -> acc)
       ds.lines []
   in
   List.iter
-    (fun (l, st) ->
-      match st with
+    (fun (l, ln) ->
+      match ln.st with
       | Wpq -> Hashtbl.remove ds.lines l
-      | Wpq_dirty -> Hashtbl.replace ds.lines l Dirty
+      | Wpq_dirty ->
+          ln.st <- Dirty;
+          ln.wpq_owners <- []
       | Dirty -> ())
     pending;
   ds.wpq <- 0;
@@ -227,24 +258,28 @@ let on_fence ~dev ~ns =
 (* At the commit point every range the transaction stored must already
    be durable: dirty means the flush is missing, write-pending means
    the fence is.  Judged here — before the journal truncates — because
-   truncation's own persists drain the WPQ and would mask both. *)
-let check_commit ds tx ~dev ~ns =
+   truncation's own persists drain the WPQ and would mask both.  Only
+   the committing domain's own residue counts: on a shared pool another
+   domain may have re-dirtied one of these lines between this member's
+   epoch fence and its commit point, and that is its transaction's
+   problem, not this one's. *)
+let check_commit ds tx ~who ~dev ~ns =
   tx.commit_seen <- true;
   List.iter
     (fun (o, l) ->
       let first = o lsr line_shift and last = (o + l - 1) lsr line_shift in
       for ln = first to last do
         match Hashtbl.find_opt ds.lines ln with
-        | Some (Dirty | Wpq_dirty) ->
+        | Some sh when List.mem who sh.dirty_owners ->
             record V2 ~dev ~off:(ln lsl line_shift) ~len:line_size
               ~tx:(Some tx.tx_id) ~ns
               ~detail:"line still dirty at commit point (missing flush)"
-        | Some Wpq ->
+        | Some sh when List.mem who sh.wpq_owners ->
             record V3 ~dev ~off:(ln lsl line_shift) ~len:line_size
               ~tx:(Some tx.tx_id) ~ns
               ~detail:
                 "line write-pending at commit point (flush without fence)"
-        | None -> ()
+        | Some _ | None -> ()
       done)
     tx.stored
 
@@ -283,7 +318,7 @@ let on_event ev =
           | Pr.Commit, Some tx when not tx.commit_seen ->
               (* The journal had nothing to commit, so no commit point
                  was emitted (nor any fence run) — judge here. *)
-              check_commit (dev_state dev) tx ~dev ~ns
+              check_commit (dev_state dev) tx ~who:(fst key) ~dev ~ns
           | _ -> ());
           Hashtbl.remove txs key
       | Pr.Log { dev; off; len } | Pr.Alloc { dev; off; len } -> (
@@ -292,7 +327,10 @@ let on_event ev =
           | None -> ())
       | Pr.Commit_point { dev; ns } -> (
           match tx_of dev with
-          | Some tx -> check_commit (dev_state dev) tx ~dev ~ns
+          | Some tx ->
+              check_commit (dev_state dev) tx
+                ~who:(Domain.self () :> int)
+                ~dev ~ns
           | None -> ())
       | Pr.Region_reserve { dev; off; len } ->
           Hashtbl.replace (dev_state dev).dyn_exempt off len

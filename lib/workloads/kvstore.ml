@@ -28,7 +28,14 @@ module Make (E : Engines.Engine_sig.S) = struct
          (Int64.mul key 0x9E3779B97F4A7C15L)
          (Int64.of_int t.nbuckets))
 
-  let head_slot t tx key = E.root tx + (bucket_of t key * 8)
+  (* Each operation locks its bucket's head slot for the transaction, so
+     concurrent transactions on a shared pool serialize per chain (the
+     lock is volatile — single-domain runs see no persist-cost change).
+     One bucket lock per transaction, so no lock-order cycles. *)
+  let head_slot t tx key =
+    let slot = E.root tx + (bucket_of t key * 8) in
+    E.lock tx slot;
+    slot
 
   let put t key value =
     E.transaction t.eng (fun tx ->

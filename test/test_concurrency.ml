@@ -149,6 +149,144 @@ let test_closed_pool_handles () =
   Alcotest.check_raises "box handle dead" Pool_impl.Pool_closed (fun () ->
       ignore (Pbox.get root))
 
+(* {1 Shared-pool domain binding and group commit} *)
+
+(* Registration binds a dedicated journal slot: idempotent, bounded by
+   nslots (refused, never blocked), refused mid-transaction, and the
+   slot returns to the pool at unregister. *)
+let test_domain_binding () =
+  let module P = Pool.Make () in
+  P.create ~config:{ small with nslots = 2 } ();
+  let s1 = P.register_domain () in
+  check_int "registration is idempotent" s1 (P.register_domain ());
+  check_bool "slot_of_domain agrees" true
+    (Pool_impl.slot_of_domain (P.impl ()) = Some s1);
+  let root = P.root ~ty:Ptype.int ~init:(fun _ -> 0) () in
+  P.transaction (fun j -> Pbox.set root 1 j);
+  check_int "bound transactions commit" 1 (Pbox.get root);
+  (* a second domain binds the other slot *)
+  let s2 = Domain.join (Domain.spawn (fun () -> P.register_domain ())) in
+  check_bool "distinct slots" true (s1 <> s2);
+  (* every slot is now bound: a third domain is refused, not blocked *)
+  let refused =
+    Domain.join
+      (Domain.spawn (fun () ->
+           match P.register_domain () with
+           | _ -> false
+           | exception Invalid_argument _ -> true))
+  in
+  check_bool "registration refused when slots exhausted" true refused;
+  (* releasing the slot mid-transaction is refused *)
+  let refused_in_tx =
+    P.transaction (fun _ ->
+        match P.unregister_domain () with
+        | () -> false
+        | exception Invalid_argument _ -> true)
+  in
+  check_bool "unregister refused inside a transaction" true refused_in_tx;
+  P.unregister_domain ();
+  check_bool "unbound after unregister" true
+    (Pool_impl.slot_of_domain (P.impl ()) = None);
+  (* the freed slot is available to a newcomer *)
+  let s3 = Domain.join (Domain.spawn (fun () -> P.register_domain ())) in
+  check_int "released slot rebound" s1 s3
+
+(* The pool's volatile statistics counters are atomics: under heavy
+   multi-domain commit traffic the totals must be exact, not merely
+   approximate (a plain mutable int would lose increments). *)
+let test_shared_counters_exact () =
+  let module P = Pool.Make () in
+  P.create ~config:{ small with nslots = 8 } ();
+  let n_dom = 4 and n_tx = 50 in
+  let root =
+    P.root
+      ~ty:(Ptype.array n_dom (Pcell.ptype Ptype.int))
+      ~init:(fun _ -> Array.init n_dom (fun _ -> Pcell.make ~ty:Ptype.int 0))
+      ()
+  in
+  let before = (P.stats ()).Pool_impl.transactions in
+  let worker w () =
+    ignore (P.register_domain () : int);
+    let c = (Pbox.get root).(w) in
+    for _ = 1 to n_tx do
+      P.transaction (fun j -> Pcell.set c (Pcell.get c + 1) j)
+    done;
+    P.unregister_domain ()
+  in
+  let ds = List.init n_dom (fun w -> Domain.spawn (worker w)) in
+  List.iter Domain.join ds;
+  let s = P.stats () in
+  check_int "commit counter exact under domains" (before + (n_dom * n_tx))
+    s.Pool_impl.transactions;
+  check_int "no aborts" 0 s.Pool_impl.aborts;
+  Array.iteri
+    (fun w c -> check_int (Printf.sprintf "worker %d committed all" w) n_tx
+        (Pcell.get c))
+    (Pbox.get root)
+
+(* Concurrent transactions committing through the epoch combiner: every
+   commit is accounted to exactly one epoch, occupancy is bounded by the
+   number of domains, and no update is lost. *)
+let test_group_commit_shared_pool () =
+  let module G = Pjournal.Group_commit in
+  let module P = Pool.Make () in
+  P.create ~config:{ small with nslots = 8 } ();
+  let n_dom = 4 and n_tx = 40 in
+  let root =
+    P.root
+      ~ty:(Ptype.array n_dom (Pcell.ptype Ptype.int))
+      ~init:(fun _ -> Array.init n_dom (fun _ -> Pcell.make ~ty:Ptype.int 0))
+      ()
+  in
+  P.set_group_commit true;
+  let worker w () =
+    ignore (P.register_domain () : int);
+    let c = (Pbox.get root).(w) in
+    for _ = 1 to n_tx do
+      P.transaction (fun j -> Pcell.set c (Pcell.get c + 1) j)
+    done;
+    P.unregister_domain ()
+  in
+  let ds = List.init n_dom (fun w -> Domain.spawn (worker w)) in
+  List.iter Domain.join ds;
+  let s = Option.get (Pool_impl.group_commit_stats (P.impl ())) in
+  check_int "every commit passed through the combiner" (n_dom * n_tx)
+    s.G.commits;
+  check_bool "at least one epoch fenced" true (s.G.epochs > 0);
+  check_bool "epochs never exceed commits" true (s.G.epochs <= s.G.commits);
+  check_bool "occupancy bounded by the domain count" true
+    (s.G.max_occupancy >= 1 && s.G.max_occupancy <= n_dom);
+  Array.iteri
+    (fun w c -> check_int (Printf.sprintf "worker %d committed all" w) n_tx
+        (Pcell.get c))
+    (Pbox.get root)
+
+(* Leader failure must never manufacture a commit: if the device dies
+   under the epoch leader's merged flush or fence, every member of that
+   epoch (and every later arrival) observes Crashed.  Regression for the
+   combiner completing a FAILED epoch — members then reported success
+   for data that was never fenced. *)
+let test_group_leader_failure () =
+  let module D = Pmem.Device in
+  let module G = Pjournal.Group_commit in
+  let dev = D.create ~size:(1024 * 1024) () in
+  (* a generous linger so the two committers usually share one epoch;
+     the assertion holds for any interleaving *)
+  let gc = G.create ~linger:20_000 dev in
+  D.set_crash_countdown dev 1;
+  let commit_one l () =
+    let lines = Hashtbl.create 1 in
+    Hashtbl.replace lines l ();
+    match G.commit gc ~lines with
+    | () -> false (* a false commit: the fence never happened *)
+    | exception D.Crashed -> true
+  in
+  let ds = List.init 2 (fun i -> Domain.spawn (commit_one (i + 1))) in
+  let crashed = List.map Domain.join ds in
+  check_bool "no member of the failed epoch reports success" true
+    (List.for_all Fun.id crashed);
+  check_bool "poisoned combiner refuses later commits" true (commit_one 9 ())
+
 let test_pool_inspect_roundtrip () =
   let module P = Pool.Make () in
   P.create ~config:small ();
@@ -193,6 +331,16 @@ let () =
           Alcotest.test_case "two pools, nested txs" `Quick test_two_pools;
           Alcotest.test_case "closed pool handles" `Quick
             test_closed_pool_handles;
+        ] );
+      ( "shared pool",
+        [
+          Alcotest.test_case "domain-slot binding" `Quick test_domain_binding;
+          Alcotest.test_case "atomic stats counters exact" `Slow
+            test_shared_counters_exact;
+          Alcotest.test_case "group commit epochs" `Slow
+            test_group_commit_shared_pool;
+          Alcotest.test_case "group leader failure" `Quick
+            test_group_leader_failure;
         ] );
       ( "inspect",
         [

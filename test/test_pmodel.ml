@@ -78,6 +78,30 @@ let test_conform_real_capture () =
   Alcotest.(check bool) "transactions seen" true (v.Cf.txs > 0);
   Alcotest.(check bool) "a log retired" true (v.Cf.truncates > 0)
 
+(* Conformance, concurrent: a multi-domain shared-pool run committing
+   through the epoch combiner — interleaved slot streams, merged flush
+   runs, one fence per epoch — must also validate cleanly.  The capture
+   tags every event with its emitting domain, and the validator judges
+   each domain's protocol stream on its own timeline. *)
+let test_conform_group_commit_capture () =
+  let make () = Crashtest.Scenario.group_commit () in
+  let events, () =
+    Cf.capture (fun () ->
+        let module I = (val make () : Crashtest.Injector.INSTANCE) in
+        I.setup ();
+        I.run ();
+        I.verify ~outcome:`Completed)
+  in
+  let v = Cf.validate events in
+  if not (Cf.ok v) then
+    Alcotest.failf "group-commit capture flagged: %s"
+      (Format.asprintf "%a" Cf.pp_verdict v);
+  let domains = List.sort_uniq compare (List.map fst events) in
+  Alcotest.(check bool) "more than one domain emitted" true
+    (List.length domains > 1);
+  Alcotest.(check bool) "transactions seen" true (v.Cf.txs > 1);
+  Alcotest.(check bool) "logs retired" true (v.Cf.truncates > 1)
+
 (* Conformance, negative controls: synthetic event streams that break the
    protocol order must be flagged — otherwise the validator is blind. *)
 let layout =
@@ -102,14 +126,14 @@ let has_violation needle v =
     v.Cf.violations
 
 let test_conform_flags_drop_outside_commit () =
-  let v = Cf.validate [ layout; Pr.Drop_apply { dev = 0; off = 0x440 } ] in
+  let v = Cf.validate_events [ layout; Pr.Drop_apply { dev = 0; off = 0x440 } ] in
   Alcotest.(check bool)
     "drop outside a committed tx flagged" true
     (has_violation "C-DROP-AFTER-COMMIT" v)
 
 let test_conform_flags_log_after_commit () =
   let v =
-    Cf.validate
+    Cf.validate_events
       [
         layout;
         Pr.Tx_begin { dev = 0; ns = 0. };
@@ -124,7 +148,7 @@ let test_conform_flags_log_after_commit () =
 
 let test_conform_flags_commit_without_fence () =
   let v =
-    Cf.validate
+    Cf.validate_events
       [
         layout;
         Pr.Tx_begin { dev = 0; ns = 0. };
@@ -137,7 +161,7 @@ let test_conform_flags_commit_without_fence () =
 
 let test_conform_flags_epoch_skip () =
   let v =
-    Cf.validate
+    Cf.validate_events
       [
         layout;
         Pr.Exempt_push { dev = 0 };
@@ -152,7 +176,7 @@ let test_conform_flags_epoch_skip () =
 
 let test_conform_flags_geometry () =
   let v =
-    Cf.validate
+    Cf.validate_events
       [
         layout;
         Pr.Tx_begin { dev = 0; ns = 0. };
@@ -181,6 +205,8 @@ let () =
         [
           Alcotest.test_case "real crash+recovery capture validates" `Quick
             test_conform_real_capture;
+          Alcotest.test_case "concurrent group-commit capture validates" `Quick
+            test_conform_group_commit_capture;
           Alcotest.test_case "drop outside commit is flagged" `Quick
             test_conform_flags_drop_outside_commit;
           Alcotest.test_case "log after commit is flagged" `Quick

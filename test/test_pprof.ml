@@ -29,10 +29,11 @@ let find_window op rows =
 
 (* The shipped engine against its own minimal schedule, at a size/count
    small enough for a unit test.  The per-op costs are known answers
-   (the same constants test_telemetry pins for one Pbox update): update
-   and alloc+write run exactly at the minimum; free carries exactly one
-   excess flush per transaction — the advisory header-count write-back
-   in the drop area, class E3 — and nothing else. *)
+   (the same constants test_telemetry pins for one Pbox update): update,
+   alloc+write and free all run exactly at the minimum.  Free used to
+   carry one excess E3 flush per transaction — the advisory header-count
+   write-back — until the counts were left volatile; its absence is now
+   the known answer. *)
 let test_corundum_known_answers () =
   fresh ();
   let ops = 8 in
@@ -60,18 +61,11 @@ let test_corundum_known_answers () =
     (Pprof.waste_flushes alloc.Engines.Waste.report);
   check_int "alloc+write findings" 0
     (List.length alloc.Engines.Waste.report.Pprof.findings);
-  let free = exact "free" ~fl:4 ~mfl:3 ~fe:3 ~mfe:3 in
+  let free = exact "free" ~fl:3 ~mfl:3 ~fe:3 ~mfe:3 in
   let r = free.Engines.Waste.report in
-  check_int "free waste flushes" ops (Pprof.waste_flushes r);
+  check_int "free waste flushes" 0 (Pprof.waste_flushes r);
   check_int "free waste fences" 0 (Pprof.waste_fences r);
-  (match Pprof.waste_by_class r with
-  | [ (Pprof.E3, fl, 0) ] -> check_int "free E3 flush count" ops fl
-  | _ -> Alcotest.fail "free waste not classified as pure E3");
-  List.iter
-    (fun (f : Pprof.finding) ->
-      check_bool "free finding is an E3 flush" true
-        (f.Pprof.cls = Pprof.E3 && f.Pprof.kind = `Flush))
-    r.Pprof.findings
+  check_int "free findings" 0 (List.length r.Pprof.findings)
 
 (* --- synthetic streams ------------------------------------------------ *)
 
