@@ -1,19 +1,23 @@
-(* Exhaustive crash-state model checking of the journal/recovery
-   protocol, plus trace-driven conformance of the real implementation
-   against the model.
+(* Exhaustive crash-state model checking of the persistence protocols
+   — the journal/recovery family ({!Mcheck}) and the CoW root
+   swap/intent family ({!Mcow}) — plus trace-driven conformance of the
+   real implementation against the model.
 
      pmodel_check check                 # full space, zero violations expected
      pmodel_check check --json stats.json --baseline PMODEL_baseline.json
      pmodel_check controls              # every seeded bug must be caught
      pmodel_check conform transfer kvstore
      pmodel_check replay 'correct:1:0:12:7:3'
+     pmodel_check replay 'swap-before-flush:cow:0:1:1'
 
    [check] exits non-zero on any counterexample, and (with --baseline)
-   when the explored crash-branch count drops below the committed
-   baseline — a shrinking space means the checker lost coverage. *)
+   when the explored crash-branch count (summed over both families)
+   drops below the committed baseline — a shrinking space means the
+   checker lost coverage. *)
 
 module Ms = Pmodel.Mstate
 module Mc = Pmodel.Mcheck
+module Mw = Pmodel.Mcow
 module Mv = Pmodel.Mvariant
 module J = Ptelemetry.Json
 
@@ -23,21 +27,39 @@ let write_json path json =
   output_char oc '\n';
   close_out oc
 
-let stats_json variant (s : Mc.stats) ~violations =
+(* Which model families a variant exercises: the journal mutations run
+   through {!Mcheck}, the CoW mutation through {!Mcow}, and the correct
+   protocol through both (their stats are summed for the baseline). *)
+let families variant =
+  match variant with
+  | Mv.Correct -> (true, true)
+  | Mv.Swap_before_flush -> (false, true)
+  | _ -> (true, false)
+
+let sum_fields lists =
+  List.fold_left
+    (fun acc fields ->
+      List.map
+        (fun (k, v) ->
+          (k, v + (try List.assoc k acc with Not_found -> 0)))
+        fields)
+    [] lists
+
+let print_fields prefix fields =
+  let g k = try List.assoc k fields with Not_found -> 0 in
+  Printf.printf
+    "%s%d programs, %d crash points, %d crash branches (%d distinct states), \
+     %d recovery runs, %d nested recovery points (%d branches)\n"
+    prefix (g "programs") (g "crash_points") (g "crash_branches")
+    (g "distinct_states") (g "recovery_runs") (g "nested_points")
+    (g "nested_branches")
+
+let stats_json variant fields ~violations =
   J.Obj
     (("schema", J.Str "corundum-pmodel-v1")
      :: ("variant", J.Str (Mv.name variant))
      :: ("violations", J.Num (float_of_int violations))
-     :: List.map
-          (fun (k, v) -> (k, J.Num (float_of_int v)))
-          (Mc.stats_fields s))
-
-let print_stats (s : Mc.stats) =
-  Printf.printf
-    "%d programs, %d crash points, %d crash branches (%d distinct states), \
-     %d recovery runs, %d nested recovery points (%d branches)\n"
-    s.Mc.programs s.Mc.crash_points s.Mc.crash_branches s.Mc.distinct_states
-    s.Mc.recovery_runs s.Mc.nested_points s.Mc.nested_branches
+     :: List.map (fun (k, v) -> (k, J.Num (float_of_int v))) fields)
 
 let run_check variant_name no_nested json baseline =
   match Mv.of_name variant_name with
@@ -48,59 +70,86 @@ let run_check variant_name no_nested json baseline =
       exit 2
   | Some variant -> (
       let t0 = Unix.gettimeofday () in
-      let r = Mc.run ~nested:(not no_nested) variant in
+      let nested = not no_nested in
+      let journal, cow = families variant in
+      let jr = if journal then Some (Mc.run ~nested variant) else None in
+      let cr = if cow then Some (Mw.run ~nested variant) else None in
       let dt = Unix.gettimeofday () -. t0 in
       Printf.printf "variant %s: %s\n" (Mv.name variant) (Mv.describe variant);
-      print_stats r.Mc.stats;
+      let jfields =
+        Option.map (fun (r : Mc.report) -> Mc.stats_fields r.Mc.stats) jr
+      and cfields =
+        Option.map (fun (r : Mw.report) -> Mw.stats_fields r.Mw.stats) cr
+      in
+      Option.iter (print_fields "journal: ") jfields;
+      Option.iter (print_fields "cow:     ") cfields;
+      let fields = sum_fields (List.filter_map Fun.id [ jfields; cfields ]) in
+      if jfields <> None && cfields <> None then print_fields "total:   " fields;
       Printf.printf "%.2fs\n" dt;
+      let jcex = Option.bind jr (fun (r : Mc.report) -> r.Mc.cex)
+      and ccex = Option.bind cr (fun (r : Mw.report) -> r.Mw.cex) in
+      let violations =
+        (if jcex <> None then 1 else 0) + if ccex <> None then 1 else 0
+      in
       (match json with
       | None -> ()
-      | Some path ->
-          write_json path
-            (stats_json variant r.Mc.stats
-               ~violations:(match r.Mc.cex with None -> 0 | Some _ -> 1)));
+      | Some path -> write_json path (stats_json variant fields ~violations));
       (match baseline with
       | None -> ()
       | Some path -> (
           match J.mem "crash_branches" (J.of_string (In_channel.with_open_text path In_channel.input_all)) with
           | Some v when J.num v <> None ->
               let base = int_of_float (Option.get (J.num v)) in
-              if r.Mc.stats.Mc.crash_branches < base then begin
+              let branches = try List.assoc "crash_branches" fields with Not_found -> 0 in
+              if branches < base then begin
                 Printf.eprintf
                   "pmodel_check: crash-branch count regressed: %d < baseline \
                    %d (checker lost coverage)\n"
-                  r.Mc.stats.Mc.crash_branches base;
+                  branches base;
                 exit 1
               end
               else
-                Printf.printf "baseline ok: %d crash branches >= %d\n"
-                  r.Mc.stats.Mc.crash_branches base
+                Printf.printf "baseline ok: %d crash branches >= %d\n" branches
+                  base
           | _ ->
               Printf.eprintf "pmodel_check: %s: no crash_branches field\n" path;
               exit 2));
-      match r.Mc.cex with
-      | None -> Printf.printf "no violations\n"
-      | Some c ->
-          Format.printf "%a" Mc.pp_cex c;
-          exit 1)
+      Option.iter (fun c -> Format.printf "%a" Mc.pp_cex c) jcex;
+      Option.iter (fun c -> Format.printf "%a" Mw.pp_cex c) ccex;
+      match violations with
+      | 0 -> Printf.printf "no violations\n"
+      | _ -> exit 1)
 
 (* Positive controls: every deliberately broken protocol variant must
    yield a counterexample, or the checker itself has gone blind. *)
 let run_controls json =
+  (* (variant, caught, invariant, repro) — each broken variant runs in
+     the family its mutation belongs to *)
   let results =
     List.map
       (fun v ->
-        let r = Mc.run ~nested:false v in
-        (v, r))
+        match families v with
+        | _, true ->
+            let r = Mw.run ~nested:false v in
+            ( v,
+              Option.map
+                (fun (c : Mw.cex) -> (c.Mw.invariant, Mw.repro_string c))
+                r.Mw.cex )
+        | _ ->
+            let r = Mc.run ~nested:false v in
+            ( v,
+              Option.map
+                (fun (c : Mc.cex) -> (c.Mc.invariant, Mc.repro_string c))
+                r.Mc.cex ))
       Mv.broken
   in
   let missed = ref 0 in
   List.iter
-    (fun (v, (r : Mc.report)) ->
-      match r.Mc.cex with
-      | Some c ->
+    (fun (v, caught) ->
+      match caught with
+      | Some (invariant, repro) ->
           Printf.printf "%-22s caught: %s  (replay '%s')\n" (Mv.name v)
-            c.Mc.invariant (Mc.repro_string c)
+            invariant repro
       | None ->
           incr missed;
           Printf.printf "%-22s MISSED: no counterexample for a seeded bug\n"
@@ -116,14 +165,14 @@ let run_controls json =
              ( "controls",
                J.List
                  (List.map
-                    (fun (v, (r : Mc.report)) ->
+                    (fun (v, caught) ->
                       J.Obj
                         [
                           ("variant", J.Str (Mv.name v));
-                          ("caught", J.Bool (r.Mc.cex <> None));
+                          ("caught", J.Bool (caught <> None));
                           ( "invariant",
-                            match r.Mc.cex with
-                            | Some c -> J.Str c.Mc.invariant
+                            match caught with
+                            | Some (invariant, _) -> J.Str invariant
                             | None -> J.Null );
                         ])
                     results) );
@@ -131,14 +180,30 @@ let run_controls json =
   if !missed > 0 then exit 1
 
 let run_replay spec =
-  match Mc.replay spec with
-  | Error e ->
-      Printf.eprintf "pmodel_check: %s\n" e;
-      exit 2
-  | Ok None -> Printf.printf "branch recovers to a legal state\n"
-  | Ok (Some c) ->
-      Format.printf "%a" Mc.pp_cex c;
-      exit 1
+  (* CoW-family specs carry a "cow" tag in the second field *)
+  let is_cow =
+    match String.split_on_char ':' spec with
+    | _ :: "cow" :: _ -> true
+    | _ -> false
+  in
+  if is_cow then
+    match Mw.replay spec with
+    | Error e ->
+        Printf.eprintf "pmodel_check: %s\n" e;
+        exit 2
+    | Ok None -> Printf.printf "branch recovers to a legal state\n"
+    | Ok (Some c) ->
+        Format.printf "%a" Mw.pp_cex c;
+        exit 1
+  else
+    match Mc.replay spec with
+    | Error e ->
+        Printf.eprintf "pmodel_check: %s\n" e;
+        exit 2
+    | Ok None -> Printf.printf "branch recovers to a legal state\n"
+    | Ok (Some c) ->
+        Format.printf "%a" Mc.pp_cex c;
+        exit 1
 
 (* Conformance: run real scenarios with the probe bus captured and
    validate the event stream against the model's protocol order.  Each
@@ -263,7 +328,8 @@ let variant_arg =
     & info [ "variant" ] ~docv:"NAME"
         ~doc:
           "Protocol variant to check: correct, term-before-body, \
-           truncate-before-clears, trust-advisory.")
+           truncate-before-clears, trust-advisory, partial-merge, \
+           swap-before-flush.")
 
 let no_nested_arg =
   Arg.(
@@ -302,7 +368,10 @@ let spec_arg =
     required
     & pos 0 (some string) None
     & info [] ~docv:"SPEC"
-        ~doc:"Repro spec (VARIANT:NSLOTS:SPLIT:PROG:POINT:MASK[:RPOINT:RMASK]).")
+        ~doc:
+          "Repro spec: VARIANT:NSLOTS:SPLIT:PROG:POINT:MASK[:RPOINT:RMASK] \
+           for the journal family, VARIANT:cow:PROG:POINT:MASK[:RPOINT:RMASK] \
+           for the CoW family.")
 
 let replay_cmd =
   Cmd.v
@@ -326,7 +395,9 @@ let conform_cmd =
 let cmd =
   Cmd.group
     (Cmd.info "pmodel_check"
-       ~doc:"Crash-state model checker for the journal/recovery protocol")
+       ~doc:
+         "Crash-state model checker for the journal/recovery and CoW \
+          root-swap protocols")
     [ check_cmd; controls_cmd; conform_cmd; replay_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -77,6 +77,31 @@ let info_json ~path (i : Corundum.Pool_inspect.info)
                    s.Pjournal.Recovery.phase_ns) );
           ]
   in
+  let cow_json (ci : Corundum.Cow_root.cell_info) =
+    let intent_json (s, (it : Corundum.Cow_root.intent)) =
+      Obj
+        [
+          ("slot", n s);
+          ("gen", n it.igen);
+          ( "kind",
+            Str
+              (match it.kind with
+              | Corundum.Cow_root.Gen_only -> "gen-only"
+              | Corundum.Cow_root.Swap _ -> "swap"
+              | Corundum.Cow_root.Publish _ -> "publish") );
+          ("allocs", n (List.length it.allocs));
+          ("retires", n (List.length it.frees));
+        ]
+    in
+    Obj
+      [
+        ("cell", n ci.ci_cell);
+        ("gen", n ci.ci_gen);
+        ("active", n ci.ci_ptr);
+        ("pending", Bool ci.ci_pending);
+        ("intents", List (List.map intent_json ci.ci_intents));
+      ]
+  in
   Obj
     [
       ("schema", Str "corundum-info-v1");
@@ -102,6 +127,8 @@ let info_json ~path (i : Corundum.Pool_inspect.info)
       ("largest_block", n i.Corundum.Pool_inspect.largest_block);
       ("lifetime_tx", n i.Corundum.Pool_inspect.lifetime_tx);
       ("lifetime_aborts", n i.Corundum.Pool_inspect.lifetime_aborts);
+      ( "cow_cells",
+        List (List.map cow_json i.Corundum.Pool_inspect.cow_cells) );
       ("recovery", recovery_json);
     ]
 

@@ -194,7 +194,91 @@ let check_device dev =
           let bidx = (root_off - heap_base) / 64 in
           if D.read_u8 dev (table_base + bidx) = 0 then
             note "root" "root points at a free block"
+        end;
+      (* --- CoW root cells ------------------------------------------------- *)
+      (* Is [off] inside some live allocated extent?  Scan back from its
+         index: interior bytes of an extent are zero, so the first
+         non-zero byte at or before it is the only candidate head. *)
+      let covered off =
+        if
+          off < heap_base
+          || off >= heap_base + heap_len
+          || (off - heap_base) mod 64 <> 0
+        then `Outside
+        else begin
+          let target = (off - heap_base) / 64 in
+          let rec back j =
+            if j < 0 then `Free
+            else
+              let b = D.read_u8 dev (table_base + j) in
+              if b = 0 then back (j - 1)
+              else if j + (1 lsl (b - 1)) > target then `Live
+              else `Free
+          in
+          back target
         end
+      in
+      List.iter
+        (fun (ci : Cow_root.cell_info) ->
+          let where = Printf.sprintf "cow cell %d" ci.ci_cell in
+          (match ci.ci_pair with
+          | Some (pb, half) ->
+              (if covered pb <> `Live then
+                 note where "root pair base %d is not a live block" pb);
+              if half <= 0 || half mod 64 <> 0 then
+                note where "root pair half size %d implausible" half
+              else if
+                ci.ci_ptr <> 0 && ci.ci_ptr <> pb && ci.ci_ptr <> pb + half
+              then
+                note where
+                  "active pointer %d names neither pair half (torn root-swap \
+                   image)"
+                  ci.ci_ptr
+          | None -> (
+              if ci.ci_ptr <> 0 then
+                match covered ci.ci_ptr with
+                | `Live -> ()
+                | `Outside ->
+                    note where "active pointer %d outside the heap" ci.ci_ptr
+                | `Free ->
+                    note where "active pointer %d dangles into free space"
+                      ci.ci_ptr));
+          List.iter
+            (fun (s, (it : Cow_root.intent)) ->
+              let bad_block what (boff, order) =
+                if
+                  boff < heap_base
+                  || boff >= heap_base + heap_len
+                  || (boff - heap_base) mod 64 <> 0
+                  || order < 0 || order > 40
+                then
+                  note where
+                    "intent slot %d: %s block record (%d, order %d) implausible"
+                    s what boff order
+              in
+              List.iter (bad_block "alloc") it.allocs;
+              List.iter (bad_block "retire") it.frees;
+              match it.kind with
+              | Cow_root.Publish (_, pubs) ->
+                  List.iter
+                    (fun (a, _, _) ->
+                      if a < header_size || a + 8 > size then
+                        note where
+                          "intent slot %d: publish word at %d outside the pool"
+                          s a)
+                    pubs
+              | Cow_root.Gen_only | Cow_root.Swap _ -> ())
+            ci.ci_intents;
+          (* pending = a sealed commit whose tail never resolved: normal
+             on a raw crash image (recovery resolves it at open), a bug
+             on anything claiming to be recovered *)
+          if ci.ci_pending then
+            note where
+              "pending commit intent (gen %d -> %d): image predates recovery \
+               or resolution failed"
+              ci.ci_gen
+              ((ci.ci_gen + 1) land Cow_root.gen_mask))
+        (Cow_root.inspect dev)
     end
   end;
   {
@@ -456,6 +540,23 @@ let repair dev =
           end
         end
       done;
+      (* --- CoW commit intents: run the cell resolution ------------------- *)
+      (* Surviving intent records (pending, consumed or stale) are what
+         pool recovery resolves at attach; repair applies the same
+         idempotent resolution so the repaired image opens clean.  This
+         runs after table quarantine — resolution trusts table bytes. *)
+      (if
+         List.exists
+           (fun (ci : Cow_root.cell_info) -> ci.ci_intents <> [])
+           (Cow_root.inspect dev)
+       then
+         let tbl =
+           Palloc.Alloc_table.attach dev ~table_base ~heap_base ~heap_len
+         in
+         let st = Cow_root.recover dev tbl in
+         act "cow cells"
+           "resolved commit intents: %d rolled forward, %d rolled back"
+           st.Cow_root.rolled_forward st.Cow_root.rolled_back);
       (* --- root: detectable, not repairable ------------------------------ *)
       if root_off <> 0 then
         if root_off < heap_base || root_off >= heap_base + heap_len then

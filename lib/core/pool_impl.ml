@@ -187,6 +187,8 @@ let build ?(read_only = false) dev ~buddy ~nslots ~slot_size ~table_base
            table_base;
            heap_base;
            heap_len;
+           cow_base = Cow_root.base;
+           cow_len = Cow_root.region_len;
          })
   end;
   {
@@ -348,6 +350,27 @@ let attach ?(mode = Read_write) dev =
         R.phase_ns =
           R.add_phase "table_scan" (ts1 -. ts0) recovery.R.phase_ns;
       }
+    end
+  in
+  (* CoW root cells: resolve any pending intent (roll the interrupted
+     mod-engine transaction forward or back).  Runs after the buddy
+     attach because a rollback edits allocation-table bytes, which then
+     invalidates the freshly rebuilt free lists. *)
+  let recovery =
+    if mode <> Read_write then recovery
+    else begin
+      let cs0 = D.simulated_ns dev in
+      let cst = Cow_root.recover dev (B.table buddy) in
+      if cst.Cow_root.table_edited then B.rebuild buddy;
+      let cs1 = D.simulated_ns dev in
+      if Pr.on () && (cst.Cow_root.rolled_forward > 0 || cst.Cow_root.rolled_back > 0)
+      then
+        Pr.emit
+          (Pr.Recovery_phase
+             { dev = D.id dev; phase = "cow"; ns = cs1; dur_ns = cs1 -. cs0 });
+      if cs1 > cs0 then
+        { recovery with R.phase_ns = R.add_phase "cow" (cs1 -. cs0) recovery.R.phase_ns }
+      else recovery
     end
   in
   if mode = Read_write then bump_generation dev;

@@ -22,6 +22,9 @@ type info = {
   largest_block : int;
   lifetime_tx : int;
   lifetime_aborts : int;
+  cow_cells : Cow_root.cell_info list;
+      (** every root cell the mod engine's CoW commits use; all-zero
+          cells on pools that never ran it *)
 }
 
 (* Header field offsets mirror Pool_impl's layout; kept in sync by the
@@ -97,6 +100,7 @@ let inspect_device dev =
     largest_block = !largest;
     lifetime_tx = (if magic_ok then u64 96 else 0);
     lifetime_aborts = (if magic_ok then u64 104 else 0);
+    cow_cells = (if magic_ok then Cow_root.inspect dev else []);
   }
 
 let inspect_file path = inspect_device (D.load path)
@@ -140,5 +144,39 @@ let pp ppf i =
               n c e)
       (List.combine i.slots i.slot_epochs);
     if List.for_all (fun s -> s = Idle) i.slots then
-      fprintf ppf "  journals      : all %d slots idle (clean shutdown)@." i.nslots
+      fprintf ppf "  journals      : all %d slots idle (clean shutdown)@." i.nslots;
+    (* CoW root cells: only pools that ran the mod engine have non-zero
+       cells; a valid intent on an image is a commit whose unfenced tail
+       recovery will roll forward or back at the next open. *)
+    List.iter
+      (fun (ci : Cow_root.cell_info) ->
+        if ci.ci_ptr <> 0 || ci.ci_gen <> 0 || ci.ci_intents <> [] then begin
+          fprintf ppf "  cow cell %d    : gen %d, active %s%s@." ci.ci_cell
+            ci.ci_gen
+            (if ci.ci_ptr = 0 then "(none)"
+             else Printf.sprintf "@%d" ci.ci_ptr)
+            (match ci.ci_pair with
+            | None -> ""
+            | Some (base, half) ->
+                Printf.sprintf ", pair @%d halves %d B" base half);
+          List.iter
+            (fun (s, (it : Cow_root.intent)) ->
+              let state =
+                if it.igen = (ci.ci_gen + 1) land Cow_root.gen_mask then
+                  "PENDING, resolves on open"
+                else if it.igen = ci.ci_gen then "consumed"
+                else "stale"
+              in
+              fprintf ppf
+                "    intent s%d   : gen %d %s, %d allocs, %d retires (%s)@." s
+                it.igen
+                (match it.kind with
+                | Cow_root.Gen_only -> "gen-only"
+                | Cow_root.Swap p -> Printf.sprintf "swap -> %d" p
+                | Cow_root.Publish (p, pubs) ->
+                    Printf.sprintf "publish x%d -> %d" (List.length pubs) p)
+                (List.length it.allocs) (List.length it.frees) state)
+            ci.ci_intents
+        end)
+      i.cow_cells
   end

@@ -30,6 +30,11 @@ type info = {
   largest_block : int;
   lifetime_tx : int;  (** committed transactions folded at last save *)
   lifetime_aborts : int;
+  cow_cells : Cow_root.cell_info list;
+      (** CoW root cells ({!Cow_root.inspect}): generation, active
+          pointer and surviving intent records per cell — a pending
+          intent on an image is a half-committed swap recovery will
+          resolve at the next open *)
 }
 
 val inspect_device : Pmem.Device.t -> info

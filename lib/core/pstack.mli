@@ -1,0 +1,71 @@
+(** Detectably-recoverable Treiber stack (checkpointed recoverable-CAS).
+
+    A lock-free LIFO whose push/pop are single CASes on the head word,
+    made crash-recoverable in the Memento style: the operation's full
+    description is sealed into a checksummed checkpoint record {e before}
+    the CAS is issued, so recovery can decide from the durable head alone
+    whether the CAS landed, finish or undo its allocator side effects,
+    and report the verdict to the caller — detectability, not just
+    consistency.  One fence per operation; the CAS and its table mark
+    ride unfenced behind the next fence, covered by the checkpoint.
+
+    Two checkpoint slots alternate by sequence parity so sealing a new
+    record never overwrites the one covering an operation whose tail is
+    still write-pending — the same double-buffering {!Cow_root} uses for
+    its commit intents, and for the same WPQ-reuse hazard.
+
+    Operations take a journal brand only as proof a transaction is open;
+    like {!Punsafe} they bypass the undo log, so an enclosing abort does
+    {e not} roll them back, and crash recovery is {!recover}'s job, not
+    the journal's.  Call {!recover} after every reopen before mutating.
+    Crash detectability assumes a single mutator per stack. *)
+
+type ('a, 'p) t
+
+val make : ty:('a, 'p) Ptype.t -> 'p Journal.t -> ('a, 'p) t
+(** Allocate an empty stack (transactional).  The element type must fit
+    one 8-byte word ([Ptype.size ty <= 8], e.g. [Ptype.int] or a box). *)
+
+val push : ('a, 'p) t -> 'a -> 'p Journal.t -> unit
+(** Link a fresh node at the head.  One fence; durable (modulo the
+    unfenced tail) when the next fence on the device executes. *)
+
+val pop : ('a, 'p) t -> 'p Journal.t -> 'a option
+(** Unlink and return the head node, or [None] when empty. *)
+
+val peek : ('a, 'p) t -> 'a option
+val is_empty : ('a, 'p) t -> bool
+val length : ('a, 'p) t -> int
+val iter : ('a, 'p) t -> ('a -> unit) -> unit
+val to_list : ('a, 'p) t -> 'a list
+(** Top-first snapshot of the chain. *)
+
+(** {1 Recovery} *)
+
+(** What recovery determined about a checkpointed operation: it either
+    completed (the head CAS landed) or rolled back (it did not).  A
+    completed pop also reports the popped value's raw 8-byte image —
+    taken from the checkpoint, not the node, which may already be
+    unreadable. *)
+type outcome =
+  | Push_completed of int  (** sequence number *)
+  | Push_rolled_back of int
+  | Pop_completed of int * int64
+  | Pop_rolled_back of int
+
+val seq_of_outcome : outcome -> int
+
+val recover : ('a, 'p) t -> outcome list
+(** Resolve both checkpoint slots in ascending sequence order: re-derive
+    or undo each operation's unfenced tail (head swing + allocator mark),
+    then invalidate the records.  Idempotent — safe to crash inside and
+    re-run.  Returns the verdicts, oldest first ([[]] after a clean
+    shutdown). *)
+
+val drop : ('a, 'p) t -> 'p Journal.t -> unit
+(** Transactionally free every node and the header block. *)
+
+(** {1 Ptype} *)
+
+val ptype : ('a, 'p) Ptype.t -> (('a, 'p) t, 'p) Ptype.t
+val ptype_rec : ('a, 'p) Ptype.t Lazy.t -> (('a, 'p) t, 'p) Ptype.t

@@ -343,6 +343,84 @@ let logfree_counter ?(increments = 4) () : (module Injector.INSTANCE) =
       Leak_check.assert_clean (P.impl ()) ~root_ty
   end)
 
+(* --- Pstack: checkpointed recoverable-CAS push/pop --------------------- *)
+
+let pstack ?(pushes = 4) ?(pops = 2) () : (module Injector.INSTANCE) =
+  (module struct
+    include Fresh ()
+
+    let root_ty = Pstack.ptype Ptype.int
+    let value i = i * 11
+
+    let root () =
+      P.root ~ty:root_ty ~init:(fun j -> Pstack.make ~ty:Ptype.int j) ()
+
+    (* Every stack state a crash may legally expose: each operation is a
+       single recoverable CAS, so recovery must land on some prefix of
+       the operation sequence — nothing torn, nothing interleaved. *)
+    let steps =
+      List.init pushes (fun i -> `Push (value (i + 1)))
+      @ List.init pops (fun _ -> `Pop)
+
+    let valid_states =
+      List.fold_left
+        (fun acc op ->
+          let cur = List.hd acc in
+          (match (op, cur) with
+          | `Push v, st -> v :: st
+          | `Pop, _ :: rest -> rest
+          | `Pop, [] -> [])
+          :: acc)
+        [ [] ] steps
+
+    let final_state = List.hd valid_states
+
+    let setup () =
+      created ();
+      ignore (root ())
+
+    let run () =
+      let s = Pbox.get (root ()) in
+      List.iter
+        (fun op ->
+          P.transaction (fun j ->
+              match op with
+              | `Push v -> Pstack.push s v j
+              | `Pop -> ignore (Pstack.pop s j)))
+        steps
+
+    (* The stack's own detectable recovery runs after the pool's, inside
+       the same crash-injection window — a nested recovery crash can land
+       between the two, or mid-way through the slot resolution. *)
+    let outcomes = ref []
+
+    let reopen () =
+      reopen ();
+      outcomes := Pstack.recover (Pbox.get (root ()))
+
+    let show l = "[" ^ String.concat ";" (List.map string_of_int l) ^ "]"
+
+    let verify ~outcome =
+      let s = Pbox.get (root ()) in
+      let l = Pstack.to_list s in
+      (match outcome with
+      | `Completed ->
+          if l <> final_state then
+            fail "pstack: expected %s, got %s" (show final_state) (show l)
+      | `Crashed k ->
+          if not (List.mem l valid_states) then
+            fail "pstack: crash@%d left non-prefix state %s" k (show l);
+          (* detectability: recovery reports at most one verdict per
+             checkpoint slot, oldest first *)
+          let seqs = List.map Pstack.seq_of_outcome !outcomes in
+          if List.length seqs > 2 then
+            fail "pstack: crash@%d resolved %d checkpoints" k (List.length seqs);
+          if List.sort compare seqs <> seqs then
+            fail "pstack: crash@%d verdicts out of order" k);
+      heap_ok (P.impl ());
+      Leak_check.assert_clean (P.impl ()) ~root_ty
+  end)
+
 (* --- Pmap: AVL insertions forcing rotations ---------------------------- *)
 
 let map_rotations ?(keys = 7) () : (module Injector.INSTANCE) =
@@ -629,6 +707,7 @@ let all =
     ("transfer", fun () -> transfer ());
     ("queue_ops", fun () -> queue_ops ());
     ("logfree_counter", fun () -> logfree_counter ());
+    ("pstack", fun () -> pstack ());
     ("map_rotations", fun () -> map_rotations ());
     ("btree_ops", fun () -> btree_ops ());
     ("kvstore", fun () -> kvstore ());

@@ -44,6 +44,13 @@ val logfree_counter : ?increments:int -> unit -> (module Injector.INSTANCE)
     persists mean any prefix count is a valid state even though the
     journal never sees the writes. *)
 
+val pstack : ?pushes:int -> ?pops:int -> unit -> (module Injector.INSTANCE)
+(** Checkpointed recoverable-CAS pushes and pops on a {!Corundum.Pstack}:
+    after any crash — including crashes inside the stack's own slot
+    resolution and torn checkpoint lines — the recovered stack must be a
+    prefix of the operation sequence, the detectability verdicts must be
+    well-formed, and no node may leak. *)
+
 val map_rotations : ?keys:int -> unit -> (module Injector.INSTANCE)
 (** Ascending [Pmap] inserts (forcing AVL rotations at every level) and a
     delete; after any crash the tree's order, balance and size invariants

@@ -29,6 +29,13 @@ let pool t = t
 
 let transaction t f =
   P.transaction t (fun ptx ->
+      (* Redo logging never needs a per-record seal fence: home stores
+         stay volatile until commit, so every entry seal of this
+         transaction collapses into one log-tail flush+fence right
+         before the commit plan (see {!Journal_impl.set_defer_seals}).
+         This removes the E1 write-back waste the persist profiler
+         used to classify on the alloc+write path. *)
+      Pjournal.Journal_impl.set_defer_seals (P.tx_journal ptx) true;
       let tx = { ptx; wset = Hashtbl.create 64 } in
       let result = f tx in
       (* Commit: apply the write-set to home locations.  The locations

@@ -1,0 +1,8 @@
+(** The minimally-ordered CoW engine ("mod"): shadow stores into
+    own-transaction blocks, redo-covered 8-byte publishes elsewhere,
+    commit by one packed root-word store at the fence floor — in-place
+    update 1 fence, alloc+write 2, with no undo log on any path.  See
+    {!Corundum.Cow_root} for the persistent commit word and recovery,
+    and DESIGN.md §14 for the ordering argument. *)
+
+include Engine_sig.S

@@ -8,6 +8,7 @@ let all : (string * Engine_sig.engine) list =
     (Mnemosyne_engine.name, (module Mnemosyne_engine : Engine_sig.S));
     (Gopmem_engine.name, (module Gopmem_engine : Engine_sig.S));
     (Corundum_engine.name, (module Corundum_engine : Engine_sig.S));
+    (Mod_engine.name, (module Mod_engine : Engine_sig.S));
   ]
 
 let find name = List.assoc_opt name all

@@ -82,6 +82,12 @@ type t = {
   marks : (int, unit) Hashtbl.t;
       (* alloc-table lines dirtied by this tx's allocation marks; flushed
          as coalesced runs under the commit fence (mark-after-seal) *)
+  mutable defer_seals : bool;
+      (* collapse per-entry seal persists into one log-tail flush+fence
+         just before the commit plan runs (redo-style users only) *)
+  mutable unsealed : (int * int) option;
+      (* [lo, hi) byte range of deferred, not-yet-durable entry bytes;
+         always one contiguous run within the current entry region *)
 }
 
 let format dev ~base ~size =
@@ -115,6 +121,8 @@ let attach ?(alloc_hint = 0) dev buddy ~base ~size =
     targets = [];
     tx_logged = 0;
     marks = Hashtbl.create 16;
+    defer_seals = false;
+    unsealed = None;
   }
 
 let base t = t.base
@@ -128,6 +136,7 @@ let logged_bytes t =
   else t.cursor - t.last_region - Log_entry.spill_header
 
 let tx_logged_bytes t = t.tx_logged
+let set_defer_seals t on = t.defer_seals <- on
 
 let drop_capacity t = t.size / 4 / drop_slot_bytes
 let remaining_bytes t = t.cur_limit - t.cursor
@@ -146,6 +155,7 @@ let begin_tx t =
   t.ndrops <- 0;
   t.targets <- [];
   t.tx_logged <- 0;
+  t.unsealed <- None;
   Hashtbl.reset t.dedup;
   Hashtbl.reset t.lines;
   Hashtbl.reset t.dropped;
@@ -158,10 +168,25 @@ let begin_tx t =
    the old terminator (entry never happened), a torn entry (checksum
    fails: never happened), or the full entry plus its terminator; the
    tail walk reads back exactly the durable prefix, so no persistent
-   counter update is needed. *)
+   counter update is needed.
+
+   With [defer_seals] set the persist is elided and the entry's bytes
+   (terminator included) extend a volatile [unsealed] range instead; the
+   whole range becomes durable in one flush+fence at commit (or when a
+   spill moves the cursor to a new region).  Sound only for redo-style
+   use: home locations then stay unflushed until commit, so no store an
+   entry covers can reach media before the collapsed seal fence. *)
+let extend_unsealed t ~lo ~hi =
+  t.unsealed <-
+    (match t.unsealed with
+    | None -> Some (lo, hi)
+    | Some (l, h) -> Some (min l lo, max h hi))
+
 let seal_entry t ~kind ~at ~len =
   D.write_u64 t.dev (at + len) 0L;
-  D.persist t.dev at (len + Log_entry.terminator_size);
+  if t.defer_seals then
+    extend_unsealed t ~lo:at ~hi:(at + len + Log_entry.terminator_size)
+  else D.persist t.dev at (len + Log_entry.terminator_size);
   t.count <- t.count + 1;
   t.tx_logged <- t.tx_logged + len;
   if Tr.on () then begin
@@ -217,12 +242,29 @@ let add_spill t need =
       ~ts_ns:(D.simulated_ns t.dev) ()
   end
 
+(* Make any deferred entry bytes durable: one flush over the contiguous
+   log-tail run, one fence.  No-op unless seals were deferred. *)
+let flush_pending_seal t =
+  match t.unsealed with
+  | None -> ()
+  | Some (lo, hi) ->
+      D.flush t.dev lo (hi - lo);
+      D.fence t.dev;
+      t.unsealed <- None
+
 let ensure_room t need =
   (* +terminator: every entry is sealed together with the zero word that
      follows it, so room for that word must exist in the same region *)
   if t.cursor + need + Log_entry.terminator_size > t.cur_limit then begin
     (* mark the continuation so walkers stop parsing this region here *)
-    if t.cursor + 8 <= t.cur_limit then Log_entry.write_jump t.dev ~at:t.cursor;
+    if t.cursor + 8 <= t.cur_limit then begin
+      Log_entry.write_jump t.dev ~at:t.cursor;
+      if t.defer_seals then extend_unsealed t ~lo:t.cursor ~hi:(t.cursor + 8)
+    end;
+    (* the deferred tail must stay one contiguous run per region, so seal
+       it before the cursor moves into the fresh spill block (the spill's
+       own header persists fence anyway) *)
+    flush_pending_seal t;
     add_spill t (need + Log_entry.terminator_size)
   end
 
@@ -388,6 +430,9 @@ let truncate_pending t pending =
   t.drops <- [];
   t.ndrops <- 0;
   t.targets <- [];
+  (* abandoned unsealed bytes are dirty-unflushed lines: they can never
+     land, and the header persist above re-epochs the slot anyway *)
+  t.unsealed <- None;
   Hashtbl.reset t.dedup;
   Hashtbl.reset t.lines;
   Hashtbl.reset t.dropped;
@@ -513,6 +558,12 @@ let commit ?group t =
   t.active <- false;
   if t.count = 0 && t.ndrops = 0 then ()
   else begin
+    (* Deferred entry seals become durable here, under ONE collapsed
+       flush+fence, strictly before any target or mark flush: a landed
+       target line or table mark must always have a durable entry behind
+       it, exactly as with per-entry seals — only the fence count
+       changes. *)
+    flush_pending_seal t;
     let pending = Hashtbl.create (max 8 t.ndrops) in
     (match group with
     | Some gc ->
@@ -563,7 +614,11 @@ let abort t =
   if t.count = 0 then truncate t
   else begin
     (* Collect the sealed entries by walking to the tail terminator
-       (following any spill chain). *)
+       (following any spill chain).  The walk reads the device's current
+       contents, so deferred (not-yet-durable) entries are restored too;
+       no seal flush is needed first — under the redo-only constraint
+       their home stores were never flushed either, so a crash mid-abort
+       leaves the pre-transaction image durable on both sides. *)
     let entries = ref [] in
     let _visited, _cursor, _reason =
       Log_entry.walk_to_tail t.dev ~slot_base:t.base ~slot_size:t.size

@@ -116,6 +116,22 @@ val commit : ?group:Group_commit.t -> t -> unit
 
 val abort : t -> unit
 
+val set_defer_seals : t -> bool -> unit
+(** Collapse per-entry seal persists into a single log-tail flush+fence,
+    issued just before the commit plan runs (and whenever a spill moves
+    the cursor to a new region).  Entries still get their terminator
+    word at append time; only their durability is deferred, so the
+    collapsed fence still precedes every target-line and table-mark
+    flush — a landed store always has a durable entry behind it, exactly
+    as with eager seals.
+
+    {b Sound only for write-aside (redo) use} of the journal, where home
+    locations stay unflushed until commit: a deferred entry then never
+    races its own target onto media.  Undo-style users, whose home
+    stores may be flushed mid-transaction (e.g. by a concurrent group
+    leader's merged run), must leave this off — the default.  The flag
+    is sticky on the slot until set again. *)
+
 (** {1 Introspection (tests and stats)} *)
 
 val entry_count : t -> int

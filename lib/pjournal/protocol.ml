@@ -35,6 +35,22 @@ type phase =
   | Reset_header
       (* one batched header persist: counts zeroed, epoch bumped,
          terminator reset — the log is retired *)
+  (* CoW commit (the mod engine: no undo log on the hot path) *)
+  | Seal_intent
+      (* the allocation/retire intent record written, flushed and fenced
+         — durable BEFORE any mark or shadow line can land *)
+  | Shadow_flush
+      (* shadow-node lines and alloc-table mark lines flushed in
+         coalesced runs; nothing here is reachable from the root yet *)
+  | Root_swap
+      (* THE CoW commit point: one 8-byte store (root-pointer CAS /
+         generation bump / link publish) plus an unfenced flush of its
+         line — buffered durability, made durable by the next fence or
+         left for recovery to roll forward *)
+  | Retire_old
+      (* one fence orders the swap before the retired blocks' table
+         clears, which are then stored and flushed unfenced — a durable
+         clear therefore implies a durable commit *)
 
 let name = function
   | Flush_targets -> "flush-targets"
@@ -50,6 +66,10 @@ let name = function
   | Release_spills -> "release-spills"
   | Persist_clears -> "persist-clears"
   | Reset_header -> "reset-header"
+  | Seal_intent -> "seal-intent"
+  | Shadow_flush -> "shadow-flush"
+  | Root_swap -> "root-swap"
+  | Retire_old -> "retire-old"
 
 (* Commit: targets, marks and the drop area all become durable under the
    single commit fence; only then do the deferred frees apply.  The
@@ -84,3 +104,24 @@ let truncate_plan ~spills ~clears =
   (if spills then [ Release_spills ] else [])
   @ (if clears || spills then [ Persist_clears ] else [])
   @ [ Reset_header ]
+
+(* CoW commit (the mod engine's minimally-ordered protocol).  A
+   transaction with neither allocations nor frees needs no intent — its
+   shadow lines are unreachable until the swap, so the whole commit is
+   one fence: flush shadows, fence, swap.  Allocations and frees add a
+   durable intent record sealed under its own fence FIRST (nothing else
+   of the transaction is flushed yet, so nothing else can have landed),
+   which recovery compares against the root cell's generation to roll
+   the transaction forward or back.  Frees append the retire tail: a
+   fence ordering the swap before the table clears, then the clears
+   flushed unfenced.
+
+   Per-op cost at the fence floor: update [Shadow_flush; Commit_fence;
+   Root_swap] = 2 flushes / 1 fence; alloc+write adds [Seal_intent] =
+   4/2; free is [Seal_intent; Root_swap; Retire_old] = 3/2 (no shadow
+   lines, so the commit fence collapses into the retire fence). *)
+let cow_commit_plan ~allocs ~frees ~shadow =
+  (if allocs || frees then [ Seal_intent ] else [])
+  @ (if shadow || allocs then [ Shadow_flush; Commit_fence ] else [])
+  @ [ Root_swap ]
+  @ if frees then [ Retire_old ] else []

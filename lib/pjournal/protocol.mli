@@ -30,6 +30,18 @@ type phase =
   | Reset_header
       (** truncate: one batched header persist retires the log (counts
           zeroed, epoch bumped, terminator reset) *)
+  | Seal_intent
+      (** CoW: the allocation/retire intent record flushed and fenced —
+          durable before any mark or shadow line can land *)
+  | Shadow_flush
+      (** CoW: shadow-node lines and alloc-table mark lines flushed in
+          coalesced runs (unreachable until the swap) *)
+  | Root_swap
+      (** CoW: the commit point — one 8-byte root-pointer/generation
+          store plus an unfenced flush of its line *)
+  | Retire_old
+      (** CoW: one fence orders the swap before the retired blocks'
+          table clears, stored and flushed unfenced after it *)
 
 val name : phase -> string
 
@@ -56,3 +68,12 @@ val truncate_plan : spills:bool -> clears:bool -> phase list
     clears of its own, so [spills] implies {!Persist_clears}.  The clear
     persist is ordered strictly before {!Reset_header} — see
     I-CLEARS-BEFORE-INVALIDATE in [doc/pmodel.mld]. *)
+
+val cow_commit_plan : allocs:bool -> frees:bool -> shadow:bool -> phase list
+(** Phases of a minimally-ordered CoW commit (the mod engine), shared
+    with the model checker's CoW program family.  [shadow] means the
+    transaction wrote shadow lines (a root-copy update or fresh-node
+    initialisation); [allocs]/[frees] add the durable intent and the
+    retire tail.  Update = [[Shadow_flush; Commit_fence; Root_swap]]
+    (2 flushes, 1 fence); alloc+write prepends [Seal_intent] (4/2);
+    pure free is [[Seal_intent; Root_swap; Retire_old]] (3/2). *)

@@ -51,6 +51,8 @@ type geom = {
   table_base : int;
   heap_base : int;
   heap_len : int;
+  cow_base : int;
+  cow_len : int;
 }
 
 type verdict = {
@@ -81,6 +83,7 @@ type tstate = {
   mutable in_tx : bool;
   mutable saw_cp : bool;
   mutable tr_after_cp : bool;
+  mutable is_cow : bool;  (* stored into the CoW root-cell region *)
   mutable exempt : int;
   mutable last_dirty_i : int;  (* latest Store/Flush by this domain *)
   mutable drops_since_cp : int;
@@ -92,6 +95,7 @@ let fresh_tstate () =
     in_tx = false;
     saw_cp = false;
     tr_after_cp = false;
+    is_cow = false;
     exempt = 0;
     last_dirty_i = -1;
     drops_since_cp = 0;
@@ -173,7 +177,8 @@ let validate (events : (int * Pr.event) list) : verdict =
         | Pr.Region_reserve { dev; _ } | Pr.Region_release { dev; _ }
         | Pr.Exempt_push { dev } | Pr.Exempt_pop { dev }
         | Pr.Pool_layout { dev; _ } | Pr.Journal_truncate { dev; _ }
-        | Pr.Drop_apply { dev; _ } | Pr.Recovery_phase { dev; _ } ->
+        | Pr.Drop_apply { dev; _ } | Pr.Recovery_phase { dev; _ }
+        | Pr.Cow_shadow { dev; _ } | Pr.Cow_retire { dev; _ } ->
             dev
       in
       let ds = dstate dev in
@@ -181,13 +186,25 @@ let validate (events : (int * Pr.event) list) : verdict =
       if ts.saw_cp then ts.since_cp <- (i, ev) :: ts.since_cp;
       match ev with
       | Pr.Pool_layout
-          { journal_base; slot_size; nslots; table_base; heap_base; heap_len; _ }
-        ->
+          { journal_base; slot_size; nslots; table_base; heap_base; heap_len;
+            cow_base; cow_len; _ } ->
           ds.geom <-
             Some
-              { journal_base; slot_size; nslots; table_base; heap_base; heap_len }
-      | Pr.Pool_attach _ | Pr.Recovery_phase _ -> ()
-      | Pr.Store _ | Pr.Flush _ -> ts.last_dirty_i <- i
+              { journal_base; slot_size; nslots; table_base; heap_base;
+                heap_len; cow_base; cow_len }
+      | Pr.Pool_attach _ | Pr.Recovery_phase _ | Pr.Cow_shadow _
+      | Pr.Cow_retire _ ->
+          ()
+      | Pr.Store { off; len; _ } ->
+          ts.last_dirty_i <- i;
+          (* a store into the CoW root-cell region marks the transaction
+             as CoW-committed: its "log" is the intent record, retired by
+             the next generation's seal, not by a journal truncate *)
+          (match ds.geom with
+          | Some g when g.cow_len > 0 && inter off len g.cow_base g.cow_len ->
+              ts.is_cow <- true
+          | _ -> ())
+      | Pr.Flush _ -> ts.last_dirty_i <- i
       | Pr.Fence _ -> ds.last_fence_i <- i
       | Pr.Power_cycle _ ->
           (* volatile context is gone with the power, on every domain *)
@@ -198,6 +215,7 @@ let validate (events : (int * Pr.event) list) : verdict =
                 t.in_tx <- false;
                 t.saw_cp <- false;
                 t.tr_after_cp <- false;
+                t.is_cow <- false;
                 t.exempt <- 0;
                 t.last_dirty_i <- -1;
                 t.drops_since_cp <- 0;
@@ -210,17 +228,22 @@ let validate (events : (int * Pr.event) list) : verdict =
           ts.in_tx <- true;
           ts.saw_cp <- false;
           ts.tr_after_cp <- false;
+          ts.is_cow <- false;
           ts.drops_since_cp <- 0;
           ts.since_cp <- []
       | Pr.Tx_end { outcome; _ } ->
           if not ts.in_tx then bad i "Tx_end without Tx_begin";
-          if outcome = Pr.Commit && ts.saw_cp && not ts.tr_after_cp then
+          if
+            outcome = Pr.Commit && ts.saw_cp && not ts.tr_after_cp
+            && not ts.is_cow
+          then
             bad i
               "C-COMMIT-RETIRES: transaction reached its commit point but \
                never retired its log";
           ts.in_tx <- false;
           ts.saw_cp <- false;
           ts.tr_after_cp <- false;
+          ts.is_cow <- false;
           ts.drops_since_cp <- 0;
           ts.since_cp <- []
       | Pr.Log { off; len; _ } ->

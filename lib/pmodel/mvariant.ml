@@ -26,6 +26,12 @@ type t =
          words but the first — the combiner bug the epoch batch exists
          to rule out: a member retires its log believing the shared
          fence covered it, but its target stores were never flushed *)
+  | Swap_before_flush
+      (* CoW-engine family ({!Mcow}): the packed root word is stored and
+         flushed BEFORE the shadow/intent flush and the commit fence —
+         the ordering bug the cow_commit_plan exists to rule out: a
+         crash can land the new root while the data it points at (and
+         the intent that would re-derive it) never reached media *)
 
 let all =
   [
@@ -34,10 +40,17 @@ let all =
     Truncate_before_clears;
     Trust_advisory;
     Partial_merge;
+    Swap_before_flush;
   ]
 
 let broken =
-  [ Term_before_body; Truncate_before_clears; Trust_advisory; Partial_merge ]
+  [
+    Term_before_body;
+    Truncate_before_clears;
+    Trust_advisory;
+    Partial_merge;
+    Swap_before_flush;
+  ]
 
 let name = function
   | Correct -> "correct"
@@ -45,6 +58,7 @@ let name = function
   | Truncate_before_clears -> "truncate-before-clears"
   | Trust_advisory -> "trust-advisory"
   | Partial_merge -> "partial-merge"
+  | Swap_before_flush -> "swap-before-flush"
 
 let of_name s =
   List.find_opt (fun v -> name v = s) all
@@ -59,3 +73,5 @@ let describe = function
       "recovery trusts the advisory count instead of the tail walk"
   | Partial_merge ->
       "group-commit leader flushes only the first member's lines"
+  | Swap_before_flush ->
+      "CoW root swap issued before the shadow flush and commit fence"

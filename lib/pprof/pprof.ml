@@ -92,12 +92,15 @@ type geom = {
   slot_size : int;
   table_base : int;
   heap_base : int;
+  cow_base : int;
+  cow_len : int;
 }
 
-type region = Header | Journal | Journal_adv | Table | Heap | Spill
+type region = Header | Cow | Journal | Journal_adv | Table | Heap | Spill
 
 let site_of_region = function
   | Header -> "header"
+  | Cow -> "cow-root"
   | Journal -> "journal"
   | Journal_adv -> "journal-advisory"
   | Table -> "table"
@@ -112,12 +115,15 @@ type txstate = {
   tx_id : int;
   mutable commit_seen : bool;
   mutable poisoned : bool;
+  mutable is_cow : bool; (* touched the CoW root-cell region *)
   pre_log : (int, unit) Hashtbl.t; (* journal/spill lines, required *)
   pre_other : (int, unit) Hashtbl.t; (* data/mark/header lines, required *)
   pre_adv : (int, unit) Hashtbl.t; (* advisory-only candidates *)
+  pre_cow : (int, unit) Hashtbl.t; (* intent lines sealed under their own fence *)
   post_journal : (int, unit) Hashtbl.t; (* header-reset lines, required *)
   post_table : (int, unit) Hashtbl.t; (* table-clear lines, required *)
   post_adv : (int, unit) Hashtbl.t;
+  post_cow : (int, unit) Hashtbl.t; (* the swap word, flushed unfenced *)
   mutable a_fl : int;
   mutable a_fe : int;
   mutable classified_fl : int; (* flush waste already explained *)
@@ -169,7 +175,10 @@ let runs_of_tbl tbl =
 let runs_of_list ls = runs_of_sorted (List.sort_uniq compare ls)
 
 let classify g d off len =
-  if off < g.journal_base then Header
+  if off < g.journal_base then
+    if g.cow_len > 0 && off >= g.cow_base && off < g.cow_base + g.cow_len then
+      Cow
+    else Header
   else if off < g.table_base then begin
     let rel = (off - g.journal_base) mod g.slot_size in
     (* The slot header line mixes advisory words (entry/drop counts at
@@ -190,12 +199,15 @@ let fresh_tx id =
     tx_id = id;
     commit_seen = false;
     poisoned = false;
+    is_cow = false;
     pre_log = Hashtbl.create 16;
     pre_other = Hashtbl.create 16;
     pre_adv = Hashtbl.create 4;
+    pre_cow = Hashtbl.create 4;
     post_journal = Hashtbl.create 8;
     post_table = Hashtbl.create 8;
     post_adv = Hashtbl.create 4;
+    post_cow = Hashtbl.create 4;
     a_fl = 0;
     a_fe = 0;
     classified_fl = 0;
@@ -267,11 +279,17 @@ let analyze ?(label = "trace") ?(prelude = []) events =
                 match classify g d off len with
                 | Journal | Spill -> add tx.pre_log
                 | Journal_adv -> add tx.pre_adv
+                | Cow ->
+                    tx.is_cow <- true;
+                    add tx.pre_cow
                 | Table | Heap | Header -> add tx.pre_other
               else
                 match classify g d off len with
                 | Table -> add tx.post_table
                 | Journal_adv -> add tx.post_adv
+                | Cow ->
+                    tx.is_cow <- true;
+                    add tx.post_cow
                 | Journal | Spill | Header | Heap -> add tx.post_journal)
       | _ -> ()
   in
@@ -305,8 +323,10 @@ let analyze ?(label = "trace") ?(prelude = []) events =
                     if tx.commit_seen then
                       Hashtbl.mem tx.post_table l
                       || Hashtbl.mem tx.post_journal l
+                      || Hashtbl.mem tx.post_cow l
                     else
                       Hashtbl.mem tx.pre_log l || Hashtbl.mem tx.pre_other l
+                      || Hashtbl.mem tx.pre_cow l
                   in
                   let adv l =
                     if tx.commit_seen then Hashtbl.mem tx.post_adv l
@@ -468,14 +488,31 @@ let analyze ?(label = "trace") ?(prelude = []) events =
         let g1 = runs_of_tbl tx.pre_log and g2 = runs_of_tbl tx.pre_other in
         let g3 = runs_of_tbl tx.post_table
         and g4 = runs_of_tbl tx.post_journal in
-        let seal = if g1 > 0 && g2 > 0 then 1 else 0 in
-        let commitf = if g1 > 0 || g2 > 0 then 1 else 0 in
-        let clears = if g3 > 0 && g4 > 0 then 1 else 0 in
-        let trunc = if g3 > 0 || g4 > 0 then 1 else 0 in
+        let c1 = runs_of_tbl tx.pre_cow and c4 = runs_of_tbl tx.post_cow in
+        let min_fl, min_fe =
+          if tx.is_cow then begin
+            (* CoW fence floor: the intent seal (if any) fences alone;
+               one commit fence orders every pre-swap line before the
+               swap word; the swap word and any publish words are
+               flushed unfenced (buffered durability); retire clears
+               need one fence ordering them after the swap. *)
+            let seal = if c1 > 0 then 1 else 0 in
+            let commitf = if g1 + g2 > 0 then 1 else 0 in
+            let retire = if g3 > 0 then 1 else 0 in
+            (c1 + g1 + g2 + g3 + g4 + c4, seal + commitf + retire)
+          end
+          else begin
+            let seal = if g1 > 0 && g2 > 0 then 1 else 0 in
+            let commitf = if g1 > 0 || g2 > 0 then 1 else 0 in
+            let clears = if g3 > 0 && g4 > 0 then 1 else 0 in
+            let trunc = if g3 > 0 || g4 > 0 then 1 else 0 in
+            (g1 + g2 + g3 + g4, seal + commitf + clears + trunc)
+          end
+        in
         (* A buggy (flush/fence-eliding) trace can undershoot the
            minimum; waste is never negative. *)
-        let m_fl = min (g1 + g2 + g3 + g4) a_fl in
-        let m_fe = min (seal + commitf + clears + trunc) a_fe in
+        let m_fl = min min_fl a_fl in
+        let m_fe = min min_fe a_fe in
         acc.t_m_fl <- acc.t_m_fl + m_fl;
         acc.t_m_fe <- acc.t_m_fe + m_fe;
         let rem_fl = a_fl - m_fl - tx.classified_fl in
@@ -533,9 +570,9 @@ let analyze ?(label = "trace") ?(prelude = []) events =
         d.pending <- []
     | Pr.Pool_layout
         { dev; journal_base; slot_size; nslots = _; table_base; heap_base;
-          heap_len = _ } ->
+          heap_len = _; cow_base; cow_len } ->
         (dstate dev).geom <-
-          Some { journal_base; slot_size; table_base; heap_base }
+          Some { journal_base; slot_size; table_base; heap_base; cow_base; cow_len }
     | Pr.Tx_begin { dev; ns = _ } -> (
         let d = dstate dev in
         match d.tx with
@@ -573,7 +610,7 @@ let analyze ?(label = "trace") ?(prelude = []) events =
                 (phase, prev +. dur_ns) :: List.remove_assoc phase acc.phases
             | None -> acc.phases @ [ (phase, dur_ns) ])
     | Pr.Pool_attach _ | Pr.Log _ | Pr.Alloc _ | Pr.Journal_truncate _
-    | Pr.Drop_apply _ ->
+    | Pr.Drop_apply _ | Pr.Cow_shadow _ | Pr.Cow_retire _ ->
         ()
   in
   List.iter on_event prelude;
@@ -803,8 +840,8 @@ let event_to_json ev =
   | Pr.Exempt_push { dev } -> t "exempt_push" [ i "dev" dev ]
   | Pr.Exempt_pop { dev } -> t "exempt_pop" [ i "dev" dev ]
   | Pr.Pool_layout
-      { dev; journal_base; slot_size; nslots; table_base; heap_base; heap_len }
-    ->
+      { dev; journal_base; slot_size; nslots; table_base; heap_base; heap_len;
+        cow_base; cow_len } ->
       t "pool_layout"
         [
           i "dev" dev;
@@ -814,6 +851,8 @@ let event_to_json ev =
           i "table_base" table_base;
           i "heap_base" heap_base;
           i "heap_len" heap_len;
+          i "cow_base" cow_base;
+          i "cow_len" cow_len;
         ]
   | Pr.Journal_truncate { dev; slot_base; epoch } ->
       t "journal_truncate" [ i "dev" dev; i "slot_base" slot_base; i "epoch" epoch ]
@@ -821,6 +860,10 @@ let event_to_json ev =
   | Pr.Recovery_phase { dev; phase; ns; dur_ns } ->
       t "recovery_phase"
         [ i "dev" dev; ("phase", Json.Str phase); f "ns" ns; f "dur_ns" dur_ns ]
+  | Pr.Cow_shadow { dev; off; len } ->
+      t "cow_shadow" [ i "dev" dev; i "off" off; i "len" len ]
+  | Pr.Cow_retire { dev; off; len } ->
+      t "cow_retire" [ i "dev" dev; i "off" off; i "len" len ]
 
 let events_to_json events =
   Json.Obj
@@ -844,6 +887,10 @@ let event_of_json j =
     match Json.mem n j with
     | Some (Json.Str s) -> s
     | _ -> failwith ("Pprof: probe event missing field " ^ n)
+  in
+  (* absent on captures recorded before the field existed *)
+  let geti0 n =
+    match Json.mem n j with Some (Json.Num v) -> int_of_float v | _ -> 0
   in
   match Json.mem "t" j with
   | Some (Json.Str tag) -> (
@@ -893,11 +940,17 @@ let event_of_json j =
               table_base = geti "table_base";
               heap_base = geti "heap_base";
               heap_len = geti "heap_len";
+              cow_base = geti0 "cow_base";
+              cow_len = geti0 "cow_len";
             }
       | "journal_truncate" ->
           Pr.Journal_truncate
             { dev = geti "dev"; slot_base = geti "slot_base"; epoch = geti "epoch" }
       | "drop_apply" -> Pr.Drop_apply { dev = geti "dev"; off = geti "off" }
+      | "cow_shadow" ->
+          Pr.Cow_shadow { dev = geti "dev"; off = geti "off"; len = geti "len" }
+      | "cow_retire" ->
+          Pr.Cow_retire { dev = geti "dev"; off = geti "off"; len = geti "len" }
       | "recovery_phase" ->
           Pr.Recovery_phase
             {

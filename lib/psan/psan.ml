@@ -2,13 +2,14 @@ module Pr = Ptelemetry.Probe
 module Tr = Ptelemetry.Trace
 module Json = Ptelemetry.Json
 
-type violation_class = V1 | V2 | V3 | V4 | W1 | W2
+type violation_class = V1 | V2 | V3 | V4 | V5 | W1 | W2
 
 let class_name = function
   | V1 -> "V1"
   | V2 -> "V2"
   | V3 -> "V3"
   | V4 -> "V4"
+  | V5 -> "V5"
   | W1 -> "W1"
   | W2 -> "W2"
 
@@ -17,10 +18,11 @@ let class_title = function
   | V2 -> "store still dirty at commit (missing flush)"
   | V3 -> "store write-pending at commit (missing fence)"
   | V4 -> "store to pool data outside any transaction"
+  | V5 -> "store to a block retired by a committed root swap"
   | W1 -> "redundant flush (no dirty line in range)"
   | W2 -> "redundant fence (write-pending queue empty)"
 
-let is_warning = function W1 | W2 -> true | V1 | V2 | V3 | V4 -> false
+let is_warning = function W1 | W2 -> true | V1 | V2 | V3 | V4 | V5 -> false
 
 type finding = {
   cls : violation_class;
@@ -59,6 +61,7 @@ type dev_state = {
   lines : (int, line) Hashtbl.t; (* line number -> shadow *)
   mutable wpq : int; (* lines currently write-pending *)
   dyn_exempt : (int, int) Hashtbl.t; (* live spill regions: off -> len *)
+  retired : (int, int) Hashtbl.t; (* CoW-retired blocks: off -> len *)
   mutable exempt_depth : int; (* recovery bracket nesting *)
   mutable last_fence_empty : bool; (* previous fence drained nothing *)
 }
@@ -90,6 +93,7 @@ let dev_state dev =
           lines = Hashtbl.create 256;
           wpq = 0;
           dyn_exempt = Hashtbl.create 8;
+          retired = Hashtbl.create 8;
           exempt_depth = 0;
           last_fence_empty = false;
         }
@@ -181,7 +185,16 @@ let on_store ~dev ~off ~len ~ns =
   (* Probe handlers run synchronously on the emitting thread, so
      [Domain.self] here is the storing domain. *)
   mark_store ds ~who:(Domain.self () :> int) off len;
-  if ds.exempt_depth = 0 then
+  if ds.exempt_depth = 0 then begin
+    (* Use-after-retire: no store may land in a retired block until the
+       allocator reissues it, no matter how well-covered the tx is. *)
+    Hashtbl.iter
+      (fun o l ->
+        let lo = max off o and hi = min (off + len) (o + l) in
+        if hi > lo then
+          record V5 ~dev ~off:lo ~len:(hi - lo) ~tx:(tx_id_of dev) ~ns
+            ~detail:"block was retired by a root swap and not reissued")
+      ds.retired;
     match heap_clip ds ~off ~len with
     | [] -> ()
     | segs -> (
@@ -203,6 +216,7 @@ let on_store ~dev ~off ~len ~ns =
                       ~detail:
                         "no covering undo-log entry or same-tx allocation")
                   (remaining segs tx.covered)))
+  end
 
 let on_flush ~dev ~off ~len ~ns =
   let ds = dev_state dev in
@@ -299,6 +313,7 @@ let on_event ev =
           let ds = dev_state dev in
           Hashtbl.reset ds.lines;
           Hashtbl.reset ds.dyn_exempt;
+          Hashtbl.reset ds.retired;
           ds.wpq <- 0;
           ds.exempt_depth <- 0;
           ds.last_fence_empty <- false;
@@ -321,10 +336,23 @@ let on_event ev =
               check_commit (dev_state dev) tx ~who:(fst key) ~dev ~ns
           | _ -> ());
           Hashtbl.remove txs key
-      | Pr.Log { dev; off; len } | Pr.Alloc { dev; off; len } -> (
+      | Pr.Log { dev; off; len } -> (
           match tx_of dev with
           | Some tx -> tx.covered <- (off, len) :: tx.covered
           | None -> ())
+      | Pr.Alloc { dev; off; len } | Pr.Cow_shadow { dev; off; len } ->
+          (* Shadow state is unreachable until the root swap publishes
+             it, so it is rollback-safe exactly like a fresh alloc; a
+             reissued block is no longer retired. *)
+          let ds = dev_state dev in
+          Hashtbl.filter_map_inplace
+            (fun o l -> if max off o < min (off + len) (o + l) then None else Some l)
+            ds.retired;
+          (match tx_of dev with
+          | Some tx -> tx.covered <- (off, len) :: tx.covered
+          | None -> ())
+      | Pr.Cow_retire { dev; off; len } ->
+          Hashtbl.replace (dev_state dev).retired off len
       | Pr.Commit_point { dev; ns } -> (
           match tx_of dev with
           | Some tx ->
@@ -417,7 +445,7 @@ let finding_text f =
 let counts_by_class fs =
   List.map
     (fun c -> (c, List.length (List.filter (fun f -> f.cls = c) fs)))
-    [ V1; V2; V3; V4; W1; W2 ]
+    [ V1; V2; V3; V4; V5; W1; W2 ]
 
 (* Violations are always printed in full; warning lines are capped so a
    long sweep (hundreds of short-lived devices, each re-reporting the

@@ -22,6 +22,11 @@
       no fence ordered it before commit, so it may still be lost.
     - {b V4} [store-outside-tx]: store to pool heap data outside any
       transaction (no rollback protocol is in effect at all).
+    - {b V5} [use-after-retire]: store into a block a committed CoW
+      root swap retired ({!Ptelemetry.Probe.Cow_retire}) before the
+      allocator reissued it.  The old version is gone from the object
+      graph; the store can corrupt a block the allocator may hand out
+      concurrently.
 
     {2 Warnings} (waste, not corruption)
 
@@ -39,7 +44,7 @@
 
     Findings are deduplicated per (class, device, line). *)
 
-type violation_class = V1 | V2 | V3 | V4 | W1 | W2
+type violation_class = V1 | V2 | V3 | V4 | V5 | W1 | W2
 
 val class_name : violation_class -> string
 (** ["V1"] … ["W2"]. *)
@@ -96,7 +101,7 @@ val unexempt : dev:int -> off:int -> len:int -> unit
 (** {1 Findings} *)
 
 val violations : unit -> finding list
-(** V1–V4 findings, oldest first. *)
+(** V1–V5 findings, oldest first. *)
 
 val warnings : unit -> finding list
 (** W1/W2 findings, oldest first. *)

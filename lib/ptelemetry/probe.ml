@@ -23,10 +23,18 @@ type event =
       table_base : int;
       heap_base : int;
       heap_len : int;
+      cow_base : int; (* CoW root-cell region in the header page; 0 = none *)
+      cow_len : int;
     }
   | Journal_truncate of { dev : int; slot_base : int; epoch : int }
   | Drop_apply of { dev : int; off : int }
   | Recovery_phase of { dev : int; phase : string; ns : float; dur_ns : float }
+  | Cow_shadow of { dev : int; off : int; len : int }
+      (* a CoW transaction's shadow range: exempt from store-before-log
+         until the root swap publishes it *)
+  | Cow_retire of { dev : int; off : int; len : int }
+      (* a block retired by a committed root swap: any later store into
+         it (before a re-allocation) is a use-after-retire *)
 
 (* [active] mirrors [handler <> None] so the hot-path guard is one
    atomic load, as in {!Trace}.  The handler itself is responsible for

@@ -68,12 +68,16 @@ type event =
       table_base : int;
       heap_base : int;
       heap_len : int;
+      cow_base : int;
+      cow_len : int;
     }
       (** Full media geometry of the pool on [dev], emitted at attach
           alongside {!Pool_attach}.  Lets a subscriber classify every
           byte range as header / journal slot (and which) / allocation
           table / heap — the conformance checker ({!Pmodel.Mconform})
-          needs the finer split that [Pool_attach] does not carry. *)
+          needs the finer split that [Pool_attach] does not carry.
+          [cow_base, cow_base + cow_len) is the CoW root-cell region
+          inside the header page ([0,0] on captures that predate it). *)
   | Journal_truncate of { dev : int; slot_base : int; epoch : int }
       (** The journal slot at [slot_base] retired its log: terminator
           reset, header fields zeroed and the epoch bumped to [epoch] —
@@ -89,6 +93,16 @@ type event =
           nanoseconds.  Emitted inside the recovery exempt window; lets
           an observer break recovery latency down without touching the
           device. *)
+  | Cow_shadow of { dev : int; off : int; len : int }
+      (** The current CoW transaction wrote [off, off+len) as shadow
+          state (a fresh node or the root block's inactive copy):
+          unreachable until the root swap publishes it, so stores there
+          need no undo coverage — the CoW analogue of {!Alloc}. *)
+  | Cow_retire of { dev : int; off : int; len : int }
+      (** A committed root swap retired the block at [off, off+len):
+          readers of the pre-swap state may still hold it, but no store
+          may land there until the allocator reissues it — a store into
+          a retired block is the CoW use-after-retire violation. *)
 
 val install : (event -> unit) -> unit
 (** Subscribe [f]; replaces any current subscriber. *)

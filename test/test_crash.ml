@@ -2,8 +2,8 @@
    crashed at (a sample of) its persist points, recovered, and checked for
    atomicity, heap integrity and leak freedom. *)
 
-let sweep_clean ?limit ?survival_samples name make () =
-  let r = Crashtest.Injector.sweep ?limit ?survival_samples make in
+let sweep_clean ?limit ?survival_samples ?torn_prob name make () =
+  let r = Crashtest.Injector.sweep ?limit ?survival_samples ?torn_prob make in
   Alcotest.(check bool)
     (Printf.sprintf "%s: scenario has persist points" name)
     true (r.Crashtest.Injector.points > 0);
@@ -148,6 +148,14 @@ let () =
           Alcotest.test_case "alloc churn x2 survival samples" `Slow
             (sweep_clean ~survival_samples:2 "alloc_churn_samples" (fun () ->
                  Crashtest.Scenario.alloc_churn ()));
+          Alcotest.test_case "pstack recoverable-CAS (exhaustive)" `Slow
+            (sweep_clean "pstack" (fun () -> Crashtest.Scenario.pstack ()));
+          Alcotest.test_case "pstack torn writes x2 survival samples" `Slow
+            (sweep_clean ~survival_samples:2 ~torn_prob:0.5 "pstack_torn"
+               (fun () -> Crashtest.Scenario.pstack ()));
+          Alcotest.test_case "pstack recovery crashes (nested)" `Slow
+            (sweep_recovery_crashes "pstack" (fun () ->
+                 Crashtest.Scenario.pstack ()));
           Alcotest.test_case "counter recovery crashes (nested)" `Slow
             (sweep_recovery_crashes "counter" (fun () ->
                  Crashtest.Scenario.counter ()));

@@ -6,6 +6,7 @@
 
 module Ms = Pmodel.Mstate
 module Mc = Pmodel.Mcheck
+module Mw = Pmodel.Mcow
 module Mv = Pmodel.Mvariant
 module Cf = Pmodel.Mconform
 module Pr = Ptelemetry.Probe
@@ -24,12 +25,51 @@ let test_correct_protocol_verifies () =
 let test_controls_all_caught () =
   List.iter
     (fun v ->
-      let r = Mc.run ~nested:false v in
-      match r.Mc.cex with
-      | Some _ -> ()
-      | None ->
-          Alcotest.failf "seeded bug %S produced no counterexample" (Mv.name v))
+      (* each seeded bug runs in the model family its mutation targets *)
+      let caught =
+        match v with
+        | Mv.Swap_before_flush ->
+            let r = Mw.run ~nested:false v in
+            r.Mw.cex <> None
+        | _ ->
+            let r = Mc.run ~nested:false v in
+            r.Mc.cex <> None
+      in
+      if not caught then
+        Alcotest.failf "seeded bug %S produced no counterexample" (Mv.name v))
     Mv.broken
+
+(* The CoW family: the shipped intent/swap protocol must verify over
+   its full space (including recovery's own crashes), and the seeded
+   premature-root-swap mutation must be caught and replay from its
+   spec. *)
+let test_cow_correct_verifies () =
+  let r = Mw.run Mv.Correct in
+  (match r.Mw.cex with
+  | None -> ()
+  | Some c ->
+      Alcotest.failf "correct CoW protocol: %s"
+        (Format.asprintf "%a" Mw.pp_cex c));
+  let s = r.Mw.stats in
+  Alcotest.(check bool) "programs explored" true (s.Mw.programs >= 10);
+  Alcotest.(check bool) "crash branches explored" true (s.Mw.crash_branches > 100);
+  Alcotest.(check bool)
+    "recovery itself crashed" true (s.Mw.nested_branches > 100)
+
+let test_cow_control_caught_and_replays () =
+  let r = Mw.run ~nested:false Mv.Swap_before_flush in
+  match r.Mw.cex with
+  | None -> Alcotest.fail "swap-before-flush produced no counterexample"
+  | Some c -> (
+      let spec = Mw.repro_string c in
+      match Mw.replay spec with
+      | Error e -> Alcotest.failf "replay %S failed to parse: %s" spec e
+      | Ok None ->
+          Alcotest.failf "replay %S found the branch legal after all" spec
+      | Ok (Some c') ->
+          Alcotest.(check string)
+            "replay reproduces the same invariant violation" c.Mw.invariant
+            c'.Mw.invariant)
 
 let test_replay_roundtrip () =
   let v = List.hd Mv.broken in
@@ -114,6 +154,8 @@ let layout =
       table_base = 0x240;
       heap_base = 0x440;
       heap_len = 0x1000;
+      cow_base = 0;
+      cow_len = 0;
     }
 
 let has_violation needle v =
@@ -200,6 +242,10 @@ let () =
             test_replay_roundtrip;
           Alcotest.test_case "replay rejects malformed specs" `Quick
             test_replay_rejects_garbage;
+          Alcotest.test_case "CoW protocol verifies (full space)" `Slow
+            test_cow_correct_verifies;
+          Alcotest.test_case "CoW seeded bug caught and replays" `Quick
+            test_cow_control_caught_and_replays;
         ] );
       ( "conformance",
         [

@@ -67,6 +67,33 @@ let test_corundum_known_answers () =
   check_int "free waste fences" 0 (Pprof.waste_fences r);
   check_int "free findings" 0 (List.length r.Pprof.findings)
 
+(* The mod (minimally-ordered CoW) engine at the fence floor: one fence
+   per update, two for alloc+write and free (the allocator's table
+   publish still orders before the swap).  The commit word rides the
+   unfenced tail, so the profiler's minimal schedule matches the actual
+   one exactly — zero waste on every op.  Any E4 rows in by_class are
+   advisory cross-transaction coalescing notes, not net waste, which is
+   why only the totals are pinned here. *)
+let test_mod_known_answers () =
+  fresh ();
+  let ops = 8 in
+  let engine = Option.get (Engines.Registry.find "mod") in
+  let rows = Engines.Waste.measure ~size:(8 * 1024 * 1024) ~ops engine in
+  let exact op ~fl ~fe =
+    let w = find_window op rows in
+    let r = w.Engines.Waste.report in
+    check_int (op ^ " txs analyzed") ops r.Pprof.txs;
+    check_int (op ^ " actual flushes") (fl * ops) r.Pprof.actual_flushes;
+    check_int (op ^ " min flushes") (fl * ops) r.Pprof.min_flushes;
+    check_int (op ^ " actual fences") (fe * ops) r.Pprof.actual_fences;
+    check_int (op ^ " min fences") (fe * ops) r.Pprof.min_fences;
+    check_int (op ^ " waste flushes") 0 (Pprof.waste_flushes r);
+    check_int (op ^ " waste fences") 0 (Pprof.waste_fences r)
+  in
+  exact "update" ~fl:3 ~fe:1;
+  exact "alloc+write" ~fl:4 ~fe:2;
+  exact "free" ~fl:3 ~fe:2
+
 (* --- synthetic streams ------------------------------------------------ *)
 
 let layout ~dev =
@@ -79,6 +106,8 @@ let layout ~dev =
       table_base = 256 * 1024;
       heap_base = 512 * 1024;
       heap_len = 1024 * 1024;
+      cow_base = 1024;
+      cow_len = 768;
     }
 
 (* Two flush calls over adjacent heap lines under one fence: the device
@@ -398,6 +427,8 @@ let () =
         [
           Alcotest.test_case "corundum windows vs minimal schedule" `Quick
             test_corundum_known_answers;
+          Alcotest.test_case "mod engine runs at the fence floor" `Quick
+            test_mod_known_answers;
         ] );
       ( "synthetic",
         [

@@ -237,6 +237,33 @@ let test_missing_log = positive_control FP.Missing_log Psan.V1
 let test_missing_flush = positive_control FP.Missing_flush Psan.V2
 let test_missing_fence = positive_control FP.Missing_fence Psan.V3
 
+(* Use-after-retire: the mod engine's commit retires the old root block
+   (Cow_retire probe), and until the allocator reissues it no store may
+   land there — even through a pointer read before the swap.  The retire
+   alone is clean; the late store is V5. *)
+let test_use_after_retire () =
+  with_psan (fun () ->
+      Psan.enable ();
+      let module E = Engines.Mod_engine in
+      let eng = E.create ~size:(2 * 1024 * 1024) () in
+      E.transaction eng (fun tx ->
+          let o = E.alloc tx 64 in
+          E.write tx o 1L;
+          E.set_root tx o);
+      let old = ref 0 in
+      E.transaction eng (fun tx ->
+          old := E.root tx;
+          let o = E.alloc tx 64 in
+          E.write tx o 2L;
+          E.set_root tx o;
+          E.free tx !old);
+      check_bool "retiring a block is not itself a violation" true
+        (not (has_class Psan.V5));
+      D.write_u64 (Pool_impl.device (E.pool eng)) !old 0xBADL;
+      Psan.disable ();
+      check_bool "store into the retired block raises V5" true
+        (has_class Psan.V5))
+
 (* --- lifecycle --------------------------------------------------------- *)
 
 let test_reset_and_counts () =
@@ -283,6 +310,8 @@ let () =
             test_missing_flush;
           Alcotest.test_case "missing-fence: V3 + corruption" `Quick
             test_missing_fence;
+          Alcotest.test_case "use-after-retire: V5" `Quick
+            test_use_after_retire;
         ] );
       ( "lifecycle",
         [

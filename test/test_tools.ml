@@ -101,6 +101,101 @@ let test_root_into_free_block_detected () =
   let r = Pool_check.check_device dev in
   check_bool "dangling root flagged" true (finding_in "root" r)
 
+(* --- CoW cell verdicts ------------------------------------------------- *)
+
+(* A mod-engine pool with a committed, acknowledged CoW root update. *)
+let build_mod () =
+  let module E = Engines.Mod_engine in
+  let eng = E.create ~latency:Pmem.Latency.zero ~size:(2 * 1024 * 1024) () in
+  E.transaction eng (fun tx ->
+      let o = E.alloc tx 64 in
+      E.write tx o 7L;
+      E.set_root tx o);
+  E.transaction eng (fun tx ->
+      let old = E.root tx in
+      let o = E.alloc tx 64 in
+      E.write tx o 8L;
+      E.set_root tx o;
+      E.free tx old);
+  let dev = Pool_impl.device (E.pool eng) in
+  D.fence dev;
+  (eng, dev)
+
+let test_cow_cells_inspected () =
+  let _, dev = build_mod () in
+  let info = Pool_inspect.inspect_device dev in
+  let active =
+    List.filter
+      (fun (ci : Cow_root.cell_info) -> ci.ci_gen > 0)
+      info.Pool_inspect.cow_cells
+  in
+  check_bool "a cow cell carries the committed generations" true (active <> []);
+  check_bool "no pending intent on an acknowledged pool" true
+    (List.for_all
+       (fun (ci : Cow_root.cell_info) -> not ci.ci_pending)
+       info.Pool_inspect.cow_cells);
+  let r = Pool_check.check_device dev in
+  check_bool "acknowledged mod pool is consistent" true (Pool_check.ok r)
+
+let test_cow_pending_intent_detected () =
+  (* Crash a third update somewhere between its intent seal and the tail's
+     resolution: some persist point must leave a sealed pending intent on
+     the pre-recovery image, and repair must resolve it. *)
+  let module E = Engines.Mod_engine in
+  let found = ref false in
+  let k = ref 1 in
+  while (not !found) && !k < 40 do
+    let eng, dev = build_mod () in
+    D.set_crash_countdown dev !k;
+    (match
+       E.transaction eng (fun tx ->
+           let old = E.root tx in
+           let o = E.alloc tx 64 in
+           E.write tx o 9L;
+           E.set_root tx o;
+           E.free tx old)
+     with
+    | () -> D.set_crash_countdown dev 0
+    | exception D.Crashed -> ());
+    D.power_cycle dev;
+    let r = Pool_check.check_device dev in
+    let pending =
+      List.exists
+        (fun (f : Pool_check.finding) ->
+          String.length f.problem >= 7
+          && String.sub f.problem 0 7 = "pending")
+        r.Pool_check.findings
+    in
+    if pending then begin
+      found := true;
+      (* repair applies the idempotent cell resolution *)
+      let rr = Pool_check.repair dev in
+      check_bool "repair resolves the pending intent" true
+        (Pool_check.repaired rr)
+    end;
+    incr k
+  done;
+  check_bool "some crash point exposes a pending intent" true !found
+
+let test_cow_dangling_ptr_detected () =
+  let _, dev = build_mod () in
+  let info = Pool_inspect.inspect_device dev in
+  let ci =
+    List.find
+      (fun (ci : Cow_root.cell_info) -> ci.ci_gen > 0)
+      info.Pool_inspect.cow_cells
+  in
+  (* free the block under the active root out from under the cell *)
+  let victim =
+    match ci.ci_pair with Some (pb, _) -> pb | None -> ci.ci_ptr
+  in
+  let bidx = (victim - info.Pool_inspect.heap_base) / 64 in
+  D.write_u8 dev (info.Pool_inspect.table_base + bidx) 0;
+  D.persist dev (info.Pool_inspect.table_base + bidx) 1;
+  let r = Pool_check.check_device dev in
+  check_bool "dangling cow pointer flagged" true
+    (finding_in (Printf.sprintf "cow cell %d" ci.ci_cell) r)
+
 let test_fsck_file_roundtrip () =
   let path = Filename.temp_file "corundum_fsck" ".pool" in
   let module P = Pool.Make () in
@@ -128,5 +223,13 @@ let () =
           Alcotest.test_case "root into free block" `Quick
             test_root_into_free_block_detected;
           Alcotest.test_case "file roundtrip" `Quick test_fsck_file_roundtrip;
+        ] );
+      ( "cow_cells",
+        [
+          Alcotest.test_case "cells inspected" `Quick test_cow_cells_inspected;
+          Alcotest.test_case "pending intent verdict" `Quick
+            test_cow_pending_intent_detected;
+          Alcotest.test_case "dangling pointer verdict" `Quick
+            test_cow_dangling_ptr_detected;
         ] );
     ]
